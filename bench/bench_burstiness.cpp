@@ -1,0 +1,66 @@
+// Arrival-burstiness ablation: the paper's generic stream is Poisson.
+// Replacing it with an MMPP-2 of the same mean rate shows how much a
+// bursty reality degrades the response time the Poisson model promises.
+// The optimal split itself stays the model-based one -- exactly what an
+// operator relying on the paper would deploy.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "sim/arrivals.hpp"
+#include "model/paper_configs.hpp"
+#include "sim/metrics.hpp"
+#include "sim/mmpp.hpp"
+#include "sim/server_sim.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  const auto sol =
+      opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs).optimize(lambda);
+
+  std::cout << "=== Bursty arrivals vs the Poisson model (Example 1 split) ===\n"
+            << "(MMPP-2 generic streams, equal mean rates, state sojourn 10 s)\n\n";
+  util::Table t({"burstiness", "simulated T'", "vs Poisson model"});
+  for (double b : {1.0, 1.3, 1.6, 1.9}) {
+    sim::Engine engine;
+    sim::ResponseTimeCollector collector(3000.0);
+    std::vector<std::unique_ptr<sim::ServerSim>> servers;
+    std::vector<std::unique_ptr<sim::MmppSource>> generic_sources;
+    std::vector<std::unique_ptr<sim::PoissonSource>> special_sources;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const auto& srv = cluster.server(i);
+      servers.push_back(std::make_unique<sim::ServerSim>(
+          engine, srv.size(), srv.speed(), sim::SchedulingMode::Fcfs, collector));
+    }
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const auto& srv = cluster.server(i);
+      sim::ServerSim* dest = servers[i].get();
+      if (sol.rates[i] > 0.0) {
+        generic_sources.push_back(std::make_unique<sim::MmppSource>(
+            engine, sim::MmppParams::with_mean(sol.rates[i], b),
+            sim::ServiceDistribution::exponential(cluster.rbar()), sim::TaskClass::Generic,
+            sim::RngStream(1, 2 * i), [dest](sim::Task task) { dest->arrive(task); }));
+      }
+      special_sources.push_back(std::make_unique<sim::PoissonSource>(
+          engine, srv.special_rate(), cluster.rbar(), sim::TaskClass::Special,
+          sim::RngStream(1, 2 * i + 1), [dest](sim::Task task) { dest->arrive(task); }));
+    }
+    for (auto& s : generic_sources) s->start();
+    for (auto& s : special_sources) s->start();
+    engine.run_until(40000.0);
+    const double mean = collector.generic().mean();
+    const double pct = 100.0 * (mean / sol.response_time - 1.0);
+    t.add_row({util::fixed(b, 1), util::fixed(mean, 4),
+               (pct >= 0.0 ? "+" : "") + util::fixed(pct, 2) + "%"});
+  }
+  std::cout << t.render() << "\nmodel (Poisson) predicts T' = "
+            << util::fixed(sol.response_time, 4)
+            << "\nreading: burstiness the model cannot see inflates real response\n"
+               "times; the optimal *split* is unchanged, but capacity planning\n"
+               "should budget for the inflation.\n";
+  return 0;
+}

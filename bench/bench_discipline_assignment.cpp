@@ -1,0 +1,54 @@
+// Per-server discipline assignment: between the paper's two uniform
+// regimes lies a spectrum -- prioritize special tasks only where the
+// special-task SLA requires it. Sweeps the SLA and reports the generic
+// cost of each level of protection.
+#include <iostream>
+
+#include "core/discipline_assignment.hpp"
+#include "model/paper_configs.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+
+  const auto probe = opt::assign_disciplines(cluster, lambda, 100.0);
+  const double lo = probe.all_priority.special_response;  // tightest achievable
+  const double hi = probe.all_fcfs.special_response;      // free-of-charge level
+
+  std::cout << "=== Per-server discipline assignment (Example cluster, lambda' = " << lambda
+            << ") ===\n"
+            << "special response spans [" << util::fixed(lo, 4) << " (all-priority), "
+            << util::fixed(hi, 4) << " (all-fcfs)]\n\n";
+
+  util::Table t({"special SLA", "priority servers", "generic T'", "special T''",
+                 "generic penalty"});
+  for (double f : {0.999, 0.75, 0.5, 0.25, 0.02}) {
+    const double sla = lo + f * (hi - lo);
+    const auto res = opt::assign_disciplines(cluster, lambda, sla);
+    if (!res.any_feasible) continue;
+    int prio = 0;
+    std::string which;
+    for (std::size_t i = 0; i < res.best.disciplines.size(); ++i) {
+      if (res.best.disciplines[i] == queue::Discipline::SpecialPriority) {
+        ++prio;
+        which += std::to_string(i + 1);
+      }
+    }
+    t.add_row({util::fixed(sla, 4), std::to_string(prio) + (which.empty() ? "" : " (" + which + ")"),
+               util::fixed(res.best.generic_response),
+               util::fixed(res.best.special_response),
+               "+" + util::fixed(100.0 * (res.best.generic_response /
+                                              res.all_fcfs.generic_response -
+                                          1.0),
+                                 3) +
+                   "%"});
+  }
+  std::cout << t.render()
+            << "\nreading: each SLA notch flips a few servers to priority; the\n"
+               "generic penalty ramps smoothly from 0% (all-fcfs, Table 1) to the\n"
+               "paper's all-priority regime (Table 2, +2.7%). The paper's two\n"
+               "uniform disciplines are the endpoints of this spectrum.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Workload-trace study: a diurnal load swing on the Example cluster.
+// Compares re-optimizing every epoch against one fixed split scaled with
+// the load, for several design points.
+#include <iostream>
+
+#include "cloud/trace.hpp"
+#include "model/paper_configs.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+  const auto cluster = model::paper_example_cluster();
+  const auto profile = cloud::diurnal_profile(8.0, 38.0, 24);
+
+  std::cout << "=== Diurnal trace on the Example cluster (24 epochs, lambda' 8..38) ===\n\n";
+  for (auto d : {queue::Discipline::Fcfs, queue::Discipline::SpecialPriority}) {
+    const auto adaptive = cloud::run_adaptive(cluster, d, profile);
+    util::Table t({"policy", "mean T'", "overloaded epochs", "vs adaptive"});
+    t.set_align(0, util::Align::Left);
+    t.add_row({"adaptive (re-solve hourly)", util::fixed(adaptive.mean_response_time, 4), "0",
+               "--"});
+    for (double design : {12.0, 23.0, 34.0}) {
+      const auto fixed = cloud::run_static(cluster, d, profile, design);
+      t.add_row({"static split @ " + util::fixed(design, 0),
+                 util::fixed(fixed.mean_response_time, 4),
+                 std::to_string(fixed.overloaded_epochs),
+                 "+" + util::fixed(
+                           100.0 * (fixed.mean_response_time / adaptive.mean_response_time - 1.0),
+                           2) +
+                     "%"});
+    }
+    std::cout << "discipline = " << queue::to_string(d) << '\n' << t.render() << '\n';
+  }
+  std::cout << "reading: on this cluster proportional scaling of one good split is\n"
+               "nearly adaptive-quality -- the optimal routing probabilities barely\n"
+               "move with load -- but a split designed at light load can overload\n"
+               "small servers at the peak.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension study: the paper's optimum is the best *static* probabilistic
+// split. Simulated comparison against dynamic dispatchers (JSQ,
+// round-robin) quantifies the value of queue-state information the
+// static model cannot use.
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+  const auto cluster = model::paper_example_cluster();
+
+  std::cout << "=== Static optimal split vs dynamic routing (simulated) ===\n"
+            << "(Example cluster, fcfs, one seed per point, horizon 20000)\n\n";
+
+  util::Table t({"load", "optimal static T'", "JSQ T'", "round-robin T'"});
+  for (double frac : {0.4, 0.6, 0.8, 0.9}) {
+    const double lambda = frac * cluster.max_generic_rate();
+    const auto sol =
+        opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs).optimize(lambda);
+    sim::SimConfig cfg;
+    cfg.horizon = 20000.0;
+    cfg.warmup = 2000.0;
+    const auto split =
+        sim::simulate_split(cluster, sol.rates, sim::SchedulingMode::Fcfs, cfg);
+    sim::JoinShortestQueueDispatcher jsq;
+    const auto dyn =
+        sim::simulate_dispatched(cluster, lambda, jsq, sim::SchedulingMode::Fcfs, cfg);
+    sim::RoundRobinDispatcher rr;
+    const auto rr_res =
+        sim::simulate_dispatched(cluster, lambda, rr, sim::SchedulingMode::Fcfs, cfg);
+    t.add_row({util::fixed(frac, 2), util::fixed(split.generic_mean_response, 4),
+               util::fixed(dyn.generic_mean_response, 4),
+               util::fixed(rr_res.generic_mean_response, 4)});
+  }
+  std::cout << t.render()
+            << "\nreading: JSQ beats the optimal static split (it sees queue states).\n"
+               "Blind round-robin overloads the small fast server at every load shown\n"
+               "(lambda/7 exceeds its capacity), so its column is a growing transient,\n"
+               "not a steady state -- the price of ignoring heterogeneity entirely.\n"
+               "The paper's optimality claim is within the static-split policy class.\n";
+  return 0;
+}

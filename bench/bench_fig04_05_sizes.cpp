@@ -1,0 +1,11 @@
+// Regenerates Figs. 4 and 5: impact of server sizes on T'. Five size
+// groups (total blades 49/53/56/59/63); expectation per the paper: small
+// increments of total size noticeably reduce T', especially at high
+// lambda'.
+#include "fig_common.hpp"
+
+int main() {
+  bench_common::print_figure(4);
+  bench_common::print_figure(5);
+  return 0;
+}

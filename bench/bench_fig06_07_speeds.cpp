@@ -1,0 +1,10 @@
+// Regenerates Figs. 6 and 7: impact of server speeds (s_i = s - 0.1 i,
+// s in 1.5..1.9). Expectation: faster blades shift every curve down and
+// extend the saturation point.
+#include "fig_common.hpp"
+
+int main() {
+  bench_common::print_figure(6);
+  bench_common::print_figure(7);
+  return 0;
+}

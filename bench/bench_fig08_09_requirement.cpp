@@ -1,0 +1,10 @@
+// Regenerates Figs. 8 and 9: impact of the task execution requirement
+// rbar in 0.8..1.2. Expectation: larger rbar raises T' and pulls the
+// saturation point in.
+#include "fig_common.hpp"
+
+int main() {
+  bench_common::print_figure(8);
+  bench_common::print_figure(9);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Figs. 10 and 11: impact of the special-task preload
+// fraction y in 0.20..0.40. Expectation: heavier preload raises T'.
+#include "fig_common.hpp"
+
+int main() {
+  bench_common::print_figure(10);
+  bench_common::print_figure(11);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates Figs. 12 and 13: server size heterogeneity at fixed total
+// capacity (56 blades at speed 1.3). Expectation: the five curves nearly
+// coincide, with larger heterogeneity very slightly faster.
+#include "fig_common.hpp"
+
+int main() {
+  bench_common::print_figure(12);
+  bench_common::print_figure(13);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates Figs. 14 and 15: server speed heterogeneity at fixed total
+// speed (m_i = 8, total 72.8). Expectation: curves converge at high load,
+// larger heterogeneity (slightly) faster.
+#include "fig_common.hpp"
+
+int main() {
+  bench_common::print_figure(14);
+  bench_common::print_figure(15);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: the paper's M/M/m queues have infinite waiting rooms. With a
+// finite buffer (M/M/m/K) how close is the infinite-queue model, and how
+// much admission loss appears at the paper's operating points?
+#include <iostream>
+
+#include "model/paper_configs.hpp"
+#include "queueing/mmm.hpp"
+#include "queueing/mmmk.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+  const auto cluster = model::paper_example_cluster();
+
+  std::cout << "=== Finite waiting room vs the paper's infinite-queue model ===\n"
+            << "(each server at the merged Example-1 load; K = capacity in system)\n\n";
+
+  // Per-server merged rates at the Example 1 optimum (Table 1).
+  const double merged[7] = {0.6652046 + 0.96, 1.8802882 + 1.8, 2.9973639 + 2.52,
+                            3.9121948 + 3.12, 4.5646028 + 3.6, 4.8769307 + 3.96,
+                            4.6234149 + 4.2};
+
+  util::Table t({"i", "m_i", "T (inf queue)", "T (K=m+4)", "loss% (K=m+4)", "T (K=m+16)",
+                 "loss% (K=m+16)"});
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& s = cluster.server(i);
+    const double xbar = s.mean_service_time(cluster.rbar());
+    const queue::MMmQueue inf(s.size(), xbar);
+    const queue::MMmKQueue small(s.size(), s.size() + 4, xbar);
+    const queue::MMmKQueue large(s.size(), s.size() + 16, xbar);
+    t.add_row({std::to_string(i + 1), std::to_string(s.size()),
+               util::fixed(inf.mean_response_time(merged[i]), 5),
+               util::fixed(small.mean_response_time(merged[i]), 5),
+               util::fixed(100.0 * small.blocking_probability(merged[i]), 3),
+               util::fixed(large.mean_response_time(merged[i]), 5),
+               util::fixed(100.0 * large.blocking_probability(merged[i]), 4)});
+  }
+  std::cout << t.render()
+            << "\nreading: at the paper's ~65% utilization a modest buffer (K = m+16)\n"
+               "already makes the infinite-queue model essentially exact.\n";
+  return 0;
+}

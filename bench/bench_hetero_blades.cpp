@@ -1,0 +1,49 @@
+// Mixed-generation blades: the paper treats each server's blades as
+// identical. How wrong is that if a chassis actually mixes fast and slow
+// blades of the same total speed? Exact mixed-blade chain vs the
+// homogeneous M/M/m the model would use.
+#include <iostream>
+
+#include "queueing/hetero_server.hpp"
+#include "queueing/mmm.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+
+  // 4 blades, total speed 4.0, increasing spread around the mean of 1.0.
+  const std::vector<std::vector<double>> mixes = {
+      {1.0, 1.0, 1.0, 1.0},
+      {1.2, 1.2, 0.8, 0.8},
+      {1.5, 1.5, 0.5, 0.5},
+      {1.9, 1.3, 0.5, 0.3},
+  };
+
+  std::cout << "=== Mixed-blade chassis vs the homogeneous model (4 blades, total speed 4) ===\n\n";
+  util::Table t({"blade speeds", "load", "T homogeneous", "T exact mixed", "model bias"});
+  t.set_align(0, util::Align::Left);
+  const queue::MMmQueue homo(4, 1.0);
+  for (const auto& mix : mixes) {
+    for (double rho : {0.4, 0.7, 0.9}) {
+      const double lambda = rho * 4.0;
+      const auto exact = queue::solve_hetero_server(mix, 1.0, lambda, 600);
+      std::string label;
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        if (i) label += "/";
+        label += util::fixed(mix[i], 1);
+      }
+      const double homo_T = homo.mean_response_time(lambda);
+      t.add_row({label, util::fixed(rho, 1), util::fixed(homo_T, 4),
+                 util::fixed(exact.mean_response, 4),
+                 util::fixed(100.0 * (homo_T / exact.mean_response - 1.0), 2) + "%"});
+    }
+  }
+  std::cout << t.render()
+            << "\nreading: under fastest-free-blade assignment, a mixed chassis is\n"
+               "actually FASTER than its homogeneous equivalent at light load (fast\n"
+               "blades absorb most traffic; positive bias = model pessimistic) and a\n"
+               "shade slower near saturation, where only total speed matters. The\n"
+               "identical-blade simplification is accurate to ~1% above rho = 0.7 --\n"
+               "exactly the regime the paper's optimization operates in.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks of the numerical and simulation
+// kernels underneath the optimizer: Erlang C (+ derivative), blade-queue
+// marginals, and raw DES event throughput.
+#include <benchmark/benchmark.h>
+
+#include "model/cluster.hpp"
+#include "numerics/erlang.hpp"
+#include "queueing/blade_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace blade;
+
+void BM_ErlangC(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  double rho = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::erlang_c(m, rho));
+    rho = 0.3 + 0.6 * (rho - 0.3 < 0.3 ? rho - 0.29 : 0.0);  // wiggle input
+  }
+}
+BENCHMARK(BM_ErlangC)->Arg(2)->Arg(14)->Arg(128)->Arg(1024);
+
+void BM_ErlangCDerivative(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::erlang_c_drho(m, 0.7));
+  }
+}
+BENCHMARK(BM_ErlangCDerivative)->Arg(2)->Arg(14)->Arg(128)->Arg(1024);
+
+void BM_LagrangeMarginal(benchmark::State& state) {
+  const queue::BladeQueue q(14, 1.0, 4.2, queue::Discipline::SpecialPriority);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.lagrange_marginal(4.6));
+  }
+}
+BENCHMARK(BM_LagrangeMarginal);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // Events per second for a loaded single server; horizon scaled to keep
+  // each iteration ~10^5 events.
+  const model::Cluster c({model::BladeServer(4, 1.0, 1.0)}, 1.0);
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.horizon = 12000.0;
+    cfg.warmup = 0.0;
+    cfg.seed = seed++;
+    const auto res = sim::simulate_split(c, {2.0}, sim::SchedulingMode::Fcfs, cfg);
+    events += res.events;
+    benchmark::DoNotOptimize(res.generic_mean_response);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_SimulatorPriorityOverhead(benchmark::State& state) {
+  const model::Cluster c({model::BladeServer(4, 1.0, 1.0)}, 1.0);
+  const auto mode = state.range(0) == 0 ? sim::SchedulingMode::Fcfs
+                                        : sim::SchedulingMode::NonPreemptivePriority;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.horizon = 6000.0;
+    cfg.warmup = 0.0;
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(sim::simulate_split(c, {2.0}, mode, cfg));
+  }
+}
+BENCHMARK(BM_SimulatorPriorityOverhead)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Validation of the Allen-Cunneen M/G/m correction used by the SCV
+// extension: simulate general service shapes and compare against the
+// approximation (exact at m = 1 by Pollaczek-Khinchine, approximate
+// beyond). Reports the approximation error the scv ablation inherits.
+#include <iostream>
+
+#include "model/cluster.hpp"
+#include "queueing/mgm.hpp"
+#include "sim/service.hpp"
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+
+  std::cout << "=== Allen-Cunneen vs simulation (rho = 0.75, three seeds per cell) ===\n\n";
+  util::Table t({"m", "scv", "shape", "approx T", "simulated T", "error"});
+  for (unsigned m : {1u, 2u, 4u, 8u}) {
+    for (double scv : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+      const double lambda = 0.75 * m;
+      const auto dist = sim::ServiceDistribution::from_scv(1.0, scv);
+      const queue::MGmApprox ac(m, 1.0, dist.scv());
+
+      const model::Cluster c({model::BladeServer(m, 1.0, 0.0)}, 1.0);
+      // Average three seeds: single-run M/G/1 means are heavily
+      // autocorrelated at this utilization.
+      double sim_mean = 0.0;
+      for (std::uint64_t seed : {1u, 2u, 3u}) {
+        sim::SimConfig cfg;
+        cfg.horizon = 50000.0;
+        cfg.warmup = 5000.0;
+        cfg.seed = seed;
+        cfg.service_scv = scv;
+        sim_mean +=
+            sim::simulate_split(c, {lambda}, sim::SchedulingMode::Fcfs, cfg).generic_mean_response;
+      }
+      sim_mean /= 3.0;
+
+      const char* shape = "";
+      switch (dist.shape()) {
+        case sim::ServiceShape::Deterministic: shape = "det"; break;
+        case sim::ServiceShape::ErlangK: shape = "erlang"; break;
+        case sim::ServiceShape::Exponential: shape = "exp"; break;
+        case sim::ServiceShape::HyperExp2: shape = "h2"; break;
+      }
+      const double approx = ac.mean_response_time(lambda);
+      t.add_row({std::to_string(m), util::fixed(dist.scv(), 2), shape, util::fixed(approx, 4),
+                 util::fixed(sim_mean, 4),
+                 util::fixed(100.0 * (sim_mean / approx - 1.0), 2) + "%"});
+    }
+  }
+  std::cout << t.render()
+            << "\nreading: exact at m = 1 and scv = 1 (sampling noise only); a few\n"
+               "percent off for multi-server queues with extreme variability --\n"
+               "adequate for the scv sensitivity ablation it powers.\n";
+  return 0;
+}

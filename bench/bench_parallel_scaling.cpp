@@ -1,0 +1,46 @@
+// Thread-pool scaling of the sweep engine: wall time of a fixed figure
+// workload (fig04 grid, all five groups) under 1, 2, 4, 8 worker threads.
+#include <chrono>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+  const auto groups = model::size_groups();
+
+  auto workload = [&](par::ThreadPool& pool) {
+    // All five size groups x 40 lambda points, solved in the pool.
+    double checksum = 0.0;
+    for (const auto& g : groups) {
+      const opt::LoadDistributionOptimizer solver(g.cluster, queue::Discipline::Fcfs);
+      const auto grid =
+          par::linspace(1.0, 0.95 * g.cluster.max_generic_rate(), 40);
+      const auto ys =
+          par::sweep(pool, grid, [&](double lam) { return solver.optimize(lam).response_time; });
+      for (double y : ys) checksum += y;
+    }
+    return checksum;
+  };
+
+  std::cout << "=== Parallel sweep scaling (5 clusters x 40 solves each) ===\n\n";
+  util::Table t({"threads", "wall ms", "speedup"});
+  double base_ms = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    par::ThreadPool pool(threads);
+    (void)workload(pool);  // warm caches
+    const auto t0 = std::chrono::steady_clock::now();
+    const double sum = workload(pool);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (threads == 1) base_ms = ms;
+    t.add_row({std::to_string(threads), util::fixed(ms, 1), util::fixed(base_ms / ms, 2) + "x"});
+    if (sum == 0.0) std::cout << "";  // keep the optimizer honest
+  }
+  std::cout << t.render() << '\n';
+  return 0;
+}

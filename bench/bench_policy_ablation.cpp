@@ -1,0 +1,21 @@
+// Ablation the paper motivates but never quantifies: how much does the
+// optimal distribution buy over natural heuristics, per discipline and
+// load level?
+#include <iostream>
+
+#include "cloud/experiments.hpp"
+#include "cloud/report.hpp"
+#include "model/paper_configs.hpp"
+
+int main() {
+  const auto cluster = blade::model::paper_example_cluster();
+  const std::vector<double> fractions{0.25, 0.5, 0.75, 0.9};
+  for (auto d : {blade::queue::Discipline::Fcfs, blade::queue::Discipline::SpecialPriority}) {
+    std::cout << "=== Policy ablation on the Example cluster, discipline = "
+              << blade::queue::to_string(d) << " ===\n";
+    const auto rows = blade::cloud::policy_ablation(cluster, d, fractions);
+    std::cout << blade::cloud::render_ablation(rows) << '\n';
+  }
+  std::cout << "penalty = policy T' / optimal T' - 1 (0% would match the optimum)\n";
+  return 0;
+}

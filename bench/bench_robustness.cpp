@@ -1,0 +1,74 @@
+// Robustness study: the optimizer needs the special-task rates lambda''_i
+// as inputs. What happens when they are misestimated? We solve with an
+// assumed preload fraction y_hat, then evaluate that split on the *true*
+// cluster (y = 0.30). Underestimating the preload can push a server past
+// its real saturation point -- reported as overload.
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "model/paper_configs.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blade;
+
+model::Cluster cluster_with_preload(double y) {
+  std::vector<unsigned> sizes;
+  std::vector<double> speeds;
+  for (unsigned i = 1; i <= 7; ++i) {
+    sizes.push_back(2 * i);
+    speeds.push_back(1.7 - 0.1 * i);
+  }
+  return model::make_cluster(sizes, speeds, 1.0, y);
+}
+
+}  // namespace
+
+int main() {
+  const double true_y = 0.30;
+  const auto truth = cluster_with_preload(true_y);
+
+  std::cout << "=== Robustness to misestimated special-task load ===\n"
+            << "(true preload y = 0.30; optimizer fed y_hat; split evaluated on truth)\n\n";
+
+  for (double frac : {0.5, 0.8}) {
+    const double lambda = frac * truth.max_generic_rate();
+    const opt::ResponseTimeObjective true_obj(truth, queue::Discipline::Fcfs, lambda);
+    const double best =
+        opt::LoadDistributionOptimizer(truth, queue::Discipline::Fcfs).optimize(lambda)
+            .response_time;
+
+    util::Table t({"assumed y_hat", "T' on true system", "penalty vs informed"});
+    for (double y_hat : {0.20, 0.25, 0.30, 0.35, 0.40}) {
+      const auto assumed = cluster_with_preload(y_hat);
+      double value = std::numeric_limits<double>::quiet_NaN();
+      bool overloaded = false;
+      if (lambda < assumed.max_generic_rate()) {
+        const auto sol = opt::LoadDistributionOptimizer(assumed, queue::Discipline::Fcfs)
+                             .optimize(lambda);
+        for (std::size_t i = 0; i < sol.rates.size(); ++i) {
+          if (sol.rates[i] >= true_obj.rate_bound(i)) overloaded = true;
+        }
+        if (!overloaded) value = true_obj.value(sol.rates);
+      } else {
+        overloaded = true;  // assumed system cannot even admit lambda
+      }
+      t.add_row({util::fixed(y_hat, 2),
+                 overloaded ? "OVERLOAD" : util::fixed(value),
+                 overloaded ? "--"
+                            : "+" + util::fixed(100.0 * (value / best - 1.0), 3) + "%"});
+    }
+    std::cout << "lambda' = " << util::fixed(lambda, 2) << " (" << util::fixed(100 * frac, 0)
+              << "% of true saturation), informed optimum T' = " << util::fixed(best) << '\n'
+              << t.render() << '\n';
+  }
+  std::cout << "reading: moderate misestimation costs well under a percent -- the\n"
+               "optimum is flat -- but underestimating preload near saturation can\n"
+               "push small servers past their true capacity.\n";
+  return 0;
+}

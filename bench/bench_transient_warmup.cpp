@@ -1,0 +1,74 @@
+// Transient analysis: how long does each Example-1 server take to reach
+// steady state from empty? Solved exactly by uniformization on the
+// birth-death chain -- this is the principled justification for the
+// simulator's warmup truncation (and for the trace module's
+// quasi-stationarity assumption).
+#include <algorithm>
+#include <iostream>
+
+#include "model/paper_configs.hpp"
+#include "queueing/ctmc.hpp"
+#include "queueing/mmm.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blade;
+
+// Time for E[N(t)] from empty to reach 99% of the stationary mean.
+double relaxation_time(unsigned m, double xbar, double lambda) {
+  const unsigned K = 400;
+  queue::Ctmc chain(K + 1);
+  for (unsigned k = 0; k < K; ++k) chain.add_rate(k, k + 1, lambda);
+  for (unsigned k = 1; k <= K; ++k) {
+    chain.add_rate(k, k - 1, std::min(k, m) / xbar);
+  }
+  const double target = 0.99 * queue::MMmQueue(m, xbar).mean_tasks(lambda);
+  std::vector<double> start(K + 1, 0.0);
+  start[0] = 1.0;
+  double lo = 0.0, hi = 1.0;
+  auto mean_at = [&](double t) {
+    const auto pi = chain.transient(start, t);
+    double mean = 0.0;
+    for (unsigned k = 0; k <= K; ++k) mean += k * pi[k];
+    return mean;
+  };
+  while (mean_at(hi) < target) hi *= 2.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mean_at(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = model::paper_example_cluster();
+  // Example 1's merged per-server rates (generic Table-1 + special).
+  const double merged[7] = {0.6652046 + 0.96, 1.8802882 + 1.8, 2.9973639 + 2.52,
+                            3.9121948 + 3.12, 4.5646028 + 3.6, 4.8769307 + 3.96,
+                            4.6234149 + 4.2};
+
+  std::cout << "=== Time to steady state from empty (exact, uniformization) ===\n"
+            << "(Example 1 operating point; target: 99% of stationary E[N])\n\n";
+  util::Table t({"i", "m_i", "rho_i", "t_99 (s)", "t_99 / xbar"});
+  double worst = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& s = cluster.server(i);
+    const double xbar = s.mean_service_time(cluster.rbar());
+    const double rho = merged[i] * xbar / s.size();
+    const double t99 = relaxation_time(s.size(), xbar, merged[i]);
+    worst = std::max(worst, t99);
+    t.add_row({std::to_string(i + 1), std::to_string(s.size()), util::fixed(rho, 4),
+               util::fixed(t99, 2), util::fixed(t99 / xbar, 1)});
+  }
+  std::cout << t.render() << "\nslowest server relaxes in ~" << util::fixed(worst, 1)
+            << " s of simulated time; the validation benches discard a 4000 s warmup --\n"
+               "two orders of magnitude of safety margin.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared printing for the figure-regeneration benches: each bench emits
+// the paper figure's data series as long-format CSV (plottable directly)
+// plus an ASCII rendering for eyeballing the shape.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+
+#include "cloud/experiments.hpp"
+#include "cloud/series.hpp"
+
+namespace bench_common {
+
+inline void print_figure(int number, std::size_t points = 25) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fig = blade::cloud::figure(number, points);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  std::cout << "=== " << fig.id << ": " << fig.title << " ===\n";
+  std::cout << blade::cloud::ascii_plot(fig) << '\n';
+  std::cout << blade::cloud::to_csv(fig);
+  std::cout << "(" << fig.series.size() << " series, computed in " << ms << " ms)\n\n";
+}
+
+}  // namespace bench_common

@@ -1,0 +1,30 @@
+// bladecli: the command-line front end to the library. See
+// src/cli/app.hpp for the command set, or run with no arguments for
+// usage. Example:
+//
+//   cat > cluster.spec <<EOF
+//   rbar = 1.0
+//   preload = 0.3
+//   server 2 1.6
+//   server 4 1.5
+//   server 6 1.4
+//   EOF
+//   bladecli optimize cluster.spec 8.0
+//   bladecli validate cluster.spec 8.0 --priority --reps 8
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/app.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    std::cout << blade::cli::run_cli(args);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bladecli: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+// Capacity planning: the paper's rule-of-thumb says the lever on T' is
+// the saturation point lambda'_max = sum(m_i s_i / rbar - lambda''_i).
+// This example answers a concrete what-if: given a response-time SLO for
+// generic tasks and a forecast arrival rate, how many blades must be
+// added to the largest server (or how much must every blade be sped up)?
+//
+//   ./capacity_planning [target_T] [lambda]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blade;
+
+double optimal_T(const model::Cluster& c, double lambda) {
+  return opt::LoadDistributionOptimizer(c, queue::Discipline::Fcfs)
+      .optimize(lambda)
+      .response_time;
+}
+
+model::Cluster with_extra_blades(const model::Cluster& base, unsigned extra) {
+  // Grow the largest (last) server; the preload rate stays as-is, so the
+  // added blades are fully available to generic tasks.
+  std::vector<model::BladeServer> servers = base.servers();
+  const auto& last = servers.back();
+  servers.back() = model::BladeServer(last.size() + extra, last.speed(), last.special_rate());
+  return model::Cluster(std::move(servers), base.rbar());
+}
+
+model::Cluster with_speedup(const model::Cluster& base, double factor) {
+  std::vector<model::BladeServer> servers;
+  for (const auto& s : base.servers()) {
+    servers.emplace_back(s.size(), s.speed() * factor, s.special_rate());
+  }
+  return model::Cluster(std::move(servers), base.rbar());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto base = model::paper_example_cluster();
+  const double target = argc > 1 ? std::atof(argv[1]) : 0.95;
+  const double lambda = argc > 2 ? std::atof(argv[2]) : 0.62 * base.max_generic_rate();
+
+  if (lambda >= base.max_generic_rate()) {
+    std::cerr << "forecast exceeds even the current saturation point\n";
+    return 1;
+  }
+  const double current = optimal_T(base, lambda);
+  std::cout << "forecast lambda' = " << lambda << " tasks/s, SLO T' <= " << target << " s\n"
+            << "current cluster:  T' = " << util::fixed(current, 4) << " s ("
+            << (current <= target ? "meets SLO" : "violates SLO") << ")\n\n";
+  if (current <= target) return 0;
+
+  // Option 1: add blades to the largest server until the SLO holds.
+  std::cout << "option 1: grow the largest server\n";
+  util::Table t1({"extra blades", "lambda'_max", "optimal T'", "meets SLO"});
+  unsigned needed_blades = 0;
+  for (unsigned extra = 0; extra <= 64; ++extra) {
+    const auto grown = with_extra_blades(base, extra);
+    const double t = optimal_T(grown, lambda);
+    if (extra % 2 == 0 || t <= target) {
+      t1.add_row({std::to_string(extra), util::fixed(grown.max_generic_rate(), 2),
+                  util::fixed(t, 4), t <= target ? "yes" : "no"});
+    }
+    if (t <= target) {
+      needed_blades = extra;
+      break;
+    }
+  }
+  std::cout << t1.render() << "=> add " << needed_blades << " blades\n\n";
+
+  // Option 2: uniform speedup of every blade.
+  std::cout << "option 2: speed up every blade\n";
+  util::Table t2({"speedup", "optimal T'", "meets SLO"});
+  for (double f : {1.0, 1.05, 1.1, 1.15, 1.2, 1.3, 1.4, 1.5}) {
+    const auto faster = with_speedup(base, f);
+    const double t = optimal_T(faster, lambda);
+    t2.add_row({util::fixed(f, 2), util::fixed(t, 4), t <= target ? "yes" : "no"});
+    if (t <= target) break;
+  }
+  std::cout << t2.render();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Design advisor: combines the sensitivity report ("which knob helps most
+// right now?") with the blade-allocation designer ("where should the next
+// budget go?") for an operations-style answer on a concrete cluster.
+#include <iostream>
+
+#include "core/allocation.hpp"
+#include "core/optimizer.hpp"
+#include "core/sensitivity.hpp"
+#include "model/cluster.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+
+  const model::Cluster cluster(
+      {
+          model::BladeServer(4, 1.8, 2.2),
+          model::BladeServer(10, 1.1, 3.3),
+          model::BladeServer(6, 1.4, 2.5),
+      },
+      /*rbar=*/1.0);
+  const double lambda = 0.75 * cluster.max_generic_rate();
+
+  std::cout << "cluster: " << cluster.describe() << '\n'
+            << "operating at lambda' = " << util::fixed(lambda, 2) << " (75% of saturation)\n\n";
+
+  const auto sol =
+      opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs).optimize(lambda);
+  std::cout << "current optimal T' = " << util::fixed(sol.response_time, 4) << " s\n\n";
+
+  // 1. Which knob is most valuable right now?
+  const auto sens = opt::analyze_sensitivity(cluster, queue::Discipline::Fcfs, lambda);
+  util::Table t({"server", "+10% speed", "-10% special load", "+1 blade"});
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& s = cluster.server(i);
+    t.add_row({std::to_string(i + 1),
+               util::fixed(sens.dT_dspeed[i] * 0.1 * s.speed(), 5),
+               util::fixed(-sens.dT_dspecial[i] * 0.1 * s.special_rate(), 5),
+               util::fixed(sens.blade_value[i], 5)});
+  }
+  std::cout << "estimated change in T' per intervention (negative = better):\n"
+            << t.render() << '\n';
+
+  // 2. If we could repackage all 20 blades freely, what is the best layout?
+  opt::AllocationProblem p;
+  for (const auto& s : cluster.servers()) p.speeds.push_back(s.speed());
+  p.blade_budget = cluster.total_blades();
+  p.rbar = cluster.rbar();
+  p.preload_fraction = 0.5;  // roughly this cluster's average preload
+  p.lambda_total = lambda * 0.8;  // leave design headroom
+  const auto design = opt::allocate_blades(p);
+  std::vector<double> sizes_d(design.sizes.begin(), design.sizes.end());
+  std::cout << "greenfield repackaging of " << p.blade_budget
+            << " blades (design load " << util::fixed(p.lambda_total, 1)
+            << "): " << util::to_string(sizes_d, 0)
+            << " -> T' = " << util::fixed(design.response_time, 4) << " s\n";
+  return 0;
+}

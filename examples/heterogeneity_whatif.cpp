@@ -1,0 +1,49 @@
+// Heterogeneity what-if: given a fixed blade budget and total speed,
+// does it matter how the blades are packaged into servers? Recreates the
+// paper's Figs. 12-15 finding on user-adjustable configurations and
+// quantifies heterogeneity with the normalized mean absolute deviation.
+#include <iostream>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blade;
+
+  struct Variant {
+    const char* name;
+    std::vector<unsigned> sizes;
+  };
+  // 48 blades, speed 1.3 each, preload 30%, packaged five different ways.
+  const std::vector<Variant> variants = {
+      {"one-giant", {48}},
+      {"few-large", {16, 16, 16}},
+      {"balanced", {8, 8, 8, 8, 8, 8}},
+      {"mixed", {2, 4, 6, 8, 12, 16}},
+      {"many-small", std::vector<unsigned>(12, 4)},
+  };
+
+  util::Table t({"packaging", "servers", "size MAD", "T' @40%", "T' @70%", "T' @90%"});
+  t.set_align(0, util::Align::Left);
+  for (const auto& v : variants) {
+    const std::vector<double> speeds(v.sizes.size(), 1.3);
+    const auto cluster = model::make_cluster(v.sizes, speeds, 1.0, 0.3);
+    std::vector<double> sizes_d(v.sizes.begin(), v.sizes.end());
+    const double mad = util::mean_abs_deviation(sizes_d);
+    const opt::LoadDistributionOptimizer solver(cluster, queue::Discipline::Fcfs);
+    std::vector<std::string> row{v.name, std::to_string(v.sizes.size()), util::fixed(mad, 3)};
+    for (double frac : {0.4, 0.7, 0.9}) {
+      row.push_back(util::fixed(solver.optimize(frac * cluster.max_generic_rate()).response_time, 4));
+    }
+    t.add_row(row);
+  }
+  std::cout << "48 blades at speed 1.3, 30% preload, optimally balanced generic load\n"
+            << t.render()
+            << "\nreading: one big pool always wins (economy of scale in M/M/m);\n"
+               "among multi-server packagings the differences are small, echoing the\n"
+               "paper's finding that size heterogeneity hardly moves T'.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// One-shot reproduction summary: everything the paper's evaluation
+// reports, in one run -- both tables digit-for-digit, one representative
+// figure, and the simulation validation the paper lacks. For the full
+// figure set run the binaries in build/bench/.
+#include <iostream>
+
+#include "cloud/experiments.hpp"
+#include "cloud/report.hpp"
+#include "cloud/series.hpp"
+
+int main() {
+  using namespace blade;
+
+  std::cout << "################################################################\n"
+            << "# Li, 'Optimal Load Distribution for Multiple Heterogeneous\n"
+            << "# Blade Servers in a Cloud Computing Environment' (IPDPS-W 2011)\n"
+            << "# -- reproduction summary\n"
+            << "################################################################\n\n";
+
+  std::cout << cloud::render_example_table(
+                   cloud::example_table(queue::Discipline::Fcfs),
+                   "Table 1 (Example 1, special tasks without priority)")
+            << "paper: T' = 0.8964703\n\n";
+
+  std::cout << cloud::render_example_table(
+                   cloud::example_table(queue::Discipline::SpecialPriority),
+                   "Table 2 (Example 2, special tasks with priority)")
+            << "paper: T' = 0.9209392\n\n";
+
+  std::cout << "Figure 4 (impact of server sizes, no priority), 5 size groups:\n";
+  std::cout << cloud::ascii_plot(cloud::figure(4, 16)) << '\n';
+
+  std::cout << "Simulation validation (the check the paper never ran):\n";
+  std::cout << cloud::render_validation(cloud::validate_examples(4, 20000.0, 2000.0));
+  std::cout << "\nAll twelve figures: bench_fig*; ablations/extensions: other bench_* binaries.\n";
+  return 0;
+}

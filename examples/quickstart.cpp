@@ -1,0 +1,56 @@
+// Quickstart: describe a small heterogeneous blade center, ask the
+// optimizer for the load distribution that minimizes the mean response
+// time of generic tasks, and print the result.
+//
+//   ./quickstart [lambda]
+//
+// The optional argument is the total generic arrival rate (tasks per
+// second); it defaults to 60% of the cluster's saturation point.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blade;
+
+  // Three blade servers: (blades, GIPS per blade, special-task rate).
+  // Server A: small and fast; B: large and slow; C: mid-sized, lightly
+  // preloaded. Mean task size 1.0 giga-instructions.
+  const model::Cluster cluster(
+      {
+          model::BladeServer(4, 2.0, 2.0),   // A
+          model::BladeServer(16, 0.9, 4.0),  // B
+          model::BladeServer(8, 1.4, 1.0),   // C
+      },
+      /*rbar=*/1.0);
+
+  double lambda = 0.6 * cluster.max_generic_rate();
+  if (argc > 1) lambda = std::atof(argv[1]);
+  if (!(lambda > 0.0) || lambda >= cluster.max_generic_rate()) {
+    std::cerr << "lambda must be in (0, " << cluster.max_generic_rate() << ")\n";
+    return 1;
+  }
+
+  std::cout << "cluster: " << cluster.describe() << '\n'
+            << "distributing lambda' = " << lambda << " generic tasks/s\n\n";
+
+  for (auto d : {queue::Discipline::Fcfs, queue::Discipline::SpecialPriority}) {
+    const opt::LoadDistributionOptimizer solver(cluster, d);
+    const auto sol = solver.optimize(lambda);
+
+    util::Table t({"server", "blades", "speed", "lambda'_i", "rho_i", "T'_i"});
+    const char* names[] = {"A", "B", "C"};
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      t.add_row({names[i], std::to_string(cluster.server(i).size()),
+                 util::fixed(cluster.server(i).speed(), 1), util::fixed(sol.rates[i], 4),
+                 util::fixed(sol.utilizations[i], 4), util::fixed(sol.response_times[i], 4)});
+    }
+    std::cout << "discipline: " << queue::to_string(d) << '\n'
+              << t.render() << "minimized mean generic response time T' = "
+              << util::fixed(sol.response_time, 4) << " s\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,321 @@
+#include "cli/app.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cli/spec.hpp"
+#include "cloud/consolidation.hpp"
+#include "cloud/experiments.hpp"
+#include "cloud/series.hpp"
+#include "cloud/trace.hpp"
+#include "core/allocation.hpp"
+#include "core/optimizer.hpp"
+#include "core/sensitivity.hpp"
+#include "parallel/sweep.hpp"
+#include "queueing/waiting_distribution.hpp"
+#include "sim/simulation.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace blade::cli {
+
+namespace {
+
+opt::LoadDistributionOptimizer make_solver(const model::Cluster& cluster,
+                                           const CommonOptions& opts) {
+  opt::OptimizerOptions oo;
+  oo.service_scv = opts.service_scv;
+  return opt::LoadDistributionOptimizer(cluster, opts.discipline, oo);
+}
+
+void check_lambda(const model::Cluster& cluster, double lambda) {
+  if (!(lambda > 0.0) || lambda >= cluster.max_generic_rate()) {
+    throw std::invalid_argument("lambda must be in (0, " +
+                                std::to_string(cluster.max_generic_rate()) + ")");
+  }
+}
+
+}  // namespace
+
+std::string run_optimize(const model::Cluster& cluster, double lambda,
+                         const CommonOptions& opts) {
+  check_lambda(cluster, lambda);
+  const auto sol = make_solver(cluster, opts).optimize(lambda);
+  util::Table t({"i", "m_i", "s_i", "lambda'_i", "lambda''_i", "rho_i", "T'_i"});
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& s = cluster.server(i);
+    t.add_row({std::to_string(i + 1), std::to_string(s.size()), util::fixed(s.speed(), 3),
+               util::fixed(sol.rates[i]), util::fixed(s.special_rate()),
+               util::fixed(sol.utilizations[i]), util::fixed(sol.response_times[i])});
+  }
+  std::ostringstream os;
+  os << cluster.describe() << '\n'
+     << "discipline = " << queue::to_string(opts.discipline) << ", scv = " << opts.service_scv
+     << ", lambda' = " << lambda << "\n\n"
+     << t.render() << "minimized T' = " << util::fixed(sol.response_time) << "  (phi = "
+     << util::fixed(sol.phi) << ")\n";
+  return os.str();
+}
+
+std::string run_sweep(const model::Cluster& cluster, double lo, double hi, std::size_t points,
+                      const CommonOptions& opts) {
+  if (points < 2) throw std::invalid_argument("sweep needs at least 2 points");
+  check_lambda(cluster, lo);
+  check_lambda(cluster, hi);
+  if (!(hi > lo)) throw std::invalid_argument("sweep needs hi > lo");
+  const auto solver = make_solver(cluster, opts);
+  const auto grid = par::linspace(lo, hi, points);
+  const auto ys =
+      par::sweep(grid, [&](double lambda) { return solver.optimize(lambda).response_time; });
+  std::ostringstream os;
+  os << "lambda,T\n";
+  os.setf(std::ios::fixed);
+  os.precision(7);
+  for (std::size_t i = 0; i < grid.size(); ++i) os << grid[i] << ',' << ys[i] << '\n';
+  return os.str();
+}
+
+std::string run_validate(const model::Cluster& cluster, double lambda, int replications,
+                         std::uint64_t seed, const CommonOptions& opts) {
+  check_lambda(cluster, lambda);
+  if (opts.service_scv != 1.0) {
+    throw std::invalid_argument(
+        "validate requires scv = 1 (the simulator draws exponential task sizes)");
+  }
+  const auto sol = make_solver(cluster, opts).optimize(lambda);
+  sim::SimConfig cfg;
+  cfg.horizon = 40000.0;
+  cfg.warmup = 4000.0;
+  cfg.seed = seed;
+  const auto mode = sim::to_mode(opts.discipline);
+  const auto rep = sim::replicate(
+      [&](const sim::SimConfig& c) { return sim::simulate_split(cluster, sol.rates, mode, c); },
+      cfg, replications);
+  std::ostringstream os;
+  os << "analytic  T' = " << util::fixed(sol.response_time) << '\n'
+     << "simulated T' = " << util::fixed(rep.generic_response.mean) << " +/- "
+     << util::fixed(rep.generic_response.half_width) << " (95% CI, " << replications
+     << " replications)\n"
+     << "analytic value " << (rep.generic_response.contains(sol.response_time) ? "IS" : "is NOT")
+     << " inside the confidence interval\n";
+  return os.str();
+}
+
+std::string run_sensitivity(const model::Cluster& cluster, double lambda,
+                            const CommonOptions& opts) {
+  check_lambda(cluster, lambda);
+  if (opts.service_scv != 1.0) {
+    throw std::invalid_argument("sensitivity currently reports the exact (scv = 1) model");
+  }
+  const auto rep = opt::analyze_sensitivity(cluster, opts.discipline, lambda);
+  util::Table t({"server", "dT/ds_i", "dT/dlambda''_i", "one extra blade"});
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    t.add_row({std::to_string(i + 1), util::fixed(rep.dT_dspeed[i], 6),
+               util::fixed(rep.dT_dspecial[i], 6), util::fixed(rep.blade_value[i], 6)});
+  }
+  std::ostringstream os;
+  os << "dT'/dlambda' = " << util::fixed(rep.dT_dlambda, 6)
+     << "   dT'/drbar = " << util::fixed(rep.dT_drbar, 6) << "\n\n"
+     << t.render()
+     << "negative entries reduce T' (speed, blades); positive ones increase it.\n";
+  return os.str();
+}
+
+std::string run_percentiles(const model::Cluster& cluster, double lambda,
+                            const CommonOptions& opts) {
+  check_lambda(cluster, lambda);
+  if (opts.discipline != queue::Discipline::Fcfs || opts.service_scv != 1.0) {
+    throw std::invalid_argument(
+        "percentiles uses the exact FCFS M/M/m distribution (no --priority / --scv)");
+  }
+  const auto sol = make_solver(cluster, opts).optimize(lambda);
+  util::Table t({"i", "lambda'_i", "P(wait)", "p50 T", "p90 T", "p99 T"});
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& s = cluster.server(i);
+    if (sol.rates[i] <= 1e-12) {
+      t.add_row({std::to_string(i + 1), "0", "--", "--", "--", "--"});
+      continue;
+    }
+    const queue::WaitingTimeDistribution d(s.size(), s.mean_service_time(cluster.rbar()),
+                                           sol.rates[i] + s.special_rate());
+    t.add_row({std::to_string(i + 1), util::fixed(sol.rates[i], 4),
+               util::fixed(d.prob_queueing(), 4), util::fixed(d.response_quantile(0.5), 4),
+               util::fixed(d.response_quantile(0.9), 4),
+               util::fixed(d.response_quantile(0.99), 4)});
+  }
+  std::ostringstream os;
+  os << "per-server generic response-time percentiles at the optimal split\n"
+     << "(lambda' = " << lambda << ", mean T' = " << util::fixed(sol.response_time, 4) << ")\n"
+     << t.render();
+  return os.str();
+}
+
+std::string run_allocate(const model::Cluster& cluster, double lambda,
+                         const CommonOptions& opts) {
+  check_lambda(cluster, lambda);
+  opt::AllocationProblem p;
+  for (const auto& s : cluster.servers()) p.speeds.push_back(s.speed());
+  p.blade_budget = cluster.total_blades();
+  p.rbar = cluster.rbar();
+  // Use the cluster's average preload fraction as the design preload.
+  double util_sum = 0.0;
+  for (const auto& s : cluster.servers()) util_sum += s.special_utilization(cluster.rbar());
+  p.preload_fraction = util_sum / static_cast<double>(cluster.size());
+  p.discipline = opts.discipline;
+  p.lambda_total = lambda;
+  const auto res = opt::allocate_blades(p);
+
+  const auto current = make_solver(cluster, opts).optimize(lambda);
+  std::vector<double> sizes_d(res.sizes.begin(), res.sizes.end());
+  std::ostringstream os;
+  os << "current layout T' = " << util::fixed(current.response_time) << '\n'
+     << "redesigned blades per chassis: " << util::to_string(sizes_d, 0)
+     << "  -> T' = " << util::fixed(res.response_time) << " (" << res.evaluations
+     << " inner solves)\n";
+  return os.str();
+}
+
+std::string run_trace(const model::Cluster& cluster, double trough, double peak,
+                      const CommonOptions& opts) {
+  if (opts.service_scv != 1.0) {
+    throw std::invalid_argument("trace uses the exact (scv = 1) model");
+  }
+  const auto profile = cloud::diurnal_profile(trough, peak, 24);
+  const auto adaptive = cloud::run_adaptive(cluster, opts.discipline, profile);
+  const double mean_rate = 0.5 * (trough + peak);
+  const auto fixed = cloud::run_static(cluster, opts.discipline, profile, mean_rate);
+  std::ostringstream os;
+  os << "diurnal profile: 24 epochs, lambda' in [" << trough << ", " << peak << "]\n"
+     << "adaptive (re-solve per epoch): mean T' = " << util::fixed(adaptive.mean_response_time, 4)
+     << '\n'
+     << "static split designed at " << mean_rate
+     << ": mean T' = " << util::fixed(fixed.mean_response_time, 4) << " ("
+     << fixed.overloaded_epochs << " overloaded epochs)\n";
+  return os.str();
+}
+
+std::string run_figure(int number, const std::string& format, std::size_t points) {
+  const auto fig = cloud::figure(number, points);
+  if (format == "csv") return cloud::to_csv(fig);
+  if (format == "json") return cloud::to_json(fig) + "\n";
+  if (format == "ascii") return cloud::ascii_plot(fig);
+  throw std::invalid_argument("figures: format must be csv, json, or ascii");
+}
+
+std::string run_consolidate(const model::Cluster& cluster, double trough, double peak,
+                            double slo, const CommonOptions& opts) {
+  if (opts.service_scv != 1.0) {
+    throw std::invalid_argument("consolidate uses the exact (scv = 1) model");
+  }
+  const auto profile = cloud::diurnal_profile(trough, peak, 24);
+  const auto plan = cloud::plan_consolidation(cluster, opts.discipline, profile, slo);
+  unsigned lo = cluster.total_blades();
+  unsigned hi = 0;
+  for (const auto& e : plan.epochs) {
+    lo = std::min(lo, e.total_active);
+    hi = std::max(hi, e.total_active);
+  }
+  std::ostringstream os;
+  os << "diurnal day, lambda' in [" << trough << ", " << peak << "], SLO T' <= " << slo << '\n'
+     << "active blades: " << lo << " (off-peak) .. " << hi << " (peak) of "
+     << cluster.total_blades() << '\n'
+     << "blade-time switched off: " << util::fixed(100.0 * plan.energy_savings(), 1) << "%\n";
+  return os.str();
+}
+
+std::string usage() {
+  return "usage: bladecli <command> <spec-file> [args] [flags]\n"
+         "\n"
+         "commands:\n"
+         "  optimize <spec> <lambda>                solve one instance\n"
+         "  sweep <spec> <lo> <hi> <points>         T' over a lambda grid (CSV)\n"
+         "  validate <spec> <lambda>                simulate at the optimum\n"
+         "  sensitivity <spec> <lambda>             parameter sensitivities\n"
+         "  percentiles <spec> <lambda>             per-server response percentiles\n"
+         "  allocate <spec> <lambda>                repack blades across chassis\n"
+         "  trace <spec> <trough> <peak>            diurnal-profile study\n"
+         "  figures <number> <csv|json|ascii>       regenerate a paper figure (4..15)\n"
+         "  consolidate <spec> <trough> <peak> <slo> blade power-down plan\n"
+         "\n"
+         "flags:\n"
+         "  --priority        special tasks get non-preemptive priority\n"
+         "  --scv <x>         task-size SCV (default 1 = exponential)\n"
+         "  --reps <n>        validate: replications (default 6)\n"
+         "  --seed <n>        validate: base seed (default 1)\n";
+}
+
+std::string run_cli(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  CommonOptions opts;
+  int reps = 6;
+  std::uint64_t seed = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) throw std::invalid_argument(std::string(flag) + " needs a value");
+      return args[++i];
+    };
+    if (a == "--priority") {
+      opts.discipline = queue::Discipline::SpecialPriority;
+    } else if (a == "--scv") {
+      opts.service_scv = std::stod(next("--scv"));
+    } else if (a == "--reps") {
+      reps = std::stoi(next("--reps"));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::stoull(next("--seed")));
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::invalid_argument("unknown flag '" + a + "'\n" + usage());
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.empty()) throw std::invalid_argument(usage());
+  const std::string& cmd = pos[0];
+  auto need = [&](std::size_t n, const char* shape) {
+    if (pos.size() != n) {
+      throw std::invalid_argument(std::string("usage: bladecli ") + shape);
+    }
+  };
+  if (cmd == "optimize") {
+    need(3, "optimize <spec> <lambda>");
+    return run_optimize(load_cluster_spec(pos[1]), std::stod(pos[2]), opts);
+  }
+  if (cmd == "sweep") {
+    need(5, "sweep <spec> <lo> <hi> <points>");
+    return run_sweep(load_cluster_spec(pos[1]), std::stod(pos[2]), std::stod(pos[3]),
+                     static_cast<std::size_t>(std::stoul(pos[4])), opts);
+  }
+  if (cmd == "validate") {
+    need(3, "validate <spec> <lambda>");
+    return run_validate(load_cluster_spec(pos[1]), std::stod(pos[2]), reps, seed, opts);
+  }
+  if (cmd == "sensitivity") {
+    need(3, "sensitivity <spec> <lambda>");
+    return run_sensitivity(load_cluster_spec(pos[1]), std::stod(pos[2]), opts);
+  }
+  if (cmd == "percentiles") {
+    need(3, "percentiles <spec> <lambda>");
+    return run_percentiles(load_cluster_spec(pos[1]), std::stod(pos[2]), opts);
+  }
+  if (cmd == "allocate") {
+    need(3, "allocate <spec> <lambda>");
+    return run_allocate(load_cluster_spec(pos[1]), std::stod(pos[2]), opts);
+  }
+  if (cmd == "trace") {
+    need(4, "trace <spec> <trough> <peak>");
+    return run_trace(load_cluster_spec(pos[1]), std::stod(pos[2]), std::stod(pos[3]), opts);
+  }
+  if (cmd == "figures") {
+    need(3, "figures <number> <csv|json|ascii>");
+    return run_figure(std::stoi(pos[1]), pos[2]);
+  }
+  if (cmd == "consolidate") {
+    need(5, "consolidate <spec> <trough> <peak> <slo>");
+    return run_consolidate(load_cluster_spec(pos[1]), std::stod(pos[2]), std::stod(pos[3]),
+                           std::stod(pos[4]), opts);
+  }
+  throw std::invalid_argument("unknown command '" + cmd + "'\n" + usage());
+}
+
+}  // namespace blade::cli

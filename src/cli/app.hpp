@@ -1,0 +1,68 @@
+// Command layer of the bladecli tool. Each command is a pure function
+// from parsed options to report text, so the whole surface is unit
+// testable without process spawning; examples/bladecli.cpp is a thin
+// argv wrapper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::cli {
+
+struct CommonOptions {
+  queue::Discipline discipline = queue::Discipline::Fcfs;
+  double service_scv = 1.0;  ///< task-size variability (1 = exponential)
+};
+
+/// `optimize`: solve one instance and print the paper-style table.
+[[nodiscard]] std::string run_optimize(const model::Cluster& cluster, double lambda,
+                                       const CommonOptions& opts);
+
+/// `sweep`: minimized T' over a lambda' grid, printed as CSV.
+[[nodiscard]] std::string run_sweep(const model::Cluster& cluster, double lo, double hi,
+                                    std::size_t points, const CommonOptions& opts);
+
+/// `validate`: optimize, simulate at the optimal rates, report CI.
+[[nodiscard]] std::string run_validate(const model::Cluster& cluster, double lambda,
+                                       int replications, std::uint64_t seed,
+                                       const CommonOptions& opts);
+
+/// `sensitivity`: which parameter moves T'* the most on this cluster.
+[[nodiscard]] std::string run_sensitivity(const model::Cluster& cluster, double lambda,
+                                          const CommonOptions& opts);
+
+/// `percentiles`: per-server waiting/response percentiles of generic
+/// tasks at the optimal split (FCFS closed forms; exact model only).
+[[nodiscard]] std::string run_percentiles(const model::Cluster& cluster, double lambda,
+                                          const CommonOptions& opts);
+
+/// `allocate`: integer blade-allocation design over the cluster's chassis
+/// speeds with the same total blade count.
+[[nodiscard]] std::string run_allocate(const model::Cluster& cluster, double lambda,
+                                       const CommonOptions& opts);
+
+/// `trace`: diurnal-profile study (adaptive vs static split).
+[[nodiscard]] std::string run_trace(const model::Cluster& cluster, double trough, double peak,
+                                    const CommonOptions& opts);
+
+/// `figures`: regenerate a paper figure (4..15) as CSV or JSON. This one
+/// does not take a spec file -- the figures define their own clusters.
+[[nodiscard]] std::string run_figure(int number, const std::string& format,
+                                     std::size_t points = 25);
+
+/// `consolidate`: SLO-constrained blade power-down over a diurnal day.
+[[nodiscard]] std::string run_consolidate(const model::Cluster& cluster, double trough,
+                                          double peak, double slo, const CommonOptions& opts);
+
+/// Usage text for the argv wrapper.
+[[nodiscard]] std::string usage();
+
+/// Full argv driver: parses arguments (argv[0] ignored), loads the spec,
+/// dispatches, and returns the report. Throws SpecError /
+/// std::invalid_argument with a user-facing message on bad input.
+[[nodiscard]] std::string run_cli(const std::vector<std::string>& args);
+
+}  // namespace blade::cli

@@ -1,0 +1,133 @@
+#include "cli/spec.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace blade::cli {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw SpecError("spec line " + std::to_string(line_no) + ": " + what);
+}
+
+double parse_double(const std::string& tok, std::size_t line_no, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) fail(line_no, std::string("trailing junk in ") + what);
+    return v;
+  } catch (const SpecError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line_no, std::string("cannot parse ") + what + " '" + tok + "'");
+  }
+}
+
+unsigned parse_unsigned(const std::string& tok, std::size_t line_no, const char* what) {
+  const double v = parse_double(tok, line_no, what);
+  if (v < 1.0 || v != static_cast<double>(static_cast<unsigned>(v))) {
+    fail(line_no, std::string(what) + " must be a positive integer");
+  }
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+model::Cluster parse_cluster_spec(const std::string& text) {
+  double rbar = 1.0;
+  std::optional<double> preload;
+  struct Row {
+    unsigned blades;
+    double speed;
+    std::optional<double> special;
+    std::size_t line_no;
+  };
+  std::vector<Row> rows;
+
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = util::trim(raw);
+    if (line.empty()) continue;
+
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head == "server") {
+      std::vector<std::string> toks;
+      std::string t;
+      while (ls >> t) toks.push_back(t);
+      if (toks.size() < 2 || toks.size() > 3) {
+        fail(line_no, "expected 'server <blades> <speed> [special_rate]'");
+      }
+      Row row;
+      row.blades = parse_unsigned(toks[0], line_no, "blade count");
+      row.speed = parse_double(toks[1], line_no, "speed");
+      if (!(row.speed > 0.0)) fail(line_no, "speed must be > 0");
+      if (toks.size() == 3) {
+        row.special = parse_double(toks[2], line_no, "special rate");
+        if (*row.special < 0.0) fail(line_no, "special rate must be >= 0");
+      }
+      row.line_no = line_no;
+      rows.push_back(row);
+    } else if (head == "rbar" || head == "preload") {
+      std::string eq, val;
+      ls >> eq >> val;
+      if (eq != "=" || val.empty()) fail(line_no, "expected '" + head + " = <value>'");
+      const double v = parse_double(val, line_no, head.c_str());
+      if (head == "rbar") {
+        if (!(v > 0.0)) fail(line_no, "rbar must be > 0");
+        rbar = v;
+      } else {
+        if (!(v >= 0.0) || v >= 1.0) fail(line_no, "preload must be in [0, 1)");
+        preload = v;
+      }
+    } else {
+      fail(line_no, "unknown directive '" + head + "'");
+    }
+  }
+
+  if (rows.empty()) throw SpecError("spec contains no 'server' lines");
+  std::vector<model::BladeServer> servers;
+  servers.reserve(rows.size());
+  for (const auto& row : rows) {
+    double special;
+    if (row.special) {
+      special = *row.special;
+    } else if (preload) {
+      special = *preload * row.blades * row.speed / rbar;
+    } else {
+      fail(row.line_no, "server has no special rate and no 'preload =' default was given");
+    }
+    servers.emplace_back(row.blades, row.speed, special);
+  }
+  return model::Cluster(std::move(servers), rbar);
+}
+
+model::Cluster load_cluster_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SpecError("cannot open spec file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_cluster_spec(buf.str());
+}
+
+std::string to_spec(const model::Cluster& cluster) {
+  std::ostringstream os;
+  os << "rbar = " << cluster.rbar() << '\n';
+  for (const auto& s : cluster.servers()) {
+    os << "server " << s.size() << ' ' << s.speed() << ' ' << s.special_rate() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace blade::cli

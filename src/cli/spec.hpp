@@ -1,0 +1,37 @@
+// Text format for cluster specifications, so the CLI (and scripts) can
+// describe a blade center without recompiling:
+//
+//   # comment
+//   rbar = 1.0            # mean task size (default 1.0)
+//   preload = 0.3         # default special load as a capacity fraction
+//   server 2 1.6          # blades speed        -> special rate from preload
+//   server 4 1.5 1.8      # blades speed rate   -> explicit special rate
+//
+// Lines are whitespace-separated; '#' starts a comment; blank lines are
+// ignored. Parsing errors carry the line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "model/cluster.hpp"
+
+namespace blade::cli {
+
+/// Thrown on malformed specs; the message names the offending line.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a spec document into a Cluster.
+[[nodiscard]] model::Cluster parse_cluster_spec(const std::string& text);
+
+/// Reads and parses a spec file.
+[[nodiscard]] model::Cluster load_cluster_spec(const std::string& path);
+
+/// Serializes a cluster back into spec text (round-trips through
+/// parse_cluster_spec).
+[[nodiscard]] std::string to_spec(const model::Cluster& cluster);
+
+}  // namespace blade::cli

@@ -1,0 +1,97 @@
+#include "cloud/consolidation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/optimizer.hpp"
+
+namespace blade::cloud {
+
+namespace {
+
+model::Cluster with_active(const model::Cluster& base, const std::vector<unsigned>& active) {
+  std::vector<model::BladeServer> servers;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (active[i] == 0) continue;  // fully off (only allowed without special load)
+    const auto& s = base.server(i);
+    servers.emplace_back(active[i], s.speed(), s.special_rate());
+  }
+  return model::Cluster(std::move(servers), base.rbar());
+}
+
+/// Optimal T' on the reduced cluster; +inf when infeasible/unstable.
+double evaluate(const model::Cluster& base, const std::vector<unsigned>& active,
+                queue::Discipline d, double lambda) {
+  // Validate per-server stability for the special streams first.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const auto& s = base.server(i);
+    if (active[i] == 0) {
+      if (s.special_rate() > 0.0) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double rho2 = s.special_rate() * base.rbar() / (s.speed() * active[i]);
+    if (rho2 >= 0.999) return std::numeric_limits<double>::infinity();
+  }
+  const auto reduced = with_active(base, active);
+  if (reduced.max_generic_rate() * 0.999 <= lambda) {
+    return std::numeric_limits<double>::infinity();
+  }
+  opt::OptimizerOptions opts;
+  opts.rate_tolerance = 1e-10;
+  opts.phi_tolerance = 1e-10;
+  return opt::LoadDistributionOptimizer(reduced, d, opts).optimize(lambda).response_time;
+}
+
+}  // namespace
+
+ConsolidationPlan plan_consolidation(const model::Cluster& cluster, queue::Discipline d,
+                                     const LoadProfile& profile, double slo) {
+  if (!(slo > 0.0)) throw std::invalid_argument("plan_consolidation: slo must be > 0");
+  if (profile.epoch_rates.empty()) throw std::invalid_argument("plan_consolidation: empty profile");
+
+  std::vector<unsigned> full(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) full[i] = cluster.server(i).size();
+
+  ConsolidationPlan plan;
+  for (double lambda : profile.epoch_rates) {
+    const double full_T = evaluate(cluster, full, d, lambda);
+    if (!(full_T <= slo)) {
+      throw std::invalid_argument(
+          "plan_consolidation: even the full cluster misses the SLO in some epoch");
+    }
+    std::vector<unsigned> active = full;
+    double current = full_T;
+    // Greedy deactivation: in each round switch off the blade whose
+    // removal keeps T'* lowest, while the SLO still holds.
+    for (;;) {
+      std::size_t best = cluster.size();
+      double best_T = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        if (active[i] == 0) continue;
+        --active[i];
+        const double t = evaluate(cluster, active, d, lambda);
+        ++active[i];
+        if (t <= slo && t < best_T) {
+          best_T = t;
+          best = i;
+        }
+      }
+      if (best == cluster.size()) break;  // no blade can be switched off
+      --active[best];
+      current = best_T;
+    }
+
+    EpochPlan ep;
+    ep.lambda = lambda;
+    ep.active_blades = active;
+    for (unsigned a : active) ep.total_active += a;
+    ep.response_time = current;
+    plan.full_blade_epochs += static_cast<double>(cluster.total_blades());
+    plan.active_blade_epochs += static_cast<double>(ep.total_active);
+    plan.epochs.push_back(std::move(ep));
+  }
+  return plan;
+}
+
+}  // namespace blade::cloud

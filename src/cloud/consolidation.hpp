@@ -1,0 +1,45 @@
+// Server consolidation planner -- the paper's own motivation ("many
+// companies typically run at 15-20% of their capacity"): given a
+// time-varying load profile and a response-time SLO, how many blades can
+// be powered off in each epoch?
+//
+// Per epoch the planner deactivates blades greedily (always the blade
+// whose removal hurts the re-optimized T'* least) for as long as the SLO
+// and stability hold. Special tasks pin their server: a server is never
+// reduced below the capacity its dedicated stream needs, and at least
+// one blade stays on per server with special load.
+#pragma once
+
+#include <vector>
+
+#include "cloud/trace.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::cloud {
+
+struct EpochPlan {
+  double lambda = 0.0;
+  std::vector<unsigned> active_blades;  ///< per server
+  unsigned total_active = 0;
+  double response_time = 0.0;  ///< optimal T' on the reduced cluster
+};
+
+struct ConsolidationPlan {
+  std::vector<EpochPlan> epochs;
+  double full_blade_epochs = 0.0;   ///< blades x epochs if nothing is off
+  double active_blade_epochs = 0.0;  ///< blades x epochs actually on
+  /// 1 - active/full: fraction of blade-time switched off.
+  [[nodiscard]] double energy_savings() const noexcept {
+    return full_blade_epochs > 0.0 ? 1.0 - active_blade_epochs / full_blade_epochs : 0.0;
+  }
+};
+
+/// Plans blade activations per epoch. Throws if even the full cluster
+/// misses the SLO in some epoch.
+/// @param slo  upper bound on the optimal mean generic response time
+[[nodiscard]] ConsolidationPlan plan_consolidation(const model::Cluster& cluster,
+                                                   queue::Discipline d, const LoadProfile& profile,
+                                                   double slo);
+
+}  // namespace blade::cloud

@@ -1,0 +1,174 @@
+#include "cloud/experiments.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/policies.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sim/simulation.hpp"
+
+namespace blade::cloud {
+
+ExampleTable example_table(queue::Discipline d) {
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  const opt::LoadDistributionOptimizer solver(cluster, d);
+  const auto sol = solver.optimize(lambda);
+
+  ExampleTable t;
+  t.lambda_total = lambda;
+  t.response_time = sol.response_time;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& srv = cluster.server(i);
+    ExampleRow row;
+    row.index = static_cast<int>(i) + 1;
+    row.size = srv.size();
+    row.speed = srv.speed();
+    row.service_time = srv.mean_service_time(cluster.rbar());
+    row.generic_rate = sol.rates[i];
+    row.special_rate = srv.special_rate();
+    row.utilization = sol.utilizations[i];
+    t.rows.push_back(row);
+  }
+  return t;
+}
+
+FigureData response_time_figure(const std::string& id, const std::string& title,
+                                const std::vector<model::NamedCluster>& groups,
+                                queue::Discipline d, std::size_t points, double lo,
+                                double hi_fraction) {
+  if (groups.empty()) throw std::invalid_argument("response_time_figure: no groups");
+  FigureData fig;
+  fig.id = id;
+  fig.title = title;
+  fig.xlabel = "lambda'";
+  fig.ylabel = "T'";
+  fig.series.resize(groups.size());
+
+  double overall_hi = 0.0;
+  for (const auto& g : groups) {
+    overall_hi = std::max(overall_hi, hi_fraction * g.cluster.max_generic_rate());
+  }
+  if (!(overall_hi > lo)) throw std::invalid_argument("response_time_figure: empty lambda range");
+
+  // Common absolute grid; each group keeps the points below its own
+  // saturation so the curves end where the paper's do.
+  std::vector<double> grid(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    grid[k] = lo + (overall_hi - lo) * static_cast<double>(k) / static_cast<double>(points - 1);
+  }
+
+  par::parallel_for(0, groups.size(), [&](std::size_t gi) {
+    const auto& group = groups[gi];
+    const double cutoff = hi_fraction * group.cluster.max_generic_rate();
+    const opt::LoadDistributionOptimizer solver(group.cluster, d);
+    Series s;
+    s.label = group.name;
+    for (double lambda : grid) {
+      if (lambda > cutoff) break;
+      s.x.push_back(lambda);
+      s.y.push_back(solver.optimize(lambda).response_time);
+    }
+    fig.series[gi] = std::move(s);
+  });
+  return fig;
+}
+
+FigureData figure(int number, std::size_t points) {
+  using queue::Discipline;
+  const Discipline fcfs = Discipline::Fcfs;
+  const Discipline prio = Discipline::SpecialPriority;
+  switch (number) {
+    case 4:
+      return response_time_figure("fig04", "T' vs lambda' for five size groups (no priority)",
+                                  model::size_groups(), fcfs, points);
+    case 5:
+      return response_time_figure("fig05", "T' vs lambda' for five size groups (priority)",
+                                  model::size_groups(), prio, points);
+    case 6:
+      return response_time_figure("fig06", "T' vs lambda' and s (no priority)",
+                                  model::speed_groups(), fcfs, points);
+    case 7:
+      return response_time_figure("fig07", "T' vs lambda' and s (priority)",
+                                  model::speed_groups(), prio, points);
+    case 8:
+      return response_time_figure("fig08", "T' vs lambda' and rbar (no priority)",
+                                  model::requirement_groups(), fcfs, points);
+    case 9:
+      return response_time_figure("fig09", "T' vs lambda' and rbar (priority)",
+                                  model::requirement_groups(), prio, points);
+    case 10:
+      return response_time_figure("fig10", "T' vs lambda' and special load y (no priority)",
+                                  model::special_rate_groups(), fcfs, points);
+    case 11:
+      return response_time_figure("fig11", "T' vs lambda' and special load y (priority)",
+                                  model::special_rate_groups(), prio, points);
+    case 12:
+      return response_time_figure("fig12", "T' vs lambda' for size heterogeneity (no priority)",
+                                  model::size_heterogeneity_groups(), fcfs, points);
+    case 13:
+      return response_time_figure("fig13", "T' vs lambda' for size heterogeneity (priority)",
+                                  model::size_heterogeneity_groups(), prio, points);
+    case 14:
+      return response_time_figure("fig14", "T' vs lambda' for speed heterogeneity (no priority)",
+                                  model::speed_heterogeneity_groups(), fcfs, points);
+    case 15:
+      return response_time_figure("fig15", "T' vs lambda' for speed heterogeneity (priority)",
+                                  model::speed_heterogeneity_groups(), prio, points);
+    default:
+      throw std::invalid_argument("figure: paper figures are numbered 4..15");
+  }
+}
+
+std::vector<ValidationRow> validate_examples(int replications, double horizon, double warmup) {
+  std::vector<ValidationRow> rows;
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  for (queue::Discipline d : {queue::Discipline::Fcfs, queue::Discipline::SpecialPriority}) {
+    const opt::LoadDistributionOptimizer solver(cluster, d);
+    const auto sol = solver.optimize(lambda);
+
+    sim::SimConfig cfg;
+    cfg.horizon = horizon;
+    cfg.warmup = warmup;
+    const auto mode = sim::to_mode(d);
+    const auto rep = sim::replicate(
+        [&](const sim::SimConfig& c) { return sim::simulate_split(cluster, sol.rates, mode, c); },
+        cfg, replications);
+
+    ValidationRow row;
+    row.label = d == queue::Discipline::Fcfs ? "example1 (fcfs)" : "example2 (priority)";
+    row.analytic = sol.response_time;
+    row.simulated = rep.generic_response.mean;
+    row.ci_half = rep.generic_response.half_width;
+    row.within_ci = rep.generic_response.contains(sol.response_time);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<AblationRow> policy_ablation(const model::Cluster& cluster, queue::Discipline d,
+                                         const std::vector<double>& load_fractions) {
+  std::vector<AblationRow> rows;
+  const double lambda_max = cluster.max_generic_rate();
+  const opt::LoadDistributionOptimizer solver(cluster, d);
+  for (double f : load_fractions) {
+    if (!(f > 0.0) || !(f < 1.0)) {
+      throw std::invalid_argument("policy_ablation: load fractions must be in (0, 1)");
+    }
+    const double lambda = f * lambda_max;
+    const double opt_T = solver.optimize(lambda).response_time;
+    for (opt::Policy p : opt::all_policies()) {
+      AblationRow row;
+      row.policy = opt::to_string(p);
+      row.lambda = lambda;
+      row.policy_T = opt::policy_response_time(p, cluster, d, lambda);
+      row.optimal_T = opt_T;
+      row.penalty = row.policy_T / opt_T - 1.0;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace blade::cloud

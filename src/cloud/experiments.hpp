@@ -1,0 +1,77 @@
+// The paper's experiments as reusable descriptors: Tables 1-2 and the
+// T'-vs-lambda' families behind Figs. 4-15, plus the two studies the
+// paper lacks (simulation validation and policy ablation). Benches print
+// these; integration tests assert their shapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/series.hpp"
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "model/paper_configs.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::cloud {
+
+/// One row of Table 1 / Table 2.
+struct ExampleRow {
+  int index = 0;            ///< i
+  unsigned size = 0;        ///< m_i
+  double speed = 0.0;       ///< s_i
+  double service_time = 0.0;  ///< xbar_i
+  double generic_rate = 0.0;  ///< lambda'_i
+  double special_rate = 0.0;  ///< lambda''_i
+  double utilization = 0.0;   ///< rho_i
+};
+
+struct ExampleTable {
+  std::vector<ExampleRow> rows;
+  double response_time = 0.0;  ///< minimized T'
+  double lambda_total = 0.0;   ///< lambda' distributed
+};
+
+/// Reproduces Table 1 (Fcfs) or Table 2 (SpecialPriority).
+[[nodiscard]] ExampleTable example_table(queue::Discipline d);
+
+/// Sweeps the minimized T' over lambda' for a family of cluster groups.
+/// Each series runs from `lo_fraction` to `hi_fraction` of *its own*
+/// saturation point on a common absolute grid; grid points at or beyond a
+/// group's saturation are omitted (the curves end where the paper's do).
+[[nodiscard]] FigureData response_time_figure(const std::string& id, const std::string& title,
+                                              const std::vector<model::NamedCluster>& groups,
+                                              queue::Discipline d, std::size_t points = 25,
+                                              double lo = 1.0, double hi_fraction = 0.98);
+
+/// The ten paper figures, in order fig04..fig15 (two disciplines x five
+/// parameter families).
+[[nodiscard]] FigureData figure(int number, std::size_t points = 25);
+
+/// Simulation-vs-analytics validation on the Example 1/2 system.
+struct ValidationRow {
+  std::string label;       ///< "example1 (fcfs)" etc.
+  double analytic = 0.0;   ///< model-predicted T'
+  double simulated = 0.0;  ///< mean of replication means
+  double ci_half = 0.0;    ///< 95% CI half width
+  bool within_ci = false;  ///< analytic value inside the CI
+};
+
+[[nodiscard]] std::vector<ValidationRow> validate_examples(int replications = 8,
+                                                           double horizon = 40000.0,
+                                                           double warmup = 4000.0);
+
+/// Policy-ablation study: T' penalty of each baseline over the optimum.
+struct AblationRow {
+  std::string policy;
+  double lambda = 0.0;      ///< total generic rate
+  double policy_T = 0.0;    ///< baseline T'
+  double optimal_T = 0.0;   ///< minimized T'
+  double penalty = 0.0;     ///< policy_T / optimal_T - 1
+};
+
+[[nodiscard]] std::vector<AblationRow> policy_ablation(const model::Cluster& cluster,
+                                                       queue::Discipline d,
+                                                       const std::vector<double>& load_fractions);
+
+}  // namespace blade::cloud

@@ -1,0 +1,43 @@
+#include "cloud/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace blade::cloud {
+
+std::string render_example_table(const ExampleTable& table, const std::string& caption) {
+  util::Table t({"i", "m_i", "s_i", "x_i", "lambda'_i", "lambda''_i", "rho_i"});
+  for (const auto& r : table.rows) {
+    t.add_row({std::to_string(r.index), std::to_string(r.size), util::fixed(r.speed, 1),
+               util::fixed(r.service_time), util::fixed(r.generic_rate),
+               util::fixed(r.special_rate), util::fixed(r.utilization)});
+  }
+  std::ostringstream os;
+  os << caption << '\n'
+     << t.render() << "lambda' = " << util::fixed(table.lambda_total, 2)
+     << ",  minimized T' = " << util::fixed(table.response_time) << " s\n";
+  return os.str();
+}
+
+std::string render_validation(const std::vector<ValidationRow>& rows) {
+  util::Table t({"case", "analytic T'", "simulated T'", "95% CI half-width", "within CI"});
+  t.set_align(0, util::Align::Left);
+  for (const auto& r : rows) {
+    t.add_row({r.label, util::fixed(r.analytic), util::fixed(r.simulated),
+               util::fixed(r.ci_half), r.within_ci ? "yes" : "no"});
+  }
+  return t.render();
+}
+
+std::string render_ablation(const std::vector<AblationRow>& rows) {
+  util::Table t({"policy", "lambda'", "policy T'", "optimal T'", "penalty"});
+  t.set_align(0, util::Align::Left);
+  for (const auto& r : rows) {
+    t.add_row({r.policy, util::fixed(r.lambda, 3), util::fixed(r.policy_T),
+               util::fixed(r.optimal_T), util::fixed(100.0 * r.penalty, 2) + "%"});
+  }
+  return t.render();
+}
+
+}  // namespace blade::cloud

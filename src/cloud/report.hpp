@@ -1,0 +1,21 @@
+// Rendering of experiment results in the paper's presentation style.
+#pragma once
+
+#include <string>
+
+#include "cloud/experiments.hpp"
+
+namespace blade::cloud {
+
+/// Renders an ExampleTable like the paper's Table 1 / Table 2 (seven
+/// decimal digits) plus the T' summary line.
+[[nodiscard]] std::string render_example_table(const ExampleTable& table,
+                                               const std::string& caption);
+
+/// Renders the validation rows (analytic vs simulated with CI).
+[[nodiscard]] std::string render_validation(const std::vector<ValidationRow>& rows);
+
+/// Renders the policy-ablation rows.
+[[nodiscard]] std::string render_ablation(const std::vector<AblationRow>& rows);
+
+}  // namespace blade::cloud

@@ -1,0 +1,96 @@
+#include "cloud/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace blade::cloud {
+
+std::string to_csv(const FigureData& fig, int precision) {
+  std::ostringstream os;
+  os << "series," << fig.xlabel << ',' << fig.ylabel << '\n';
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  for (const auto& s : fig.series) {
+    if (s.x.size() != s.y.size()) throw std::logic_error("to_csv: ragged series");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      os << util::csv_escape(s.label) << ',' << s.x[i] << ',' << s.y[i] << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const FigureData& fig) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(fig.id);
+  w.key("title").value(fig.title);
+  w.key("xlabel").value(fig.xlabel);
+  w.key("ylabel").value(fig.ylabel);
+  w.key("series").begin_array();
+  for (const auto& s : fig.series) {
+    if (s.x.size() != s.y.size()) throw std::logic_error("to_json: ragged series");
+    w.begin_object();
+    w.key("label").value(s.label);
+    w.key("x").begin_array();
+    for (double v : s.x) w.value(v);
+    w.end_array();
+    w.key("y").begin_array();
+    for (double v : s.y) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string ascii_plot(const FigureData& fig, int width, int height) {
+  if (width < 16 || height < 4) throw std::invalid_argument("ascii_plot: canvas too small");
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : fig.series) {
+    for (double v : s.x) {
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    for (double v : s.y) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  if (!(xmax > xmin) || !(ymax > ymin)) return "(ascii_plot: degenerate data)\n";
+
+  static const char glyphs[] = "*+ox#@%&";
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < fig.series.size(); ++si) {
+    const char g = glyphs[si % (sizeof(glyphs) - 1)];
+    const auto& s = fig.series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int cx = static_cast<int>(std::lround((s.x[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int cy = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) * (height - 1)));
+      canvas[static_cast<std::size_t>(height - 1 - cy)][static_cast<std::size_t>(cx)] = g;
+    }
+  }
+
+  std::ostringstream os;
+  os << fig.title << "  (y: " << fig.ylabel << " in [" << ymin << ", " << ymax << "], x: "
+     << fig.xlabel << " in [" << xmin << ", " << xmax << "])\n";
+  for (const auto& row : canvas) os << '|' << row << "|\n";
+  os << "legend:";
+  for (std::size_t si = 0; si < fig.series.size(); ++si) {
+    os << "  " << glyphs[si % (sizeof(glyphs) - 1)] << '=' << fig.series[si].label;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace blade::cloud

@@ -1,0 +1,35 @@
+// Figure data structures: a labeled family of (x, y) series, one per
+// cluster group, exactly mirroring how the paper presents Figs. 4-15
+// (minimized T' as a function of the total generic rate lambda').
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blade::cloud {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct FigureData {
+  std::string id;      ///< e.g. "fig04"
+  std::string title;
+  std::string xlabel;  ///< "lambda'"
+  std::string ylabel;  ///< "T'"
+  std::vector<Series> series;
+};
+
+/// Long-format CSV: series,x,y (one row per point).
+[[nodiscard]] std::string to_csv(const FigureData& fig, int precision = 7);
+
+/// JSON document: {id, title, xlabel, ylabel, series:[{label, x:[], y:[]}]}.
+[[nodiscard]] std::string to_json(const FigureData& fig);
+
+/// A quick ASCII rendering (width x height characters) so bench output is
+/// inspectable without plotting tools. Each series uses its own glyph.
+[[nodiscard]] std::string ascii_plot(const FigureData& fig, int width = 72, int height = 20);
+
+}  // namespace blade::cloud

@@ -1,0 +1,106 @@
+#include "cloud/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "numerics/special.hpp"
+
+namespace blade::cloud {
+
+LoadProfile diurnal_profile(double trough, double peak, std::size_t epochs) {
+  if (!(trough > 0.0) || !(peak >= trough)) {
+    throw std::invalid_argument("diurnal_profile: need 0 < trough <= peak");
+  }
+  if (epochs < 2) throw std::invalid_argument("diurnal_profile: need >= 2 epochs");
+  LoadProfile p;
+  p.epoch_rates.resize(epochs);
+  const double mid = 0.5 * (peak + trough);
+  const double amp = 0.5 * (peak - trough);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Cosine day: trough at the ends, peak in the middle.
+    const double phase = 2.0 * 3.14159265358979323846 * static_cast<double>(e) /
+                         static_cast<double>(epochs);
+    p.epoch_rates[e] = mid - amp * std::cos(phase);
+  }
+  return p;
+}
+
+namespace {
+
+void check_profile(const model::Cluster& cluster, const LoadProfile& profile) {
+  if (profile.epoch_rates.empty()) throw std::invalid_argument("trace: empty profile");
+  if (!(profile.epoch_duration > 0.0)) {
+    throw std::invalid_argument("trace: epoch duration must be > 0");
+  }
+  for (double lam : profile.epoch_rates) {
+    if (!(lam > 0.0) || lam >= cluster.max_generic_rate()) {
+      throw std::invalid_argument("trace: every epoch rate must be feasible for the cluster");
+    }
+  }
+}
+
+void finalize(TraceResult& res) {
+  num::KahanSum weighted;
+  num::KahanSum weight;
+  for (const auto& e : res.epochs) {
+    if (!std::isfinite(e.response_time)) continue;
+    weighted.add(e.lambda * e.response_time);
+    weight.add(e.lambda);
+  }
+  res.mean_response_time = weight.value() > 0.0 ? weighted.value() / weight.value() : 0.0;
+}
+
+}  // namespace
+
+TraceResult run_adaptive(const model::Cluster& cluster, queue::Discipline d,
+                         const LoadProfile& profile) {
+  check_profile(cluster, profile);
+  const opt::LoadDistributionOptimizer solver(cluster, d);
+  TraceResult res;
+  res.epochs.reserve(profile.epoch_rates.size());
+  for (double lam : profile.epoch_rates) {
+    res.epochs.push_back({lam, solver.optimize(lam).response_time});
+  }
+  finalize(res);
+  return res;
+}
+
+TraceResult run_static(const model::Cluster& cluster, queue::Discipline d,
+                       const LoadProfile& profile, double design_rate) {
+  check_profile(cluster, profile);
+  if (!(design_rate > 0.0) || design_rate >= cluster.max_generic_rate()) {
+    throw std::invalid_argument("trace: infeasible design rate");
+  }
+  const opt::LoadDistributionOptimizer solver(cluster, d);
+  const auto design = solver.optimize(design_rate);
+
+  TraceResult res;
+  res.epochs.reserve(profile.epoch_rates.size());
+  for (double lam : profile.epoch_rates) {
+    const double scale = lam / design_rate;
+    std::vector<double> rates = design.rates;
+    for (double& r : rates) r *= scale;
+
+    // An epoch is overloaded if any server saturates under the scaled split.
+    bool overloaded = false;
+    const opt::ResponseTimeObjective obj(cluster, d, lam);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      if (rates[i] >= obj.rate_bound(i)) {
+        overloaded = true;
+        break;
+      }
+    }
+    if (overloaded) {
+      ++res.overloaded_epochs;
+      res.epochs.push_back({lam, std::numeric_limits<double>::infinity()});
+    } else {
+      res.epochs.push_back({lam, obj.value(rates)});
+    }
+  }
+  finalize(res);
+  return res;
+}
+
+}  // namespace blade::cloud

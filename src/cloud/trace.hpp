@@ -1,0 +1,53 @@
+// Time-varying workload study: real cloud arrival rates swing through the
+// day, while the paper optimizes for one stationary lambda'. This module
+// models a piecewise-constant load profile (each epoch long enough for
+// steady state, the standard quasi-stationary approximation) and compares
+//   adaptive   re-solving the optimal split every epoch, against
+//   static     one split chosen for a single design rate and kept fixed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::cloud {
+
+struct LoadProfile {
+  std::vector<double> epoch_rates;  ///< lambda' per epoch, each feasible
+  double epoch_duration = 1.0;      ///< identical length per epoch
+};
+
+/// Sinusoidal day: rates swing between trough and peak over `epochs`
+/// epochs (peak at mid-profile). Requires 0 < trough <= peak.
+[[nodiscard]] LoadProfile diurnal_profile(double trough, double peak, std::size_t epochs);
+
+struct TraceEpoch {
+  double lambda = 0.0;
+  double response_time = 0.0;  ///< steady-state T' of this epoch's policy
+};
+
+struct TraceResult {
+  std::vector<TraceEpoch> epochs;
+  /// Task-weighted mean response time over the profile:
+  /// sum(lambda_e T_e) / sum(lambda_e).
+  double mean_response_time = 0.0;
+  /// Number of epochs where the static split could not even stabilize the
+  /// servers (infinite T'); always 0 for the adaptive policy.
+  std::size_t overloaded_epochs = 0;
+};
+
+/// Re-optimizes the split at the start of every epoch.
+[[nodiscard]] TraceResult run_adaptive(const model::Cluster& cluster, queue::Discipline d,
+                                       const LoadProfile& profile);
+
+/// Optimizes one split at `design_rate`, then *scales* it proportionally
+/// to each epoch's total rate (the natural way to hold routing
+/// probabilities fixed while the arrival process varies). Epochs whose
+/// scaled split saturates any server are counted as overloaded and
+/// excluded from the mean (reported separately).
+[[nodiscard]] TraceResult run_static(const model::Cluster& cluster, queue::Discipline d,
+                                     const LoadProfile& profile, double design_rate);
+
+}  // namespace blade::cloud

@@ -1,0 +1,156 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+
+namespace blade::opt {
+
+namespace {
+
+/// Builds the cluster for an allocation, skipping empty chassis.
+model::Cluster build(const AllocationProblem& p, const std::vector<unsigned>& sizes) {
+  std::vector<model::BladeServer> servers;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    const double special = p.preload_fraction * sizes[i] * p.speeds[i] / p.rbar;
+    servers.emplace_back(sizes[i], p.speeds[i], special);
+  }
+  return model::Cluster(std::move(servers), p.rbar);
+}
+
+double generic_capacity(const AllocationProblem& p, const std::vector<unsigned>& sizes) {
+  double cap = 0.0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    cap += (1.0 - p.preload_fraction) * sizes[i] * p.speeds[i] / p.rbar;
+  }
+  return cap;
+}
+
+/// T'* of an allocation; +inf when infeasible (with a safety margin so
+/// greedy never parks the design on the edge of saturation).
+double evaluate(const AllocationProblem& p, const std::vector<unsigned>& sizes, int& evals) {
+  if (generic_capacity(p, sizes) * 0.999 <= p.lambda_total) {
+    return std::numeric_limits<double>::infinity();
+  }
+  OptimizerOptions opts;
+  opts.rate_tolerance = 1e-10;
+  opts.phi_tolerance = 1e-10;
+  ++evals;
+  return LoadDistributionOptimizer(build(p, sizes), p.discipline, opts)
+      .optimize(p.lambda_total)
+      .response_time;
+}
+
+}  // namespace
+
+AllocationResult allocate_blades(const AllocationProblem& problem) {
+  const std::size_t n = problem.speeds.size();
+  if (n == 0) throw std::invalid_argument("allocate_blades: no chassis");
+  for (double s : problem.speeds) {
+    if (!(s > 0.0)) throw std::invalid_argument("allocate_blades: speeds must be > 0");
+  }
+  if (problem.blade_budget == 0) throw std::invalid_argument("allocate_blades: zero budget");
+  if (!(problem.rbar > 0.0)) throw std::invalid_argument("allocate_blades: rbar must be > 0");
+  if (!(problem.preload_fraction >= 0.0) || problem.preload_fraction >= 1.0) {
+    throw std::invalid_argument("allocate_blades: preload fraction must be in [0, 1)");
+  }
+  if (!(problem.lambda_total > 0.0)) {
+    throw std::invalid_argument("allocate_blades: lambda_total must be > 0");
+  }
+  // Even the best case (every blade on the fastest chassis) must carry the load.
+  const double best_speed = *std::max_element(problem.speeds.begin(), problem.speeds.end());
+  const double max_cap =
+      (1.0 - problem.preload_fraction) * problem.blade_budget * best_speed / problem.rbar;
+  if (max_cap * 0.999 <= problem.lambda_total) {
+    throw std::invalid_argument("allocate_blades: budget cannot carry lambda_total");
+  }
+
+  AllocationResult res;
+  std::vector<unsigned> sizes(n, 0);
+  unsigned placed = 0;
+
+  // Phase 1: reach feasibility by raw capacity, fastest chassis first.
+  {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return problem.speeds[a] > problem.speeds[b]; });
+    std::size_t next = 0;
+    while (placed < problem.blade_budget &&
+           generic_capacity(problem, sizes) <= 1.05 * problem.lambda_total) {
+      ++sizes[order[next % n]];
+      ++placed;
+      ++next;
+    }
+  }
+  if (generic_capacity(problem, sizes) * 0.999 <= problem.lambda_total) {
+    throw std::invalid_argument("allocate_blades: budget cannot carry lambda_total");
+  }
+
+  // Phase 2: greedy marginal placement of the remaining blades.
+  double current = evaluate(problem, sizes, res.evaluations);
+  for (; placed < problem.blade_budget; ++placed) {
+    std::size_t best = n;
+    double best_T = current;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++sizes[i];
+      const double t = evaluate(problem, sizes, res.evaluations);
+      --sizes[i];
+      if (t < best_T) {
+        best_T = t;
+        best = i;
+      }
+    }
+    if (best == n) {
+      // No single placement helps (can happen deep in the flat region);
+      // fall back to the fastest chassis to keep the budget invariant.
+      std::size_t fastest = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        if (problem.speeds[i] > problem.speeds[fastest]) fastest = i;
+      }
+      best = fastest;
+      ++sizes[best];
+      current = evaluate(problem, sizes, res.evaluations);
+    } else {
+      ++sizes[best];
+      current = best_T;
+    }
+  }
+
+  // Phase 3: pairwise-swap local search.
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds < 16) {
+    improved = false;
+    ++rounds;
+    for (std::size_t from = 0; from < n; ++from) {
+      for (std::size_t to = 0; to < n; ++to) {
+        // Re-check inside the inner loop: an accepted swap may have just
+        // emptied this chassis, and a further decrement would wrap the
+        // unsigned count.
+        if (to == from || sizes[from] == 0) continue;
+        --sizes[from];
+        ++sizes[to];
+        const double t = evaluate(problem, sizes, res.evaluations);
+        if (t < current - 1e-12) {
+          current = t;
+          improved = true;
+          res.swap_improved = true;
+        } else {
+          ++sizes[from];
+          --sizes[to];
+        }
+      }
+    }
+  }
+
+  res.sizes = std::move(sizes);
+  res.response_time = current;
+  return res;
+}
+
+}  // namespace blade::opt

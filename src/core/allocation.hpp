@@ -1,0 +1,42 @@
+// Discrete design extension: given a blade budget and a set of server
+// chassis with fixed speeds, how many blades should each chassis get so
+// that the *optimally balanced* generic response time is smallest? This
+// turns the paper's heterogeneity observations (Figs. 12-13) into a
+// design tool.
+//
+// The search is greedy marginal allocation -- start from the smallest
+// feasible configuration, then repeatedly give the next blade to the
+// chassis where it lowers the re-optimized T'* the most -- followed by a
+// pairwise-swap local search. Each candidate evaluation is a full solve
+// of the inner load-distribution problem.
+#pragma once
+
+#include <vector>
+
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+struct AllocationProblem {
+  std::vector<double> speeds;  ///< one entry per chassis, > 0
+  unsigned blade_budget = 0;   ///< total blades to place (>= chassis count)
+  double rbar = 1.0;           ///< mean task size
+  double preload_fraction = 0.0;  ///< y: special load as a fraction of
+                                  ///< each chassis's capacity, in [0, 1)
+  queue::Discipline discipline = queue::Discipline::Fcfs;
+  double lambda_total = 0.0;   ///< generic rate the design must carry
+};
+
+struct AllocationResult {
+  std::vector<unsigned> sizes;  ///< blades per chassis (sums to budget)
+  double response_time = 0.0;   ///< optimal T'* of the final design
+  int evaluations = 0;          ///< inner solves performed
+  bool swap_improved = false;   ///< local search found something greedy missed
+};
+
+/// Solves the allocation problem. Throws std::invalid_argument when the
+/// budget cannot carry lambda_total even with every blade placed on the
+/// fastest chassis, or on malformed inputs.
+[[nodiscard]] AllocationResult allocate_blades(const AllocationProblem& problem);
+
+}  // namespace blade::opt

@@ -1,0 +1,123 @@
+#include "core/closed_form.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/roots.hpp"
+#include "numerics/special.hpp"
+
+namespace blade::opt {
+
+namespace {
+
+void require_single_blade(const model::Cluster& cluster) {
+  if (!cluster.all_single_blade()) {
+    throw std::invalid_argument("closed form: all servers must have exactly one blade");
+  }
+}
+
+void require_feasible(const model::Cluster& cluster, double lambda_total) {
+  if (!(lambda_total > 0.0)) throw std::invalid_argument("closed form: lambda' must be > 0");
+  if (lambda_total >= cluster.max_generic_rate()) {
+    throw std::invalid_argument("closed form: lambda' >= lambda'_max (infeasible)");
+  }
+}
+
+/// Theorem 1 per-server rate at multiplier phi (no clamping).
+double theorem1_rate_raw(const model::BladeServer& server, double rbar, double lambda_total,
+                         double phi) {
+  const double xbar = server.mean_service_time(rbar);
+  const double rho2 = server.special_utilization(rbar);
+  return (1.0 - rho2 - std::sqrt(xbar * (1.0 - rho2) / (lambda_total * phi))) / xbar;
+}
+
+}  // namespace
+
+double theorem1_phi(const model::Cluster& cluster, double lambda_total) {
+  require_single_blade(cluster);
+  require_feasible(cluster, lambda_total);
+  num::KahanSum num_sum;   // sum sqrt((1-rho''_i)/xbar_i)
+  num::KahanSum den_sum;   // sum (1-rho''_i)/xbar_i
+  for (const auto& s : cluster.servers()) {
+    const double xbar = s.mean_service_time(cluster.rbar());
+    const double rho2 = s.special_utilization(cluster.rbar());
+    num_sum.add(std::sqrt((1.0 - rho2) / xbar));
+    den_sum.add((1.0 - rho2) / xbar);
+  }
+  const double num_v = num_sum.value() / std::sqrt(lambda_total);
+  const double den_v = den_sum.value() - lambda_total;
+  const double root = num_v / den_v;
+  return root * root;
+}
+
+std::vector<double> theorem1_rates(const model::Cluster& cluster, double lambda_total) {
+  const double phi = theorem1_phi(cluster, lambda_total);
+  std::vector<double> rates;
+  rates.reserve(cluster.size());
+  for (const auto& s : cluster.servers()) {
+    rates.push_back(theorem1_rate_raw(s, cluster.rbar(), lambda_total, phi));
+  }
+  return rates;
+}
+
+double theorem3_rate(const model::BladeServer& server, double rbar, double lambda_total,
+                     double phi) {
+  const double xbar = server.mean_service_time(rbar);
+  const double rho2 = server.special_utilization(rbar);
+  const double inner = lambda_total * phi / xbar + rho2 / (1.0 - rho2);
+  const double rate = (1.0 - rho2 - std::sqrt(1.0 / inner)) / xbar;
+  return rate > 0.0 ? rate : 0.0;
+}
+
+LoadDistribution closed_form_distribution(const model::Cluster& cluster, queue::Discipline d,
+                                          double lambda_total) {
+  require_single_blade(cluster);
+  require_feasible(cluster, lambda_total);
+  const double rbar = cluster.rbar();
+
+  auto rate_at_phi = [&](const model::BladeServer& s, double phi) {
+    if (d == queue::Discipline::SpecialPriority) {
+      return theorem3_rate(s, rbar, lambda_total, phi);
+    }
+    const double raw = theorem1_rate_raw(s, rbar, lambda_total, phi);
+    return raw > 0.0 ? raw : 0.0;
+  };
+  auto total_at_phi = [&](double phi) {
+    num::KahanSum acc;
+    for (const auto& s : cluster.servers()) acc.add(rate_at_phi(s, phi));
+    return acc.value();
+  };
+
+  // total_at_phi is increasing in phi (each clamped theorem rate is), and
+  // tends to lambda'_max as phi -> infinity; bracket and bisect.
+  const num::RootOptions opts{.tolerance = 1e-14, .max_iterations = 400, .max_expansions = 400};
+  const auto root =
+      num::solve_increasing(total_at_phi, lambda_total, /*lower=*/0.0,
+                            /*sup=*/std::nullopt, /*initial_ub=*/1e-6, opts);
+  const double phi = root.x;
+
+  LoadDistribution out;
+  out.phi = phi;
+  out.outer_iterations = root.iterations;
+  out.rates.reserve(cluster.size());
+  for (const auto& s : cluster.servers()) out.rates.push_back(rate_at_phi(s, phi));
+
+  // Rescale the residual bisection error onto the constraint.
+  num::KahanSum assigned;
+  for (double r : out.rates) assigned.add(r);
+  if (assigned.value() > 0.0) {
+    const double scale = lambda_total / assigned.value();
+    for (double& r : out.rates) r *= scale;
+  }
+
+  const ResponseTimeObjective obj(cluster, d, lambda_total);
+  out.utilizations = obj.utilizations(out.rates);
+  out.response_times.resize(out.rates.size());
+  for (std::size_t i = 0; i < out.rates.size(); ++i) {
+    out.response_times[i] = obj.queue(i).generic_response_time(out.rates[i]);
+  }
+  out.response_time = obj.value(out.rates);
+  return out;
+}
+
+}  // namespace blade::opt

@@ -1,0 +1,40 @@
+// Closed-form solutions for the single-blade case m_1 = ... = m_n = 1
+// (Theorems 1 and 3). The raw theorem formulas assume every server
+// receives positive load; the robust variants here add an active-set
+// treatment (clamping lambda'_i at zero inside a monotone solve for phi),
+// so they stay correct for small lambda' where slow servers should idle.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+/// Theorem 1 (no priority), raw formulas: phi then lambda'_i. Requires all
+/// servers single-blade. May return negative rates when lambda' is small
+/// enough that the all-active assumption fails; callers that cannot
+/// guarantee the regime should use closed_form_distribution instead.
+[[nodiscard]] std::vector<double> theorem1_rates(const model::Cluster& cluster,
+                                                 double lambda_total);
+
+/// Theorem 1's Lagrange multiplier phi.
+[[nodiscard]] double theorem1_phi(const model::Cluster& cluster, double lambda_total);
+
+/// Theorem 3 (priority): per-server rate at a given multiplier phi
+/// (clamped at 0). Exposed for tests of the phi equation.
+[[nodiscard]] double theorem3_rate(const model::BladeServer& server, double rbar,
+                                   double lambda_total, double phi);
+
+/// Robust closed-form solver for single-blade clusters under either
+/// discipline. Solves the scalar monotone equation
+///   sum_i max(0, lambda'_i(phi)) = lambda'
+/// by bracket + bisection on phi, with lambda'_i(phi) from Theorem 1 or 3.
+/// Matches LoadDistributionOptimizer to solver tolerance, at a fraction of
+/// the cost (no nested bisection).
+[[nodiscard]] LoadDistribution closed_form_distribution(const model::Cluster& cluster,
+                                                        queue::Discipline d, double lambda_total);
+
+}  // namespace blade::opt

@@ -1,0 +1,94 @@
+#include "core/discipline_assignment.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/special.hpp"
+
+namespace blade::opt {
+
+double special_mean_response(const model::Cluster& cluster,
+                             const std::vector<queue::Discipline>& ds,
+                             const std::vector<double>& rates) {
+  if (ds.size() != cluster.size() || rates.size() != cluster.size()) {
+    throw std::invalid_argument("special_mean_response: size mismatch");
+  }
+  num::KahanSum weighted;
+  double total_special = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& s = cluster.server(i);
+    if (s.special_rate() <= 0.0) continue;
+    const auto q = s.queue(cluster.rbar(), ds[i]);
+    weighted.add(s.special_rate() * q.special_response_time(rates[i]));
+    total_special += s.special_rate();
+  }
+  if (total_special <= 0.0) return 0.0;
+  return weighted.value() / total_special;
+}
+
+namespace {
+
+DisciplineAssignment evaluate(const model::Cluster& cluster,
+                              std::vector<queue::Discipline> ds, double lambda_total,
+                              double special_slo) {
+  DisciplineAssignment a;
+  a.disciplines = std::move(ds);
+  OptimizerOptions opts;
+  opts.rate_tolerance = 1e-10;
+  opts.phi_tolerance = 1e-10;
+  a.distribution =
+      LoadDistributionOptimizer(cluster, a.disciplines, opts).optimize(lambda_total);
+  a.generic_response = a.distribution.response_time;
+  a.special_response = special_mean_response(cluster, a.disciplines, a.distribution.rates);
+  a.feasible = a.special_response <= special_slo;
+  return a;
+}
+
+}  // namespace
+
+DisciplineAssignmentResult assign_disciplines(const model::Cluster& cluster, double lambda_total,
+                                              double special_slo) {
+  if (!(special_slo > 0.0)) {
+    throw std::invalid_argument("assign_disciplines: special SLO must be > 0");
+  }
+  if (!(lambda_total > 0.0) || lambda_total >= cluster.max_generic_rate()) {
+    throw std::invalid_argument("assign_disciplines: infeasible lambda'");
+  }
+
+  // Servers where the discipline actually matters.
+  std::vector<std::size_t> flexible;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.server(i).special_rate() > 0.0) flexible.push_back(i);
+  }
+  if (flexible.size() > 16) {
+    throw std::invalid_argument("assign_disciplines: too many special-loaded servers (> 16)");
+  }
+
+  DisciplineAssignmentResult res;
+  const std::vector<queue::Discipline> fcfs(cluster.size(), queue::Discipline::Fcfs);
+  std::vector<queue::Discipline> prio(cluster.size(), queue::Discipline::Fcfs);
+  for (std::size_t i : flexible) prio[i] = queue::Discipline::SpecialPriority;
+
+  res.all_fcfs = evaluate(cluster, fcfs, lambda_total, special_slo);
+  res.all_priority = evaluate(cluster, prio, lambda_total, special_slo);
+  res.evaluated = 2;
+
+  double best_T = std::numeric_limits<double>::infinity();
+  const std::size_t combos = 1u << flexible.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::vector<queue::Discipline> ds(cluster.size(), queue::Discipline::Fcfs);
+    for (std::size_t b = 0; b < flexible.size(); ++b) {
+      if ((mask >> b) & 1u) ds[flexible[b]] = queue::Discipline::SpecialPriority;
+    }
+    auto a = evaluate(cluster, std::move(ds), lambda_total, special_slo);
+    ++res.evaluated;
+    if (a.feasible && a.generic_response < best_T) {
+      best_T = a.generic_response;
+      res.best = std::move(a);
+      res.any_feasible = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace blade::opt

@@ -1,0 +1,50 @@
+// Per-server discipline assignment: the paper analyzes the two
+// disciplines (FCFS, non-preemptive priority) as global regimes. A cloud
+// operator can choose per server: prioritize special tasks only where
+// their SLA needs it, keeping the generic penalty local.
+//
+// Problem: choose d_1..d_n in {Fcfs, SpecialPriority} and the split to
+// minimize the generic T' subject to the rate-weighted mean special-task
+// response staying at or below `special_slo`. Servers without special
+// load are pinned to FCFS (the discipline is vacuous there). The
+// assignment space is enumerated exhaustively (2^k for k servers with
+// special load; guarded), with one load-distribution solve per
+// assignment.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+struct DisciplineAssignment {
+  std::vector<queue::Discipline> disciplines;
+  LoadDistribution distribution;
+  double generic_response = 0.0;  ///< T' of generic tasks
+  double special_response = 0.0;  ///< rate-weighted mean special response
+  bool feasible = false;          ///< special SLO satisfied
+};
+
+struct DisciplineAssignmentResult {
+  DisciplineAssignment best;       ///< feasible assignment with min generic T'
+  DisciplineAssignment all_fcfs;   ///< baseline: no priority anywhere
+  DisciplineAssignment all_priority;  ///< baseline: priority everywhere
+  int evaluated = 0;
+  bool any_feasible = false;
+};
+
+/// Rate-weighted mean special response of an assignment at a given split.
+[[nodiscard]] double special_mean_response(const model::Cluster& cluster,
+                                           const std::vector<queue::Discipline>& ds,
+                                           const std::vector<double>& rates);
+
+/// Solves the assignment problem. Throws when the cluster has more than
+/// 16 special-loaded servers (enumeration guard) or lambda is infeasible.
+[[nodiscard]] DisciplineAssignmentResult assign_disciplines(const model::Cluster& cluster,
+                                                            double lambda_total,
+                                                            double special_slo);
+
+}  // namespace blade::opt

@@ -1,0 +1,40 @@
+// Alternative solver used for the optimizer ablation: projected gradient
+// descent on the simplex { lambda >= 0, sum lambda_i = lambda' } clipped
+// below each server's saturation point. Converges to the same optimum as
+// the paper's double bisection (the program is convex); the benches
+// compare evaluation counts and wall time.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+struct GradientOptions {
+  double initial_step = 1.0;      ///< starting step size (adapted by backtracking)
+  double tolerance = 1e-12;       ///< stop when the objective improvement drops below
+  int max_iterations = 20000;     ///< outer iteration cap
+  double saturation_margin = 1e-9;  ///< box bound: (1 - margin) * sup_i
+};
+
+struct GradientResult {
+  LoadDistribution distribution;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Projects v onto { x : 0 <= x_i <= ub_i, sum x_i = target } (Euclidean).
+/// Exposed for unit tests. Throws if sum ub_i < target.
+[[nodiscard]] std::vector<double> project_capped_simplex(const std::vector<double>& v,
+                                                         const std::vector<double>& ub,
+                                                         double target);
+
+/// Solves the load-distribution problem by projected gradient descent.
+[[nodiscard]] GradientResult gradient_optimize(const model::Cluster& cluster,
+                                               queue::Discipline d, double lambda_total,
+                                               const GradientOptions& opts = {});
+
+}  // namespace blade::opt

@@ -1,0 +1,81 @@
+#include "core/kkt.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "numerics/special.hpp"
+
+namespace blade::opt {
+
+KktReport verify_kkt(const model::Cluster& cluster, queue::Discipline d, double lambda_total,
+                     const std::vector<double>& rates, double tolerance) {
+  KktReport rep;
+  const ResponseTimeObjective obj(cluster, d, lambda_total);
+  if (rates.size() != obj.size()) {
+    rep.detail = "rate vector size mismatch";
+    return rep;
+  }
+
+  // Feasibility.
+  num::KahanSum total;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] < -tolerance) {
+      rep.detail = "negative rate at server " + std::to_string(i);
+      return rep;
+    }
+    if (rates[i] >= obj.rate_bound(i)) {
+      rep.detail = "rate at/above saturation for server " + std::to_string(i);
+      return rep;
+    }
+    total.add(rates[i]);
+  }
+  rep.constraint_residual = std::abs(total.value() - lambda_total);
+  if (rep.constraint_residual > tolerance * std::max(1.0, lambda_total)) {
+    rep.detail = "rates do not sum to lambda'";
+    return rep;
+  }
+  rep.feasible = true;
+
+  // Active-set marginals. A rate is "active" when it is meaningfully
+  // positive relative to the workload.
+  const double active_threshold = tolerance * std::max(1.0, lambda_total);
+  num::KahanSum marg_sum;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] > active_threshold) {
+      rep.active.push_back(i);
+      marg_sum.add(obj.marginal(i, rates[i]));
+    }
+  }
+  if (rep.active.empty()) {
+    rep.detail = "no active servers";
+    return rep;
+  }
+  rep.phi_estimate = marg_sum.value() / static_cast<double>(rep.active.size());
+
+  rep.stationary = true;
+  for (std::size_t i : rep.active) {
+    const double spread = std::abs(obj.marginal(i, rates[i]) - rep.phi_estimate);
+    rep.max_marginal_spread = std::max(rep.max_marginal_spread, spread);
+    if (spread > tolerance * std::max(1.0, rep.phi_estimate)) {
+      rep.stationary = false;
+      std::ostringstream os;
+      os << "marginal spread " << spread << " at server " << i;
+      rep.detail = os.str();
+    }
+  }
+
+  rep.complementary = true;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] > active_threshold) continue;
+    const double g0 = obj.marginal(i, 0.0);
+    if (g0 < rep.phi_estimate - tolerance * std::max(1.0, rep.phi_estimate)) {
+      rep.complementary = false;
+      std::ostringstream os;
+      os << "inactive server " << i << " has g(0) = " << g0 << " < phi = " << rep.phi_estimate;
+      rep.detail = os.str();
+    }
+  }
+  return rep;
+}
+
+}  // namespace blade::opt

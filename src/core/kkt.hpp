@@ -1,0 +1,40 @@
+// Independent optimality certification. A feasible assignment is optimal
+// iff (KKT for this convex program):
+//   * active servers (lambda'_i > 0) share one marginal cost  g_i = phi;
+//   * inactive servers satisfy  g_i(0) >= phi.
+// The verifier recomputes the marginals from scratch, so it catches
+// optimizer bugs rather than inheriting them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+struct KktReport {
+  bool feasible = false;        ///< rates >= 0, below bounds, sum to lambda'
+  bool stationary = false;      ///< equal marginals on the active set
+  bool complementary = false;   ///< inactive servers have g_i(0) >= phi
+  double phi_estimate = 0.0;    ///< mean marginal over the active set
+  double max_marginal_spread = 0.0;  ///< max |g_i - phi| over active servers
+  double constraint_residual = 0.0;  ///< |sum rates - lambda'|
+  std::vector<std::size_t> active;   ///< indices with lambda'_i > threshold
+  std::string detail;                ///< first violation found, if any
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return feasible && stationary && complementary;
+  }
+};
+
+/// Verifies a distribution against the KKT conditions.
+/// @param tolerance  absolute slack allowed on each condition
+[[nodiscard]] KktReport verify_kkt(const model::Cluster& cluster, queue::Discipline d,
+                                   double lambda_total, const std::vector<double>& rates,
+                                   double tolerance = 1e-6);
+
+}  // namespace blade::opt

@@ -1,0 +1,59 @@
+// The optimization objective of Section 3:
+//   T'(lambda'_1..lambda'_n) = sum_i (lambda'_i / lambda') T'_i(lambda'_i)
+// together with its per-server Lagrange marginals
+//   g_i(lambda'_i) = dT'/dlambda'_i
+//               = (1/lambda') (T'_i + lambda'_i dT'_i/dlambda'_i).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+class ResponseTimeObjective {
+ public:
+  /// @param cluster       the problem instance
+  /// @param d             discipline of the special streams
+  /// @param lambda_total  total generic arrival rate lambda' (> 0, and
+  ///                      strictly below the cluster saturation point)
+  /// @param service_scv   task-size variability (1 = the paper's exact
+  ///                      exponential model; else Allen–Cunneen approx.)
+  ResponseTimeObjective(const model::Cluster& cluster, queue::Discipline d, double lambda_total,
+                        double service_scv = 1.0);
+
+  /// Heterogeneous disciplines: ds[i] applies to server i (used by the
+  /// discipline-assignment extension).
+  ResponseTimeObjective(const model::Cluster& cluster, const std::vector<queue::Discipline>& ds,
+                        double lambda_total, double service_scv = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return queues_.size(); }
+  [[nodiscard]] double lambda_total() const noexcept { return lambda_total_; }
+  [[nodiscard]] const queue::BladeQueue& queue(std::size_t i) const { return queues_.at(i); }
+
+  /// Saturation point of server i's generic stream (exclusive bound).
+  [[nodiscard]] double rate_bound(std::size_t i) const { return queues_.at(i).max_generic_rate(); }
+
+  /// T'(rates): mean generic response time for a full assignment. The
+  /// rates need not sum to lambda' (weights always use lambda'), so this
+  /// is also usable on intermediate/infeasible iterates.
+  [[nodiscard]] double value(std::span<const double> rates) const;
+
+  /// g_i evaluated at a given per-server rate.
+  [[nodiscard]] double marginal(std::size_t i, double rate) const;
+
+  /// Full gradient (g_1..g_n) at an assignment.
+  [[nodiscard]] std::vector<double> gradient(std::span<const double> rates) const;
+
+  /// Per-server utilizations rho_i at an assignment.
+  [[nodiscard]] std::vector<double> utilizations(std::span<const double> rates) const;
+
+ private:
+  std::vector<queue::BladeQueue> queues_;
+  double lambda_total_;
+};
+
+}  // namespace blade::opt

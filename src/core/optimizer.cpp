@@ -1,0 +1,147 @@
+#include "core/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/roots.hpp"
+#include "numerics/special.hpp"
+
+namespace blade::opt {
+
+double LoadDistribution::total_rate() const {
+  num::KahanSum s;
+  for (double r : rates) s.add(r);
+  return s.value();
+}
+
+LoadDistributionOptimizer::LoadDistributionOptimizer(model::Cluster cluster, queue::Discipline d,
+                                                     OptimizerOptions opts)
+    : LoadDistributionOptimizer(
+          model::Cluster(cluster),  // delegate with a uniform discipline vector
+          std::vector<queue::Discipline>(cluster.size(), d), opts) {}
+
+LoadDistributionOptimizer::LoadDistributionOptimizer(model::Cluster cluster,
+                                                     std::vector<queue::Discipline> ds,
+                                                     OptimizerOptions opts)
+    : cluster_(std::move(cluster)), discs_(std::move(ds)), opts_(opts) {
+  if (discs_.size() != cluster_.size()) {
+    throw std::invalid_argument("LoadDistributionOptimizer: discipline vector size mismatch");
+  }
+  if (!(opts_.rate_tolerance > 0.0) || !(opts_.phi_tolerance > 0.0)) {
+    throw std::invalid_argument("LoadDistributionOptimizer: tolerances must be > 0");
+  }
+}
+
+double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, std::size_t i,
+                                            double phi, long* evals) const {
+  const double sup = obj.rate_bound(i);
+  auto g = [&](double lam) {
+    if (evals) ++*evals;
+    return obj.marginal(i, lam);
+  };
+
+  // Inactive server: even the first infinitesimal unit of load costs more
+  // than phi (paper: the bisection bracket collapses onto lb = 0).
+  if (g(0.0) >= phi) return 0.0;
+
+  const double hard_ub = (1.0 - opts_.saturation_margin) * sup;
+  // Expand ub by doubling until g(ub) >= phi, clamping at the saturation
+  // guard exactly as lines (4)-(8) of Fig. 2.
+  double ub = std::min(hard_ub, 1e-3 * sup);
+  int guard = 0;
+  while (g(ub) < phi) {
+    if (ub >= hard_ub) return hard_ub;  // saturated at this phi
+    ub = std::min(2.0 * ub, hard_ub);
+    if (++guard > 200) {
+      throw num::RootFindingError("find_rate: failed to bracket lambda'_i");
+    }
+  }
+
+  double lb = 0.0;
+  int it = 0;
+  while (ub - lb > opts_.rate_tolerance && it < opts_.max_iterations) {
+    const double mid = 0.5 * (lb + ub);
+    if (g(mid) < phi) {
+      lb = mid;
+    } else {
+      ub = mid;
+    }
+    ++it;
+  }
+  return 0.5 * (lb + ub);
+}
+
+LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const {
+  const double lambda_max = cluster_.max_generic_rate();
+  if (!(lambda_total > 0.0)) {
+    throw std::invalid_argument("optimize: lambda' must be > 0");
+  }
+  if (lambda_total >= lambda_max) {
+    throw std::invalid_argument("optimize: lambda' >= lambda'_max (infeasible)");
+  }
+
+  const ResponseTimeObjective obj(cluster_, discs_, lambda_total, opts_.service_scv);
+  const std::size_t n = obj.size();
+  long inner_evals = 0;
+
+  auto total_assigned = [&](double phi) {
+    num::KahanSum f;
+    for (std::size_t i = 0; i < n; ++i) f.add(find_rate(obj, i, phi, &inner_evals));
+    return f.value();
+  };
+
+  // Outer bracket (Fig. 3 lines (1)-(10)): start phi small and double
+  // until the induced total meets lambda'.
+  double phi_ub = 1e-6;
+  int expansions = 0;
+  while (total_assigned(phi_ub) < lambda_total) {
+    phi_ub *= 2.0;
+    if (++expansions > 200) {
+      throw num::RootFindingError("optimize: failed to bracket phi");
+    }
+  }
+
+  // Outer bisection (lines (11)-(27)).
+  double phi_lb = 0.0;
+  int outer_it = 0;
+  while (phi_ub - phi_lb > opts_.phi_tolerance && outer_it < opts_.max_iterations) {
+    const double mid = 0.5 * (phi_lb + phi_ub);
+    if (total_assigned(mid) < lambda_total) {
+      phi_lb = mid;
+    } else {
+      phi_ub = mid;
+    }
+    ++outer_it;
+  }
+  const double phi = 0.5 * (phi_lb + phi_ub);
+
+  LoadDistribution out;
+  out.phi = phi;
+  out.outer_iterations = outer_it;
+  out.rates.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.rates[i] = find_rate(obj, i, phi, &inner_evals);
+
+  // The bisected rates can miss lambda' by a hair; rescale the assigned
+  // mass onto the constraint so downstream consumers see an exactly
+  // feasible point (the correction is within the solver tolerance).
+  const double assigned = [&] {
+    num::KahanSum s;
+    for (double r : out.rates) s.add(r);
+    return s.value();
+  }();
+  if (assigned > 0.0) {
+    const double scale = lambda_total / assigned;
+    for (double& r : out.rates) r *= scale;
+  }
+
+  out.inner_evaluations = inner_evals;
+  out.utilizations = obj.utilizations(out.rates);
+  out.response_times.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.response_times[i] = obj.queue(i).generic_response_time(out.rates[i]);
+  }
+  out.response_time = obj.value(out.rates);
+  return out;
+}
+
+}  // namespace blade::opt

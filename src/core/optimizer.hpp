@@ -1,0 +1,80 @@
+// The paper's solver: Algorithm Find_lambda'_i (Fig. 2) nested inside
+// Algorithm Calculate T' (Fig. 3). Both levels are bracket-then-bisect on
+// monotone functions:
+//
+//   inner:  g_i(lambda'_i) = (1/lambda')(T'_i + lambda'_i dT'_i/dlambda'_i)
+//           is strictly increasing (T' is convex in lambda'_i); given the
+//           multiplier phi, solve g_i = phi on [0, m_i/xbar_i - lambda''_i).
+//           If g_i(0) >= phi the server receives no generic load.
+//
+//   outer:  F(phi) = sum_i lambda'_i(phi) is increasing in phi; solve
+//           F(phi) = lambda'.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+struct OptimizerOptions {
+  double rate_tolerance = 1e-12;  ///< bisection width for each lambda'_i
+  double phi_tolerance = 1e-12;   ///< bisection width for phi
+  int max_iterations = 300;       ///< per bisection
+  /// Fraction of the saturation point where the per-server bracket is
+  /// clamped, mirroring the paper's (1 - epsilon) guard on line (7).
+  double saturation_margin = 1e-9;
+  /// Task-size squared coefficient of variation; 1 is the paper's exact
+  /// exponential model, other values engage the Allen–Cunneen M/G/m
+  /// approximation (used by the sensitivity ablation).
+  double service_scv = 1.0;
+};
+
+/// Solution of the load-distribution problem.
+struct LoadDistribution {
+  std::vector<double> rates;         ///< lambda'_i
+  std::vector<double> utilizations;  ///< rho_i at the optimum
+  std::vector<double> response_times;  ///< per-server T'_i at the optimum
+  double response_time = 0.0;        ///< minimized T'
+  double phi = 0.0;                  ///< Lagrange multiplier (paper's phi)
+  int outer_iterations = 0;          ///< phi bisection steps
+  long inner_evaluations = 0;        ///< total marginal-cost evaluations
+
+  [[nodiscard]] double total_rate() const;
+};
+
+class LoadDistributionOptimizer {
+ public:
+  LoadDistributionOptimizer(model::Cluster cluster, queue::Discipline d,
+                            OptimizerOptions opts = {});
+
+  /// Heterogeneous disciplines: ds[i] applies to server i.
+  LoadDistributionOptimizer(model::Cluster cluster, std::vector<queue::Discipline> ds,
+                            OptimizerOptions opts = {});
+
+  [[nodiscard]] const model::Cluster& cluster() const noexcept { return cluster_; }
+  /// The common discipline; for heterogeneous setups, that of server 0.
+  [[nodiscard]] queue::Discipline discipline() const noexcept { return discs_.front(); }
+  [[nodiscard]] const std::vector<queue::Discipline>& disciplines() const noexcept {
+    return discs_;
+  }
+
+  /// Solves for a given total generic rate lambda' in (0, lambda'_max).
+  /// Throws std::invalid_argument when lambda' is infeasible.
+  [[nodiscard]] LoadDistribution optimize(double lambda_total) const;
+
+  /// The inner algorithm (Fig. 2): lambda'_i achieving marginal cost phi.
+  /// Exposed for tests; `evals` (optional) accumulates marginal evaluations.
+  [[nodiscard]] double find_rate(const ResponseTimeObjective& obj, std::size_t i, double phi,
+                                 long* evals = nullptr) const;
+
+ private:
+  model::Cluster cluster_;
+  std::vector<queue::Discipline> discs_;  // one per server
+  OptimizerOptions opts_;
+};
+
+}  // namespace blade::opt

@@ -1,0 +1,182 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+#include "numerics/roots.hpp"
+#include "numerics/special.hpp"
+
+namespace blade::opt {
+
+namespace {
+
+// Baselines never load a server beyond this fraction of its generic-rate
+// saturation point. A blind heuristic that parked a server at rho = 1-1e-9
+// would see astronomically large (though finite) response times; real
+// admission control leaves headroom, and 98% keeps the comparison fair
+// without changing who wins.
+constexpr double kMargin = 0.02;
+
+/// Assigns `target` proportionally to weights, capping at ub and
+/// redistributing the overflow among uncapped servers.
+std::vector<double> proportional_capped(const std::vector<double>& weights,
+                                        const std::vector<double>& ub, double target) {
+  const std::size_t n = weights.size();
+  std::vector<double> out(n, 0.0);
+  std::vector<bool> capped(n, false);
+  double remaining = target;
+  for (std::size_t round = 0; round < n; ++round) {
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!capped[i]) wsum += weights[i];
+    }
+    if (wsum <= 0.0) break;
+    bool newly_capped = false;
+    double overflow = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (capped[i]) continue;
+      const double want = out[i] + remaining * weights[i] / wsum;
+      if (want > ub[i]) {
+        overflow += want - ub[i];
+        out[i] = ub[i];
+        capped[i] = true;
+        newly_capped = true;
+      } else {
+        out[i] = want;
+      }
+    }
+    remaining = overflow;
+    if (!newly_capped) {
+      remaining = 0.0;
+      break;
+    }
+  }
+  if (remaining > 1e-9 * std::max(1.0, target)) {
+    throw std::invalid_argument("policy: demand exceeds total capacity");
+  }
+  return out;
+}
+
+std::vector<double> bounds(const ResponseTimeObjective& obj) {
+  std::vector<double> ub(obj.size());
+  for (std::size_t i = 0; i < obj.size(); ++i) ub[i] = (1.0 - kMargin) * obj.rate_bound(i);
+  return ub;
+}
+
+std::vector<double> utilization_balancing(const model::Cluster& cluster, double lambda_total) {
+  // Find the common utilization level rho such that
+  //   sum_i max(0, rho m_i / xbar_i - lambda''_i) = lambda'.
+  auto assigned = [&](double rho) {
+    num::KahanSum s;
+    for (const auto& srv : cluster.servers()) {
+      const double cap = srv.capacity(cluster.rbar());
+      s.add(std::max(0.0, rho * cap - srv.special_rate()));
+    }
+    return s.value();
+  };
+  const num::RootOptions opts{.tolerance = 1e-14, .max_iterations = 200, .max_expansions = 60};
+  const auto root = num::solve_increasing(assigned, lambda_total, 0.0, /*sup=*/1.0,
+                                          /*initial_ub=*/0.5, opts);
+  std::vector<double> out;
+  out.reserve(cluster.size());
+  for (const auto& srv : cluster.servers()) {
+    const double cap = srv.capacity(cluster.rbar());
+    out.push_back(std::max(0.0, root.x * cap - srv.special_rate()));
+  }
+  // Normalize the bisection residual.
+  num::KahanSum s;
+  for (double r : out) s.add(r);
+  if (s.value() > 0.0) {
+    const double scale = lambda_total / s.value();
+    for (double& r : out) r *= scale;
+  }
+  return out;
+}
+
+std::vector<double> greedy_incremental(const ResponseTimeObjective& obj, double lambda_total) {
+  // Route lambda' in small equal increments, each to the server whose
+  // marginal cost at its current load is lowest (a discretized version of
+  // the optimality condition).
+  constexpr int kSteps = 4000;
+  const auto ub = bounds(obj);
+  const double delta = lambda_total / kSteps;
+  std::vector<double> out(obj.size(), 0.0);
+  for (int step = 0; step < kSteps; ++step) {
+    std::size_t best = obj.size();
+    double best_marginal = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (out[i] + delta > ub[i]) continue;
+      const double g = obj.marginal(i, out[i]);
+      if (g < best_marginal) {
+        best_marginal = g;
+        best = i;
+      }
+    }
+    if (best == obj.size()) {
+      throw std::invalid_argument("policy: greedy ran out of capacity");
+    }
+    out[best] += delta;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::ProportionalToCapacity: return "proportional-capacity";
+    case Policy::ProportionalToFreeCapacity: return "proportional-free-capacity";
+    case Policy::EqualSplit: return "equal-split";
+    case Policy::UtilizationBalancing: return "utilization-balancing";
+    case Policy::GreedyIncremental: return "greedy-incremental";
+  }
+  return "unknown";
+}
+
+std::vector<Policy> all_policies() {
+  return {Policy::ProportionalToCapacity, Policy::ProportionalToFreeCapacity, Policy::EqualSplit,
+          Policy::UtilizationBalancing, Policy::GreedyIncremental};
+}
+
+std::vector<double> distribute(Policy p, const model::Cluster& cluster, queue::Discipline d,
+                               double lambda_total) {
+  const ResponseTimeObjective obj(cluster, d, lambda_total);
+  const auto ub = bounds(obj);
+  switch (p) {
+    case Policy::ProportionalToCapacity: {
+      std::vector<double> w;
+      w.reserve(cluster.size());
+      for (const auto& s : cluster.servers()) {
+        w.push_back(static_cast<double>(s.size()) * s.speed());
+      }
+      return proportional_capped(w, ub, lambda_total);
+    }
+    case Policy::ProportionalToFreeCapacity: {
+      std::vector<double> w;
+      w.reserve(cluster.size());
+      for (const auto& s : cluster.servers()) w.push_back(s.max_generic_rate(cluster.rbar()));
+      return proportional_capped(w, ub, lambda_total);
+    }
+    case Policy::EqualSplit: {
+      const std::vector<double> w(cluster.size(), 1.0);
+      return proportional_capped(w, ub, lambda_total);
+    }
+    case Policy::UtilizationBalancing:
+      return utilization_balancing(cluster, lambda_total);
+    case Policy::GreedyIncremental:
+      return greedy_incremental(obj, lambda_total);
+  }
+  throw std::logic_error("distribute: unknown policy");
+}
+
+double policy_response_time(Policy p, const model::Cluster& cluster, queue::Discipline d,
+                            double lambda_total) {
+  const ResponseTimeObjective obj(cluster, d, lambda_total);
+  const auto rates = distribute(p, cluster, d, lambda_total);
+  return obj.value(rates);
+}
+
+}  // namespace blade::opt

@@ -1,0 +1,40 @@
+// Baseline load-distribution policies. The paper evaluates only the
+// optimal policy; these heuristics quantify the gap it closes (policy
+// ablation bench) and serve as sanity lower bounds in property tests
+// (optimal must never lose to any of them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+enum class Policy {
+  ProportionalToCapacity,   ///< lambda'_i proportional to m_i s_i
+  ProportionalToFreeCapacity,  ///< proportional to m_i s_i / rbar - lambda''_i
+  EqualSplit,               ///< lambda' / n each (clamped at saturation)
+  UtilizationBalancing,     ///< equalize total rho_i across servers
+  GreedyIncremental,        ///< repeatedly route small increments to the
+                            ///< server with the lowest marginal cost
+};
+
+[[nodiscard]] const char* to_string(Policy p) noexcept;
+
+/// All baseline policies, for sweeping.
+[[nodiscard]] std::vector<Policy> all_policies();
+
+/// Computes the rate vector the policy would assign. All policies return
+/// a feasible assignment (rates below each server's saturation point,
+/// summing to lambda_total); infeasible preferences are clamped and the
+/// overflow redistributed. Throws if lambda_total >= lambda'_max.
+[[nodiscard]] std::vector<double> distribute(Policy p, const model::Cluster& cluster,
+                                             queue::Discipline d, double lambda_total);
+
+/// Convenience: the mean generic response time T' under a policy.
+[[nodiscard]] double policy_response_time(Policy p, const model::Cluster& cluster,
+                                          queue::Discipline d, double lambda_total);
+
+}  // namespace blade::opt

@@ -1,0 +1,94 @@
+#include "core/sensitivity.hpp"
+
+#include <stdexcept>
+
+#include "core/optimizer.hpp"
+
+namespace blade::opt {
+
+namespace {
+
+double solve(const model::Cluster& cluster, queue::Discipline d, double lambda) {
+  OptimizerOptions opts;
+  // Central differences divide by small steps; keep the solver tight.
+  opts.rate_tolerance = 1e-13;
+  opts.phi_tolerance = 1e-13;
+  return LoadDistributionOptimizer(cluster, d, opts).optimize(lambda).response_time;
+}
+
+model::Cluster with_speed(const model::Cluster& base, std::size_t i, double speed) {
+  std::vector<model::BladeServer> servers = base.servers();
+  servers[i] = model::BladeServer(servers[i].size(), speed, servers[i].special_rate());
+  return model::Cluster(std::move(servers), base.rbar());
+}
+
+model::Cluster with_special(const model::Cluster& base, std::size_t i, double rate) {
+  std::vector<model::BladeServer> servers = base.servers();
+  servers[i] = model::BladeServer(servers[i].size(), servers[i].speed(), rate);
+  return model::Cluster(std::move(servers), base.rbar());
+}
+
+model::Cluster with_blades(const model::Cluster& base, std::size_t i, unsigned m) {
+  std::vector<model::BladeServer> servers = base.servers();
+  servers[i] = model::BladeServer(m, servers[i].speed(), servers[i].special_rate());
+  return model::Cluster(std::move(servers), base.rbar());
+}
+
+}  // namespace
+
+SensitivityReport analyze_sensitivity(const model::Cluster& cluster, queue::Discipline d,
+                                      double lambda_total, double rel_step) {
+  if (!(rel_step > 0.0)) throw std::invalid_argument("analyze_sensitivity: step must be > 0");
+  if (!(lambda_total > 0.0) || lambda_total >= cluster.max_generic_rate()) {
+    throw std::invalid_argument("analyze_sensitivity: infeasible lambda'");
+  }
+
+  SensitivityReport rep;
+  const std::size_t n = cluster.size();
+  const double base_T = solve(cluster, d, lambda_total);
+
+  // dT/dlambda'.
+  {
+    const double h = rel_step * lambda_total;
+    const double up = solve(cluster, d, lambda_total + h);
+    const double dn = solve(cluster, d, lambda_total - h);
+    rep.dT_dlambda = (up - dn) / (2.0 * h);
+  }
+
+  // dT/drbar. Note the special rates are absolute, so perturbing rbar
+  // changes utilization exactly as the paper's model prescribes.
+  {
+    const double h = rel_step * cluster.rbar();
+    const model::Cluster up(cluster.servers(), cluster.rbar() + h);
+    const model::Cluster dn(cluster.servers(), cluster.rbar() - h);
+    rep.dT_drbar = (solve(up, d, lambda_total) - solve(dn, d, lambda_total)) / (2.0 * h);
+  }
+
+  rep.dT_dspeed.resize(n);
+  rep.dT_dspecial.resize(n);
+  rep.blade_value.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& srv = cluster.server(i);
+    {
+      const double h = rel_step * srv.speed();
+      const double up = solve(with_speed(cluster, i, srv.speed() + h), d, lambda_total);
+      const double dn = solve(with_speed(cluster, i, srv.speed() - h), d, lambda_total);
+      rep.dT_dspeed[i] = (up - dn) / (2.0 * h);
+    }
+    {
+      const double h = rel_step * std::max(srv.special_rate(), 1.0);
+      const double up = solve(with_special(cluster, i, srv.special_rate() + h), d, lambda_total);
+      const double dn_rate = srv.special_rate() - h;
+      if (dn_rate >= 0.0) {
+        const double dn = solve(with_special(cluster, i, dn_rate), d, lambda_total);
+        rep.dT_dspecial[i] = (up - dn) / (2.0 * h);
+      } else {
+        rep.dT_dspecial[i] = (up - base_T) / h;  // one-sided at the boundary
+      }
+    }
+    rep.blade_value[i] = solve(with_blades(cluster, i, srv.size() + 1), d, lambda_total) - base_T;
+  }
+  return rep;
+}
+
+}  // namespace blade::opt

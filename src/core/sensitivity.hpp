@@ -1,0 +1,44 @@
+// Sensitivity of the *optimized* response time T'* to the problem
+// parameters. The paper's rule-of-thumb ("to reduce T', increase m_i or
+// s_i, or reduce rbar or lambda''_i") is qualitative; this module makes
+// it quantitative: which knob buys the most per unit on a given cluster?
+//
+// Continuous parameters (speeds, special rates, rbar, lambda') are
+// differentiated by central differences of the re-optimized T'*; blade
+// counts are integral, so the report carries the exact one-blade deltas
+// T'*(m_i + 1) - T'*(m_i) instead.
+#pragma once
+
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+struct SensitivityReport {
+  /// dT'*/dlambda': marginal cost of accepting more generic load. By the
+  /// envelope theorem this equals phi - T'*/lambda' at the optimum (the
+  /// multiplier phi prices the *unnormalized* weighted sum; the objective
+  /// also carries an explicit 1/lambda'). Checked in tests.
+  double dT_dlambda = 0.0;
+  /// dT'*/drbar: effect of growing every task.
+  double dT_drbar = 0.0;
+  /// Per-server dT'*/ds_i (negative: faster blades help).
+  std::vector<double> dT_dspeed;
+  /// Per-server dT'*/dlambda''_i (positive: preload hurts).
+  std::vector<double> dT_dspecial;
+  /// Per-server exact effect of one extra blade: T'*(m_i+1) - T'*(m_i)
+  /// (negative: the blade helps). The preload rate is held fixed, so the
+  /// new blade is fully available to generic tasks.
+  std::vector<double> blade_value;
+};
+
+/// Computes the full report; each entry re-solves the optimization, so
+/// the cost is O(servers) solves.
+/// @param rel_step  relative step for the central differences
+[[nodiscard]] SensitivityReport analyze_sensitivity(const model::Cluster& cluster,
+                                                    queue::Discipline d, double lambda_total,
+                                                    double rel_step = 1e-5);
+
+}  // namespace blade::opt

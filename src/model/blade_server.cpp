@@ -1,0 +1,38 @@
+#include "model/blade_server.hpp"
+
+#include <stdexcept>
+
+namespace blade::model {
+
+BladeServer::BladeServer(unsigned size, double speed, double special_rate)
+    : size_(size), speed_(speed), special_rate_(special_rate) {
+  if (size == 0) throw std::invalid_argument("BladeServer: size must be >= 1");
+  if (!(speed > 0.0)) throw std::invalid_argument("BladeServer: speed must be > 0");
+  if (!(special_rate >= 0.0)) {
+    throw std::invalid_argument("BladeServer: special_rate must be >= 0");
+  }
+}
+
+double BladeServer::mean_service_time(double rbar) const {
+  if (!(rbar > 0.0)) throw std::invalid_argument("BladeServer: rbar must be > 0");
+  return rbar / speed_;
+}
+
+double BladeServer::capacity(double rbar) const {
+  return static_cast<double>(size_) * speed_ / rbar;
+}
+
+double BladeServer::special_utilization(double rbar) const {
+  return special_rate_ * mean_service_time(rbar) / static_cast<double>(size_);
+}
+
+double BladeServer::max_generic_rate(double rbar) const {
+  return capacity(rbar) - special_rate_;
+}
+
+queue::BladeQueue BladeServer::queue(double rbar, queue::Discipline d,
+                                     double service_scv) const {
+  return queue::BladeQueue(size_, mean_service_time(rbar), special_rate_, d, service_scv);
+}
+
+}  // namespace blade::model

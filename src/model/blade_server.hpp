@@ -1,0 +1,46 @@
+// A heterogeneous blade server S_i as defined in Section 2: m_i identical
+// blades of speed s_i, preloaded with a dedicated Poisson stream of
+// special tasks at rate lambda''_i.
+#pragma once
+
+#include "queueing/blade_queue.hpp"
+
+namespace blade::model {
+
+class BladeServer {
+ public:
+  /// @param size          m_i, number of blades, >= 1
+  /// @param speed         s_i, instructions per unit time per blade, > 0
+  /// @param special_rate  lambda''_i, arrival rate of dedicated tasks, >= 0
+  BladeServer(unsigned size, double speed, double special_rate);
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] double special_rate() const noexcept { return special_rate_; }
+
+  /// Mean service time of one task on one blade: xbar = rbar / s.
+  [[nodiscard]] double mean_service_time(double rbar) const;
+
+  /// Aggregate processing capacity in tasks/unit time: m s / rbar.
+  [[nodiscard]] double capacity(double rbar) const;
+
+  /// Utilization contributed by the special stream: lambda'' xbar / m.
+  [[nodiscard]] double special_utilization(double rbar) const;
+
+  /// Saturation point of the generic stream: m s / rbar - lambda''.
+  [[nodiscard]] double max_generic_rate(double rbar) const;
+
+  /// The queueing view of this server for a given task-size mean,
+  /// discipline, and (optionally) task-size variability.
+  [[nodiscard]] queue::BladeQueue queue(double rbar, queue::Discipline d,
+                                        double service_scv = 1.0) const;
+
+  friend bool operator==(const BladeServer&, const BladeServer&) = default;
+
+ private:
+  unsigned size_;
+  double speed_;
+  double special_rate_;
+};
+
+}  // namespace blade::model

@@ -1,0 +1,113 @@
+#include "model/cluster.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace blade::model {
+
+Cluster::Cluster(std::vector<BladeServer> servers, double rbar)
+    : servers_(std::move(servers)), rbar_(rbar) {
+  if (servers_.empty()) throw std::invalid_argument("Cluster: need at least one server");
+  if (!(rbar > 0.0)) throw std::invalid_argument("Cluster: rbar must be > 0");
+  for (const auto& s : servers_) {
+    if (s.special_utilization(rbar_) >= 1.0) {
+      throw std::invalid_argument("Cluster: a server is saturated by its special tasks alone");
+    }
+  }
+}
+
+unsigned Cluster::total_blades() const noexcept {
+  unsigned total = 0;
+  for (const auto& s : servers_) total += s.size();
+  return total;
+}
+
+double Cluster::total_speed() const noexcept {
+  double total = 0.0;
+  for (const auto& s : servers_) total += static_cast<double>(s.size()) * s.speed();
+  return total;
+}
+
+double Cluster::total_capacity() const noexcept { return total_speed() / rbar_; }
+
+double Cluster::total_special_rate() const noexcept {
+  double total = 0.0;
+  for (const auto& s : servers_) total += s.special_rate();
+  return total;
+}
+
+double Cluster::max_generic_rate() const noexcept {
+  return total_capacity() - total_special_rate();
+}
+
+std::vector<double> Cluster::mean_service_times() const {
+  std::vector<double> xs;
+  xs.reserve(servers_.size());
+  for (const auto& s : servers_) xs.push_back(s.mean_service_time(rbar_));
+  return xs;
+}
+
+std::vector<queue::BladeQueue> Cluster::queues(queue::Discipline d, double service_scv) const {
+  std::vector<queue::BladeQueue> qs;
+  qs.reserve(servers_.size());
+  for (const auto& s : servers_) qs.push_back(s.queue(rbar_, d, service_scv));
+  return qs;
+}
+
+std::vector<queue::BladeQueue> Cluster::queues(const std::vector<queue::Discipline>& ds,
+                                               double service_scv) const {
+  if (ds.size() != servers_.size()) {
+    throw std::invalid_argument("Cluster::queues: discipline vector size mismatch");
+  }
+  std::vector<queue::BladeQueue> qs;
+  qs.reserve(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    qs.push_back(servers_[i].queue(rbar_, ds[i], service_scv));
+  }
+  return qs;
+}
+
+bool Cluster::all_single_blade() const noexcept {
+  for (const auto& s : servers_) {
+    if (s.size() != 1) return false;
+  }
+  return true;
+}
+
+std::string Cluster::describe() const {
+  std::ostringstream os;
+  os << "cluster{n=" << servers_.size() << ", m=[";
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (i) os << ',';
+    os << servers_[i].size();
+  }
+  os << "], s=[";
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (i) os << ',';
+    os << servers_[i].speed();
+  }
+  os << "], rbar=" << rbar_ << ", lambda''=" << total_special_rate()
+     << ", lambda'_max=" << max_generic_rate() << "}";
+  return os.str();
+}
+
+Cluster make_cluster(const std::vector<unsigned>& sizes, const std::vector<double>& speeds,
+                     double rbar, double preload_fraction) {
+  if (sizes.size() != speeds.size()) {
+    throw std::invalid_argument("make_cluster: sizes/speeds length mismatch");
+  }
+  if (!(preload_fraction >= 0.0) || preload_fraction >= 1.0) {
+    throw std::invalid_argument("make_cluster: preload fraction must be in [0, 1)");
+  }
+  std::vector<BladeServer> servers;
+  servers.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    // lambda''_i = y * m_i / xbar_i = y * m_i * s_i / rbar.
+    const double xbar = rbar / speeds[i];
+    const double rate = preload_fraction * static_cast<double>(sizes[i]) / xbar;
+    servers.emplace_back(sizes[i], speeds[i], rate);
+  }
+  return Cluster(std::move(servers), rbar);
+}
+
+}  // namespace blade::model

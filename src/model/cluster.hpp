@@ -1,0 +1,72 @@
+// A group of n heterogeneous blade servers plus the workload-wide mean
+// task execution requirement rbar — the full problem instance of the
+// paper's optimization.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/blade_server.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace blade::model {
+
+class Cluster {
+ public:
+  /// @param servers  the heterogeneous servers S_1..S_n (n >= 1)
+  /// @param rbar     mean task execution requirement (instructions), > 0
+  Cluster(std::vector<BladeServer> servers, double rbar);
+
+  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
+  [[nodiscard]] const BladeServer& server(std::size_t i) const { return servers_.at(i); }
+  [[nodiscard]] const std::vector<BladeServer>& servers() const noexcept { return servers_; }
+  [[nodiscard]] double rbar() const noexcept { return rbar_; }
+
+  /// Total number of blades m = sum m_i.
+  [[nodiscard]] unsigned total_blades() const noexcept;
+
+  /// Total speed sum m_i s_i (giga-instructions per unit time).
+  [[nodiscard]] double total_speed() const noexcept;
+
+  /// Total processing capacity sum m_i s_i / rbar (tasks per unit time).
+  [[nodiscard]] double total_capacity() const noexcept;
+
+  /// Total special-task arrival rate sum lambda''_i.
+  [[nodiscard]] double total_special_rate() const noexcept;
+
+  /// Saturation point of the total generic rate:
+  /// lambda'_max = sum (m_i s_i / rbar - lambda''_i).
+  [[nodiscard]] double max_generic_rate() const noexcept;
+
+  /// Mean service times xbar_i = rbar / s_i for all servers.
+  [[nodiscard]] std::vector<double> mean_service_times() const;
+
+  /// Queueing views of all servers under a discipline (and optional
+  /// task-size variability, see BladeQueue).
+  [[nodiscard]] std::vector<queue::BladeQueue> queues(queue::Discipline d,
+                                                      double service_scv = 1.0) const;
+
+  /// Heterogeneous-discipline variant: ds[i] applies to server i.
+  [[nodiscard]] std::vector<queue::BladeQueue> queues(const std::vector<queue::Discipline>& ds,
+                                                      double service_scv = 1.0) const;
+
+  /// True when every server has exactly one blade (theorem 1/3 regime).
+  [[nodiscard]] bool all_single_blade() const noexcept;
+
+  /// Human-readable one-line description for logs and benches.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<BladeServer> servers_;
+  double rbar_;
+};
+
+/// Builds a cluster from parallel arrays (sizes m_i, speeds s_i) with
+/// special-task rates set to a fixed fraction y of each server's capacity:
+/// lambda''_i = y * m_i / xbar_i  (the paper's preload convention).
+[[nodiscard]] Cluster make_cluster(const std::vector<unsigned>& sizes,
+                                   const std::vector<double>& speeds, double rbar,
+                                   double preload_fraction);
+
+}  // namespace blade::model

@@ -1,0 +1,93 @@
+#include "model/paper_configs.hpp"
+
+namespace blade::model {
+
+namespace {
+
+constexpr double kPreload = 0.3;
+
+std::vector<double> paper_speeds(double s0 = 1.7) {
+  std::vector<double> s;
+  for (int i = 1; i <= 7; ++i) s.push_back(s0 - 0.1 * i);
+  return s;
+}
+
+std::vector<unsigned> paper_sizes() {
+  std::vector<unsigned> m;
+  for (unsigned i = 1; i <= 7; ++i) m.push_back(2 * i);
+  return m;
+}
+
+}  // namespace
+
+Cluster paper_example_cluster() {
+  return make_cluster(paper_sizes(), paper_speeds(), /*rbar=*/1.0, kPreload);
+}
+
+double paper_example_lambda() { return 0.5 * paper_example_cluster().max_generic_rate(); }
+
+std::vector<NamedCluster> size_groups() {
+  const std::vector<std::vector<unsigned>> ms = {
+      {1, 3, 5, 7, 9, 11, 13}, {1, 3, 5, 8, 10, 12, 14}, {2, 4, 6, 8, 10, 12, 14},
+      {3, 5, 7, 8, 10, 12, 14}, {3, 5, 7, 9, 11, 13, 15}};
+  std::vector<NamedCluster> out;
+  for (std::size_t g = 0; g < ms.size(); ++g) {
+    out.push_back({"group" + std::to_string(g + 1),
+                   make_cluster(ms[g], paper_speeds(), 1.0, kPreload)});
+  }
+  return out;
+}
+
+std::vector<NamedCluster> speed_groups() {
+  std::vector<NamedCluster> out;
+  for (double s : {1.5, 1.6, 1.7, 1.8, 1.9}) {
+    out.push_back({"s=" + std::to_string(s).substr(0, 3),
+                   make_cluster(paper_sizes(), paper_speeds(s), 1.0, kPreload)});
+  }
+  return out;
+}
+
+std::vector<NamedCluster> requirement_groups() {
+  std::vector<NamedCluster> out;
+  for (double r : {0.8, 0.9, 1.0, 1.1, 1.2}) {
+    out.push_back({"r=" + std::to_string(r).substr(0, 3),
+                   make_cluster(paper_sizes(), paper_speeds(), r, kPreload)});
+  }
+  return out;
+}
+
+std::vector<NamedCluster> special_rate_groups() {
+  std::vector<NamedCluster> out;
+  for (double y : {0.20, 0.25, 0.30, 0.35, 0.40}) {
+    out.push_back({"y=" + std::to_string(y).substr(0, 4),
+                   make_cluster(paper_sizes(), paper_speeds(), 1.0, y)});
+  }
+  return out;
+}
+
+std::vector<NamedCluster> size_heterogeneity_groups() {
+  const std::vector<std::vector<unsigned>> ms = {
+      {1, 2, 2, 8, 14, 14, 15}, {2, 4, 6, 8, 10, 12, 14}, {4, 6, 6, 8, 10, 10, 12},
+      {6, 6, 8, 8, 8, 10, 10},  {8, 8, 8, 8, 8, 8, 8}};
+  const std::vector<double> speeds(7, 1.3);
+  std::vector<NamedCluster> out;
+  for (std::size_t g = 0; g < ms.size(); ++g) {
+    out.push_back({"group" + std::to_string(g + 1), make_cluster(ms[g], speeds, 1.0, kPreload)});
+  }
+  return out;
+}
+
+std::vector<NamedCluster> speed_heterogeneity_groups() {
+  const std::vector<std::vector<double>> ss = {
+      {0.1, 0.5, 0.9, 1.3, 1.7, 2.1, 2.5}, {0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.2},
+      {0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9}, {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6},
+      {1.3, 1.3, 1.3, 1.3, 1.3, 1.3, 1.3}};
+  const std::vector<unsigned> sizes(7, 8);
+  std::vector<NamedCluster> out;
+  for (std::size_t g = 0; g < ss.size(); ++g) {
+    out.push_back({"group" + std::to_string(g + 1), make_cluster(sizes, ss[g], 1.0, kPreload)});
+  }
+  return out;
+}
+
+}  // namespace blade::model

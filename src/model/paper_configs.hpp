@@ -1,0 +1,52 @@
+// Factories for every concrete configuration the paper evaluates
+// (Examples 1-2 and the server groups behind Figs. 4-15). Keeping them in
+// the model library means tests, benches, and examples all draw the exact
+// same instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cluster.hpp"
+
+namespace blade::model {
+
+/// A named cluster variant within a figure's family of five groups.
+struct NamedCluster {
+  std::string name;
+  Cluster cluster;
+};
+
+/// Example 1/2 system: n = 7, m_i = 2i, s_i = 1.7 - 0.1 i, rbar = 1,
+/// lambda''_i = 0.3 m_i / xbar_i. lambda'_max = 47.04.
+[[nodiscard]] Cluster paper_example_cluster();
+
+/// The generic-task rate used in Examples 1 and 2: 0.5 * lambda'_max = 23.52.
+[[nodiscard]] double paper_example_lambda();
+
+/// Figs. 4-5: five size groups (m-vectors below), s_i = 1.7 - 0.1 i,
+/// rbar = 1, y = 0.3. Total blades 49, 53, 56, 59, 63.
+[[nodiscard]] std::vector<NamedCluster> size_groups();
+
+/// Figs. 6-7: speeds s_i = s - 0.1 i for s in {1.5, 1.6, 1.7, 1.8, 1.9},
+/// sizes m_i = 2i, rbar = 1, y = 0.3.
+[[nodiscard]] std::vector<NamedCluster> speed_groups();
+
+/// Figs. 8-9: rbar in {0.8, 0.9, 1.0, 1.1, 1.2}, sizes m_i = 2i,
+/// speeds s_i = 1.7 - 0.1 i, y = 0.3.
+[[nodiscard]] std::vector<NamedCluster> requirement_groups();
+
+/// Figs. 10-11: preload fraction y in {0.20, 0.25, 0.30, 0.35, 0.40},
+/// sizes m_i = 2i, speeds s_i = 1.7 - 0.1 i, rbar = 1.
+[[nodiscard]] std::vector<NamedCluster> special_rate_groups();
+
+/// Figs. 12-13: five size-heterogeneity groups, all with 56 blades total,
+/// uniform speed 1.3, rbar = 1, y = 0.3 (total special rate 21.84).
+/// Group 1 is the most heterogeneous, Group 5 perfectly homogeneous.
+[[nodiscard]] std::vector<NamedCluster> size_heterogeneity_groups();
+
+/// Figs. 14-15: five speed-heterogeneity groups, m_i = 8 everywhere and
+/// equal total speed 72.8, rbar = 1, y = 0.3.
+[[nodiscard]] std::vector<NamedCluster> speed_heterogeneity_groups();
+
+}  // namespace blade::model

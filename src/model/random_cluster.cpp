@@ -1,0 +1,52 @@
+#include "model/random_cluster.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace blade::model {
+
+Cluster random_cluster(const RandomClusterSpec& spec) {
+  if (spec.min_servers < 1 || spec.max_servers < spec.min_servers) {
+    throw std::invalid_argument("random_cluster: bad server-count range");
+  }
+  if (spec.min_blades < 1 || spec.max_blades < spec.min_blades) {
+    throw std::invalid_argument("random_cluster: bad blade range");
+  }
+  if (!(spec.min_speed > 0.0) || !(spec.max_speed >= spec.min_speed)) {
+    throw std::invalid_argument("random_cluster: bad speed range");
+  }
+  if (!(spec.max_preload >= 0.0) || spec.max_preload >= 1.0) {
+    throw std::invalid_argument("random_cluster: preload must be in [0, 1)");
+  }
+
+  std::mt19937_64 rng(spec.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  std::uniform_int_distribution<unsigned> n_dist(spec.min_servers, spec.max_servers);
+  std::uniform_int_distribution<unsigned> m_dist(spec.min_blades, spec.max_blades);
+  std::uniform_real_distribution<double> s_dist(spec.min_speed, spec.max_speed);
+  std::uniform_real_distribution<double> y_dist(0.0, spec.max_preload);
+
+  const unsigned n = n_dist(rng);
+  const double rbar = 1.0;  // wlog: speeds absorb the task-size scale
+  std::vector<BladeServer> servers;
+  servers.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned m = spec.single_blade_only ? 1 : m_dist(rng);
+    const double s = s_dist(rng);
+    const double y = y_dist(rng);
+    const double special = y * m * s / rbar;  // preload as utilization fraction y
+    servers.emplace_back(m, s, special);
+  }
+  return Cluster(std::move(servers), rbar);
+}
+
+double random_feasible_rate(const Cluster& cluster, std::uint64_t seed, double lo_fraction,
+                            double hi_fraction) {
+  if (!(lo_fraction > 0.0) || !(hi_fraction < 1.0) || !(hi_fraction >= lo_fraction)) {
+    throw std::invalid_argument("random_feasible_rate: bad fraction range");
+  }
+  std::mt19937_64 rng(seed * 0xA24BAED4963EE407ULL + 5);
+  std::uniform_real_distribution<double> f(lo_fraction, hi_fraction);
+  return f(rng) * cluster.max_generic_rate();
+}
+
+}  // namespace blade::model

@@ -1,0 +1,33 @@
+// Seeded random problem-instance generator for fuzz-style property
+// testing: every generated cluster is valid by construction, spans a wide
+// range of sizes, speeds, and preload skews, and is reproducible from its
+// seed.
+#pragma once
+
+#include <cstdint>
+
+#include "model/cluster.hpp"
+
+namespace blade::model {
+
+struct RandomClusterSpec {
+  std::uint64_t seed = 1;
+  unsigned min_servers = 2;
+  unsigned max_servers = 10;
+  unsigned min_blades = 1;
+  unsigned max_blades = 24;
+  double min_speed = 0.3;
+  double max_speed = 3.0;
+  double max_preload = 0.6;  ///< per-server preload utilization in [0, max]
+  bool single_blade_only = false;  ///< force m_i = 1 (theorem regime)
+};
+
+/// Draws a random cluster. Deterministic in the spec (including seed).
+[[nodiscard]] Cluster random_cluster(const RandomClusterSpec& spec);
+
+/// Draws a feasible total generic rate for the cluster: a uniform
+/// fraction of lambda'_max in [lo_fraction, hi_fraction].
+[[nodiscard]] double random_feasible_rate(const Cluster& cluster, std::uint64_t seed,
+                                          double lo_fraction = 0.05, double hi_fraction = 0.95);
+
+}  // namespace blade::model

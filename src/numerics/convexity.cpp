@@ -1,0 +1,58 @@
+#include "numerics/convexity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace blade::num {
+
+namespace {
+std::vector<double> grid(double a, double b, int points) {
+  if (points < 3) throw std::invalid_argument("shape check: need at least 3 grid points");
+  if (!(b > a)) throw std::invalid_argument("shape check: need b > a");
+  std::vector<double> xs(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    xs[static_cast<std::size_t>(i)] =
+        a + (b - a) * static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  return xs;
+}
+}  // namespace
+
+ShapeReport check_increasing(const std::function<double(double)>& f, double a, double b,
+                             int points, double slack) {
+  const auto xs = grid(a, b, points);
+  ShapeReport rep;
+  double prev = f(xs[0]);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double cur = f(xs[i]);
+    const double margin = cur - prev;
+    if (margin < -slack && margin < rep.worst_violation) {
+      rep.holds = false;
+      rep.worst_violation = margin;
+      rep.worst_x = xs[i];
+    }
+    prev = cur;
+  }
+  return rep;
+}
+
+ShapeReport check_convex(const std::function<double(double)>& f, double a, double b, int points,
+                         double slack) {
+  const auto xs = grid(a, b, points);
+  std::vector<double> fx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) fx[i] = f(xs[i]);
+  ShapeReport rep;
+  // Uniform grid: midpoint of xs[i-1], xs[i+1] is xs[i].
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    const double margin = 0.5 * (fx[i - 1] + fx[i + 1]) - fx[i];
+    if (margin < -slack && margin < rep.worst_violation) {
+      rep.holds = false;
+      rep.worst_violation = margin;
+      rep.worst_x = xs[i];
+    }
+  }
+  return rep;
+}
+
+}  // namespace blade::num

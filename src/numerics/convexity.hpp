@@ -1,0 +1,27 @@
+// Empirical convexity / monotonicity checks over a grid. The paper's
+// solver correctness rests on T' being convex and its marginal cost being
+// increasing in each lambda'_i; the property tests verify this on the
+// actual model functions.
+#pragma once
+
+#include <functional>
+
+namespace blade::num {
+
+/// Result of a grid scan.
+struct ShapeReport {
+  bool holds = true;          ///< property satisfied at every checked point
+  double worst_violation = 0.0;  ///< most negative margin observed
+  double worst_x = 0.0;          ///< grid point of the worst violation
+};
+
+/// Checks f is nondecreasing on [a, b] sampled at `points` grid points,
+/// allowing violations up to `slack` (for numerical noise).
+[[nodiscard]] ShapeReport check_increasing(const std::function<double(double)>& f, double a,
+                                           double b, int points = 200, double slack = 1e-9);
+
+/// Checks midpoint convexity f((x+y)/2) <= (f(x)+f(y))/2 on a grid.
+[[nodiscard]] ShapeReport check_convex(const std::function<double(double)>& f, double a, double b,
+                                       int points = 200, double slack = 1e-9);
+
+}  // namespace blade::num

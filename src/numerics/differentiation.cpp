@@ -1,0 +1,31 @@
+#include "numerics/differentiation.hpp"
+
+#include <cmath>
+
+namespace blade::num {
+
+namespace {
+double default_step(double x, double power) {
+  const double eps = 2.220446049250313e-16;
+  return std::pow(eps, power) * (std::abs(x) + 1.0);
+}
+}  // namespace
+
+double central_difference(const std::function<double(double)>& f, double x, double h) {
+  if (h <= 0.0) h = default_step(x, 1.0 / 3.0);
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double richardson_derivative(const std::function<double(double)>& f, double x, double h) {
+  if (h <= 0.0) h = default_step(x, 1.0 / 5.0);
+  const double d1 = central_difference(f, x, h);
+  const double d2 = central_difference(f, x, 0.5 * h);
+  return (4.0 * d2 - d1) / 3.0;
+}
+
+double second_derivative(const std::function<double(double)>& f, double x, double h) {
+  if (h <= 0.0) h = default_step(x, 1.0 / 4.0);
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+}  // namespace blade::num

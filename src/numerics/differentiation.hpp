@@ -1,0 +1,24 @@
+// Numerical differentiation used as an independent check of the analytic
+// derivatives (tests compare erlang_c_drho and the queueing marginals
+// against these).
+#pragma once
+
+#include <functional>
+
+namespace blade::num {
+
+/// Central difference f'(x) with step h (default scaled to x).
+[[nodiscard]] double central_difference(const std::function<double(double)>& f, double x,
+                                        double h = 0.0);
+
+/// Richardson-extrapolated central difference (two step sizes, h and h/2),
+/// ~O(h^4) accurate; the workhorse for derivative cross-checks.
+[[nodiscard]] double richardson_derivative(const std::function<double(double)>& f, double x,
+                                           double h = 0.0);
+
+/// Second derivative via the standard 3-point stencil (used by convexity
+/// verification).
+[[nodiscard]] double second_derivative(const std::function<double(double)>& f, double x,
+                                       double h = 0.0);
+
+}  // namespace blade::num

@@ -1,0 +1,195 @@
+#include "numerics/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace blade::num {
+
+namespace {
+constexpr double kSupMargin = 1e-9;  // (1 - eps) clamp factor against the supremum
+}
+
+RootResult solve_increasing(const std::function<double(double)>& f, double target, double lower,
+                            std::optional<double> sup, std::optional<double> initial_ub,
+                            const RootOptions& opts) {
+  RootResult res;
+  if (sup && *sup <= lower) {
+    throw RootFindingError("solve_increasing: empty domain (sup <= lower)");
+  }
+  if (f(lower) >= target) {
+    res.x = lower;
+    res.f = f(lower);
+    return res;
+  }
+
+  double ub = initial_ub.value_or(std::max(1e-6, lower + 1e-6));
+  if (ub <= lower) ub = lower + 1e-6;
+  const double hard_ub = sup ? (1.0 - kSupMargin) * (*sup - lower) + lower
+                             : std::numeric_limits<double>::infinity();
+  ub = std::min(ub, hard_ub);
+
+  int expansions = 0;
+  while (f(ub) < target) {
+    if (ub >= hard_ub) {
+      // Saturated: f never reaches the target inside the domain. The best
+      // feasible answer is the clamped upper bound (paper line (7)).
+      res.x = hard_ub;
+      res.f = f(hard_ub);
+      res.expansions = expansions;
+      res.clamped_at_upper = true;
+      return res;
+    }
+    ub = std::min(lower + 2.0 * (ub - lower), hard_ub);
+    if (++expansions > opts.max_expansions) {
+      throw RootFindingError("solve_increasing: bracketing failed (function may be bounded below target)");
+    }
+  }
+
+  double lb = lower;
+  int it = 0;
+  while (ub - lb > opts.tolerance && it < opts.max_iterations) {
+    const double mid = 0.5 * (lb + ub);
+    if (f(mid) < target) {
+      lb = mid;
+    } else {
+      ub = mid;
+    }
+    ++it;
+  }
+  res.x = 0.5 * (lb + ub);
+  res.f = f(res.x);
+  res.iterations = it;
+  res.expansions = expansions;
+  return res;
+}
+
+RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                  const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, 0, false};
+  if (fb == 0.0) return {b, 0.0, 0, 0, false};
+  if ((fa > 0.0) == (fb > 0.0)) {
+    throw RootFindingError("bisect: root not bracketed");
+  }
+  int it = 0;
+  while (b - a > opts.tolerance && it < opts.max_iterations) {
+    const double mid = 0.5 * (a + b);
+    const double fm = f(mid);
+    if ((fm > 0.0) == (fa > 0.0)) {
+      a = mid;
+      fa = fm;
+    } else {
+      b = mid;
+    }
+    ++it;
+  }
+  const double x = 0.5 * (a + b);
+  return {x, f(x), it, 0, false};
+}
+
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, 0, false};
+  if (fb == 0.0) return {b, 0.0, 0, 0, false};
+  if ((fa > 0.0) == (fb > 0.0)) {
+    throw RootFindingError("brent: root not bracketed");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;  // previous step sizes for the safeguard
+  double e = d;
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = e = b - a;
+    }
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) +
+                       0.5 * opts.tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0) break;
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Inverse quadratic interpolation (secant when only two points differ).
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q; else p = -p;
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+  }
+  return {b, fb, it, 0, false};
+}
+
+RootResult newton_safeguarded(const std::function<std::pair<double, double>(double)>& fdf,
+                              double a, double b, const RootOptions& opts) {
+  auto [fa, dfa] = fdf(a);
+  auto [fb, dfb] = fdf(b);
+  (void)dfa;
+  (void)dfb;
+  if (fa == 0.0) return {a, 0.0, 0, 0, false};
+  if (fb == 0.0) return {b, 0.0, 0, 0, false};
+  if ((fa > 0.0) == (fb > 0.0)) {
+    throw RootFindingError("newton_safeguarded: root not bracketed");
+  }
+  double x = 0.5 * (a + b);
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    auto [fx, dfx] = fdf(x);
+    if (fx == 0.0) break;
+    // Shrink the bracket around the root.
+    if ((fx > 0.0) == (fa > 0.0)) {
+      a = x;
+      fa = fx;
+    } else {
+      b = x;
+    }
+    if (b - a <= opts.tolerance) break;
+    double next = (dfx != 0.0) ? x - fx / dfx : 0.5 * (a + b);
+    if (!(next > a && next < b)) next = 0.5 * (a + b);  // safeguard
+    if (std::abs(next - x) <= 0.25 * opts.tolerance) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  auto [fx, dfx] = fdf(x);
+  (void)dfx;
+  return {x, fx, it, 0, false};
+}
+
+}  // namespace blade::num

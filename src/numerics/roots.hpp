@@ -1,0 +1,63 @@
+// Root finding for monotone equations. The paper's two algorithms
+// (Find_lambda'_i, Calculate T') are both "expand an upper bracket by
+// doubling, then bisect"; BracketedBisection generalizes that pattern.
+// Brent's method is provided as a faster alternative used by the
+// closed-form solvers.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+namespace blade::num {
+
+/// Thrown when a solver cannot bracket or converge.
+class RootFindingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Options shared by the solvers.
+struct RootOptions {
+  double tolerance = 1e-12;   ///< absolute width of the final bracket
+  int max_iterations = 200;   ///< bisection/Brent iteration cap
+  int max_expansions = 200;   ///< doubling steps allowed when bracketing
+};
+
+/// Result of a solve, including diagnostics used by the perf benches.
+struct RootResult {
+  double x = 0.0;            ///< located root (bracket midpoint)
+  double f = 0.0;            ///< residual f(x)
+  int iterations = 0;        ///< refinement iterations used
+  int expansions = 0;        ///< bracketing expansions used
+  bool clamped_at_upper = false;  ///< bracket hit the sup bound (saturation)
+};
+
+/// Solves f(x) = target for an *increasing* f on [lower, sup).
+///
+/// Mirrors the paper's Fig. 2 algorithm: the upper bound starts at
+/// `initial_ub` (or a small default) and doubles until f(ub) >= target,
+/// clamping to (1-eps)*sup when a finite supremum is given (the server
+/// saturation point); then the bracket is bisected. If f(lower) >= target
+/// the root is reported at `lower` (the "inactive server" case).
+[[nodiscard]] RootResult solve_increasing(const std::function<double(double)>& f, double target,
+                                          double lower, std::optional<double> sup,
+                                          std::optional<double> initial_ub = std::nullopt,
+                                          const RootOptions& opts = {});
+
+/// Classic bisection on [a, b] with f(a), f(b) of opposite sign.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                                const RootOptions& opts = {});
+
+/// Brent's method on [a, b] with f(a), f(b) of opposite sign. Superlinear;
+/// used where we can afford to require a pre-established bracket.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f, double a, double b,
+                               const RootOptions& opts = {});
+
+/// Safeguarded Newton: falls back to bisection steps whenever the Newton
+/// step leaves the bracket or stalls. `fdf` returns {f(x), f'(x)}.
+[[nodiscard]] RootResult newton_safeguarded(
+    const std::function<std::pair<double, double>(double)>& fdf, double a, double b,
+    const RootOptions& opts = {});
+
+}  // namespace blade::num

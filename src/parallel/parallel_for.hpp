@@ -1,0 +1,36 @@
+// Data-parallel helpers on top of ThreadPool: chunked parallel_for and a
+// parallel map returning a vector of results. Exceptions thrown by any
+// chunk are rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace blade::par {
+
+/// Runs body(i) for i in [begin, end) across the pool with static chunking.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps f over [0, count) and collects the results in index order.
+template <typename R>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t count,
+                            const std::function<R(std::size_t)>& f) {
+  std::vector<R> out(count);
+  parallel_for(pool, 0, count, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+template <typename R>
+std::vector<R> parallel_map(std::size_t count, const std::function<R(std::size_t)>& f) {
+  return parallel_map<R>(global_pool(), count, f);
+}
+
+}  // namespace blade::par

@@ -1,0 +1,30 @@
+#include "parallel/sweep.hpp"
+
+#include <stdexcept>
+
+namespace blade::par {
+
+std::vector<double> linspace(double lo, double hi, std::size_t points) {
+  if (points == 0) return {};
+  if (points == 1) return {lo};
+  if (!(hi >= lo)) throw std::invalid_argument("linspace: need hi >= lo");
+  std::vector<double> xs(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  return xs;
+}
+
+std::vector<double> sweep(ThreadPool& pool, const std::vector<double>& grid,
+                          const std::function<double(double)>& f) {
+  std::vector<double> out(grid.size());
+  parallel_for(pool, 0, grid.size(), [&](std::size_t i) { out[i] = f(grid[i]); });
+  return out;
+}
+
+std::vector<double> sweep(const std::vector<double>& grid,
+                          const std::function<double(double)>& f) {
+  return sweep(global_pool(), grid, f);
+}
+
+}  // namespace blade::par

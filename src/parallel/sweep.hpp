@@ -1,0 +1,26 @@
+// Parameter-sweep runner: evaluates a function at each grid point in
+// parallel and returns results in grid order. All the figure benches are
+// sweeps of T'(lambda') over lambda' grids for several cluster variants.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blade::par {
+
+/// Uniform grid of `points` values on [lo, hi] inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t points);
+
+/// Evaluates f at every grid point in parallel; results in grid order.
+[[nodiscard]] std::vector<double> sweep(ThreadPool& pool, const std::vector<double>& grid,
+                                        const std::function<double(double)>& f);
+
+/// sweep on the global pool.
+[[nodiscard]] std::vector<double> sweep(const std::vector<double>& grid,
+                                        const std::function<double(double)>& f);
+
+}  // namespace blade::par

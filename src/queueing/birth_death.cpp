@@ -1,0 +1,68 @@
+#include "queueing/birth_death.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special.hpp"
+
+namespace blade::queue {
+
+BirthDeathChain::BirthDeathChain(std::function<double(unsigned)> birth,
+                                 std::function<double(unsigned)> death, unsigned max_state)
+    : birth_(std::move(birth)), death_(std::move(death)), max_state_(max_state) {
+  if (!birth_ || !death_) throw std::invalid_argument("BirthDeathChain: null rate function");
+  if (max_state == 0) throw std::invalid_argument("BirthDeathChain: need max_state >= 1");
+}
+
+const std::vector<double>& BirthDeathChain::stationary() const {
+  if (!pi_.empty()) return pi_;
+  // Unnormalized weights via detailed balance, in a scaled form that
+  // avoids overflow: renormalize whenever the running weight grows large.
+  std::vector<double> w(max_state_ + 1);
+  w[0] = 1.0;
+  double scale_correction = 0.0;  // log-scale applied so far (uniform, cancels)
+  for (unsigned k = 0; k < max_state_; ++k) {
+    const double b = birth_(k);
+    const double d = death_(k + 1);
+    if (b < 0.0) throw std::domain_error("BirthDeathChain: negative birth rate");
+    if (b > 0.0 && !(d > 0.0)) {
+      throw std::domain_error("BirthDeathChain: state reachable but death rate is 0");
+    }
+    w[k + 1] = (b == 0.0) ? 0.0 : w[k] * b / d;
+    if (w[k + 1] > 1e280) {
+      const double s = w[k + 1];
+      for (unsigned j = 0; j <= k + 1; ++j) w[j] /= s;
+      scale_correction += std::log(s);
+    }
+  }
+  (void)scale_correction;  // uniform scaling cancels in normalization
+  num::KahanSum z;
+  for (double x : w) z.add(x);
+  if (!(z.value() > 0.0)) throw std::domain_error("BirthDeathChain: degenerate chain");
+  pi_.resize(w.size());
+  for (std::size_t k = 0; k < w.size(); ++k) pi_[k] = w[k] / z.value();
+  return pi_;
+}
+
+double BirthDeathChain::expectation(const std::function<double(unsigned)>& f) const {
+  const auto& pi = stationary();
+  num::KahanSum acc;
+  for (unsigned k = 0; k <= max_state_; ++k) acc.add(pi[k] * f(k));
+  return acc.value();
+}
+
+double BirthDeathChain::mean_state() const {
+  return expectation([](unsigned k) { return static_cast<double>(k); });
+}
+
+double BirthDeathChain::tail_probability(unsigned k) const {
+  const auto& pi = stationary();
+  num::KahanSum acc;
+  for (unsigned j = k; j <= max_state_; ++j) acc.add(pi[j]);
+  return std::min(1.0, acc.value());
+}
+
+double BirthDeathChain::boundary_mass() const { return stationary().back(); }
+
+}  // namespace blade::queue

@@ -1,0 +1,49 @@
+// Generic birth-death chain steady-state solver. M/M/m, M/M/m/K, and
+// M/M/1 are all birth-death processes, so this gives an independent
+// numerical cross-check of every closed-form formula in the library:
+// the detailed-balance recurrence pi_{k+1} = pi_k * birth(k)/death(k+1)
+// needs nothing but the rate functions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace blade::queue {
+
+class BirthDeathChain {
+ public:
+  /// @param birth  birth(k): rate from state k to k+1, >= 0
+  /// @param death  death(k): rate from state k to k-1 (k >= 1), > 0 where
+  ///               reachable
+  /// @param max_state  truncation bound (inclusive); for infinite chains
+  ///               choose it so the tail mass is negligible
+  BirthDeathChain(std::function<double(unsigned)> birth, std::function<double(unsigned)> death,
+                  unsigned max_state);
+
+  /// Steady-state distribution pi_0..pi_max (normalized over the
+  /// truncated range). Computed once, cached.
+  [[nodiscard]] const std::vector<double>& stationary() const;
+
+  [[nodiscard]] unsigned max_state() const noexcept { return max_state_; }
+
+  /// E[f(K)] under the stationary distribution.
+  [[nodiscard]] double expectation(const std::function<double(unsigned)>& f) const;
+
+  /// Mean state E[K].
+  [[nodiscard]] double mean_state() const;
+
+  /// P(K >= k).
+  [[nodiscard]] double tail_probability(unsigned k) const;
+
+  /// Mass at the truncation boundary (sanity check: should be ~0 when the
+  /// truncation is adequate).
+  [[nodiscard]] double boundary_mass() const;
+
+ private:
+  std::function<double(unsigned)> birth_;
+  std::function<double(unsigned)> death_;
+  unsigned max_state_;
+  mutable std::vector<double> pi_;  // lazily filled
+};
+
+}  // namespace blade::queue

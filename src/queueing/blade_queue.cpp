@@ -1,0 +1,93 @@
+#include "queueing/blade_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/erlang.hpp"
+#include "queueing/mmm.hpp"
+
+namespace blade::queue {
+
+const char* to_string(Discipline d) noexcept {
+  return d == Discipline::Fcfs ? "fcfs" : "priority";
+}
+
+BladeQueue::BladeQueue(unsigned m, double xbar, double lambda2, Discipline d, double service_scv)
+    : m_(m), xbar_(xbar), lambda2_(lambda2), disc_(d), scv_(service_scv) {
+  if (m == 0) throw std::invalid_argument("BladeQueue: m must be >= 1");
+  if (!(xbar > 0.0)) throw std::invalid_argument("BladeQueue: xbar must be > 0");
+  if (!(lambda2 >= 0.0)) throw std::invalid_argument("BladeQueue: lambda2 must be >= 0");
+  if (!(service_scv >= 0.0)) throw std::invalid_argument("BladeQueue: scv must be >= 0");
+  if (special_utilization() >= 1.0) {
+    throw UnstableQueueError("BladeQueue: special tasks alone saturate the server");
+  }
+}
+
+double BladeQueue::special_utilization() const noexcept {
+  return lambda2_ * xbar_ / static_cast<double>(m_);
+}
+
+double BladeQueue::max_generic_rate() const noexcept {
+  return static_cast<double>(m_) / xbar_ - lambda2_;
+}
+
+double BladeQueue::utilization(double lambda1) const {
+  if (!(lambda1 >= 0.0)) throw std::invalid_argument("BladeQueue: lambda1 must be >= 0");
+  const double rho = (lambda1 + lambda2_) * xbar_ / static_cast<double>(m_);
+  if (rho >= 1.0) {
+    throw UnstableQueueError("BladeQueue: generic + special arrivals exceed capacity");
+  }
+  return rho;
+}
+
+double BladeQueue::response_time_at_rho(double rho) const {
+  if (!(rho >= 0.0) || rho >= 1.0) {
+    throw std::invalid_argument("BladeQueue: rho must be in [0, 1)");
+  }
+  const double pq = num::erlang_c(m_, rho);
+  const double md = static_cast<double>(m_);
+  double wait = variability_factor() * pq / (md * (1.0 - rho)) * xbar_;
+  if (disc_ == Discipline::SpecialPriority) {
+    wait /= (1.0 - special_utilization());
+  }
+  return xbar_ + wait;
+}
+
+double BladeQueue::generic_response_time(double lambda1) const {
+  return response_time_at_rho(utilization(lambda1));
+}
+
+double BladeQueue::special_response_time(double lambda1) const {
+  const double rho = utilization(lambda1);
+  const double pq = num::erlang_c(m_, rho);
+  const double md = static_cast<double>(m_);
+  if (disc_ == Discipline::Fcfs) {
+    return xbar_ + variability_factor() * pq * xbar_ / (md * (1.0 - rho));
+  }
+  // Theorem 2's intermediate result: W'' = W_0 / (1 - rho'').
+  const double w0 = variability_factor() * pq * xbar_ / md;
+  return xbar_ + w0 / (1.0 - special_utilization());
+}
+
+double BladeQueue::dT_drho(double lambda1) const {
+  const double rho = utilization(lambda1);
+  const double md = static_cast<double>(m_);
+  const double pq = num::erlang_c(m_, rho);
+  const double dpq = num::erlang_c_drho(m_, rho);
+  // T' = xbar (1 + f * C/(1-rho) / m) with f = (1+scv)/2 times 1 (FCFS)
+  // or 1/(1-rho'') (priority); f is constant in rho either way.
+  double f = variability_factor();
+  if (disc_ == Discipline::SpecialPriority) f /= (1.0 - special_utilization());
+  const double one_minus = 1.0 - rho;
+  return xbar_ * f / md * (dpq * one_minus + pq) / (one_minus * one_minus);
+}
+
+double BladeQueue::dT_dlambda(double lambda1) const {
+  return xbar_ / static_cast<double>(m_) * dT_drho(lambda1);
+}
+
+double BladeQueue::lagrange_marginal(double lambda1) const {
+  return generic_response_time(lambda1) + lambda1 * dT_dlambda(lambda1);
+}
+
+}  // namespace blade::queue

@@ -1,0 +1,129 @@
+#include "queueing/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::queue {
+
+Ctmc::Ctmc(std::size_t states) : out_(states) {
+  if (states == 0) throw std::invalid_argument("Ctmc: need at least one state");
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  if (from >= out_.size() || to >= out_.size()) throw std::out_of_range("Ctmc: bad state index");
+  if (from == to) throw std::invalid_argument("Ctmc: self-loops are not allowed");
+  if (!(rate > 0.0)) throw std::invalid_argument("Ctmc: rate must be > 0");
+  for (auto& [t, r] : out_[from]) {
+    if (t == to) {
+      r += rate;
+      return;
+    }
+  }
+  out_[from].emplace_back(to, rate);
+}
+
+double Ctmc::exit_rate(std::size_t s) const {
+  if (s >= out_.size()) throw std::out_of_range("Ctmc: bad state index");
+  double total = 0.0;
+  for (const auto& [t, r] : out_[s]) total += r;
+  return total;
+}
+
+void Ctmc::step(const std::vector<double>& in, std::vector<double>& out, double lam) const {
+  const std::size_t n = out_.size();
+  for (std::size_t j = 0; j < n; ++j) out[j] = in[j];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = in[i] / lam;
+    for (const auto& [j, r] : out_[i]) {
+      const double flow = base * r;
+      out[i] -= flow;
+      out[j] += flow;
+    }
+  }
+}
+
+Ctmc::Solution Ctmc::stationary(const SolveOptions& opts) const {
+  const std::size_t n = out_.size();
+  // Uniformization constant: a hair above the largest exit rate.
+  double lam = 0.0;
+  for (std::size_t s = 0; s < n; ++s) lam = std::max(lam, exit_rate(s));
+  if (!(lam > 0.0)) throw std::domain_error("Ctmc::stationary: chain has no transitions");
+  lam *= 1.05;
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+
+  Solution sol;
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    step(pi, next, lam);
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) delta += std::abs(next[j] - pi[j]);
+    pi.swap(next);
+    sol.sweeps = sweep + 1;
+    sol.residual = delta;
+    if (delta < opts.tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  // Normalize (guards drift from rounding).
+  double z = 0.0;
+  for (double x : pi) z += x;
+  for (double& x : pi) x /= z;
+  sol.pi = std::move(pi);
+  return sol;
+}
+
+std::vector<double> Ctmc::transient(const std::vector<double>& pi0, double t,
+                                    double tail_mass) const {
+  const std::size_t n = out_.size();
+  if (pi0.size() != n) throw std::invalid_argument("Ctmc::transient: pi0 size mismatch");
+  if (!(t >= 0.0)) throw std::invalid_argument("Ctmc::transient: t must be >= 0");
+  if (t == 0.0) return pi0;
+
+  double lam = 0.0;
+  for (std::size_t s = 0; s < n; ++s) lam = std::max(lam, exit_rate(s));
+  if (!(lam > 0.0)) return pi0;
+  lam *= 1.05;
+
+  // pi(t) = sum_j w_j v_j,  w_j = Poisson(lam t; j),  v_j = v_{j-1} P.
+  const double a = lam * t;
+  std::vector<double> v = pi0;
+  std::vector<double> next(n);
+  std::vector<double> acc(n, 0.0);
+  double w = std::exp(-a);  // j = 0 weight
+  double covered = 0.0;
+  // When e^{-a} underflows, start accumulating once weights become
+  // representable; the recurrence below handles it because w stays 0
+  // until multiplied up -- so seed via scaled logs instead.
+  bool underflow = (w == 0.0);
+  double logw = -a;  // log of the running weight when underflowed
+  for (std::size_t j = 0;; ++j) {
+    if (underflow && logw > -700.0) {
+      w = std::exp(logw);
+      underflow = false;
+    }
+    if (!underflow) {
+      for (std::size_t s = 0; s < n; ++s) acc[s] += w * v[s];
+      covered += w;
+      if (1.0 - covered < tail_mass && static_cast<double>(j) > a) break;
+    }
+    // Advance v <- v P and the Poisson weight.
+    step(v, next, lam);
+    v.swap(next);
+    if (!underflow) {
+      w *= a / static_cast<double>(j + 1);
+    } else {
+      logw += std::log(a) - std::log(static_cast<double>(j + 1));
+    }
+    if (j > 1000000) throw std::runtime_error("Ctmc::transient: series did not converge");
+  }
+  // Normalize the truncated series.
+  double z = 0.0;
+  for (double x : acc) z += x;
+  for (double& x : acc) x /= z;
+  return acc;
+}
+
+}  // namespace blade::queue

@@ -1,0 +1,55 @@
+// Sparse continuous-time Markov chain with a steady-state solver
+// (uniformization + power iteration). Used to validate the paper's
+// priority formula (Theorem 2) against the *exact* two-class chain --
+// a check the paper itself never performs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace blade::queue {
+
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t states);
+
+  /// Adds (accumulates) a transition rate from -> to, rate > 0, from != to.
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  [[nodiscard]] std::size_t states() const noexcept { return out_.size(); }
+
+  /// Total outgoing rate of a state.
+  [[nodiscard]] double exit_rate(std::size_t s) const;
+
+  struct SolveOptions {
+    double tolerance = 1e-12;  ///< L1 change per sweep to declare converged
+    int max_sweeps = 200000;
+  };
+
+  struct Solution {
+    std::vector<double> pi;
+    int sweeps = 0;
+    bool converged = false;
+    double residual = 0.0;  ///< final L1 change
+  };
+
+  /// Stationary distribution via the uniformized DTMC P = I + Q/Lambda.
+  /// The chain must be irreducible over the supplied states.
+  [[nodiscard]] Solution stationary(const SolveOptions& opts) const;
+  [[nodiscard]] Solution stationary() const { return stationary(SolveOptions{}); }
+
+  /// Transient distribution pi(t) = pi0 e^{Qt} by uniformization:
+  /// pi(t) = sum_j Poisson(Lambda t; j) pi0 P^j, with the series
+  /// truncated once the remaining Poisson mass is below `tail_mass`.
+  [[nodiscard]] std::vector<double> transient(const std::vector<double>& pi0, double t,
+                                              double tail_mass = 1e-12) const;
+
+ private:
+  /// One uniformized step: out = in * (I + Q/lam).
+  void step(const std::vector<double>& in, std::vector<double>& out, double lam) const;
+
+  std::vector<std::vector<std::pair<std::size_t, double>>> out_;
+};
+
+}  // namespace blade::queue

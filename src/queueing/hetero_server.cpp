@@ -1,0 +1,111 @@
+#include "queueing/hetero_server.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "numerics/special.hpp"
+#include "queueing/ctmc.hpp"
+
+namespace blade::queue {
+
+namespace {
+
+struct Layout {
+  unsigned m;
+  unsigned Q;
+  unsigned full_mask;
+
+  [[nodiscard]] std::size_t size() const {
+    return (1u << m) + Q;  // all masks with q = 0, then q = 1..Q at full
+  }
+  [[nodiscard]] std::size_t state(unsigned mask, unsigned q) const {
+    if (q == 0) return mask;
+    return (1u << m) + (q - 1);
+  }
+};
+
+/// Fastest free blade under the mask (assignment policy).
+unsigned fastest_free(const std::vector<double>& speeds, unsigned mask) {
+  unsigned best = speeds.size();
+  for (unsigned i = 0; i < speeds.size(); ++i) {
+    if ((mask >> i) & 1u) continue;
+    if (best == speeds.size() || speeds[i] > speeds[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+HeteroServerResult solve_hetero_server(const std::vector<double>& speeds, double rbar,
+                                       double lambda, unsigned queue_bound) {
+  const auto m = static_cast<unsigned>(speeds.size());
+  if (m == 0 || m > 10) {
+    throw std::invalid_argument("solve_hetero_server: need 1..10 blades");
+  }
+  if (!(rbar > 0.0)) throw std::invalid_argument("solve_hetero_server: rbar must be > 0");
+  if (queue_bound < 16) throw std::invalid_argument("solve_hetero_server: queue bound too small");
+  double total_speed = 0.0;
+  for (double s : speeds) {
+    if (!(s > 0.0)) throw std::invalid_argument("solve_hetero_server: speeds must be > 0");
+    total_speed += s;
+  }
+  if (!(lambda > 0.0) || lambda >= total_speed / rbar) {
+    throw std::invalid_argument("solve_hetero_server: unstable arrival rate");
+  }
+
+  const Layout lay{m, queue_bound, (1u << m) - 1u};
+  Ctmc chain(lay.size());
+
+  // Partially busy states (q = 0).
+  for (unsigned mask = 0; mask <= lay.full_mask; ++mask) {
+    if (mask != lay.full_mask) {
+      const unsigned f = fastest_free(speeds, mask);
+      chain.add_rate(lay.state(mask, 0), lay.state(mask | (1u << f), 0), lambda);
+    } else {
+      chain.add_rate(lay.state(mask, 0), lay.state(mask, 1), lambda);
+    }
+    for (unsigned i = 0; i < m; ++i) {
+      if (!((mask >> i) & 1u)) continue;
+      chain.add_rate(lay.state(mask, 0), lay.state(mask & ~(1u << i), 0), speeds[i] / rbar);
+    }
+  }
+  // Queued states (mask full, q >= 1).
+  for (unsigned q = 1; q <= queue_bound; ++q) {
+    if (q < queue_bound) {
+      chain.add_rate(lay.state(lay.full_mask, q), lay.state(lay.full_mask, q + 1), lambda);
+    }
+    for (unsigned i = 0; i < m; ++i) {
+      // Blade i completes; the queue head takes the freed blade, so the
+      // mask stays full and only q drops.
+      chain.add_rate(lay.state(lay.full_mask, q), lay.state(lay.full_mask, q - 1),
+                     speeds[i] / rbar);
+    }
+  }
+
+  const auto sol = chain.stationary();
+
+  HeteroServerResult res;
+  res.converged = sol.converged;
+  num::KahanSum n_mean, busy_speed;
+  for (unsigned mask = 0; mask <= lay.full_mask; ++mask) {
+    const double p = sol.pi[lay.state(mask, 0)];
+    n_mean.add(p * std::popcount(mask));
+    double sp = 0.0;
+    for (unsigned i = 0; i < m; ++i) {
+      if ((mask >> i) & 1u) sp += speeds[i];
+    }
+    busy_speed.add(p * sp);
+  }
+  for (unsigned q = 1; q <= queue_bound; ++q) {
+    const double p = sol.pi[lay.state(lay.full_mask, q)];
+    n_mean.add(p * (m + q));
+    busy_speed.add(p * total_speed);
+  }
+  res.truncation_mass = sol.pi[lay.state(lay.full_mask, queue_bound)];
+  res.mean_tasks = n_mean.value();
+  res.mean_response = res.mean_tasks / lambda;  // Little (no loss up to truncation)
+  res.utilization = busy_speed.value() / total_speed;
+  return res;
+}
+
+}  // namespace blade::queue

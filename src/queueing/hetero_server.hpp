@@ -1,0 +1,35 @@
+// Heterogeneous-blade server: the paper assumes the m blades of a server
+// are identical. Real chassis often mix generations. This module solves
+// the M/M/m-with-distinct-blade-speeds queue *exactly* (truncated CTMC,
+// fastest-free-blade assignment, FCFS) and quantifies the error of the
+// paper's natural work-around -- replacing the mixed server by an
+// equivalent homogeneous one of the same total speed.
+//
+// State space: which blades are busy (bitmask over m blades) plus the
+// queue length; waiting tasks exist only when all blades are busy.
+#pragma once
+
+#include <vector>
+
+namespace blade::queue {
+
+struct HeteroServerResult {
+  double mean_response = 0.0;   ///< mean response time (FCFS, all tasks)
+  double mean_tasks = 0.0;      ///< E[N]
+  double utilization = 0.0;     ///< busy speed-weighted fraction in [0,1]
+  double truncation_mass = 0.0; ///< stationary mass at the queue bound
+  bool converged = false;
+};
+
+/// Solves the heterogeneous-blade server at arrival rate lambda.
+///
+/// @param speeds       per-blade speeds (1..10 blades; state space 2^m)
+/// @param rbar         mean task size; blade i serves at rate speeds[i]/rbar
+/// @param lambda       Poisson arrival rate; requires
+///                     lambda < sum(speeds)/rbar
+/// @param queue_bound  waiting-room truncation (>= 16)
+[[nodiscard]] HeteroServerResult solve_hetero_server(const std::vector<double>& speeds,
+                                                     double rbar, double lambda,
+                                                     unsigned queue_bound = 400);
+
+}  // namespace blade::queue

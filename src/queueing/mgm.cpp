@@ -1,0 +1,39 @@
+#include "queueing/mgm.hpp"
+
+#include <stdexcept>
+
+#include "queueing/mmm.hpp"
+
+namespace blade::queue {
+
+MGmApprox::MGmApprox(unsigned m, double xbar, double service_scv)
+    : m_(m), xbar_(xbar), scv_(service_scv) {
+  if (m == 0) throw std::invalid_argument("MGmApprox: m must be >= 1");
+  if (!(xbar > 0.0)) throw std::invalid_argument("MGmApprox: xbar must be > 0");
+  if (!(service_scv >= 0.0)) throw std::invalid_argument("MGmApprox: scv must be >= 0");
+}
+
+double MGmApprox::max_arrival_rate() const noexcept {
+  return static_cast<double>(m_) / xbar_;
+}
+
+double MGmApprox::mean_waiting_time(double lambda) const {
+  const MMmQueue base(m_, xbar_);
+  const double wq_mmm = base.mean_waiting_time(lambda);
+  return 0.5 * (1.0 + scv_) * wq_mmm;  // Ca^2 = 1 for Poisson arrivals
+}
+
+double MGmApprox::mean_response_time(double lambda) const {
+  return xbar_ + mean_waiting_time(lambda);
+}
+
+double mg1_waiting_time(double xbar, double service_scv, double lambda) {
+  if (!(xbar > 0.0)) throw std::invalid_argument("mg1_waiting_time: xbar must be > 0");
+  if (!(service_scv >= 0.0)) throw std::invalid_argument("mg1_waiting_time: scv must be >= 0");
+  if (!(lambda >= 0.0)) throw std::invalid_argument("mg1_waiting_time: lambda must be >= 0");
+  const double rho = lambda * xbar;
+  if (rho >= 1.0) throw std::invalid_argument("mg1_waiting_time: rho >= 1");
+  return rho * xbar * (1.0 + service_scv) / (2.0 * (1.0 - rho));
+}
+
+}  // namespace blade::queue

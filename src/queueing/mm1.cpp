@@ -1,0 +1,36 @@
+#include "queueing/mm1.hpp"
+
+#include <stdexcept>
+
+namespace blade::queue {
+
+namespace {
+void check(double xbar, double rho) {
+  if (!(xbar > 0.0)) throw std::invalid_argument("mm1: xbar must be > 0");
+  if (!(rho >= 0.0) || rho >= 1.0) throw std::invalid_argument("mm1: rho must be in [0, 1)");
+}
+}  // namespace
+
+double mm1_response_time(double xbar, double rho) {
+  check(xbar, rho);
+  return xbar / (1.0 - rho);
+}
+
+double mm1_priority_generic_response_time(double xbar, double rho, double rho2) {
+  check(xbar, rho);
+  if (!(rho2 >= 0.0) || rho2 >= 1.0) throw std::invalid_argument("mm1: rho2 must be in [0, 1)");
+  return xbar * (1.0 + rho / ((1.0 - rho2) * (1.0 - rho)));
+}
+
+double mm1_dT_drho(double xbar, double rho) {
+  check(xbar, rho);
+  return xbar / ((1.0 - rho) * (1.0 - rho));
+}
+
+double mm1_priority_dT_drho(double xbar, double rho, double rho2) {
+  check(xbar, rho);
+  if (!(rho2 >= 0.0) || rho2 >= 1.0) throw std::invalid_argument("mm1: rho2 must be in [0, 1)");
+  return xbar / ((1.0 - rho2) * (1.0 - rho) * (1.0 - rho));
+}
+
+}  // namespace blade::queue

@@ -1,0 +1,22 @@
+// Closed-form M/M/1 results used by Theorems 1 and 3 (the m_i = 1 special
+// case). Provided separately so the theorem implementations and their
+// tests can reference the textbook formulas directly.
+#pragma once
+
+namespace blade::queue {
+
+/// Mean response time of an M/M/1 queue: xbar / (1 - rho).
+[[nodiscard]] double mm1_response_time(double xbar, double rho);
+
+/// Generic-task response time with a prioritized special stream at
+/// utilization rho2 (Theorem 3 preliminaries):
+///   T' = xbar (1 + rho / ((1 - rho2)(1 - rho))).
+[[nodiscard]] double mm1_priority_generic_response_time(double xbar, double rho, double rho2);
+
+/// dT'/drho for the plain M/M/1: xbar / (1-rho)^2.
+[[nodiscard]] double mm1_dT_drho(double xbar, double rho);
+
+/// dT'/drho for the prioritized case: xbar / ((1-rho2)(1-rho)^2).
+[[nodiscard]] double mm1_priority_dT_drho(double xbar, double rho, double rho2);
+
+}  // namespace blade::queue

@@ -1,0 +1,73 @@
+#include "queueing/mmm.hpp"
+
+#include <cmath>
+
+#include "numerics/erlang.hpp"
+#include "numerics/special.hpp"
+
+namespace blade::queue {
+
+MMmQueue::MMmQueue(unsigned m, double xbar) : m_(m), xbar_(xbar) {
+  if (m == 0) throw std::invalid_argument("MMmQueue: m must be >= 1");
+  if (!(xbar > 0.0)) throw std::invalid_argument("MMmQueue: xbar must be > 0");
+}
+
+double MMmQueue::utilization(double lambda) const {
+  if (!(lambda >= 0.0)) throw std::invalid_argument("MMmQueue: lambda must be >= 0");
+  const double rho = lambda * xbar_ / static_cast<double>(m_);
+  if (rho >= 1.0) {
+    throw UnstableQueueError("MMmQueue: arrival rate exceeds capacity (rho >= 1)");
+  }
+  return rho;
+}
+
+double MMmQueue::p_empty(double lambda) const {
+  return num::mmm_p0(m_, utilization(lambda));
+}
+
+double MMmQueue::p_k(unsigned k, double lambda) const {
+  const double rho = utilization(lambda);
+  if (rho == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double a = static_cast<double>(m_) * rho;
+  const double log_p0 = std::log(num::mmm_p0(m_, rho));
+  double log_pk;
+  if (k <= m_) {
+    log_pk = log_p0 + static_cast<double>(k) * std::log(a) - num::log_factorial(k);
+  } else {
+    log_pk = log_p0 + static_cast<double>(m_) * std::log(static_cast<double>(m_)) +
+             static_cast<double>(k) * std::log(rho) - num::log_factorial(m_);
+  }
+  return std::exp(log_pk);
+}
+
+double MMmQueue::prob_queueing(double lambda) const {
+  return num::erlang_c(m_, utilization(lambda));
+}
+
+double MMmQueue::mean_tasks(double lambda) const {
+  const double rho = utilization(lambda);
+  const double pq = num::erlang_c(m_, rho);
+  return static_cast<double>(m_) * rho + rho / (1.0 - rho) * pq;
+}
+
+double MMmQueue::mean_queue_length(double lambda) const {
+  const double rho = utilization(lambda);
+  const double pq = num::erlang_c(m_, rho);
+  return rho / (1.0 - rho) * pq;
+}
+
+double MMmQueue::mean_response_time(double lambda) const {
+  const double rho = utilization(lambda);
+  const double pq = num::erlang_c(m_, rho);
+  return xbar_ * (1.0 + pq / (static_cast<double>(m_) * (1.0 - rho)));
+}
+
+double MMmQueue::mean_waiting_time(double lambda) const {
+  return mean_response_time(lambda) - xbar_;
+}
+
+double MMmQueue::server_available_time(double lambda) const {
+  return prob_queueing(lambda) * next_completion_time();
+}
+
+}  // namespace blade::queue

@@ -1,0 +1,73 @@
+// Steady-state analytics of an M/M/m queue (Kleinrock vol. 1, ch. 3; the
+// model each blade server is treated as in Section 2 of the paper).
+//
+// A queue is described by its number of servers m (blades) and the mean
+// service time per server xbar = rbar / s. All performance quantities are
+// functions of the total arrival rate lambda, which must satisfy
+// lambda < m / xbar (rho < 1).
+#pragma once
+
+#include <stdexcept>
+
+namespace blade::queue {
+
+/// Thrown when a query would violate the stability condition rho < 1.
+class UnstableQueueError : public std::domain_error {
+ public:
+  using std::domain_error::domain_error;
+};
+
+class MMmQueue {
+ public:
+  /// @param m     number of identical servers (blades), m >= 1
+  /// @param xbar  mean service time on one server, xbar > 0
+  MMmQueue(unsigned m, double xbar);
+
+  [[nodiscard]] unsigned servers() const noexcept { return m_; }
+  [[nodiscard]] double mean_service_time() const noexcept { return xbar_; }
+  /// Service rate of a single server, mu = 1/xbar.
+  [[nodiscard]] double service_rate() const noexcept { return 1.0 / xbar_; }
+  /// Saturation arrival rate m/xbar (exclusive upper bound for lambda).
+  [[nodiscard]] double max_arrival_rate() const noexcept {
+    return static_cast<double>(m_) / xbar_;
+  }
+
+  /// Server utilization rho = lambda * xbar / m. Throws if rho >= 1.
+  [[nodiscard]] double utilization(double lambda) const;
+
+  /// p_0: probability the system is empty.
+  [[nodiscard]] double p_empty(double lambda) const;
+
+  /// p_k: probability of exactly k tasks in the system.
+  [[nodiscard]] double p_k(unsigned k, double lambda) const;
+
+  /// P_q: probability an arrival must queue (Erlang C).
+  [[nodiscard]] double prob_queueing(double lambda) const;
+
+  /// Nbar: mean number of tasks in the system, m rho + rho/(1-rho) P_q.
+  [[nodiscard]] double mean_tasks(double lambda) const;
+
+  /// Nbar_q: mean queue length (excluding tasks in service).
+  [[nodiscard]] double mean_queue_length(double lambda) const;
+
+  /// T: mean response time, xbar (1 + P_q / (m (1-rho))).
+  [[nodiscard]] double mean_response_time(double lambda) const;
+
+  /// W: mean waiting time, T - xbar.
+  [[nodiscard]] double mean_waiting_time(double lambda) const;
+
+  /// W* = xbar/m: expected time to the next service completion when all
+  /// servers are busy (min of m i.i.d. exponentials).
+  [[nodiscard]] double next_completion_time() const noexcept {
+    return xbar_ / static_cast<double>(m_);
+  }
+
+  /// W_0 = P_q * W*: expected time until a server becomes available.
+  [[nodiscard]] double server_available_time(double lambda) const;
+
+ private:
+  unsigned m_;
+  double xbar_;
+};
+
+}  // namespace blade::queue

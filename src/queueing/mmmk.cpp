@@ -1,0 +1,62 @@
+#include "queueing/mmmk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/special.hpp"
+
+namespace blade::queue {
+
+MMmKQueue::MMmKQueue(unsigned m, unsigned K, double xbar) : m_(m), K_(K), xbar_(xbar) {
+  if (m == 0) throw std::invalid_argument("MMmKQueue: m must be >= 1");
+  if (K < m) throw std::invalid_argument("MMmKQueue: K must be >= m");
+  if (!(xbar > 0.0)) throw std::invalid_argument("MMmKQueue: xbar must be > 0");
+}
+
+double MMmKQueue::weight(unsigned k, double a) const {
+  // log of a^k/k! for k <= m, and a^m/m! (a/m)^{k-m} beyond.
+  const double md = static_cast<double>(m_);
+  double lw;
+  if (k <= m_) {
+    lw = static_cast<double>(k) * std::log(a) - num::log_factorial(k);
+  } else {
+    lw = md * std::log(a) - num::log_factorial(m_) +
+         static_cast<double>(k - m_) * (std::log(a) - std::log(md));
+  }
+  return lw;
+}
+
+double MMmKQueue::p_k(unsigned k, double lambda) const {
+  if (k > K_) return 0.0;
+  if (!(lambda > 0.0)) return k == 0 ? 1.0 : 0.0;
+  const double a = lambda * xbar_;
+  // Normalize in the log domain against the max weight to avoid overflow.
+  double max_lw = weight(0, a);
+  for (unsigned j = 1; j <= K_; ++j) max_lw = std::max(max_lw, weight(j, a));
+  num::KahanSum z;
+  for (unsigned j = 0; j <= K_; ++j) z.add(std::exp(weight(j, a) - max_lw));
+  return std::exp(weight(k, a) - max_lw) / z.value();
+}
+
+double MMmKQueue::blocking_probability(double lambda) const { return p_k(K_, lambda); }
+
+double MMmKQueue::effective_arrival_rate(double lambda) const {
+  return lambda * (1.0 - blocking_probability(lambda));
+}
+
+double MMmKQueue::mean_tasks(double lambda) const {
+  num::KahanSum n;
+  for (unsigned k = 1; k <= K_; ++k) {
+    n.add(static_cast<double>(k) * p_k(k, lambda));
+  }
+  return n.value();
+}
+
+double MMmKQueue::mean_response_time(double lambda) const {
+  if (!(lambda > 0.0)) throw std::invalid_argument("MMmKQueue: lambda must be > 0");
+  const double eff = effective_arrival_rate(lambda);
+  return mean_tasks(lambda) / eff;
+}
+
+}  // namespace blade::queue

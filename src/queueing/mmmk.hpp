@@ -1,0 +1,44 @@
+// M/M/m/K: finite waiting room extension. The paper assumes an infinite
+// queue; real blade chassis have bounded admission buffers, so this module
+// quantifies how close the infinite-queue model is for realistic K
+// (used by the finite-capacity ablation bench and tests).
+#pragma once
+
+namespace blade::queue {
+
+class MMmKQueue {
+ public:
+  /// @param m     servers, >= 1
+  /// @param K     system capacity (in service + waiting), K >= m
+  /// @param xbar  mean service time per server, > 0
+  MMmKQueue(unsigned m, unsigned K, double xbar);
+
+  [[nodiscard]] unsigned servers() const noexcept { return m_; }
+  [[nodiscard]] unsigned capacity() const noexcept { return K_; }
+
+  /// Probability of k tasks in the system (k <= K). Accepts any lambda > 0;
+  /// finite-capacity systems are always stable.
+  [[nodiscard]] double p_k(unsigned k, double lambda) const;
+
+  /// Blocking probability p_K (arrivals lost).
+  [[nodiscard]] double blocking_probability(double lambda) const;
+
+  /// Effective (accepted) throughput lambda (1 - p_K).
+  [[nodiscard]] double effective_arrival_rate(double lambda) const;
+
+  /// Mean number of tasks in the system.
+  [[nodiscard]] double mean_tasks(double lambda) const;
+
+  /// Mean response time of *accepted* tasks (Little on the effective rate).
+  [[nodiscard]] double mean_response_time(double lambda) const;
+
+ private:
+  /// Unnormalized state weights relative to state 0; returns normalizer sum.
+  [[nodiscard]] double weight(unsigned k, double a) const;
+
+  unsigned m_;
+  unsigned K_;
+  double xbar_;
+};
+
+}  // namespace blade::queue

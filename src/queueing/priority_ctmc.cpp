@@ -1,0 +1,98 @@
+#include "queueing/priority_ctmc.hpp"
+
+#include <stdexcept>
+
+#include "numerics/special.hpp"
+
+namespace blade::queue {
+
+namespace {
+
+/// State layout: s < m (queues empty) occupy indices [0, m); the full
+/// states (s == m) occupy m + q1*(Q+1) + q2.
+struct Layout {
+  unsigned m;
+  unsigned Q;
+
+  [[nodiscard]] std::size_t size() const {
+    return m + static_cast<std::size_t>(Q + 1) * (Q + 1);
+  }
+  [[nodiscard]] std::size_t idle(unsigned s) const { return s; }
+  [[nodiscard]] std::size_t full(unsigned q1, unsigned q2) const {
+    return m + static_cast<std::size_t>(q1) * (Q + 1) + q2;
+  }
+};
+
+}  // namespace
+
+PriorityCtmcResult solve_priority_mmm(unsigned m, double xbar, double lambda_special,
+                                      double lambda_generic, unsigned queue_bound) {
+  if (m == 0) throw std::invalid_argument("solve_priority_mmm: m must be >= 1");
+  if (!(xbar > 0.0)) throw std::invalid_argument("solve_priority_mmm: xbar must be > 0");
+  if (!(lambda_special > 0.0) || !(lambda_generic > 0.0)) {
+    throw std::invalid_argument("solve_priority_mmm: class rates must be > 0");
+  }
+  if (queue_bound < 8) throw std::invalid_argument("solve_priority_mmm: queue bound too small");
+  const double mu = 1.0 / xbar;
+  const double rho = (lambda_special + lambda_generic) * xbar / m;
+  if (rho >= 1.0) throw std::invalid_argument("solve_priority_mmm: unstable (rho >= 1)");
+
+  const Layout lay{m, queue_bound};
+  Ctmc chain(lay.size());
+
+  // Idle-side states: s tasks in service, empty queues.
+  for (unsigned s = 0; s < m; ++s) {
+    const auto arrive_to = (s + 1 < m) ? lay.idle(s + 1) : lay.full(0, 0);
+    chain.add_rate(lay.idle(s), arrive_to, lambda_special + lambda_generic);
+    if (s >= 1) chain.add_rate(lay.idle(s), lay.idle(s - 1), s * mu);
+  }
+
+  // Full states: all m blades busy, (q1, q2) waiting.
+  for (unsigned q1 = 0; q1 <= queue_bound; ++q1) {
+    for (unsigned q2 = 0; q2 <= queue_bound; ++q2) {
+      const auto here = lay.full(q1, q2);
+      if (q1 < queue_bound) chain.add_rate(here, lay.full(q1 + 1, q2), lambda_special);
+      if (q2 < queue_bound) chain.add_rate(here, lay.full(q1, q2 + 1), lambda_generic);
+      // A completion frees one blade; the head of the queue (special
+      // first) takes it immediately, else the system drops to m-1 busy.
+      const double srv = m * mu;
+      if (q1 > 0) {
+        chain.add_rate(here, lay.full(q1 - 1, q2), srv);
+      } else if (q2 > 0) {
+        chain.add_rate(here, lay.full(0, q2 - 1), srv);
+      } else {
+        chain.add_rate(here, m >= 2 ? lay.idle(m - 1) : lay.idle(0), srv);
+      }
+    }
+  }
+
+  const auto sol = chain.stationary();
+
+  PriorityCtmcResult res;
+  res.converged = sol.converged;
+  res.sweeps = sol.sweeps;
+
+  num::KahanSum q1_mean, q2_mean, busy, boundary;
+  for (unsigned s = 0; s < m; ++s) {
+    busy.add(sol.pi[lay.idle(s)] * s);
+  }
+  for (unsigned q1 = 0; q1 <= queue_bound; ++q1) {
+    for (unsigned q2 = 0; q2 <= queue_bound; ++q2) {
+      const double p = sol.pi[lay.full(q1, q2)];
+      q1_mean.add(p * q1);
+      q2_mean.add(p * q2);
+      busy.add(p * m);
+      if (q1 == queue_bound || q2 == queue_bound) boundary.add(p);
+    }
+  }
+  res.truncation_mass = boundary.value();
+  res.utilization = busy.value() / m;
+  // Little's law per class on the waiting room.
+  res.special_wait = q1_mean.value() / lambda_special;
+  res.generic_wait = q2_mean.value() / lambda_generic;
+  res.special_response = res.special_wait + xbar;
+  res.generic_response = res.generic_wait + xbar;
+  return res;
+}
+
+}  // namespace blade::queue

@@ -1,0 +1,67 @@
+#include "queueing/waiting_distribution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/erlang.hpp"
+#include "numerics/roots.hpp"
+
+namespace blade::queue {
+
+WaitingTimeDistribution::WaitingTimeDistribution(unsigned m, double xbar, double lambda)
+    : m_(m), xbar_(xbar) {
+  if (m == 0) throw std::invalid_argument("WaitingTimeDistribution: m must be >= 1");
+  if (!(xbar > 0.0)) throw std::invalid_argument("WaitingTimeDistribution: xbar must be > 0");
+  if (!(lambda >= 0.0)) throw std::invalid_argument("WaitingTimeDistribution: lambda >= 0");
+  mu_ = 1.0 / xbar;
+  rho_ = lambda * xbar / m;
+  if (rho_ >= 1.0) throw std::invalid_argument("WaitingTimeDistribution: rho >= 1");
+  erlang_c_ = num::erlang_c(m, rho_);
+  theta_ = m * mu_ * (1.0 - rho_);
+}
+
+double WaitingTimeDistribution::waiting_ccdf(double t) const {
+  if (!(t >= 0.0)) throw std::invalid_argument("waiting_ccdf: t must be >= 0");
+  return erlang_c_ * std::exp(-theta_ * t);
+}
+
+double WaitingTimeDistribution::waiting_quantile(double p) const {
+  if (!(p >= 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("waiting_quantile: p must be in [0, 1)");
+  }
+  if (p <= 1.0 - erlang_c_) return 0.0;  // the atom at zero covers it
+  return std::log(erlang_c_ / (1.0 - p)) / theta_;
+}
+
+double WaitingTimeDistribution::response_ccdf(double t) const {
+  if (!(t >= 0.0)) throw std::invalid_argument("response_ccdf: t must be >= 0");
+  const double c = erlang_c_;
+  const double no_wait = (1.0 - c) * std::exp(-mu_ * t);
+  if (std::abs(mu_ - theta_) < 1e-9 * mu_) {
+    // Degenerate case theta == mu (rho == 1 - 1/m): W + S is
+    // hypoexponential with equal rates -> Erlang-2-like tail.
+    return no_wait + c * std::exp(-mu_ * t) * (1.0 + mu_ * t);
+  }
+  const double wait = c * (std::exp(-theta_ * t) +
+                           theta_ * (std::exp(-theta_ * t) - std::exp(-mu_ * t)) / (mu_ - theta_));
+  return no_wait + wait;
+}
+
+double WaitingTimeDistribution::response_quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("response_quantile: p must be in (0, 1)");
+  }
+  // CCDF is strictly decreasing from 1; find t with response_ccdf(t) = 1-p.
+  const double target = 1.0 - p;
+  auto increasing = [&](double t) { return 1.0 - response_ccdf(t); };  // CDF
+  const num::RootOptions opts{.tolerance = 1e-12, .max_iterations = 300, .max_expansions = 200};
+  const auto root = num::solve_increasing(increasing, p, 0.0, std::nullopt, xbar_, opts);
+  (void)target;
+  return root.x;
+}
+
+double WaitingTimeDistribution::mean_response() const {
+  return xbar_ + erlang_c_ / theta_;
+}
+
+}  // namespace blade::queue

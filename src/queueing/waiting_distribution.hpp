@@ -1,0 +1,48 @@
+// Distributional results for the M/M/m FCFS queue -- the paper optimizes
+// only the *mean* response time; service-level objectives are usually
+// percentiles. For M/M/m the waiting time has the classic mixed
+// distribution
+//   P(W = 0) = 1 - C,   P(W > t) = C e^{-theta t},  theta = m mu (1 - rho)
+// (C = Erlang C), and the response time T = W + S (S ~ Exp(mu),
+// independent under FCFS) has a two-exponential tail. Both CCDFs and
+// their quantiles are provided; the priority-discipline generic class has
+// no simple closed form and is handled by simulation (util::Histogram).
+#pragma once
+
+namespace blade::queue {
+
+class WaitingTimeDistribution {
+ public:
+  /// @param m     servers, >= 1
+  /// @param xbar  mean service time, > 0
+  /// @param lambda  total arrival rate with rho < 1
+  WaitingTimeDistribution(unsigned m, double xbar, double lambda);
+
+  /// P(W > t): probability of waiting longer than t (t >= 0).
+  [[nodiscard]] double waiting_ccdf(double t) const;
+
+  /// Smallest t with P(W <= t) >= p. Returns 0 when p <= 1 - C.
+  [[nodiscard]] double waiting_quantile(double p) const;
+
+  /// P(T > t) for the response time T = W + S.
+  [[nodiscard]] double response_ccdf(double t) const;
+
+  /// Smallest t with P(T <= t) >= p (bisection on the monotone CCDF).
+  [[nodiscard]] double response_quantile(double p) const;
+
+  /// Mean response time (cross-check against MMmQueue).
+  [[nodiscard]] double mean_response() const;
+
+  [[nodiscard]] double prob_queueing() const noexcept { return erlang_c_; }
+  [[nodiscard]] double decay_rate() const noexcept { return theta_; }
+
+ private:
+  unsigned m_;
+  double xbar_;
+  double mu_;
+  double rho_;
+  double erlang_c_;
+  double theta_;  // m mu (1 - rho)
+};
+
+}  // namespace blade::queue

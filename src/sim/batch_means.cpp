@@ -1,0 +1,79 @@
+#include "sim/batch_means.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/special.hpp"
+
+namespace blade::sim {
+
+BatchMeansResult batch_means(std::span<const double> observations, std::size_t batches,
+                             double confidence) {
+  if (batches < 2) throw std::invalid_argument("batch_means: need >= 2 batches");
+  const std::size_t batch_size = observations.size() / batches;
+  if (batch_size < 2) {
+    throw std::invalid_argument("batch_means: too few observations for the batch count");
+  }
+
+  std::vector<double> means(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    num::KahanSum s;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      s.add(observations[b * batch_size + i]);
+    }
+    means[b] = s.value() / static_cast<double>(batch_size);
+  }
+
+  BatchMeansResult out;
+  out.batches = batches;
+  out.batch_size = batch_size;
+  out.ci = util::t_confidence_interval(means, confidence);
+
+  // Lag-1 autocorrelation of the batch means.
+  const double mean = out.ci.mean;
+  double num_acc = 0.0;
+  double den_acc = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    den_acc += (means[b] - mean) * (means[b] - mean);
+    if (b + 1 < batches) num_acc += (means[b] - mean) * (means[b + 1] - mean);
+  }
+  out.lag1_autocorrelation = den_acc > 0.0 ? num_acc / den_acc : 0.0;
+  return out;
+}
+
+std::size_t mser5_warmup(std::span<const double> observations) {
+  constexpr std::size_t kGroup = 5;
+  const std::size_t nb = observations.size() / kGroup;
+  if (nb < 4) return 0;  // too short to say anything; keep everything
+
+  std::vector<double> y(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    num::KahanSum s;
+    for (std::size_t i = 0; i < kGroup; ++i) s.add(observations[b * kGroup + i]);
+    y[b] = s.value() / kGroup;
+  }
+
+  // Suffix sums let each candidate truncation be scored in O(1).
+  std::vector<double> suf(nb + 1, 0.0), suf2(nb + 1, 0.0);
+  for (std::size_t b = nb; b-- > 0;) {
+    suf[b] = suf[b + 1] + y[b];
+    suf2[b] = suf2[b + 1] + y[b] * y[b];
+  }
+
+  std::size_t best_d = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= nb / 2; ++d) {
+    const double n_d = static_cast<double>(nb - d);
+    const double mean_d = suf[d] / n_d;
+    const double sse = suf2[d] - n_d * mean_d * mean_d;
+    const double score = sse / (n_d * n_d);
+    if (score < best_score) {
+      best_score = score;
+      best_d = d;
+    }
+  }
+  return best_d * kGroup;
+}
+
+}  // namespace blade::sim

@@ -1,0 +1,35 @@
+// Output analysis for single long simulation runs: the method of batch
+// means (confidence intervals without independent replications) and the
+// MSER-5 rule for data-driven warmup truncation. Complements the
+// replication-based CIs in simulation.hpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/stats.hpp"
+
+namespace blade::sim {
+
+struct BatchMeansResult {
+  util::ConfidenceInterval ci;   ///< CI for the steady-state mean
+  std::size_t batches = 0;       ///< batches actually used
+  std::size_t batch_size = 0;    ///< observations per batch
+  double lag1_autocorrelation = 0.0;  ///< of the batch means; |r1| >> 0
+                                      ///< means batches are too small
+};
+
+/// Batch-means CI over a (warmup-truncated) observation sequence.
+/// Observations beyond batches*batch_size are dropped from the tail.
+/// Requires at least 2 observations per batch and >= 2 batches.
+[[nodiscard]] BatchMeansResult batch_means(std::span<const double> observations,
+                                           std::size_t batches = 20, double confidence = 0.95);
+
+/// MSER-5 warmup detection: returns the index (into the raw sequence) at
+/// which to truncate. Groups observations into batches of 5 and picks the
+/// truncation d minimizing  sum_{j>=d} (Y_j - mean_d)^2 / (n_d)^2 , the
+/// classic MSER statistic. The search is restricted to the first half of
+/// the batches (standard practice, avoids degenerate tails).
+[[nodiscard]] std::size_t mser5_warmup(std::span<const double> observations);
+
+}  // namespace blade::sim

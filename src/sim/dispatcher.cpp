@@ -1,0 +1,64 @@
+#include "sim/dispatcher.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "numerics/special.hpp"
+
+namespace blade::sim {
+
+ProbabilisticDispatcher::ProbabilisticDispatcher(std::vector<double> rates, RngStream rng)
+    : rng_(std::move(rng)) {
+  if (rates.empty()) throw std::invalid_argument("ProbabilisticDispatcher: no rates");
+  num::KahanSum total;
+  for (double r : rates) {
+    if (!(r >= 0.0)) throw std::invalid_argument("ProbabilisticDispatcher: negative rate");
+    total.add(r);
+  }
+  if (!(total.value() > 0.0)) {
+    throw std::invalid_argument("ProbabilisticDispatcher: all rates are zero");
+  }
+  cumulative_.resize(rates.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    acc += rates[i] / total.value();
+    cumulative_[i] = acc;
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ProbabilisticDispatcher::route(const std::vector<ServerSim*>& servers) {
+  if (servers.size() != cumulative_.size()) {
+    throw std::invalid_argument("ProbabilisticDispatcher: server count mismatch");
+  }
+  const double u = rng_.uniform();
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u <= cumulative_[i]) return i;
+  }
+  return cumulative_.size() - 1;
+}
+
+std::size_t RoundRobinDispatcher::route(const std::vector<ServerSim*>& servers) {
+  if (servers.empty()) throw std::invalid_argument("RoundRobinDispatcher: no servers");
+  const std::size_t pick = next_ % servers.size();
+  next_ = (next_ + 1) % servers.size();
+  return pick;
+}
+
+std::size_t JoinShortestQueueDispatcher::route(const std::vector<ServerSim*>& servers) {
+  if (servers.empty()) throw std::invalid_argument("JSQ: no servers");
+  std::size_t best = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const double load = static_cast<double>(servers[i]->tasks_in_system()) /
+                        static_cast<double>(servers[i]->blades());
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace blade::sim

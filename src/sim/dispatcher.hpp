@@ -1,0 +1,55 @@
+// Generic-task dispatchers: how the single arriving stream of generic
+// tasks is routed to servers. Probabilistic routing with the optimizer's
+// rates realizes the paper's model (a Poisson split is again Poisson);
+// RoundRobin and JoinShortestQueue are dynamic comparison policies for
+// the extension benches.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/server_sim.hpp"
+
+namespace blade::sim {
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  /// Chooses the destination server index for the next generic task.
+  [[nodiscard]] virtual std::size_t route(const std::vector<ServerSim*>& servers) = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Routes to server i with probability rates[i] / sum(rates).
+class ProbabilisticDispatcher final : public Dispatcher {
+ public:
+  ProbabilisticDispatcher(std::vector<double> rates, RngStream rng);
+  [[nodiscard]] std::size_t route(const std::vector<ServerSim*>& servers) override;
+  [[nodiscard]] const char* name() const noexcept override { return "probabilistic"; }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative probabilities
+  RngStream rng_;
+};
+
+/// Cycles deterministically through the servers.
+class RoundRobinDispatcher final : public Dispatcher {
+ public:
+  [[nodiscard]] std::size_t route(const std::vector<ServerSim*>& servers) override;
+  [[nodiscard]] const char* name() const noexcept override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Joins the server with the fewest tasks in system, normalized by blade
+/// count (ties broken by lowest index).
+class JoinShortestQueueDispatcher final : public Dispatcher {
+ public:
+  [[nodiscard]] std::size_t route(const std::vector<ServerSim*>& servers) override;
+  [[nodiscard]] const char* name() const noexcept override { return "join-shortest-queue"; }
+};
+
+}  // namespace blade::sim

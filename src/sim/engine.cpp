@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace blade::sim {
+
+EventId Engine::schedule(double delay, std::function<void()> fn) {
+  if (!(delay >= 0.0)) throw std::invalid_argument("Engine::schedule: negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(double t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  return queue_.push(t, std::move(fn));
+}
+
+void Engine::run_until(double t_end) {
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    ++processed_;
+    fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    ++processed_;
+    fn();
+  }
+}
+
+}  // namespace blade::sim

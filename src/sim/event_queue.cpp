@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace blade::sim {
+
+EventId EventQueue::push(double t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // No-op for ids that already ran or were already cancelled, so callers
+  // may keep stale handles safely.
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept { return live_.empty(); }
+
+std::size_t EventQueue::size() const noexcept { return live_.size(); }
+
+double EventQueue::next_time() const {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty queue");
+  return heap_.top().time;
+}
+
+std::pair<double, std::function<void()>> EventQueue::pop() {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because we pop it immediately.
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<double, std::function<void()>> out{top.time, std::move(top.fn)};
+  live_.erase(top.id);
+  heap_.pop();
+  return out;
+}
+
+}  // namespace blade::sim

@@ -1,0 +1,56 @@
+// Future-event list: a binary heap of (time, sequence) keyed callbacks
+// with O(log n) insert/pop and lazy cancellation. Ties are broken by
+// insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace blade::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a cancellable id.
+  EventId push(double t, std::function<void()> fn);
+
+  /// Marks an event cancelled; it is dropped when it reaches the top.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Time of the earliest live event; requires !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Pops and returns the earliest live event's (time, callback);
+  /// requires !empty().
+  [[nodiscard]] std::pair<double, std::function<void()>> pop();
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drops cancelled entries from the top.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;  ///< pushed, not yet popped or cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace blade::sim

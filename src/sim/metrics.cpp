@@ -1,0 +1,28 @@
+#include "sim/metrics.hpp"
+
+namespace blade::sim {
+
+ResponseTimeCollector::ResponseTimeCollector(double warmup_time, bool record_trace)
+    : warmup_(warmup_time), record_trace_(record_trace) {}
+
+void ResponseTimeCollector::record(TaskClass cls, double response, double now) {
+  if (now < warmup_) {
+    ++discarded_;
+    return;
+  }
+  if (cls == TaskClass::Generic) {
+    generic_.add(response);
+    if (record_trace_) trace_.push_back(response);
+  } else {
+    special_.add(response);
+  }
+}
+
+void ResponseTimeCollector::merge(const ResponseTimeCollector& other) noexcept {
+  generic_.merge(other.generic_);
+  special_.merge(other.special_);
+  discarded_ += other.discarded_;
+  trace_.insert(trace_.end(), other.trace_.begin(), other.trace_.end());
+}
+
+}  // namespace blade::sim

@@ -1,0 +1,41 @@
+// Measurement side of the simulator: per-class response-time accumulators
+// with a warmup cutoff, merged across servers or replications.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/stats.hpp"
+
+namespace blade::sim {
+
+class ResponseTimeCollector {
+ public:
+  /// Samples completing before `warmup_time` are discarded (transient).
+  /// With `record_trace` the post-warmup generic response times are also
+  /// kept in completion order (for batch-means / MSER analysis).
+  explicit ResponseTimeCollector(double warmup_time = 0.0, bool record_trace = false);
+
+  /// Records one completion at simulated time `now`.
+  void record(TaskClass cls, double response, double now);
+
+  [[nodiscard]] const util::RunningStats& generic() const noexcept { return generic_; }
+  [[nodiscard]] const util::RunningStats& special() const noexcept { return special_; }
+  [[nodiscard]] double warmup_time() const noexcept { return warmup_; }
+  [[nodiscard]] std::uint64_t discarded() const noexcept { return discarded_; }
+  [[nodiscard]] const std::vector<double>& generic_trace() const noexcept { return trace_; }
+  [[nodiscard]] std::vector<double> take_generic_trace() noexcept { return std::move(trace_); }
+
+  void merge(const ResponseTimeCollector& other) noexcept;
+
+ private:
+  double warmup_;
+  bool record_trace_;
+  util::RunningStats generic_;
+  util::RunningStats special_;
+  std::uint64_t discarded_ = 0;
+  std::vector<double> trace_;
+};
+
+}  // namespace blade::sim

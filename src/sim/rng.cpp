@@ -1,0 +1,35 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::sim {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+RngStream::RngStream(std::uint64_t seed, std::uint64_t stream_id)
+    : engine_(splitmix64(splitmix64(seed) ^ splitmix64(stream_id * 0xA24BAED4963EE407ULL + 1))) {}
+
+double RngStream::uniform() {
+  // Map to (0,1): shift by one ulp so log(u) is always finite.
+  const double u =
+      (static_cast<double>(engine_() >> 11) + 0.5) * (1.0 / 9007199254740992.0);
+  return u;
+}
+
+double RngStream::exponential(double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("RngStream::exponential: mean must be > 0");
+  return -mean * std::log(uniform());
+}
+
+std::uint64_t RngStream::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("RngStream::below: n must be > 0");
+  return engine_() % n;
+}
+
+}  // namespace blade::sim

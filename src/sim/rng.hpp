@@ -1,0 +1,36 @@
+// Seeded random-number streams for the simulator. Each logical stream
+// (one per arrival source / server) gets its own engine, decorrelated from
+// the replication seed by SplitMix64, so replications and streams are
+// independent and every run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace blade::sim {
+
+/// SplitMix64 step; used to derive stream seeds from (seed, stream_id).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+class RngStream {
+ public:
+  /// Stream `stream_id` of the replication seeded with `seed`.
+  RngStream(std::uint64_t seed, std::uint64_t stream_id);
+
+  /// Uniform double in (0, 1) (never exactly 0, safe for log()).
+  [[nodiscard]] double uniform();
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+
+  /// Access to the raw engine for distributions not wrapped here.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace blade::sim

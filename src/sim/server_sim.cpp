@@ -1,0 +1,131 @@
+#include "sim/server_sim.hpp"
+
+#include <stdexcept>
+
+namespace blade::sim {
+
+ServerSim::ServerSim(Engine& engine, unsigned blades, double speed, SchedulingMode mode,
+                     ResponseTimeCollector& collector)
+    : engine_(engine), blades_(blades), speed_(speed), mode_(mode), collector_(collector),
+      slots_(blades) {
+  if (blades == 0) throw std::invalid_argument("ServerSim: blades must be >= 1");
+  if (!(speed > 0.0)) throw std::invalid_argument("ServerSim: speed must be > 0");
+  last_change_ = engine.now();
+  last_sys_change_ = engine.now();
+}
+
+void ServerSim::account_system_change(int delta) {
+  const double now = engine_.now();
+  system_integral_ += static_cast<double>(in_system_) * (now - last_sys_change_);
+  last_sys_change_ = now;
+  in_system_ = static_cast<unsigned>(static_cast<int>(in_system_) + delta);
+}
+
+double ServerSim::time_avg_tasks(double t0, double t1) const {
+  if (!(t1 > t0)) throw std::invalid_argument("ServerSim::time_avg_tasks: empty interval");
+  const double integral =
+      system_integral_ + static_cast<double>(in_system_) * (engine_.now() - last_sys_change_);
+  return integral / (t1 - t0);
+}
+
+void ServerSim::account_busy_change(int delta) {
+  const double now = engine_.now();
+  busy_integral_ += static_cast<double>(busy_) * (now - last_change_);
+  last_change_ = now;
+  busy_ = static_cast<unsigned>(static_cast<int>(busy_) + delta);
+}
+
+double ServerSim::busy_blade_time() const {
+  return busy_integral_ + static_cast<double>(busy_) * (engine_.now() - last_change_);
+}
+
+double ServerSim::mean_utilization(double t0, double t1) const {
+  if (!(t1 > t0)) throw std::invalid_argument("ServerSim::mean_utilization: empty interval");
+  // Only exact if t0 == 0 (the integral starts at construction); for the
+  // validation runs we always measure over the full horizon.
+  return busy_blade_time() / (static_cast<double>(blades_) * (t1 - t0));
+}
+
+void ServerSim::enqueue(Task task) {
+  if (mode_ != SchedulingMode::Fcfs && task.cls == TaskClass::Special) {
+    special_queue_.push_back(task);
+  } else {
+    generic_queue_.push_back(task);
+  }
+}
+
+std::optional<Task> ServerSim::dequeue() {
+  if (!special_queue_.empty()) {
+    Task t = special_queue_.front();
+    special_queue_.pop_front();
+    return t;
+  }
+  if (!generic_queue_.empty()) {
+    Task t = generic_queue_.front();
+    generic_queue_.pop_front();
+    return t;
+  }
+  return std::nullopt;
+}
+
+void ServerSim::start_on_slot(std::size_t slot, Task task) {
+  Slot& s = slots_[slot];
+  s.busy = true;
+  s.task = task;
+  const double service = task.work / speed_;
+  s.completion_time = engine_.now() + service;
+  s.completion = engine_.schedule(service, [this, slot] { complete_slot(slot); });
+  account_busy_change(+1);
+}
+
+void ServerSim::complete_slot(std::size_t slot) {
+  Slot& s = slots_[slot];
+  const Task done = s.task;
+  s.busy = false;
+  account_busy_change(-1);
+  account_system_change(-1);
+  ++completions_;
+  collector_.record(done.cls, engine_.now() - done.arrival_time, engine_.now());
+  if (auto next = dequeue()) {
+    start_on_slot(slot, *next);
+  }
+}
+
+void ServerSim::arrive(Task task) {
+  task.arrival_time = engine_.now();
+  account_system_change(+1);
+  // Free blade?
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].busy) {
+      start_on_slot(i, task);
+      return;
+    }
+  }
+  // Preemptive extension: a special arrival may evict a running generic
+  // task (the one that would finish last, i.e. most remaining work).
+  if (mode_ == SchedulingMode::PreemptiveResume && task.cls == TaskClass::Special) {
+    std::size_t victim = slots_.size();
+    double latest = -1.0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].task.cls == TaskClass::Generic && slots_[i].completion_time > latest) {
+        latest = slots_[i].completion_time;
+        victim = i;
+      }
+    }
+    if (victim != slots_.size()) {
+      Slot& v = slots_[victim];
+      engine_.cancel(v.completion);
+      Task resumed = v.task;
+      resumed.work = (v.completion_time - engine_.now()) * speed_;  // remaining work
+      v.busy = false;
+      account_busy_change(-1);
+      ++preemptions_;
+      generic_queue_.push_front(resumed);  // resume before other waiters
+      start_on_slot(victim, task);
+      return;
+    }
+  }
+  enqueue(task);
+}
+
+}  // namespace blade::sim

@@ -1,0 +1,98 @@
+// A simulated blade server: m identical blades of speed s in front of an
+// unbounded waiting queue. Three scheduling modes:
+//
+//   Fcfs                   the paper's Section 3 (classes mixed FCFS)
+//   NonPreemptivePriority  the paper's Section 4 (special tasks jump the
+//                          queue but never interrupt running tasks)
+//   PreemptiveResume       extension: an arriving special task may evict a
+//                          running generic task, which later resumes with
+//                          its remaining work
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/task.hpp"
+
+namespace blade::sim {
+
+enum class SchedulingMode : std::uint8_t {
+  Fcfs,
+  NonPreemptivePriority,
+  PreemptiveResume,
+};
+
+class ServerSim {
+ public:
+  ServerSim(Engine& engine, unsigned blades, double speed, SchedulingMode mode,
+            ResponseTimeCollector& collector);
+
+  ServerSim(const ServerSim&) = delete;
+  ServerSim& operator=(const ServerSim&) = delete;
+
+  /// A task arrives at the current simulated time.
+  void arrive(Task task);
+
+  [[nodiscard]] unsigned blades() const noexcept { return blades_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] unsigned busy_blades() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queued_tasks() const noexcept {
+    return generic_queue_.size() + special_queue_.size();
+  }
+  [[nodiscard]] std::size_t tasks_in_system() const noexcept { return busy_ + queued_tasks(); }
+
+  /// Time-integrated busy blade-time (for utilization estimates).
+  [[nodiscard]] double busy_blade_time() const;
+
+  /// Mean utilization over [t0, t1]: busy_blade_time / (m (t1 - t0)).
+  [[nodiscard]] double mean_utilization(double t0, double t1) const;
+
+  /// Time-averaged number of tasks in the system over [t0, t1] (t0 must
+  /// be the construction time, i.e. 0 in practice). Together with the
+  /// response-time collector this lets tests verify Little's law on the
+  /// simulated process itself.
+  [[nodiscard]] double time_avg_tasks(double t0, double t1) const;
+
+  [[nodiscard]] std::uint64_t completions() const noexcept { return completions_; }
+  [[nodiscard]] std::uint64_t preemptions() const noexcept { return preemptions_; }
+
+ private:
+  struct Slot {
+    bool busy = false;
+    Task task;
+    EventId completion = 0;
+    double completion_time = 0.0;
+  };
+
+  void enqueue(Task task);
+  [[nodiscard]] std::optional<Task> dequeue();
+  void start_on_slot(std::size_t slot, Task task);
+  void complete_slot(std::size_t slot);
+  void account_busy_change(int delta);
+  void account_system_change(int delta);
+
+  Engine& engine_;
+  unsigned blades_;
+  double speed_;
+  SchedulingMode mode_;
+  ResponseTimeCollector& collector_;
+
+  std::vector<Slot> slots_;
+  std::deque<Task> generic_queue_;
+  std::deque<Task> special_queue_;  // used in priority modes
+  unsigned busy_ = 0;
+
+  double busy_integral_ = 0.0;
+  double last_change_ = 0.0;
+  unsigned in_system_ = 0;
+  double system_integral_ = 0.0;
+  double last_sys_change_ = 0.0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace blade::sim

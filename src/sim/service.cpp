@@ -1,0 +1,70 @@
+#include "sim/service.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::sim {
+
+ServiceDistribution::ServiceDistribution(ServiceShape shape, double mean, double scv)
+    : shape_(shape), mean_(mean), scv_(scv) {
+  if (!(mean > 0.0)) throw std::invalid_argument("ServiceDistribution: mean must be > 0");
+}
+
+ServiceDistribution ServiceDistribution::exponential(double mean) {
+  return ServiceDistribution(ServiceShape::Exponential, mean, 1.0);
+}
+
+ServiceDistribution ServiceDistribution::deterministic(double mean) {
+  return ServiceDistribution(ServiceShape::Deterministic, mean, 0.0);
+}
+
+ServiceDistribution ServiceDistribution::erlang(double mean, unsigned k) {
+  if (k == 0) throw std::invalid_argument("ServiceDistribution::erlang: k must be >= 1");
+  ServiceDistribution d(ServiceShape::ErlangK, mean, 1.0 / static_cast<double>(k));
+  d.stages_ = k;
+  return d;
+}
+
+ServiceDistribution ServiceDistribution::hyper_exponential(double mean, double scv) {
+  if (!(scv > 1.0)) {
+    throw std::invalid_argument("ServiceDistribution::hyper_exponential: scv must be > 1");
+  }
+  // Balanced means: p1/mu1 = p2/mu2 = mean/2. Then
+  //   p1 = (1 + sqrt((scv-1)/(scv+1))) / 2,  mean_i = mean / (2 p_i).
+  ServiceDistribution d(ServiceShape::HyperExp2, mean, scv);
+  d.p1_ = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  d.mean1_ = mean / (2.0 * d.p1_);
+  d.mean2_ = mean / (2.0 * (1.0 - d.p1_));
+  return d;
+}
+
+ServiceDistribution ServiceDistribution::from_scv(double mean, double scv) {
+  if (!(scv >= 0.0)) throw std::invalid_argument("ServiceDistribution: scv must be >= 0");
+  if (scv == 0.0) return deterministic(mean);
+  if (scv < 1.0) {
+    const auto k = static_cast<unsigned>(std::lround(1.0 / scv));
+    return erlang(mean, std::max(2u, k));
+  }
+  if (scv == 1.0) return exponential(mean);
+  return hyper_exponential(mean, scv);
+}
+
+double ServiceDistribution::sample(RngStream& rng) const {
+  switch (shape_) {
+    case ServiceShape::Deterministic:
+      return mean_;
+    case ServiceShape::Exponential:
+      return rng.exponential(mean_);
+    case ServiceShape::ErlangK: {
+      const double stage_mean = mean_ / static_cast<double>(stages_);
+      double total = 0.0;
+      for (unsigned s = 0; s < stages_; ++s) total += rng.exponential(stage_mean);
+      return total;
+    }
+    case ServiceShape::HyperExp2:
+      return rng.uniform() < p1_ ? rng.exponential(mean1_) : rng.exponential(mean2_);
+  }
+  throw std::logic_error("ServiceDistribution: unknown shape");
+}
+
+}  // namespace blade::sim

@@ -1,0 +1,60 @@
+// Task-size (service requirement) distributions for the simulator. The
+// paper assumes exponential sizes; these shapes let the DES exercise the
+// M/G/m regime and measure how good the Allen-Cunneen correction used by
+// the analytic extension really is.
+//
+// Shapes and their squared coefficients of variation (SCV):
+//   Deterministic   scv = 0
+//   ErlangK         scv = 1/k          (k >= 1; k = 1 is exponential)
+//   Exponential     scv = 1
+//   HyperExp2       scv > 1            (balanced-means parameterization)
+#pragma once
+
+#include "sim/rng.hpp"
+
+namespace blade::sim {
+
+enum class ServiceShape : int {
+  Deterministic,
+  ErlangK,
+  Exponential,
+  HyperExp2,
+};
+
+class ServiceDistribution {
+ public:
+  /// Exponential with the given mean (the paper's model).
+  static ServiceDistribution exponential(double mean);
+  /// Deterministic point mass at `mean`.
+  static ServiceDistribution deterministic(double mean);
+  /// Erlang with k stages (scv = 1/k).
+  static ServiceDistribution erlang(double mean, unsigned k);
+  /// Two-phase hyperexponential with balanced means and the given scv > 1.
+  static ServiceDistribution hyper_exponential(double mean, double scv);
+  /// Picks the closest shape for an arbitrary scv >= 0: 0 -> deterministic,
+  /// (0,1) -> Erlang with k = round(1/scv), 1 -> exponential, > 1 -> H2.
+  static ServiceDistribution from_scv(double mean, double scv);
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// The exact scv of the constructed shape (e.g. 1/k for Erlang, which
+  /// may differ from the scv requested through from_scv).
+  [[nodiscard]] double scv() const noexcept { return scv_; }
+  [[nodiscard]] ServiceShape shape() const noexcept { return shape_; }
+
+  /// Draws one service requirement.
+  [[nodiscard]] double sample(RngStream& rng) const;
+
+ private:
+  ServiceDistribution(ServiceShape shape, double mean, double scv);
+
+  ServiceShape shape_;
+  double mean_;
+  double scv_;
+  // Shape-specific parameters.
+  unsigned stages_ = 1;   // ErlangK
+  double p1_ = 0.5;       // HyperExp2 branch probability
+  double mean1_ = 0.0;    // HyperExp2 branch means
+  double mean2_ = 0.0;
+};
+
+}  // namespace blade::sim

@@ -1,0 +1,20 @@
+// The unit of work flowing through the simulated blade center.
+#pragma once
+
+#include <cstdint>
+
+namespace blade::sim {
+
+enum class TaskClass : std::uint8_t {
+  Generic,  ///< nondedicated, distributable
+  Special,  ///< dedicated to one server, possibly prioritized
+};
+
+struct Task {
+  TaskClass cls = TaskClass::Generic;
+  double arrival_time = 0.0;  ///< when the task entered the server's queue
+  double work = 0.0;          ///< execution requirement r (instructions);
+                              ///< service time on a blade of speed s is r/s
+};
+
+}  // namespace blade::sim

@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace blade::util {
+
+std::size_t Csv::add_column(std::string name) {
+  names_.push_back(std::move(name));
+  cols_.emplace_back();
+  return names_.size() - 1;
+}
+
+void Csv::push(std::size_t col, double value) {
+  if (col >= cols_.size()) throw std::out_of_range("Csv::push: bad column index");
+  cols_[col].push_back(value);
+}
+
+void Csv::push_row(const std::vector<double>& row) {
+  if (row.size() != cols_.size()) {
+    throw std::invalid_argument("Csv::push_row: row size does not match column count");
+  }
+  for (std::size_t c = 0; c < row.size(); ++c) cols_[c].push_back(row[c]);
+}
+
+std::size_t Csv::rows() const {
+  std::size_t r = 0;
+  for (const auto& c : cols_) r = std::max(r, c.size());
+  return r;
+}
+
+void Csv::write(std::ostream& os, int precision) const {
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (cols_[c].size() != cols_[0].size()) {
+      throw std::logic_error("Csv::write: ragged columns");
+    }
+  }
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(names_[c]);
+  }
+  os << '\n';
+  const std::size_t n = rows();
+  std::ostringstream num;
+  num.setf(std::ios::fixed);
+  num.precision(precision);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      if (c) os << ',';
+      num.str("");
+      num << cols_[c][r];
+      os << num.str();
+    }
+    os << '\n';
+  }
+}
+
+std::string Csv::render(int precision) const {
+  std::ostringstream os;
+  write(os, precision);
+  return os.str();
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace blade::util

@@ -1,0 +1,42 @@
+// Minimal CSV emission for figure series so bench output can be plotted
+// directly (each bench prints a paper-figure data series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace blade::util {
+
+/// Column-oriented CSV document: a header row plus numeric columns.
+///
+/// All columns must end up the same length before rendering.
+class Csv {
+ public:
+  /// Adds a column and returns its index.
+  std::size_t add_column(std::string name);
+
+  /// Appends a value to column `col`.
+  void push(std::size_t col, double value);
+
+  /// Appends one full row (one value per existing column, in order).
+  void push_row(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t columns() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t rows() const;
+
+  /// Renders the document; throws if columns have unequal lengths.
+  [[nodiscard]] std::string render(int precision = 7) const;
+
+  /// Renders to a stream.
+  void write(std::ostream& os, int precision = 7) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> cols_;
+};
+
+/// Escapes a string CSV-style (quotes if it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& s);
+
+}  // namespace blade::util

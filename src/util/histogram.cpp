@@ -1,0 +1,69 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: need hi > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto b = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[b < counts_.size() ? b : counts_.size() - 1];
+}
+
+double Histogram::quantile(double p) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile: empty histogram");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Histogram::quantile: p in [0,1]");
+  const double target = p * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (target <= acc) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = acc + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double frac = (target - acc) / static_cast<double>(counts_[b]);
+      return lo_ + (static_cast<double>(b) + frac) * width_;
+    }
+    acc = next;
+  }
+  return hi_;  // inside the overflow mass
+}
+
+double Histogram::ccdf(double x) const {
+  if (total_ == 0) throw std::logic_error("Histogram::ccdf: empty histogram");
+  if (x < lo_) return 1.0 - static_cast<double>(underflow_) / static_cast<double>(total_);
+  if (x >= hi_) return static_cast<double>(overflow_) / static_cast<double>(total_);
+  const auto b = static_cast<std::size_t>((x - lo_) / width_);
+  std::uint64_t above = overflow_;
+  for (std::size_t j = b + 1; j < counts_.size(); ++j) above += counts_[j];
+  // Split the containing bin proportionally.
+  const double in_bin = static_cast<double>(counts_[b]);
+  const double frac_above = (lo_ + (static_cast<double>(b) + 1.0) * width_ - x) / width_;
+  return (static_cast<double>(above) + in_bin * frac_above) / static_cast<double>(total_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+}  // namespace blade::util

@@ -1,0 +1,45 @@
+// Fixed-bin histogram with an overflow bin and interpolated quantiles.
+// Used by the simulator to estimate response-time percentiles (the
+// priority-discipline generic class has no closed-form distribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace blade::util {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); samples >= hi land in the overflow bin,
+  /// samples < lo in the underflow bin.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t b) const { return counts_.at(b); }
+
+  /// Quantile estimate with linear interpolation inside the bin.
+  /// Underflow mass counts at `lo`, overflow clamps to `hi`.
+  /// Requires count() > 0 and p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Fraction of samples strictly above x (bin-resolution estimate).
+  [[nodiscard]] double ccdf(double x) const;
+
+  void merge(const Histogram& other);
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace blade::util

@@ -1,0 +1,56 @@
+// Minimal JSON emission (objects, arrays, strings, numbers, booleans) so
+// benches and the CLI can produce machine-readable results without an
+// external dependency. Writer-only by design: the library consumes specs
+// through the simpler cli::spec format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blade::util {
+
+/// Escapes a string for inclusion inside JSON quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// A write-once JSON value builder with streaming semantics.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fig04");
+///   w.key("points").begin_array();
+///   w.value(1.0).value(2.5);
+///   w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Emits an object key (must be inside an object).
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(bool v);
+
+  /// The document so far; valid JSON once all scopes are closed.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  /// True when every begun scope has been ended.
+  [[nodiscard]] bool complete() const noexcept { return stack_.empty() && wrote_root_; }
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  // Stack entries: 'o' = object (expecting key), 'v' = object (expecting
+  // value after key), 'a' = array.
+  std::vector<char> stack_;
+  std::vector<bool> first_;  // first element of each open scope
+  bool wrote_root_ = false;
+};
+
+}  // namespace blade::util

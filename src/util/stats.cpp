@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace blade::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double ConfidenceInterval::relative_width() const noexcept {
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return half_width / std::abs(mean);
+}
+
+namespace {
+
+// Two-sided Student-t critical values t_{df, 1-(1-level)/2} for the levels
+// the simulator actually uses. Rows: df 1..30, then selected large df.
+struct TRow {
+  double q90, q95, q99;
+};
+
+constexpr TRow kSmallDf[] = {
+    {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925}, {2.353, 3.182, 5.841},
+    {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032}, {1.943, 2.447, 3.707},
+    {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355}, {1.833, 2.262, 3.250},
+    {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106}, {1.782, 2.179, 3.055},
+    {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977}, {1.753, 2.131, 2.947},
+    {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898}, {1.734, 2.101, 2.878},
+    {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845}, {1.721, 2.080, 2.831},
+    {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807}, {1.711, 2.064, 2.797},
+    {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779}, {1.703, 2.052, 2.771},
+    {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756}, {1.697, 2.042, 2.750}};
+
+constexpr TRow kDf40{1.684, 2.021, 2.704};
+constexpr TRow kDf60{1.671, 2.000, 2.660};
+constexpr TRow kDf120{1.658, 1.980, 2.617};
+constexpr TRow kNormal{1.645, 1.960, 2.576};
+
+double pick(const TRow& row, double level) {
+  if (level <= 0.925) return row.q90;
+  if (level <= 0.97) return row.q95;
+  return row.q99;
+}
+
+}  // namespace
+
+double t_quantile(std::uint64_t df, double level) {
+  if (df == 0) throw std::invalid_argument("t_quantile: df must be >= 1");
+  if (df <= 30) return pick(kSmallDf[df - 1], level);
+  if (df <= 40) return pick(kDf40, level);
+  if (df <= 60) return pick(kDf60, level);
+  if (df <= 120) return pick(kDf120, level);
+  return pick(kNormal, level);
+}
+
+ConfidenceInterval t_confidence_interval(std::span<const double> samples, double level) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("t_confidence_interval: need at least 2 samples");
+  }
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  const double t = t_quantile(samples.size() - 1, level);
+  return ConfidenceInterval{rs.mean(), t * rs.std_error(), level};
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.mean();
+}
+
+double stddev_of(std::span<const double> xs) noexcept {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+double coefficient_of_variation(std::span<const double> xs) noexcept {
+  const double m = mean_of(xs);
+  if (m == 0.0) return 0.0;
+  return stddev_of(xs) / m;
+}
+
+double mean_abs_deviation(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = mean_of(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += std::abs(x - m);
+  acc /= static_cast<double>(xs.size());
+  return m != 0.0 ? acc / std::abs(m) : acc;
+}
+
+}  // namespace blade::util

@@ -1,0 +1,79 @@
+// Running statistics: Welford accumulators, confidence intervals, and
+// summary helpers used by the simulator's metrics and the bench reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace blade::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; supports merging partial
+/// accumulators produced by parallel workers.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 if fewer than two samples.
+  [[nodiscard]] double std_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< mean ± half_width
+  double level = 0.95;      ///< confidence level used
+
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lo() && x <= hi(); }
+  /// half_width / |mean|; infinity when mean == 0.
+  [[nodiscard]] double relative_width() const noexcept;
+};
+
+/// CI for the mean of i.i.d. replications using a Student-t quantile.
+/// Supported levels: 0.90, 0.95, 0.99 (nearest is used). Requires n >= 2.
+[[nodiscard]] ConfidenceInterval t_confidence_interval(std::span<const double> samples,
+                                                       double level = 0.95);
+
+/// Student-t upper quantile t_{df, (1+level)/2}. Exact for the tabulated
+/// small df, asymptotic (normal quantile) beyond df = 120.
+[[nodiscard]] double t_quantile(std::uint64_t df, double level);
+
+/// Arithmetic mean of a span; 0 for empty input.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation of a span; 0 for fewer than two samples.
+[[nodiscard]] double stddev_of(std::span<const double> xs) noexcept;
+
+/// Coefficient of variation of a span (stddev / mean); 0 when mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+/// Population heterogeneity measure used in the paper-style studies:
+/// normalized mean absolute deviation from the mean.
+[[nodiscard]] double mean_abs_deviation(std::span<const double> xs) noexcept;
+
+}  // namespace blade::util

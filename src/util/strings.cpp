@@ -1,0 +1,57 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace blade::util {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string to_string(const std::vector<double>& xs, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ", ";
+    os << xs[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace blade::util

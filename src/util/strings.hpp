@@ -1,0 +1,24 @@
+// Small string/formatting helpers shared across reports and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blade::util {
+
+/// Joins elements with a separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Renders a vector<double> like "[1.000, 2.000]" (for logs and errors).
+[[nodiscard]] std::string to_string(const std::vector<double>& xs, int precision = 4);
+
+}  // namespace blade::util

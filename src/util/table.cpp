@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace blade::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Right) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) throw std::out_of_range("Table::set_align: bad column");
+  aligns_[column] = align;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out(widths[c], ' ');
+    if (aligns_[c] == Align::Left) {
+      std::copy(s.begin(), s.end(), out.begin());
+    } else {
+      std::copy(s.begin(), s.end(), out.begin() + static_cast<std::ptrdiff_t>(widths[c] - s.size()));
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) os << std::string(widths[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << ' ' << pad(headers_[c], c) << " |";
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) os << ' ' << pad(row[c], c) << " |";
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+std::string fixed(double x, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << x;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.render(); }
+
+}  // namespace blade::util

@@ -1,0 +1,50 @@
+// ASCII table rendering for bench/report output in the style of the
+// paper's Tables 1 and 2.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace blade::util {
+
+/// Column alignment for table cells.
+enum class Align { Left, Right };
+
+/// A simple monospace table builder.
+///
+/// Usage:
+///   Table t({"i", "m_i", "lambda'_i"});
+///   t.add_row({"1", "2", "0.6652046"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets alignment of a column (default: Right, which suits numbers).
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders with unicode-free box drawing (pipes and dashes).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with fixed precision (default 7, matching the paper's
+/// tables which report 7 decimal digits).
+[[nodiscard]] std::string fixed(double x, int precision = 7);
+
+/// Writes the table to a stream; equivalent to `os << t.render()`.
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace blade::util

@@ -1,0 +1,141 @@
+// Discrete blade-allocation designer: budget conservation, feasibility,
+// dominance over naive designs, and agreement with the M/M/m pooling
+// intuition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/allocation.hpp"
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::allocate_blades;
+using opt::AllocationProblem;
+
+AllocationProblem base_problem() {
+  AllocationProblem p;
+  p.speeds = {1.6, 1.3, 1.0};
+  p.blade_budget = 12;
+  p.rbar = 1.0;
+  p.preload_fraction = 0.3;
+  p.lambda_total = 6.0;
+  return p;
+}
+
+unsigned total(const std::vector<unsigned>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u);
+}
+
+TEST(Allocation, SpendsExactlyTheBudget) {
+  const auto res = allocate_blades(base_problem());
+  EXPECT_EQ(total(res.sizes), 12u);
+  EXPECT_GT(res.response_time, 0.0);
+  EXPECT_GT(res.evaluations, 0);
+}
+
+TEST(Allocation, ResultIsFeasible) {
+  const auto p = base_problem();
+  const auto res = allocate_blades(p);
+  double cap = 0.0;
+  for (std::size_t i = 0; i < p.speeds.size(); ++i) {
+    cap += (1.0 - p.preload_fraction) * res.sizes[i] * p.speeds[i];
+  }
+  EXPECT_GT(cap, p.lambda_total);
+}
+
+TEST(Allocation, BeatsUniformAndSingleChassisDesigns) {
+  const auto p = base_problem();
+  const auto res = allocate_blades(p);
+
+  auto evaluate = [&](const std::vector<unsigned>& sizes) {
+    std::vector<model::BladeServer> servers;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      if (sizes[i] == 0) continue;
+      servers.emplace_back(sizes[i], p.speeds[i],
+                           p.preload_fraction * sizes[i] * p.speeds[i] / p.rbar);
+    }
+    const model::Cluster c(std::move(servers), p.rbar);
+    return opt::LoadDistributionOptimizer(c, p.discipline).optimize(p.lambda_total).response_time;
+  };
+
+  EXPECT_LE(res.response_time, evaluate({4, 4, 4}) + 1e-9);
+  EXPECT_LE(res.response_time, evaluate({12, 0, 0}) + 1e-9);
+  EXPECT_LE(res.response_time, evaluate({0, 0, 12}) + 1e-9);
+  EXPECT_LE(res.response_time, evaluate({10, 1, 1}) + 1e-9);
+}
+
+TEST(Allocation, PrefersFasterChassis) {
+  // With a big speed gap the fast chassis should carry most blades.
+  AllocationProblem p;
+  p.speeds = {2.0, 0.5};
+  p.blade_budget = 10;
+  p.preload_fraction = 0.2;
+  p.lambda_total = 5.0;
+  const auto res = allocate_blades(p);
+  EXPECT_GT(res.sizes[0], res.sizes[1]);
+}
+
+TEST(Allocation, HomogeneousChassisGetBalancedBlades) {
+  AllocationProblem p;
+  p.speeds = {1.0, 1.0};
+  p.blade_budget = 8;
+  p.preload_fraction = 0.0;
+  p.lambda_total = 3.0;
+  const auto res = allocate_blades(p);
+  // Pooling favors concentration: all blades on one chassis is the M/M/m
+  // optimum here. Accept either a fully concentrated or near-balanced
+  // design as long as it is not worse than both.
+  EXPECT_EQ(total(res.sizes), 8u);
+  const unsigned big = std::max(res.sizes[0], res.sizes[1]);
+  EXPECT_GE(big, 4u);
+}
+
+TEST(Allocation, SingleChassisDegenerate) {
+  AllocationProblem p;
+  p.speeds = {1.2};
+  p.blade_budget = 5;
+  p.preload_fraction = 0.1;
+  p.lambda_total = 3.0;
+  const auto res = allocate_blades(p);
+  EXPECT_EQ(res.sizes, std::vector<unsigned>{5});
+}
+
+TEST(Allocation, PriorityDisciplineSupported) {
+  auto p = base_problem();
+  p.discipline = queue::Discipline::SpecialPriority;
+  const auto fcfs = allocate_blades(base_problem());
+  const auto prio = allocate_blades(p);
+  EXPECT_EQ(total(prio.sizes), 12u);
+  EXPECT_GE(prio.response_time, fcfs.response_time);  // priority hurts generics
+}
+
+TEST(Allocation, RejectsImpossibleProblems) {
+  auto p = base_problem();
+  p.lambda_total = 100.0;  // way over any achievable capacity
+  EXPECT_THROW((void)allocate_blades(p), std::invalid_argument);
+
+  auto q = base_problem();
+  q.blade_budget = 0;
+  EXPECT_THROW((void)allocate_blades(q), std::invalid_argument);
+
+  auto r = base_problem();
+  r.speeds.clear();
+  EXPECT_THROW((void)allocate_blades(r), std::invalid_argument);
+
+  auto s = base_problem();
+  s.preload_fraction = 1.0;
+  EXPECT_THROW((void)allocate_blades(s), std::invalid_argument);
+}
+
+TEST(Allocation, MoreBudgetNeverHurts) {
+  auto p = base_problem();
+  const auto small = allocate_blades(p);
+  p.blade_budget = 16;
+  const auto big = allocate_blades(p);
+  EXPECT_LT(big.response_time, small.response_time);
+}
+
+}  // namespace

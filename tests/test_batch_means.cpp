@@ -1,0 +1,147 @@
+// Output analysis: batch means and MSER-5 warmup detection, on synthetic
+// sequences with known structure and on real simulator traces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "queueing/mmm.hpp"
+#include "sim/batch_means.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace blade;
+using sim::batch_means;
+using sim::mser5_warmup;
+
+TEST(BatchMeans, RecoversIidMean) {
+  sim::RngStream rng(7, 0);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.exponential(2.0));
+  const auto res = batch_means(xs, 20);
+  EXPECT_EQ(res.batches, 20u);
+  EXPECT_EQ(res.batch_size, 1000u);
+  EXPECT_NEAR(res.ci.mean, 2.0, 0.1);
+  EXPECT_TRUE(res.ci.contains(2.0));
+  // IID data: batch means nearly uncorrelated.
+  EXPECT_LT(std::abs(res.lag1_autocorrelation), 0.5);
+}
+
+TEST(BatchMeans, CiShrinksWithMoreData) {
+  sim::RngStream rng(11, 0);
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) xs.push_back(rng.exponential(1.0));
+  const auto small = batch_means(std::span(xs).subspan(0, 4000), 20);
+  const auto large = batch_means(xs, 20);
+  EXPECT_LT(large.ci.half_width, small.ci.half_width);
+}
+
+TEST(BatchMeans, FlagsCorrelatedBatches) {
+  // A slow sinusoidal drift across batches forces visible lag-1
+  // correlation of the batch means.
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    xs.push_back(1.0 + std::sin(2.0 * 3.14159265 * i / 10000.0));
+  }
+  const auto res = batch_means(xs, 20);
+  EXPECT_GT(res.lag1_autocorrelation, 0.5);
+}
+
+TEST(BatchMeans, Validation) {
+  const std::vector<double> tiny{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)batch_means(tiny, 2), std::invalid_argument);
+  EXPECT_THROW((void)batch_means(tiny, 1), std::invalid_argument);
+}
+
+TEST(Mser5, KeepsEverythingForStationaryData) {
+  sim::RngStream rng(3, 0);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(1.0));
+  // Stationary: truncation should be small (well below a quarter).
+  EXPECT_LT(mser5_warmup(xs), xs.size() / 4);
+}
+
+TEST(Mser5, CutsAnObviousTransient) {
+  sim::RngStream rng(5, 0);
+  std::vector<double> xs;
+  // 1000 heavily inflated transient observations, then stationary.
+  for (int i = 0; i < 1000; ++i) xs.push_back(50.0 + rng.exponential(1.0));
+  for (int i = 0; i < 9000; ++i) xs.push_back(rng.exponential(1.0));
+  const std::size_t cut = mser5_warmup(xs);
+  EXPECT_GE(cut, 900u);
+  EXPECT_LE(cut, 1500u);
+}
+
+TEST(Mser5, ShortSequencesReturnZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_EQ(mser5_warmup(xs), 0u);
+}
+
+TEST(BatchMeansOnSimulation, AgreesWithTheoryWithoutWarmupConfig) {
+  // Run the simulator with NO warmup truncation, let MSER-5 find the
+  // transient, and batch-means the rest: the CI should cover the M/M/m
+  // mean response time.
+  const model::Cluster c({model::BladeServer(4, 1.0, 0.0)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 60000.0;
+  cfg.warmup = 0.0;
+  cfg.record_generic_trace = true;
+  cfg.seed = 9;
+  const auto res = sim::simulate_split(c, {3.0}, sim::SchedulingMode::Fcfs, cfg);
+  ASSERT_GT(res.generic_trace.size(), 100000u);
+
+  const std::size_t cut = sim::mser5_warmup(res.generic_trace);
+  const auto tail = std::span(res.generic_trace).subspan(cut);
+  const auto bm = batch_means(tail, 20);
+  const double expected = queue::MMmQueue(4, 1.0).mean_response_time(3.0);
+  // Batch-means CIs on correlated data are approximate; accept a 3x slack.
+  EXPECT_NEAR(bm.ci.mean, expected, 3.0 * bm.ci.half_width + 0.02 * expected);
+}
+
+TEST(TraceRecording, OffByDefault) {
+  const model::Cluster c({model::BladeServer(1, 1.0, 0.0)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 1000.0;
+  cfg.warmup = 100.0;
+  const auto res = sim::simulate_split(c, {0.5}, sim::SchedulingMode::Fcfs, cfg);
+  EXPECT_TRUE(res.generic_trace.empty());
+  EXPECT_GT(res.generic_samples, 0u);
+}
+
+TEST(TraceRecording, TraceMatchesAccumulatorMean) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 0.5)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 5000.0;
+  cfg.warmup = 500.0;
+  cfg.record_generic_trace = true;
+  const auto res = sim::simulate_split(c, {1.0}, sim::SchedulingMode::Fcfs, cfg);
+  ASSERT_EQ(res.generic_trace.size(), res.generic_samples);
+  double acc = 0.0;
+  for (double x : res.generic_trace) acc += x;
+  EXPECT_NEAR(acc / res.generic_trace.size(), res.generic_mean_response, 1e-9);
+}
+
+TEST(Occupancy, LittlesLawHoldsInSimulation) {
+  // Time-averaged number in system == arrival rate x mean response, per
+  // server, measured entirely inside the simulator.
+  const model::Cluster c({model::BladeServer(3, 1.0, 1.0)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 50000.0;
+  cfg.warmup = 0.0;  // Little's law applies to the whole run
+  const double lambda1 = 1.2;
+  const auto res = sim::simulate_split(c, {lambda1}, sim::SchedulingMode::Fcfs, cfg);
+  ASSERT_EQ(res.servers.size(), 1u);
+  const double total_rate = lambda1 + 1.0;
+  // Overall mean response across both classes, weighted by samples.
+  const double mean_T =
+      (res.generic_mean_response * res.generic_samples +
+       res.special_mean_response * res.special_samples) /
+      (res.generic_samples + res.special_samples);
+  EXPECT_NEAR(res.servers[0].time_avg_tasks, total_rate * mean_T,
+              0.05 * total_rate * mean_T);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// CLI layer: spec parsing (round trips, defaults, error reporting) and
+// the command functions including the argv driver.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/app.hpp"
+#include "cli/spec.hpp"
+
+namespace {
+
+using namespace blade;
+using cli::parse_cluster_spec;
+using cli::SpecError;
+
+constexpr const char* kSpec = R"(
+# demo cluster
+rbar = 1.0
+preload = 0.3
+server 2 1.6
+server 4 1.5
+server 6 1.4 2.52   # explicit special rate
+)";
+
+TEST(Spec, ParsesServersAndDefaults) {
+  const auto c = parse_cluster_spec(kSpec);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.rbar(), 1.0);
+  EXPECT_EQ(c.server(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(c.server(0).speed(), 1.6);
+  // preload 0.3: lambda'' = 0.3 * 2 * 1.6 = 0.96.
+  EXPECT_NEAR(c.server(0).special_rate(), 0.96, 1e-12);
+  // Explicit rate wins over the preload default.
+  EXPECT_NEAR(c.server(2).special_rate(), 2.52, 1e-12);
+}
+
+TEST(Spec, RbarDirective) {
+  const auto c = parse_cluster_spec("rbar = 2.0\npreload = 0\nserver 1 1.0\n");
+  EXPECT_DOUBLE_EQ(c.rbar(), 2.0);
+  EXPECT_DOUBLE_EQ(c.server(0).special_rate(), 0.0);
+}
+
+TEST(Spec, CommentsAndBlankLinesIgnored) {
+  const auto c = parse_cluster_spec("\n# hi\n  \nserver 1 1.0 0.1  # tail comment\n");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Spec, ErrorsNameTheLine) {
+  try {
+    (void)parse_cluster_spec("rbar = 1.0\nserver 2\n");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Spec, RejectsBadInput) {
+  EXPECT_THROW((void)parse_cluster_spec(""), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("frobnicate 1 2\n"), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("server 0 1.0 0.0\n"), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("server 2 -1.0 0.0\n"), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("server 2 1.0 -0.5\n"), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("server 2 1.0\n"), SpecError);  // no preload default
+  EXPECT_THROW((void)parse_cluster_spec("preload = 1.5\nserver 2 1.0\n"), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("rbar = x\nserver 1 1 0\n"), SpecError);
+  EXPECT_THROW((void)parse_cluster_spec("server 2.5 1.0 0.0\n"), SpecError);
+}
+
+TEST(Spec, RoundTripsThroughToSpec) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto again = parse_cluster_spec(cli::to_spec(c));
+  ASSERT_EQ(again.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(again.server(i).size(), c.server(i).size());
+    EXPECT_DOUBLE_EQ(again.server(i).speed(), c.server(i).speed());
+    EXPECT_NEAR(again.server(i).special_rate(), c.server(i).special_rate(), 1e-12);
+  }
+}
+
+TEST(Spec, LoadFromMissingFileFails) {
+  EXPECT_THROW((void)cli::load_cluster_spec("/nonexistent/path.spec"), SpecError);
+}
+
+TEST(App, OptimizeReportContainsSolution) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_optimize(c, 8.0, {});
+  EXPECT_NE(out.find("minimized T'"), std::string::npos);
+  EXPECT_NE(out.find("fcfs"), std::string::npos);
+  const cli::CommonOptions prio{queue::Discipline::SpecialPriority, 1.0};
+  EXPECT_NE(cli::run_optimize(c, 8.0, prio).find("priority"), std::string::npos);
+}
+
+TEST(App, OptimizeRejectsInfeasibleLambda) {
+  const auto c = parse_cluster_spec(kSpec);
+  EXPECT_THROW((void)cli::run_optimize(c, 1000.0, {}), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_optimize(c, 0.0, {}), std::invalid_argument);
+}
+
+TEST(App, SweepEmitsCsvRows) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_sweep(c, 2.0, 10.0, 5, {});
+  EXPECT_NE(out.find("lambda,T"), std::string::npos);
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+  EXPECT_THROW((void)cli::run_sweep(c, 5.0, 2.0, 5, {}), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_sweep(c, 2.0, 10.0, 1, {}), std::invalid_argument);
+}
+
+TEST(App, ValidateReportsCi) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_validate(c, 6.0, 3, 1, {});
+  EXPECT_NE(out.find("simulated T'"), std::string::npos);
+  EXPECT_NE(out.find("95% CI"), std::string::npos);
+  cli::CommonOptions scv;
+  scv.service_scv = 2.0;
+  EXPECT_THROW((void)cli::run_validate(c, 6.0, 3, 1, scv), std::invalid_argument);
+}
+
+TEST(App, SensitivityReportHasAllKnobs) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_sensitivity(c, 6.0, {});
+  EXPECT_NE(out.find("dT'/dlambda'"), std::string::npos);
+  EXPECT_NE(out.find("one extra blade"), std::string::npos);
+}
+
+TEST(App, PercentilesReportPerServerQuantiles) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_percentiles(c, 8.0, {});
+  EXPECT_NE(out.find("p99 T"), std::string::npos);
+  EXPECT_NE(out.find("P(wait)"), std::string::npos);
+  cli::CommonOptions prio{queue::Discipline::SpecialPriority, 1.0};
+  EXPECT_THROW((void)cli::run_percentiles(c, 8.0, prio), std::invalid_argument);
+}
+
+TEST(App, AllocateRepacksBlades) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_allocate(c, 6.0, {});
+  EXPECT_NE(out.find("redesigned blades per chassis"), std::string::npos);
+  EXPECT_NE(out.find("current layout"), std::string::npos);
+}
+
+TEST(App, TraceComparesAdaptiveAndStatic) {
+  const auto c = parse_cluster_spec(kSpec);
+  const auto out = cli::run_trace(c, 3.0, 9.0, {});
+  EXPECT_NE(out.find("adaptive"), std::string::npos);
+  EXPECT_NE(out.find("static split"), std::string::npos);
+}
+
+TEST(App, ScvChangesTheAnswer) {
+  const auto c = parse_cluster_spec(kSpec);
+  cli::CommonOptions det;
+  det.service_scv = 0.0;
+  const auto exp_out = cli::run_optimize(c, 8.0, {});
+  const auto det_out = cli::run_optimize(c, 8.0, det);
+  EXPECT_NE(exp_out, det_out);
+}
+
+class CliDriver : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cli_driver_demo.spec";
+    std::ofstream(path_) << kSpec;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CliDriver, DispatchesOptimize) {
+  const auto out = cli::run_cli({"optimize", path_, "8.0"});
+  EXPECT_NE(out.find("minimized T'"), std::string::npos);
+}
+
+TEST_F(CliDriver, DispatchesSweepWithPriorityFlag) {
+  const auto out = cli::run_cli({"sweep", path_, "2", "9", "4", "--priority"});
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST_F(CliDriver, FlagsParsed) {
+  const auto out = cli::run_cli({"validate", path_, "6.0", "--reps", "3", "--seed", "42"});
+  EXPECT_NE(out.find("3 replications"), std::string::npos);
+}
+
+TEST(App, FiguresCommandFormats) {
+  const auto csv = cli::run_figure(12, "csv", 6);
+  EXPECT_NE(csv.find("series,lambda',T'"), std::string::npos);
+  const auto json = cli::run_figure(12, "json", 6);
+  EXPECT_NE(json.find("\"id\":\"fig12\""), std::string::npos);
+  const auto art = cli::run_figure(12, "ascii", 6);
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  EXPECT_THROW((void)cli::run_figure(12, "xml", 6), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_figure(3, "csv", 6), std::invalid_argument);
+}
+
+TEST_F(CliDriver, DispatchesPercentilesAllocateTrace) {
+  EXPECT_NE(cli::run_cli({"percentiles", path_, "6.0"}).find("p99"), std::string::npos);
+  EXPECT_NE(cli::run_cli({"allocate", path_, "6.0"}).find("redesigned"), std::string::npos);
+  EXPECT_NE(cli::run_cli({"trace", path_, "3", "9"}).find("adaptive"), std::string::npos);
+}
+
+TEST_F(CliDriver, DispatchesConsolidate) {
+  const auto out = cli::run_cli({"consolidate", path_, "3", "8", "1.5"});
+  EXPECT_NE(out.find("blade-time switched off"), std::string::npos);
+  EXPECT_NE(out.find("active blades"), std::string::npos);
+}
+
+TEST_F(CliDriver, BadInvocationsThrowWithUsage) {
+  EXPECT_THROW((void)cli::run_cli({}), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_cli({"bogus", path_, "1"}), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_cli({"optimize", path_}), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_cli({"optimize", path_, "8.0", "--wat"}), std::invalid_argument);
+  EXPECT_THROW((void)cli::run_cli({"optimize", "/missing.spec", "8.0"}), cli::SpecError);
+}
+
+}  // namespace

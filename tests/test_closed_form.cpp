@@ -1,0 +1,147 @@
+// Theorems 1 and 3: single-blade closed forms must agree with the general
+// double-bisection optimizer, including the active-set regime the raw
+// formulas do not cover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/closed_form.hpp"
+#include "core/kkt.hpp"
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::closed_form_distribution;
+using opt::LoadDistributionOptimizer;
+using queue::Discipline;
+
+model::Cluster single_blade_cluster(double preload = 0.3) {
+  // Heterogeneous speeds, one blade each (the theorem regime).
+  std::vector<unsigned> sizes(6, 1);
+  std::vector<double> speeds{1.6, 1.4, 1.2, 1.0, 0.8, 0.6};
+  return model::make_cluster(sizes, speeds, 1.0, preload);
+}
+
+TEST(Theorem1, PhiFormulaPositive) {
+  const auto c = single_blade_cluster();
+  const double lambda = 0.5 * c.max_generic_rate();
+  EXPECT_GT(opt::theorem1_phi(c, lambda), 0.0);
+}
+
+TEST(Theorem1, RejectsMultiBladeClusters) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 0.2)}, 1.0);
+  EXPECT_THROW((void)opt::theorem1_rates(c, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)closed_form_distribution(c, Discipline::Fcfs, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Theorem1, RatesMatchGeneralOptimizerWhenAllActive) {
+  const auto c = single_blade_cluster();
+  const double lambda = 0.6 * c.max_generic_rate();  // heavy enough: all active
+  const auto raw = opt::theorem1_rates(c, lambda);
+  const auto general = LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(lambda);
+  ASSERT_EQ(raw.size(), general.rates.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(raw[i], general.rates[i], 1e-6) << "server " << i;
+    EXPECT_GT(raw[i], 0.0);
+  }
+}
+
+TEST(Theorem1, RawFormulaGoesNegativeAtLightLoad) {
+  // Documents why the active-set variant exists.
+  const auto c = single_blade_cluster();
+  const auto raw = opt::theorem1_rates(c, 0.02 * c.max_generic_rate());
+  double min_rate = 0.0;
+  for (double r : raw) min_rate = std::min(min_rate, r);
+  EXPECT_LT(min_rate, 0.0);
+}
+
+TEST(ClosedForm, MatchesOptimizerFcfsAcrossLoads) {
+  const auto c = single_blade_cluster();
+  const LoadDistributionOptimizer general(c, Discipline::Fcfs);
+  for (double frac : {0.02, 0.1, 0.3, 0.6, 0.9, 0.97}) {
+    const double lambda = frac * c.max_generic_rate();
+    const auto cf = closed_form_distribution(c, Discipline::Fcfs, lambda);
+    const auto gd = general.optimize(lambda);
+    EXPECT_NEAR(cf.response_time, gd.response_time, 1e-7) << "frac=" << frac;
+    for (std::size_t i = 0; i < cf.rates.size(); ++i) {
+      EXPECT_NEAR(cf.rates[i], gd.rates[i], 1e-5) << "frac=" << frac << " server " << i;
+    }
+  }
+}
+
+TEST(ClosedForm, MatchesOptimizerPriorityAcrossLoads) {
+  const auto c = single_blade_cluster(0.4);
+  const LoadDistributionOptimizer general(c, Discipline::SpecialPriority);
+  for (double frac : {0.05, 0.3, 0.7, 0.95}) {
+    const double lambda = frac * c.max_generic_rate();
+    const auto cf = closed_form_distribution(c, Discipline::SpecialPriority, lambda);
+    const auto gd = general.optimize(lambda);
+    EXPECT_NEAR(cf.response_time, gd.response_time, 1e-7) << "frac=" << frac;
+    for (std::size_t i = 0; i < cf.rates.size(); ++i) {
+      EXPECT_NEAR(cf.rates[i], gd.rates[i], 1e-5) << "frac=" << frac << " server " << i;
+    }
+  }
+}
+
+TEST(ClosedForm, ActiveSetClampsSlowServersAtLightLoad) {
+  const auto c = single_blade_cluster();
+  const double lambda = 0.02 * c.max_generic_rate();
+  const auto cf = closed_form_distribution(c, Discipline::Fcfs, lambda);
+  EXPECT_NEAR(cf.total_rate(), lambda, 1e-9);
+  // The slowest server must be inactive at this load.
+  EXPECT_DOUBLE_EQ(cf.rates.back(), 0.0);
+  EXPECT_GT(cf.rates.front(), 0.0);
+  const auto rep = opt::verify_kkt(c, Discipline::Fcfs, lambda, cf.rates, 1e-5);
+  EXPECT_TRUE(rep.optimal()) << rep.detail;
+}
+
+TEST(ClosedForm, SolutionsSatisfyKkt) {
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    const auto c = single_blade_cluster();
+    for (double frac : {0.2, 0.6, 0.9}) {
+      const double lambda = frac * c.max_generic_rate();
+      const auto cf = closed_form_distribution(c, d, lambda);
+      const auto rep = opt::verify_kkt(c, d, lambda, cf.rates, 1e-5);
+      EXPECT_TRUE(rep.optimal()) << rep.detail;
+    }
+  }
+}
+
+TEST(Theorem3, RateClampedAtZero) {
+  const model::BladeServer slow(1, 0.5, 0.3);
+  // Tiny phi: the formula's sqrt dominates and the clamp must engage.
+  EXPECT_DOUBLE_EQ(opt::theorem3_rate(slow, 1.0, 1.0, 1e-12), 0.0);
+  // Large phi admits positive load.
+  EXPECT_GT(opt::theorem3_rate(slow, 1.0, 1.0, 1e3), 0.0);
+}
+
+TEST(Theorem3, RateIncreasingInPhi) {
+  const model::BladeServer s(1, 1.2, 0.2);
+  double prev = 0.0;
+  for (double phi : {0.1, 0.5, 1.0, 5.0, 50.0}) {
+    const double r = opt::theorem3_rate(s, 1.0, 2.0, phi);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(ClosedForm, FeasibilityValidation) {
+  const auto c = single_blade_cluster();
+  EXPECT_THROW((void)closed_form_distribution(c, Discipline::Fcfs, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)closed_form_distribution(c, Discipline::Fcfs, c.max_generic_rate()),
+               std::invalid_argument);
+}
+
+TEST(ClosedForm, HomogeneousSplitsEvenly) {
+  const auto c = model::make_cluster({1, 1, 1}, {1.0, 1.0, 1.0}, 1.0, 0.2);
+  const double lambda = 0.5 * c.max_generic_rate();
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    const auto cf = closed_form_distribution(c, d, lambda);
+    for (double r : cf.rates) EXPECT_NEAR(r, lambda / 3.0, 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// cloud module: experiment descriptors (tables/figures), series
+// rendering, and report formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/experiments.hpp"
+#include "cloud/report.hpp"
+#include "cloud/series.hpp"
+
+namespace {
+
+using namespace blade;
+using cloud::example_table;
+using cloud::figure;
+using queue::Discipline;
+
+TEST(ExampleTables, Table1MatchesPaper) {
+  const auto t = example_table(Discipline::Fcfs);
+  ASSERT_EQ(t.rows.size(), 7u);
+  EXPECT_NEAR(t.lambda_total, 23.52, 1e-10);
+  EXPECT_NEAR(t.response_time, 0.8964703, 1e-6);
+  EXPECT_NEAR(t.rows[0].generic_rate, 0.6652046, 2e-6);
+  EXPECT_NEAR(t.rows[6].utilization, 0.6302439, 1e-6);
+  EXPECT_EQ(t.rows[3].size, 8u);
+  EXPECT_NEAR(t.rows[3].service_time, 1.0 / 1.3, 1e-12);
+}
+
+TEST(ExampleTables, Table2MatchesPaper) {
+  const auto t = example_table(Discipline::SpecialPriority);
+  EXPECT_NEAR(t.response_time, 0.9209392, 1e-6);
+  EXPECT_NEAR(t.rows[0].generic_rate, 0.5908113, 2e-6);
+  EXPECT_NEAR(t.rows[6].generic_rate, 5.0041912, 2e-6);
+}
+
+TEST(Figures, RejectsUnknownNumber) {
+  EXPECT_THROW((void)figure(3), std::invalid_argument);
+  EXPECT_THROW((void)figure(16), std::invalid_argument);
+}
+
+TEST(Figures, Fig4HasFiveIncreasingSeries) {
+  const auto fig = figure(4, 12);
+  ASSERT_EQ(fig.series.size(), 5u);
+  for (const auto& s : fig.series) {
+    ASSERT_GE(s.x.size(), 4u) << s.label;
+    ASSERT_EQ(s.x.size(), s.y.size());
+    for (std::size_t i = 1; i < s.y.size(); ++i) {
+      EXPECT_GT(s.y[i], s.y[i - 1]) << s.label << " point " << i;
+    }
+  }
+}
+
+TEST(Figures, PrioritySeriesDominatesFcfs) {
+  // Fig 5 (priority) lies above Fig 4 (fcfs) pointwise on shared grids.
+  const auto f4 = figure(4, 10);
+  const auto f5 = figure(5, 10);
+  for (std::size_t g = 0; g < 5; ++g) {
+    const auto& a = f4.series[g];
+    const auto& b = f5.series[g];
+    const std::size_t n = std::min(a.x.size(), b.x.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(a.x[i], b.x[i]);
+      EXPECT_GT(b.y[i], a.y[i]);
+    }
+  }
+}
+
+TEST(Figures, BiggerClustersAreFasterAtHighLoad) {
+  // Fig 4's group5 (63 blades) must beat group1 (49 blades) at high load.
+  const auto fig = figure(4, 12);
+  const auto& g1 = fig.series.front();
+  const auto& g5 = fig.series.back();
+  // Compare at g1's last grid point (present in both series).
+  const double x = g1.x.back();
+  for (std::size_t i = 0; i < g5.x.size(); ++i) {
+    if (g5.x[i] == x) {
+      EXPECT_LT(g5.y[i], g1.y.back());
+      return;
+    }
+  }
+  FAIL() << "shared grid point not found";
+}
+
+TEST(Figures, HeterogeneityBarelyMattersButHelps) {
+  // The paper's "surprising" observation on Figs. 12-15: the groups'
+  // curves nearly coincide, with more heterogeneity giving (slightly)
+  // smaller T'. At light load heterogeneity *does* help noticeably (the
+  // fast blades dominate); the near-coincidence is a moderate-to-high
+  // load phenomenon, so the closeness check applies to the upper half of
+  // the shared grid.
+  // Size heterogeneity (fig12): the five curves essentially coincide at
+  // every load (within a few percent).
+  {
+    const auto fig = figure(12, 10);
+    const auto& most = fig.series.front();
+    const auto& least = fig.series.back();
+    const std::size_t n = std::min(most.x.size(), least.x.size());
+    ASSERT_GT(n, 3u);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(most.y[i], least.y[i] + 1e-9) << "fig12 point " << i;
+      EXPECT_LT(least.y[i] / most.y[i], 1.15) << "fig12 point " << i;
+    }
+  }
+  // Speed heterogeneity (fig14): heterogeneity helps a lot at light load
+  // (fast blades dominate) and the curves converge toward saturation.
+  {
+    const auto fig = figure(14, 10);
+    const auto& most = fig.series.front();
+    const auto& least = fig.series.back();
+    const std::size_t n = std::min(most.x.size(), least.x.size());
+    ASSERT_GT(n, 3u);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(most.y[i], least.y[i] + 1e-9) << "fig14 point " << i;
+    }
+    const double first_ratio = least.y[0] / most.y[0];
+    const double last_ratio = least.y[n - 1] / most.y[n - 1];
+    EXPECT_LT(last_ratio, first_ratio);
+    EXPECT_LT(last_ratio, 1.3);
+  }
+}
+
+TEST(Figures, FasterSpeedsAndSmallerTasksHelp) {
+  // fig06: larger s shifts curves down; fig08: larger rbar shifts up.
+  const auto f6 = figure(6, 8);
+  const auto f8 = figure(8, 8);
+  // First common grid point of all series.
+  for (std::size_t g = 1; g < 5; ++g) {
+    EXPECT_LT(f6.series[g].y[0], f6.series[g - 1].y[0]) << "fig06 group " << g;
+    EXPECT_GT(f8.series[g].y[0], f8.series[g - 1].y[0]) << "fig08 group " << g;
+  }
+}
+
+TEST(Figures, HigherPreloadHurts) {
+  const auto f10 = figure(10, 8);
+  for (std::size_t g = 1; g < 5; ++g) {
+    EXPECT_GT(f10.series[g].y[0], f10.series[g - 1].y[0]) << "fig10 group " << g;
+  }
+}
+
+TEST(Series, CsvLongFormat) {
+  cloud::FigureData fig;
+  fig.id = "t";
+  fig.xlabel = "x";
+  fig.ylabel = "y";
+  fig.series.push_back({"a", {1.0, 2.0}, {3.0, 4.0}});
+  const auto csv = cloud::to_csv(fig, 1);
+  EXPECT_EQ(csv, "series,x,y\na,1.0,3.0\na,2.0,4.0\n");
+}
+
+TEST(Series, AsciiPlotRendersLegendAndFrame) {
+  cloud::FigureData fig;
+  fig.title = "demo";
+  fig.xlabel = "x";
+  fig.ylabel = "y";
+  fig.series.push_back({"up", {0.0, 1.0, 2.0}, {0.0, 1.0, 2.0}});
+  const auto art = cloud::ascii_plot(fig, 24, 8);
+  EXPECT_NE(art.find("demo"), std::string::npos);
+  EXPECT_NE(art.find("*=up"), std::string::npos);
+  EXPECT_THROW((void)cloud::ascii_plot(fig, 4, 2), std::invalid_argument);
+}
+
+TEST(Reports, ExampleTableRendering) {
+  const auto t = example_table(Discipline::Fcfs);
+  const auto out = cloud::render_example_table(t, "Table 1");
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+  EXPECT_NE(out.find("0.8964703"), std::string::npos);
+  EXPECT_NE(out.find("lambda'_i"), std::string::npos);
+}
+
+TEST(Reports, AblationRendering) {
+  const auto rows = cloud::policy_ablation(model::paper_example_cluster(), Discipline::Fcfs,
+                                           {0.5});
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    EXPECT_GE(r.penalty, -1e-9) << r.policy;
+    EXPECT_NEAR(r.optimal_T, 0.8964703, 1e-5);
+  }
+  const auto out = cloud::render_ablation(rows);
+  EXPECT_NE(out.find("equal-split"), std::string::npos);
+}
+
+TEST(Reports, ValidationSmokeTest) {
+  // Small replication count for test speed; the bench runs the full study.
+  const auto rows = cloud::validate_examples(3, 8000.0, 800.0);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.simulated, r.analytic, 0.05 * r.analytic) << r.label;
+  }
+  const auto out = cloud::render_validation(rows);
+  EXPECT_NE(out.find("analytic"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Consolidation planner: SLO satisfaction, monotonicity in load and SLO,
+// special-load pinning, and energy accounting.
+#include <gtest/gtest.h>
+
+#include "cloud/consolidation.hpp"
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using cloud::LoadProfile;
+using cloud::plan_consolidation;
+using queue::Discipline;
+
+LoadProfile flat(double lambda) {
+  LoadProfile p;
+  p.epoch_rates = {lambda};
+  return p;
+}
+
+TEST(Consolidation, MeetsSloInEveryEpoch) {
+  const auto c = model::paper_example_cluster();
+  const auto profile = cloud::diurnal_profile(6.0, 30.0, 8);
+  const auto plan = plan_consolidation(c, Discipline::Fcfs, profile, 1.2);
+  ASSERT_EQ(plan.epochs.size(), 8u);
+  for (const auto& e : plan.epochs) {
+    EXPECT_LE(e.response_time, 1.2) << "lambda=" << e.lambda;
+    EXPECT_GT(e.total_active, 0u);
+    EXPECT_LE(e.total_active, c.total_blades());
+  }
+  EXPECT_GT(plan.energy_savings(), 0.0);
+  EXPECT_LT(plan.energy_savings(), 1.0);
+}
+
+TEST(Consolidation, LightLoadSavesMoreThanHeavyLoad) {
+  const auto c = model::paper_example_cluster();
+  const auto light = plan_consolidation(c, Discipline::Fcfs, flat(6.0), 1.2);
+  const auto heavy = plan_consolidation(c, Discipline::Fcfs, flat(34.0), 1.2);
+  EXPECT_LT(light.epochs[0].total_active, heavy.epochs[0].total_active);
+  EXPECT_GT(light.energy_savings(), heavy.energy_savings());
+}
+
+TEST(Consolidation, TighterSloKeepsMoreBladesOn) {
+  const auto c = model::paper_example_cluster();
+  const auto loose = plan_consolidation(c, Discipline::Fcfs, flat(20.0), 1.5);
+  const auto tight = plan_consolidation(c, Discipline::Fcfs, flat(20.0), 0.95);
+  EXPECT_GE(tight.epochs[0].total_active, loose.epochs[0].total_active);
+}
+
+TEST(Consolidation, SpecialLoadPinsServers) {
+  // Every paper-cluster server carries special load, so none may reach
+  // zero active blades, and each must keep rho'' < 1.
+  const auto c = model::paper_example_cluster();
+  const auto plan = plan_consolidation(c, Discipline::Fcfs, flat(5.0), 2.0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const unsigned a = plan.epochs[0].active_blades[i];
+    EXPECT_GE(a, 1u) << "server " << i;
+    const auto& s = c.server(i);
+    EXPECT_LT(s.special_rate() * c.rbar() / (s.speed() * a), 1.0);
+  }
+}
+
+TEST(Consolidation, ReducedClusterStillOptimal) {
+  // The reported T' must equal a fresh solve on the reduced cluster.
+  const auto c = model::paper_example_cluster();
+  const auto plan = plan_consolidation(c, Discipline::Fcfs, flat(15.0), 1.1);
+  const auto& e = plan.epochs[0];
+  std::vector<model::BladeServer> reduced;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (e.active_blades[i] == 0) continue;
+    reduced.emplace_back(e.active_blades[i], c.server(i).speed(), c.server(i).special_rate());
+  }
+  const model::Cluster rc(std::move(reduced), c.rbar());
+  const double fresh =
+      opt::LoadDistributionOptimizer(rc, Discipline::Fcfs).optimize(15.0).response_time;
+  EXPECT_NEAR(e.response_time, fresh, 1e-9);
+}
+
+TEST(Consolidation, PriorityDisciplineSupported) {
+  const auto c = model::paper_example_cluster();
+  const auto fcfs = plan_consolidation(c, Discipline::Fcfs, flat(18.0), 1.2);
+  const auto prio = plan_consolidation(c, Discipline::SpecialPriority, flat(18.0), 1.2);
+  // Priority inflates generic T', so it can never allow *more* savings.
+  EXPECT_LE(prio.energy_savings(), fcfs.energy_savings() + 1e-12);
+}
+
+TEST(Consolidation, Validation) {
+  const auto c = model::paper_example_cluster();
+  EXPECT_THROW((void)plan_consolidation(c, Discipline::Fcfs, flat(20.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_consolidation(c, Discipline::Fcfs, LoadProfile{}, 1.0),
+               std::invalid_argument);
+  // SLO below the idle service time is unreachable even fully on.
+  EXPECT_THROW((void)plan_consolidation(c, Discipline::Fcfs, flat(20.0), 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Per-server discipline assignment: heterogeneous-discipline optimizer
+// plumbing, SLO feasibility logic, and dominance over the two uniform
+// regimes the paper analyzes.
+#include <gtest/gtest.h>
+
+#include "core/discipline_assignment.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::assign_disciplines;
+using opt::special_mean_response;
+using queue::Discipline;
+
+TEST(HeterogeneousDisciplines, OptimizerAcceptsPerServerVector) {
+  const auto c = model::paper_example_cluster();
+  std::vector<Discipline> ds(c.size(), Discipline::Fcfs);
+  ds[0] = Discipline::SpecialPriority;
+  ds[3] = Discipline::SpecialPriority;
+  const auto sol = opt::LoadDistributionOptimizer(c, ds).optimize(20.0);
+  EXPECT_NEAR(sol.total_rate(), 20.0, 1e-8 * 20.0);
+  // Uniform vectors must match the single-discipline constructor exactly.
+  const auto uniform = opt::LoadDistributionOptimizer(
+                           c, std::vector<Discipline>(c.size(), Discipline::Fcfs))
+                           .optimize(20.0);
+  const auto classic = opt::LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(20.0);
+  EXPECT_DOUBLE_EQ(uniform.response_time, classic.response_time);
+  EXPECT_THROW(opt::LoadDistributionOptimizer(c, std::vector<Discipline>{Discipline::Fcfs}),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousDisciplines, MixedLiesBetweenUniformRegimes) {
+  const auto c = model::paper_example_cluster();
+  const double lambda = 25.0;
+  const auto fcfs = opt::LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(lambda);
+  const auto prio =
+      opt::LoadDistributionOptimizer(c, Discipline::SpecialPriority).optimize(lambda);
+  std::vector<Discipline> half(c.size(), Discipline::Fcfs);
+  for (std::size_t i = 0; i < c.size(); i += 2) half[i] = Discipline::SpecialPriority;
+  const auto mixed = opt::LoadDistributionOptimizer(c, half).optimize(lambda);
+  EXPECT_GT(mixed.response_time, fcfs.response_time);
+  EXPECT_LT(mixed.response_time, prio.response_time);
+}
+
+TEST(SpecialMeanResponse, WeightsByRateAndRespectsDiscipline) {
+  const auto c = model::paper_example_cluster();
+  const std::vector<double> rates(c.size(), 1.0);
+  const std::vector<Discipline> fcfs(c.size(), Discipline::Fcfs);
+  const std::vector<Discipline> prio(c.size(), Discipline::SpecialPriority);
+  const double t_f = special_mean_response(c, fcfs, rates);
+  const double t_p = special_mean_response(c, prio, rates);
+  EXPECT_GT(t_f, 0.0);
+  EXPECT_LT(t_p, t_f);  // priority helps special tasks
+}
+
+TEST(AssignDisciplines, LooseSloYieldsAllFcfs) {
+  const auto c = model::paper_example_cluster();
+  const auto res = assign_disciplines(c, 23.52, /*special_slo=*/100.0);
+  ASSERT_TRUE(res.any_feasible);
+  // With no binding SLO, FCFS everywhere minimizes the generic T'.
+  EXPECT_NEAR(res.best.generic_response, res.all_fcfs.generic_response, 1e-9);
+  for (auto d : res.best.disciplines) EXPECT_EQ(d, Discipline::Fcfs);
+  EXPECT_EQ(res.evaluated, 2 + 128);  // 2 baselines + 2^7 assignments
+}
+
+TEST(AssignDisciplines, TightSloForcesPriorityEverywhere) {
+  const auto c = model::paper_example_cluster();
+  // The tightest achievable SLO is the all-priority special response
+  // (~0.8654 here); just above it, only the all-priority assignment fits.
+  const double floor_slo =
+      assign_disciplines(c, 23.52, 100.0).all_priority.special_response;
+  const auto res = assign_disciplines(c, 23.52, floor_slo + 1e-4);
+  ASSERT_TRUE(res.any_feasible);
+  for (auto d : res.best.disciplines) EXPECT_EQ(d, Discipline::SpecialPriority);
+}
+
+TEST(AssignDisciplines, IntermediateSloUsesMixedAssignment) {
+  const auto c = model::paper_example_cluster();
+  const double lo = assign_disciplines(c, 23.52, 100.0).all_priority.special_response;
+  const double hi = assign_disciplines(c, 23.52, 100.0).all_fcfs.special_response;
+  const double mid_slo = 0.5 * (lo + hi);
+  const auto res = assign_disciplines(c, 23.52, mid_slo);
+  ASSERT_TRUE(res.any_feasible);
+  EXPECT_TRUE(res.best.feasible);
+  EXPECT_LE(res.best.special_response, mid_slo);
+  // Mixed must beat all-priority on the generic objective...
+  EXPECT_LT(res.best.generic_response, res.all_priority.generic_response);
+  // ...and be no better than unconstrained FCFS.
+  EXPECT_GE(res.best.generic_response, res.all_fcfs.generic_response - 1e-9);
+  // At least one server of each kind.
+  int prio_count = 0;
+  for (auto d : res.best.disciplines) prio_count += (d == Discipline::SpecialPriority);
+  EXPECT_GT(prio_count, 0);
+  EXPECT_LT(prio_count, static_cast<int>(c.size()));
+}
+
+TEST(AssignDisciplines, InfeasibleSloReported) {
+  const auto c = model::paper_example_cluster();
+  const auto res = assign_disciplines(c, 23.52, 0.1);  // below service time
+  EXPECT_FALSE(res.any_feasible);
+  EXPECT_FALSE(res.all_priority.feasible);
+}
+
+TEST(AssignDisciplines, Validation) {
+  const auto c = model::paper_example_cluster();
+  EXPECT_THROW((void)assign_disciplines(c, 23.52, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)assign_disciplines(c, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)assign_disciplines(c, 100.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Parameterized shape properties across ALL twelve paper figures: every
+// series increasing and convex in lambda', five series per figure, each
+// series ending before its group's saturation point, and priority
+// figures dominating their FCFS siblings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/experiments.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using blade::cloud::figure;
+using blade::cloud::FigureData;
+
+std::vector<blade::model::NamedCluster> groups_for(int number) {
+  using namespace blade::model;
+  switch (number) {
+    case 4: case 5: return size_groups();
+    case 6: case 7: return speed_groups();
+    case 8: case 9: return requirement_groups();
+    case 10: case 11: return special_rate_groups();
+    case 12: case 13: return size_heterogeneity_groups();
+    default: return speed_heterogeneity_groups();
+  }
+}
+
+class FigureShape : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr std::size_t kPoints = 10;
+  FigureData fig() const { return figure(GetParam(), kPoints); }
+};
+
+TEST_P(FigureShape, HasFiveNonTrivialSeries) {
+  const auto f = fig();
+  ASSERT_EQ(f.series.size(), 5u);
+  for (const auto& s : f.series) {
+    EXPECT_GE(s.x.size(), 3u) << s.label;
+    EXPECT_EQ(s.x.size(), s.y.size()) << s.label;
+    EXPECT_FALSE(s.label.empty());
+  }
+}
+
+TEST_P(FigureShape, SeriesAreStrictlyIncreasing) {
+  for (const auto& s : fig().series) {
+    for (std::size_t i = 1; i < s.y.size(); ++i) {
+      EXPECT_GT(s.y[i], s.y[i - 1]) << s.label << " point " << i;
+      EXPECT_GT(s.x[i], s.x[i - 1]) << s.label << " point " << i;
+    }
+  }
+}
+
+TEST_P(FigureShape, WeightedValueFunctionIsConvex) {
+  // The *average* T'*(lambda') need not be convex (weights shift as
+  // servers activate), but the total weighted cost W = lambda' T'*
+  // is the value function of a convex program with a linear parameter,
+  // hence convex. The grid is uniform, so midpoint convexity is three
+  // consecutive points.
+  for (const auto& s : fig().series) {
+    for (std::size_t i = 1; i + 1 < s.y.size(); ++i) {
+      const double w_prev = s.x[i - 1] * s.y[i - 1];
+      const double w_mid = s.x[i] * s.y[i];
+      const double w_next = s.x[i + 1] * s.y[i + 1];
+      EXPECT_LE(w_mid, 0.5 * (w_prev + w_next) + 1e-9) << s.label << " point " << i;
+    }
+  }
+}
+
+TEST_P(FigureShape, SeriesEndBeforeSaturation) {
+  const auto f = fig();
+  const auto groups = groups_for(GetParam());
+  ASSERT_EQ(groups.size(), f.series.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const double sat = groups[g].cluster.max_generic_rate();
+    EXPECT_LT(f.series[g].x.back(), sat) << groups[g].name;
+    // ...but get reasonably close, as the paper's curves do.
+    EXPECT_GT(f.series[g].x.back(), 0.5 * sat) << groups[g].name;
+  }
+}
+
+TEST_P(FigureShape, ResponseTimesExceedBestServiceTime) {
+  const auto f = fig();
+  const auto groups = groups_for(GetParam());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double fastest = 0.0;
+    for (const auto& s : groups[g].cluster.servers()) fastest = std::max(fastest, s.speed());
+    const double min_service = groups[g].cluster.rbar() / fastest;
+    for (double y : f.series[g].y) EXPECT_GT(y, min_service - 1e-12) << groups[g].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperFigures, FigureShape,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+                         [](const auto& info) { return "fig" + std::to_string(info.param); });
+
+class FigurePairs : public ::testing::TestWithParam<int> {};
+
+TEST_P(FigurePairs, PriorityVersionDominatesFcfs) {
+  const int fcfs_number = GetParam();
+  const auto a = figure(fcfs_number, 8);
+  const auto b = figure(fcfs_number + 1, 8);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t g = 0; g < a.series.size(); ++g) {
+    const std::size_t n = std::min(a.series[g].x.size(), b.series[g].x.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(a.series[g].x[i], b.series[g].x[i]);
+      EXPECT_GT(b.series[g].y[i], a.series[g].y[i])
+          << "fig" << fcfs_number << " group " << g << " point " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FcfsPriorityPairs, FigurePairs, ::testing::Values(4, 6, 8, 10, 12, 14),
+                         [](const auto& info) {
+                           return "fig" + std::to_string(info.param) + "_vs_" +
+                                  std::to_string(info.param + 1);
+                         });
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Heterogeneous-blade server: must collapse to M/M/m for equal speeds,
+// respect capacity bounds, and quantify the bias of the homogeneous
+// approximation the paper's model would impose.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/hetero_server.hpp"
+#include "queueing/mmm.hpp"
+
+namespace {
+
+using blade::queue::MMmQueue;
+using blade::queue::solve_hetero_server;
+
+TEST(HeteroServer, EqualSpeedsRecoverMMm) {
+  const std::vector<double> speeds{1.3, 1.3, 1.3};
+  for (double lambda : {1.0, 2.5, 3.5}) {
+    const auto res = solve_hetero_server(speeds, 1.0, lambda, 400);
+    ASSERT_TRUE(res.converged);
+    const MMmQueue q(3, 1.0 / 1.3);
+    EXPECT_NEAR(res.mean_response, q.mean_response_time(lambda),
+                2e-3 * q.mean_response_time(lambda))
+        << "lambda=" << lambda;
+    EXPECT_NEAR(res.utilization, q.utilization(lambda), 1e-3);
+  }
+}
+
+TEST(HeteroServer, SingleBladeIsMM1) {
+  const auto res = solve_hetero_server({2.0}, 1.0, 1.2, 600);
+  const MMmQueue q(1, 0.5);
+  EXPECT_NEAR(res.mean_response, q.mean_response_time(1.2), 1e-3 * q.mean_response_time(1.2));
+}
+
+TEST(HeteroServer, MixedSpeedsBetweenHomogeneousExtremes) {
+  // A 2-blade mix (fast + slow) must respond slower than two fast blades
+  // and faster than two slow ones. (lambda below the slow pair's
+  // capacity of 1.2 so all three systems are stable.)
+  const double lambda = 1.0;
+  const auto mixed = solve_hetero_server({2.0, 0.6}, 1.0, lambda);
+  const MMmQueue fast(2, 1.0 / 2.0);
+  const MMmQueue slow(2, 1.0 / 0.6);
+  EXPECT_GT(mixed.mean_response, fast.mean_response_time(lambda));
+  EXPECT_LT(mixed.mean_response, slow.mean_response_time(lambda));
+}
+
+TEST(HeteroServer, ExtremeMixDefeatsHomogeneousApproximation) {
+  // The paper-style work-around: replace mixed blades by m blades at the
+  // average speed. For an *extreme* mix the slow blade drags the exact
+  // system below the averaged model whenever it is used. (Moderate mixes
+  // go the other way at light load -- see bench_hetero_blades.)
+  const std::vector<double> speeds{2.4, 0.4};  // total 2.8, average 1.4
+  const MMmQueue averaged(2, 1.0 / 1.4);
+  for (double lambda : {0.8, 1.6, 2.2}) {
+    const auto exact = solve_hetero_server(speeds, 1.0, lambda);
+    EXPECT_GT(exact.mean_response, averaged.mean_response_time(lambda)) << "lambda=" << lambda;
+  }
+}
+
+TEST(HeteroServer, UtilizationMatchesOfferedLoad) {
+  // Speed-weighted utilization equals lambda rbar / total speed.
+  const std::vector<double> speeds{1.8, 1.0, 0.6};
+  const double lambda = 2.0;
+  const auto res = solve_hetero_server(speeds, 1.0, lambda);
+  EXPECT_NEAR(res.utilization, lambda * 1.0 / 3.4, 2e-3);
+}
+
+TEST(HeteroServer, ResponseIncreasesWithLoad) {
+  const std::vector<double> speeds{1.5, 1.0, 0.5};
+  double prev = 0.0;
+  for (double lambda : {0.5, 1.2, 2.0, 2.7}) {
+    const auto res = solve_hetero_server(speeds, 1.0, lambda);
+    EXPECT_GT(res.mean_response, prev);
+    prev = res.mean_response;
+  }
+}
+
+TEST(HeteroServer, TruncationMassSmall) {
+  const auto res = solve_hetero_server({1.0, 1.0}, 1.0, 1.7, 500);  // rho = 0.85
+  EXPECT_LT(res.truncation_mass, 1e-8);
+}
+
+TEST(HeteroServer, Validation) {
+  EXPECT_THROW((void)solve_hetero_server({}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)solve_hetero_server(std::vector<double>(11, 1.0), 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)solve_hetero_server({1.0}, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)solve_hetero_server({1.0, -1.0}, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)solve_hetero_server({1.0}, 1.0, 1.0), std::invalid_argument);  // rho >= 1
+  EXPECT_THROW((void)solve_hetero_server({1.0}, 1.0, 0.5, 4), std::invalid_argument);
+}
+
+}  // namespace

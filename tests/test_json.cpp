@@ -1,0 +1,105 @@
+// JSON writer: structure, escaping, misuse detection, and the figure
+// serialization built on it.
+#include <gtest/gtest.h>
+
+#include "cloud/series.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using blade::util::json_escape;
+using blade::util::JsonWriter;
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig04");
+  w.key("n").value(static_cast<long long>(5));
+  w.key("ok").value(true);
+  w.key("pi").value(3.25);
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), R"({"name":"fig04","n":5,"ok":true,"pi":3.25})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array();
+  w.value(1.0).value(2.0);
+  w.begin_object();
+  w.key("inner").value("v");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,{"inner":"v"}]})");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, RejectsMisuse) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.value(1.0);
+    EXPECT_THROW(w.value(2.0), std::logic_error);  // two roots
+  }
+}
+
+TEST(JsonWriter, CompleteTracksOpenScopes) {
+  JsonWriter w;
+  EXPECT_FALSE(w.complete());
+  w.begin_array();
+  EXPECT_FALSE(w.complete());
+  w.end_array();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(FigureJson, SerializesSeries) {
+  blade::cloud::FigureData fig;
+  fig.id = "t";
+  fig.title = "demo";
+  fig.xlabel = "x";
+  fig.ylabel = "y";
+  fig.series.push_back({"a", {1.0, 2.0}, {3.0, 4.0}});
+  const auto doc = blade::cloud::to_json(fig);
+  EXPECT_EQ(doc,
+            R"({"id":"t","title":"demo","xlabel":"x","ylabel":"y",)"
+            R"("series":[{"label":"a","x":[1,2],"y":[3,4]}]})");
+}
+
+TEST(FigureJson, RejectsRaggedSeries) {
+  blade::cloud::FigureData fig;
+  fig.series.push_back({"a", {1.0}, {}});
+  EXPECT_THROW((void)blade::cloud::to_json(fig), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Markov-chain substrate: birth-death solver against closed forms, the
+// generic CTMC solver, transient analysis, and the exact priority CTMC
+// against Theorem 2 -- an independent validation of the paper's key
+// formula.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/birth_death.hpp"
+#include "queueing/blade_queue.hpp"
+#include "queueing/ctmc.hpp"
+#include "queueing/mmm.hpp"
+#include "queueing/mmmk.hpp"
+#include "queueing/priority_ctmc.hpp"
+
+namespace {
+
+using namespace blade::queue;
+
+BirthDeathChain mmm_chain(unsigned m, double xbar, double lambda, unsigned K) {
+  const double mu = 1.0 / xbar;
+  return BirthDeathChain([lambda](unsigned) { return lambda; },
+                         [m, mu](unsigned k) { return std::min(k, m) * mu; }, K);
+}
+
+TEST(BirthDeath, MatchesMMmStateProbabilities) {
+  const unsigned m = 4;
+  const double xbar = 1.0;
+  const double lambda = 2.8;  // rho = 0.7
+  const auto chain = mmm_chain(m, xbar, lambda, 400);
+  const MMmQueue q(m, xbar);
+  for (unsigned k : {0u, 1u, 3u, 4u, 7u, 15u}) {
+    EXPECT_NEAR(chain.stationary()[k], q.p_k(k, lambda), 1e-10) << "k=" << k;
+  }
+  EXPECT_NEAR(chain.mean_state(), q.mean_tasks(lambda), 1e-8);
+  EXPECT_NEAR(chain.tail_probability(m), q.prob_queueing(lambda), 1e-8);
+  EXPECT_LT(chain.boundary_mass(), 1e-12);
+}
+
+TEST(BirthDeath, MatchesMMmK) {
+  const MMmKQueue q(3, 10, 0.8);
+  const double lambda = 5.0;
+  const double mu = 1.0 / 0.8;
+  const BirthDeathChain chain([lambda](unsigned k) { return k < 10 ? lambda : 0.0; },
+                              [mu](unsigned k) { return std::min(k, 3u) * mu; }, 10);
+  for (unsigned k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(chain.stationary()[k], q.p_k(k, lambda), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(BirthDeath, HandlesHeavyLoadWithoutOverflow) {
+  // Weights grow geometrically; the internal rescaling must cope.
+  const auto chain = mmm_chain(2, 1.0, 1.99, 4000);  // rho = 0.995
+  const auto& pi = chain.stationary();
+  double total = 0.0;
+  for (double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(chain.mean_state(), 100.0);
+}
+
+TEST(BirthDeath, Validation) {
+  EXPECT_THROW(BirthDeathChain(nullptr, [](unsigned) { return 1.0; }, 5),
+               std::invalid_argument);
+  const BirthDeathChain dead([](unsigned) { return 1.0; }, [](unsigned) { return 0.0; }, 5);
+  EXPECT_THROW((void)dead.stationary(), std::domain_error);
+}
+
+TEST(Ctmc, TwoStateClosedForm) {
+  // 0 -> 1 at a, 1 -> 0 at b: pi = (b, a)/(a+b).
+  Ctmc chain(2);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 0, 6.0);
+  const auto sol = chain.stationary();
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.pi[0], 0.75, 1e-9);
+  EXPECT_NEAR(sol.pi[1], 0.25, 1e-9);
+}
+
+TEST(Ctmc, MatchesBirthDeathOnMMm) {
+  const unsigned m = 3;
+  const double lambda = 1.8;
+  const double mu = 1.0;
+  const unsigned K = 60;
+  Ctmc chain(K + 1);
+  for (unsigned k = 0; k < K; ++k) chain.add_rate(k, k + 1, lambda);
+  for (unsigned k = 1; k <= K; ++k) chain.add_rate(k, k - 1, std::min(k, m) * mu);
+  const auto sol = chain.stationary();
+  const MMmQueue q(m, 1.0);
+  for (unsigned k : {0u, 2u, 5u, 10u}) {
+    EXPECT_NEAR(sol.pi[k], q.p_k(k, lambda), 1e-7) << "k=" << k;
+  }
+}
+
+TEST(Ctmc, Validation) {
+  Ctmc chain(3);
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chain.add_rate(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(chain.add_rate(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)chain.stationary(), std::domain_error);  // no transitions
+  EXPECT_THROW(Ctmc(0), std::invalid_argument);
+}
+
+TEST(CtmcTransient, ConvergesToStationary) {
+  Ctmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 3.0);
+  const std::vector<double> start{1.0, 0.0};
+  const auto late = chain.transient(start, 50.0);
+  EXPECT_NEAR(late[0], 0.75, 1e-8);
+  // Exact two-state transient: p1(t) = (a/(a+b))(1 - e^{-(a+b)t}).
+  const auto mid = chain.transient(start, 0.5);
+  const double exact = 0.25 * (1.0 - std::exp(-4.0 * 0.5));
+  EXPECT_NEAR(mid[1], exact, 1e-8);
+}
+
+TEST(CtmcTransient, TimeZeroIsIdentity) {
+  Ctmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 1.0);
+  const std::vector<double> start{0.3, 0.7};
+  const auto now = chain.transient(start, 0.0);
+  EXPECT_DOUBLE_EQ(now[0], 0.3);
+  EXPECT_DOUBLE_EQ(now[1], 0.7);
+  EXPECT_THROW((void)chain.transient({1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(CtmcTransient, MMmWarmupCurveIsMonotone) {
+  // Mean number in system grows monotonically from empty toward steady
+  // state -- the transient the simulator's warmup truncation discards.
+  const unsigned K = 80;
+  Ctmc chain(K + 1);
+  for (unsigned k = 0; k < K; ++k) chain.add_rate(k, k + 1, 2.8);
+  for (unsigned k = 1; k <= K; ++k) chain.add_rate(k, k - 1, std::min(k, 4u) * 1.0);
+  std::vector<double> start(K + 1, 0.0);
+  start[0] = 1.0;
+  double prev = 0.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    const auto pi = chain.transient(start, t);
+    double mean = 0.0;
+    for (unsigned k = 0; k <= K; ++k) mean += k * pi[k];
+    EXPECT_GT(mean, prev) << "t=" << t;
+    prev = mean;
+  }
+  EXPECT_NEAR(prev, MMmQueue(4, 1.0).mean_tasks(2.8), 0.02);
+}
+
+// ------------------------------------------------ priority CTMC vs Theorem 2
+
+TEST(PriorityCtmc, ValidatesTheorem2AcrossConfigurations) {
+  struct Case {
+    unsigned m;
+    double lambda1;  // special
+    double lambda2;  // generic
+  };
+  for (const Case& c : {Case{1, 0.3, 0.3}, Case{2, 0.5, 0.6}, Case{4, 1.2, 1.4}}) {
+    const double xbar = 1.0;
+    const auto exact = solve_priority_mmm(c.m, xbar, c.lambda1, c.lambda2, 220);
+    ASSERT_TRUE(exact.converged);
+    EXPECT_LT(exact.truncation_mass, 1e-6);
+
+    const BladeQueue q(c.m, xbar, c.lambda1, Discipline::SpecialPriority);
+    const double theory_generic = q.generic_response_time(c.lambda2);
+    const double theory_special = q.special_response_time(c.lambda2);
+    EXPECT_NEAR(exact.generic_response, theory_generic, 2e-3 * theory_generic)
+        << "m=" << c.m;
+    EXPECT_NEAR(exact.special_response, theory_special, 2e-3 * theory_special)
+        << "m=" << c.m;
+    const double rho = (c.lambda1 + c.lambda2) * xbar / c.m;
+    EXPECT_NEAR(exact.utilization, rho, 1e-3);
+  }
+}
+
+TEST(PriorityCtmc, OrderingAndValidation) {
+  const auto res = solve_priority_mmm(2, 1.0, 0.6, 0.6, 120);
+  EXPECT_LT(res.special_wait, res.generic_wait);
+  EXPECT_THROW((void)solve_priority_mmm(0, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)solve_priority_mmm(2, 1.0, 1.5, 0.6), std::invalid_argument);
+  EXPECT_THROW((void)solve_priority_mmm(2, 1.0, 0.5, 0.5, 4), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// M/M/m analytics: textbook identities, Little's law, consistency across
+// the derived quantities, and the M/M/1 / M/M/inf limits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mmm.hpp"
+
+namespace {
+
+using blade::queue::MMmQueue;
+using blade::queue::UnstableQueueError;
+
+TEST(MMmQueue, ConstructionValidation) {
+  EXPECT_THROW(MMmQueue(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MMmQueue(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(MMmQueue(2, -1.0), std::invalid_argument);
+}
+
+TEST(MMmQueue, BasicAccessors) {
+  const MMmQueue q(4, 0.5);
+  EXPECT_EQ(q.servers(), 4u);
+  EXPECT_DOUBLE_EQ(q.mean_service_time(), 0.5);
+  EXPECT_DOUBLE_EQ(q.service_rate(), 2.0);
+  EXPECT_DOUBLE_EQ(q.max_arrival_rate(), 8.0);
+  EXPECT_DOUBLE_EQ(q.next_completion_time(), 0.125);
+}
+
+TEST(MMmQueue, UtilizationAndStability) {
+  const MMmQueue q(2, 1.0);
+  EXPECT_DOUBLE_EQ(q.utilization(1.0), 0.5);
+  EXPECT_THROW((void)q.utilization(2.0), UnstableQueueError);
+  EXPECT_THROW((void)q.utilization(-0.5), std::invalid_argument);
+}
+
+TEST(MMmQueue, MM1ClosedForms) {
+  // For m = 1: T = xbar/(1-rho), N = rho/(1-rho), Pq = rho, p0 = 1-rho.
+  const MMmQueue q(1, 2.0);
+  const double lambda = 0.3;  // rho = 0.6
+  EXPECT_NEAR(q.utilization(lambda), 0.6, 1e-14);
+  EXPECT_NEAR(q.p_empty(lambda), 0.4, 1e-12);
+  EXPECT_NEAR(q.prob_queueing(lambda), 0.6, 1e-12);
+  EXPECT_NEAR(q.mean_response_time(lambda), 2.0 / 0.4, 1e-12);
+  EXPECT_NEAR(q.mean_tasks(lambda), 0.6 / 0.4, 1e-12);
+  EXPECT_NEAR(q.mean_waiting_time(lambda), 2.0 / 0.4 - 2.0, 1e-12);
+}
+
+TEST(MMmQueue, MM2KnownValues) {
+  // M/M/2 with rho = 0.5 (a = 1): p0 = 1/3, Pq = 1/3 * 1/2 / 0.5 = ...
+  // Exact: p0 = [1 + a + a^2/2 * 1/(1-rho)]^{-1} = [1 + 1 + 1]^{-1} = 1/3.
+  const MMmQueue q(2, 1.0);
+  const double lambda = 1.0;  // rho = 0.5
+  EXPECT_NEAR(q.p_empty(lambda), 1.0 / 3.0, 1e-12);
+  // P_q = p_m / (1-rho) = (p0 a^2/2) / 0.5 = (1/6)/0.5 = 1/3.
+  EXPECT_NEAR(q.prob_queueing(lambda), 1.0 / 3.0, 1e-12);
+  // N = m rho + rho/(1-rho) Pq = 1 + 1/3.
+  EXPECT_NEAR(q.mean_tasks(lambda), 4.0 / 3.0, 1e-12);
+}
+
+TEST(MMmQueue, LittlesLawHolds) {
+  for (unsigned m : {1u, 3u, 8u, 14u}) {
+    const MMmQueue q(m, 0.7);
+    for (double frac : {0.2, 0.5, 0.8, 0.95}) {
+      const double lambda = frac * q.max_arrival_rate();
+      EXPECT_NEAR(q.mean_tasks(lambda), lambda * q.mean_response_time(lambda), 1e-9)
+          << "m=" << m << " frac=" << frac;
+      EXPECT_NEAR(q.mean_queue_length(lambda), lambda * q.mean_waiting_time(lambda), 1e-9);
+    }
+  }
+}
+
+TEST(MMmQueue, StateProbabilitiesSumToOne) {
+  const MMmQueue q(5, 1.0);
+  const double lambda = 3.5;
+  double total = 0.0;
+  for (unsigned k = 0; k <= 500; ++k) total += q.p_k(k, lambda);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MMmQueue, MeanTasksMatchesDirectSum) {
+  const MMmQueue q(4, 1.0);
+  const double lambda = 3.0;
+  double n = 0.0;
+  for (unsigned k = 1; k <= 800; ++k) n += k * q.p_k(k, lambda);
+  EXPECT_NEAR(q.mean_tasks(lambda), n, 1e-8);
+}
+
+TEST(MMmQueue, WaitingDecomposition) {
+  // W = W0 / (1 - rho) with W0 = Pq * xbar / m (paper, Section 3).
+  const MMmQueue q(6, 0.9);
+  const double lambda = 0.7 * q.max_arrival_rate();
+  const double rho = q.utilization(lambda);
+  const double w0 = q.server_available_time(lambda);
+  EXPECT_NEAR(q.mean_waiting_time(lambda), w0 / (1.0 - rho), 1e-12);
+}
+
+TEST(MMmQueue, ResponseTimeIncreasesWithLoad) {
+  const MMmQueue q(8, 1.0);
+  double prev = q.mean_response_time(0.1);
+  for (double frac = 0.1; frac < 0.99; frac += 0.05) {
+    const double cur = q.mean_response_time(frac * q.max_arrival_rate());
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MMmQueue, MoreServersNeverSlower) {
+  // Same total capacity m*mu; more, slower servers give longer response
+  // (classic M/M/m result) -- so at equal per-server utilization, adding
+  // servers at fixed speed strictly helps.
+  const double xbar = 1.0;
+  const double lambda = 3.0;
+  double prev = MMmQueue(4, xbar).mean_response_time(lambda);
+  for (unsigned m : {5u, 6u, 8u, 12u}) {
+    const double cur = MMmQueue(m, xbar).mean_response_time(lambda);
+    EXPECT_LT(cur, prev) << "m=" << m;
+    prev = cur;
+  }
+}
+
+TEST(MMmQueue, ApproachesServiceTimeAtLightLoad) {
+  const MMmQueue q(10, 0.8);
+  EXPECT_NEAR(q.mean_response_time(1e-9), 0.8, 1e-6);
+}
+
+TEST(MMmQueue, DivergesNearSaturation) {
+  const MMmQueue q(3, 1.0);
+  EXPECT_GT(q.mean_response_time(0.9999 * q.max_arrival_rate()), 100.0);
+}
+
+}  // namespace

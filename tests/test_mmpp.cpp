@@ -1,0 +1,95 @@
+// MMPP-2 bursty arrivals: parameterization, mean-rate preservation, and
+// the queueing impact of burstiness relative to the Poisson model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cluster.hpp"
+#include "queueing/mmm.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/mmpp.hpp"
+#include "sim/server_sim.hpp"
+
+namespace {
+
+using namespace blade;
+using sim::MmppParams;
+using sim::MmppSource;
+
+TEST(MmppParams, WithMeanPreservesAverageRate) {
+  for (double b : {1.0, 1.3, 1.9}) {
+    const auto p = MmppParams::with_mean(5.0, b);
+    EXPECT_NEAR(p.mean_rate(), 5.0, 1e-12) << "b=" << b;
+    EXPECT_NEAR(p.burstiness(), b, 1e-12) << "b=" << b;
+    EXPECT_GE(p.rate_quiet, 0.0);
+  }
+  EXPECT_THROW((void)MmppParams::with_mean(0.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)MmppParams::with_mean(5.0, 0.9), std::invalid_argument);
+  EXPECT_THROW((void)MmppParams::with_mean(5.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)MmppParams::with_mean(5.0, 1.5, 0.0), std::invalid_argument);
+}
+
+TEST(MmppSource, EmitsAtTheConfiguredMeanRate) {
+  sim::Engine engine;
+  sim::ResponseTimeCollector collector;
+  std::uint64_t arrivals = 0;
+  MmppSource src(engine, MmppParams::with_mean(3.0, 1.8), sim::ServiceDistribution::exponential(1.0),
+                 sim::TaskClass::Generic, sim::RngStream(5, 0),
+                 [&](sim::Task) { ++arrivals; });
+  src.start();
+  engine.run_until(20000.0);
+  EXPECT_NEAR(static_cast<double>(arrivals) / 20000.0, 3.0, 0.1);
+  EXPECT_EQ(src.emitted(), arrivals);
+}
+
+TEST(MmppSource, BurstinessOneIsPoisson) {
+  // b = 1 collapses both states to the same rate; response times match
+  // the M/M/m model.
+  sim::Engine engine;
+  sim::ResponseTimeCollector collector(500.0);
+  sim::ServerSim server(engine, 2, 1.0, sim::SchedulingMode::Fcfs, collector);
+  MmppSource src(engine, MmppParams::with_mean(1.4, 1.0), sim::ServiceDistribution::exponential(1.0),
+                 sim::TaskClass::Generic, sim::RngStream(7, 1),
+                 [&](sim::Task t) { server.arrive(t); });
+  src.start();
+  engine.run_until(60000.0);
+  const double expected = queue::MMmQueue(2, 1.0).mean_response_time(1.4);
+  EXPECT_NEAR(collector.generic().mean(), expected, 0.07 * expected);
+}
+
+TEST(MmppSource, BurstinessInflatesResponseTimes) {
+  // Same mean rate, increasing burstiness: mean response must grow.
+  double prev = 0.0;
+  for (double b : {1.0, 1.5, 1.9}) {
+    sim::Engine engine;
+    sim::ResponseTimeCollector collector(500.0);
+    sim::ServerSim server(engine, 2, 1.0, sim::SchedulingMode::Fcfs, collector);
+    MmppSource src(engine, MmppParams::with_mean(1.4, b),
+                   sim::ServiceDistribution::exponential(1.0), sim::TaskClass::Generic,
+                   sim::RngStream(11, 2), [&](sim::Task t) { server.arrive(t); });
+    src.start();
+    engine.run_until(60000.0);
+    const double mean = collector.generic().mean();
+    EXPECT_GT(mean, prev) << "b=" << b;
+    prev = mean;
+  }
+}
+
+TEST(MmppSource, Validation) {
+  sim::Engine engine;
+  MmppParams bad;
+  bad.rate_quiet = 2.0;
+  bad.rate_busy = 1.0;  // busy < quiet
+  bad.sojourn_quiet = bad.sojourn_busy = 1.0;
+  EXPECT_THROW(MmppSource(engine, bad, sim::ServiceDistribution::exponential(1.0),
+                          sim::TaskClass::Generic, sim::RngStream(1, 0), [](sim::Task) {}),
+               std::invalid_argument);
+  MmppParams ok = MmppParams::with_mean(1.0, 1.5);
+  EXPECT_THROW(
+      MmppSource(engine, ok, sim::ServiceDistribution::exponential(1.0),
+                 sim::TaskClass::Generic, sim::RngStream(1, 0), MmppSource::Sink{}),
+      std::invalid_argument);
+}
+
+}  // namespace

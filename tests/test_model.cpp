@@ -1,0 +1,148 @@
+// model module: BladeServer, Cluster, and the paper configuration
+// factories (every group behind Figs. 4-15 must have the stated totals).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/blade_server.hpp"
+#include "model/cluster.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade::model;
+
+TEST(BladeServer, Validation) {
+  EXPECT_THROW(BladeServer(0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BladeServer(2, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BladeServer(2, 1.0, -0.1), std::invalid_argument);
+}
+
+TEST(BladeServer, DerivedQuantities) {
+  const BladeServer s(4, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_service_time(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.capacity(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(s.special_utilization(1.0), 0.125);
+  EXPECT_DOUBLE_EQ(s.max_generic_rate(1.0), 7.0);
+  EXPECT_THROW((void)s.mean_service_time(0.0), std::invalid_argument);
+}
+
+TEST(BladeServer, RbarScalesServiceTime) {
+  const BladeServer s(2, 1.5, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_service_time(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.capacity(3.0), 1.0);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(Cluster({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Cluster({BladeServer(1, 1.0, 0.0)}, 0.0), std::invalid_argument);
+  // A server saturated by its special stream is rejected at cluster level.
+  EXPECT_THROW(Cluster({BladeServer(1, 1.0, 1.5)}, 1.0), std::invalid_argument);
+}
+
+TEST(Cluster, Aggregates) {
+  const Cluster c({BladeServer(2, 1.0, 0.5), BladeServer(3, 2.0, 1.0)}, 1.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.total_blades(), 5u);
+  EXPECT_DOUBLE_EQ(c.total_speed(), 8.0);
+  EXPECT_DOUBLE_EQ(c.total_capacity(), 8.0);
+  EXPECT_DOUBLE_EQ(c.total_special_rate(), 1.5);
+  EXPECT_DOUBLE_EQ(c.max_generic_rate(), 6.5);
+  EXPECT_FALSE(c.all_single_blade());
+  const auto xs = c.mean_service_times();
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[0], 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.5);
+  EXPECT_FALSE(c.describe().empty());
+}
+
+TEST(Cluster, QueuesCarryDiscipline) {
+  const Cluster c({BladeServer(2, 1.0, 0.5)}, 1.0);
+  const auto qs = c.queues(blade::queue::Discipline::SpecialPriority);
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_EQ(qs[0].discipline(), blade::queue::Discipline::SpecialPriority);
+  EXPECT_EQ(qs[0].blades(), 2u);
+  EXPECT_DOUBLE_EQ(qs[0].special_rate(), 0.5);
+}
+
+TEST(MakeCluster, PreloadConvention) {
+  // lambda''_i = y m_i s_i / rbar.
+  const auto c = make_cluster({2, 4}, {1.5, 1.0}, 2.0, 0.3);
+  EXPECT_NEAR(c.server(0).special_rate(), 0.3 * 2 * 1.5 / 2.0, 1e-14);
+  EXPECT_NEAR(c.server(1).special_rate(), 0.3 * 4 * 1.0 / 2.0, 1e-14);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(c.server(i).special_utilization(2.0), 0.3, 1e-14);
+  }
+  EXPECT_THROW((void)make_cluster({1}, {1.0, 2.0}, 1.0, 0.3), std::invalid_argument);
+  EXPECT_THROW((void)make_cluster({1}, {1.0}, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(PaperConfigs, SizeGroupsTotals) {
+  const auto groups = size_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  const unsigned totals[5] = {49, 53, 56, 59, 63};
+  for (std::size_t g = 0; g < 5; ++g) {
+    EXPECT_EQ(groups[g].cluster.total_blades(), totals[g]) << groups[g].name;
+    EXPECT_EQ(groups[g].cluster.size(), 7u);
+  }
+}
+
+TEST(PaperConfigs, SpeedGroupsSweepBaseSpeed) {
+  const auto groups = speed_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  // First group: s = 1.5 so s_1 = 1.4; last: s = 1.9 so s_1 = 1.8.
+  EXPECT_NEAR(groups[0].cluster.server(0).speed(), 1.4, 1e-12);
+  EXPECT_NEAR(groups[4].cluster.server(0).speed(), 1.8, 1e-12);
+}
+
+TEST(PaperConfigs, RequirementGroupsSweepRbar) {
+  const auto groups = requirement_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  EXPECT_NEAR(groups[0].cluster.rbar(), 0.8, 1e-12);
+  EXPECT_NEAR(groups[4].cluster.rbar(), 1.2, 1e-12);
+}
+
+TEST(PaperConfigs, SpecialRateGroupsSweepPreload) {
+  const auto groups = special_rate_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  const double fractions[5] = {0.20, 0.25, 0.30, 0.35, 0.40};
+  for (std::size_t g = 0; g < 5; ++g) {
+    const auto& c = groups[g].cluster;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_NEAR(c.server(i).special_utilization(c.rbar()), fractions[g], 1e-12);
+    }
+  }
+}
+
+TEST(PaperConfigs, SizeHeterogeneityGroupsShareTotals) {
+  const auto groups = size_heterogeneity_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.cluster.total_blades(), 56u) << g.name;
+    // Same total special rate 21.84 in every group (paper Sec. 5).
+    EXPECT_NEAR(g.cluster.total_special_rate(), 21.84, 1e-10) << g.name;
+    for (const auto& s : g.cluster.servers()) EXPECT_DOUBLE_EQ(s.speed(), 1.3);
+  }
+}
+
+TEST(PaperConfigs, SpeedHeterogeneityGroupsShareTotals) {
+  const auto groups = speed_heterogeneity_groups();
+  ASSERT_EQ(groups.size(), 5u);
+  for (const auto& g : groups) {
+    EXPECT_NEAR(g.cluster.total_speed(), 72.8, 1e-10) << g.name;
+    EXPECT_NEAR(g.cluster.total_special_rate(), 21.84, 1e-10) << g.name;
+    for (const auto& s : g.cluster.servers()) EXPECT_EQ(s.size(), 8u);
+  }
+}
+
+TEST(PaperConfigs, AllGroupsShareSaturationWhenCapacityMatches) {
+  // fig12/fig14 families: equal capacity => equal lambda'_max.
+  for (const auto& family : {size_heterogeneity_groups(), speed_heterogeneity_groups()}) {
+    const double ref = family.front().cluster.max_generic_rate();
+    for (const auto& g : family) {
+      EXPECT_NEAR(g.cluster.max_generic_rate(), ref, 1e-10) << g.name;
+    }
+  }
+}
+
+}  // namespace

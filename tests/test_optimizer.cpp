@@ -1,0 +1,205 @@
+// Optimizer behaviour beyond the paper's published numbers: feasibility,
+// KKT optimality across regimes, active-set behaviour at light load,
+// monotonicity in lambda', and robustness near saturation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kkt.hpp"
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::LoadDistributionOptimizer;
+using queue::Discipline;
+
+model::Cluster small_cluster() {
+  return model::Cluster({model::BladeServer(2, 2.0, 1.0), model::BladeServer(4, 1.0, 1.0),
+                         model::BladeServer(1, 3.0, 0.5)},
+                        1.0);
+}
+
+TEST(Objective, ValidatesInputs) {
+  const auto c = small_cluster();
+  EXPECT_THROW(opt::ResponseTimeObjective(c, Discipline::Fcfs, 0.0), std::invalid_argument);
+  EXPECT_THROW(opt::ResponseTimeObjective(c, Discipline::Fcfs, c.max_generic_rate()),
+               std::invalid_argument);
+  const opt::ResponseTimeObjective obj(c, Discipline::Fcfs, 1.0);
+  EXPECT_THROW((void)obj.value(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Objective, ValueIsWeightedMixture) {
+  const auto c = small_cluster();
+  const double lambda = 3.0;
+  const opt::ResponseTimeObjective obj(c, Discipline::Fcfs, lambda);
+  const std::vector<double> rates{1.0, 1.5, 0.5};
+  double expected = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    expected += rates[i] / lambda * obj.queue(i).generic_response_time(rates[i]);
+  }
+  EXPECT_NEAR(obj.value(rates), expected, 1e-12);
+}
+
+TEST(Objective, GradientMatchesMarginals) {
+  const auto c = small_cluster();
+  const opt::ResponseTimeObjective obj(c, Discipline::SpecialPriority, 2.0);
+  const std::vector<double> rates{0.5, 0.8, 0.7};
+  const auto g = obj.gradient(rates);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g[i], obj.marginal(i, rates[i]));
+  }
+}
+
+TEST(Optimizer, RejectsInfeasibleLoad) {
+  const LoadDistributionOptimizer solver(small_cluster(), Discipline::Fcfs);
+  EXPECT_THROW((void)solver.optimize(0.0), std::invalid_argument);
+  EXPECT_THROW((void)solver.optimize(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)solver.optimize(small_cluster().max_generic_rate()), std::invalid_argument);
+}
+
+TEST(Optimizer, ConservesTotalRate) {
+  const LoadDistributionOptimizer solver(small_cluster(), Discipline::Fcfs);
+  for (double frac : {0.05, 0.3, 0.6, 0.9, 0.97}) {
+    const double lambda = frac * small_cluster().max_generic_rate();
+    const auto sol = solver.optimize(lambda);
+    EXPECT_NEAR(sol.total_rate(), lambda, 1e-9 * lambda) << "frac=" << frac;
+    for (std::size_t i = 0; i < sol.rates.size(); ++i) {
+      EXPECT_GE(sol.rates[i], 0.0);
+      EXPECT_LT(sol.utilizations[i], 1.0);
+    }
+  }
+}
+
+TEST(Optimizer, SatisfiesKktAcrossRegimesAndDisciplines) {
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    const auto c = small_cluster();
+    const LoadDistributionOptimizer solver(c, d);
+    for (double frac : {0.1, 0.5, 0.9}) {
+      const double lambda = frac * c.max_generic_rate();
+      const auto sol = solver.optimize(lambda);
+      const auto rep = opt::verify_kkt(c, d, lambda, sol.rates, 1e-5);
+      EXPECT_TRUE(rep.optimal()) << "frac=" << frac << " " << rep.detail;
+    }
+  }
+}
+
+TEST(Optimizer, LightLoadUsesOnlyBestServers) {
+  // With a tiny lambda', only servers whose idle response time is lowest
+  // should receive load. Server 2 (speed 3, xbar 1/3) dominates.
+  const auto c = small_cluster();
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  const auto sol = solver.optimize(1e-4);
+  EXPECT_GT(sol.rates[2], 0.9e-4);
+  EXPECT_LT(sol.rates[1], 1e-6);  // slow server idles
+}
+
+TEST(Optimizer, InactiveServersSatisfyKktComplementarity) {
+  const auto c = small_cluster();
+  const double lambda = 0.01;
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  const auto sol = solver.optimize(lambda);
+  const auto rep = opt::verify_kkt(c, Discipline::Fcfs, lambda, sol.rates, 1e-6);
+  EXPECT_TRUE(rep.optimal()) << rep.detail;
+  EXPECT_LT(rep.active.size(), c.size());
+}
+
+TEST(Optimizer, ResponseTimeMonotoneInTotalLoad) {
+  const auto c = model::paper_example_cluster();
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  double prev = 0.0;
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+    const double t = solver.optimize(frac * c.max_generic_rate()).response_time;
+    EXPECT_GT(t, prev) << "frac=" << frac;
+    prev = t;
+  }
+}
+
+TEST(Optimizer, BeatsEveryPerturbation) {
+  // Local optimality: shifting mass between any server pair cannot help.
+  const auto c = small_cluster();
+  const double lambda = 0.6 * c.max_generic_rate();
+  const LoadDistributionOptimizer solver(c, Discipline::SpecialPriority);
+  const auto sol = solver.optimize(lambda);
+  const opt::ResponseTimeObjective obj(c, Discipline::SpecialPriority, lambda);
+  const double best = obj.value(sol.rates);
+  const double eps = 1e-4;
+  for (std::size_t i = 0; i < sol.rates.size(); ++i) {
+    for (std::size_t j = 0; j < sol.rates.size(); ++j) {
+      if (i == j || sol.rates[i] < eps) continue;
+      auto perturbed = sol.rates;
+      perturbed[i] -= eps;
+      perturbed[j] += eps;
+      if (perturbed[j] >= 0.999 * obj.rate_bound(j)) continue;
+      EXPECT_GE(obj.value(perturbed), best - 1e-12) << i << "->" << j;
+    }
+  }
+}
+
+TEST(Optimizer, HandlesNearSaturation) {
+  const auto c = model::paper_example_cluster();
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  const double lambda = 0.999 * c.max_generic_rate();
+  const auto sol = solver.optimize(lambda);
+  EXPECT_NEAR(sol.total_rate(), lambda, 1e-6 * lambda);
+  EXPECT_GT(sol.response_time, 5.0);  // heavily congested
+  for (double rho : sol.utilizations) EXPECT_LT(rho, 1.0);
+}
+
+TEST(Optimizer, HomogeneousClusterBalancesExactly) {
+  std::vector<model::BladeServer> servers(4, model::BladeServer(3, 1.0, 0.9));
+  const model::Cluster c(std::move(servers), 1.0);
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  const double lambda = 0.5 * c.max_generic_rate();
+  const auto sol = solver.optimize(lambda);
+  for (double r : sol.rates) EXPECT_NEAR(r, lambda / 4.0, 1e-7);
+}
+
+TEST(Optimizer, SingleServerGetsEverything) {
+  const model::Cluster c({model::BladeServer(4, 1.5, 2.0)}, 1.0);
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  const double lambda = 0.7 * c.max_generic_rate();
+  const auto sol = solver.optimize(lambda);
+  ASSERT_EQ(sol.rates.size(), 1u);
+  EXPECT_NEAR(sol.rates[0], lambda, 1e-10);
+}
+
+TEST(Optimizer, FindRateRespectsPhiOrdering) {
+  const auto c = small_cluster();
+  const double lambda = 2.0;
+  const opt::ResponseTimeObjective obj(c, Discipline::Fcfs, lambda);
+  const LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  // Larger phi admits more load on every server.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double r1 = solver.find_rate(obj, i, 0.5);
+    const double r2 = solver.find_rate(obj, i, 1.0);
+    const double r3 = solver.find_rate(obj, i, 5.0);
+    EXPECT_LE(r1, r2 + 1e-12);
+    EXPECT_LE(r2, r3 + 1e-12);
+  }
+}
+
+TEST(Optimizer, TighterToleranceRefinesSolution) {
+  const auto c = model::paper_example_cluster();
+  opt::OptimizerOptions loose;
+  loose.rate_tolerance = 1e-6;
+  loose.phi_tolerance = 1e-6;
+  const auto sol_loose =
+      LoadDistributionOptimizer(c, Discipline::Fcfs, loose).optimize(23.52);
+  const auto sol_tight = LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(23.52);
+  // Both near the published optimum; the tight one at least as good.
+  EXPECT_NEAR(sol_loose.response_time, 0.8964703, 1e-4);
+  EXPECT_LE(sol_tight.response_time, sol_loose.response_time + 1e-9);
+}
+
+TEST(Optimizer, ReportsDiagnostics) {
+  const auto sol = LoadDistributionOptimizer(small_cluster(), Discipline::Fcfs).optimize(2.0);
+  EXPECT_GT(sol.outer_iterations, 0);
+  EXPECT_GT(sol.inner_evaluations, 0);
+  EXPECT_GT(sol.phi, 0.0);
+  ASSERT_EQ(sol.response_times.size(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// End-to-end reproduction of the paper's Examples 1 and 2 (Tables 1, 2):
+// the optimizer must match the published seven-digit values.
+#include <gtest/gtest.h>
+
+#include "core/kkt.hpp"
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using blade::model::paper_example_cluster;
+using blade::model::paper_example_lambda;
+using blade::opt::LoadDistributionOptimizer;
+using blade::queue::Discipline;
+
+// Published values from Table 1 (no priority).
+constexpr double kTable1Rates[7] = {0.6652046, 1.8802882, 2.9973639, 3.9121948,
+                                    4.5646028, 4.8769307, 4.6234149};
+constexpr double kTable1Rho[7] = {0.5078764, 0.6133814, 0.6568290, 0.6761726,
+                                  0.6803836, 0.6694644, 0.6302439};
+constexpr double kTable1T = 0.8964703;
+
+// Published values from Table 2 (priority).
+constexpr double kTable2Rates[7] = {0.5908113, 1.7714948, 2.8813939, 3.8136848,
+                                    4.5164617, 4.9419622, 5.0041912};
+constexpr double kTable2Rho[7] = {0.4846285, 0.5952491, 0.6430231, 0.6667005,
+                                  0.6763718, 0.6743911, 0.6574422};
+constexpr double kTable2T = 0.9209392;
+
+TEST(PaperSetup, ExampleClusterParameters) {
+  const auto cluster = paper_example_cluster();
+  ASSERT_EQ(cluster.size(), 7u);
+  EXPECT_EQ(cluster.total_blades(), 56u);
+  // lambda'_max = 0.7 * sum m_i s_i = 0.7 * 67.2 = 47.04.
+  EXPECT_NEAR(cluster.max_generic_rate(), 47.04, 1e-10);
+  EXPECT_NEAR(paper_example_lambda(), 23.52, 1e-10);
+  // Special rates contribute exactly 30% utilization to every server.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_NEAR(cluster.server(i).special_utilization(cluster.rbar()), 0.3, 1e-12);
+  }
+  // Table column check: lambda''_i as printed.
+  const double expected_special[7] = {0.96, 1.8, 2.52, 3.12, 3.6, 3.96, 4.2};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(cluster.server(i).special_rate(), expected_special[i], 1e-10);
+  }
+}
+
+TEST(PaperExample1, ReproducesTable1) {
+  const LoadDistributionOptimizer solver(paper_example_cluster(), Discipline::Fcfs);
+  const auto sol = solver.optimize(paper_example_lambda());
+  ASSERT_EQ(sol.rates.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(sol.rates[i], kTable1Rates[i], 2e-6) << "server " << i + 1;
+    EXPECT_NEAR(sol.utilizations[i], kTable1Rho[i], 1e-6) << "server " << i + 1;
+  }
+  EXPECT_NEAR(sol.response_time, kTable1T, 1e-6);
+  EXPECT_NEAR(sol.total_rate(), paper_example_lambda(), 1e-9);
+}
+
+TEST(PaperExample2, ReproducesTable2) {
+  const LoadDistributionOptimizer solver(paper_example_cluster(), Discipline::SpecialPriority);
+  const auto sol = solver.optimize(paper_example_lambda());
+  ASSERT_EQ(sol.rates.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(sol.rates[i], kTable2Rates[i], 2e-6) << "server " << i + 1;
+    EXPECT_NEAR(sol.utilizations[i], kTable2Rho[i], 1e-6) << "server " << i + 1;
+  }
+  EXPECT_NEAR(sol.response_time, kTable2T, 1e-6);
+}
+
+TEST(PaperExamples, PriorityCostsGenericTasksMore) {
+  const auto cluster = paper_example_cluster();
+  const auto fcfs = LoadDistributionOptimizer(cluster, Discipline::Fcfs)
+                        .optimize(paper_example_lambda());
+  const auto prio = LoadDistributionOptimizer(cluster, Discipline::SpecialPriority)
+                        .optimize(paper_example_lambda());
+  EXPECT_GT(prio.response_time, fcfs.response_time);
+}
+
+TEST(PaperExamples, SolutionsSatisfyKkt) {
+  const auto cluster = paper_example_cluster();
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    const auto sol = LoadDistributionOptimizer(cluster, d).optimize(paper_example_lambda());
+    const auto rep = blade::opt::verify_kkt(cluster, d, paper_example_lambda(), sol.rates, 1e-5);
+    EXPECT_TRUE(rep.optimal()) << rep.detail;
+    EXPECT_EQ(rep.active.size(), 7u);
+  }
+}
+
+}  // namespace

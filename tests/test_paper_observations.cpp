@@ -1,0 +1,149 @@
+// The paper's Section 5 observations, asserted quantitatively. Each test
+// names the claim as printed in the paper and checks it on the same
+// configurations the paper used.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::LoadDistributionOptimizer;
+using queue::Discipline;
+
+double optimal_T(const model::Cluster& c, Discipline d, double lambda) {
+  return LoadDistributionOptimizer(c, d).optimize(lambda).response_time;
+}
+
+// "It is obvious that the average response time T' of generic tasks with
+// prioritized special tasks is greater than that with non-prioritized
+// special tasks."
+TEST(PaperObservations, PriorityAlwaysCostsGenericTasks) {
+  for (const auto& g : model::size_groups()) {
+    const double lambda = 0.6 * g.cluster.max_generic_rate();
+    EXPECT_GT(optimal_T(g.cluster, Discipline::SpecialPriority, lambda),
+              optimal_T(g.cluster, Discipline::Fcfs, lambda))
+        << g.name;
+  }
+}
+
+// "Slight increment of m noticeably reduces the average response time T'
+// of generic tasks ... especially when lambda' is large."
+TEST(PaperObservations, ServerSizesMatterMoreAtHighLoad) {
+  const auto groups = model::size_groups();  // m = 49 ... 63
+  const double lambda_lo = 10.0;
+  const double lambda_hi = 32.0;  // feasible for every group
+  double t1_lo = 0, t5_lo = 0, t1_hi = 0, t5_hi = 0;
+  t1_lo = optimal_T(groups.front().cluster, Discipline::Fcfs, lambda_lo);
+  t5_lo = optimal_T(groups.back().cluster, Discipline::Fcfs, lambda_lo);
+  t1_hi = optimal_T(groups.front().cluster, Discipline::Fcfs, lambda_hi);
+  t5_hi = optimal_T(groups.back().cluster, Discipline::Fcfs, lambda_hi);
+  // More blades help at every load...
+  EXPECT_LT(t5_lo, t1_lo);
+  EXPECT_LT(t5_hi, t1_hi);
+  // ...and the absolute gap grows with lambda'.
+  EXPECT_GT(t1_hi - t5_hi, t1_lo - t5_lo);
+}
+
+// "Slight increment of s noticeably reduces T' ... especially when
+// lambda' is large."
+TEST(PaperObservations, ServerSpeedsMatterMoreAtHighLoad) {
+  const auto groups = model::speed_groups();  // s = 1.5 ... 1.9
+  const double lambda_lo = 10.0;
+  const double lambda_hi = 30.0;
+  const double gap_lo = optimal_T(groups.front().cluster, Discipline::Fcfs, lambda_lo) -
+                        optimal_T(groups.back().cluster, Discipline::Fcfs, lambda_lo);
+  const double gap_hi = optimal_T(groups.front().cluster, Discipline::Fcfs, lambda_hi) -
+                        optimal_T(groups.back().cluster, Discipline::Fcfs, lambda_hi);
+  EXPECT_GT(gap_lo, 0.0);
+  EXPECT_GT(gap_hi, gap_lo);
+}
+
+// "Slight increment of rbar noticeably increases T'."
+TEST(PaperObservations, TaskRequirementIncreasesResponseTime) {
+  const auto groups = model::requirement_groups();  // rbar = 0.8 ... 1.2
+  const double lambda = 20.0;
+  double prev = 0.0;
+  for (const auto& g : groups) {
+    const double t = optimal_T(g.cluster, Discipline::Fcfs, lambda);
+    EXPECT_GT(t, prev) << g.name;
+    prev = t;
+  }
+}
+
+// "Slight increment of the arrival rates of special tasks noticeably
+// increases T'."
+TEST(PaperObservations, SpecialTaskLoadIncreasesResponseTime) {
+  const auto groups = model::special_rate_groups();  // y = 0.20 ... 0.40
+  const double lambda = 20.0;
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    double prev = 0.0;
+    for (const auto& g : groups) {
+      const double t = optimal_T(g.cluster, d, lambda);
+      EXPECT_GT(t, prev) << g.name << " " << queue::to_string(d);
+      prev = t;
+    }
+  }
+}
+
+// "All reduction of T' is due to the increment of the saturation point
+// of lambda'." -- the saturation ordering matches the T' ordering.
+TEST(PaperObservations, SaturationPointExplainsTheRanking) {
+  const auto groups = model::size_groups();
+  double prev_sat = 0.0;
+  double prev_T = 1e18;
+  const double lambda = 30.0;
+  for (const auto& g : groups) {
+    const double sat = g.cluster.max_generic_rate();
+    const double t = optimal_T(g.cluster, Discipline::Fcfs, lambda);
+    EXPECT_GT(sat, prev_sat) << g.name;
+    EXPECT_LT(t, prev_T) << g.name;
+    prev_sat = sat;
+    prev_T = t;
+  }
+}
+
+// "The server size heterogeneity does not have much impact on T' ...
+// larger heterogeneity results in shorter T'."
+TEST(PaperObservations, SizeHeterogeneityOrderedButClose) {
+  const auto groups = model::size_heterogeneity_groups();
+  const double lambda = 0.6 * groups.front().cluster.max_generic_rate();
+  double prev = 0.0;
+  for (const auto& g : groups) {  // group1 most heterogeneous ... group5 least
+    const double t = optimal_T(g.cluster, Discipline::Fcfs, lambda);
+    EXPECT_GT(t, prev) << g.name;  // T' increases from group1 to group5
+    prev = t;
+  }
+  const double first = optimal_T(groups.front().cluster, Discipline::Fcfs, lambda);
+  EXPECT_LT(prev / first, 1.1);  // "not much impact": within 10% at this load
+}
+
+// Same for speed heterogeneity (Figs. 14-15).
+TEST(PaperObservations, SpeedHeterogeneityOrdered) {
+  const auto groups = model::speed_heterogeneity_groups();
+  const double lambda = 0.75 * groups.front().cluster.max_generic_rate();
+  double prev = 0.0;
+  for (const auto& g : groups) {
+    const double t = optimal_T(g.cluster, Discipline::Fcfs, lambda);
+    EXPECT_GT(t, prev) << g.name;
+    prev = t;
+  }
+}
+
+// "For the optimal load distribution of generic tasks, the n servers
+// have different utilizations." (closing remark under Table 1)
+TEST(PaperObservations, OptimalUtilizationsAreUnequal) {
+  const auto c = model::paper_example_cluster();
+  const auto sol = LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(23.52);
+  double lo = 1.0, hi = 0.0;
+  for (double rho : sol.utilizations) {
+    lo = std::min(lo, rho);
+    hi = std::max(hi, rho);
+  }
+  EXPECT_GT(hi - lo, 0.05);  // clearly unequal (0.508 ... 0.680 in Table 1)
+}
+
+}  // namespace

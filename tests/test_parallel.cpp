@@ -1,0 +1,123 @@
+// Thread pool, parallel_for / parallel_map, and the sweep runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace blade::par;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    (void)pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::logic_error("bad index");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelMap, OrdersResultsByIndex) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map<double>(pool, 64, [](std::size_t i) { return static_cast<double>(i * i); });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i * i));
+  }
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto g = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 3.0);
+  EXPECT_DOUBLE_EQ(g[2], 2.0);
+  EXPECT_TRUE(linspace(0, 1, 0).empty());
+  const auto single = linspace(2.0, 9.0, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 2.0);
+  EXPECT_THROW((void)linspace(1.0, 0.0, 3), std::invalid_argument);
+}
+
+TEST(Sweep, EvaluatesGridInOrder) {
+  ThreadPool pool(4);
+  const auto grid = linspace(0.0, 3.14159, 64);
+  const auto ys = sweep(pool, grid, [](double x) { return std::sin(x); });
+  ASSERT_EQ(ys.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(ys[i], std::sin(grid[i]), 1e-12);
+  }
+}
+
+TEST(GlobalPool, IsUsable) {
+  std::atomic<int> n{0};
+  parallel_for(0, 32, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 32);
+}
+
+}  // namespace

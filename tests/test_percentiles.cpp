@@ -1,0 +1,140 @@
+// Waiting/response-time distributions and the histogram collector:
+// closed forms vs direct facts (M/M/1), consistency with mean formulas,
+// quantile inversions, and a simulated percentile cross-check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cluster.hpp"
+#include "queueing/mmm.hpp"
+#include "queueing/waiting_distribution.hpp"
+#include "sim/simulation.hpp"
+#include "util/histogram.hpp"
+
+namespace {
+
+using namespace blade;
+using queue::WaitingTimeDistribution;
+
+TEST(WaitingDistribution, MM1KnownForms) {
+  // M/M/1: P(W > t) = rho e^{-mu(1-rho)t}; P(T > t) = e^{-mu(1-rho)t}.
+  const double xbar = 1.0;
+  const double lambda = 0.6;
+  const WaitingTimeDistribution d(1, xbar, lambda);
+  for (double t : {0.0, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(d.waiting_ccdf(t), 0.6 * std::exp(-0.4 * t), 1e-12);
+    EXPECT_NEAR(d.response_ccdf(t), std::exp(-0.4 * t), 1e-9) << "t=" << t;
+  }
+}
+
+TEST(WaitingDistribution, MeanMatchesMMmQueue) {
+  for (unsigned m : {1u, 2u, 5u, 14u}) {
+    const double xbar = 0.8;
+    const queue::MMmQueue q(m, xbar);
+    for (double frac : {0.3, 0.6, 0.9}) {
+      const double lambda = frac * q.max_arrival_rate();
+      const WaitingTimeDistribution d(m, xbar, lambda);
+      EXPECT_NEAR(d.mean_response(), q.mean_response_time(lambda), 1e-10)
+          << "m=" << m << " frac=" << frac;
+    }
+  }
+}
+
+TEST(WaitingDistribution, MeanMatchesIntegralOfCcdf) {
+  // E[T] = integral of the CCDF; trapezoidal check.
+  const WaitingTimeDistribution d(4, 1.0, 3.2);
+  double integral = 0.0;
+  const double dt = 0.001;
+  for (double t = 0.0; t < 60.0; t += dt) {
+    integral += 0.5 * (d.response_ccdf(t) + d.response_ccdf(t + dt)) * dt;
+  }
+  EXPECT_NEAR(integral, d.mean_response(), 1e-3);
+}
+
+TEST(WaitingDistribution, QuantileInvertsCcdf) {
+  const WaitingTimeDistribution d(6, 1.0, 4.5);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double t = d.response_quantile(p);
+    EXPECT_NEAR(1.0 - d.response_ccdf(t), p, 1e-8) << "p=" << p;
+  }
+  // Waiting quantile: below the no-wait mass it is zero.
+  const double atom = 1.0 - d.prob_queueing();
+  EXPECT_DOUBLE_EQ(d.waiting_quantile(0.5 * atom), 0.0);
+  const double t95 = d.waiting_quantile(0.95);
+  EXPECT_NEAR(d.waiting_ccdf(t95), 0.05, 1e-10);
+}
+
+TEST(WaitingDistribution, TailLengthensWithLoad) {
+  const WaitingTimeDistribution light(4, 1.0, 1.0);
+  const WaitingTimeDistribution heavy(4, 1.0, 3.6);
+  EXPECT_LT(light.response_quantile(0.99), heavy.response_quantile(0.99));
+}
+
+TEST(WaitingDistribution, Validation) {
+  EXPECT_THROW(WaitingTimeDistribution(0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(WaitingTimeDistribution(2, 1.0, 2.0), std::invalid_argument);
+  const WaitingTimeDistribution d(2, 1.0, 1.0);
+  EXPECT_THROW((void)d.waiting_ccdf(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)d.response_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)d.response_quantile(1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, CountsAndBins) {
+  util::Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.7, 9.9, -1.0, 12.0}) h.add(x);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  util::Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 10000; ++i) h.add((i + 0.5) / 10000.0);
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.ccdf(0.75), 0.25, 0.02);
+}
+
+TEST(Histogram, MergeAndValidation) {
+  util::Histogram a(0.0, 1.0, 10), b(0.0, 1.0, 10);
+  a.add(0.25);
+  b.add(0.75);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  util::Histogram c(0.0, 2.0, 10);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+  EXPECT_THROW(util::Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(util::Histogram(0.0, 1.0, 0), std::invalid_argument);
+  util::Histogram empty(0.0, 1.0, 4);
+  EXPECT_THROW((void)empty.quantile(0.5), std::logic_error);
+  EXPECT_THROW((void)a.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, SimulatedResponsePercentileMatchesClosedForm) {
+  // Simulate an M/M/4 and compare the 90th/99th percentile of response
+  // times with the analytic two-exponential tail.
+  const model::Cluster c({model::BladeServer(4, 1.0, 0.0)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 60000.0;
+  cfg.warmup = 5000.0;
+  cfg.record_generic_trace = true;
+  cfg.seed = 31;
+  const double lambda = 3.0;
+  const auto res = sim::simulate_split(c, {lambda}, sim::SchedulingMode::Fcfs, cfg);
+  ASSERT_GT(res.generic_trace.size(), 100000u);
+
+  util::Histogram h(0.0, 40.0, 4000);
+  for (double x : res.generic_trace) h.add(x);
+
+  const WaitingTimeDistribution d(4, 1.0, lambda);
+  EXPECT_NEAR(h.quantile(0.5), d.response_quantile(0.5), 0.05 * d.response_quantile(0.5));
+  EXPECT_NEAR(h.quantile(0.9), d.response_quantile(0.9), 0.05 * d.response_quantile(0.9));
+  EXPECT_NEAR(h.quantile(0.99), d.response_quantile(0.99), 0.08 * d.response_quantile(0.99));
+}
+
+}  // namespace

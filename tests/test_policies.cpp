@@ -1,0 +1,140 @@
+// Baseline policies: feasibility, intent (what each heuristic equalizes),
+// and the central property that the optimizer dominates all of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "core/policies.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::Policy;
+using queue::Discipline;
+
+TEST(Policies, NamesAndEnumeration) {
+  const auto all = opt::all_policies();
+  EXPECT_EQ(all.size(), 5u);
+  for (Policy p : all) {
+    EXPECT_STRNE(opt::to_string(p), "unknown");
+  }
+}
+
+TEST(Policies, AllFeasibleOnPaperCluster) {
+  const auto c = model::paper_example_cluster();
+  for (Policy p : opt::all_policies()) {
+    for (double frac : {0.2, 0.5, 0.9}) {
+      const double lambda = frac * c.max_generic_rate();
+      const auto rates = opt::distribute(p, c, Discipline::Fcfs, lambda);
+      ASSERT_EQ(rates.size(), c.size());
+      double total = 0.0;
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        EXPECT_GE(rates[i], 0.0) << opt::to_string(p);
+        EXPECT_LT(rates[i], c.server(i).max_generic_rate(c.rbar())) << opt::to_string(p);
+        total += rates[i];
+      }
+      EXPECT_NEAR(total, lambda, 1e-6 * lambda) << opt::to_string(p) << " frac=" << frac;
+    }
+  }
+}
+
+TEST(Policies, ProportionalToCapacityWeights) {
+  const auto c = model::paper_example_cluster();
+  const double lambda = 10.0;
+  const auto rates = opt::distribute(Policy::ProportionalToCapacity, c, Discipline::Fcfs, lambda);
+  // Uncapped at this light load: rates proportional to m_i s_i.
+  const double k0 = rates[0] / (c.server(0).size() * c.server(0).speed());
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    const double ki = rates[i] / (c.server(i).size() * c.server(i).speed());
+    EXPECT_NEAR(ki, k0, 1e-10);
+  }
+}
+
+TEST(Policies, EqualSplitIsEqualUntilCapped) {
+  const auto c = model::paper_example_cluster();
+  const double lambda = 7.0;
+  const auto rates = opt::distribute(Policy::EqualSplit, c, Discipline::Fcfs, lambda);
+  for (double r : rates) EXPECT_NEAR(r, 1.0, 1e-10);
+}
+
+TEST(Policies, EqualSplitRedistributesWhenSmallServerSaturates) {
+  // Server 0 can absorb at most 2*1.6 - 0.96 = 2.24; equal split of 35
+  // over 7 servers would give 5 each.
+  const auto c = model::paper_example_cluster();
+  const double lambda = 35.0;
+  const auto rates = opt::distribute(Policy::EqualSplit, c, Discipline::Fcfs, lambda);
+  EXPECT_LT(rates[0], c.server(0).max_generic_rate(c.rbar()));
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_NEAR(total, lambda, 1e-6 * lambda);
+  // Big servers pick up the overflow.
+  EXPECT_GT(rates[6], 5.0);
+}
+
+TEST(Policies, UtilizationBalancingEqualizesRho) {
+  const auto c = model::paper_example_cluster();
+  const double lambda = 20.0;
+  const auto rates = opt::distribute(Policy::UtilizationBalancing, c, Discipline::Fcfs, lambda);
+  const opt::ResponseTimeObjective obj(c, Discipline::Fcfs, lambda);
+  const auto rho = obj.utilizations(rates);
+  for (std::size_t i = 1; i < rho.size(); ++i) {
+    EXPECT_NEAR(rho[i], rho[0], 1e-6);
+  }
+}
+
+TEST(Policies, OptimalDominatesEveryBaseline) {
+  const auto c = model::paper_example_cluster();
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    const opt::LoadDistributionOptimizer solver(c, d);
+    for (double frac : {0.3, 0.6, 0.9}) {
+      const double lambda = frac * c.max_generic_rate();
+      const double best = solver.optimize(lambda).response_time;
+      for (Policy p : opt::all_policies()) {
+        const double t = opt::policy_response_time(p, c, d, lambda);
+        EXPECT_GE(t, best - 1e-9)
+            << opt::to_string(p) << " frac=" << frac << " d=" << queue::to_string(d);
+      }
+    }
+  }
+}
+
+TEST(Policies, GreedyIncrementalNearlyOptimal) {
+  // The discretized greedy should land within a fraction of a percent.
+  const auto c = model::paper_example_cluster();
+  const double lambda = 0.5 * c.max_generic_rate();
+  const double best =
+      opt::LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(lambda).response_time;
+  const double greedy =
+      opt::policy_response_time(Policy::GreedyIncremental, c, Discipline::Fcfs, lambda);
+  EXPECT_LT(greedy / best - 1.0, 5e-3);
+}
+
+TEST(Policies, EqualSplitPenaltyGrowsFromLightToModerateLoad) {
+  // Ignoring heterogeneity hurts more as load grows -- up to the point
+  // where the optimal T' itself diverges and the *ratio* can shrink
+  // again, so the comparison stops at moderate load.
+  const auto c = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(c, Discipline::Fcfs);
+  double prev_penalty = -1.0;
+  for (double frac : {0.15, 0.25, 0.35}) {
+    const double lambda = frac * c.max_generic_rate();
+    const double best = solver.optimize(lambda).response_time;
+    const double t = opt::policy_response_time(Policy::EqualSplit, c, Discipline::Fcfs, lambda);
+    const double penalty = t / best - 1.0;
+    EXPECT_GT(penalty, prev_penalty) << "frac=" << frac;
+    EXPECT_GE(penalty, 0.0);
+    prev_penalty = penalty;
+  }
+}
+
+TEST(Policies, RejectInfeasibleDemand) {
+  const auto c = model::paper_example_cluster();
+  EXPECT_THROW(
+      (void)opt::distribute(Policy::EqualSplit, c, Discipline::Fcfs, c.max_generic_rate() * 1.01),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Parameterized property sweeps over the analytic stack: Erlang kernels,
+// blade-queue shapes, and optimizer optimality across a grid of
+// disciplines, cluster families, load levels, and variability settings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/kkt.hpp"
+#include "core/optimizer.hpp"
+#include "core/policies.hpp"
+#include "model/paper_configs.hpp"
+#include "numerics/convexity.hpp"
+#include "numerics/differentiation.hpp"
+#include "numerics/erlang.hpp"
+#include "queueing/blade_queue.hpp"
+
+namespace {
+
+using namespace blade;
+using queue::Discipline;
+
+// ----------------------------------------------------------- Erlang sweep
+
+class ErlangProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ErlangProperty, DerivativeMatchesNumericEverywhere) {
+  const unsigned m = GetParam();
+  for (double rho = 0.05; rho < 0.99; rho += 0.05) {
+    const auto f = [m](double r) { return num::erlang_c(m, r); };
+    const double numeric = num::richardson_derivative(f, rho);
+    EXPECT_NEAR(num::erlang_c_drho(m, rho), numeric, 1e-6 * std::max(1.0, numeric))
+        << "rho=" << rho;
+  }
+}
+
+TEST_P(ErlangProperty, ErlangCIsIncreasingAndConvexInRho) {
+  const unsigned m = GetParam();
+  const auto f = [m](double r) { return num::erlang_c(m, r); };
+  EXPECT_TRUE(num::check_increasing(f, 0.0, 0.995, 150, 1e-10).holds);
+  // Erlang C is convex in rho for all m (known result).
+  EXPECT_TRUE(num::check_convex(f, 0.0, 0.99, 150, 1e-9).holds);
+}
+
+TEST_P(ErlangProperty, BoundedAndConsistentWithB) {
+  const unsigned m = GetParam();
+  for (double rho : {0.1, 0.5, 0.9}) {
+    const double c = num::erlang_c(m, rho);
+    const double b = num::erlang_b(m, m * rho);
+    EXPECT_GE(c, b);  // queueing prob >= blocking prob, always
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(b, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, ErlangProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 14u, 32u, 100u, 500u),
+                         [](const auto& info) { return "m" + std::to_string(info.param); });
+
+// ------------------------------------------------------ blade-queue sweep
+
+struct QueueCase {
+  unsigned m;
+  double preload;
+  Discipline d;
+  double scv;
+};
+
+std::string queue_case_name(const ::testing::TestParamInfo<QueueCase>& info) {
+  const auto& p = info.param;
+  return "m" + std::to_string(p.m) + "_y" + std::to_string(int(p.preload * 100)) + "_" +
+         (p.d == Discipline::Fcfs ? "fcfs" : "prio") + "_scv" + std::to_string(int(p.scv * 10));
+}
+
+class QueueProperty : public ::testing::TestWithParam<QueueCase> {
+ protected:
+  queue::BladeQueue make() const {
+    const auto& p = GetParam();
+    const double xbar = 0.9;
+    return queue::BladeQueue(p.m, xbar, p.preload * p.m / xbar, p.d, p.scv);
+  }
+};
+
+TEST_P(QueueProperty, ObjectiveContributionIsConvex) {
+  const auto q = make();
+  const double hi = 0.97 * q.max_generic_rate();
+  const auto rep = num::check_convex(
+      [&](double lam) { return lam * q.generic_response_time(lam); }, 0.0, hi, 100, 1e-8);
+  EXPECT_TRUE(rep.holds) << "worst " << rep.worst_violation << " at " << rep.worst_x;
+}
+
+TEST_P(QueueProperty, MarginalIsStrictlyIncreasing) {
+  const auto q = make();
+  const double hi = 0.97 * q.max_generic_rate();
+  const auto rep =
+      num::check_increasing([&](double lam) { return q.lagrange_marginal(lam); }, 0.0, hi, 120,
+                            1e-9);
+  EXPECT_TRUE(rep.holds) << "worst at " << rep.worst_x;
+}
+
+TEST_P(QueueProperty, AnalyticDerivativeMatchesNumeric) {
+  const auto q = make();
+  for (double frac : {0.15, 0.5, 0.85}) {
+    const double lam = frac * q.max_generic_rate();
+    const double numeric = num::richardson_derivative(
+        [&](double x) { return q.generic_response_time(x); }, lam);
+    EXPECT_NEAR(q.dT_dlambda(lam), numeric, 1e-5 * std::max(1.0, std::abs(numeric)))
+        << "frac=" << frac;
+  }
+}
+
+TEST_P(QueueProperty, ResponseTimeAboveServiceTime) {
+  const auto q = make();
+  for (double frac : {0.0, 0.3, 0.6, 0.9}) {
+    const double lam = frac * q.max_generic_rate();
+    EXPECT_GE(q.generic_response_time(lam), q.mean_service_time() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QueueProperty,
+    ::testing::Values(QueueCase{1, 0.3, Discipline::Fcfs, 1.0},
+                      QueueCase{2, 0.3, Discipline::SpecialPriority, 1.0},
+                      QueueCase{6, 0.0, Discipline::Fcfs, 1.0},
+                      QueueCase{6, 0.45, Discipline::SpecialPriority, 1.0},
+                      QueueCase{14, 0.3, Discipline::Fcfs, 1.0},
+                      QueueCase{14, 0.3, Discipline::SpecialPriority, 1.0},
+                      QueueCase{4, 0.3, Discipline::Fcfs, 0.0},
+                      QueueCase{4, 0.3, Discipline::SpecialPriority, 3.0},
+                      QueueCase{32, 0.2, Discipline::Fcfs, 2.0},
+                      QueueCase{1, 0.6, Discipline::SpecialPriority, 1.0},
+                      QueueCase{8, 0.15, Discipline::Fcfs, 0.5},
+                      QueueCase{20, 0.4, Discipline::SpecialPriority, 1.0},
+                      QueueCase{64, 0.3, Discipline::Fcfs, 1.0}),
+    queue_case_name);
+
+// -------------------------------------------------------- optimizer sweep
+
+using OptCase = std::tuple<int, Discipline, double>;  // cluster id, discipline, load
+
+model::Cluster cluster_by_id(int id) {
+  switch (id) {
+    case 0: return model::paper_example_cluster();
+    case 1: return model::size_heterogeneity_groups().front().cluster;
+    default: return model::speed_heterogeneity_groups().front().cluster;
+  }
+}
+
+class OptimizerProperty : public ::testing::TestWithParam<OptCase> {
+ protected:
+  model::Cluster cluster() const { return cluster_by_id(std::get<0>(GetParam())); }
+  Discipline discipline() const { return std::get<1>(GetParam()); }
+  double lambda() const {
+    return std::get<2>(GetParam()) * cluster().max_generic_rate();
+  }
+};
+
+TEST_P(OptimizerProperty, SolutionIsKktOptimal) {
+  const auto c = cluster();
+  const auto sol = opt::LoadDistributionOptimizer(c, discipline()).optimize(lambda());
+  EXPECT_NEAR(sol.total_rate(), lambda(), 1e-8 * lambda());
+  const auto rep = opt::verify_kkt(c, discipline(), lambda(), sol.rates, 1e-5);
+  EXPECT_TRUE(rep.optimal()) << rep.detail;
+}
+
+TEST_P(OptimizerProperty, DominatesProportionalBaseline) {
+  const auto c = cluster();
+  const double best =
+      opt::LoadDistributionOptimizer(c, discipline()).optimize(lambda()).response_time;
+  const double prop =
+      opt::policy_response_time(opt::Policy::ProportionalToCapacity, c, discipline(), lambda());
+  EXPECT_LE(best, prop + 1e-9);
+}
+
+TEST_P(OptimizerProperty, AgreesWithFineGreedy) {
+  // A discretized version of the optimality condition lands within 1%.
+  const auto c = cluster();
+  const double best =
+      opt::LoadDistributionOptimizer(c, discipline()).optimize(lambda()).response_time;
+  const double greedy =
+      opt::policy_response_time(opt::Policy::GreedyIncremental, c, discipline(), lambda());
+  EXPECT_LT(greedy / best - 1.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizerProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(Discipline::Fcfs, Discipline::SpecialPriority),
+                       ::testing::Values(0.2, 0.5, 0.8)),
+    [](const ::testing::TestParamInfo<OptCase>& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_" +
+             (std::get<1>(info.param) == Discipline::Fcfs ? "fcfs" : "prio") + "_l" +
+             std::to_string(int(std::get<2>(info.param) * 100));
+    });
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Parameterized stochastic cross-validation: for a grid of (blades,
+// utilization, discipline) the simulated blade server must agree with the
+// analytic generic response time. This is the property the paper asserts
+// by derivation; here each grid point is checked against an independent
+// realization of the process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace blade;
+using queue::Discipline;
+
+// (blades, target utilization, discipline)
+using SimCase = std::tuple<unsigned, double, Discipline>;
+
+class SimAgreesWithTheory : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimAgreesWithTheory, GenericResponseWithinTolerance) {
+  const auto [m, rho, d] = GetParam();
+  const double speed = 1.0;
+  const double rbar = 1.0;
+  // Split the target utilization: 40% of it from special, 60% generic.
+  const double cap = m * speed / rbar;
+  const double lambda2 = 0.4 * rho * cap;
+  const double lambda1 = 0.6 * rho * cap;
+  const model::Cluster cluster({model::BladeServer(m, speed, lambda2)}, rbar);
+  const auto q = cluster.server(0).queue(rbar, d);
+  const double expected = q.generic_response_time(lambda1);
+
+  // Average three seeds to tame autocorrelation at high rho.
+  util::RunningStats means;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    sim::SimConfig cfg;
+    cfg.horizon = 40000.0;
+    cfg.warmup = 4000.0;
+    cfg.seed = seed;
+    const auto res = sim::simulate_split(cluster, {lambda1}, sim::to_mode(d), cfg);
+    means.add(res.generic_mean_response);
+  }
+  const double tol = (rho >= 0.85 ? 0.10 : 0.05) * expected;
+  EXPECT_NEAR(means.mean(), expected, tol);
+}
+
+TEST_P(SimAgreesWithTheory, UtilizationWithinTolerance) {
+  const auto [m, rho, d] = GetParam();
+  const double cap = static_cast<double>(m);
+  const double lambda2 = 0.4 * rho * cap;
+  const double lambda1 = 0.6 * rho * cap;
+  const model::Cluster cluster({model::BladeServer(m, 1.0, lambda2)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 40000.0;
+  cfg.warmup = 0.0;
+  const auto res = sim::simulate_split(cluster, {lambda1}, sim::to_mode(d), cfg);
+  EXPECT_NEAR(res.servers[0].utilization, rho, 0.03);
+}
+
+std::string sim_case_name(const ::testing::TestParamInfo<SimCase>& info) {
+  const auto [m, rho, d] = info.param;
+  return "m" + std::to_string(m) + "_rho" + std::to_string(int(rho * 100)) + "_" +
+         (d == Discipline::Fcfs ? "fcfs" : "prio");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimAgreesWithTheory,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u), ::testing::Values(0.5, 0.7, 0.85),
+                       ::testing::Values(Discipline::Fcfs, Discipline::SpecialPriority)),
+    sim_case_name);
+
+// ------------------------------------------------- class ordering sweep
+
+class PriorityOrdering : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PriorityOrdering, SpecialFasterGenericSlowerUnderPriority) {
+  const unsigned m = GetParam();
+  const double lambda2 = 0.35 * m;
+  const double lambda1 = 0.35 * m;
+  const model::Cluster cluster({model::BladeServer(m, 1.0, lambda2)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 30000.0;
+  cfg.warmup = 3000.0;
+  const auto fcfs = sim::simulate_split(cluster, {lambda1}, sim::SchedulingMode::Fcfs, cfg);
+  const auto prio =
+      sim::simulate_split(cluster, {lambda1}, sim::SchedulingMode::NonPreemptivePriority, cfg);
+  EXPECT_LT(prio.special_mean_response, fcfs.special_mean_response);
+  EXPECT_GT(prio.generic_mean_response, fcfs.generic_mean_response * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blades, PriorityOrdering, ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) { return "m" + std::to_string(info.param); });
+
+}  // namespace

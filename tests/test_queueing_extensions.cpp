@@ -1,0 +1,106 @@
+// Extension models: M/M/m/K finite capacity and the Allen-Cunneen M/G/m
+// approximation, cross-checked against their exact special cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mgm.hpp"
+#include "queueing/mmm.hpp"
+#include "queueing/mmmk.hpp"
+
+namespace {
+
+using blade::queue::MGmApprox;
+using blade::queue::MMmKQueue;
+using blade::queue::MMmQueue;
+
+TEST(MMmK, ConstructionValidation) {
+  EXPECT_THROW(MMmKQueue(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(MMmKQueue(4, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(MMmKQueue(2, 4, 0.0), std::invalid_argument);
+}
+
+TEST(MMmK, ErlangLossSpecialCase) {
+  // K = m is Erlang-B: for m=1, blocking = a/(1+a).
+  const MMmKQueue q(1, 1, 1.0);
+  for (double a : {0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(q.blocking_probability(a), a / (1.0 + a), 1e-12);
+  }
+}
+
+TEST(MMmK, StateProbabilitiesSumToOne) {
+  const MMmKQueue q(3, 12, 0.8);
+  const double lambda = 3.0;
+  double total = 0.0;
+  for (unsigned k = 0; k <= q.capacity(); ++k) total += q.p_k(k, lambda);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q.p_k(q.capacity() + 1, lambda), 0.0);
+}
+
+TEST(MMmK, StableAboveNominalSaturation) {
+  // Finite buffers admit any offered load; blocking absorbs the excess.
+  const MMmKQueue q(2, 8, 1.0);
+  const double lambda = 10.0;  // rho would be 5
+  const double pb = q.blocking_probability(lambda);
+  EXPECT_GT(pb, 0.5);
+  EXPECT_LT(pb, 1.0);
+  EXPECT_LT(q.effective_arrival_rate(lambda), 2.0 + 1e-9);
+}
+
+TEST(MMmK, ConvergesToInfiniteQueueForLargeK) {
+  const MMmQueue inf(4, 1.0);
+  const double lambda = 2.8;  // rho = 0.7
+  const MMmKQueue big(4, 400, 1.0);
+  EXPECT_NEAR(big.mean_response_time(lambda), inf.mean_response_time(lambda), 1e-6);
+  EXPECT_LT(big.blocking_probability(lambda), 1e-12);
+}
+
+TEST(MMmK, ResponseOfAcceptedBoundedByCapacityOverService) {
+  const MMmKQueue q(2, 6, 1.0);
+  const double t = q.mean_response_time(50.0);
+  // At most K tasks ahead, each served at rate 2 when both blades busy.
+  EXPECT_LT(t, 6.0 * 1.0);
+  EXPECT_GE(t, 1.0);
+}
+
+TEST(MMmK, BlockingMonotoneInLoad) {
+  const MMmKQueue q(3, 10, 1.0);
+  double prev = q.blocking_probability(0.5);
+  for (double lam : {1.0, 2.0, 3.0, 5.0, 8.0}) {
+    const double cur = q.blocking_probability(lam);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MGm, ExponentialScvRecoversMMm) {
+  const MGmApprox g(5, 0.8, 1.0);
+  const MMmQueue e(5, 0.8);
+  for (double lam : {1.0, 3.0, 5.0}) {
+    EXPECT_NEAR(g.mean_response_time(lam), e.mean_response_time(lam), 1e-12);
+  }
+}
+
+TEST(MGm, DeterministicServiceHalvesWaiting) {
+  const MGmApprox det(4, 1.0, 0.0);
+  const MMmQueue exp(4, 1.0);
+  const double lam = 3.2;
+  EXPECT_NEAR(det.mean_waiting_time(lam), 0.5 * exp.mean_waiting_time(lam), 1e-12);
+}
+
+TEST(MGm, HighVariabilityInflatesWaiting) {
+  const MGmApprox heavy(4, 1.0, 4.0);  // hyper-exponential-ish
+  const MMmQueue exp(4, 1.0);
+  const double lam = 3.2;
+  EXPECT_NEAR(heavy.mean_waiting_time(lam), 2.5 * exp.mean_waiting_time(lam), 1e-12);
+}
+
+TEST(MGm, Validation) {
+  EXPECT_THROW(MGmApprox(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MGmApprox(2, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MGmApprox(2, 1.0, -0.5), std::invalid_argument);
+  const MGmApprox g(2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(g.max_arrival_rate(), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Task-size variability (Allen-Cunneen extension): exactness at scv = 1,
+// scaling of waits, effect on the optimal distribution, and consistency
+// with the standalone MGmApprox model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "queueing/blade_queue.hpp"
+#include "queueing/mgm.hpp"
+
+namespace {
+
+using namespace blade;
+using queue::BladeQueue;
+using queue::Discipline;
+
+TEST(Scv, DefaultIsExponential) {
+  const BladeQueue a(4, 1.0, 1.0, Discipline::Fcfs);
+  const BladeQueue b(4, 1.0, 1.0, Discipline::Fcfs, 1.0);
+  for (double lam : {0.5, 1.5, 2.5}) {
+    EXPECT_DOUBLE_EQ(a.generic_response_time(lam), b.generic_response_time(lam));
+  }
+  EXPECT_DOUBLE_EQ(a.service_scv(), 1.0);
+}
+
+TEST(Scv, DeterministicHalvesTheWait) {
+  const BladeQueue exp(4, 1.0, 1.0, Discipline::Fcfs, 1.0);
+  const BladeQueue det(4, 1.0, 1.0, Discipline::Fcfs, 0.0);
+  for (double lam : {0.5, 1.5, 2.5}) {
+    const double w_exp = exp.generic_response_time(lam) - 1.0;
+    const double w_det = det.generic_response_time(lam) - 1.0;
+    EXPECT_NEAR(w_det, 0.5 * w_exp, 1e-12);
+  }
+}
+
+TEST(Scv, MatchesStandaloneMGmWithoutSpecialTasks) {
+  for (double scv : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const BladeQueue q(5, 0.8, 0.0, Discipline::Fcfs, scv);
+    const queue::MGmApprox ref(5, 0.8, scv);
+    for (double lam : {1.0, 3.0, 5.0}) {
+      EXPECT_NEAR(q.generic_response_time(lam), ref.mean_response_time(lam), 1e-12)
+          << "scv=" << scv << " lam=" << lam;
+    }
+  }
+}
+
+TEST(Scv, PriorityFactorComposesWithVariability) {
+  // T'(prio, scv) - xbar == (T'(fcfs, scv) - xbar) / (1 - rho'').
+  const double scv = 2.5;
+  const BladeQueue f(6, 0.7, 3.0, Discipline::Fcfs, scv);
+  const BladeQueue p(6, 0.7, 3.0, Discipline::SpecialPriority, scv);
+  const double rho2 = p.special_utilization();
+  for (double lam : {0.5, 2.0, 4.0}) {
+    const double wf = f.generic_response_time(lam) - 0.7;
+    const double wp = p.generic_response_time(lam) - 0.7;
+    EXPECT_NEAR(wp, wf / (1.0 - rho2), 1e-12);
+  }
+}
+
+TEST(Scv, DerivativeScalesWithVariabilityFactor) {
+  const BladeQueue base(4, 1.0, 1.0, Discipline::Fcfs, 1.0);
+  const BladeQueue heavy(4, 1.0, 1.0, Discipline::Fcfs, 3.0);
+  for (double lam : {0.5, 1.5, 2.5}) {
+    EXPECT_NEAR(heavy.dT_dlambda(lam), 2.0 * base.dT_dlambda(lam), 1e-12);
+  }
+}
+
+TEST(Scv, MarginalStillIncreasing) {
+  for (double scv : {0.0, 2.0, 5.0}) {
+    const BladeQueue q(4, 1.0, 1.0, Discipline::Fcfs, scv);
+    double prev = q.lagrange_marginal(0.0);
+    for (double lam = 0.2; lam < 0.95 * q.max_generic_rate(); lam += 0.2) {
+      const double cur = q.lagrange_marginal(lam);
+      EXPECT_GT(cur, prev) << "scv=" << scv;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Scv, OptimizerSolvesUnderVariability) {
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  opt::OptimizerOptions heavy;
+  heavy.service_scv = 4.0;
+  const auto sol_h =
+      opt::LoadDistributionOptimizer(cluster, Discipline::Fcfs, heavy).optimize(lambda);
+  const auto sol_e = opt::LoadDistributionOptimizer(cluster, Discipline::Fcfs).optimize(lambda);
+  EXPECT_NEAR(sol_h.total_rate(), lambda, 1e-9 * lambda);
+  // Variability inflates the optimized response time.
+  EXPECT_GT(sol_h.response_time, sol_e.response_time);
+}
+
+TEST(Scv, DeterministicTasksShiftLoadTowardSlowServers) {
+  // Lower variability weakens the queueing penalty, so the optimizer can
+  // afford to use slow servers a bit more (their wait term shrinks).
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  opt::OptimizerOptions det;
+  det.service_scv = 0.0;
+  const auto sol_d =
+      opt::LoadDistributionOptimizer(cluster, Discipline::Fcfs, det).optimize(lambda);
+  const auto sol_e = opt::LoadDistributionOptimizer(cluster, Discipline::Fcfs).optimize(lambda);
+  EXPECT_LT(sol_d.response_time, sol_e.response_time);
+  // The distributions genuinely differ.
+  double max_shift = 0.0;
+  for (std::size_t i = 0; i < sol_d.rates.size(); ++i) {
+    max_shift = std::max(max_shift, std::abs(sol_d.rates[i] - sol_e.rates[i]));
+  }
+  EXPECT_GT(max_shift, 1e-3);
+}
+
+TEST(Scv, RejectsNegative) {
+  EXPECT_THROW(BladeQueue(2, 1.0, 0.0, Discipline::Fcfs, -0.1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Sensitivity analysis: signs, envelope identity, and agreement with
+// direct re-solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "core/sensitivity.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using opt::analyze_sensitivity;
+using queue::Discipline;
+
+model::Cluster small() {
+  return model::Cluster(
+      {model::BladeServer(2, 1.6, 0.96), model::BladeServer(4, 1.5, 1.8),
+       model::BladeServer(6, 1.4, 2.52)},
+      1.0);
+}
+
+TEST(Sensitivity, SignsMatchTheRuleOfThumb) {
+  // Paper Section 5: increase m_i or s_i, or reduce rbar or lambda''_i.
+  const auto c = small();
+  const auto rep = analyze_sensitivity(c, Discipline::Fcfs, 0.65 * c.max_generic_rate());
+  EXPECT_GT(rep.dT_dlambda, 0.0);
+  EXPECT_GT(rep.dT_drbar, 0.0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_LT(rep.dT_dspeed[i], 0.0) << "server " << i;
+    EXPECT_GT(rep.dT_dspecial[i], 0.0) << "server " << i;
+    EXPECT_LT(rep.blade_value[i], 0.0) << "server " << i;
+  }
+}
+
+TEST(Sensitivity, EnvelopeIdentityForLambda) {
+  // dT'*/dlambda' = phi - T'*/lambda'.
+  const auto c = small();
+  const double lambda = 0.6 * c.max_generic_rate();
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    const auto sol = opt::LoadDistributionOptimizer(c, d).optimize(lambda);
+    const auto rep = analyze_sensitivity(c, d, lambda);
+    EXPECT_NEAR(rep.dT_dlambda, sol.phi - sol.response_time / lambda, 1e-4)
+        << queue::to_string(d);
+  }
+}
+
+TEST(Sensitivity, BladeValueMatchesDirectResolve) {
+  const auto c = small();
+  const double lambda = 0.5 * c.max_generic_rate();
+  const auto rep = analyze_sensitivity(c, Discipline::Fcfs, lambda);
+  const double base =
+      opt::LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(lambda).response_time;
+  // Manually grow server 0 by one blade and re-solve.
+  const model::Cluster grown(
+      {model::BladeServer(3, 1.6, 0.96), model::BladeServer(4, 1.5, 1.8),
+       model::BladeServer(6, 1.4, 2.52)},
+      1.0);
+  const double with_blade =
+      opt::LoadDistributionOptimizer(grown, Discipline::Fcfs).optimize(lambda).response_time;
+  EXPECT_NEAR(rep.blade_value[0], with_blade - base, 1e-9);
+}
+
+TEST(Sensitivity, SpeedDerivativeMatchesCoarseDifference) {
+  const auto c = small();
+  const double lambda = 0.5 * c.max_generic_rate();
+  const auto rep = analyze_sensitivity(c, Discipline::Fcfs, lambda);
+  // Coarse forward difference on server 1's speed (+2%).
+  const model::Cluster faster(
+      {model::BladeServer(2, 1.6, 0.96), model::BladeServer(4, 1.53, 1.8),
+       model::BladeServer(6, 1.4, 2.52)},
+      1.0);
+  const double base =
+      opt::LoadDistributionOptimizer(c, Discipline::Fcfs).optimize(lambda).response_time;
+  const double up =
+      opt::LoadDistributionOptimizer(faster, Discipline::Fcfs).optimize(lambda).response_time;
+  const double coarse = (up - base) / 0.03;
+  EXPECT_NEAR(rep.dT_dspeed[1], coarse, 0.05 * std::abs(coarse));
+}
+
+TEST(Sensitivity, HeavierLoadAmplifiesEverything) {
+  // The paper's "especially when lambda' is large": sensitivities grow
+  // with load.
+  const auto c = small();
+  const auto light = analyze_sensitivity(c, Discipline::Fcfs, 0.3 * c.max_generic_rate());
+  const auto heavy = analyze_sensitivity(c, Discipline::Fcfs, 0.85 * c.max_generic_rate());
+  EXPECT_GT(heavy.dT_dlambda, light.dT_dlambda);
+  EXPECT_GT(heavy.dT_drbar, light.dT_drbar);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_GT(std::abs(heavy.dT_dspeed[i]), std::abs(light.dT_dspeed[i]));
+    EXPECT_GT(std::abs(heavy.blade_value[i]), std::abs(light.blade_value[i]));
+  }
+}
+
+TEST(Sensitivity, Validation) {
+  const auto c = small();
+  EXPECT_THROW((void)analyze_sensitivity(c, Discipline::Fcfs, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)analyze_sensitivity(c, Discipline::Fcfs, c.max_generic_rate()),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_sensitivity(c, Discipline::Fcfs, 1.0, -1e-3),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, ZeroPreloadServerUsesOneSidedDifference) {
+  const model::Cluster c(
+      {model::BladeServer(2, 1.5, 0.0), model::BladeServer(2, 1.0, 0.5)}, 1.0);
+  const auto rep = analyze_sensitivity(c, Discipline::Fcfs, 0.5 * c.max_generic_rate());
+  EXPECT_GT(rep.dT_dspecial[0], 0.0);  // still well-defined and positive
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// General service distributions: moment checks per shape, the exact
+// M/G/1 Pollaczek-Khinchine anchor, and the simulated M/G/m against the
+// Allen-Cunneen approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cluster.hpp"
+#include "queueing/mgm.hpp"
+#include "sim/rng.hpp"
+#include "sim/service.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace blade;
+using sim::ServiceDistribution;
+using sim::ServiceShape;
+
+void check_moments(const ServiceDistribution& d, double mean, double scv, int n = 200000) {
+  sim::RngStream rng(17, 99);
+  util::RunningStats rs;
+  for (int i = 0; i < n; ++i) rs.add(d.sample(rng));
+  EXPECT_NEAR(rs.mean(), mean, 0.02 * mean);
+  const double sample_scv = rs.variance() / (rs.mean() * rs.mean());
+  EXPECT_NEAR(sample_scv, scv, 0.05 * std::max(0.2, scv));
+}
+
+TEST(ServiceDistribution, ExponentialMoments) {
+  const auto d = ServiceDistribution::exponential(1.5);
+  EXPECT_EQ(d.shape(), ServiceShape::Exponential);
+  EXPECT_DOUBLE_EQ(d.scv(), 1.0);
+  check_moments(d, 1.5, 1.0);
+}
+
+TEST(ServiceDistribution, DeterministicIsExact) {
+  const auto d = ServiceDistribution::deterministic(0.7);
+  sim::RngStream rng(1, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 0.7);
+  EXPECT_DOUBLE_EQ(d.scv(), 0.0);
+}
+
+TEST(ServiceDistribution, ErlangMoments) {
+  const auto d = ServiceDistribution::erlang(2.0, 4);
+  EXPECT_DOUBLE_EQ(d.scv(), 0.25);
+  check_moments(d, 2.0, 0.25);
+}
+
+TEST(ServiceDistribution, HyperExponentialMoments) {
+  const auto d = ServiceDistribution::hyper_exponential(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(d.scv(), 4.0);
+  check_moments(d, 1.0, 4.0);
+}
+
+TEST(ServiceDistribution, FromScvPicksShapes) {
+  EXPECT_EQ(ServiceDistribution::from_scv(1.0, 0.0).shape(), ServiceShape::Deterministic);
+  EXPECT_EQ(ServiceDistribution::from_scv(1.0, 0.5).shape(), ServiceShape::ErlangK);
+  EXPECT_EQ(ServiceDistribution::from_scv(1.0, 1.0).shape(), ServiceShape::Exponential);
+  EXPECT_EQ(ServiceDistribution::from_scv(1.0, 3.0).shape(), ServiceShape::HyperExp2);
+  EXPECT_DOUBLE_EQ(ServiceDistribution::from_scv(1.0, 0.5).scv(), 0.5);  // Erlang-2
+}
+
+TEST(ServiceDistribution, Validation) {
+  EXPECT_THROW((void)ServiceDistribution::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ServiceDistribution::erlang(1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)ServiceDistribution::hyper_exponential(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ServiceDistribution::from_scv(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Mg1Exact, PollaczekKhinchineKnownValues) {
+  // rho = 0.5, exponential: Wq = rho xbar / (1 - rho) = 1.
+  EXPECT_NEAR(queue::mg1_waiting_time(1.0, 1.0, 0.5), 1.0, 1e-12);
+  // Deterministic halves it.
+  EXPECT_NEAR(queue::mg1_waiting_time(1.0, 0.0, 0.5), 0.5, 1e-12);
+  EXPECT_THROW((void)queue::mg1_waiting_time(1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Mg1Exact, AllenCunneenCoincidesAtOneServer) {
+  for (double scv : {0.0, 0.5, 1.0, 3.0}) {
+    const queue::MGmApprox ac(1, 1.0, scv);
+    for (double lam : {0.2, 0.5, 0.8}) {
+      EXPECT_NEAR(ac.mean_waiting_time(lam), queue::mg1_waiting_time(1.0, scv, lam), 1e-12);
+    }
+  }
+}
+
+TEST(SimulatedMG1, MatchesPollaczekKhinchine) {
+  // The strongest service-shape check: M/G/1 has an exact formula.
+  const model::Cluster c({model::BladeServer(1, 1.0, 0.0)}, 1.0);
+  const double lambda = 0.6;
+  for (double scv : {0.0, 0.5, 4.0}) {
+    util::RunningStats means;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      sim::SimConfig cfg;
+      cfg.horizon = 80000.0;
+      cfg.warmup = 8000.0;
+      cfg.seed = seed;
+      cfg.service_scv = scv;
+      const auto res = sim::simulate_split(c, {lambda}, sim::SchedulingMode::Fcfs, cfg);
+      means.add(res.generic_mean_response);
+    }
+    // The realized scv may be rounded (Erlang stages); recover it.
+    const double real_scv = sim::ServiceDistribution::from_scv(1.0, scv).scv();
+    const double expected = 1.0 + queue::mg1_waiting_time(1.0, real_scv, lambda);
+    EXPECT_NEAR(means.mean(), expected, 0.06 * expected) << "scv=" << scv;
+  }
+}
+
+TEST(SimulatedMGm, AllenCunneenWithinTenPercent) {
+  // For multi-server queues Allen-Cunneen is approximate; quantify it.
+  const model::Cluster c({model::BladeServer(4, 1.0, 0.0)}, 1.0);
+  const double lambda = 3.0;  // rho = 0.75
+  for (double scv : {0.5, 2.0}) {
+    sim::SimConfig cfg;
+    cfg.horizon = 120000.0;
+    cfg.warmup = 10000.0;
+    cfg.service_scv = scv;
+    const auto res = sim::simulate_split(c, {lambda}, sim::SchedulingMode::Fcfs, cfg);
+    const double real_scv = sim::ServiceDistribution::from_scv(1.0, scv).scv();
+    const queue::MGmApprox ac(4, 1.0, real_scv);
+    EXPECT_NEAR(res.generic_mean_response, ac.mean_response_time(lambda),
+                0.10 * ac.mean_response_time(lambda))
+        << "scv=" << scv;
+  }
+}
+
+TEST(SimulatedScv, VariabilityOrdersResponseTimes) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 0.5)}, 1.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 40000.0;
+  cfg.warmup = 4000.0;
+  double prev = 0.0;
+  for (double scv : {0.0, 1.0, 4.0}) {
+    cfg.service_scv = scv;
+    const auto res = sim::simulate_split(c, {0.8}, sim::SchedulingMode::Fcfs, cfg);
+    EXPECT_GT(res.generic_mean_response, prev) << "scv=" << scv;
+    prev = res.generic_mean_response;
+  }
+}
+
+}  // namespace

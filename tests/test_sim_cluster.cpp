@@ -1,0 +1,164 @@
+// Cluster-level simulation: dispatchers, replications with confidence
+// intervals, and the headline validation -- the simulated blade center at
+// the optimizer's distribution reproduces the analytic minimized T'.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "sim/dispatcher.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace blade;
+using sim::SchedulingMode;
+using sim::SimConfig;
+
+TEST(Dispatchers, ProbabilisticFollowsRates) {
+  sim::ProbabilisticDispatcher d({1.0, 3.0}, sim::RngStream(1, 0));
+  // Routing needs server pointers only for the size check; fabricate two.
+  sim::Engine e;
+  sim::ResponseTimeCollector col;
+  sim::ServerSim s0(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  sim::ServerSim s1(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  const std::vector<sim::ServerSim*> servers{&s0, &s1};
+  int first = 0;
+  const int total = 40000;
+  for (int i = 0; i < total; ++i) {
+    if (d.route(servers) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / total, 0.25, 0.01);
+}
+
+TEST(Dispatchers, ProbabilisticValidation) {
+  EXPECT_THROW(sim::ProbabilisticDispatcher({}, sim::RngStream(1, 0)), std::invalid_argument);
+  EXPECT_THROW(sim::ProbabilisticDispatcher({0.0, 0.0}, sim::RngStream(1, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(sim::ProbabilisticDispatcher({-1.0, 2.0}, sim::RngStream(1, 0)),
+               std::invalid_argument);
+}
+
+TEST(Dispatchers, RoundRobinCycles) {
+  sim::RoundRobinDispatcher d;
+  sim::Engine e;
+  sim::ResponseTimeCollector col;
+  sim::ServerSim s0(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  sim::ServerSim s1(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  sim::ServerSim s2(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  const std::vector<sim::ServerSim*> servers{&s0, &s1, &s2};
+  EXPECT_EQ(d.route(servers), 0u);
+  EXPECT_EQ(d.route(servers), 1u);
+  EXPECT_EQ(d.route(servers), 2u);
+  EXPECT_EQ(d.route(servers), 0u);
+}
+
+TEST(Dispatchers, JsqPicksLeastLoaded) {
+  sim::Engine e;
+  sim::ResponseTimeCollector col;
+  sim::ServerSim s0(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  sim::ServerSim s1(e, 1, 1.0, SchedulingMode::Fcfs, col);
+  sim::Task t;
+  t.cls = sim::TaskClass::Generic;
+  t.work = 100.0;
+  s0.arrive(t);  // s0 now busy
+  sim::JoinShortestQueueDispatcher d;
+  const std::vector<sim::ServerSim*> servers{&s0, &s1};
+  EXPECT_EQ(d.route(servers), 1u);
+}
+
+TEST(ClusterSim, OptimalDistributionReproducesAnalyticTPrime) {
+  // The headline validation: simulate Example 1's blade center at the
+  // optimizer's rates and recover T' = 0.8964703 within sampling noise.
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  const auto sol =
+      opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs).optimize(lambda);
+
+  SimConfig cfg;
+  cfg.horizon = 30000.0;
+  cfg.warmup = 3000.0;
+  const auto rep = sim::replicate(
+      [&](const SimConfig& c) {
+        return sim::simulate_split(cluster, sol.rates, SchedulingMode::Fcfs, c);
+      },
+      cfg, 6);
+  EXPECT_NEAR(rep.generic_response.mean, sol.response_time, 0.03 * sol.response_time);
+}
+
+TEST(ClusterSim, PriorityDistributionReproducesAnalyticTPrime) {
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  const auto sol = opt::LoadDistributionOptimizer(cluster, queue::Discipline::SpecialPriority)
+                       .optimize(lambda);
+  SimConfig cfg;
+  cfg.horizon = 30000.0;
+  cfg.warmup = 3000.0;
+  const auto rep = sim::replicate(
+      [&](const SimConfig& c) {
+        return sim::simulate_split(cluster, sol.rates, SchedulingMode::NonPreemptivePriority, c);
+      },
+      cfg, 6);
+  EXPECT_NEAR(rep.generic_response.mean, sol.response_time, 0.03 * sol.response_time);
+}
+
+TEST(ClusterSim, DispatchedProbabilisticMatchesStaticSplit) {
+  // Splitting one Poisson stream probabilistically is the same process as
+  // independent per-server streams; the two simulations must agree.
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = model::paper_example_lambda();
+  const auto sol =
+      opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs).optimize(lambda);
+  SimConfig cfg;
+  cfg.horizon = 30000.0;
+  cfg.warmup = 3000.0;
+  const auto split = sim::simulate_split(cluster, sol.rates, SchedulingMode::Fcfs, cfg);
+  sim::ProbabilisticDispatcher d(sol.rates, sim::RngStream(cfg.seed, 999));
+  const auto routed = sim::simulate_dispatched(cluster, lambda, d, SchedulingMode::Fcfs, cfg);
+  EXPECT_NEAR(routed.generic_mean_response, split.generic_mean_response,
+              0.05 * split.generic_mean_response);
+}
+
+TEST(ClusterSim, JsqBeatsStaticSplitAtHighLoad) {
+  // Dynamic state-aware routing beats any static split -- the caveat the
+  // paper's static model leaves open; documents what optimality means here.
+  const auto cluster = model::paper_example_cluster();
+  const double lambda = 0.85 * cluster.max_generic_rate();
+  const auto sol =
+      opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs).optimize(lambda);
+  SimConfig cfg;
+  cfg.horizon = 20000.0;
+  cfg.warmup = 2000.0;
+  const auto split = sim::simulate_split(cluster, sol.rates, SchedulingMode::Fcfs, cfg);
+  sim::JoinShortestQueueDispatcher jsq;
+  const auto dynamic = sim::simulate_dispatched(cluster, lambda, jsq, SchedulingMode::Fcfs, cfg);
+  EXPECT_LT(dynamic.generic_mean_response, split.generic_mean_response);
+}
+
+TEST(ClusterSim, ReplicationCiShrinksWithMoreReplications) {
+  const auto cluster = model::paper_example_cluster();
+  const auto sol = opt::LoadDistributionOptimizer(cluster, queue::Discipline::Fcfs)
+                       .optimize(model::paper_example_lambda());
+  SimConfig cfg;
+  cfg.horizon = 4000.0;
+  cfg.warmup = 500.0;
+  auto run = [&](const SimConfig& c) {
+    return sim::simulate_split(cluster, sol.rates, SchedulingMode::Fcfs, c);
+  };
+  const auto few = sim::replicate(run, cfg, 4);
+  const auto many = sim::replicate(run, cfg, 16);
+  EXPECT_LT(many.generic_response.half_width, few.generic_response.half_width);
+  EXPECT_THROW((void)sim::replicate(run, cfg, 1), std::invalid_argument);
+}
+
+TEST(ClusterSim, DispatchedValidation) {
+  const auto cluster = model::paper_example_cluster();
+  sim::RoundRobinDispatcher rr;
+  SimConfig cfg;
+  EXPECT_THROW(
+      (void)sim::simulate_dispatched(cluster, 0.0, rr, SchedulingMode::Fcfs, cfg),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// The simulated server against exact queueing theory: M/M/1, M/M/m,
+// utilization, Theorem 2's priority formula, and the preemptive extension.
+// These are the tests the paper itself has no analogue of -- an
+// independent stochastic check of every analytic formula we rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+#include "queueing/mmm.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace blade;
+using sim::SchedulingMode;
+using sim::SimConfig;
+using sim::simulate_split;
+
+SimConfig quick_config(std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.horizon = 60000.0;
+  cfg.warmup = 4000.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SimQueue, MM1ResponseTimeMatchesTheory) {
+  // Single server, single blade, no special tasks: T = xbar/(1-rho).
+  // M/M/1 response times are heavily autocorrelated, so average a few
+  // independent seeds before comparing.
+  const model::Cluster c({model::BladeServer(1, 1.0, 0.0)}, 1.0);
+  const double lambda = 0.7;
+  blade::util::RunningStats means;
+  std::uint64_t samples = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto res = simulate_split(c, {lambda}, SchedulingMode::Fcfs, quick_config(seed));
+    means.add(res.generic_mean_response);
+    samples += res.generic_samples;
+  }
+  const double expected = queue::MMmQueue(1, 1.0).mean_response_time(lambda);
+  EXPECT_GT(samples, 80000u);
+  EXPECT_NEAR(means.mean(), expected, 0.05 * expected);
+}
+
+TEST(SimQueue, MMmResponseTimeMatchesTheory) {
+  const model::Cluster c({model::BladeServer(4, 1.0, 0.0)}, 1.0);
+  const double lambda = 3.2;  // rho = 0.8
+  const auto res = simulate_split(c, {lambda}, SchedulingMode::Fcfs, quick_config(3));
+  const double expected = queue::MMmQueue(4, 1.0).mean_response_time(lambda);
+  EXPECT_NEAR(res.generic_mean_response, expected, 0.06 * expected);
+}
+
+TEST(SimQueue, UtilizationMatchesRho) {
+  const model::Cluster c({model::BladeServer(3, 2.0, 1.0)}, 1.0);
+  const double lambda = 2.0;
+  const auto res = simulate_split(c, {lambda}, SchedulingMode::Fcfs, quick_config(5));
+  const double rho = (lambda + 1.0) * 0.5 / 3.0;
+  ASSERT_EQ(res.servers.size(), 1u);
+  EXPECT_NEAR(res.servers[0].utilization, rho, 0.02);
+}
+
+TEST(SimQueue, MixedFcfsMatchesMergedStreamTheory) {
+  // Generic + special under FCFS behave as one M/M/m at the merged rate.
+  const model::Cluster c({model::BladeServer(4, 1.0, 1.5)}, 1.0);
+  const double lambda1 = 1.5;
+  const auto res = simulate_split(c, {lambda1}, SchedulingMode::Fcfs, quick_config(7));
+  const auto q = c.server(0).queue(1.0, queue::Discipline::Fcfs);
+  const double expected = q.generic_response_time(lambda1);
+  EXPECT_NEAR(res.generic_mean_response, expected, 0.06 * expected);
+  EXPECT_NEAR(res.special_mean_response, expected, 0.06 * expected);
+}
+
+TEST(SimQueue, NonPreemptivePriorityMatchesTheorem2) {
+  // The key formula of Section 4, checked stochastically.
+  const model::Cluster c({model::BladeServer(4, 1.0, 1.5)}, 1.0);
+  const double lambda1 = 1.5;
+  const auto res =
+      simulate_split(c, {lambda1}, SchedulingMode::NonPreemptivePriority, quick_config(11));
+  const auto q = c.server(0).queue(1.0, queue::Discipline::SpecialPriority);
+  const double expected_generic = q.generic_response_time(lambda1);
+  const double expected_special = q.special_response_time(lambda1);
+  EXPECT_NEAR(res.generic_mean_response, expected_generic, 0.07 * expected_generic);
+  EXPECT_NEAR(res.special_mean_response, expected_special, 0.07 * expected_special);
+  // Ordering: special < fcfs-merged < generic.
+  EXPECT_LT(res.special_mean_response, res.generic_mean_response);
+}
+
+TEST(SimQueue, PriorityDoesNotChangeUtilization) {
+  const model::Cluster c({model::BladeServer(4, 1.0, 1.5)}, 1.0);
+  const double lambda1 = 1.5;
+  const auto fcfs = simulate_split(c, {lambda1}, SchedulingMode::Fcfs, quick_config(13));
+  const auto prio =
+      simulate_split(c, {lambda1}, SchedulingMode::NonPreemptivePriority, quick_config(13));
+  EXPECT_NEAR(fcfs.servers[0].utilization, prio.servers[0].utilization, 0.02);
+}
+
+TEST(SimQueue, PreemptiveResumeBeatsNonPreemptiveForSpecial) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 0.8)}, 1.0);
+  const double lambda1 = 0.7;
+  const auto np =
+      simulate_split(c, {lambda1}, SchedulingMode::NonPreemptivePriority, quick_config(17));
+  const auto pr = simulate_split(c, {lambda1}, SchedulingMode::PreemptiveResume, quick_config(17));
+  EXPECT_GT(pr.servers[0].preemptions, 0u);
+  EXPECT_EQ(np.servers[0].preemptions, 0u);
+  EXPECT_LT(pr.special_mean_response, np.special_mean_response + 0.05);
+  // Generic tasks pay for the preemptions.
+  EXPECT_GT(pr.generic_mean_response, np.generic_mean_response - 0.05);
+}
+
+TEST(SimQueue, ZeroGenericRateStillServesSpecial) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 1.0)}, 1.0);
+  const auto res = simulate_split(c, {0.0}, SchedulingMode::Fcfs, quick_config(19));
+  EXPECT_EQ(res.generic_samples, 0u);
+  EXPECT_GT(res.special_samples, 10000u);
+}
+
+TEST(SimQueue, DeterministicForFixedSeed) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 0.5)}, 1.0);
+  SimConfig cfg = quick_config(23);
+  cfg.horizon = 5000.0;
+  const auto a = simulate_split(c, {1.0}, SchedulingMode::Fcfs, cfg);
+  const auto b = simulate_split(c, {1.0}, SchedulingMode::Fcfs, cfg);
+  EXPECT_DOUBLE_EQ(a.generic_mean_response, b.generic_mean_response);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(SimQueue, SeedsProduceIndependentEstimates) {
+  const model::Cluster c({model::BladeServer(2, 1.0, 0.5)}, 1.0);
+  SimConfig cfg = quick_config(29);
+  cfg.horizon = 5000.0;
+  const auto a = simulate_split(c, {1.0}, SchedulingMode::Fcfs, cfg);
+  cfg.seed = 30;
+  const auto b = simulate_split(c, {1.0}, SchedulingMode::Fcfs, cfg);
+  EXPECT_NE(a.generic_mean_response, b.generic_mean_response);
+}
+
+TEST(SimQueue, ValidatesInput) {
+  const model::Cluster c({model::BladeServer(1, 1.0, 0.0)}, 1.0);
+  EXPECT_THROW((void)simulate_split(c, {1.0, 2.0}, SchedulingMode::Fcfs, quick_config()),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_split(c, {-1.0}, SchedulingMode::Fcfs, quick_config()),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Time-varying workload runner: profile construction, quasi-stationary
+// evaluation, and adaptive-vs-static dominance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/trace.hpp"
+#include "model/paper_configs.hpp"
+
+namespace {
+
+using namespace blade;
+using cloud::diurnal_profile;
+using cloud::run_adaptive;
+using cloud::run_static;
+using queue::Discipline;
+
+TEST(DiurnalProfile, ShapeAndBounds) {
+  const auto p = diurnal_profile(5.0, 20.0, 24);
+  ASSERT_EQ(p.epoch_rates.size(), 24u);
+  const double lo = *std::min_element(p.epoch_rates.begin(), p.epoch_rates.end());
+  const double hi = *std::max_element(p.epoch_rates.begin(), p.epoch_rates.end());
+  EXPECT_NEAR(lo, 5.0, 1e-9);
+  EXPECT_NEAR(hi, 20.0, 0.2);  // grid may not land exactly on the peak
+  // Trough at the start, peak mid-day.
+  EXPECT_LT(p.epoch_rates.front(), p.epoch_rates[12]);
+}
+
+TEST(DiurnalProfile, Validation) {
+  EXPECT_THROW((void)diurnal_profile(0.0, 10.0, 8), std::invalid_argument);
+  EXPECT_THROW((void)diurnal_profile(5.0, 4.0, 8), std::invalid_argument);
+  EXPECT_THROW((void)diurnal_profile(1.0, 2.0, 1), std::invalid_argument);
+}
+
+TEST(Trace, AdaptiveMatchesPerEpochOptima) {
+  const auto c = model::paper_example_cluster();
+  const auto p = diurnal_profile(8.0, 30.0, 12);
+  const auto res = run_adaptive(c, Discipline::Fcfs, p);
+  ASSERT_EQ(res.epochs.size(), 12u);
+  EXPECT_EQ(res.overloaded_epochs, 0u);
+  // Heavier epochs have larger T'.
+  const auto& e_lo = res.epochs.front();
+  const auto& e_hi = res.epochs[6];
+  EXPECT_GT(e_hi.lambda, e_lo.lambda);
+  EXPECT_GT(e_hi.response_time, e_lo.response_time);
+  // Weighted mean lies between the extremes.
+  double tmin = 1e9, tmax = 0.0;
+  for (const auto& e : res.epochs) {
+    tmin = std::min(tmin, e.response_time);
+    tmax = std::max(tmax, e.response_time);
+  }
+  EXPECT_GE(res.mean_response_time, tmin);
+  EXPECT_LE(res.mean_response_time, tmax);
+}
+
+TEST(Trace, AdaptiveNeverLosesToStatic) {
+  const auto c = model::paper_example_cluster();
+  const auto p = diurnal_profile(8.0, 34.0, 16);
+  const auto adaptive = run_adaptive(c, Discipline::Fcfs, p);
+  for (double design : {12.0, 20.0, 30.0}) {
+    const auto fixed = run_static(c, Discipline::Fcfs, p, design);
+    EXPECT_LE(adaptive.mean_response_time, fixed.mean_response_time + 1e-9)
+        << "design=" << design;
+  }
+}
+
+TEST(Trace, StaticScaledSplitIsNearOptimalHere) {
+  // Proportional scaling of a good split stays feasible and close on this
+  // cluster (the routing probabilities barely move with load).
+  const auto c = model::paper_example_cluster();
+  const auto p = diurnal_profile(10.0, 30.0, 12);
+  const auto fixed = run_static(c, Discipline::Fcfs, p, 20.0);
+  const auto adaptive = run_adaptive(c, Discipline::Fcfs, p);
+  EXPECT_EQ(fixed.overloaded_epochs, 0u);
+  EXPECT_LT(fixed.mean_response_time / adaptive.mean_response_time, 1.05);
+}
+
+TEST(Trace, StaticSplitFromLightDesignOverloadsAtPeak) {
+  // A split tuned at light load parks real mass on the small fast server;
+  // scaled to peak it saturates that server while the adaptive policy
+  // re-routes.
+  const auto c = model::paper_example_cluster();
+  cloud::LoadProfile p;
+  p.epoch_rates = {4.0, 44.0};  // peak very close to lambda'_max = 47.04
+  const auto fixed = run_static(c, Discipline::Fcfs, p, 4.0);
+  EXPECT_GE(fixed.overloaded_epochs, 1u);
+  const auto adaptive = run_adaptive(c, Discipline::Fcfs, p);
+  EXPECT_EQ(adaptive.overloaded_epochs, 0u);
+}
+
+TEST(Trace, Validation) {
+  const auto c = model::paper_example_cluster();
+  cloud::LoadProfile empty;
+  EXPECT_THROW((void)run_adaptive(c, Discipline::Fcfs, empty), std::invalid_argument);
+  cloud::LoadProfile bad;
+  bad.epoch_rates = {1.0, 100.0};  // infeasible epoch
+  EXPECT_THROW((void)run_adaptive(c, Discipline::Fcfs, bad), std::invalid_argument);
+  cloud::LoadProfile ok;
+  ok.epoch_rates = {5.0, 10.0};
+  EXPECT_THROW((void)run_static(c, Discipline::Fcfs, ok, 1000.0), std::invalid_argument);
+  ok.epoch_duration = 0.0;
+  EXPECT_THROW((void)run_adaptive(c, Discipline::Fcfs, ok), std::invalid_argument);
+}
+
+TEST(Trace, PriorityDisciplineSupported) {
+  const auto c = model::paper_example_cluster();
+  const auto p = diurnal_profile(10.0, 25.0, 8);
+  const auto fcfs = run_adaptive(c, Discipline::Fcfs, p);
+  const auto prio = run_adaptive(c, Discipline::SpecialPriority, p);
+  EXPECT_GT(prio.mean_response_time, fcfs.mean_response_time);
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// The umbrella header must compile standalone and expose the advertised
+// entry points (a smoke test that the public API surface stays whole).
+#include "blade.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughPublicApi) {
+  using namespace blade;
+  const model::Cluster cluster({model::BladeServer(2, 1.5, 0.5)}, 1.0);
+  const opt::LoadDistributionOptimizer solver(cluster, queue::Discipline::Fcfs);
+  const auto sol = solver.optimize(1.0);
+  EXPECT_GT(sol.response_time, 0.0);
+
+  sim::SimConfig cfg;
+  cfg.horizon = 2000.0;
+  cfg.warmup = 200.0;
+  const auto res = sim::simulate_split(cluster, sol.rates, sim::SchedulingMode::Fcfs, cfg);
+  EXPECT_GT(res.generic_samples, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// util module: running stats, confidence intervals, tables, CSV, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blade::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.std_error(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0 + i * 0.1;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableForShiftedData) {
+  // Naive sum-of-squares would lose all precision here.
+  RunningStats rs;
+  const double base = 1e9;
+  for (double x : {base + 4.0, base + 7.0, base + 13.0, base + 16.0}) rs.add(x);
+  EXPECT_NEAR(rs.mean(), base + 10.0, 1e-3);
+  EXPECT_NEAR(rs.variance(), 30.0, 1e-6);
+}
+
+TEST(ConfidenceInterval, BasicGeometry) {
+  ConfidenceInterval ci{10.0, 2.0, 0.95};
+  EXPECT_DOUBLE_EQ(ci.lo(), 8.0);
+  EXPECT_DOUBLE_EQ(ci.hi(), 12.0);
+  EXPECT_TRUE(ci.contains(9.0));
+  EXPECT_FALSE(ci.contains(12.5));
+  EXPECT_DOUBLE_EQ(ci.relative_width(), 0.2);
+}
+
+TEST(ConfidenceInterval, TQuantilesDecreaseWithDf) {
+  EXPECT_GT(t_quantile(1, 0.95), t_quantile(5, 0.95));
+  EXPECT_GT(t_quantile(5, 0.95), t_quantile(30, 0.95));
+  EXPECT_GT(t_quantile(30, 0.95), t_quantile(1000, 0.95));
+  EXPECT_NEAR(t_quantile(1000000, 0.95), 1.96, 1e-9);
+}
+
+TEST(ConfidenceInterval, FromSamples) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ci = t_confidence_interval(xs, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  // stddev = sqrt(2.5), se = sqrt(0.5), t_{4,0.975} = 2.776.
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(0.5), 1e-9);
+  EXPECT_THROW((void)t_confidence_interval(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(SpanStats, MeanStdDevCv) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 4.0);
+  EXPECT_NEAR(stddev_of(xs), 2.0, 1e-12);
+  EXPECT_NEAR(coefficient_of_variation(xs), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(SpanStats, MeanAbsDeviationOrdersHeterogeneity) {
+  // The fig12 size groups, most to least heterogeneous.
+  const std::vector<double> g1{1, 2, 2, 8, 14, 14, 15};
+  const std::vector<double> g3{4, 6, 6, 8, 10, 10, 12};
+  const std::vector<double> g5{8, 8, 8, 8, 8, 8, 8};
+  EXPECT_GT(mean_abs_deviation(g1), mean_abs_deviation(g3));
+  EXPECT_GT(mean_abs_deviation(g3), mean_abs_deviation(g5));
+  EXPECT_DOUBLE_EQ(mean_abs_deviation(g5), 0.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"i", "value"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"10", "12.25"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| value |"), std::string::npos);
+  EXPECT_NE(out.find("|  1 |"), std::string::npos);
+  EXPECT_NE(out.find("| 10 |"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_THROW(t.set_align(5, Align::Left), std::out_of_range);
+}
+
+TEST(Fixed, FormatsSevenDigitsLikeThePaper) {
+  EXPECT_EQ(fixed(0.8964703), "0.8964703");
+  EXPECT_EQ(fixed(1.5, 1), "1.5");
+}
+
+TEST(Csv, RoundTripsColumns) {
+  Csv csv;
+  const auto a = csv.add_column("lambda");
+  const auto b = csv.add_column("T");
+  csv.push(a, 1.0);
+  csv.push(b, 2.5);
+  csv.push_row({2.0, 3.5});
+  const std::string out = csv.render(1);
+  EXPECT_EQ(out, "lambda,T\n1.0,2.5\n2.0,3.5\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, DetectsRaggedColumns) {
+  Csv csv;
+  const auto a = csv.add_column("x");
+  csv.add_column("y");
+  csv.push(a, 1.0);
+  EXPECT_THROW((void)csv.render(), std::logic_error);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Strings, JoinSplitTrim) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto parts = split("x,,y", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(trim("  hi\n"), "hi");
+  EXPECT_TRUE(starts_with("figure04", "fig"));
+  EXPECT_FALSE(starts_with("fig", "figure"));
+}
+
+TEST(Strings, VectorToString) {
+  EXPECT_EQ(to_string(std::vector<double>{1.0, 2.5}, 1), "[1.0, 2.5]");
+}
+
+}  // namespace
