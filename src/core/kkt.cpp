@@ -65,15 +65,24 @@ KktReport verify_kkt(const model::Cluster& cluster, queue::Discipline d, double 
   }
 
   rep.complementary = true;
+  const double phi_slack = tolerance * std::max(1.0, rep.phi_estimate);
   for (std::size_t i = 0; i < rates.size(); ++i) {
     if (rates[i] > active_threshold) continue;
     const double g0 = obj.marginal(i, 0.0);
-    if (g0 < rep.phi_estimate - tolerance * std::max(1.0, rep.phi_estimate)) {
-      rep.complementary = false;
-      std::ostringstream os;
-      os << "inactive server " << i << " has g(0) = " << g0 << " < phi = " << rep.phi_estimate;
-      rep.detail = os.str();
+    if (g0 >= rep.phi_estimate - phi_slack) continue;  // properly inactive
+    // Sub-threshold but positive rate: the threshold scales with
+    // tolerance * lambda', so a slow server can carry a genuinely small
+    // optimal load and still land here. Such a server satisfies KKT as
+    // an *active* one -- its marginal at the actual rate must sit on the
+    // shared phi.
+    if (rates[i] > 0.0 &&
+        std::abs(obj.marginal(i, rates[i]) - rep.phi_estimate) <= phi_slack) {
+      continue;
     }
+    rep.complementary = false;
+    std::ostringstream os;
+    os << "inactive server " << i << " has g(0) = " << g0 << " < phi = " << rep.phi_estimate;
+    rep.detail = os.str();
   }
   return rep;
 }

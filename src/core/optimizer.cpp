@@ -1,5 +1,6 @@
 #include "core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,6 +8,24 @@
 #include "numerics/special.hpp"
 
 namespace blade::opt {
+
+void OptimizerOptions::validate() const {
+  if (!(rate_tolerance > 0.0)) {
+    throw std::invalid_argument("OptimizerOptions: rate_tolerance must be > 0");
+  }
+  if (!(phi_tolerance > 0.0)) {
+    throw std::invalid_argument("OptimizerOptions: phi_tolerance must be > 0");
+  }
+  if (max_iterations < 1) {
+    throw std::invalid_argument("OptimizerOptions: max_iterations must be >= 1");
+  }
+  if (!(saturation_margin > 0.0) || !(saturation_margin < 1.0)) {
+    throw std::invalid_argument("OptimizerOptions: saturation_margin must be in (0, 1)");
+  }
+  if (!(service_scv >= 0.0)) {
+    throw std::invalid_argument("OptimizerOptions: service_scv must be >= 0");
+  }
+}
 
 double LoadDistribution::total_rate() const {
   num::KahanSum s;
@@ -27,9 +46,7 @@ LoadDistributionOptimizer::LoadDistributionOptimizer(model::Cluster cluster,
   if (discs_.size() != cluster_.size()) {
     throw std::invalid_argument("LoadDistributionOptimizer: discipline vector size mismatch");
   }
-  if (!(opts_.rate_tolerance > 0.0) || !(opts_.phi_tolerance > 0.0)) {
-    throw std::invalid_argument("LoadDistributionOptimizer: tolerances must be > 0");
-  }
+  opts_.validate();
 }
 
 double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, std::size_t i,
@@ -113,22 +130,47 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
     }
     ++outer_it;
   }
-  const double phi = 0.5 * (phi_lb + phi_ub);
-
   LoadDistribution out;
-  out.phi = phi;
+  out.phi = phi_ub;
   out.outer_iterations = outer_it;
-  out.rates.resize(n);
-  for (std::size_t i = 0; i < n; ++i) out.rates[i] = find_rate(obj, i, phi, &inner_evals);
 
-  // The bisected rates can miss lambda' by a hair; rescale the assigned
-  // mass onto the constraint so downstream consumers see an exactly
-  // feasible point (the correction is within the solver tolerance).
-  const double assigned = [&] {
+  // Extract the final rates from BOTH bracket ends. Evaluating only at
+  // the midpoint is unsafe: wide servers (large m_i) have nearly flat
+  // marginal-cost curves, so F(phi) is step-like and the midpoint can
+  // land below the step, assigning zero load everywhere. phi_ub is
+  // guaranteed by the bracketing invariant to cover lambda'
+  // (F(phi_ub) >= lambda' > F(phi_lb)), so interpolating between the two
+  // rate vectors yields a feasible point whose marginals stay inside the
+  // [phi_lb, phi_ub] band: the flat servers -- exactly the ones whose
+  // load the band cannot pin down -- absorb the residual, where the
+  // objective is insensitive by that same flatness.
+  auto rates_at = [&](double phi_val) {
+    std::vector<double> rates(n);
+    for (std::size_t i = 0; i < n; ++i) rates[i] = find_rate(obj, i, phi_val, &inner_evals);
+    return rates;
+  };
+  auto total_of = [](const std::vector<double>& rates) {
     num::KahanSum s;
-    for (double r : out.rates) s.add(r);
+    for (double r : rates) s.add(r);
     return s.value();
-  }();
+  };
+  out.rates = rates_at(phi_ub);
+  double assigned = total_of(out.rates);
+  if (assigned > lambda_total) {
+    const std::vector<double> lo_rates = rates_at(phi_lb);
+    const double lo_total = total_of(lo_rates);
+    if (assigned - lo_total > opts_.rate_tolerance) {
+      const double t = std::clamp((lambda_total - lo_total) / (assigned - lo_total), 0.0, 1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.rates[i] = lo_rates[i] + t * (out.rates[i] - lo_rates[i]);
+      }
+      assigned = total_of(out.rates);
+    }
+  }
+
+  // The interpolated rates can still miss lambda' by floating-point
+  // residue; rescale the assigned mass onto the constraint so downstream
+  // consumers see an exactly feasible point.
   if (assigned > 0.0) {
     const double scale = lambda_total / assigned;
     for (double& r : out.rates) r *= scale;

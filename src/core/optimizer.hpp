@@ -31,6 +31,11 @@ struct OptimizerOptions {
   /// exponential model, other values engage the Allen–Cunneen M/G/m
   /// approximation (used by the sensitivity ablation).
   double service_scv = 1.0;
+
+  /// Throws std::invalid_argument when any field is out of domain:
+  /// tolerances must be > 0, max_iterations >= 1, saturation_margin in
+  /// (0, 1), service_scv >= 0. NaNs are rejected by the same checks.
+  void validate() const;
 };
 
 /// Solution of the load-distribution problem.

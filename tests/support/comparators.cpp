@@ -1,0 +1,78 @@
+#include "support/comparators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace blade::testsupport {
+
+double relative_error(double a, double b, double abs_floor) {
+  const double scale = std::max({abs_floor, std::abs(a), std::abs(b)});
+  return std::abs(a - b) / scale;
+}
+
+bool approx_equal(double a, double b, const Tolerance& tol) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  return std::abs(a - b) <= tol.abs + tol.rel * std::max(std::abs(a), std::abs(b));
+}
+
+std::string CompareReport::summary() const {
+  std::ostringstream os;
+  os.precision(12);
+  for (const auto& m : mismatches) {
+    os << m.what << ": actual=" << m.actual << " expected=" << m.expected
+       << " rel_err=" << m.error << '\n';
+  }
+  return os.str();
+}
+
+void CompareReport::check(const std::string& what, double actual, double expected,
+                          const Tolerance& tol) {
+  if (!approx_equal(actual, expected, tol)) {
+    mismatches.push_back({what, actual, expected, relative_error(actual, expected, tol.abs)});
+  }
+}
+
+CompareReport compare_vectors(const std::string& name, const std::vector<double>& actual,
+                              const std::vector<double>& expected, const Tolerance& tol) {
+  CompareReport rep;
+  if (actual.size() != expected.size()) {
+    rep.mismatches.push_back({name + ".size()", static_cast<double>(actual.size()),
+                              static_cast<double>(expected.size()), 1.0});
+    return rep;
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    rep.check(name + "[" + std::to_string(i) + "]", actual[i], expected[i], tol);
+  }
+  return rep;
+}
+
+CompareReport compare_distributions(const opt::LoadDistribution& actual,
+                                    const opt::LoadDistribution& expected,
+                                    const Tolerance& value_tol, const Tolerance& rate_tol) {
+  CompareReport rep;
+  rep.check("response_time", actual.response_time, expected.response_time, value_tol);
+  rep.check("total_rate", actual.total_rate(), expected.total_rate(), value_tol);
+  auto rates = compare_vectors("rates", actual.rates, expected.rates, rate_tol);
+  rep.mismatches.insert(rep.mismatches.end(), rates.mismatches.begin(), rates.mismatches.end());
+  return rep;
+}
+
+::testing::AssertionResult near(double actual, double expected, const Tolerance& tol,
+                                const std::string& what) {
+  if (approx_equal(actual, expected, tol)) return ::testing::AssertionSuccess();
+  std::ostringstream os;
+  os.precision(12);
+  os << what << ": actual=" << actual << " expected=" << expected
+     << " rel_err=" << relative_error(actual, expected, tol.abs) << " (rel_tol=" << tol.rel
+     << " abs_tol=" << tol.abs << ")";
+  return ::testing::AssertionFailure() << os.str();
+}
+
+::testing::AssertionResult report_ok(const CompareReport& report) {
+  if (report.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << report.mismatches.size() << " mismatch(es):\n"
+                                       << report.summary();
+}
+
+}  // namespace blade::testsupport

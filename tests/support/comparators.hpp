@@ -1,0 +1,76 @@
+// Tolerance-aware comparison layer shared by the differential and golden
+// suites: a Tolerance policy (relative + absolute floor), scalar/vector
+// comparators that collect every mismatch instead of stopping at the
+// first, and gtest adapters so failures print the offending quantity,
+// both values, and the realized error in one line.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+
+namespace blade::testsupport {
+
+/// Mixed relative/absolute tolerance: values a, b match when
+/// |a - b| <= abs + rel * max(|a|, |b|).
+struct Tolerance {
+  double rel = 1e-6;
+  double abs = 1e-9;
+};
+
+/// The realized error |a - b| - rel * max(|a|,|b|) clamped at 0 is not
+/// useful to report; this returns |a - b| / max(abs-floor, |a|, |b|),
+/// i.e. the relative error with an absolute floor, for messages.
+[[nodiscard]] double relative_error(double a, double b, double abs_floor = 1e-9);
+
+[[nodiscard]] bool approx_equal(double a, double b, const Tolerance& tol);
+
+/// One quantity that failed a comparison.
+struct Mismatch {
+  std::string what;      ///< e.g. "rates[3]" or "response_time"
+  double actual = 0.0;
+  double expected = 0.0;
+  double error = 0.0;    ///< relative error with absolute floor
+};
+
+/// Accumulates mismatches across a structured comparison.
+struct CompareReport {
+  std::vector<Mismatch> mismatches;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+  /// Multi-line description of every mismatch (empty string when ok).
+  [[nodiscard]] std::string summary() const;
+
+  /// Records a mismatch unless the values agree within tol.
+  void check(const std::string& what, double actual, double expected, const Tolerance& tol);
+};
+
+/// Element-wise vector comparison; a length mismatch is itself recorded.
+[[nodiscard]] CompareReport compare_vectors(const std::string& name,
+                                            const std::vector<double>& actual,
+                                            const std::vector<double>& expected,
+                                            const Tolerance& tol);
+
+/// Compares two solver outputs for the same instance: the minimized T'
+/// under `value_tol` and the per-server rate vectors under `rate_tol`
+/// (rates are compared with an absolute floor of rate_tol.abs because a
+/// server idling in one solution and receiving 1e-9 in the other is
+/// agreement, not error).
+[[nodiscard]] CompareReport compare_distributions(const opt::LoadDistribution& actual,
+                                                  const opt::LoadDistribution& expected,
+                                                  const Tolerance& value_tol,
+                                                  const Tolerance& rate_tol);
+
+/// gtest adapter: EXPECT_TRUE(near(x, y, tol, "T'")) prints both values
+/// and the realized error on failure.
+[[nodiscard]] ::testing::AssertionResult near(double actual, double expected,
+                                              const Tolerance& tol, const std::string& what);
+
+/// gtest adapter for a whole report.
+[[nodiscard]] ::testing::AssertionResult report_ok(const CompareReport& report);
+
+}  // namespace blade::testsupport

@@ -1,0 +1,123 @@
+#include "support/golden.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/comparators.hpp"
+
+namespace blade::testsupport {
+
+const std::vector<int>& golden_figure_numbers() {
+  static const std::vector<int> numbers = {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  return numbers;
+}
+
+std::string golden_figure_id(int number) {
+  return (number < 10 ? "fig0" : "fig") + std::to_string(number);
+}
+
+std::string table_csv(const cloud::ExampleTable& table) {
+  std::ostringstream os;
+  os.precision(kGoldenPrecision);
+  os << "index,size,speed,service_time,generic_rate,special_rate,utilization\n";
+  for (const auto& r : table.rows) {
+    os << r.index << ',' << r.size << ',' << r.speed << ',' << r.service_time << ','
+       << r.generic_rate << ',' << r.special_rate << ',' << r.utilization << '\n';
+  }
+  os << "response_time," << table.response_time << '\n';
+  os << "lambda_total," << table.lambda_total << '\n';
+  return os.str();
+}
+
+std::string figure_csv(const cloud::FigureData& fig) {
+  return cloud::to_csv(fig, kGoldenPrecision);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("golden: cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("golden: cannot write " + path);
+  out << content;
+  if (!out) throw std::runtime_error("golden: short write to " + path);
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool parse_double(const std::string& token, double* value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace
+
+std::optional<std::string> csv_numeric_diff(const std::string& expected, const std::string& actual,
+                                            double rel, double abs) {
+  const auto exp_lines = split(expected, '\n');
+  const auto act_lines = split(actual, '\n');
+  std::ostringstream os;
+  os.precision(12);
+  int reported = 0;
+  constexpr int kMaxReported = 8;
+
+  if (exp_lines.size() != act_lines.size()) {
+    os << "line count: expected " << exp_lines.size() << ", actual " << act_lines.size() << '\n';
+    ++reported;
+  }
+  const std::size_t lines = std::min(exp_lines.size(), act_lines.size());
+  for (std::size_t ln = 0; ln < lines && reported < kMaxReported; ++ln) {
+    const auto exp_cells = split(exp_lines[ln], ',');
+    const auto act_cells = split(act_lines[ln], ',');
+    if (exp_cells.size() != act_cells.size()) {
+      os << "line " << ln + 1 << ": cell count " << act_cells.size() << " != "
+         << exp_cells.size() << '\n';
+      ++reported;
+      continue;
+    }
+    for (std::size_t col = 0; col < exp_cells.size() && reported < kMaxReported; ++col) {
+      double e = 0.0, a = 0.0;
+      const bool e_num = parse_double(exp_cells[col], &e);
+      const bool a_num = parse_double(act_cells[col], &a);
+      if (e_num && a_num) {
+        if (!approx_equal(a, e, Tolerance{rel, abs})) {
+          os << "line " << ln + 1 << " col " << col + 1 << ": " << a << " != " << e
+             << " (rel_err=" << relative_error(a, e, abs) << ")\n";
+          ++reported;
+        }
+      } else if (exp_cells[col] != act_cells[col]) {
+        os << "line " << ln + 1 << " col " << col + 1 << ": \"" << act_cells[col] << "\" != \""
+           << exp_cells[col] << "\"\n";
+        ++reported;
+      }
+    }
+  }
+  if (reported == 0) return std::nullopt;
+  return os.str();
+}
+
+}  // namespace blade::testsupport

@@ -1,0 +1,53 @@
+// Canonical serialization + tolerant diffing for the golden paper
+// regression. The gen_golden tool and test_golden_paper share these
+// functions, so a format change can never masquerade as a numerical
+// regression: both sides serialize through the same code and the diff
+// compares token-by-token, numerically where both tokens parse as
+// numbers and textually otherwise.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/experiments.hpp"
+#include "cloud/series.hpp"
+
+namespace blade::testsupport {
+
+/// Grid resolution the golden figures are generated and replayed at.
+inline constexpr std::size_t kGoldenFigurePoints = 25;
+
+/// Decimal digits in golden files; well beyond the 1e-6 comparison
+/// tolerance so formatting noise can never eat the tolerance budget.
+inline constexpr int kGoldenPrecision = 12;
+
+/// Figure numbers covered by the golden suite (the paper's Figs. 4-15).
+[[nodiscard]] const std::vector<int>& golden_figure_numbers();
+
+/// "fig04" ... "fig15".
+[[nodiscard]] std::string golden_figure_id(int number);
+
+/// Canonical CSV for Table 1 / Table 2: one row per server plus
+/// response_time / lambda_total summary lines.
+[[nodiscard]] std::string table_csv(const cloud::ExampleTable& table);
+
+/// Canonical CSV for a figure (long format: series,x,y).
+[[nodiscard]] std::string figure_csv(const cloud::FigureData& fig);
+
+/// Reads a whole file; throws std::runtime_error with the path on failure.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Writes a whole file; throws std::runtime_error with the path on failure.
+void write_file(const std::string& path, const std::string& content);
+
+/// Token-wise CSV comparison. Numeric tokens compare with relative
+/// tolerance `rel` (absolute floor `abs`), everything else exactly.
+/// Returns nullopt on match, else a description of the first few
+/// mismatches with line/column positions.
+[[nodiscard]] std::optional<std::string> csv_numeric_diff(const std::string& expected,
+                                                          const std::string& actual,
+                                                          double rel = 1e-6, double abs = 1e-9);
+
+}  // namespace blade::testsupport

@@ -1,0 +1,104 @@
+#include "support/metamorphic.hpp"
+
+#include <stdexcept>
+
+#include "core/optimizer.hpp"
+
+namespace blade::testsupport {
+
+model::Cluster permuted(const model::Cluster& cluster, const std::vector<std::size_t>& perm) {
+  if (perm.size() != cluster.size()) {
+    throw std::invalid_argument("permuted: permutation size mismatch");
+  }
+  std::vector<model::BladeServer> servers;
+  servers.reserve(cluster.size());
+  for (std::size_t p : perm) servers.push_back(cluster.server(p));
+  return model::Cluster(std::move(servers), cluster.rbar());
+}
+
+std::vector<std::size_t> rotation(std::size_t n, std::size_t shift) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = (i + shift) % n;
+  return perm;
+}
+
+model::Cluster speed_scaled(const model::Cluster& cluster, double k) {
+  if (!(k > 0.0)) throw std::invalid_argument("speed_scaled: k must be > 0");
+  std::vector<model::BladeServer> servers;
+  servers.reserve(cluster.size());
+  for (const auto& s : cluster.servers()) {
+    servers.emplace_back(s.size(), k * s.speed(), k * s.special_rate());
+  }
+  return model::Cluster(std::move(servers), cluster.rbar());
+}
+
+model::Cluster split_server(const model::Cluster& cluster, std::size_t i) {
+  const auto& victim = cluster.server(i);
+  if (victim.size() < 2 || victim.size() % 2 != 0) {
+    throw std::invalid_argument("split_server: server size must be even and >= 2");
+  }
+  std::vector<model::BladeServer> servers;
+  servers.reserve(cluster.size() + 1);
+  for (std::size_t j = 0; j < cluster.size(); ++j) {
+    if (j == i) {
+      const model::BladeServer half(victim.size() / 2, victim.speed(),
+                                    0.5 * victim.special_rate());
+      servers.push_back(half);
+      servers.push_back(half);
+    } else {
+      servers.push_back(cluster.server(j));
+    }
+  }
+  return model::Cluster(std::move(servers), cluster.rbar());
+}
+
+CompareReport check_permutation_invariance(const model::Cluster& cluster, queue::Discipline d,
+                                           double lambda, const std::vector<std::size_t>& perm,
+                                           const Tolerance& tol, const Tolerance& rate_tol) {
+  const auto base = opt::LoadDistributionOptimizer(cluster, d).optimize(lambda);
+  const auto moved = opt::LoadDistributionOptimizer(permuted(cluster, perm), d).optimize(lambda);
+
+  CompareReport rep;
+  rep.check("response_time", moved.response_time, base.response_time, tol);
+  // moved.rates[j] serves the server that was at position perm[j].
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    rep.check("rates[perm[" + std::to_string(j) + "]]", moved.rates[j], base.rates[perm[j]],
+              rate_tol);
+  }
+  return rep;
+}
+
+CompareReport check_scaling_invariance(const model::Cluster& cluster, queue::Discipline d,
+                                       double lambda, double k, const Tolerance& tol,
+                                       const Tolerance& rate_tol) {
+  const auto base = opt::LoadDistributionOptimizer(cluster, d).optimize(lambda);
+  const auto scaled =
+      opt::LoadDistributionOptimizer(speed_scaled(cluster, k), d).optimize(k * lambda);
+
+  CompareReport rep;
+  rep.check("k * response_time", k * scaled.response_time, base.response_time, tol);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    rep.check("rates[" + std::to_string(i) + "] / k", scaled.rates[i] / k, base.rates[i],
+              rate_tol);
+  }
+  return rep;
+}
+
+CompareReport check_split_monotonicity(const model::Cluster& cluster, queue::Discipline d,
+                                       double lambda, std::size_t i, const Tolerance& tol) {
+  const auto base = opt::LoadDistributionOptimizer(cluster, d).optimize(lambda);
+  const auto split = opt::LoadDistributionOptimizer(split_server(cluster, i), d).optimize(lambda);
+
+  CompareReport rep;
+  // Pooling inequality: splitting capacity can only hurt. Allow the
+  // solver tolerance's worth of slack on the "weakly" side.
+  if (split.response_time < base.response_time * (1.0 - tol.rel)) {
+    rep.mismatches.push_back({"pooling T'_split >= T'", split.response_time, base.response_time,
+                              relative_error(split.response_time, base.response_time, tol.abs)});
+  }
+  // Symmetry: the two identical halves (at positions i, i+1) share load.
+  rep.check("halves equal", split.rates[i], split.rates[i + 1], tol);
+  return rep;
+}
+
+}  // namespace blade::testsupport

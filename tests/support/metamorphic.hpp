@@ -1,0 +1,71 @@
+// Metamorphic transforms of a problem instance together with the exact
+// relation the paper's optimum must satisfy across the transform:
+//
+//   permutation   reordering servers permutes the optimal rates and
+//                 leaves T' identical (the objective is separable);
+//   joint scaling s_i <- k s_i, lambda'' <- k lambda'', lambda' <- k
+//                 lambda', rbar fixed: every queue runs k times faster
+//                 at identical utilization, so the optimal rates scale
+//                 by k and T' by exactly 1/k;
+//   server split  replacing S_i (even m_i) by two identical halves
+//                 (m_i/2 blades each, half the special load) can never
+//                 help: resource pooling makes the split optimum T'
+//                 weakly larger, and by symmetry the two halves receive
+//                 equal generic load.
+//
+// Each check_* runs the paper's bisection solver on both sides of the
+// transform and returns a CompareReport, so a violation pinpoints the
+// quantity that broke rather than a bare boolean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+#include "support/comparators.hpp"
+
+namespace blade::testsupport {
+
+/// Servers reordered as servers[perm[0]], servers[perm[1]], ...; rbar kept.
+[[nodiscard]] model::Cluster permuted(const model::Cluster& cluster,
+                                      const std::vector<std::size_t>& perm);
+
+/// The rotation permutation (i + shift) mod n, a cheap deterministic
+/// derangement for n >= 2, shift in [1, n).
+[[nodiscard]] std::vector<std::size_t> rotation(std::size_t n, std::size_t shift);
+
+/// Speeds and special rates scaled by k > 0, rbar unchanged.
+[[nodiscard]] model::Cluster speed_scaled(const model::Cluster& cluster, double k);
+
+/// Server `i` (must have even size) replaced by two identical halves.
+/// The halves are adjacent at positions i and i+1.
+[[nodiscard]] model::Cluster split_server(const model::Cluster& cluster, std::size_t i);
+
+/// Near a flat optimum (wide servers, extreme heterogeneity) the
+/// objective pins T' much harder than the rate vector: rate deviations
+/// of ~1e-4 move T' by less than 1e-9. The invariance checks therefore
+/// take a separate, looser tolerance for rate comparisons.
+inline constexpr Tolerance kRateTolerance{1e-3, 1e-6};
+
+/// T' equal across the permutation; rates equal up to the permutation.
+[[nodiscard]] CompareReport check_permutation_invariance(const model::Cluster& cluster,
+                                                         queue::Discipline d, double lambda,
+                                                         const std::vector<std::size_t>& perm,
+                                                         const Tolerance& tol,
+                                                         const Tolerance& rate_tol = kRateTolerance);
+
+/// T'(k-scaled instance, k * lambda) == T'(instance, lambda) / k and the
+/// optimal rates scale by k.
+[[nodiscard]] CompareReport check_scaling_invariance(const model::Cluster& cluster,
+                                                     queue::Discipline d, double lambda, double k,
+                                                     const Tolerance& tol,
+                                                     const Tolerance& rate_tol = kRateTolerance);
+
+/// T'_split >= T' (within tol.rel slack) and the two halves receive equal
+/// rates. `i` must name a server with even, >= 2, size.
+[[nodiscard]] CompareReport check_split_monotonicity(const model::Cluster& cluster,
+                                                     queue::Discipline d, double lambda,
+                                                     std::size_t i, const Tolerance& tol);
+
+}  // namespace blade::testsupport

@@ -1,0 +1,103 @@
+#include "support/oracles.hpp"
+
+#include <sstream>
+
+#include "core/closed_form.hpp"
+#include "core/discrete_dp.hpp"
+#include "core/gradient_optimizer.hpp"
+#include "core/kkt.hpp"
+#include "sim/simulation.hpp"
+
+namespace blade::testsupport {
+
+std::vector<SolverRun> run_solver_paths(const model::Cluster& cluster, queue::Discipline d,
+                                        double lambda, const OracleOptions& opts) {
+  std::vector<SolverRun> runs;
+  runs.push_back({"bisection", opt::LoadDistributionOptimizer(cluster, d).optimize(lambda)});
+
+  if (opts.run_gradient) {
+    runs.push_back({"gradient", opt::gradient_optimize(cluster, d, lambda).distribution});
+  }
+  if (opts.dp_units > 0) {
+    const auto dp = opt::dp_distribution(cluster, d, lambda, opts.dp_units);
+    opt::LoadDistribution as_dist;
+    as_dist.rates = dp.rates;
+    as_dist.response_time = dp.response_time;
+    runs.push_back({"dp", std::move(as_dist)});
+  }
+  if (opts.run_closed_form && cluster.all_single_blade()) {
+    runs.push_back({"closed_form", opt::closed_form_distribution(cluster, d, lambda)});
+  }
+  return runs;
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  os << "paths:";
+  for (const auto& p : paths_run) os << ' ' << p;
+  os << '\n';
+  if (!kkt_ok) os << "KKT: " << kkt_detail << '\n';
+  os << comparisons.summary();
+  return os.str();
+}
+
+OracleReport cross_check(const model::Cluster& cluster, queue::Discipline d, double lambda,
+                         const OracleOptions& opts) {
+  OracleReport rep;
+  const auto runs = run_solver_paths(cluster, d, lambda, opts);
+  for (const auto& r : runs) rep.paths_run.push_back(r.name);
+  const auto& bis = runs.front().dist;
+
+  const auto kkt = opt::verify_kkt(cluster, d, lambda, bis.rates, opts.kkt_tolerance);
+  rep.kkt_ok = kkt.optimal();
+  rep.kkt_detail = kkt.detail;
+
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    const auto& run = runs[k];
+    if (run.name == "dp") {
+      // Grid optimum: may only exceed the continuous one, and not by
+      // more than the grid's resolution allows.
+      if (run.dist.response_time < bis.response_time * (1.0 - opts.dp_undershoot_rel)) {
+        rep.comparisons.mismatches.push_back(
+            {"dp undershoots bisection", run.dist.response_time, bis.response_time,
+             relative_error(run.dist.response_time, bis.response_time)});
+      }
+      if (run.dist.response_time > bis.response_time * (1.0 + opts.dp_excess_rel)) {
+        rep.comparisons.mismatches.push_back(
+            {"dp exceeds bisection beyond grid slack", run.dist.response_time, bis.response_time,
+             relative_error(run.dist.response_time, bis.response_time)});
+      }
+      continue;
+    }
+    const Tolerance& value_tol =
+        run.name == "gradient" ? opts.gradient_agreement : opts.closed_form_agreement;
+    rep.comparisons.check(run.name + " T'", run.dist.response_time, bis.response_time, value_tol);
+    auto rates = compare_vectors(run.name + " rates", run.dist.rates, bis.rates,
+                                 opts.rate_agreement);
+    rep.comparisons.mismatches.insert(rep.comparisons.mismatches.end(),
+                                      rates.mismatches.begin(), rates.mismatches.end());
+  }
+  return rep;
+}
+
+CompareReport sim_cross_check(const model::Cluster& cluster, queue::Discipline d,
+                              const std::vector<double>& rates, double expected_response,
+                              int replications, double horizon, double warmup,
+                              double rel_slack) {
+  sim::SimConfig cfg;
+  cfg.horizon = horizon;
+  cfg.warmup = warmup;
+  const auto mode = sim::to_mode(d);
+  const auto result = sim::replicate(
+      [&](const sim::SimConfig& c) { return sim::simulate_split(cluster, rates, mode, c); }, cfg,
+      replications);
+
+  CompareReport rep;
+  const double slack =
+      std::max(3.0 * result.generic_response.half_width, rel_slack * expected_response);
+  rep.check("simulated T'", result.generic_response.mean, expected_response,
+            Tolerance{0.0, slack});
+  return rep;
+}
+
+}  // namespace blade::testsupport

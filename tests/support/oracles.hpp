@@ -1,0 +1,76 @@
+// The differential oracle: runs every independent solution path the repo
+// has for one instance -- the paper's double bisection, projected
+// gradient descent, discrete DP, and (in the single-blade regime) the
+// Theorem 1/3 closed forms -- certifies the bisection answer against the
+// KKT conditions, and cross-compares the paths with the asymmetries each
+// pair actually admits (the DP is grid-limited, so it may only exceed
+// the continuous optimum; the gradient path shares the same continuum).
+// An optional simulation oracle replays the optimal split through the
+// event-driven simulator and demands statistical agreement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+#include "support/comparators.hpp"
+
+namespace blade::testsupport {
+
+struct OracleOptions {
+  /// DP grid resolution; 0 skips the DP path (it is the slow oracle).
+  std::size_t dp_units = 0;
+  bool run_gradient = true;
+  /// Closed forms engage automatically only when the cluster is
+  /// single-blade; this switch can veto them.
+  bool run_closed_form = true;
+  double kkt_tolerance = 1e-4;
+  /// How close the gradient optimum's T' must be to bisection's.
+  Tolerance gradient_agreement{1e-4, 1e-12};
+  /// One-sided slack for the DP: dp_T >= bis_T - slack, dp_T <= bis_T * (1 + excess).
+  double dp_undershoot_rel = 1e-6;
+  double dp_excess_rel = 2e-3;
+  Tolerance closed_form_agreement{1e-6, 1e-12};
+  /// Rates may differ more than values near flat optima.
+  Tolerance rate_agreement{1e-3, 1e-6};
+};
+
+/// One solver path's output, labeled for failure messages.
+struct SolverRun {
+  std::string name;  ///< "bisection", "gradient", "dp", "closed_form"
+  opt::LoadDistribution dist;
+};
+
+/// Runs the applicable solver paths (always bisection first).
+[[nodiscard]] std::vector<SolverRun> run_solver_paths(const model::Cluster& cluster,
+                                                      queue::Discipline d, double lambda,
+                                                      const OracleOptions& opts = {});
+
+struct OracleReport {
+  CompareReport comparisons;
+  bool kkt_ok = false;
+  std::string kkt_detail;
+  std::vector<std::string> paths_run;
+
+  [[nodiscard]] bool ok() const noexcept { return kkt_ok && comparisons.ok(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The full differential check for one instance.
+[[nodiscard]] OracleReport cross_check(const model::Cluster& cluster, queue::Discipline d,
+                                       double lambda, const OracleOptions& opts = {});
+
+/// Simulation oracle: replications of the event-driven simulator at the
+/// given split must bracket the analytic T' within
+/// max(3 sigma-widths, rel_slack * T'). Returns a CompareReport so the
+/// failure carries both numbers.
+[[nodiscard]] CompareReport sim_cross_check(const model::Cluster& cluster, queue::Discipline d,
+                                            const std::vector<double>& rates,
+                                            double expected_response, int replications = 4,
+                                            double horizon = 20000.0, double warmup = 2000.0,
+                                            double rel_slack = 0.03);
+
+}  // namespace blade::testsupport

@@ -1,0 +1,129 @@
+// The differential conformance suite: every solver path the repo has
+// (paper bisection, projected gradient, discrete DP, closed forms) must
+// agree -- through the tests/support oracle comparators -- on a corpus
+// of ~100 seeded instances per discipline spanning the edge regimes
+// where solvers actually break: near-saturation, single-blade,
+// very wide servers, and extreme speed/size heterogeneity. On top of
+// the cross-solver checks, the metamorphic invariances (permutation,
+// joint speed scaling, server splitting) and a statistical simulation
+// oracle close the loop against the event-driven simulator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "support/comparators.hpp"
+#include "support/generators.hpp"
+#include "support/metamorphic.hpp"
+#include "support/oracles.hpp"
+
+namespace {
+
+using namespace blade;
+using namespace blade::testsupport;
+using queue::Discipline;
+
+constexpr std::uint64_t kSeedsPerRegime = 17;  // x 6 regimes = 102 per discipline
+
+class DifferentialCorpus
+    : public ::testing::TestWithParam<std::tuple<Regime, Discipline>> {
+ protected:
+  Regime regime() const { return std::get<0>(GetParam()); }
+  Discipline discipline() const { return std::get<1>(GetParam()); }
+};
+
+// Bisection vs KKT vs gradient on every instance; the DP oracle (the
+// slow one) on a per-regime prefix of seeds. Near saturation the DP's
+// uniform grid cannot resolve the exploding T' curve, so the DP oracle
+// sits that regime out (the KKT certificate still applies there).
+TEST_P(DifferentialCorpus, SolverPathsAgree) {
+  for (std::uint64_t seed = 1; seed <= kSeedsPerRegime; ++seed) {
+    const Instance inst = make_instance(regime(), seed, discipline());
+    OracleOptions opts;
+    if (seed <= 4 && regime() != Regime::NearSaturation) opts.dp_units = 600;
+    if (regime() == Regime::SizeExtremes || regime() == Regime::LargeServers) {
+      // Wide servers make the optimum flat in rate space: two solvers can
+      // disagree on rates by ~0.5% while agreeing on T' to 1e-6.
+      opts.rate_agreement = Tolerance{1e-2, 1e-5};
+    }
+    if (regime() == Regime::NearSaturation) {
+      // rho -> 1: T' is steep, first-order agreement degrades ~1/(1-rho).
+      opts.gradient_agreement = Tolerance{2e-3, 1e-9};
+      opts.rate_agreement = Tolerance{5e-3, 1e-4};
+      opts.kkt_tolerance = 1e-2;
+    }
+    const auto rep = cross_check(inst.cluster, inst.discipline, inst.lambda, opts);
+    EXPECT_TRUE(rep.ok()) << inst.name << " (" << queue::to_string(inst.discipline)
+                          << "):\n" << rep.summary();
+  }
+}
+
+TEST_P(DifferentialCorpus, PermutationInvariance) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make_instance(regime(), seed, discipline());
+    const auto perm = rotation(inst.cluster.size(), 1 + seed % (inst.cluster.size() - 1));
+    const auto rep = check_permutation_invariance(inst.cluster, inst.discipline, inst.lambda,
+                                                  perm, Tolerance{1e-6, 1e-7});
+    EXPECT_TRUE(report_ok(rep)) << inst.name;
+  }
+}
+
+TEST_P(DifferentialCorpus, ScalingInvariance) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make_instance(regime(), seed, discipline());
+    for (double k : {3.7, 0.25}) {
+      const auto rep = check_scaling_invariance(inst.cluster, inst.discipline, inst.lambda, k,
+                                                Tolerance{1e-6, 1e-7});
+      EXPECT_TRUE(report_ok(rep)) << inst.name << " k=" << k;
+    }
+  }
+}
+
+TEST_P(DifferentialCorpus, SplitServerNeverHelps) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make_instance(regime(), seed, discipline());
+    // Split the first splittable (even-size) server, if any.
+    for (std::size_t i = 0; i < inst.cluster.size(); ++i) {
+      const auto& s = inst.cluster.server(i);
+      if (s.size() >= 2 && s.size() % 2 == 0) {
+        const auto rep = check_split_monotonicity(inst.cluster, inst.discipline, inst.lambda, i,
+                                                  Tolerance{1e-6, 1e-7});
+        EXPECT_TRUE(report_ok(rep)) << inst.name << " split server " << i;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, DifferentialCorpus,
+    ::testing::Combine(::testing::ValuesIn(all_regimes()),
+                       ::testing::Values(Discipline::Fcfs, Discipline::SpecialPriority)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             queue::to_string(std::get<1>(info.param));
+    });
+
+// The statistical closure: simulate the optimizer's split and require the
+// analytic optimum to sit inside the replication CI (widened to 3 sigma
+// with a 3% relative floor). Two moderate-load instances per discipline
+// keep this affordable in sanitizer runs.
+class SimOracle : public ::testing::TestWithParam<Discipline> {};
+
+TEST_P(SimOracle, SimulatorConfirmsOptimizer) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    const Instance inst = make_instance(Regime::Random, seed, GetParam());
+    const auto runs = run_solver_paths(inst.cluster, inst.discipline, inst.lambda);
+    const auto& bis = runs.front().dist;
+    const auto rep = sim_cross_check(inst.cluster, inst.discipline, bis.rates,
+                                     bis.response_time, /*replications=*/3,
+                                     /*horizon=*/12000.0, /*warmup=*/1500.0);
+    EXPECT_TRUE(report_ok(rep)) << inst.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Disciplines, SimOracle,
+                         ::testing::Values(Discipline::Fcfs, Discipline::SpecialPriority),
+                         [](const auto& info) { return queue::to_string(info.param); });
+
+}  // namespace

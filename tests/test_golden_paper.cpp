@@ -1,0 +1,70 @@
+// Golden paper regression: recomputes Table 1, Table 2, and the Figure
+// 4-15 data series and diffs them token-by-token against the checked-in
+// CSVs in tests/golden/ (written by tools/gen_golden through the same
+// serialization code). Tolerance is 1e-6 relative -- far looser than the
+// solver's 1e-12 bisection width and the goldens' 12-digit precision,
+// so any failure here is a real numerical regression, not noise.
+//
+// To regenerate after an INTENTIONAL numerical change:
+//   ./build/tools/gen_golden tests/golden
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cloud/experiments.hpp"
+#include "support/golden.hpp"
+
+namespace {
+
+using namespace blade;
+using namespace blade::testsupport;
+
+constexpr double kRelTol = 1e-6;
+
+std::string golden_path(const std::string& name) {
+  return std::string(BLADE_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& name, const std::string& actual) {
+  const std::string expected = read_file(golden_path(name));
+  const auto diff = csv_numeric_diff(expected, actual, kRelTol);
+  EXPECT_FALSE(diff.has_value()) << name << " drifted from golden:\n"
+                                 << *diff
+                                 << "(regenerate with tools/gen_golden only if the change "
+                                    "is intentional)";
+}
+
+TEST(GoldenPaper, Table1Fcfs) {
+  expect_matches_golden("table1.csv", table_csv(cloud::example_table(queue::Discipline::Fcfs)));
+}
+
+TEST(GoldenPaper, Table2Priority) {
+  expect_matches_golden("table2.csv",
+                        table_csv(cloud::example_table(queue::Discipline::SpecialPriority)));
+}
+
+class GoldenFigure : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenFigure, MatchesGolden) {
+  const int number = GetParam();
+  const auto fig = cloud::figure(number, kGoldenFigurePoints);
+  expect_matches_golden(golden_figure_id(number) + ".csv", figure_csv(fig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Figs, GoldenFigure,
+                         ::testing::ValuesIn(golden_figure_numbers()),
+                         [](const auto& info) { return golden_figure_id(info.param); });
+
+// The goldens themselves must carry the paper's headline numbers: the
+// published seven-decimal optima of Examples 1 and 2. This pins the
+// golden files to the PAPER, not merely to the code that wrote them.
+TEST(GoldenPaper, GoldenFilesCarryPaperOptima) {
+  const std::string t1 = read_file(golden_path("table1.csv"));
+  const std::string t2 = read_file(golden_path("table2.csv"));
+  EXPECT_NE(t1.find("response_time,0.89647"), std::string::npos)
+      << "table1.csv no longer contains the paper's T' = 0.8964703";
+  EXPECT_NE(t2.find("response_time,0.92093"), std::string::npos)
+      << "table2.csv no longer contains the paper's T' = 0.9209392";
+}
+
+}  // namespace

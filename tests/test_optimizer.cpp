@@ -194,6 +194,55 @@ TEST(Optimizer, TighterToleranceRefinesSolution) {
   EXPECT_LE(sol_tight.response_time, sol_loose.response_time + 1e-9);
 }
 
+TEST(OptimizerOptionsValidation, RejectsEachOutOfDomainField) {
+  const auto c = small_cluster();
+  const auto reject = [&](opt::OptimizerOptions o) {
+    EXPECT_THROW(LoadDistributionOptimizer(c, Discipline::Fcfs, o), std::invalid_argument);
+    EXPECT_THROW(o.validate(), std::invalid_argument);
+  };
+
+  opt::OptimizerOptions o;
+  o.rate_tolerance = 0.0;
+  reject(o);
+  o = {};
+  o.rate_tolerance = -1e-9;
+  reject(o);
+  o = {};
+  o.phi_tolerance = 0.0;
+  reject(o);
+  o = {};
+  o.phi_tolerance = std::nan("");
+  reject(o);
+  o = {};
+  o.max_iterations = 0;
+  reject(o);
+  o = {};
+  o.max_iterations = -3;
+  reject(o);
+  o = {};
+  o.saturation_margin = 0.0;
+  reject(o);
+  o = {};
+  o.saturation_margin = 1.0;
+  reject(o);
+  o = {};
+  o.saturation_margin = -0.5;
+  reject(o);
+  o = {};
+  o.service_scv = -1.0;
+  reject(o);
+}
+
+TEST(OptimizerOptionsValidation, AcceptsDefaultsAndBoundaryValues) {
+  EXPECT_NO_THROW(opt::OptimizerOptions{}.validate());
+  opt::OptimizerOptions o;
+  o.max_iterations = 1;          // minimal but legal
+  o.saturation_margin = 0.9999;  // inside (0, 1)
+  o.service_scv = 0.0;           // deterministic task sizes
+  EXPECT_NO_THROW(o.validate());
+  EXPECT_NO_THROW(LoadDistributionOptimizer(small_cluster(), Discipline::Fcfs, o));
+}
+
 TEST(Optimizer, ReportsDiagnostics) {
   const auto sol = LoadDistributionOptimizer(small_cluster(), Discipline::Fcfs).optimize(2.0);
   EXPECT_GT(sol.outer_iterations, 0);

@@ -1,0 +1,148 @@
+// Unit tests for the tests/support conformance library itself -- the
+// oracle layer guards every other suite, so its comparators, generators,
+// transforms, and golden diffing get their own coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/kkt.hpp"
+#include "model/paper_configs.hpp"
+#include "support/comparators.hpp"
+#include "support/generators.hpp"
+#include "support/golden.hpp"
+#include "support/metamorphic.hpp"
+#include "support/oracles.hpp"
+
+namespace {
+
+using namespace blade;
+using namespace blade::testsupport;
+
+TEST(Comparators, MixedToleranceSemantics) {
+  const Tolerance tol{1e-6, 1e-9};
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 5e-7, tol));
+  EXPECT_FALSE(approx_equal(1.0, 1.0 + 5e-6, tol));
+  // Absolute floor: tiny values compare on abs, not rel.
+  EXPECT_TRUE(approx_equal(0.0, 5e-10, tol));
+  EXPECT_FALSE(approx_equal(0.0, 5e-9, tol));
+  EXPECT_FALSE(approx_equal(1.0, std::nan(""), tol));
+}
+
+TEST(Comparators, ReportCollectsEveryMismatch) {
+  CompareReport rep;
+  rep.check("a", 1.0, 1.0, {1e-6, 1e-9});
+  rep.check("b", 1.0, 2.0, {1e-6, 1e-9});
+  rep.check("c", 3.0, 4.0, {1e-6, 1e-9});
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.mismatches.size(), 2u);
+  EXPECT_EQ(rep.mismatches[0].what, "b");
+  EXPECT_NE(rep.summary().find("c: actual=3"), std::string::npos);
+}
+
+TEST(Comparators, VectorLengthMismatchIsAMismatch) {
+  const auto rep = compare_vectors("v", {1.0, 2.0}, {1.0}, {1e-6, 1e-9});
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.mismatches[0].what, "v.size()");
+}
+
+TEST(Generators, EveryRegimeYieldsValidDeterministicInstances) {
+  for (Regime r : all_regimes()) {
+    const auto a = make_instance(r, 7, queue::Discipline::Fcfs);
+    const auto b = make_instance(r, 7, queue::Discipline::Fcfs);
+    ASSERT_EQ(a.cluster.size(), b.cluster.size()) << to_string(r);
+    for (std::size_t i = 0; i < a.cluster.size(); ++i) {
+      EXPECT_EQ(a.cluster.server(i), b.cluster.server(i)) << to_string(r);
+    }
+    EXPECT_EQ(a.lambda, b.lambda) << to_string(r);
+    EXPECT_GT(a.lambda, 0.0) << to_string(r);
+    EXPECT_LT(a.lambda, a.cluster.max_generic_rate()) << to_string(r);
+    for (const auto& s : a.cluster.servers()) {
+      EXPECT_LT(s.special_utilization(a.cluster.rbar()), 1.0) << to_string(r);
+    }
+  }
+}
+
+TEST(Generators, RegimesActuallyDiffer) {
+  const auto single = make_instance(Regime::SingleBlade, 1, queue::Discipline::Fcfs);
+  EXPECT_TRUE(single.cluster.all_single_blade());
+
+  const auto large = make_instance(Regime::LargeServers, 1, queue::Discipline::Fcfs);
+  for (const auto& s : large.cluster.servers()) EXPECT_GE(s.size(), 32u);
+
+  const auto sat = make_instance(Regime::NearSaturation, 1, queue::Discipline::Fcfs);
+  EXPECT_NEAR(sat.lambda / sat.cluster.max_generic_rate(), 0.995, 1e-12);
+
+  const auto mixed = make_instance(Regime::SizeExtremes, 1, queue::Discipline::Fcfs);
+  unsigned lo = ~0u, hi = 0;
+  for (const auto& s : mixed.cluster.servers()) {
+    lo = std::min(lo, s.size());
+    hi = std::max(hi, s.size());
+  }
+  EXPECT_EQ(lo, 1u);
+  EXPECT_GE(hi, 32u);
+}
+
+TEST(Metamorphic, TransformsPreserveStructure) {
+  const auto c = model::paper_example_cluster();
+  const auto perm = rotation(c.size(), 2);
+  const auto moved = permuted(c, perm);
+  ASSERT_EQ(moved.size(), c.size());
+  EXPECT_EQ(moved.server(0), c.server(perm[0]));
+
+  const auto scaled = speed_scaled(c, 2.0);
+  EXPECT_NEAR(scaled.total_speed(), 2.0 * c.total_speed(), 1e-12);
+  EXPECT_NEAR(scaled.max_generic_rate(), 2.0 * c.max_generic_rate(), 1e-9);
+
+  const auto split = split_server(c, 1);  // server 1 has m = 4
+  ASSERT_EQ(split.size(), c.size() + 1);
+  EXPECT_EQ(split.total_blades(), c.total_blades());
+  EXPECT_NEAR(split.total_special_rate(), c.total_special_rate(), 1e-12);
+
+  EXPECT_THROW((void)permuted(c, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)speed_scaled(c, 0.0), std::invalid_argument);
+  // Single-blade servers (m = 1) cannot be halved.
+  const auto single = make_instance(Regime::SingleBlade, 1, queue::Discipline::Fcfs);
+  EXPECT_THROW((void)split_server(single.cluster, 0), std::invalid_argument);
+}
+
+TEST(Oracles, ClosedFormPathEngagesOnlyForSingleBlade) {
+  const auto single = make_instance(Regime::SingleBlade, 2, queue::Discipline::Fcfs);
+  auto runs = run_solver_paths(single.cluster, single.discipline, single.lambda);
+  bool has_cf = false;
+  for (const auto& r : runs) has_cf = has_cf || r.name == "closed_form";
+  EXPECT_TRUE(has_cf);
+
+  const auto multi = make_instance(Regime::LargeServers, 2, queue::Discipline::Fcfs);
+  runs = run_solver_paths(multi.cluster, multi.discipline, multi.lambda);
+  for (const auto& r : runs) EXPECT_NE(r.name, "closed_form");
+}
+
+TEST(Oracles, CrossCheckFlagsACorruptedDistribution) {
+  const auto inst = make_instance(Regime::Random, 5, queue::Discipline::Fcfs);
+  // Sanity first: the honest solve passes.
+  EXPECT_TRUE(cross_check(inst.cluster, inst.discipline, inst.lambda).ok());
+  // A deliberately wrong "optimum" must be caught by the KKT oracle.
+  std::vector<double> bad(inst.cluster.size(), inst.lambda / inst.cluster.size());
+  bad[0] *= 1.5;
+  bad[1] *= 0.5;
+  const auto kkt = opt::verify_kkt(inst.cluster, inst.discipline, inst.lambda, bad, 1e-4);
+  EXPECT_FALSE(kkt.optimal());
+}
+
+TEST(Golden, NumericDiffToleratesFormattingNotValues) {
+  EXPECT_FALSE(csv_numeric_diff("a,1.0\n", "a,0.99999999\n", 1e-6).has_value());
+  EXPECT_FALSE(csv_numeric_diff("a,1.0\n", "a,1.000000e+00\n", 1e-6).has_value());
+  EXPECT_TRUE(csv_numeric_diff("a,1.0\n", "a,1.001\n", 1e-6).has_value());
+  EXPECT_TRUE(csv_numeric_diff("a,1.0\n", "b,1.0\n", 1e-6).has_value());
+  EXPECT_TRUE(csv_numeric_diff("a,1.0\n", "a,1.0,2.0\n", 1e-6).has_value());
+  EXPECT_TRUE(csv_numeric_diff("a,1.0\n", "a,1.0\nb,2.0\n", 1e-6).has_value());
+}
+
+TEST(Golden, FigureIdsAndRoundTrip) {
+  EXPECT_EQ(golden_figure_id(4), "fig04");
+  EXPECT_EQ(golden_figure_id(15), "fig15");
+  EXPECT_EQ(golden_figure_numbers().size(), 12u);
+}
+
+}  // namespace

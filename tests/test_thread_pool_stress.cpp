@@ -1,0 +1,193 @@
+// Deterministic concurrency stress for ThreadPool / parallel_for /
+// sweep, aimed at TSan (label: stress; registered only when
+// BLADE_ENABLE_STRESS_TESTS is ON -- the tsan preset turns it on).
+// Every scenario uses fixed task counts and verifies an exact invariant,
+// so a failure is a real synchronization bug, never timing flake:
+// concurrent producers, wait_idle racing submission, exceptions crossing
+// futures under load, tasks that submit tasks, concurrent parallel_for /
+// sweep callers on one pool, and destructor-drain semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace blade::par;
+
+constexpr int kProducers = 4;
+constexpr int kTasksPerProducer = 800;
+
+TEST(ThreadPoolStress, ConcurrentProducersAllTasksRunExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(kTasksPerProducer);
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        futures[p].push_back(pool.submit([&counter, t] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+          return t;
+        }));
+      }
+    });
+  }
+  for (auto& pr : producers) pr.join();
+  for (int p = 0; p < kProducers; ++p) {
+    for (int t = 0; t < kTasksPerProducer; ++t) EXPECT_EQ(futures[p][t].get(), t);
+  }
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, WaitIdleRacingSubmissionNeverMissesWork) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<bool> done{false};
+  // A drainer hammering wait_idle while producers submit; wait_idle must
+  // neither deadlock nor corrupt the in-flight accounting.
+  std::thread drainer([&] {
+    while (!done.load()) pool.wait_idle();
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        (void)pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& pr : producers) pr.join();
+  pool.wait_idle();  // all submissions happened-before this call
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+  done.store(true);
+  drainer.join();
+}
+
+TEST(ThreadPoolStress, ExceptionsCrossFuturesUnderLoad) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(2000);
+  for (int t = 0; t < 2000; ++t) {
+    futures.push_back(pool.submit([t]() -> int {
+      if (t % 7 == 0) throw std::runtime_error("stress");
+      return t;
+    }));
+  }
+  int thrown = 0;
+  for (int t = 0; t < 2000; ++t) {
+    try {
+      EXPECT_EQ(futures[t].get(), t);
+    } catch (const std::runtime_error&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 2000 / 7 + 1);
+  // The pool survives: it still runs work after a storm of exceptions.
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolStress, TasksSubmittingTasksDrainFully) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  // Each root task enqueues a chain of children from inside the pool
+  // (without blocking a worker on a child future, which could deadlock a
+  // finite pool). wait_idle must observe the whole cascade: while any
+  // parent runs, in_flight > 0, so the idle predicate cannot fire early.
+  constexpr int kRoots = 64;
+  constexpr int kDepth = 50;
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    if (depth > 0) (void)pool.submit([&spawn, depth] { spawn(depth - 1); });
+  };
+  for (int r = 0; r < kRoots; ++r) (void)pool.submit([&spawn] { spawn(kDepth); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kRoots * (kDepth + 1));
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallersOnOnePool) {
+  ThreadPool pool(4);
+  constexpr std::size_t kPerCaller = 20000;
+  constexpr int kCallers = 3;
+  std::vector<int> data(kCallers * kPerCaller, 0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      const std::size_t base = c * kPerCaller;
+      parallel_for(pool, base, base + kPerCaller, [&](std::size_t i) { data[i] = 1; });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0),
+            static_cast<int>(data.size()));
+}
+
+TEST(ThreadPoolStress, ParallelForExceptionLeavesPoolUsable) {
+  ThreadPool pool(4);
+  std::atomic<int> touched{0};
+  EXPECT_THROW(parallel_for(pool, 0, 5000,
+                            [&](std::size_t i) {
+                              touched.fetch_add(1, std::memory_order_relaxed);
+                              if (i == 2500) throw std::invalid_argument("stress");
+                            }),
+               std::invalid_argument);
+  // All chunks still completed or aborted cleanly; the pool is reusable.
+  std::atomic<int> after{0};
+  parallel_for(pool, 0, 1000, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 1000);
+}
+
+TEST(ThreadPoolStress, ConcurrentSweepsProduceExactResults) {
+  ThreadPool pool(4);
+  const auto grid = linspace(0.0, 1.0, 512);
+  std::vector<std::vector<double>> results(3);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    callers.emplace_back([&, c] {
+      results[c] = sweep(pool, grid, [c](double x) { return x * (1.0 + c); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    ASSERT_EQ(results[c].size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(results[c][i], grid[i] * (1.0 + c));
+    }
+  }
+}
+
+TEST(ThreadPoolStress, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 1000; ++t) {
+      (void)pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait: the destructor's contract is to drain, then join.
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolStress, PoolChurnConstructDestroyUnderWork) {
+  // Rapid construct/submit/destroy cycles: the join/drain handshake in
+  // the destructor must be airtight even when workers barely started.
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(3);
+    for (int t = 0; t < 40; ++t) {
+      (void)pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50 * 40);
+}
+
+}  // namespace

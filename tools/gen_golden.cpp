@@ -1,0 +1,41 @@
+// Regenerates the golden paper-regression files in tests/golden/:
+// Table 1, Table 2, and the Figure 4-15 data series, serialized through
+// the same tests/support/golden.hpp code that test_golden_paper replays.
+//
+//   usage: gen_golden [output-dir]      (default: tests/golden)
+//
+// Run this ONLY when an intentional numerical change shifts the paper's
+// results (and say so in the commit message); test_golden_paper failing
+// otherwise means a regression, not a stale golden.
+#include <iostream>
+#include <string>
+
+#include "cloud/experiments.hpp"
+#include "support/golden.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blade;
+  const std::string dir = argc > 1 ? argv[1] : "tests/golden";
+
+  try {
+    const auto table1 = cloud::example_table(queue::Discipline::Fcfs);
+    testsupport::write_file(dir + "/table1.csv", testsupport::table_csv(table1));
+    std::cout << "table1.csv: T' = " << table1.response_time << '\n';
+
+    const auto table2 = cloud::example_table(queue::Discipline::SpecialPriority);
+    testsupport::write_file(dir + "/table2.csv", testsupport::table_csv(table2));
+    std::cout << "table2.csv: T' = " << table2.response_time << '\n';
+
+    for (int number : testsupport::golden_figure_numbers()) {
+      const auto fig = cloud::figure(number, testsupport::kGoldenFigurePoints);
+      const std::string name = testsupport::golden_figure_id(number) + ".csv";
+      testsupport::write_file(dir + '/' + name, testsupport::figure_csv(fig));
+      std::cout << name << ": " << fig.series.size() << " series\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gen_golden: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "golden files written to " << dir << '\n';
+  return 0;
+}
