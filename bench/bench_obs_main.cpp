@@ -1,0 +1,23 @@
+// Shared main for the google-benchmark perf binaries. Identical to
+// benchmark_main, plus a self-recording hook: after the run, the global
+// obs registry (solver iteration counts, Erlang-C evaluation counts,
+// pool and simulator readings when BLADE_OBS=ON) is exported as
+// BENCH_<binary>.json next to the working directory, so every perf run
+// leaves a machine-readable trajectory point.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export.hpp"
+
+int main(int argc, char** argv) {
+  const std::string argv0 = argv[0];
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::string file = blade::obs::export_bench_json(argv0);
+  std::fprintf(stderr, "metrics: wrote %s\n", file.c_str());
+  return 0;
+}

@@ -5,11 +5,13 @@
 
 #include "core/optimizer.hpp"
 #include "model/paper_configs.hpp"
+#include "obs/export.hpp"
 #include "parallel/sweep.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
   using namespace blade;
   const auto groups = model::size_groups();
 
@@ -42,5 +44,6 @@ int main() {
     if (sum == 0.0) std::cout << "";  // keep the optimizer honest
   }
   std::cout << t.render() << '\n';
+  std::cerr << "metrics: wrote " << blade::obs::export_bench_json(argv[0]) << '\n';
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "cli/spec.hpp"
 #include "cloud/consolidation.hpp"
+#include "obs/build_info.hpp"
+#include "obs/export.hpp"
 #include "cloud/experiments.hpp"
 #include "cloud/series.hpp"
 #include "cloud/trace.hpp"
@@ -26,6 +28,7 @@ opt::LoadDistributionOptimizer make_solver(const model::Cluster& cluster,
                                            const CommonOptions& opts) {
   opt::OptimizerOptions oo;
   oo.service_scv = opts.service_scv;
+  oo.verbosity = opts.verbosity;
   return opt::LoadDistributionOptimizer(cluster, opts.discipline, oo);
 }
 
@@ -242,35 +245,17 @@ std::string usage() {
          "  --priority        special tasks get non-preemptive priority\n"
          "  --scv <x>         task-size SCV (default 1 = exponential)\n"
          "  --reps <n>        validate: replications (default 6)\n"
-         "  --seed <n>        validate: base seed (default 1)\n";
+         "  --seed <n>        validate: base seed (default 1)\n"
+         "  --verbose         solver convergence summaries on stderr\n"
+         "  --metrics-out <path>        export run metrics after the command\n"
+         "  --metrics-format <f>        json (default), prom, or csv\n"
+         "  --version         build attribution (git hash, compiler, BLADE_OBS)\n";
 }
 
-std::string run_cli(const std::vector<std::string>& args) {
-  std::vector<std::string> pos;
-  CommonOptions opts;
-  int reps = 6;
-  std::uint64_t seed = 1;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& a = args[i];
-    auto next = [&](const char* flag) -> std::string {
-      if (i + 1 >= args.size()) throw std::invalid_argument(std::string(flag) + " needs a value");
-      return args[++i];
-    };
-    if (a == "--priority") {
-      opts.discipline = queue::Discipline::SpecialPriority;
-    } else if (a == "--scv") {
-      opts.service_scv = std::stod(next("--scv"));
-    } else if (a == "--reps") {
-      reps = std::stoi(next("--reps"));
-    } else if (a == "--seed") {
-      seed = static_cast<std::uint64_t>(std::stoull(next("--seed")));
-    } else if (!a.empty() && a[0] == '-') {
-      throw std::invalid_argument("unknown flag '" + a + "'\n" + usage());
-    } else {
-      pos.push_back(a);
-    }
-  }
-  if (pos.empty()) throw std::invalid_argument(usage());
+namespace {
+
+std::string dispatch(const std::vector<std::string>& pos, const CommonOptions& opts, int reps,
+                     std::uint64_t seed) {
   const std::string& cmd = pos[0];
   auto need = [&](std::size_t n, const char* shape) {
     if (pos.size() != n) {
@@ -316,6 +301,54 @@ std::string run_cli(const std::vector<std::string>& args) {
                            std::stod(pos[4]), opts);
   }
   throw std::invalid_argument("unknown command '" + cmd + "'\n" + usage());
+}
+
+}  // namespace
+
+std::string run_cli(const std::vector<std::string>& args) {
+  std::vector<std::string> pos;
+  CommonOptions opts;
+  int reps = 6;
+  std::uint64_t seed = 1;
+  std::string metrics_out;
+  obs::ExportFormat metrics_format = obs::ExportFormat::Json;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) throw std::invalid_argument(std::string(flag) + " needs a value");
+      return args[++i];
+    };
+    if (a == "--priority") {
+      opts.discipline = queue::Discipline::SpecialPriority;
+    } else if (a == "--scv") {
+      opts.service_scv = std::stod(next("--scv"));
+    } else if (a == "--reps") {
+      reps = std::stoi(next("--reps"));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::stoull(next("--seed")));
+    } else if (a == "--verbose") {
+      opts.verbosity = 1;
+    } else if (a == "--metrics-out") {
+      metrics_out = next("--metrics-out");
+    } else if (a == "--metrics-format") {
+      metrics_format = obs::parse_export_format(next("--metrics-format"));
+    } else if (a == "--version") {
+      return obs::build_info_text();
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::invalid_argument("unknown flag '" + a + "'\n" + usage());
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.empty()) throw std::invalid_argument(usage());
+  std::string out = dispatch(pos, opts, reps, seed);
+  // Export after the command so the file reflects the whole run. Workers
+  // are idle here (every command drains its sweeps before returning), so
+  // the snapshot is an exact cut.
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out, metrics_format);
+  }
+  return out;
 }
 
 }  // namespace blade::cli

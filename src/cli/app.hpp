@@ -15,6 +15,7 @@ namespace blade::cli {
 struct CommonOptions {
   queue::Discipline discipline = queue::Discipline::Fcfs;
   double service_scv = 1.0;  ///< task-size variability (1 = exponential)
+  int verbosity = 0;         ///< --verbose: solver convergence summaries on stderr
 };
 
 /// `optimize`: solve one instance and print the paper-style table.

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "numerics/roots.hpp"
 #include "numerics/special.hpp"
+#include "obs/obs.hpp"
 
 namespace blade::opt {
 
@@ -31,6 +35,22 @@ double LoadDistribution::total_rate() const {
   num::KahanSum s;
   for (double r : rates) s.add(r);
   return s.value();
+}
+
+std::size_t LoadDistribution::active_servers() const noexcept {
+  std::size_t active = 0;
+  for (double r : rates) {
+    if (r > 0.0) ++active;
+  }
+  return active;
+}
+
+std::string LoadDistribution::summary() const {
+  std::ostringstream os;
+  os << std::setprecision(10) << "optimize: converged outer_it=" << outer_iterations
+     << " phi=" << phi << " active=" << active_servers() << "/" << rates.size()
+     << " inner_evals=" << inner_evaluations << " T'=" << response_time;
+  return os.str();
 }
 
 LoadDistributionOptimizer::LoadDistributionOptimizer(model::Cluster cluster, queue::Discipline d,
@@ -67,10 +87,17 @@ double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, st
   double ub = std::min(hard_ub, 1e-3 * sup);
   int guard = 0;
   while (g(ub) < phi) {
-    if (ub >= hard_ub) return hard_ub;  // saturated at this phi
+    if (ub >= hard_ub) {
+      BLADE_OBS_COUNT("optimizer.saturation_clamps");
+      return hard_ub;  // saturated at this phi
+    }
     ub = std::min(2.0 * ub, hard_ub);
     if (++guard > 200) {
-      throw num::RootFindingError("find_rate: failed to bracket lambda'_i");
+      std::ostringstream os;
+      os << std::setprecision(10) << "find_rate: failed to bracket lambda'_" << i
+         << " (phi=" << phi << ", sup=" << sup << ", ub=" << ub << " after " << guard
+         << " doublings)";
+      throw num::RootFindingError(os.str());
     }
   }
 
@@ -85,6 +112,8 @@ double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, st
     }
     ++it;
   }
+  BLADE_OBS_COUNT("optimizer.find_rate_calls");
+  BLADE_OBS_OBSERVE("optimizer.inner_iterations", it);
   return 0.5 * (lb + ub);
 }
 
@@ -94,8 +123,15 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
     throw std::invalid_argument("optimize: lambda' must be > 0");
   }
   if (lambda_total >= lambda_max) {
-    throw std::invalid_argument("optimize: lambda' >= lambda'_max (infeasible)");
+    std::ostringstream os;
+    os << std::setprecision(10) << "optimize: lambda'=" << lambda_total
+       << " >= lambda'_max=" << lambda_max << " (infeasible)";
+    throw std::invalid_argument(os.str());
   }
+
+  BLADE_OBS_SPAN("optimize");
+  BLADE_OBS_TIMER("optimizer.solve_seconds");
+  BLADE_OBS_COUNT("optimizer.solves");
 
   const ResponseTimeObjective obj(cluster_, discs_, lambda_total, opts_.service_scv);
   const std::size_t n = obj.size();
@@ -114,11 +150,17 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
   while (total_assigned(phi_ub) < lambda_total) {
     phi_ub *= 2.0;
     if (++expansions > 200) {
-      throw num::RootFindingError("optimize: failed to bracket phi");
+      std::ostringstream os;
+      os << std::setprecision(10) << "optimize: failed to bracket phi (lambda'=" << lambda_total
+         << ", lambda'_max=" << lambda_max << ", phi_ub=" << phi_ub << " after " << expansions
+         << " doublings)";
+      throw num::RootFindingError(os.str());
     }
   }
+  BLADE_OBS_COUNT_N("optimizer.phi_expansions", expansions);
 
-  // Outer bisection (lines (11)-(27)).
+  // Outer bisection (lines (11)-(27)). The bracket-width trace is the
+  // solver's convergence signature: geometric decay until phi_tolerance.
   double phi_lb = 0.0;
   int outer_it = 0;
   while (phi_ub - phi_lb > opts_.phi_tolerance && outer_it < opts_.max_iterations) {
@@ -129,6 +171,7 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
       phi_ub = mid;
     }
     ++outer_it;
+    BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it, phi_ub - phi_lb);
   }
   LoadDistribution out;
   out.phi = phi_ub;
@@ -183,6 +226,18 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
     out.response_times[i] = obj.queue(i).generic_response_time(out.rates[i]);
   }
   out.response_time = obj.value(out.rates);
+
+  BLADE_OBS_COUNT_N("optimizer.outer_iterations", outer_it);
+  BLADE_OBS_COUNT_N("optimizer.inner_evaluations", inner_evals);
+
+  if (opts_.verbosity >= 1) {
+    const std::string line = out.summary();
+    if (opts_.diagnostic_sink) {
+      opts_.diagnostic_sink(line);
+    } else {
+      std::clog << line << '\n';
+    }
+  }
   return out;
 }
 

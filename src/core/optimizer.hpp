@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/objective.hpp"
@@ -31,6 +33,14 @@ struct OptimizerOptions {
   /// exponential model, other values engage the Allen–Cunneen M/G/m
   /// approximation (used by the sensitivity ablation).
   double service_scv = 1.0;
+  /// Opt-in diagnostics: at >= 1 every optimize() call emits a one-line
+  /// convergence summary (LoadDistribution::summary()) so solver behavior
+  /// is visible without a debugger. 0 (default) stays silent.
+  int verbosity = 0;
+  /// Where verbose diagnostics go; std::clog when unset. Also receives
+  /// nothing on failure — failures carry their diagnostics inside the
+  /// thrown exception message instead.
+  std::function<void(const std::string&)> diagnostic_sink;
 
   /// Throws std::invalid_argument when any field is out of domain:
   /// tolerances must be > 0, max_iterations >= 1, saturation_margin in
@@ -49,6 +59,13 @@ struct LoadDistribution {
   long inner_evaluations = 0;        ///< total marginal-cost evaluations
 
   [[nodiscard]] double total_rate() const;
+
+  /// Servers with strictly positive generic load.
+  [[nodiscard]] std::size_t active_servers() const noexcept;
+
+  /// One-line convergence summary (iterations, final phi, active-server
+  /// count, objective) — what OptimizerOptions::verbosity >= 1 emits.
+  [[nodiscard]] std::string summary() const;
 };
 
 class LoadDistributionOptimizer {

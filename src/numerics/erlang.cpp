@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numerics/special.hpp"
+#include "obs/obs.hpp"
 
 namespace blade::num {
 
@@ -24,6 +25,7 @@ void check_rho(double rho) {
 double erlang_b(unsigned m, double a) {
   check_m(m);
   if (!(a >= 0.0)) throw std::invalid_argument("erlang_b: a must be >= 0");
+  BLADE_OBS_COUNT("numerics.erlang_b_evals");
   double b = 1.0;
   for (unsigned k = 1; k <= m; ++k) {
     b = a * b / (static_cast<double>(k) + a * b);
@@ -34,6 +36,7 @@ double erlang_b(unsigned m, double a) {
 double erlang_c(unsigned m, double rho) {
   check_m(m);
   check_rho(rho);
+  BLADE_OBS_COUNT("numerics.erlang_c_evals");
   if (rho == 0.0) return 0.0;
   const double a = static_cast<double>(m) * rho;
   const double b = erlang_b(m, a);
@@ -43,6 +46,7 @@ double erlang_c(unsigned m, double rho) {
 double erlang_c_drho(unsigned m, double rho) {
   check_m(m);
   check_rho(rho);
+  BLADE_OBS_COUNT("numerics.erlang_c_drho_evals");
   if (rho == 0.0) return m == 1 ? 1.0 : 0.0;
   const double a = static_cast<double>(m) * rho;
   const double b = erlang_b(m, a);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace blade::num {
 
 namespace {
@@ -62,6 +64,8 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
   res.f = f(res.x);
   res.iterations = it;
   res.expansions = expansions;
+  BLADE_OBS_COUNT("roots.solve_increasing_calls");
+  BLADE_OBS_OBSERVE("roots.solve_increasing_iterations", it);
   return res;
 }
 
@@ -87,6 +91,8 @@ RootResult bisect(const std::function<double(double)>& f, double a, double b,
     ++it;
   }
   const double x = 0.5 * (a + b);
+  BLADE_OBS_COUNT("roots.bisect_calls");
+  BLADE_OBS_OBSERVE("roots.bisect_iterations", it);
   return {x, f(x), it, 0, false};
 }
 
@@ -152,6 +158,8 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
     b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
     fb = f(b);
   }
+  BLADE_OBS_COUNT("roots.brent_calls");
+  BLADE_OBS_OBSERVE("roots.brent_iterations", it);
   return {b, fb, it, 0, false};
 }
 

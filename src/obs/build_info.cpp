@@ -1,0 +1,57 @@
+#include "obs/build_info.hpp"
+
+#include <sstream>
+
+// Configure-time values injected by src/CMakeLists.txt onto blade_obs.
+#ifndef BLADE_BUILD_GIT_HASH
+#define BLADE_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef BLADE_BUILD_TYPE
+#define BLADE_BUILD_TYPE "unknown"
+#endif
+#ifndef BLADE_BUILD_SANITIZE
+#define BLADE_BUILD_SANITIZE "OFF"
+#endif
+
+namespace blade::obs {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("Clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." + std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("GNU ") + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+         "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{BLADE_BUILD_GIT_HASH, detect_compiler(), BLADE_BUILD_TYPE,
+                              BLADE_BUILD_SANITIZE,
+#if defined(BLADE_OBS) && BLADE_OBS
+                              true
+#else
+                              false
+#endif
+  };
+  return info;
+}
+
+std::string build_info_text() {
+  const BuildInfo& b = build_info();
+  std::ostringstream os;
+  os << "bladecloud " << b.git_hash << '\n'
+     << "  compiler:   " << b.compiler << '\n'
+     << "  build type: " << b.build_type << '\n'
+     << "  BLADE_OBS:  " << (b.obs_enabled ? "ON" : "OFF") << '\n'
+     << "  sanitizer:  " << b.sanitize << '\n';
+  return os.str();
+}
+
+}  // namespace blade::obs

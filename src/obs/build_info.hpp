@@ -1,0 +1,24 @@
+// Build attribution for exported metrics: git revision, compiler, build
+// type, and the BLADE_OBS / sanitizer configuration. Every exporter
+// embeds this block so a BENCH_*.json or --metrics-out file can always be
+// traced back to the binary that produced it.
+#pragma once
+
+#include <string>
+
+namespace blade::obs {
+
+struct BuildInfo {
+  std::string git_hash;    ///< short revision at configure time ("unknown" outside git)
+  std::string compiler;    ///< e.g. "GNU 13.2.0" or "Clang 17.0.6"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string sanitize;    ///< BLADE_SANITIZE value (OFF, address, thread)
+  bool obs_enabled;        ///< true when compiled with BLADE_OBS=ON
+};
+
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+/// Human-readable multi-line rendering (the CLI's --version body).
+[[nodiscard]] std::string build_info_text();
+
+}  // namespace blade::obs

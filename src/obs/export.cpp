@@ -1,0 +1,205 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/build_info.hpp"
+#include "util/json.hpp"
+
+namespace blade::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+bool has_distribution(const MetricValue& m) {
+  return (m.kind == Kind::Histogram || m.kind == Kind::Timer) && m.hist.count() > 0;
+}
+
+/// Prometheus metric names: [a-zA-Z0-9_] with a library prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "blade_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_derived(util::JsonWriter& w, const Snapshot& snap) {
+  // Derived readings from well-known metric names (the instrumentation
+  // contract documented in docs/observability.md). Missing inputs simply
+  // omit the entry, so disabled builds export an empty object.
+  w.key("derived").begin_object();
+  const MetricValue* busy = snap.find("pool.task_run_seconds");
+  const MetricValue* threads = snap.find("pool.threads");
+  if (busy && threads && threads->value > 0.0 && snap.uptime_seconds > 0.0) {
+    w.key("pool.utilization")
+        .value(busy->hist.sum() / (threads->value * snap.uptime_seconds));
+  }
+  const MetricValue* events = snap.find("sim.events");
+  const MetricValue* run = snap.find("sim.run_seconds");
+  if (events && run && run->hist.sum() > 0.0) {
+    w.key("sim.events_per_second")
+        .value(static_cast<double>(events->count) / run->hist.sum());
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+ExportFormat parse_export_format(std::string_view s) {
+  if (s == "json") return ExportFormat::Json;
+  if (s == "prom") return ExportFormat::Prometheus;
+  if (s == "csv") return ExportFormat::Csv;
+  throw std::invalid_argument("metrics format must be json, prom, or csv (got '" +
+                              std::string(s) + "')");
+}
+
+std::string to_json(const Snapshot& snap) {
+  const BuildInfo& b = build_info();
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("build").begin_object();
+  w.key("git").value(b.git_hash);
+  w.key("compiler").value(b.compiler);
+  w.key("build_type").value(b.build_type);
+  w.key("sanitize").value(b.sanitize);
+  w.key("obs").value(b.obs_enabled);
+  w.end_object();
+  w.key("uptime_seconds").value(snap.uptime_seconds);
+  w.key("metrics").begin_array();
+  for (const MetricValue& m : snap.metrics) {
+    w.begin_object();
+    w.key("name").value(m.name);
+    w.key("kind").value(std::string(to_string(m.kind)));
+    switch (m.kind) {
+      case Kind::Counter: w.key("count").value(static_cast<long long>(m.count)); break;
+      case Kind::Gauge: w.key("value").value(m.value); break;
+      case Kind::Histogram:
+      case Kind::Timer: {
+        w.key("count").value(static_cast<long long>(m.hist.count()));
+        w.key("sum").value(m.hist.sum());
+        if (m.hist.count() > 0) {
+          w.key("mean").value(m.hist.mean());
+          w.key("p50").value(m.hist.quantile(0.5));
+          w.key("p90").value(m.hist.quantile(0.9));
+          w.key("p99").value(m.hist.quantile(0.99));
+        }
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("series").begin_array();
+  for (const SeriesValue& s : snap.series) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("dropped").value(static_cast<long long>(s.dropped));
+    w.key("points").begin_array();
+    for (const auto& [x, y] : s.points) {
+      w.begin_array().value(x).value(y).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  append_derived(w, snap);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::ostringstream os;
+  const BuildInfo& b = build_info();
+  os << "# bladecloud " << b.git_hash << " (" << b.build_type << ", BLADE_OBS "
+     << (b.obs_enabled ? "ON" : "OFF") << ")\n";
+  for (const MetricValue& m : snap.metrics) {
+    const std::string name = prom_name(m.name);
+    switch (m.kind) {
+      case Kind::Counter:
+        os << "# TYPE " << name << "_total counter\n"
+           << name << "_total " << m.count << '\n';
+        break;
+      case Kind::Gauge:
+        os << "# TYPE " << name << " gauge\n" << name << ' ' << format_double(m.value) << '\n';
+        break;
+      case Kind::Histogram:
+      case Kind::Timer: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < util::kLogBucketCount; ++b) {
+          const std::uint64_t n = m.hist.bucket_count(b);
+          if (n == 0) continue;  // cumulative counts stay valid over the edge subset
+          cum += n;
+          os << name << "_bucket{le=\"" << format_double(util::log_bucket_upper(b)) << "\"} "
+             << cum << '\n';
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << m.hist.count() << '\n'
+           << name << "_sum " << format_double(m.hist.sum()) << '\n'
+           << name << "_count " << m.hist.count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "name,kind,count,value,sum,mean,p50,p90,p99\n";
+  for (const MetricValue& m : snap.metrics) {
+    os << m.name << ',' << to_string(m.kind) << ',';
+    switch (m.kind) {
+      case Kind::Counter: os << m.count << ",,,,,,"; break;
+      case Kind::Gauge: os << ',' << format_double(m.value) << ",,,,,"; break;
+      case Kind::Histogram:
+      case Kind::Timer:
+        os << m.hist.count() << ",," << format_double(m.hist.sum()) << ',';
+        if (has_distribution(m)) {
+          os << format_double(m.hist.mean()) << ',' << format_double(m.hist.quantile(0.5)) << ','
+             << format_double(m.hist.quantile(0.9)) << ',' << format_double(m.hist.quantile(0.99));
+        } else {
+          os << ",,,";
+        }
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render(const Snapshot& snap, ExportFormat format) {
+  switch (format) {
+    case ExportFormat::Json: return to_json(snap);
+    case ExportFormat::Prometheus: return to_prometheus(snap);
+    case ExportFormat::Csv: return to_csv(snap);
+  }
+  throw std::logic_error("render: unknown export format");
+}
+
+void write_metrics_file(const std::string& path, ExportFormat format) {
+  const std::string body = render(registry().snapshot(), format);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("metrics export: cannot open '" + path + "'");
+  os << body;
+  if (!os) throw std::runtime_error("metrics export: write failed for '" + path + "'");
+}
+
+std::string export_bench_json(const std::string& argv0) {
+  std::string base = argv0;
+  const std::size_t slash = base.find_last_of("/\\");
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const std::string file = "BENCH_" + base + ".json";
+  write_metrics_file(file, ExportFormat::Json);
+  return file;
+}
+
+}  // namespace blade::obs

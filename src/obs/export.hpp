@@ -1,0 +1,35 @@
+// Exporters for obs::Snapshot: JSON (the canonical machine-readable
+// form, consumed by tools/obs_report and the BENCH_*.json trajectory),
+// Prometheus text exposition, and CSV. All three render the same merged
+// snapshot; JSON additionally carries build attribution, series, and a
+// small set of derived readings (pool utilization, simulator event
+// throughput) computed from well-known metric names.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace blade::obs {
+
+enum class ExportFormat { Json, Prometheus, Csv };
+
+/// Parses "json" / "prom" / "csv"; throws std::invalid_argument otherwise.
+[[nodiscard]] ExportFormat parse_export_format(std::string_view s);
+
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+[[nodiscard]] std::string to_csv(const Snapshot& snap);
+[[nodiscard]] std::string render(const Snapshot& snap, ExportFormat format);
+
+/// Flushes the calling thread, snapshots the global registry, and writes
+/// the rendering to `path` (throws std::runtime_error on I/O failure).
+void write_metrics_file(const std::string& path, ExportFormat format);
+
+/// Bench self-recording hook: writes BENCH_<basename(argv0)>.json in the
+/// current directory from a fresh global snapshot, so every bench run
+/// leaves a machine-readable perf record. Returns the file name written.
+std::string export_bench_json(const std::string& argv0);
+
+}  // namespace blade::obs

@@ -1,0 +1,279 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace blade::obs {
+
+std::string_view to_string(Kind k) noexcept {
+  switch (k) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+    case Kind::Timer: return "timer";
+  }
+  return "unknown";
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const noexcept {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const SeriesValue* Snapshot::find_series(std::string_view name) const noexcept {
+  for (const auto& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Per-thread accumulation cell. Channels are merged by the descriptor's
+/// kind at flush time, so the fast path never needs to consult the
+/// (mutex-guarded) descriptor table.
+struct Cell {
+  std::uint64_t count = 0;
+  double gauge = 0.0;
+  bool gauge_set = false;
+  std::unique_ptr<util::LogHistogram> hist;
+};
+
+struct ThreadSink {
+  std::vector<Cell> cells;
+  std::vector<MetricId> dirty;
+  std::vector<char> is_dirty;
+
+  ~ThreadSink();  // publishes leftover deltas (defined after Registry::Impl)
+
+  Cell& cell(MetricId id) {
+    if (id >= cells.size()) {
+      cells.resize(id + 1);
+      is_dirty.resize(id + 1, 0);
+    }
+    if (!is_dirty[id]) {
+      is_dirty[id] = 1;
+      dirty.push_back(id);
+    }
+    return cells[id];
+  }
+};
+
+ThreadSink& sink() {
+  thread_local ThreadSink t_sink;
+  return t_sink;
+}
+
+struct SeriesState {
+  std::string name;
+  std::size_t cap = kSeriesCapDefault;
+  std::vector<std::pair<double, double>> points;
+  std::uint64_t dropped = 0;
+};
+
+struct MergedCell {
+  std::uint64_t count = 0;
+  double value = 0.0;
+  util::LogHistogram hist;
+};
+
+}  // namespace
+
+namespace {
+// Set once when the (leaked) registry is created; lets the thread-local
+// sink destructor publish without touching Registry's private members.
+Registry::Impl* g_impl = nullptr;
+}  // namespace
+
+struct Registry::Impl {
+  std::mutex mu;
+  std::vector<std::pair<std::string, Kind>> descs;
+  std::unordered_map<std::string, MetricId> index;
+  std::vector<MergedCell> merged;
+  std::vector<SeriesState> series;
+  std::unordered_map<std::string, MetricId> series_index;
+  std::uint64_t start_ns = monotonic_ns();
+
+  // Merges and clears a sink; caller holds `mu`.
+  void merge_locked(ThreadSink& s) {
+    for (const MetricId id : s.dirty) {
+      Cell& c = s.cells[id];
+      MergedCell& m = merged[id];
+      switch (descs[id].second) {
+        case Kind::Counter: m.count += c.count; break;
+        case Kind::Gauge:
+          if (c.gauge_set) m.value = c.gauge;
+          break;
+        case Kind::Histogram:
+        case Kind::Timer:
+          if (c.hist) m.hist.merge(*c.hist);
+          break;
+      }
+      c.count = 0;
+      c.gauge_set = false;
+      if (c.hist) *c.hist = util::LogHistogram{};
+      s.is_dirty[id] = 0;
+    }
+    s.dirty.clear();
+  }
+};
+
+namespace {
+
+// The sink's owning thread is exiting: publish whatever it accumulated.
+// The registry (and g_impl) are leaked, so this is safe at any shutdown
+// stage; a non-empty dirty list implies the registry exists.
+ThreadSink::~ThreadSink() {
+  if (dirty.empty() || g_impl == nullptr) return;
+  const std::lock_guard lock(g_impl->mu);
+  g_impl->merge_locked(*this);
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    reg->impl_ = new Impl();
+    g_impl = reg->impl_;
+    return reg;
+  }();
+  return *r;
+}
+
+MetricId Registry::intern(std::string_view name, Kind kind) {
+  Impl& im = impl();
+  const std::lock_guard lock(im.mu);
+  const auto it = im.index.find(std::string(name));
+  if (it != im.index.end()) {
+    if (im.descs[it->second].second != kind) {
+      throw std::invalid_argument("obs::Registry::intern: kind mismatch for metric '" +
+                                  std::string(name) + "'");
+    }
+    return it->second;
+  }
+  const MetricId id = im.descs.size();
+  im.descs.emplace_back(std::string(name), kind);
+  im.merged.emplace_back();
+  im.index.emplace(std::string(name), id);
+  return id;
+}
+
+MetricId Registry::series(std::string_view name, std::size_t cap) {
+  Impl& im = impl();
+  const std::lock_guard lock(im.mu);
+  const auto it = im.series_index.find(std::string(name));
+  if (it != im.series_index.end()) return it->second;
+  const MetricId id = im.series.size();
+  SeriesState s;
+  s.name = std::string(name);
+  s.cap = cap == 0 ? 1 : cap;
+  im.series.push_back(std::move(s));
+  im.series_index.emplace(std::string(name), id);
+  return id;
+}
+
+void Registry::add(MetricId id, std::uint64_t n) noexcept { sink().cell(id).count += n; }
+
+void Registry::set(MetricId id, double v) noexcept {
+  Cell& c = sink().cell(id);
+  c.gauge = v;
+  c.gauge_set = true;
+}
+
+void Registry::observe(MetricId id, double v) noexcept {
+  Cell& c = sink().cell(id);
+  if (!c.hist) c.hist = std::make_unique<util::LogHistogram>();
+  c.hist->add(v);
+}
+
+void Registry::append(MetricId id, double x, double y) {
+  Impl& im = impl();
+  const std::lock_guard lock(im.mu);
+  if (id >= im.series.size()) return;
+  SeriesState& s = im.series[id];
+  if (s.points.size() < s.cap) {
+    s.points.emplace_back(x, y);
+  } else {
+    ++s.dropped;
+  }
+}
+
+void Registry::flush_this_thread() {
+  ThreadSink& s = sink();
+  if (s.dirty.empty()) return;
+  Impl& im = impl();
+  const std::lock_guard lock(im.mu);
+  im.merge_locked(s);
+}
+
+Snapshot Registry::snapshot() {
+  flush_this_thread();
+  Impl& im = impl();
+  const std::lock_guard lock(im.mu);
+  Snapshot snap;
+  snap.metrics.reserve(im.descs.size());
+  for (MetricId id = 0; id < im.descs.size(); ++id) {
+    MetricValue mv;
+    mv.name = im.descs[id].first;
+    mv.kind = im.descs[id].second;
+    mv.count = im.merged[id].count;
+    mv.value = im.merged[id].value;
+    mv.hist = im.merged[id].hist;
+    snap.metrics.push_back(std::move(mv));
+  }
+  snap.series.reserve(im.series.size());
+  for (const SeriesState& s : im.series) {
+    SeriesValue sv;
+    sv.name = s.name;
+    sv.points = s.points;
+    sv.dropped = s.dropped;
+    snap.series.push_back(std::move(sv));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  std::sort(snap.series.begin(), snap.series.end(),
+            [](const SeriesValue& a, const SeriesValue& b) { return a.name < b.name; });
+  snap.uptime_seconds = static_cast<double>(monotonic_ns() - im.start_ns) * 1e-9;
+  return snap;
+}
+
+void Registry::reset() {
+  // Discard the calling thread's unflushed deltas, then zero the merged
+  // state. Other threads must already be flushed (quiescent).
+  ThreadSink& s = sink();
+  for (const MetricId id : s.dirty) {
+    Cell& c = s.cells[id];
+    c.count = 0;
+    c.gauge_set = false;
+    if (c.hist) *c.hist = util::LogHistogram{};
+    s.is_dirty[id] = 0;
+  }
+  s.dirty.clear();
+  Impl& im = impl();
+  const std::lock_guard lock(im.mu);
+  for (MergedCell& m : im.merged) m = MergedCell{};
+  for (SeriesState& se : im.series) {
+    se.points.clear();
+    se.dropped = 0;
+  }
+}
+
+ScopedTimer::ScopedTimer(MetricId id) noexcept : id_(id), start_ns_(monotonic_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  registry().observe(id_, static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+}
+
+}  // namespace blade::obs

@@ -1,0 +1,146 @@
+// Low-overhead metrics registry: counters, gauges, fixed log-bucket
+// histograms, and wall-clock timers, plus bounded (x, y) series for
+// convergence traces and occupancy timelines.
+//
+// Concurrency model — thread-local accumulation with explicit merge:
+// every mutating fast-path operation (add/set/observe) writes plain
+// (non-atomic) cells in a per-thread sink and takes no lock. A thread
+// publishes its accumulated deltas by calling flush_this_thread(), which
+// merges the sink into the registry's global state under one mutex and
+// clears it; thread exit flushes automatically, and the ThreadPool
+// flushes after every task so pooled work is visible once the pool
+// drains. snapshot() flushes the calling thread, then returns the merged
+// state — it never reads another thread's live sink, so the whole scheme
+// is data-race-free by construction (TSan-verified by the stress suite).
+//
+// Hot paths reference metrics by MetricId (interned once per call site
+// through the BLADE_OBS_* macros in obs/obs.hpp); interning is the only
+// operation that ever takes the registry mutex on the fast path, and it
+// happens once per process per call site.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace blade::obs {
+
+enum class Kind { Counter, Gauge, Histogram, Timer };
+
+[[nodiscard]] std::string_view to_string(Kind k) noexcept;
+
+/// Stable dense index of an interned metric (or series) name.
+using MetricId = std::size_t;
+
+/// One merged metric in a snapshot. Counters use `count`; gauges use
+/// `value`; histograms and timers use `hist` (count/sum/quantiles).
+struct MetricValue {
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  util::LogHistogram hist;
+};
+
+/// A bounded (x, y) series: appended in program order, capped at the
+/// registration capacity; `dropped` counts points lost to the cap.
+struct SeriesValue {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+  std::uint64_t dropped = 0;
+};
+
+/// A merged, point-in-time view of the registry. Metrics and series are
+/// sorted by name so exports are deterministic.
+struct Snapshot {
+  std::vector<MetricValue> metrics;
+  std::vector<SeriesValue> series;
+  double uptime_seconds = 0.0;
+
+  /// Lookup helper for tests and report tools; nullptr when absent.
+  [[nodiscard]] const MetricValue* find(std::string_view name) const noexcept;
+  [[nodiscard]] const SeriesValue* find_series(std::string_view name) const noexcept;
+};
+
+/// Default cap on stored series points; appends past the cap only bump
+/// the drop counter, so a runaway trace cannot exhaust memory.
+inline constexpr std::size_t kSeriesCapDefault = 4096;
+
+class Registry {
+ public:
+  /// The process-wide registry. Intentionally leaked (the singleton stays
+  /// reachable from a static, so LeakSanitizer is silent) so that
+  /// thread-local sinks flushing at thread exit can never outlive it.
+  [[nodiscard]] static Registry& instance();
+
+  /// Interns `name` with the given kind, returning its stable id. Re-interning
+  /// the same name returns the same id; a kind mismatch throws
+  /// std::invalid_argument (one name, one meaning).
+  MetricId intern(std::string_view name, Kind kind);
+
+  /// Registers a series (bounded trace); same idempotence as intern().
+  MetricId series(std::string_view name, std::size_t cap = kSeriesCapDefault);
+
+  // Fast-path mutators: thread-local, lock-free, plain arithmetic.
+  void add(MetricId id, std::uint64_t n = 1) noexcept;  ///< counter += n
+  void set(MetricId id, double v) noexcept;             ///< gauge = v (last flush wins)
+  void observe(MetricId id, double v) noexcept;         ///< histogram/timer sample
+
+  /// Appends one point to a series. Unlike the metric mutators this takes
+  /// the registry mutex (traces are ordered, cross-thread streams), so
+  /// keep it off per-event paths — per-iteration granularity is fine.
+  void append(MetricId id, double x, double y);
+
+  /// Merges the calling thread's sink into the global state and clears it.
+  void flush_this_thread();
+
+  /// Flushes the calling thread, then returns the merged view. Deltas
+  /// accumulated by other threads since their last flush are not included;
+  /// quiesce writers (e.g. ThreadPool::wait_idle) for an exact cut.
+  [[nodiscard]] Snapshot snapshot();
+
+  /// Resets every value and series to zero while keeping registrations.
+  /// Writers must be quiescent (flushed) or their stale thread-local
+  /// deltas will resurface at the next flush. Test helper.
+  void reset();
+
+  /// Opaque internal state (public so the thread-exit hook in metrics.cpp
+  /// can name it; not part of the supported API).
+  struct Impl;
+
+ private:
+  Registry() = default;
+
+  [[nodiscard]] Impl& impl() noexcept { return *impl_; }
+
+  Impl* impl_ = nullptr;  // owned; never freed (see instance())
+};
+
+/// Shorthand for Registry::instance().
+[[nodiscard]] inline Registry& registry() { return Registry::instance(); }
+
+/// Scoped wall-clock timer: observes elapsed seconds into a Timer metric
+/// on destruction. Usable directly or through BLADE_OBS_TIMER().
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId id) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricId id_;
+  std::uint64_t start_ns_;
+};
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady clock).
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+}  // namespace blade::obs

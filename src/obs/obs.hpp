@@ -1,0 +1,92 @@
+// Umbrella header for hot-path instrumentation. Include this (and only
+// this) from instrumented code and use the BLADE_OBS_* macros; with the
+// build-time BLADE_OBS toggle OFF every macro expands to ((void)0) — no
+// registry reference, no clock read, no allocation — so uninstrumented
+// builds pay exactly nothing. With BLADE_OBS=ON each call site interns
+// its metric once (function-local static) and then performs a plain
+// thread-local update per hit.
+//
+//   BLADE_OBS_COUNT("optimizer.solves");             // counter += 1
+//   BLADE_OBS_COUNT_N("sim.events", batch);          // counter += n
+//   BLADE_OBS_GAUGE_SET("pool.threads", n);          // gauge = v
+//   BLADE_OBS_OBSERVE("pool.queue_depth", depth);    // histogram sample
+//   BLADE_OBS_TIMER("optimizer.solve_seconds");      // scoped wall timer
+//   BLADE_OBS_SPAN("optimize");                      // scoped nested span
+//   BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", x, y);  // trace point
+//
+// The registry API itself (obs/metrics.hpp) is always compiled and
+// linkable regardless of the toggle — the macros are the only layer that
+// vanishes — so exporters, tests, and tools work in every configuration.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if defined(BLADE_OBS) && BLADE_OBS
+#define BLADE_OBS_ENABLED 1
+#else
+#define BLADE_OBS_ENABLED 0
+#endif
+
+#define BLADE_OBS_CONCAT_IMPL(a, b) a##b
+#define BLADE_OBS_CONCAT(a, b) BLADE_OBS_CONCAT_IMPL(a, b)
+
+#if BLADE_OBS_ENABLED
+
+#define BLADE_OBS_COUNT_N(name, n)                                                   \
+  do {                                                                               \
+    static const ::blade::obs::MetricId blade_obs_id_ =                              \
+        ::blade::obs::registry().intern((name), ::blade::obs::Kind::Counter);        \
+    ::blade::obs::registry().add(blade_obs_id_, static_cast<std::uint64_t>(n));      \
+  } while (0)
+
+#define BLADE_OBS_COUNT(name) BLADE_OBS_COUNT_N(name, 1)
+
+#define BLADE_OBS_GAUGE_SET(name, v)                                                 \
+  do {                                                                               \
+    static const ::blade::obs::MetricId blade_obs_id_ =                              \
+        ::blade::obs::registry().intern((name), ::blade::obs::Kind::Gauge);          \
+    ::blade::obs::registry().set(blade_obs_id_, static_cast<double>(v));             \
+  } while (0)
+
+#define BLADE_OBS_OBSERVE(name, v)                                                   \
+  do {                                                                               \
+    static const ::blade::obs::MetricId blade_obs_id_ =                              \
+        ::blade::obs::registry().intern((name), ::blade::obs::Kind::Histogram);      \
+    ::blade::obs::registry().observe(blade_obs_id_, static_cast<double>(v));         \
+  } while (0)
+
+#define BLADE_OBS_TIMER(name)                                                        \
+  static const ::blade::obs::MetricId BLADE_OBS_CONCAT(blade_obs_timer_id_,          \
+                                                       __LINE__) =                   \
+      ::blade::obs::registry().intern((name), ::blade::obs::Kind::Timer);            \
+  const ::blade::obs::ScopedTimer BLADE_OBS_CONCAT(blade_obs_timer_, __LINE__)(      \
+      BLADE_OBS_CONCAT(blade_obs_timer_id_, __LINE__))
+
+#define BLADE_OBS_SPAN(name)                                                         \
+  const ::blade::obs::ScopedSpan BLADE_OBS_CONCAT(blade_obs_span_, __LINE__)(name)
+
+#define BLADE_OBS_SERIES_APPEND(name, x, y)                                          \
+  do {                                                                               \
+    static const ::blade::obs::MetricId blade_obs_id_ =                              \
+        ::blade::obs::registry().series(name);                                       \
+    ::blade::obs::registry().append(blade_obs_id_, static_cast<double>(x),           \
+                                    static_cast<double>(y));                         \
+  } while (0)
+
+/// Publishes the calling thread's accumulated deltas (cheap no-op when
+/// the thread touched nothing since its last flush).
+#define BLADE_OBS_FLUSH_THREAD() ::blade::obs::registry().flush_this_thread()
+
+#else  // !BLADE_OBS_ENABLED
+
+#define BLADE_OBS_COUNT_N(name, n) ((void)0)
+#define BLADE_OBS_COUNT(name) ((void)0)
+#define BLADE_OBS_GAUGE_SET(name, v) ((void)0)
+#define BLADE_OBS_OBSERVE(name, v) ((void)0)
+#define BLADE_OBS_TIMER(name) ((void)0)
+#define BLADE_OBS_SPAN(name) ((void)0)
+#define BLADE_OBS_SERIES_APPEND(name, x, y) ((void)0)
+#define BLADE_OBS_FLUSH_THREAD() ((void)0)
+
+#endif  // BLADE_OBS_ENABLED

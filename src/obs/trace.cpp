@@ -1,0 +1,44 @@
+#include "obs/trace.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace blade::obs {
+
+namespace {
+
+std::string& thread_path() {
+  thread_local std::string t_path;
+  return t_path;
+}
+
+// Path -> metric id, cached per thread so steady-state span entry never
+// touches the registry mutex.
+MetricId intern_span(const std::string& path) {
+  thread_local std::unordered_map<std::string, MetricId> t_cache;
+  const auto it = t_cache.find(path);
+  if (it != t_cache.end()) return it->second;
+  const MetricId id = registry().intern("span." + path, Kind::Timer);
+  t_cache.emplace(path, id);
+  return id;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  std::string& path = thread_path();
+  parent_len_ = path.size();
+  if (!path.empty()) path += '/';
+  path += name;
+  id_ = intern_span(path);
+  start_ns_ = monotonic_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  registry().observe(id_, static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+  thread_path().resize(parent_len_);
+}
+
+std::string_view current_span_path() { return thread_path(); }
+
+}  // namespace blade::obs

@@ -1,0 +1,39 @@
+// Scoped-span tracer for nested phases. Each thread maintains a span
+// path ("optimize/outer/extract"); entering a span pushes a segment and
+// leaving it records the elapsed wall time into a Timer metric named
+// "span.<path>". Aggregation therefore happens by full path, so the same
+// leaf under two parents stays distinguishable, and exports ride the
+// ordinary metric pipeline (JSON / Prometheus / CSV).
+//
+// Spans are meant for phase granularity (a solve, a simulation run, an
+// export), not per-event use: entering a span costs one TLS path append
+// plus, on first sight of a path, one interning. Use through
+// BLADE_OBS_SPAN() so disabled builds compile to nothing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace blade::obs {
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::size_t parent_len_;  ///< thread path length to restore on exit
+  MetricId id_;
+  std::uint64_t start_ns_;
+};
+
+/// The calling thread's current span path ("" outside any span). Exposed
+/// for tests and for attaching context to diagnostics.
+[[nodiscard]] std::string_view current_span_path();
+
+}  // namespace blade::obs

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace blade::par {
 
 class ThreadPool {
@@ -36,7 +38,14 @@ class ThreadPool {
     {
       const std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace_back([task] { (*task)(); });
+      QueueItem item;
+      item.fn = [task] { (*task)(); };
+#if BLADE_OBS_ENABLED
+      item.enqueued_ns = obs::monotonic_ns();
+#endif
+      queue_.push_back(std::move(item));
+      BLADE_OBS_COUNT("pool.tasks_submitted");
+      BLADE_OBS_OBSERVE("pool.queue_depth", queue_.size());
     }
     cv_.notify_one();
     return fut;
@@ -46,10 +55,19 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  // Timestamped only when BLADE_OBS is compiled in, so disabled builds
+  // keep the exact seed-task layout and pay no clock read per submit.
+  struct QueueItem {
+    std::function<void()> fn;
+#if BLADE_OBS_ENABLED
+    std::uint64_t enqueued_ns = 0;
+#endif
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueueItem> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

@@ -2,19 +2,25 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace blade::sim {
 
 EventId EventQueue::push(double t, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push(Entry{t, id, std::move(fn)});
   live_.insert(id);
+  BLADE_OBS_COUNT("sim.events_scheduled");
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
   // No-op for ids that already ran or were already cancelled, so callers
   // may keep stale handles safely.
-  if (live_.erase(id) > 0) cancelled_.insert(id);
+  if (live_.erase(id) > 0) {
+    cancelled_.insert(id);
+    BLADE_OBS_COUNT("sim.events_cancelled");
+  }
 }
 
 void EventQueue::skim() const {

@@ -19,6 +19,15 @@ void ServerSim::account_system_change(int delta) {
   system_integral_ += static_cast<double>(in_system_) * (now - last_sys_change_);
   last_sys_change_ = now;
   in_system_ = static_cast<unsigned>(static_cast<int>(in_system_) + delta);
+#if BLADE_OBS_ENABLED
+  // Per-transition occupancy sample (histogram is cheap, thread-local)
+  // plus a throttled (sim-time, occupancy) timeline: one point per 256
+  // transitions keeps the bounded series useful over long horizons.
+  BLADE_OBS_OBSERVE("sim.server_occupancy", static_cast<double>(in_system_));
+  if ((++obs_changes_ & 0xFFu) == 0) {
+    BLADE_OBS_SERIES_APPEND("sim.occupancy", now, static_cast<double>(in_system_));
+  }
+#endif
 }
 
 double ServerSim::time_avg_tasks(double t0, double t1) const {

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/task.hpp"
@@ -93,6 +94,9 @@ class ServerSim {
   double last_sys_change_ = 0.0;
   std::uint64_t completions_ = 0;
   std::uint64_t preemptions_ = 0;
+#if BLADE_OBS_ENABLED
+  std::uint64_t obs_changes_ = 0;  // throttles the occupancy timeline
+#endif
 };
 
 }  // namespace blade::sim

@@ -1,6 +1,7 @@
 #include "util/histogram.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace blade::util {
@@ -64,6 +65,67 @@ void Histogram::merge(const Histogram& other) {
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;
   total_ += other.total_;
+}
+
+std::size_t log_bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the underflow bucket
+  int exp = 0;
+  std::frexp(v, &exp);  // v = f * 2^exp with f in [0.5, 1), so v in [2^(exp-1), 2^exp)
+  const long b = static_cast<long>(exp) - kLogBucketMinExp;
+  if (b < 1) return 0;
+  if (b >= static_cast<long>(kLogBucketCount) - 1) return kLogBucketCount - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double log_bucket_lower(std::size_t b) noexcept {
+  if (b == 0) return 0.0;
+  return std::ldexp(1.0, kLogBucketMinExp + static_cast<int>(b) - 1);
+}
+
+double log_bucket_upper(std::size_t b) noexcept {
+  if (b + 1 >= kLogBucketCount) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kLogBucketMinExp + static_cast<int>(b));
+}
+
+void LogHistogram::add(double v) noexcept {
+  ++counts_[log_bucket_index(v)];
+  ++total_;
+  sum_ += v;
+}
+
+void LogHistogram::add_bucket(std::size_t b, std::uint64_t n, double sum) noexcept {
+  if (b >= kLogBucketCount || n == 0) return;
+  counts_[b] += n;
+  total_ += n;
+  sum_ += sum;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kLogBucketCount; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::quantile(double p) const {
+  if (total_ == 0) throw std::logic_error("LogHistogram::quantile: empty histogram");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("LogHistogram::quantile: p in [0,1]");
+  const double target = p * static_cast<double>(total_);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < kLogBucketCount; ++b) {
+    const double next = acc + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double lo = log_bucket_lower(b);
+      double hi = log_bucket_upper(b);
+      if (b == 0) return lo;  // underflow mass reports the floor
+      if (!std::isfinite(hi)) hi = 2.0 * lo;  // overflow: report within one octave
+      const double frac = (target - acc) / static_cast<double>(counts_[b]);
+      // Geometric interpolation: edges are exponential, so interpolate in
+      // log space for an estimate unbiased against the layout.
+      return lo * std::pow(hi / lo, frac);
+    }
+    acc = next;
+  }
+  return log_bucket_lower(kLogBucketCount - 1);
 }
 
 }  // namespace blade::util

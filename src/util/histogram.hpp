@@ -1,8 +1,13 @@
 // Fixed-bin histogram with an overflow bin and interpolated quantiles.
 // Used by the simulator to estimate response-time percentiles (the
 // priority-discipline generic class has no closed-form distribution).
+//
+// Also defines the process-wide log-bucket layout (one bucket per power
+// of two) shared by LogHistogram and the obs metrics subsystem, so every
+// histogram in an exported snapshot has identical, mergeable edges.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +45,60 @@ class Histogram {
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared log-bucket layout.
+//
+// Bucket b (1 <= b <= kLogBucketCount - 2) holds values in
+// [2^(kLogBucketMinExp + b - 1), 2^(kLogBucketMinExp + b)). Bucket 0 is the
+// underflow bucket (v < 2^kLogBucketMinExp, including 0 and negatives) and
+// the last bucket is the overflow bucket. The span 2^-40 .. 2^40 covers
+// sub-nanosecond timings up to ~10^12-count magnitudes with one layout, so
+// any two histograms merge bucket-wise with no edge negotiation.
+
+inline constexpr int kLogBucketMinExp = -40;
+inline constexpr std::size_t kLogBucketCount = 82;  // underflow + 80 octaves + overflow
+
+/// Bucket index for a sample (0 for v < 2^kLogBucketMinExp or non-finite
+/// negatives; the last bucket for anything at or beyond the top edge).
+[[nodiscard]] std::size_t log_bucket_index(double v) noexcept;
+
+/// Lower edge of bucket b; bucket 0 reports 0 (its mass is "below range").
+[[nodiscard]] double log_bucket_lower(std::size_t b) noexcept;
+
+/// Upper edge of bucket b (exclusive); the overflow bucket reports +inf.
+[[nodiscard]] double log_bucket_upper(std::size_t b) noexcept;
+
+/// Fixed-layout log-bucket histogram: every instance shares the global
+/// edges above, so merge is plain bucket-wise addition and thread-local
+/// shards can be combined without coordination. Tracks count and sum so
+/// means survive the bucketing exactly.
+class LogHistogram {
+ public:
+  void add(double v) noexcept;
+  /// Adds `n` samples already attributed to bucket `b` with total mass
+  /// `sum` (the merge primitive used by the obs thread-local sinks).
+  void add_bucket(std::size_t b, std::uint64_t n, double sum) noexcept;
+
+  void merge(const LogHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const { return counts_.at(b); }
+
+  /// Quantile estimate: geometric interpolation inside the containing
+  /// bucket (edges are exponential, so the geometric midpoint is the
+  /// unbiased choice). Requires count() > 0 and p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  std::array<std::uint64_t, kLogBucketCount> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace blade::util

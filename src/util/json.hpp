@@ -1,10 +1,13 @@
 // Minimal JSON emission (objects, arrays, strings, numbers, booleans) so
 // benches and the CLI can produce machine-readable results without an
-// external dependency. Writer-only by design: the library consumes specs
-// through the simpler cli::spec format.
+// external dependency, plus an equally minimal parser so the obs
+// exporters can be round-tripped (tools/obs_report, exporter tests). The
+// library still consumes specs through the simpler cli::spec format.
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace blade::util {
@@ -52,5 +55,31 @@ class JsonWriter {
   std::vector<bool> first_;  // first element of each open scope
   bool wrote_root_ = false;
 };
+
+/// A parsed JSON document node. Numbers are always doubles (the exporters
+/// emit nothing wider than 2^53); objects preserve insertion order.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::Null; }
+
+  /// Member lookup for objects; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Member access that throws std::out_of_range when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses a complete JSON document (throws std::invalid_argument on any
+/// syntax error or trailing garbage). Accepts exactly what JsonWriter
+/// emits plus standard whitespace and unicode escapes.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace blade::util

@@ -4,9 +4,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "cli/app.hpp"
 #include "cli/spec.hpp"
+#include "obs/build_info.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -210,6 +213,56 @@ TEST_F(CliDriver, BadInvocationsThrowWithUsage) {
   EXPECT_THROW((void)cli::run_cli({"optimize", path_}), std::invalid_argument);
   EXPECT_THROW((void)cli::run_cli({"optimize", path_, "8.0", "--wat"}), std::invalid_argument);
   EXPECT_THROW((void)cli::run_cli({"optimize", "/missing.spec", "8.0"}), cli::SpecError);
+}
+
+TEST(App, VersionFlagPrintsBuildInfo) {
+  // --version short-circuits the command dispatch entirely.
+  const auto out = cli::run_cli({"--version"});
+  EXPECT_NE(out.find("bladecloud"), std::string::npos);
+  EXPECT_NE(out.find("BLADE_OBS"), std::string::npos);
+  EXPECT_NE(out.find(obs::build_info().git_hash), std::string::npos);
+}
+
+TEST_F(CliDriver, MetricsOutWritesParseableJson) {
+  const std::string mpath = ::testing::TempDir() + "cli_metrics.json";
+  const auto out = cli::run_cli({"optimize", path_, "8.0", "--metrics-out", mpath});
+  EXPECT_NE(out.find("minimized T'"), std::string::npos);
+  std::ifstream in(mpath);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = util::parse_json(buf.str());
+  EXPECT_EQ(doc.at("build").at("obs").boolean, obs::build_info().obs_enabled);
+  if (obs::build_info().obs_enabled) {
+    bool saw_solves = false;
+    for (const auto& m : doc.at("metrics").array) {
+      if (m.at("name").string == "optimizer.solves") saw_solves = true;
+    }
+    EXPECT_TRUE(saw_solves);
+  }
+  std::remove(mpath.c_str());
+}
+
+TEST_F(CliDriver, MetricsFormatSelectsRenderer) {
+  const std::string mpath = ::testing::TempDir() + "cli_metrics.csv";
+  (void)cli::run_cli({"optimize", path_, "8.0", "--metrics-out", mpath, "--metrics-format",
+                      "csv"});
+  std::ifstream in(mpath);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "name,kind,count,value,sum,mean,p50,p90,p99");
+  std::remove(mpath.c_str());
+  EXPECT_THROW((void)cli::run_cli({"optimize", path_, "8.0", "--metrics-out", mpath,
+                                   "--metrics-format", "yaml"}),
+               std::invalid_argument);
+}
+
+TEST_F(CliDriver, VerboseFlagStillReturnsTheReport) {
+  // --verbose routes solver summaries to stderr; the report is unchanged.
+  const auto quiet = cli::run_cli({"optimize", path_, "8.0"});
+  const auto loud = cli::run_cli({"optimize", path_, "8.0", "--verbose"});
+  EXPECT_EQ(quiet, loud);
 }
 
 }  // namespace

@@ -1,0 +1,320 @@
+// The instrumentation subsystem: log-bucket histograms, the metrics
+// registry (thread-local accumulation + explicit merge), the scoped-span
+// tracer, the three exporters (round-tripped through the util JSON
+// parser), and the BLADE_OBS compile-time toggle itself — the same suite
+// passes with the toggle ON and OFF, asserting presence or absence of
+// the macro-produced metrics accordingly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "obs/build_info.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace blade;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  // Each test starts from zeroed values. Registrations (and series caps)
+  // survive reset by design, so metric names stay unique per test where
+  // the registration parameters matter.
+  void SetUp() override { obs::registry().reset(); }
+};
+
+TEST(LogBucketLayout, IndexAndEdgesAgree) {
+  for (const double v : {1e-11, 1e-3, 0.5, 1.0, 1.5, 2.0, 3.0, 1000.0, 1e12}) {
+    const std::size_t b = util::log_bucket_index(v);
+    ASSERT_LT(b, util::kLogBucketCount);
+    if (b > 0 && b + 1 < util::kLogBucketCount) {
+      EXPECT_LE(util::log_bucket_lower(b), v) << v;
+      EXPECT_LT(v, util::log_bucket_upper(b)) << v;
+    }
+  }
+  // Non-positive and tiny values land in the underflow bucket; huge ones
+  // in the overflow bucket.
+  EXPECT_EQ(util::log_bucket_index(0.0), 0u);
+  EXPECT_EQ(util::log_bucket_index(-3.0), 0u);
+  EXPECT_EQ(util::log_bucket_index(1e300), util::kLogBucketCount - 1);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedAdd) {
+  util::LogHistogram a;
+  util::LogHistogram b;
+  util::LogHistogram all;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = 0.001 * static_cast<double>(i * i);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  for (std::size_t bk = 0; bk < util::kLogBucketCount; ++bk) {
+    EXPECT_EQ(a.bucket_count(bk), all.bucket_count(bk)) << "bucket " << bk;
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), all.quantile(0.5));
+}
+
+TEST(LogHistogram, QuantilesAreMonotoneAndBracketTheData) {
+  util::LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  double prev = 0.0;
+  for (const double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  // Power-of-two buckets resolve any quantile to within one octave.
+  EXPECT_GE(h.quantile(0.5), 250.0);
+  EXPECT_LE(h.quantile(0.5), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+}
+
+TEST_F(ObsTest, CounterGaugeHistogramThroughSnapshot) {
+  obs::Registry& r = obs::registry();
+  const obs::MetricId c = r.intern("obs_test.counter", obs::Kind::Counter);
+  const obs::MetricId g = r.intern("obs_test.gauge", obs::Kind::Gauge);
+  const obs::MetricId h = r.intern("obs_test.hist", obs::Kind::Histogram);
+  r.add(c);
+  r.add(c, 41);
+  r.set(g, 2.0);
+  r.set(g, 7.5);  // last write wins
+  for (int i = 0; i < 10; ++i) r.observe(h, 4.0);
+  const obs::Snapshot snap = r.snapshot();
+  ASSERT_NE(snap.find("obs_test.counter"), nullptr);
+  EXPECT_EQ(snap.find("obs_test.counter")->count, 42u);
+  EXPECT_DOUBLE_EQ(snap.find("obs_test.gauge")->value, 7.5);
+  const obs::MetricValue* hv = snap.find("obs_test.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->hist.count(), 10u);
+  EXPECT_DOUBLE_EQ(hv->hist.sum(), 40.0);
+  EXPECT_GE(hv->hist.quantile(0.5), 4.0);
+  EXPECT_LE(hv->hist.quantile(0.5), 8.0);
+}
+
+TEST_F(ObsTest, InternIsIdempotentAndKindChecked) {
+  obs::Registry& r = obs::registry();
+  const obs::MetricId id = r.intern("obs_test.kind", obs::Kind::Counter);
+  EXPECT_EQ(r.intern("obs_test.kind", obs::Kind::Counter), id);
+  EXPECT_THROW((void)r.intern("obs_test.kind", obs::Kind::Gauge), std::invalid_argument);
+}
+
+TEST_F(ObsTest, SeriesRespectsCapAndCountsDrops) {
+  obs::Registry& r = obs::registry();
+  const obs::MetricId s = r.series("obs_test.series_capped", 4);
+  for (int i = 0; i < 6; ++i) r.append(s, static_cast<double>(i), 2.0 * i);
+  const obs::Snapshot snap = r.snapshot();
+  const obs::SeriesValue* sv = snap.find_series("obs_test.series_capped");
+  ASSERT_NE(sv, nullptr);
+  ASSERT_EQ(sv->points.size(), 4u);
+  EXPECT_EQ(sv->dropped, 2u);
+  EXPECT_DOUBLE_EQ(sv->points[3].first, 3.0);
+  EXPECT_DOUBLE_EQ(sv->points[3].second, 6.0);
+}
+
+TEST_F(ObsTest, ThreadExitPublishesAccumulatedDeltas) {
+  obs::Registry& r = obs::registry();
+  const obs::MetricId c = r.intern("obs_test.threads_counter", obs::Kind::Counter);
+  constexpr int kThreads = 4;
+  constexpr int kHits = 10000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kHits; ++i) r.add(c);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(r.snapshot().find("obs_test.threads_counter")->count,
+            static_cast<std::uint64_t>(kThreads) * kHits);
+}
+
+TEST_F(ObsTest, ThreadPoolFlushesAfterEveryTask) {
+  obs::Registry& r = obs::registry();
+  const obs::MetricId h = r.intern("obs_test.pool_hist", obs::Kind::Histogram);
+  par::ThreadPool pool(3);
+  constexpr int kTasks = 64;
+  std::vector<std::future<void>> futs;
+  futs.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futs.push_back(pool.submit([&r, h, i] { r.observe(h, 1.0 + i); }));
+  }
+  for (auto& f : futs) f.get();
+  pool.wait_idle();
+  // Workers flush after each task, so a main-thread snapshot taken while
+  // the pool is idle must already see every sample — no thread exit needed.
+  EXPECT_EQ(r.snapshot().find("obs_test.pool_hist")->hist.count(),
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST_F(ObsTest, JsonExportRoundTrips) {
+  obs::Registry& r = obs::registry();
+  r.add(r.intern("obs_test.rt_counter", obs::Kind::Counter), 13);
+  r.set(r.intern("obs_test.rt_gauge", obs::Kind::Gauge), 3.25);
+  const obs::MetricId h = r.intern("obs_test.rt_timer", obs::Kind::Timer);
+  r.observe(h, 0.5);
+  r.observe(h, 2.0);
+  const obs::MetricId s = r.series("obs_test.rt_series");
+  r.append(s, 1.0, 10.0);
+  r.append(s, 2.0, 5.0);
+
+  const util::JsonValue doc = util::parse_json(obs::to_json(r.snapshot()));
+  const util::JsonValue& build = doc.at("build");
+  EXPECT_EQ(build.at("obs").boolean, obs::build_info().obs_enabled);
+  EXPECT_FALSE(build.at("compiler").string.empty());
+  EXPECT_GT(doc.at("uptime_seconds").number, 0.0);
+
+  auto metric = [&](const std::string& name) -> const util::JsonValue* {
+    for (const util::JsonValue& m : doc.at("metrics").array) {
+      if (m.at("name").string == name) return &m;
+    }
+    return nullptr;
+  };
+  const util::JsonValue* counter = metric("obs_test.rt_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->at("kind").string, "counter");
+  EXPECT_DOUBLE_EQ(counter->at("count").number, 13.0);
+  EXPECT_DOUBLE_EQ(metric("obs_test.rt_gauge")->at("value").number, 3.25);
+  const util::JsonValue* timer = metric("obs_test.rt_timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_DOUBLE_EQ(timer->at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(timer->at("sum").number, 2.5);
+  EXPECT_GT(timer->at("p99").number, timer->at("p50").number - 1e-12);
+
+  const util::JsonValue* series = nullptr;
+  for (const util::JsonValue& sv : doc.at("series").array) {
+    if (sv.at("name").string == "obs_test.rt_series") series = &sv;
+  }
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->at("points").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(series->at("points").array[1].array[0].number, 2.0);
+  EXPECT_DOUBLE_EQ(series->at("points").array[1].array[1].number, 5.0);
+}
+
+TEST_F(ObsTest, PrometheusExportExposesAllKinds) {
+  obs::Registry& r = obs::registry();
+  r.add(r.intern("obs_test.prom_counter", obs::Kind::Counter), 9);
+  r.set(r.intern("obs_test.prom_gauge", obs::Kind::Gauge), 1.5);
+  const obs::MetricId h = r.intern("obs_test.prom_hist", obs::Kind::Histogram);
+  r.observe(h, 0.25);
+  r.observe(h, 8.0);
+  const std::string text = obs::to_prometheus(r.snapshot());
+  EXPECT_NE(text.find("blade_obs_test_prom_counter_total 9"), std::string::npos);
+  EXPECT_NE(text.find("blade_obs_test_prom_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("blade_obs_test_prom_hist_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("blade_obs_test_prom_hist_sum 8.25"), std::string::npos);
+  EXPECT_NE(text.find("blade_obs_test_prom_hist_count 2"), std::string::npos);
+}
+
+TEST_F(ObsTest, CsvExportParsesBack) {
+  obs::Registry& r = obs::registry();
+  r.add(r.intern("obs_test.csv_counter", obs::Kind::Counter), 21);
+  const std::string text = obs::to_csv(r.snapshot());
+  ASSERT_EQ(text.rfind("name,kind,count,value,sum,mean,p50,p90,p99\n", 0), 0u);
+  bool found = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.rfind("obs_test.csv_counter,", 0) == 0) {
+      EXPECT_EQ(line, "obs_test.csv_counter,counter,21,,,,,,");
+      found = true;
+    }
+    pos = eol + 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsExport, FormatParsing) {
+  EXPECT_EQ(obs::parse_export_format("json"), obs::ExportFormat::Json);
+  EXPECT_EQ(obs::parse_export_format("prom"), obs::ExportFormat::Prometheus);
+  EXPECT_EQ(obs::parse_export_format("csv"), obs::ExportFormat::Csv);
+  EXPECT_THROW((void)obs::parse_export_format("yaml"), std::invalid_argument);
+}
+
+TEST(ObsBuildInfo, ReflectsCompileTimeToggle) {
+  EXPECT_EQ(obs::build_info().obs_enabled, BLADE_OBS_ENABLED != 0);
+  const std::string text = obs::build_info_text();
+  EXPECT_NE(text.find("bladecloud "), std::string::npos);
+  EXPECT_NE(text.find(BLADE_OBS_ENABLED ? "BLADE_OBS:  ON" : "BLADE_OBS:  OFF"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, MacrosRespectTheCompileTimeToggle) {
+  BLADE_OBS_COUNT("obs_test.macro_count");
+  BLADE_OBS_OBSERVE("obs_test.macro_sample", 1.25);
+  const obs::Snapshot snap = obs::registry().snapshot();
+#if BLADE_OBS_ENABLED
+  ASSERT_NE(snap.find("obs_test.macro_count"), nullptr);
+  EXPECT_EQ(snap.find("obs_test.macro_count")->count, 1u);
+  ASSERT_NE(snap.find("obs_test.macro_sample"), nullptr);
+  EXPECT_EQ(snap.find("obs_test.macro_sample")->hist.count(), 1u);
+#else
+  // With BLADE_OBS off the macros expand to ((void)0): nothing interned.
+  EXPECT_EQ(snap.find("obs_test.macro_count"), nullptr);
+  EXPECT_EQ(snap.find("obs_test.macro_sample"), nullptr);
+#endif
+}
+
+TEST_F(ObsTest, SpanTimerNestsByPath) {
+  EXPECT_EQ(obs::current_span_path(), "");
+  {
+    obs::ScopedSpan outer("solve");
+    EXPECT_EQ(obs::current_span_path(), "solve");
+    {
+      obs::ScopedSpan inner("extract");
+      EXPECT_EQ(obs::current_span_path(), "solve/extract");
+    }
+    EXPECT_EQ(obs::current_span_path(), "solve");
+  }
+  EXPECT_EQ(obs::current_span_path(), "");
+  const obs::Snapshot snap = obs::registry().snapshot();
+  ASSERT_NE(snap.find("span.solve"), nullptr);
+  EXPECT_EQ(snap.find("span.solve")->hist.count(), 1u);
+  ASSERT_NE(snap.find("span.solve/extract"), nullptr);
+}
+
+TEST_F(ObsTest, OptimizerEmitsConvergenceDiagnostics) {
+  const model::Cluster c({model::BladeServer(4, 1.0, 1.0)}, 1.0);
+  opt::OptimizerOptions oo;
+  oo.verbosity = 1;
+  std::vector<std::string> lines;
+  oo.diagnostic_sink = [&](const std::string& s) { lines.push_back(s); };
+  const opt::LoadDistributionOptimizer solver(c, queue::Discipline::Fcfs, oo);
+  const auto sol = solver.optimize(2.0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("optimize: converged"), std::string::npos);
+  EXPECT_EQ(lines[0], sol.summary());
+
+  const obs::Snapshot snap = obs::registry().snapshot();
+#if BLADE_OBS_ENABLED
+  ASSERT_NE(snap.find("optimizer.solves"), nullptr);
+  EXPECT_GE(snap.find("optimizer.solves")->count, 1u);
+  ASSERT_NE(snap.find("numerics.erlang_c_evals"), nullptr);
+  EXPECT_GT(snap.find("numerics.erlang_c_evals")->count, 0u);
+  const obs::SeriesValue* trace = snap.find_series("optimizer.phi_bracket");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_GT(trace->points.size(), 1u);
+  // Bisection halves the bracket: the trace must decay monotonically.
+  for (std::size_t i = 1; i < trace->points.size(); ++i) {
+    EXPECT_LE(trace->points[i].second, trace->points[i - 1].second);
+  }
+#else
+  EXPECT_EQ(snap.find("optimizer.solves"), nullptr);
+#endif
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/sweep.hpp"
 #include "parallel/thread_pool.hpp"
@@ -175,6 +176,43 @@ TEST(ThreadPoolStress, DestructorDrainsQueuedWork) {
     // No wait: the destructor's contract is to drain, then join.
   }
   EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolStress, ObsRegistryMergeUnderPoolLoad) {
+  // The metrics registry's concurrency contract under fire: pooled tasks
+  // hammer thread-local counters/histograms (workers flush after every
+  // task) while the main thread concurrently takes snapshots. TSan must
+  // stay silent, and once the pool drains the merged counter must equal
+  // the exact number of updates.
+  blade::obs::Registry& r = blade::obs::registry();
+  r.reset();
+  const auto counter = r.intern("stress.obs_counter", blade::obs::Kind::Counter);
+  const auto hist = r.intern("stress.obs_hist", blade::obs::Kind::Histogram);
+  ThreadPool pool(4);
+  constexpr int kTasks = 4000;
+  constexpr int kHitsPerTask = 25;
+  for (int t = 0; t < kTasks; ++t) {
+    (void)pool.submit([&r, counter, hist, t] {
+      for (int i = 0; i < kHitsPerTask; ++i) {
+        r.add(counter);
+        r.observe(hist, 1.0 + static_cast<double>((t + i) % 7));
+      }
+    });
+    if (t % 256 == 0) {
+      // Concurrent reader: sees only merged (flushed) state, any value
+      // between 0 and the final total is legal — the point is no race.
+      const auto snap = r.snapshot();
+      const auto* mv = snap.find("stress.obs_counter");
+      ASSERT_NE(mv, nullptr);
+      EXPECT_LE(mv->count, static_cast<std::uint64_t>(kTasks) * kHitsPerTask);
+    }
+  }
+  pool.wait_idle();
+  const auto snap = r.snapshot();
+  EXPECT_EQ(snap.find("stress.obs_counter")->count,
+            static_cast<std::uint64_t>(kTasks) * kHitsPerTask);
+  EXPECT_EQ(snap.find("stress.obs_hist")->hist.count(),
+            static_cast<std::uint64_t>(kTasks) * kHitsPerTask);
 }
 
 TEST(ThreadPoolStress, PoolChurnConstructDestroyUnderWork) {

@@ -1,0 +1,124 @@
+// Pretty-printer for obs metrics exports: the JSON files written by
+// `bladecli --metrics-out run.json` and by the perf benches
+// (BENCH_<name>.json). Renders the build attribution, a metric table,
+// the derived readings, and a one-line summary per series.
+//
+//   obs_report BENCH_bench_optimizer_perf.json [more.json ...]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using blade::util::JsonValue;
+
+std::string sig(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string field(const JsonValue& m, const char* key) {
+  const JsonValue* v = m.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::Number) ? sig(v->number) : "--";
+}
+
+int report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "obs_report: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = blade::util::parse_json(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "obs_report: " << path << ": " << e.what() << '\n';
+    return 1;
+  }
+
+  std::cout << "== " << path << " ==\n";
+  if (const JsonValue* b = doc.find("build")) {
+    auto s = [&](const char* k) {
+      const JsonValue* v = b->find(k);
+      return (v != nullptr && v->type == JsonValue::Type::String) ? v->string : std::string("?");
+    };
+    const JsonValue* obs = b->find("obs");
+    std::cout << "build: git " << s("git") << ", " << s("compiler") << ", " << s("build_type")
+              << ", sanitize " << s("sanitize") << ", obs "
+              << ((obs != nullptr && obs->boolean) ? "ON" : "OFF") << '\n';
+  }
+  if (const JsonValue* up = doc.find("uptime_seconds")) {
+    std::cout << "uptime: " << sig(up->number) << " s\n";
+  }
+
+  blade::util::Table t({"metric", "kind", "count", "value/mean", "p50", "p99"});
+  t.set_align(0, blade::util::Align::Left);
+  t.set_align(1, blade::util::Align::Left);
+  if (const JsonValue* ms = doc.find("metrics")) {
+    for (const JsonValue& m : ms->array) {
+      const JsonValue* name = m.find("name");
+      const JsonValue* kind = m.find("kind");
+      const std::string k = (kind != nullptr) ? kind->string : "?";
+      const std::string center = (k == "gauge") ? field(m, "value") : field(m, "mean");
+      t.add_row({name != nullptr ? name->string : "?", k, field(m, "count"), center,
+                 field(m, "p50"), field(m, "p99")});
+    }
+  }
+  std::cout << '\n' << t.render();
+
+  if (const JsonValue* d = doc.find("derived")) {
+    if (!d->object.empty()) {
+      std::cout << "\nderived:\n";
+      for (const auto& [k, v] : d->object) {
+        std::cout << "  " << k << " = " << sig(v.number) << '\n';
+      }
+    }
+  }
+  if (const JsonValue* series = doc.find("series")) {
+    if (!series->array.empty()) {
+      std::cout << "\nseries:\n";
+      for (const JsonValue& s : series->array) {
+        const JsonValue* name = s.find("name");
+        const JsonValue* pts = s.find("points");
+        const JsonValue* dropped = s.find("dropped");
+        const std::size_t n = (pts != nullptr) ? pts->array.size() : 0;
+        std::cout << "  " << (name != nullptr ? name->string : "?") << ": " << n << " points";
+        if (dropped != nullptr && dropped->number > 0.0) {
+          std::cout << " (+" << sig(dropped->number) << " dropped)";
+        }
+        if (n > 0 && pts->array.back().array.size() == 2) {
+          const JsonValue& last = pts->array.back();
+          std::cout << ", last (" << sig(last.array[0].number) << ", "
+                    << sig(last.array[1].number) << ')';
+        }
+        std::cout << '\n';
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: obs_report <metrics.json> [more.json ...]\n"
+                 "pretty-prints a --metrics-out or BENCH_*.json export\n";
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) std::cout << '\n';
+    rc |= report(argv[i]);
+  }
+  return rc;
+}
