@@ -1,0 +1,75 @@
+// Scaling microbenchmarks for the solver hot path: warm-start chains
+// over batch sizes 10..5000, optimize_many thread scaling, and a cold
+// single-solve reference. Runs through bench_obs_main, so each run
+// writes BENCH_bench_solver_scaling.json with the numerics/optimizer
+// counters; CI's perf-smoke step ratios numerics.erlang_c_evals per
+// optimizer.solves against the checked-in bench/baselines/ record to
+// catch hot-path regressions without trusting wall-clock on shared
+// runners.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace blade;
+
+std::vector<double> load_grid(const model::Cluster& cluster, std::size_t n) {
+  const double sup = cluster.max_generic_rate();
+  return par::linspace(0.15 * sup, 0.9 * sup, n);
+}
+
+// Cold reference: directly comparable to BM_OptimizePaperExample in
+// bench_optimizer_perf across commits (same instance, same discipline).
+void BM_SingleSolveCold(benchmark::State& state) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, queue::Discipline::Fcfs);
+  const double lambda = model::paper_example_lambda();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.optimize(lambda));
+  }
+}
+BENCHMARK(BM_SingleSolveCold);
+
+// Warm-start chain: one workspace threaded through an ascending batch of
+// n solves on the paper's Table 1/2 cluster. items/s is solves per
+// second; the n-scaling shows the warm start amortizing (per-solve cost
+// drops as n grows).
+void BM_BatchChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, queue::Discipline::Fcfs);
+  const auto grid = load_grid(cluster, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::optimize_chain(solver, grid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchChain)->Arg(10)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Batched solves sharded across a pool. Fixed batch, varying workers:
+// items/s should scale near-linearly until the machine runs out of
+// cores (the chunks are independent warm-start chains).
+void BM_BatchThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, queue::Discipline::Fcfs);
+  const auto grid = load_grid(cluster, 512);
+  par::ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::optimize_many(solver, grid, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_BatchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace

@@ -12,6 +12,7 @@
 #include "cloud/series.hpp"
 #include "cloud/trace.hpp"
 #include "core/allocation.hpp"
+#include "core/batch.hpp"
 #include "core/optimizer.hpp"
 #include "core/sensitivity.hpp"
 #include "parallel/sweep.hpp"
@@ -69,13 +70,21 @@ std::string run_sweep(const model::Cluster& cluster, double lo, double hi, std::
   if (!(hi > lo)) throw std::invalid_argument("sweep needs hi > lo");
   const auto solver = make_solver(cluster, opts);
   const auto grid = par::linspace(lo, hi, points);
-  const auto ys =
-      par::sweep(grid, [&](double lambda) { return solver.optimize(lambda).response_time; });
+  // Batched solve: fixed-size warm-start chains sharded across the pool.
+  // The chunking is thread-count independent, so the CSV is identical
+  // for every --threads value.
+  std::vector<opt::LoadDistribution> sols;
+  if (opts.threads > 0) {
+    par::ThreadPool pool(static_cast<std::size_t>(opts.threads));
+    sols = opt::optimize_many(solver, grid, pool);
+  } else {
+    sols = opt::optimize_many(solver, grid);
+  }
   std::ostringstream os;
   os << "lambda,T\n";
   os.setf(std::ios::fixed);
   os.precision(7);
-  for (std::size_t i = 0; i < grid.size(); ++i) os << grid[i] << ',' << ys[i] << '\n';
+  for (std::size_t i = 0; i < grid.size(); ++i) os << grid[i] << ',' << sols[i].response_time << '\n';
   return os.str();
 }
 
@@ -247,6 +256,7 @@ std::string usage() {
          "  --reps <n>        validate: replications (default 6)\n"
          "  --seed <n>        validate: base seed (default 1)\n"
          "  --verbose         solver convergence summaries on stderr\n"
+         "  --threads <n>     sweep: worker threads (default 0 = shared pool)\n"
          "  --metrics-out <path>        export run metrics after the command\n"
          "  --metrics-format <f>        json (default), prom, or csv\n"
          "  --version         build attribution (git hash, compiler, BLADE_OBS)\n";
@@ -328,6 +338,9 @@ std::string run_cli(const std::vector<std::string>& args) {
       seed = static_cast<std::uint64_t>(std::stoull(next("--seed")));
     } else if (a == "--verbose") {
       opts.verbosity = 1;
+    } else if (a == "--threads") {
+      opts.threads = std::stoi(next("--threads"));
+      if (opts.threads < 0) throw std::invalid_argument("--threads must be >= 0");
     } else if (a == "--metrics-out") {
       metrics_out = next("--metrics-out");
     } else if (a == "--metrics-format") {

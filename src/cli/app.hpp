@@ -16,6 +16,7 @@ struct CommonOptions {
   queue::Discipline discipline = queue::Discipline::Fcfs;
   double service_scv = 1.0;  ///< task-size variability (1 = exponential)
   int verbosity = 0;         ///< --verbose: solver convergence summaries on stderr
+  int threads = 0;           ///< --threads: sweep worker count (0 = shared default pool)
 };
 
 /// `optimize`: solve one instance and print the paper-style table.

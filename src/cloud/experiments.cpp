@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/batch.hpp"
 #include "core/policies.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/simulation.hpp"
@@ -67,8 +68,14 @@ FigureData response_time_figure(const std::string& id, const std::string& title,
     for (double lambda : grid) {
       if (lambda > cutoff) break;
       s.x.push_back(lambda);
-      s.y.push_back(solver.optimize(lambda).response_time);
     }
+    // The grid ascends, so chain the solves: each warm-starts from the
+    // previous one's bracket. optimize_chain is poolless on purpose --
+    // this body already runs inside parallel_for, and submit-and-wait on
+    // the same pool from a task can deadlock.
+    const auto sols = opt::optimize_chain(solver, s.x);
+    s.y.reserve(sols.size());
+    for (const auto& sol : sols) s.y.push_back(sol.response_time);
     fig.series[gi] = std::move(s);
   });
   return fig;

@@ -1,0 +1,71 @@
+#include "core/batch.hpp"
+
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "parallel/sweep.hpp"
+
+namespace blade::opt {
+
+void BatchOptions::validate() const {
+  if (chunk == 0) throw std::invalid_argument("BatchOptions: chunk must be >= 1");
+}
+
+std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
+                                            std::span<const double> lambdas,
+                                            par::ThreadPool& pool, const BatchOptions& opts) {
+  opts.validate();
+  BLADE_OBS_TIMER("optimizer.batch_seconds");
+  BLADE_OBS_COUNT_N("optimizer.batch_solves", static_cast<long>(lambdas.size()));
+  std::vector<LoadDistribution> out(lambdas.size());
+  par::for_each_chunk(pool, lambdas.size(), opts.chunk, [&](std::size_t lo, std::size_t hi) {
+    SolverWorkspace ws;  // per-chunk, so results never depend on thread count
+    for (std::size_t i = lo; i < hi; ++i) out[i] = solver.optimize(lambdas[i], ws);
+  });
+  return out;
+}
+
+std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
+                                            std::span<const double> lambdas,
+                                            const BatchOptions& opts) {
+  return optimize_many(solver, lambdas, par::global_pool(), opts);
+}
+
+std::vector<LoadDistribution> optimize_many(std::span<const SolveRequest> requests,
+                                            par::ThreadPool& pool, const BatchOptions& opts) {
+  opts.validate();
+  for (const SolveRequest& r : requests) {
+    if (r.solver == nullptr) {
+      throw std::invalid_argument("optimize_many: SolveRequest::solver must not be null");
+    }
+  }
+  BLADE_OBS_TIMER("optimizer.batch_seconds");
+  BLADE_OBS_COUNT_N("optimizer.batch_solves", static_cast<long>(requests.size()));
+  std::vector<LoadDistribution> out(requests.size());
+  par::for_each_chunk(pool, requests.size(), opts.chunk, [&](std::size_t lo, std::size_t hi) {
+    SolverWorkspace ws;
+    const LoadDistributionOptimizer* current = nullptr;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const SolveRequest& r = requests[i];
+      if (r.solver != current) {
+        // The cached brackets and phi seed describe the previous
+        // problem; they are only valid warm starts for the same solver.
+        ws.clear();
+        current = r.solver;
+      }
+      out[i] = current->optimize(r.lambda_total, ws);
+    }
+  });
+  return out;
+}
+
+std::vector<LoadDistribution> optimize_chain(const LoadDistributionOptimizer& solver,
+                                             std::span<const double> lambdas) {
+  std::vector<LoadDistribution> out;
+  out.reserve(lambdas.size());
+  SolverWorkspace ws;
+  for (double lambda : lambdas) out.push_back(solver.optimize(lambda, ws));
+  return out;
+}
+
+}  // namespace blade::opt

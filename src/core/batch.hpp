@@ -1,0 +1,72 @@
+// Batched solves: many load-distribution instances through one optimizer
+// (or many optimizers) with warm-started workspaces, optionally sharded
+// across a ThreadPool.
+//
+// Determinism contract: optimize_many splits the batch into fixed-size
+// chunks (BatchOptions::chunk) whose boundaries depend only on the batch
+// size -- never on the pool's thread count. Each chunk runs sequentially
+// on one worker with its own SolverWorkspace, so solve k always
+// warm-starts from solve k-1 of the SAME chunk. Results are therefore
+// bitwise identical for any thread count, including a 1-thread pool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blade::opt {
+
+struct BatchOptions {
+  /// Solves per warm-start chain. Larger chunks amortize more warm
+  /// starts per workspace but expose less parallelism; 16 keeps an
+  /// 8-thread pool saturated from ~128 instances up.
+  std::size_t chunk = 16;
+
+  /// Throws std::invalid_argument when chunk == 0.
+  void validate() const;
+};
+
+/// One instance of a heterogeneous batch: solve `solver`'s problem at
+/// total generic rate `lambda_total`.
+struct SolveRequest {
+  const LoadDistributionOptimizer* solver = nullptr;
+  double lambda_total = 0.0;
+};
+
+/// Solves the same cluster at each rate in `lambdas`, sharded across
+/// `pool`. Results are in input order. Any solve throwing (e.g. an
+/// infeasible lambda') rethrows the first exception on the caller after
+/// the batch drains. Safe to call from multiple threads at once (the
+/// solver is const and each chunk owns its workspace) but NOT from a
+/// task already running on `pool` -- that can deadlock a busy pool; use
+/// optimize_chain inside pool tasks instead.
+[[nodiscard]] std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
+                                                          std::span<const double> lambdas,
+                                                          par::ThreadPool& pool,
+                                                          const BatchOptions& opts = {});
+
+/// optimize_many on the global pool.
+[[nodiscard]] std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
+                                                          std::span<const double> lambdas,
+                                                          const BatchOptions& opts = {});
+
+/// Heterogeneous batch: each request carries its own solver. Requests
+/// are chunked in input order, so put requests for the same solver with
+/// nearby rates next to each other to benefit from warm starts (the
+/// workspace re-seeds whenever the solver pointer changes).
+[[nodiscard]] std::vector<LoadDistribution> optimize_many(std::span<const SolveRequest> requests,
+                                                          par::ThreadPool& pool,
+                                                          const BatchOptions& opts = {});
+
+/// Sequential warm-start chain: one workspace threaded through every
+/// rate, no pool. The poolless building block optimize_many shards; use
+/// it directly for work already running inside a pool task (nested
+/// submit-and-wait on the same pool can deadlock) or for ordered sweeps
+/// where cross-solve warm starts matter more than parallelism.
+[[nodiscard]] std::vector<LoadDistribution> optimize_chain(const LoadDistributionOptimizer& solver,
+                                                           std::span<const double> lambdas);
+
+}  // namespace blade::opt

@@ -47,6 +47,12 @@ double ResponseTimeObjective::marginal(std::size_t i, double rate) const {
   return queues_.at(i).lagrange_marginal(rate) / lambda_total_;
 }
 
+std::pair<double, double> ResponseTimeObjective::marginal_with_derivative(std::size_t i,
+                                                                          double rate) const {
+  const auto [g, dg] = queues_.at(i).lagrange_marginal_with_derivative(rate);
+  return {g / lambda_total_, dg / lambda_total_};
+}
+
 std::vector<double> ResponseTimeObjective::gradient(std::span<const double> rates) const {
   if (rates.size() != queues_.size()) {
     throw std::invalid_argument("ResponseTimeObjective::gradient: rate vector size mismatch");

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "model/cluster.hpp"
@@ -44,6 +45,14 @@ class ResponseTimeObjective {
 
   /// g_i evaluated at a given per-server rate.
   [[nodiscard]] double marginal(std::size_t i, double rate) const;
+
+  /// {g_i, dg_i/dlambda'_i} in one Erlang-kernel evaluation — the
+  /// derivative-returning form the Newton inner solver consumes. The
+  /// derivative is positive (T' is convex in lambda'_i); see
+  /// BladeQueue::lagrange_marginal_with_derivative for the analytic form
+  /// and its finite-difference fallback.
+  [[nodiscard]] std::pair<double, double> marginal_with_derivative(std::size_t i,
+                                                                  double rate) const;
 
   /// Full gradient (g_1..g_n) at an assignment.
   [[nodiscard]] std::vector<double> gradient(std::span<const double> rates) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -69,55 +70,163 @@ LoadDistributionOptimizer::LoadDistributionOptimizer(model::Cluster cluster,
   opts_.validate();
 }
 
+void SolverWorkspace::clear() {
+  prepare(0);
+  rates_lo_.clear();
+  rates_hi_.clear();
+  scratch_.clear();
+  seed_phi_ = -1.0;
+}
+
+void SolverWorkspace::prepare(std::size_t n) {
+  // Rates at phi = 0 are identically zero (every g_i(0) > 0), so the lower
+  // end of the outer bracket starts valid without any evaluation.
+  phi_lo_ = 0.0;
+  phi_hi_ = -1.0;
+  total_lo_ = 0.0;
+  total_hi_ = 0.0;
+  rates_lo_.assign(n, 0.0);
+  rates_hi_.assign(n, 0.0);
+  scratch_.assign(n, 0.0);
+}
+
 double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, std::size_t i,
                                             double phi, long* evals) const {
+  return find_rate_bracketed(obj, i, phi, 0.0, -1.0, evals);
+}
+
+double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjective& obj,
+                                                      std::size_t i, double phi, double lo,
+                                                      double hi, long* evals) const {
   const double sup = obj.rate_bound(i);
-  auto g = [&](double lam) {
+  const double hard_ub = (1.0 - opts_.saturation_margin) * sup;
+  const double tol = opts_.rate_tolerance;
+  lo = std::clamp(lo, 0.0, hard_ub);
+  const bool have_hi = hi >= 0.0;
+  if (have_hi) hi = std::clamp(hi, lo, hard_ub);
+
+  // Collapsed warm bracket: the outer bracket already pins this server's
+  // rate to within the solver tolerance — no evaluation needed at all.
+  if (have_hi && hi - lo <= tol) {
+    BLADE_OBS_COUNT("optimizer.warm_bracket_hits");
+    return 0.5 * (lo + hi);
+  }
+
+  auto g_at = [&](double lam) {
     if (evals) ++*evals;
     return obj.marginal(i, lam);
   };
 
   // Inactive server: even the first infinitesimal unit of load costs more
-  // than phi (paper: the bisection bracket collapses onto lb = 0).
-  if (g(0.0) >= phi) return 0.0;
+  // than phi (paper: the bisection bracket collapses onto lb = 0). From a
+  // warm bracket this is the root sitting at/below the cached lower end.
+  double glo = g_at(lo);
+  if (glo >= phi) return lo;
 
-  const double hard_ub = (1.0 - opts_.saturation_margin) * sup;
-  // Expand ub by doubling until g(ub) >= phi, clamping at the saturation
-  // guard exactly as lines (4)-(8) of Fig. 2.
-  double ub = std::min(hard_ub, 1e-3 * sup);
-  int guard = 0;
-  while (g(ub) < phi) {
-    if (ub >= hard_ub) {
-      BLADE_OBS_COUNT("optimizer.saturation_clamps");
-      return hard_ub;  // saturated at this phi
-    }
-    ub = std::min(2.0 * ub, hard_ub);
-    if (++guard > 200) {
-      std::ostringstream os;
-      os << std::setprecision(10) << "find_rate: failed to bracket lambda'_" << i
-         << " (phi=" << phi << ", sup=" << sup << ", ub=" << ub << " after " << guard
-         << " doublings)";
-      throw num::RootFindingError(os.str());
+  double ghi;
+  if (have_hi) {
+    ghi = g_at(hi);
+    if (ghi < phi) {
+      if (hi >= hard_ub) {
+        BLADE_OBS_COUNT("optimizer.saturation_clamps");
+        return hard_ub;  // saturated at this phi
+      }
+      // The warm upper end undershot (only possible by the tolerance fuzz
+      // of the cached endpoint); resume the Fig. 2 doubling from there.
+      lo = hi;
+      glo = ghi;
+      hi = -1.0;
     }
   }
-
-  double lb = 0.0;
-  int it = 0;
-  while (ub - lb > opts_.rate_tolerance && it < opts_.max_iterations) {
-    const double mid = 0.5 * (lb + ub);
-    if (g(mid) < phi) {
-      lb = mid;
-    } else {
-      ub = mid;
+  if (hi < 0.0) {
+    // Cold upper bound: expand by doubling until g(ub) >= phi, clamping
+    // at the saturation guard exactly as lines (4)-(8) of Fig. 2. The
+    // last undershooting probe becomes the Newton lower end, so no
+    // evaluation is repeated.
+    double ub = std::min(hard_ub, std::max(1e-3 * sup, 2.0 * lo));
+    int guard = 0;
+    double gub = g_at(ub);
+    while (gub < phi) {
+      if (ub >= hard_ub) {
+        BLADE_OBS_COUNT("optimizer.saturation_clamps");
+        return hard_ub;  // saturated at this phi
+      }
+      lo = ub;
+      glo = gub;
+      ub = std::min(2.0 * ub, hard_ub);
+      if (++guard > 200) {
+        std::ostringstream os;
+        os << std::setprecision(10) << "find_rate: failed to bracket lambda'_" << i
+           << " (phi=" << phi << ", sup=" << sup << ", ub=" << ub << " after " << guard
+           << " doublings)";
+        throw num::RootFindingError(os.str());
+      }
+      gub = g_at(ub);
     }
-    ++it;
+    hi = ub;
+    ghi = gub;
+  }
+
+  // Safeguarded Newton on g(x) = phi over [lo, hi] (rtsafe-style): take
+  // the Newton step when it stays inside the bracket and at least halves
+  // the previous step, otherwise bisect — superlinear near the root,
+  // never slower than bisection. One derivative-returning marginal
+  // evaluation (a single Erlang kernel) per iteration.
+  double x = 0.5 * (lo + hi);
+  double dx_old = hi - lo;
+  double dx = dx_old;
+  double result = x;
+  int it = 0;
+  for (; it < opts_.max_iterations; ++it) {
+    if (evals) ++*evals;
+    const auto [gx, dgx] = obj.marginal_with_derivative(i, x);
+    const double fx = gx - phi;
+    if (fx == 0.0) {
+      result = x;
+      break;
+    }
+    if (fx < 0.0) {
+      lo = x;
+    } else {
+      hi = x;
+    }
+    if (hi - lo <= tol) {
+      result = 0.5 * (lo + hi);
+      break;
+    }
+    double next;
+    const bool newton_ok = dgx > 0.0 && std::isfinite(dgx);
+    if (!newton_ok || 2.0 * std::abs(fx) > std::abs(dx_old * dgx) ||
+        !((next = x - fx / dgx) > lo && next < hi)) {
+      dx_old = dx;
+      dx = 0.5 * (hi - lo);
+      next = 0.5 * (lo + hi);
+    } else {
+      dx_old = dx;
+      dx = std::abs(next - x);
+    }
+    result = next;
+    if (dx <= 0.5 * tol) {
+      ++it;
+      break;
+    }
+    x = next;
   }
   BLADE_OBS_COUNT("optimizer.find_rate_calls");
   BLADE_OBS_OBSERVE("optimizer.inner_iterations", it);
-  return 0.5 * (lb + ub);
+  return result;
 }
 
 LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const {
+  // A fresh workspace per call keeps optimize() deterministic and
+  // state-free; only callers that thread their own workspace opt into
+  // cross-solve warm starts.
+  SolverWorkspace ws;
+  return optimize(lambda_total, ws);
+}
+
+LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
+                                                     SolverWorkspace& ws) const {
   const double lambda_max = cluster_.max_generic_rate();
   if (!(lambda_total > 0.0)) {
     throw std::invalid_argument("optimize: lambda' must be > 0");
@@ -136,79 +245,188 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
   const ResponseTimeObjective obj(cluster_, discs_, lambda_total, opts_.service_scv);
   const std::size_t n = obj.size();
   long inner_evals = 0;
+  const double tol = opts_.rate_tolerance;
+  ws.prepare(n);
 
-  auto total_assigned = [&](double phi) {
+  // F(phi) = sum_i lambda'_i(phi), evaluated into ws.scratch_. Each inner
+  // solve warm-starts from the monotone bracket the workspace has
+  // accumulated: F_i is increasing in phi, so for any phi inside
+  // [phi_lo, phi_hi] server i's rate lies in [rate_lo_i, rate_hi_i]
+  // (widened by the inner tolerance to absorb endpoint fuzz).
+  auto total_at = [&](double phi) {
+    const bool use_lo = phi >= ws.phi_lo_;
+    const bool use_hi = ws.phi_hi_ >= 0.0 && phi <= ws.phi_hi_;
     num::KahanSum f;
-    for (std::size_t i = 0; i < n; ++i) f.add(find_rate(obj, i, phi, &inner_evals));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = use_lo ? ws.rates_lo_[i] - tol : 0.0;
+      const double hi = use_hi ? ws.rates_hi_[i] + tol : -1.0;
+      const double r = find_rate_bracketed(obj, i, phi, lo, hi, &inner_evals);
+      ws.scratch_[i] = r;
+      f.add(r);
+    }
     return f.value();
   };
+  // Fold an evaluation into the workspace bracket. Only monotone
+  // improvements are kept (phi_lo only moves up, phi_hi only moves
+  // down), so out-of-order evaluations cannot loosen an established end.
+  auto absorb = [&](double phi, double total) {
+    if (total < lambda_total) {
+      if (phi >= ws.phi_lo_) {
+        ws.phi_lo_ = phi;
+        ws.total_lo_ = total;
+        ws.rates_lo_.swap(ws.scratch_);
+      }
+    } else if (ws.phi_hi_ < 0.0 || phi <= ws.phi_hi_) {
+      ws.phi_hi_ = phi;
+      ws.total_hi_ = total;
+      ws.rates_hi_.swap(ws.scratch_);
+    }
+  };
 
-  // Outer bracket (Fig. 3 lines (1)-(10)): start phi small and double
+  // Outer bracket (Fig. 3 lines (1)-(10)): start phi at the previous
+  // solve's converged multiplier when the workspace has one (cross-solve
+  // warm start -- for a sweep of nearby lambda' values the very first
+  // probe usually covers or nearly covers), otherwise small, and double
   // until the induced total meets lambda'.
-  double phi_ub = 1e-6;
+  double phi_probe =
+      (ws.seed_phi_ > 0.0 && std::isfinite(ws.seed_phi_)) ? ws.seed_phi_ : 1e-6;
   int expansions = 0;
-  while (total_assigned(phi_ub) < lambda_total) {
-    phi_ub *= 2.0;
+  while (true) {
+    const double total = total_at(phi_probe);
+    const bool covered = total >= lambda_total;
+    absorb(phi_probe, total);
+    if (covered) break;
+    phi_probe *= 2.0;
     if (++expansions > 200) {
       std::ostringstream os;
       os << std::setprecision(10) << "optimize: failed to bracket phi (lambda'=" << lambda_total
-         << ", lambda'_max=" << lambda_max << ", phi_ub=" << phi_ub << " after " << expansions
+         << ", lambda'_max=" << lambda_max << ", phi_ub=" << phi_probe << " after " << expansions
          << " doublings)";
       throw num::RootFindingError(os.str());
     }
   }
   BLADE_OBS_COUNT_N("optimizer.phi_expansions", expansions);
 
-  // Outer bisection (lines (11)-(27)). The bracket-width trace is the
-  // solver's convergence signature: geometric decay until phi_tolerance.
-  double phi_lb = 0.0;
+  // Outer refinement (replacing the bisection of lines (11)-(27)): Brent
+  // on F(phi) - lambda' over the established bracket. The endpoint
+  // values are already known from the expansion, so nothing is
+  // re-evaluated; every new evaluation is absorbed into the workspace, so
+  // the inner warm brackets tighten as the outer iteration converges.
+  // The bracket-width trace is the solver's convergence signature.
   int outer_it = 0;
-  while (phi_ub - phi_lb > opts_.phi_tolerance && outer_it < opts_.max_iterations) {
-    const double mid = 0.5 * (phi_lb + phi_ub);
-    if (total_assigned(mid) < lambda_total) {
-      phi_lb = mid;
-    } else {
-      phi_ub = mid;
+  if (ws.total_hi_ - lambda_total != 0.0) {
+    double a = ws.phi_lo_, fa = ws.total_lo_ - lambda_total;
+    double b = ws.phi_hi_, fb = ws.total_hi_ - lambda_total;
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
     }
-    ++outer_it;
-    BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it, phi_ub - phi_lb);
+    double c = a, fc = fa;
+    double d = b - a, e = d;
+    // Brent worst-case iteration count is quadratic in log(width/tol);
+    // cap it well under max_iterations so the bisection polish below
+    // always has budget left even on pathologically step-like F.
+    const int brent_cap = std::min(60, opts_.max_iterations);
+    while (fb != 0.0 && outer_it < brent_cap) {
+      if ((fb > 0.0) == (fc > 0.0)) {
+        c = a;
+        fc = fa;
+        d = e = b - a;
+      }
+      if (std::abs(fc) < std::abs(fb)) {
+        a = b;
+        b = c;
+        c = a;
+        fa = fb;
+        fb = fc;
+        fc = fa;
+      }
+      const double brent_tol =
+          2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) + 0.5 * opts_.phi_tolerance;
+      const double m = 0.5 * (c - b);
+      if (std::abs(m) <= brent_tol) break;
+      if (std::abs(e) >= brent_tol && std::abs(fa) > std::abs(fb)) {
+        const double s = fb / fa;
+        double p, q;
+        if (a == c) {
+          p = 2.0 * m * s;
+          q = 1.0 - s;
+        } else {
+          const double qq = fa / fc;
+          const double r = fb / fc;
+          p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+          q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+        }
+        if (p > 0.0) {
+          q = -q;
+        } else {
+          p = -p;
+        }
+        if (2.0 * p < std::min(3.0 * m * q - std::abs(brent_tol * q), std::abs(e * q))) {
+          e = d;
+          d = p / q;
+        } else {
+          d = m;
+          e = m;
+        }
+      } else {
+        d = m;
+        e = m;
+      }
+      a = b;
+      fa = fb;
+      b += (std::abs(d) > brent_tol) ? d : (m > 0.0 ? brent_tol : -brent_tol);
+      const double total = total_at(b);
+      fb = total - lambda_total;
+      absorb(b, total);
+      ++outer_it;
+      BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it,
+                              ws.phi_hi_ >= 0.0 ? ws.phi_hi_ - ws.phi_lo_ : 0.0);
+    }
   }
+  // Bisection polish: Brent converges on the root of F - lambda' but can
+  // stop with one side of the sign bracket still wide (F is step-like
+  // around flat-marginal servers). The extraction below interpolates
+  // between the bracket ends, so tighten the bracket itself to the same
+  // phi_tolerance the seed bisection guaranteed.
+  while (ws.phi_hi_ - ws.phi_lo_ > opts_.phi_tolerance && outer_it < opts_.max_iterations) {
+    const double mid = 0.5 * (ws.phi_lo_ + ws.phi_hi_);
+    if (!(mid > ws.phi_lo_ && mid < ws.phi_hi_)) break;  // bracket at fp resolution
+    absorb(mid, total_at(mid));
+    ++outer_it;
+    BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it, ws.phi_hi_ - ws.phi_lo_);
+  }
+
   LoadDistribution out;
-  out.phi = phi_ub;
+  out.phi = ws.phi_hi_;
   out.outer_iterations = outer_it;
 
-  // Extract the final rates from BOTH bracket ends. Evaluating only at
-  // the midpoint is unsafe: wide servers (large m_i) have nearly flat
-  // marginal-cost curves, so F(phi) is step-like and the midpoint can
-  // land below the step, assigning zero load everywhere. phi_ub is
-  // guaranteed by the bracketing invariant to cover lambda'
-  // (F(phi_ub) >= lambda' > F(phi_lb)), so interpolating between the two
-  // rate vectors yields a feasible point whose marginals stay inside the
-  // [phi_lb, phi_ub] band: the flat servers -- exactly the ones whose
-  // load the band cannot pin down -- absorb the residual, where the
-  // objective is insensitive by that same flatness.
-  auto rates_at = [&](double phi_val) {
-    std::vector<double> rates(n);
-    for (std::size_t i = 0; i < n; ++i) rates[i] = find_rate(obj, i, phi_val, &inner_evals);
-    return rates;
-  };
+  // Extract the final rates from BOTH bracket ends -- the rate vectors
+  // cached in the workspace from the last accepted outer iterates, so no
+  // re-solve is needed. Evaluating only at the midpoint is unsafe: wide
+  // servers (large m_i) have nearly flat marginal-cost curves, so F(phi)
+  // is step-like and the midpoint can land below the step, assigning
+  // zero load everywhere. phi_hi is guaranteed by the bracketing
+  // invariant to cover lambda' (F(phi_hi) >= lambda' > F(phi_lo)), so
+  // interpolating between the two rate vectors yields a feasible point
+  // whose marginals stay inside the [phi_lo, phi_hi] band: the flat
+  // servers -- exactly the ones whose load the band cannot pin down --
+  // absorb the residual, where the objective is insensitive by that same
+  // flatness.
   auto total_of = [](const std::vector<double>& rates) {
     num::KahanSum s;
     for (double r : rates) s.add(r);
     return s.value();
   };
-  out.rates = rates_at(phi_ub);
-  double assigned = total_of(out.rates);
-  if (assigned > lambda_total) {
-    const std::vector<double> lo_rates = rates_at(phi_lb);
-    const double lo_total = total_of(lo_rates);
-    if (assigned - lo_total > opts_.rate_tolerance) {
-      const double t = std::clamp((lambda_total - lo_total) / (assigned - lo_total), 0.0, 1.0);
-      for (std::size_t i = 0; i < n; ++i) {
-        out.rates[i] = lo_rates[i] + t * (out.rates[i] - lo_rates[i]);
-      }
-      assigned = total_of(out.rates);
+  out.rates = ws.rates_hi_;
+  double assigned = ws.total_hi_;
+  if (assigned > lambda_total && assigned - ws.total_lo_ > opts_.rate_tolerance) {
+    const double t =
+        std::clamp((lambda_total - ws.total_lo_) / (assigned - ws.total_lo_), 0.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.rates[i] = ws.rates_lo_[i] + t * (out.rates[i] - ws.rates_lo_[i]);
     }
+    assigned = total_of(out.rates);
   }
 
   // The interpolated rates can still miss lambda' by floating-point
@@ -218,6 +436,9 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
     const double scale = lambda_total / assigned;
     for (double& r : out.rates) r *= scale;
   }
+
+  // Seed the next solve on this workspace from the converged multiplier.
+  ws.seed_phi_ = ws.phi_hi_;
 
   out.inner_evaluations = inner_evals;
   out.utilizations = obj.utilizations(out.rates);

@@ -68,6 +68,49 @@ struct LoadDistribution {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Mutable per-solve scratch reused across outer iterations — and, when
+/// the caller keeps one alive, across successive solves (optimize_many,
+/// sweeps). It caches the solver's monotone state:
+///
+///   * the current outer bracket [phi_lo, phi_hi] with F(phi_lo) < lambda'
+///     <= F(phi_hi), and the full rate vector at BOTH ends — because each
+///     F_i(phi) is increasing, [rate_lo_i, rate_hi_i] brackets server i's
+///     rate for ANY phi inside the outer bracket, so inner searches
+///     warm-start from there instead of from [0, sup);
+///   * the converged phi of the previous solve on this workspace, used to
+///     seed the next solve's bracketing expansion (cross-solve warm start
+///     for sweeps over nearby lambda' values).
+///
+/// A workspace is NOT thread-safe: use one per thread (optimize_many
+/// hands one to each pool task). A default-constructed workspace is
+/// valid for any instance size; optimize() resizes it as needed.
+class SolverWorkspace {
+ public:
+  SolverWorkspace() = default;
+
+  /// Drops every cached value, including the cross-solve phi seed.
+  void clear();
+
+  /// The converged phi of the last solve on this workspace (< 0 when the
+  /// workspace has not completed a solve yet). Exposed for tests.
+  [[nodiscard]] double seed_phi() const noexcept { return seed_phi_; }
+
+ private:
+  friend class LoadDistributionOptimizer;
+
+  /// Re-arms the per-solve bracket state (keeps the cross-solve seed).
+  void prepare(std::size_t n);
+
+  double phi_lo_ = 0.0;
+  double phi_hi_ = -1.0;  ///< < 0: no covering phi found yet
+  std::vector<double> rates_lo_;
+  std::vector<double> rates_hi_;
+  std::vector<double> scratch_;   ///< rates at the phi being evaluated
+  double total_lo_ = 0.0;         ///< F(phi_lo)
+  double total_hi_ = 0.0;         ///< F(phi_hi)
+  double seed_phi_ = -1.0;
+};
+
 class LoadDistributionOptimizer {
  public:
   LoadDistributionOptimizer(model::Cluster cluster, queue::Discipline d,
@@ -88,10 +131,26 @@ class LoadDistributionOptimizer {
   /// Throws std::invalid_argument when lambda' is infeasible.
   [[nodiscard]] LoadDistribution optimize(double lambda_total) const;
 
+  /// Same solve, but threading the caller's workspace through so
+  /// successive solves warm-start each other (see SolverWorkspace). The
+  /// plain optimize() is exactly this with a fresh workspace, so a reused
+  /// workspace changes results only below the solver tolerances.
+  LoadDistribution optimize(double lambda_total, SolverWorkspace& ws) const;
+
   /// The inner algorithm (Fig. 2): lambda'_i achieving marginal cost phi.
   /// Exposed for tests; `evals` (optional) accumulates marginal evaluations.
   [[nodiscard]] double find_rate(const ResponseTimeObjective& obj, std::size_t i, double phi,
                                  long* evals = nullptr) const;
+
+  /// Warm-bracketed inner solve: like find_rate but searching only
+  /// [lo, hi] (clamped to the server's domain), where monotonicity of
+  /// F_i(phi) guarantees the root lies within the bracket up to the
+  /// solver tolerance. Pass hi < 0 when no upper bound is known (falls
+  /// back to the doubling expansion of Fig. 2). Exposed for the
+  /// warm-start invariant tests.
+  [[nodiscard]] double find_rate_bracketed(const ResponseTimeObjective& obj, std::size_t i,
+                                           double phi, double lo, double hi,
+                                           long* evals = nullptr) const;
 
  private:
   model::Cluster cluster_;

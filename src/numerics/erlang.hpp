@@ -25,6 +25,22 @@ namespace blade::num {
 /// At rho == 0 the derivative is 0 for m >= 2 and 1 for m == 1.
 [[nodiscard]] double erlang_c_drho(unsigned m, double rho);
 
+/// Erlang C together with its first two rho-derivatives, all from a
+/// single Erlang-B recurrence evaluation. This is the solver's hot-path
+/// kernel: one marginal-cost evaluation needs C, C', and (for Newton
+/// steps) C'', and computing them separately would run the O(m)
+/// recurrence three times. With t = B/(1-B) and u = 1 - rho + t:
+///   C   = t/u
+///   C'  = (t'(1-rho) + t) / u^2                 t' = (t m / rho) u
+///   C'' = (t''(1-rho) u - 2 u' (t'(1-rho)+t)) / u^3,   u' = t' - 1,
+///         t'' = m [ (t'/rho - t/rho^2) u + (t/rho) u' ].
+struct ErlangCDerivs {
+  double c = 0.0;    ///< C(m, rho)
+  double dc = 0.0;   ///< dC/drho
+  double d2c = 0.0;  ///< d^2C/drho^2
+};
+[[nodiscard]] ErlangCDerivs erlang_c_derivs(unsigned m, double rho);
+
 /// Steady-state probability p_0 of an empty M/M/m system (paper formula,
 /// evaluated stably). Underflows to 0 gracefully for very large m*rho.
 [[nodiscard]] double mmm_p0(unsigned m, double rho);

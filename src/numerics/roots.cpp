@@ -20,9 +20,10 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
   if (sup && *sup <= lower) {
     throw RootFindingError("solve_increasing: empty domain (sup <= lower)");
   }
-  if (f(lower) >= target) {
+  const double f_lower = f(lower);
+  if (f_lower >= target) {
     res.x = lower;
-    res.f = f(lower);
+    res.f = f_lower;
     return res;
   }
 
@@ -33,12 +34,13 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
   ub = std::min(ub, hard_ub);
 
   int expansions = 0;
-  while (f(ub) < target) {
+  double fub = f(ub);
+  while (fub < target) {
     if (ub >= hard_ub) {
       // Saturated: f never reaches the target inside the domain. The best
       // feasible answer is the clamped upper bound (paper line (7)).
       res.x = hard_ub;
-      res.f = f(hard_ub);
+      res.f = fub;
       res.expansions = expansions;
       res.clamped_at_upper = true;
       return res;
@@ -47,6 +49,7 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
     if (++expansions > opts.max_expansions) {
       throw RootFindingError("solve_increasing: bracketing failed (function may be bounded below target)");
     }
+    fub = f(ub);
   }
 
   double lb = lower;
@@ -160,7 +163,7 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
   }
   BLADE_OBS_COUNT("roots.brent_calls");
   BLADE_OBS_OBSERVE("roots.brent_iterations", it);
-  return {b, fb, it, 0, false};
+  return {b, fb, it, /*expansions=*/0, /*clamped_at_upper=*/false};
 }
 
 RootResult newton_safeguarded(const std::function<std::pair<double, double>(double)>& fdf,
@@ -175,9 +178,11 @@ RootResult newton_safeguarded(const std::function<std::pair<double, double>(doub
     throw RootFindingError("newton_safeguarded: root not bracketed");
   }
   double x = 0.5 * (a + b);
+  double fx_last = fa;
   int it = 0;
   for (; it < opts.max_iterations; ++it) {
     auto [fx, dfx] = fdf(x);
+    fx_last = fx;
     if (fx == 0.0) break;
     // Shrink the bracket around the root.
     if ((fx > 0.0) == (fa > 0.0)) {
@@ -191,13 +196,14 @@ RootResult newton_safeguarded(const std::function<std::pair<double, double>(doub
     if (!(next > a && next < b)) next = 0.5 * (a + b);  // safeguard
     if (std::abs(next - x) <= 0.25 * opts.tolerance) {
       x = next;
+      fx_last = fdf(x).first;
       break;
     }
     x = next;
   }
-  auto [fx, dfx] = fdf(x);
-  (void)dfx;
-  return {x, fx, it, 0, false};
+  BLADE_OBS_COUNT("roots.newton_calls");
+  BLADE_OBS_OBSERVE("roots.newton_iterations", it);
+  return {x, fx_last, it, /*expansions=*/0, /*clamped_at_upper=*/false};
 }
 
 }  // namespace blade::num

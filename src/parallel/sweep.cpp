@@ -27,4 +27,25 @@ std::vector<double> sweep(const std::vector<double>& grid,
   return sweep(global_pool(), grid, f);
 }
 
+void for_each_chunk(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunk == 0) throw std::invalid_argument("for_each_chunk: chunk must be >= 1");
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + chunk - 1) / chunk);
+  for (std::size_t lo = 0; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &body] { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace blade::par

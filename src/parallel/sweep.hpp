@@ -23,4 +23,13 @@ namespace blade::par {
 [[nodiscard]] std::vector<double> sweep(const std::vector<double>& grid,
                                         const std::function<double(double)>& f);
 
+/// Runs body(lo, hi) over [0, n) split into fixed-size chunks of `chunk`
+/// items (the last one ragged). Unlike parallel_for, the chunk
+/// boundaries depend only on n and chunk -- never on the pool's thread
+/// count -- so stateful per-chunk work (e.g. warm-started solver chains)
+/// produces bitwise-identical results on any pool. Exceptions from any
+/// chunk are rethrown on the calling thread (first one wins).
+void for_each_chunk(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace blade::par

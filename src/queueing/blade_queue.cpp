@@ -1,5 +1,6 @@
 #include "queueing/blade_queue.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -88,6 +89,37 @@ double BladeQueue::dT_dlambda(double lambda1) const {
 
 double BladeQueue::lagrange_marginal(double lambda1) const {
   return generic_response_time(lambda1) + lambda1 * dT_dlambda(lambda1);
+}
+
+std::pair<double, double> BladeQueue::lagrange_marginal_with_derivative(double lambda1) const {
+  const double rho = utilization(lambda1);
+  const double md = static_cast<double>(m_);
+  const auto k = num::erlang_c_derivs(m_, rho);
+  double f = variability_factor();
+  if (disc_ == Discipline::SpecialPriority) f /= (1.0 - special_utilization());
+  const double one_minus = 1.0 - rho;
+  const double scale = xbar_ * f / md;
+  const double T = xbar_ + scale * k.c / one_minus;  // T' = xbar + xbar f C /(m(1-rho))
+  const double dT_drho_v = scale * (k.dc * one_minus + k.c) / (one_minus * one_minus);
+  const double d2T_drho2_v =
+      scale * (k.d2c * one_minus * one_minus + 2.0 * (k.dc * one_minus + k.c)) /
+      (one_minus * one_minus * one_minus);
+  const double s = xbar_ / md;  // drho/dlambda1
+  const double dT_dl = s * dT_drho_v;
+  const double d2T_dl2 = s * s * d2T_drho2_v;
+  const double g = T + lambda1 * dT_dl;
+  double dg = 2.0 * dT_dl + lambda1 * d2T_dl2;
+  if (!std::isfinite(dg)) {
+    // Analytic curvature overflowed (rho pushed against 1): guarded
+    // central difference of the marginal keeps Newton usable, and the
+    // differential tests pin this fallback against the analytic branch.
+    const double sup = max_generic_rate();
+    const double h = std::max(1e-9, 1e-7 * std::min(lambda1, sup - lambda1));
+    const double hi = std::min(lambda1 + h, (1.0 - 1e-12) * sup);
+    const double lo = std::max(lambda1 - h, 0.0);
+    if (hi > lo) dg = (lagrange_marginal(hi) - lagrange_marginal(lo)) / (hi - lo);
+  }
+  return {g, dg};
 }
 
 }  // namespace blade::queue

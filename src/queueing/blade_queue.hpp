@@ -17,6 +17,8 @@
 // paper up to the constant 1/lambda').
 #pragma once
 
+#include <utility>
+
 namespace blade::queue {
 
 enum class Discipline {
@@ -73,6 +75,15 @@ class BladeQueue {
   /// Lagrange marginal G(lambda1) = T' + lambda1 dT'/dlambda1. Strictly
   /// increasing in lambda1 (convexity of lambda1 * T').
   [[nodiscard]] double lagrange_marginal(double lambda1) const;
+
+  /// {G(lambda1), dG/dlambda1} from ONE Erlang-B recurrence evaluation
+  /// (num::erlang_c_derivs shares C, C', C'' across the marginal and its
+  /// derivative). dG = 2 dT'/dlambda1 + lambda1 d^2T'/dlambda1^2 is the
+  /// slope Newton's method needs; it is positive by convexity. If the
+  /// analytic second derivative is not finite (extreme rho), the slope
+  /// falls back to a guarded central difference of lagrange_marginal.
+  [[nodiscard]] std::pair<double, double> lagrange_marginal_with_derivative(
+      double lambda1) const;
 
   /// Response time evaluated directly at a given total utilization (used
   /// by shape tests that sweep rho rather than lambda1).

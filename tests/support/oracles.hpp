@@ -49,6 +49,16 @@ struct SolverRun {
                                                       queue::Discipline d, double lambda,
                                                       const OracleOptions& opts = {});
 
+/// The frozen seed solver: a faithful copy of the pure double-bisection
+/// algorithm the repo shipped with (doubling bracket + bisection at both
+/// levels, dual-end extraction, rescale), kept verbatim so the
+/// production solver's Newton/Brent/warm-start fast path can be
+/// differentially pinned against the original algorithm forever, not
+/// against whatever the production path currently computes.
+[[nodiscard]] opt::LoadDistribution seed_bisection_distribution(const model::Cluster& cluster,
+                                                                queue::Discipline d, double lambda,
+                                                                const opt::OptimizerOptions& oo = {});
+
 struct OracleReport {
   CompareReport comparisons;
   bool kkt_ok = false;

@@ -58,6 +58,34 @@ TEST_P(DifferentialCorpus, SolverPathsAgree) {
   }
 }
 
+// The fast-path oracle: the production solver (derivative Newton inner
+// solves, Brent outer refinement, warm-started brackets) against the
+// frozen pure-bisection transcription of the original algorithm, on the
+// same corpus. Both converge phi and every rate to 1e-12, so their T'
+// must agree essentially to convergence tolerance; rates get the same
+// flat-optimum slack the cross-solver checks use.
+TEST_P(DifferentialCorpus, FastPathMatchesSeedBisection) {
+  for (std::uint64_t seed = 1; seed <= kSeedsPerRegime; ++seed) {
+    const Instance inst = make_instance(regime(), seed, discipline());
+    Tolerance rate_tol{1e-6, 1e-9};
+    if (regime() == Regime::SizeExtremes || regime() == Regime::LargeServers) {
+      rate_tol = Tolerance{1e-2, 1e-5};  // flat optima: rates underdetermined
+    }
+    if (regime() == Regime::NearSaturation) rate_tol = Tolerance{5e-3, 1e-4};
+    const auto fast =
+        opt::LoadDistributionOptimizer(inst.cluster, inst.discipline).optimize(inst.lambda);
+    const auto ref = seed_bisection_distribution(inst.cluster, inst.discipline, inst.lambda);
+    CompareReport rep;
+    rep.check("fast vs seed T'", fast.response_time, ref.response_time,
+              Tolerance{1e-9, 1e-12});
+    const auto rates = compare_vectors("fast vs seed rates", fast.rates, ref.rates, rate_tol);
+    rep.mismatches.insert(rep.mismatches.end(), rates.mismatches.begin(),
+                          rates.mismatches.end());
+    EXPECT_TRUE(rep.ok()) << inst.name << " (" << queue::to_string(inst.discipline)
+                          << "):\n" << rep.summary();
+  }
+}
+
 TEST_P(DifferentialCorpus, PermutationInvariance) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const Instance inst = make_instance(regime(), seed, discipline());

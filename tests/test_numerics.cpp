@@ -144,6 +144,27 @@ TEST(NewtonSafeguarded, SurvivesZeroDerivative) {
   EXPECT_NEAR(res.x, 2.0, 1e-8);
 }
 
+TEST(RootResultParity, BrentAndNewtonFillEveryDiagnosticField) {
+  // brent/newton never expand or clamp a bracket, but their RootResult
+  // must still report that explicitly (the perf benches and exporters
+  // read the same fields for every solver).
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto rb = brent(f, 0.0, 1.0);
+  EXPECT_EQ(rb.expansions, 0);
+  EXPECT_FALSE(rb.clamped_at_upper);
+  EXPECT_GT(rb.iterations, 0);
+  EXPECT_NEAR(rb.f, f(rb.x), 1e-12);
+
+  const auto fdf = [](double x) {
+    return std::pair{x * x - 2.0, 2.0 * x};
+  };
+  const auto rn = newton_safeguarded(fdf, 0.0, 2.0);
+  EXPECT_EQ(rn.expansions, 0);
+  EXPECT_FALSE(rn.clamped_at_upper);
+  EXPECT_GT(rn.iterations, 0);
+  EXPECT_NEAR(rn.f, fdf(rn.x).first, 1e-9);
+}
+
 // ------------------------------------------------- differentiation
 
 TEST(Differentiation, CentralDifferenceOnPolynomial) {

@@ -1,0 +1,317 @@
+// Unit tests for the solver hot path: the derivative-returning Erlang
+// kernel, the analytic marginal derivative, the warm-bracketed Newton
+// inner solve, workspace-threaded outer solves, and the batched
+// optimize_many/optimize_chain layer (including the determinism
+// contract: results never depend on the pool's thread count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/objective.hpp"
+#include "core/optimizer.hpp"
+#include "model/paper_configs.hpp"
+#include "numerics/erlang.hpp"
+#include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/generators.hpp"
+
+namespace {
+
+using namespace blade;
+using testsupport::Instance;
+using testsupport::make_instance;
+using testsupport::Regime;
+using queue::Discipline;
+
+// --- Erlang kernel -------------------------------------------------------
+
+TEST(ErlangCDerivs, ValueMatchesErlangC) {
+  for (unsigned m : {1u, 2u, 5u, 16u, 64u}) {
+    for (double rho : {0.0, 0.05, 0.3, 0.7, 0.95, 0.999}) {
+      const auto k = num::erlang_c_derivs(m, rho);
+      EXPECT_NEAR(k.c, num::erlang_c(m, rho), 1e-13) << "m=" << m << " rho=" << rho;
+      EXPECT_NEAR(k.dc, num::erlang_c_drho(m, rho), 1e-9 * (1.0 + std::abs(k.dc)))
+          << "m=" << m << " rho=" << rho;
+    }
+  }
+}
+
+TEST(ErlangCDerivs, SecondDerivativeMatchesCentralDifference) {
+  for (unsigned m : {1u, 2u, 4u, 12u, 48u}) {
+    for (double rho : {0.1, 0.35, 0.6, 0.85, 0.97}) {
+      const double h = 1e-5;
+      const double fd =
+          (num::erlang_c_drho(m, rho + h) - num::erlang_c_drho(m, rho - h)) / (2.0 * h);
+      const auto k = num::erlang_c_derivs(m, rho);
+      EXPECT_NEAR(k.d2c, fd, 1e-5 * (1.0 + std::abs(fd))) << "m=" << m << " rho=" << rho;
+    }
+  }
+}
+
+TEST(ErlangCDerivs, ZeroLoadLimits) {
+  // C(m, rho) ~ rho^m near 0: C(1,.) has slope 1, C(2,.) curvature 4
+  // (C = 2 rho^2 / (1 + rho) to leading order), higher m vanish.
+  const auto k1 = num::erlang_c_derivs(1, 0.0);
+  EXPECT_DOUBLE_EQ(k1.c, 0.0);
+  EXPECT_DOUBLE_EQ(k1.dc, 1.0);
+  const auto k2 = num::erlang_c_derivs(2, 0.0);
+  EXPECT_DOUBLE_EQ(k2.dc, 0.0);
+  EXPECT_NEAR(k2.d2c, 4.0, 1e-12);
+  const auto k3 = num::erlang_c_derivs(3, 0.0);
+  EXPECT_DOUBLE_EQ(k3.dc, 0.0);
+  EXPECT_DOUBLE_EQ(k3.d2c, 0.0);
+}
+
+// --- marginal derivative -------------------------------------------------
+
+TEST(MarginalDerivative, MatchesMarginalAndCentralDifference) {
+  const auto cluster = model::paper_example_cluster();
+  for (Discipline d : {Discipline::Fcfs, Discipline::SpecialPriority}) {
+    for (double scv : {1.0, 2.5}) {
+      const opt::ResponseTimeObjective obj(cluster, d, /*lambda_total=*/5.0, scv);
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        const double sup = obj.rate_bound(i);
+        for (double frac : {0.05, 0.3, 0.6, 0.9}) {
+          const double rate = frac * sup;
+          const auto [g, dg] = obj.marginal_with_derivative(i, rate);
+          EXPECT_NEAR(g, obj.marginal(i, rate), 1e-12 * (1.0 + std::abs(g)))
+              << "i=" << i << " frac=" << frac;
+          const double h = 1e-6 * sup;
+          const double fd = (obj.marginal(i, rate + h) - obj.marginal(i, rate - h)) / (2.0 * h);
+          EXPECT_NEAR(dg, fd, 1e-4 * (1.0 + std::abs(fd)))
+              << "i=" << i << " frac=" << frac << " scv=" << scv
+              << " d=" << queue::to_string(d);
+          EXPECT_GT(dg, 0.0);  // T' convex in lambda'_i
+        }
+      }
+    }
+  }
+}
+
+// --- warm-bracketed inner solve ------------------------------------------
+
+class FindRateBracketed : public ::testing::Test {
+ protected:
+  FindRateBracketed()
+      : solver_(model::paper_example_cluster(), Discipline::Fcfs),
+        obj_(model::paper_example_cluster(), Discipline::Fcfs, 5.0) {}
+
+  opt::LoadDistributionOptimizer solver_;
+  opt::ResponseTimeObjective obj_;
+};
+
+TEST_F(FindRateBracketed, MatchesColdSolveFromValidBracket) {
+  const double phi = 1.5;
+  for (std::size_t i = 0; i < obj_.size(); ++i) {
+    const double cold = solver_.find_rate(obj_, i, phi);
+    if (cold <= 0.0) continue;
+    const double warm =
+        solver_.find_rate_bracketed(obj_, i, phi, 0.5 * cold, std::min(2.0 * cold,
+                                    obj_.rate_bound(i)));
+    EXPECT_NEAR(warm, cold, 1e-9 * (1.0 + cold)) << "server " << i;
+  }
+}
+
+TEST_F(FindRateBracketed, CollapsedBracketCostsZeroEvaluations) {
+  const double phi = 1.5;
+  const double cold = solver_.find_rate(obj_, 0, phi);
+  ASSERT_GT(cold, 0.0);
+  long evals = 0;
+  const double eps = 1e-13;  // < rate_tolerance
+  const double r = solver_.find_rate_bracketed(obj_, 0, phi, cold - eps, cold + eps, &evals);
+  EXPECT_EQ(evals, 0);
+  EXPECT_NEAR(r, cold, 1e-12);
+}
+
+TEST_F(FindRateBracketed, MonotoneInPhi) {
+  double prev = 0.0;
+  for (double phi : {0.8, 1.0, 1.4, 2.0, 3.5}) {
+    const double r = solver_.find_rate(obj_, 0, phi);
+    EXPECT_GE(r, prev - 1e-12) << "phi=" << phi;
+    prev = r;
+  }
+}
+
+TEST_F(FindRateBracketed, UndershootingWarmBoundRecovers) {
+  // A stale upper bound below the true root must not be trusted: the
+  // solve resumes the doubling expansion and still lands on the root.
+  const double phi = 2.0;
+  const double cold = solver_.find_rate(obj_, 0, phi);
+  ASSERT_GT(cold, 0.0);
+  const double warm = solver_.find_rate_bracketed(obj_, 0, phi, 0.0, 0.5 * cold);
+  EXPECT_NEAR(warm, cold, 1e-9 * (1.0 + cold));
+}
+
+// --- workspace-threaded outer solves -------------------------------------
+
+TEST(Workspace, ReusedWorkspaceMatchesFreshSolves) {
+  for (auto [regime, d] : {std::pair{Regime::Random, Discipline::Fcfs},
+                           std::pair{Regime::LargeServers, Discipline::SpecialPriority},
+                           std::pair{Regime::NearSaturation, Discipline::Fcfs}}) {
+    const Instance inst = make_instance(regime, 7, d);
+    const opt::LoadDistributionOptimizer solver(inst.cluster, inst.discipline);
+    opt::SolverWorkspace ws;
+    const double lambda_max = inst.cluster.max_generic_rate();
+    for (double frac : {0.2, 0.4, 0.6, 0.8, 0.85}) {
+      const double lambda = frac * lambda_max;
+      const auto warm = solver.optimize(lambda, ws);
+      const auto cold = solver.optimize(lambda);
+      EXPECT_NEAR(warm.response_time, cold.response_time,
+                  1e-9 * (1.0 + cold.response_time))
+          << inst.name << " frac=" << frac;
+      ASSERT_EQ(warm.rates.size(), cold.rates.size());
+      for (std::size_t i = 0; i < cold.rates.size(); ++i) {
+        EXPECT_NEAR(warm.rates[i], cold.rates[i], 1e-5 * (1.0 + cold.rates[i]))
+            << inst.name << " frac=" << frac << " server " << i;
+      }
+    }
+    EXPECT_GT(ws.seed_phi(), 0.0);
+  }
+}
+
+TEST(Workspace, WarmSweepIsCheaperThanColdSweep) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, Discipline::Fcfs);
+  const auto grid = par::linspace(3.0, 9.0, 24);
+  long cold_evals = 0;
+  long warm_evals = 0;
+  opt::SolverWorkspace ws;
+  for (double lambda : grid) {
+    cold_evals += solver.optimize(lambda).inner_evaluations;
+    warm_evals += solver.optimize(lambda, ws).inner_evaluations;
+  }
+  // The chain shares brackets and the phi seed; anything less than ~25%
+  // cheaper would mean the warm start stopped working.
+  EXPECT_LT(warm_evals, (3 * cold_evals) / 4)
+      << "warm=" << warm_evals << " cold=" << cold_evals;
+}
+
+TEST(Workspace, ClearDropsTheSeed) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, Discipline::Fcfs);
+  opt::SolverWorkspace ws;
+  (void)solver.optimize(5.0, ws);
+  ASSERT_GT(ws.seed_phi(), 0.0);
+  ws.clear();
+  EXPECT_LT(ws.seed_phi(), 0.0);
+}
+
+// --- batched solves ------------------------------------------------------
+
+TEST(OptimizeMany, MatchesSequentialOptimize) {
+  const Instance inst = make_instance(Regime::SpeedExtremes, 3, Discipline::Fcfs);
+  const opt::LoadDistributionOptimizer solver(inst.cluster, inst.discipline);
+  const auto grid =
+      par::linspace(0.1 * inst.lambda, 0.9 * inst.cluster.max_generic_rate(), 33);
+  par::ThreadPool pool(2);
+  const auto batch = opt::optimize_many(solver, grid, pool);
+  ASSERT_EQ(batch.size(), grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const auto solo = solver.optimize(grid[k]);
+    EXPECT_NEAR(batch[k].response_time, solo.response_time,
+                1e-9 * (1.0 + solo.response_time))
+        << "k=" << k;
+  }
+}
+
+TEST(OptimizeMany, ThreadCountInvariant) {
+  const Instance inst = make_instance(Regime::Random, 5, Discipline::SpecialPriority);
+  const opt::LoadDistributionOptimizer solver(inst.cluster, inst.discipline);
+  const auto grid =
+      par::linspace(0.1 * inst.lambda, 0.9 * inst.cluster.max_generic_rate(), 40);
+  par::ThreadPool one(1);
+  par::ThreadPool four(4);
+  const auto a = opt::optimize_many(solver, grid, one);
+  const auto b = opt::optimize_many(solver, grid, four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].response_time, b[k].response_time) << "k=" << k;  // bitwise
+    ASSERT_EQ(a[k].rates.size(), b[k].rates.size());
+    for (std::size_t i = 0; i < a[k].rates.size(); ++i) {
+      EXPECT_EQ(a[k].rates[i], b[k].rates[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(OptimizeMany, ChainEqualsSingleChunkBatch) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, Discipline::Fcfs);
+  const auto grid = par::linspace(2.0, 9.0, 17);
+  const auto chained = opt::optimize_chain(solver, grid);
+  par::ThreadPool pool(3);
+  opt::BatchOptions opts;
+  opts.chunk = grid.size();  // one chunk == one chain
+  const auto batch = opt::optimize_many(solver, grid, pool, opts);
+  ASSERT_EQ(chained.size(), batch.size());
+  for (std::size_t k = 0; k < chained.size(); ++k) {
+    EXPECT_EQ(chained[k].response_time, batch[k].response_time) << "k=" << k;
+  }
+}
+
+TEST(OptimizeMany, HeterogeneousRequestsResolvePerSolver) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer fcfs(cluster, Discipline::Fcfs);
+  const opt::LoadDistributionOptimizer prio(cluster, Discipline::SpecialPriority);
+  std::vector<opt::SolveRequest> reqs;
+  for (double lambda : {4.0, 5.0, 6.0}) reqs.push_back({&fcfs, lambda});
+  for (double lambda : {4.0, 5.0, 6.0}) reqs.push_back({&prio, lambda});
+  par::ThreadPool pool(2);
+  const auto sols = opt::optimize_many(reqs, pool);
+  ASSERT_EQ(sols.size(), reqs.size());
+  for (std::size_t k = 0; k < reqs.size(); ++k) {
+    const auto solo = reqs[k].solver->optimize(reqs[k].lambda_total);
+    EXPECT_NEAR(sols[k].response_time, solo.response_time, 1e-9 * (1.0 + solo.response_time))
+        << "k=" << k;
+  }
+  // Priority waits dominate FCFS waits at equal lambda on this cluster.
+  EXPECT_GT(sols[3].response_time, sols[0].response_time);
+}
+
+TEST(OptimizeMany, RejectsBadInput) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, Discipline::Fcfs);
+  par::ThreadPool pool(1);
+  opt::BatchOptions bad;
+  bad.chunk = 0;
+  const std::vector<double> grid{4.0};
+  EXPECT_THROW((void)opt::optimize_many(solver, grid, pool, bad), std::invalid_argument);
+  const std::vector<opt::SolveRequest> null_req{{nullptr, 4.0}};
+  EXPECT_THROW((void)opt::optimize_many(null_req, pool), std::invalid_argument);
+}
+
+TEST(OptimizeMany, PropagatesSolveErrors) {
+  const auto cluster = model::paper_example_cluster();
+  const opt::LoadDistributionOptimizer solver(cluster, Discipline::Fcfs);
+  par::ThreadPool pool(2);
+  std::vector<double> grid{4.0, 5.0, 1e9 /* infeasible */, 6.0};
+  EXPECT_THROW((void)opt::optimize_many(solver, grid, pool), std::invalid_argument);
+}
+
+// --- for_each_chunk ------------------------------------------------------
+
+TEST(ForEachChunk, CoversEveryIndexExactlyOnce) {
+  par::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(103);
+  par::for_each_chunk(pool, hits.size(), 16, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(hi, hits.size());
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ForEachChunk, RethrowsFirstException) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(par::for_each_chunk(pool, 50, 8,
+                                   [&](std::size_t lo, std::size_t) {
+                                     if (lo >= 16) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  EXPECT_THROW(par::for_each_chunk(pool, 5, 0, [](std::size_t, std::size_t) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
