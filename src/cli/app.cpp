@@ -1,5 +1,6 @@
 #include "cli/app.hpp"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "core/sensitivity.hpp"
 #include "parallel/sweep.hpp"
 #include "queueing/waiting_distribution.hpp"
+#include "runtime/replay.hpp"
 #include "sim/simulation.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -207,6 +209,43 @@ std::string run_trace(const model::Cluster& cluster, double trough, double peak,
   return os.str();
 }
 
+std::string run_serve_replay(const model::Cluster& cluster, const std::string& trace_text,
+                             const ServeOptions& serve, const CommonOptions& opts) {
+  if (opts.service_scv != 1.0) {
+    throw std::invalid_argument("serve-replay draws exponential task sizes (no --scv)");
+  }
+  auto trace = runtime::parse_replay_trace(trace_text);
+  if (serve.seed > 0) trace.seed = serve.seed;
+
+  runtime::ControllerConfig cfg;
+  cfg.discipline = opts.discipline;
+  cfg.half_life = serve.half_life > 0.0 ? serve.half_life : trace.horizon / 100.0;
+  cfg.utilization_ceiling = serve.utilization_ceiling;
+  cfg.drift_threshold = serve.drift_threshold;
+  const auto res = runtime::replay(cluster, cfg, trace);
+
+  std::ostringstream os;
+  os << cluster.describe() << '\n'
+     << "replayed horizon " << trace.horizon << " (seed " << trace.seed << ", half-life "
+     << util::fixed(cfg.half_life, 3) << ", ceiling " << cfg.utilization_ceiling << ")\n\n"
+     << "generic arrivals  " << res.stats.generic_arrivals << " offered, " << res.stats.admitted
+     << " admitted, " << res.stats.shed << " shed ("
+     << util::fixed(100.0 * res.shed_fraction, 3) << "%)\n"
+     << "special arrivals  " << res.stats.special_arrivals << '\n'
+     << "controller        " << res.stats.resolves << " resolves, "
+     << res.stats.skipped_by_hysteresis << " drift checks skipped, "
+     << res.stats.infeasible_resolves << " infeasible, " << res.stats.publications
+     << " weight publications\n"
+     << "events            " << res.stats.failures << " failures, " << res.stats.recoveries
+     << " recoveries\n"
+     << "measured T'       " << util::fixed(res.sim.generic_mean_response, 4) << " generic ("
+     << res.sim.generic_samples << " tasks), " << util::fixed(res.sim.special_mean_response, 4)
+     << " special (" << res.sim.special_samples << " tasks)\n"
+     << "final split       " << util::to_string(res.final_fractions, 4) << " (shed prob "
+     << util::fixed(res.final_shed_probability, 4) << ")\n";
+  return os.str();
+}
+
 std::string run_figure(int number, const std::string& format, std::size_t points) {
   const auto fig = cloud::figure(number, points);
   if (format == "csv") return cloud::to_csv(fig);
@@ -247,6 +286,8 @@ std::string usage() {
          "  percentiles <spec> <lambda>             per-server response percentiles\n"
          "  allocate <spec> <lambda>                repack blades across chassis\n"
          "  trace <spec> <trough> <peak>            diurnal-profile study\n"
+         "  serve-replay <spec> <trace|reference>   replay an event trace through the\n"
+         "                                          online controller + simulator\n"
          "  figures <number> <csv|json|ascii>       regenerate a paper figure (4..15)\n"
          "  consolidate <spec> <trough> <peak> <slo> blade power-down plan\n"
          "\n"
@@ -254,7 +295,10 @@ std::string usage() {
          "  --priority        special tasks get non-preemptive priority\n"
          "  --scv <x>         task-size SCV (default 1 = exponential)\n"
          "  --reps <n>        validate: replications (default 6)\n"
-         "  --seed <n>        validate: base seed (default 1)\n"
+         "  --seed <n>        validate / serve-replay: base seed (default 1)\n"
+         "  --half-life <t>   serve-replay: estimator half-life (default horizon/100)\n"
+         "  --ceiling <u>     serve-replay: admission utilization ceiling (default 0.95)\n"
+         "  --drift <x>       serve-replay: hysteresis re-solve threshold (default 0.02)\n"
          "  --verbose         solver convergence summaries on stderr\n"
          "  --threads <n>     sweep: worker threads (default 0 = shared pool)\n"
          "  --metrics-out <path>        export run metrics after the command\n"
@@ -265,7 +309,7 @@ std::string usage() {
 namespace {
 
 std::string dispatch(const std::vector<std::string>& pos, const CommonOptions& opts, int reps,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, const ServeOptions& serve) {
   const std::string& cmd = pos[0];
   auto need = [&](std::size_t n, const char* shape) {
     if (pos.size() != n) {
@@ -301,6 +345,21 @@ std::string dispatch(const std::vector<std::string>& pos, const CommonOptions& o
     need(4, "trace <spec> <trough> <peak>");
     return run_trace(load_cluster_spec(pos[1]), std::stod(pos[2]), std::stod(pos[3]), opts);
   }
+  if (cmd == "serve-replay") {
+    need(3, "serve-replay <spec> <trace-file|reference>");
+    const auto cluster = load_cluster_spec(pos[1]);
+    std::string text;
+    if (pos[2] == "reference") {
+      text = runtime::to_text(runtime::reference_failure_trace(cluster, 6000.0));
+    } else {
+      std::ifstream in(pos[2]);
+      if (!in) throw std::invalid_argument("cannot open trace file '" + pos[2] + "'");
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    return run_serve_replay(cluster, text, serve, opts);
+  }
   if (cmd == "figures") {
     need(3, "figures <number> <csv|json|ascii>");
     return run_figure(std::stoi(pos[1]), pos[2]);
@@ -318,6 +377,7 @@ std::string dispatch(const std::vector<std::string>& pos, const CommonOptions& o
 std::string run_cli(const std::vector<std::string>& args) {
   std::vector<std::string> pos;
   CommonOptions opts;
+  ServeOptions serve;
   int reps = 6;
   std::uint64_t seed = 1;
   std::string metrics_out;
@@ -336,6 +396,13 @@ std::string run_cli(const std::vector<std::string>& args) {
       reps = std::stoi(next("--reps"));
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::stoull(next("--seed")));
+      serve.seed = seed;
+    } else if (a == "--half-life") {
+      serve.half_life = std::stod(next("--half-life"));
+    } else if (a == "--ceiling") {
+      serve.utilization_ceiling = std::stod(next("--ceiling"));
+    } else if (a == "--drift") {
+      serve.drift_threshold = std::stod(next("--drift"));
     } else if (a == "--verbose") {
       opts.verbosity = 1;
     } else if (a == "--threads") {
@@ -354,7 +421,7 @@ std::string run_cli(const std::vector<std::string>& args) {
     }
   }
   if (pos.empty()) throw std::invalid_argument(usage());
-  std::string out = dispatch(pos, opts, reps, seed);
+  std::string out = dispatch(pos, opts, reps, seed, serve);
   // Export after the command so the file reflects the whole run. Workers
   // are idle here (every command drains its sweeps before returning), so
   // the snapshot is an exact cut.

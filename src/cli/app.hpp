@@ -59,6 +59,24 @@ struct CommonOptions {
 [[nodiscard]] std::string run_consolidate(const model::Cluster& cluster, double trough,
                                           double peak, double slo, const CommonOptions& opts);
 
+/// Knobs for `serve-replay` (defaults marked 0 are derived from the
+/// trace: half-life = horizon/100, seed from the trace file).
+struct ServeOptions {
+  double half_life = 0.0;           ///< --half-life: estimator memory
+  double utilization_ceiling = 0.95;  ///< --ceiling: admission-control cap
+  double drift_threshold = 0.02;    ///< --drift: hysteresis threshold
+  std::uint64_t seed = 0;           ///< --seed: overrides the trace's seed
+};
+
+/// `serve-replay`: replay an event trace (rate swings, blade failures,
+/// recoveries) through the runtime controller and the simulator.
+/// `trace_text` is the trace file's content; pass the result of
+/// runtime::to_text(runtime::reference_failure_trace(...)) for the
+/// built-in "reference" scenario.
+[[nodiscard]] std::string run_serve_replay(const model::Cluster& cluster,
+                                           const std::string& trace_text,
+                                           const ServeOptions& serve, const CommonOptions& opts);
+
 /// Usage text for the argv wrapper.
 [[nodiscard]] std::string usage();
 

@@ -1,6 +1,7 @@
 #include "cloud/trace.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "core/objective.hpp"
@@ -62,6 +63,42 @@ TraceResult run_adaptive(const model::Cluster& cluster, queue::Discipline d,
   res.epochs.reserve(profile.epoch_rates.size());
   for (double lam : profile.epoch_rates) {
     res.epochs.push_back({lam, solver.optimize(lam).response_time});
+  }
+  finalize(res);
+  return res;
+}
+
+TraceResult run_controller(const model::Cluster& cluster, queue::Discipline d,
+                           const LoadProfile& profile, runtime::ControllerConfig cfg) {
+  check_profile(cluster, profile);
+  cfg.discipline = d;
+  runtime::Controller ctrl(cluster, cfg);
+
+  TraceResult res;
+  res.epochs.reserve(profile.epoch_rates.size());
+  double t = 0.0;
+  std::uint64_t k = 0;
+  for (double lam : profile.epoch_rates) {
+    const double epoch_end = t + profile.epoch_duration;
+    const double gap = 1.0 / lam;
+    // Evenly spaced arrivals at exactly lam; the golden-ratio sequence
+    // stands in for the admission uniforms (equidistributed, seedless).
+    while (t + gap <= epoch_end) {
+      t += gap;
+      const double u = std::fmod(static_cast<double>(++k) * 0.61803398874989485, 1.0);
+      ctrl.on_generic_arrival(t, u);
+    }
+    t = epoch_end;
+    ctrl.resolve_now(t);
+
+    const double shed = ctrl.shed_probability();
+    const double admitted = lam * (1.0 - shed);
+    if (shed > 0.0) ++res.overloaded_epochs;
+    const auto fractions = ctrl.routing_fractions();
+    std::vector<double> rates(fractions.size());
+    for (std::size_t i = 0; i < fractions.size(); ++i) rates[i] = admitted * fractions[i];
+    const opt::ResponseTimeObjective obj(cluster, d, admitted);
+    res.epochs.push_back({lam, obj.value(rates)});
   }
   finalize(res);
   return res;

@@ -11,6 +11,7 @@
 
 #include "model/cluster.hpp"
 #include "queueing/blade_queue.hpp"
+#include "runtime/controller.hpp"
 
 namespace blade::cloud {
 
@@ -41,6 +42,18 @@ struct TraceResult {
 /// Re-optimizes the split at the start of every epoch.
 [[nodiscard]] TraceResult run_adaptive(const model::Cluster& cluster, queue::Discipline d,
                                        const LoadProfile& profile);
+
+/// Controller-backed adaptive mode: instead of handing each epoch's exact
+/// rate to the solver (run_adaptive's oracle), a runtime::Controller only
+/// sees the arrival stream — evenly spaced arrivals at the epoch rate —
+/// and must estimate it, pass its hysteresis check, and republish. Each
+/// epoch's T' is then evaluated analytically at the published routing
+/// fractions and admitted rate. overloaded_epochs counts epochs the
+/// controller ended with a nonzero shed probability (its utilization
+/// ceiling engaged). `cfg.discipline` is overridden by `d`.
+[[nodiscard]] TraceResult run_controller(const model::Cluster& cluster, queue::Discipline d,
+                                         const LoadProfile& profile,
+                                         runtime::ControllerConfig cfg = {});
 
 /// Optimizes one split at `design_rate`, then *scales* it proportionally
 /// to each epoch's total rate (the natural way to hold routing

@@ -1,0 +1,292 @@
+#include "runtime/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace blade::runtime {
+
+void ControllerConfig::validate() const {
+  if (!(half_life > 0.0) || !std::isfinite(half_life)) {
+    throw std::invalid_argument("ControllerConfig: half_life must be > 0");
+  }
+  if (!(window >= 0.0) || !std::isfinite(window)) {
+    throw std::invalid_argument("ControllerConfig: window must be >= 0");
+  }
+  if (!(drift_threshold >= 0.0) || !std::isfinite(drift_threshold)) {
+    throw std::invalid_argument("ControllerConfig: drift_threshold must be >= 0");
+  }
+  if (check_interval < 1) {
+    throw std::invalid_argument("ControllerConfig: check_interval must be >= 1");
+  }
+  if (!(utilization_ceiling > 0.0) || !(utilization_ceiling < 1.0)) {
+    throw std::invalid_argument("ControllerConfig: utilization_ceiling must be in (0, 1)");
+  }
+  if (!(initial_lambda >= 0.0) || !std::isfinite(initial_lambda)) {
+    throw std::invalid_argument("ControllerConfig: initial_lambda must be >= 0");
+  }
+  solver.validate();
+}
+
+double ControllerStats::shed_fraction() const noexcept {
+  const std::uint64_t offered = admitted + shed;
+  return offered > 0 ? static_cast<double>(shed) / static_cast<double>(offered) : 0.0;
+}
+
+Controller::Controller(model::Cluster cluster, ControllerConfig cfg)
+    : cluster_(std::move(cluster)), cfg_(cfg) {
+  cfg_.validate();
+  const std::size_t n = cluster_.size();
+  avail_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) avail_[i] = cluster_.server(i).size();
+  solved_special_.assign(n, -1.0);
+
+  const double win = cfg_.window > 0.0 ? cfg_.window : 4.0 * cfg_.half_life;
+  if (cfg_.estimator == EstimatorKind::Ewma) {
+    ewma_.reserve(n + 1);
+    for (std::size_t i = 0; i < n + 1; ++i) ewma_.emplace_back(cfg_.half_life, 0.0);
+  } else {
+    window_.reserve(n + 1);
+    for (std::size_t i = 0; i < n + 1; ++i) window_.emplace_back(win, 0.0);
+  }
+
+  if (cfg_.initial_lambda > 0.0) {
+    resolve(0.0);
+  } else {
+    publish_fallback(0.0);
+  }
+}
+
+double Controller::capacity(std::size_t i) const {
+  return static_cast<double>(avail_[i]) * cluster_.server(i).speed() / cluster_.rbar();
+}
+
+double Controller::estimated_lambda(double t) const {
+  return cfg_.estimator == EstimatorKind::Ewma ? ewma_[0].rate(t) : window_[0].rate(t);
+}
+
+double Controller::estimated_special_rate(std::size_t i, double t) const {
+  if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  const std::uint64_t seen =
+      cfg_.estimator == EstimatorKind::Ewma ? ewma_[i + 1].count() : window_[i + 1].count();
+  if (seen < cfg_.min_arrivals) return cluster_.server(i).special_rate();
+  return cfg_.estimator == EstimatorKind::Ewma ? ewma_[i + 1].rate(t) : window_[i + 1].rate(t);
+}
+
+double Controller::special_rate_for_solve(std::size_t i, double t) const {
+  // Clamp below the surviving capacity so the effective per-server model
+  // stays constructible even when the estimate (or the nominal preload
+  // after blade loss) would saturate the server on its own.
+  return std::min(estimated_special_rate(i, t), cfg_.utilization_ceiling * capacity(i));
+}
+
+unsigned Controller::available_blades(std::size_t i) const {
+  if (i >= avail_.size()) throw std::invalid_argument("Controller: server index out of range");
+  return avail_[i];
+}
+
+std::size_t Controller::alive_servers() const noexcept {
+  std::size_t alive = 0;
+  for (unsigned a : avail_) {
+    if (a > 0) ++alive;
+  }
+  return alive;
+}
+
+std::shared_ptr<const util::AliasTable> Controller::weights() const {
+  return table_.load();
+}
+
+std::vector<double> Controller::routing_fractions() const {
+  const auto table = weights();
+  return table ? table->fractions() : std::vector<double>{};
+}
+
+double Controller::shed_probability() const noexcept {
+  return shed_prob_.load(std::memory_order_relaxed);
+}
+
+bool Controller::on_generic_arrival(double t, double u) {
+  ++stats_.generic_arrivals;
+  BLADE_OBS_COUNT("runtime.generic_arrivals");
+  if (cfg_.estimator == EstimatorKind::Ewma) {
+    ewma_[0].observe(t);
+  } else {
+    window_[0].observe(t);
+  }
+  if (++arrivals_since_check_ >= cfg_.check_interval) {
+    arrivals_since_check_ = 0;
+    check_drift(t);
+  }
+  const bool admit = !(u < shed_prob_.load(std::memory_order_relaxed));
+  if (admit) {
+    ++stats_.admitted;
+    BLADE_OBS_COUNT("runtime.admitted");
+  } else {
+    ++stats_.shed;
+    BLADE_OBS_COUNT("runtime.shed_tasks");
+  }
+  return admit;
+}
+
+void Controller::on_special_arrival(double t, std::size_t i) {
+  if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  ++stats_.special_arrivals;
+  BLADE_OBS_COUNT("runtime.special_arrivals");
+  if (cfg_.estimator == EstimatorKind::Ewma) {
+    ewma_[i + 1].observe(t);
+  } else {
+    window_[i + 1].observe(t);
+  }
+}
+
+void Controller::on_failure(double t, std::size_t i, unsigned blades) {
+  if (i >= avail_.size()) throw std::invalid_argument("Controller: server index out of range");
+  ++stats_.failures;
+  BLADE_OBS_COUNT("runtime.failures");
+  avail_[i] = blades == 0 ? 0u : avail_[i] - std::min(avail_[i], blades);
+  // The cached phi bracket belongs to the old topology; only the seed
+  // would survive prepare(), and even that is stale now.
+  ws_.clear();
+  resolve(t);
+}
+
+void Controller::on_recovery(double t, std::size_t i, unsigned blades) {
+  if (i >= avail_.size()) throw std::invalid_argument("Controller: server index out of range");
+  ++stats_.recoveries;
+  BLADE_OBS_COUNT("runtime.recoveries");
+  const unsigned full = cluster_.server(i).size();
+  avail_[i] = blades == 0 ? full : std::min(full, avail_[i] + blades);
+  ws_.clear();
+  resolve(t);
+}
+
+void Controller::resolve_now(double t) { resolve(t); }
+
+void Controller::check_drift(double t) {
+  const std::uint64_t seen =
+      cfg_.estimator == EstimatorKind::Ewma ? ewma_[0].count() : window_[0].count();
+  if (seen < cfg_.min_arrivals) return;  // estimator still warming up
+  if (solved_lambda_ < 0.0) {
+    resolve(t);
+    return;
+  }
+  const double lam = estimated_lambda(t);
+  double drift = std::abs(lam - solved_lambda_) / std::max(solved_lambda_, 1e-12);
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    if (avail_[i] == 0 || solved_special_[i] < 0.0) continue;
+    // Special-stream drift normalized by the server's capacity: a tiny
+    // absolute move on a near-idle stream should not force a re-solve.
+    drift = std::max(drift, std::abs(special_rate_for_solve(i, t) - solved_special_[i]) /
+                                std::max(capacity(i), 1e-12));
+  }
+  if (drift > cfg_.drift_threshold) {
+    resolve(t);
+  } else {
+    ++stats_.skipped_by_hysteresis;
+    BLADE_OBS_COUNT("runtime.skipped_by_hysteresis");
+  }
+}
+
+void Controller::publish(const std::vector<double>& weights, double shed_prob) {
+  shed_prob_.store(shed_prob, std::memory_order_relaxed);
+  table_.store(std::make_shared<const util::AliasTable>(weights));
+  ++stats_.publications;
+  BLADE_OBS_COUNT("runtime.publications");
+  BLADE_OBS_GAUGE_SET("runtime.shed_probability", shed_prob);
+}
+
+void Controller::publish_fallback(double shed_prob) {
+  // Generic-capacity-proportional split over the surviving servers: any
+  // feasible admitted total split this way keeps every server below its
+  // own bound, so the fallback is safe whatever the (unknown) load is.
+  std::vector<double> w(cluster_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    if (avail_[i] == 0) continue;
+    const double gc =
+        capacity(i) - std::min(cluster_.server(i).special_rate(),
+                               cfg_.utilization_ceiling * capacity(i));
+    w[i] = std::max(gc, 0.0);
+    total += w[i];
+  }
+  if (total > 0.0) {
+    publish(w, shed_prob);
+  } else {
+    shed_prob_.store(1.0, std::memory_order_relaxed);
+    table_.store(nullptr);
+    ++stats_.publications;
+    BLADE_OBS_COUNT("runtime.publications");
+    BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
+  }
+}
+
+void Controller::resolve(double t) {
+  ++stats_.resolves;
+  BLADE_OBS_COUNT("runtime.resolves");
+  BLADE_OBS_TIMER("runtime.resolve_seconds");
+
+  const std::uint64_t seen =
+      cfg_.estimator == EstimatorKind::Ewma ? ewma_[0].count() : window_[0].count();
+  const double lam_hat =
+      seen >= cfg_.min_arrivals ? estimated_lambda(t) : cfg_.initial_lambda;
+  BLADE_OBS_GAUGE_SET("runtime.estimated_lambda", lam_hat);
+
+  // Surviving topology and the special preloads the solve will assume.
+  std::vector<std::size_t> alive;
+  alive.reserve(cluster_.size());
+  std::vector<double> special(cluster_.size(), -1.0);
+  double lambda_max = 0.0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    if (avail_[i] == 0) continue;
+    alive.push_back(i);
+    special[i] = special_rate_for_solve(i, t);
+    lambda_max += capacity(i) - special[i];
+  }
+
+  if (alive.empty() || !(lambda_max > 0.0)) {
+    solved_lambda_ = lam_hat;
+    solved_special_ = special;
+    ++stats_.infeasible_resolves;
+    BLADE_OBS_COUNT("runtime.infeasible_resolves");
+    shed_prob_.store(1.0, std::memory_order_relaxed);
+    table_.store(nullptr);
+    ++stats_.publications;
+    BLADE_OBS_COUNT("runtime.publications");
+    BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
+    return;
+  }
+
+  const double target = std::min(lam_hat, cfg_.utilization_ceiling * lambda_max);
+  const double shed_prob = lam_hat > 0.0 ? std::max(0.0, 1.0 - target / lam_hat) : 0.0;
+  solved_lambda_ = lam_hat;
+  solved_special_ = special;
+  if (shed_prob > 0.0) {
+    ++stats_.infeasible_resolves;
+    BLADE_OBS_COUNT("runtime.infeasible_resolves");
+  }
+
+  if (!(target > 0.0)) {
+    // Nothing measurable to place yet: publish the safe proportional
+    // split and wait for load.
+    publish_fallback(shed_prob);
+    return;
+  }
+
+  std::vector<model::BladeServer> servers;
+  servers.reserve(alive.size());
+  for (std::size_t i : alive) {
+    servers.emplace_back(avail_[i], cluster_.server(i).speed(), special[i]);
+  }
+  const opt::LoadDistributionOptimizer solver(model::Cluster(std::move(servers), cluster_.rbar()),
+                                              cfg_.discipline, cfg_.solver);
+  const auto sol = solver.optimize(target, ws_);
+
+  std::vector<double> w(cluster_.size(), 0.0);
+  for (std::size_t k = 0; k < alive.size(); ++k) w[alive[k]] = sol.rates[k];
+  publish(w, shed_prob);
+}
+
+}  // namespace blade::runtime

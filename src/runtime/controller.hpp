@@ -1,0 +1,219 @@
+// Online load-distribution control plane. The paper's solver answers one
+// stationary instance; this Controller closes the loop around it for a
+// live cluster:
+//
+//   estimate     lambda' (total generic rate) and per-server lambda''_i
+//                online from the event stream (EWMA or sliding window,
+//                configurable half-life);
+//   re-solve     the optimal split through a persistent SolverWorkspace
+//                with hysteresis — a drift check every check_interval
+//                arrivals, a re-solve only when the estimates moved past
+//                drift_threshold, and the previous phi seeding the next
+//                solve (see SolverWorkspace);
+//   publish      routing weights as an O(1) alias-table sampler swapped
+//                through an atomic slot, so dispatch threads keep
+//                sampling while the control path reconverges;
+//   degrade      blade failures/recoveries mutate the available m_i
+//                (server removal = m_i -> 0) and force an immediate
+//                re-solve; when the estimated lambda' approaches the
+//                surviving capacity, admission control sheds the minimum
+//                fraction that restores feasibility at the configured
+//                utilization ceiling.
+//
+// Threading contract: all event ingestion (on_* and resolve_now) is
+// single-threaded — one control thread owns it. weights(),
+// routing_fractions(), and shed_probability() are safe to call from any
+// number of concurrent dispatch threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "queueing/blade_queue.hpp"
+#include "runtime/estimator.hpp"
+#include "util/alias_table.hpp"
+
+namespace blade::runtime {
+
+namespace detail {
+
+/// Atomic publication slot for the routing table. Semantically this is
+/// std::atomic<std::shared_ptr<const AliasTable>>, but libstdc++ 12's
+/// _Sp_atomic unlocks with a relaxed fetch_sub, which leaves no
+/// TSan-visible happens-before edge between a reader's critical section
+/// and the next writer's (the annotations landed in GCC 13). A
+/// micro-spinlock with a release unlock gives the same O(1) hand-off
+/// with ordering the model (and TSan) accepts: readers copy the current
+/// pointer under the lock (one refcount bump), the single control
+/// thread swaps it, and the displaced table is released outside the
+/// critical section.
+class TableSlot {
+ public:
+  [[nodiscard]] std::shared_ptr<const util::AliasTable> load() const noexcept {
+    lock();
+    auto copy = ptr_;
+    unlock();
+    return copy;
+  }
+
+  void store(std::shared_ptr<const util::AliasTable> next) noexcept {
+    lock();
+    ptr_.swap(next);
+    unlock();
+    // `next` now holds the displaced table; it dies here, after unlock.
+  }
+
+ private:
+  void lock() const noexcept {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() const noexcept { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<const util::AliasTable> ptr_;
+};
+
+}  // namespace detail
+
+enum class EstimatorKind : std::uint8_t { Ewma, Window };
+
+struct ControllerConfig {
+  queue::Discipline discipline = queue::Discipline::Fcfs;
+  EstimatorKind estimator = EstimatorKind::Ewma;
+  /// Estimator memory: EWMA half-life; the sliding window spans
+  /// `window` (default 4 half-lives when 0).
+  double half_life = 1.0;
+  double window = 0.0;
+  /// Hysteresis: re-solve only when the estimated lambda' (relative) or
+  /// any lambda''_i (relative to that server's capacity) drifted past
+  /// this threshold since the last solve.
+  double drift_threshold = 0.02;
+  /// Arrivals between drift checks (each check either re-solves or
+  /// counts as skipped_by_hysteresis).
+  std::uint64_t check_interval = 16;
+  /// Estimator warmup: no estimate-driven solve before this many
+  /// arrivals have been observed.
+  std::uint64_t min_arrivals = 8;
+  /// Admission control keeps the admitted lambda' at or below this
+  /// fraction of the surviving generic capacity; must be in (0, 1).
+  double utilization_ceiling = 0.95;
+  /// When > 0, solve for this lambda' at construction so the published
+  /// weights start optimal for the expected load instead of
+  /// capacity-proportional.
+  double initial_lambda = 0.0;
+  opt::OptimizerOptions solver;
+
+  /// Throws std::invalid_argument on out-of-domain fields.
+  void validate() const;
+};
+
+struct ControllerStats {
+  std::uint64_t generic_arrivals = 0;  ///< offered (admitted + shed)
+  std::uint64_t special_arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;               ///< dropped by admission control
+  std::uint64_t resolves = 0;           ///< optimizer re-solves
+  std::uint64_t skipped_by_hysteresis = 0;  ///< drift checks below threshold
+  std::uint64_t infeasible_resolves = 0;    ///< re-solves that engaged shedding
+  std::uint64_t failures = 0;           ///< blade-failure events ingested
+  std::uint64_t recoveries = 0;
+  std::uint64_t publications = 0;       ///< reconvergence epochs (weight swaps)
+
+  /// Fraction of offered generic tasks shed so far (0 when none offered).
+  [[nodiscard]] double shed_fraction() const noexcept;
+};
+
+class Controller {
+ public:
+  /// @param cluster  nominal topology and special-stream preloads; the
+  ///                 spec lambda''_i also back the estimators before
+  ///                 they warm up
+  Controller(model::Cluster cluster, ControllerConfig cfg);
+
+  // --- event ingestion (control thread only) ---
+
+  /// A generic task was offered at time t; `u` is the caller's uniform
+  /// draw in [0, 1) deciding admission. Returns true when the task is
+  /// admitted (route it via weights()); false when admission control
+  /// shed it. Also feeds the lambda' estimator and runs the hysteresis
+  /// check every check_interval arrivals.
+  bool on_generic_arrival(double t, double u);
+
+  /// A special task arrived at server `i` at time t (feeds lambda''_i).
+  void on_special_arrival(double t, std::size_t i);
+
+  /// `blades` blades of server i failed at time t (0 = all remaining).
+  /// Triggers an immediate re-solve over the surviving topology.
+  void on_failure(double t, std::size_t i, unsigned blades = 0);
+
+  /// `blades` blades of server i came back at time t (0 = all missing).
+  void on_recovery(double t, std::size_t i, unsigned blades = 0);
+
+  /// Forces an immediate re-estimate + re-solve + publish (epoch
+  /// boundaries, tests).
+  void resolve_now(double t);
+
+  // --- read side (any thread) ---
+
+  /// The current routing sampler; never null while any server is alive
+  /// (a capacity-proportional table is published at construction).
+  /// Null only when every blade is down — shed_probability() is 1 then.
+  [[nodiscard]] std::shared_ptr<const util::AliasTable> weights() const;
+
+  /// Published routing fractions over all n servers (zeros for removed
+  /// servers); empty when no table is published (all blades down).
+  [[nodiscard]] std::vector<double> routing_fractions() const;
+
+  /// Probability that admission control sheds an offered generic task.
+  [[nodiscard]] double shed_probability() const noexcept;
+
+  // --- introspection (control thread only) ---
+
+  [[nodiscard]] double estimated_lambda(double t) const;
+  /// lambda''_i estimate the next solve would use: the online estimate
+  /// once warmed up, the spec preload before that.
+  [[nodiscard]] double estimated_special_rate(std::size_t i, double t) const;
+  [[nodiscard]] unsigned available_blades(std::size_t i) const;
+  [[nodiscard]] std::size_t alive_servers() const noexcept;
+  /// The offered-rate estimate consumed by the last solve (< 0 before
+  /// the first estimate-driven solve).
+  [[nodiscard]] double last_solved_lambda() const noexcept { return solved_lambda_; }
+  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const model::Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cluster_.size(); }
+
+ private:
+  /// Generic capacity of server i under the surviving blade count.
+  [[nodiscard]] double capacity(std::size_t i) const;
+  [[nodiscard]] double special_rate_for_solve(std::size_t i, double t) const;
+  void check_drift(double t);
+  void resolve(double t);
+  void publish(const std::vector<double>& weights, double shed_prob);
+  void publish_fallback(double shed_prob);
+
+  model::Cluster cluster_;
+  ControllerConfig cfg_;
+  std::vector<unsigned> avail_;  ///< surviving blades per server
+
+  // One estimator pair per stream; only the configured kind is fed.
+  std::vector<EwmaRateEstimator> ewma_;      ///< [0] = lambda', [i+1] = lambda''_i
+  std::vector<WindowRateEstimator> window_;  ///< same layout
+
+  opt::SolverWorkspace ws_;
+  double solved_lambda_ = -1.0;
+  std::vector<double> solved_special_;
+  std::uint64_t arrivals_since_check_ = 0;
+  ControllerStats stats_;
+
+  std::atomic<double> shed_prob_{0.0};
+  detail::TableSlot table_;
+};
+
+}  // namespace blade::runtime

@@ -1,0 +1,95 @@
+#include "runtime/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::runtime {
+
+namespace {
+
+constexpr double kLn2 = 0.69314718055994530942;
+
+void check_time(double t, double last, const char* who) {
+  if (!std::isfinite(t) || t < last) {
+    throw std::invalid_argument(std::string(who) + ": observation times must be non-decreasing");
+  }
+}
+
+}  // namespace
+
+EwmaRateEstimator::EwmaRateEstimator(double half_life, double start_time)
+    : alpha_(kLn2 / half_life), start_(start_time), last_(start_time) {
+  if (!(half_life > 0.0) || !std::isfinite(half_life)) {
+    throw std::invalid_argument("EwmaRateEstimator: half_life must be > 0");
+  }
+  if (!std::isfinite(start_time)) {
+    throw std::invalid_argument("EwmaRateEstimator: start_time must be finite");
+  }
+}
+
+double EwmaRateEstimator::half_life() const noexcept { return kLn2 / alpha_; }
+
+void EwmaRateEstimator::observe(double t) {
+  check_time(t, last_, "EwmaRateEstimator");
+  weight_ = weight_ * std::exp(-alpha_ * (t - last_)) + 1.0;
+  last_ = t;
+  ++count_;
+}
+
+double EwmaRateEstimator::rate(double t) const {
+  if (count_ == 0 || !(t > start_)) return 0.0;
+  const double w = weight_ * std::exp(-alpha_ * std::max(0.0, t - last_));
+  const double denom = -std::expm1(-alpha_ * (t - start_));  // 1 - e^{-alpha (t - t0)}
+  if (!(denom > 0.0)) return 0.0;
+  return alpha_ * w / denom;
+}
+
+void EwmaRateEstimator::reset(double start_time) {
+  if (!std::isfinite(start_time)) {
+    throw std::invalid_argument("EwmaRateEstimator: start_time must be finite");
+  }
+  start_ = start_time;
+  last_ = start_time;
+  weight_ = 0.0;
+  count_ = 0;
+}
+
+WindowRateEstimator::WindowRateEstimator(double window, double start_time)
+    : window_(window), start_(start_time), last_(start_time) {
+  if (!(window > 0.0) || !std::isfinite(window)) {
+    throw std::invalid_argument("WindowRateEstimator: window must be > 0");
+  }
+  if (!std::isfinite(start_time)) {
+    throw std::invalid_argument("WindowRateEstimator: start_time must be finite");
+  }
+}
+
+void WindowRateEstimator::observe(double t) {
+  check_time(t, last_, "WindowRateEstimator");
+  last_ = t;
+  times_.push_back(t);
+  ++count_;
+  while (!times_.empty() && times_.front() <= t - window_) times_.pop_front();
+}
+
+double WindowRateEstimator::rate(double t) const {
+  if (!(t > start_)) return 0.0;
+  const double span = std::min(window_, t - start_);
+  // Retained timestamps are sorted; count those still inside the window.
+  const auto first = std::upper_bound(times_.begin(), times_.end(), t - window_);
+  const auto in_window = static_cast<double>(std::distance(first, times_.end()));
+  return in_window / span;
+}
+
+void WindowRateEstimator::reset(double start_time) {
+  if (!std::isfinite(start_time)) {
+    throw std::invalid_argument("WindowRateEstimator: start_time must be finite");
+  }
+  start_ = start_time;
+  last_ = start_time;
+  times_.clear();
+  count_ = 0;
+}
+
+}  // namespace blade::runtime

@@ -1,0 +1,79 @@
+// Online arrival-rate estimation for the load-distribution controller.
+// Two estimators with the same observe/rate surface:
+//
+//   EwmaRateEstimator    exponentially decayed arrival count. With decay
+//                        alpha = ln 2 / half_life the decayed count W(t)
+//                        has expectation lambda (1 - e^{-alpha (t-t0)})
+//                        / alpha under a Poisson stream, so the
+//                        bias-corrected estimate
+//                            alpha W(t) / (1 - e^{-alpha (t-t0)})
+//                        is unbiased from the very first arrivals and
+//                        tracks a step change with residual 2^{-k} after
+//                        k half-lives.
+//
+//   WindowRateEstimator  arrivals inside a sliding window divided by the
+//                        covered span — an unbiased boxcar average,
+//                        sharper cutoff, more memory (one timestamp per
+//                        retained arrival).
+//
+// Both require non-decreasing observation times (simulated or wall time,
+// the controller feeds event timestamps).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace blade::runtime {
+
+class EwmaRateEstimator {
+ public:
+  /// @param half_life   time for a sample's weight to halve, > 0
+  /// @param start_time  when observation began (the correction baseline)
+  explicit EwmaRateEstimator(double half_life, double start_time = 0.0);
+
+  /// One arrival at time t (>= the previous observation).
+  void observe(double t);
+
+  /// Bias-corrected rate estimate at time t (0 before any arrival).
+  [[nodiscard]] double rate(double t) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double half_life() const noexcept;
+
+  /// Forgets all arrivals and restarts the bias baseline at t.
+  void reset(double start_time);
+
+ private:
+  double alpha_;
+  double start_;
+  double last_ = 0.0;    ///< time of the last arrival
+  double weight_ = 0.0;  ///< decayed arrival count at last_
+  std::uint64_t count_ = 0;
+};
+
+class WindowRateEstimator {
+ public:
+  /// @param window      boxcar span, > 0
+  /// @param start_time  when observation began
+  explicit WindowRateEstimator(double window, double start_time = 0.0);
+
+  void observe(double t);
+
+  /// Arrivals within (t - window, t] over the covered span
+  /// min(window, t - start). 0 before time advances past start.
+  [[nodiscard]] double rate(double t) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double window() const noexcept { return window_; }
+
+  void reset(double start_time);
+
+ private:
+  double window_;
+  double start_;
+  double last_ = 0.0;
+  std::deque<double> times_;  ///< retained arrival timestamps (sorted)
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace blade::runtime

@@ -1,0 +1,280 @@
+#include "runtime/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/arrivals.hpp"
+#include "sim/engine.hpp"
+#include "sim/failures.hpp"
+#include "sim/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/service.hpp"
+
+namespace blade::runtime {
+
+void ReplayTrace::validate(std::size_t n) const {
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument("ReplayTrace: horizon must be > 0");
+  }
+  for (const auto& e : events) {
+    if (!std::isfinite(e.time) || e.time < 0.0) {
+      throw std::invalid_argument("ReplayTrace: event times must be finite and >= 0");
+    }
+    if (e.kind == ReplayEvent::Kind::Rate) {
+      if (!std::isfinite(e.rate) || e.rate < 0.0) {
+        throw std::invalid_argument("ReplayTrace: rates must be finite and >= 0");
+      }
+    } else if (e.server >= n) {
+      throw std::invalid_argument("ReplayTrace: server index out of range");
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
+  std::ostringstream msg;
+  msg << "parse_replay_trace: line " << line_no << ": " << what;
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace
+
+ReplayTrace parse_replay_trace(const std::string& text) {
+  ReplayTrace trace;
+  bool have_horizon = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+    if (keyword == "horizon") {
+      if (!(fields >> trace.horizon)) parse_fail(line_no, "horizon needs a number");
+      have_horizon = true;
+    } else if (keyword == "seed") {
+      if (!(fields >> trace.seed)) parse_fail(line_no, "seed needs an integer");
+    } else if (keyword == "rate") {
+      ReplayEvent e;
+      e.kind = ReplayEvent::Kind::Rate;
+      if (!(fields >> e.time >> e.rate)) parse_fail(line_no, "rate needs <t> <lambda>");
+      trace.events.push_back(e);
+    } else if (keyword == "fail" || keyword == "recover") {
+      ReplayEvent e;
+      e.kind = keyword == "fail" ? ReplayEvent::Kind::Fail : ReplayEvent::Kind::Recover;
+      if (!(fields >> e.time >> e.server)) parse_fail(line_no, keyword + " needs <t> <server>");
+      fields >> e.blades;  // optional; stays 0 (= all) when absent
+      trace.events.push_back(e);
+    } else {
+      parse_fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+    std::string extra;
+    if (fields.clear(), fields >> extra) parse_fail(line_no, "trailing tokens");
+  }
+  if (!have_horizon) throw std::invalid_argument("parse_replay_trace: missing 'horizon' line");
+  return trace;
+}
+
+std::string to_text(const ReplayTrace& trace) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "horizon " << trace.horizon << "\n";
+  out << "seed " << trace.seed << "\n";
+  for (const auto& e : trace.events) {
+    switch (e.kind) {
+      case ReplayEvent::Kind::Rate:
+        out << "rate " << e.time << " " << e.rate << "\n";
+        break;
+      case ReplayEvent::Kind::Fail:
+        out << "fail " << e.time << " " << e.server << " " << e.blades << "\n";
+        break;
+      case ReplayEvent::Kind::Recover:
+        out << "recover " << e.time << " " << e.server << " " << e.blades << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+ReplayTrace reference_failure_trace(const model::Cluster& cluster, double horizon) {
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument("reference_failure_trace: horizon must be > 0");
+  }
+  ReplayTrace trace;
+  trace.horizon = horizon;
+  const double lambda_max = cluster.max_generic_rate();
+  // Diurnal shape: trough at the edges, a sustained peak over the middle
+  // third — the peak overlaps the outage, so the surviving capacity is
+  // exceeded exactly there and nowhere else.
+  const double shape[] = {0.35, 0.55, 0.80, 0.80, 0.55, 0.35};
+  for (std::size_t k = 0; k < 6; ++k) {
+    ReplayEvent e;
+    e.kind = ReplayEvent::Kind::Rate;
+    e.time = horizon * static_cast<double>(k) / 6.0;
+    e.rate = shape[k] * lambda_max;
+    trace.events.push_back(e);
+  }
+  std::size_t biggest = 0;
+  for (std::size_t i = 1; i < cluster.size(); ++i) {
+    if (cluster.server(i).capacity(cluster.rbar()) >
+        cluster.server(biggest).capacity(cluster.rbar())) {
+      biggest = i;
+    }
+  }
+  trace.events.push_back(
+      {.time = horizon / 3.0, .kind = ReplayEvent::Kind::Fail, .server = biggest});
+  trace.events.push_back(
+      {.time = 2.0 * horizon / 3.0, .kind = ReplayEvent::Kind::Recover, .server = biggest});
+  return trace;
+}
+
+namespace {
+
+/// Variable-rate generic Poisson source feeding the controller for
+/// admission and the published alias table for routing. Rate changes
+/// cancel and re-draw the pending interarrival — valid because the
+/// exponential is memoryless.
+struct GenericDriver {
+  sim::Engine& engine;
+  Controller& controller;
+  const std::vector<sim::ServerSim*>& servers;
+  sim::ServiceDistribution work;
+  sim::RngStream arrivals;
+  sim::RngStream routing;
+  sim::RngStream admission;
+  double rate = 0.0;
+  sim::EventId pending = 0;
+  bool has_pending = false;
+
+  void set_rate(double r) {
+    if (has_pending) {
+      engine.cancel(pending);
+      has_pending = false;
+    }
+    rate = r;
+    schedule_next();
+  }
+
+  void schedule_next() {
+    if (!(rate > 0.0)) return;
+    pending = engine.schedule(arrivals.exponential(1.0 / rate), [this] { fire(); });
+    has_pending = true;
+  }
+
+  void fire() {
+    has_pending = false;
+    const double t = engine.now();
+    if (controller.on_generic_arrival(t, admission.uniform())) {
+      const auto table = controller.weights();
+      if (table && table->size() == servers.size()) {
+        sim::Task task;
+        task.cls = sim::TaskClass::Generic;
+        task.work = work.sample(arrivals);
+        servers[table->sample(routing.uniform(), routing.uniform())]->arrive(task);
+      }
+    }
+    schedule_next();
+  }
+};
+
+}  // namespace
+
+ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
+                    const ReplayTrace& trace, double warmup, double service_scv) {
+  trace.validate(cluster.size());
+  if (!(warmup >= 0.0) || warmup >= trace.horizon) {
+    throw std::invalid_argument("replay: warmup must be in [0, horizon)");
+  }
+
+  sim::Engine engine;
+  sim::ResponseTimeCollector collector(warmup, false);
+  Controller controller(cluster, cfg);
+
+  const sim::SchedulingMode mode = sim::to_mode(cfg.discipline);
+  std::vector<std::unique_ptr<sim::ServerSim>> servers;
+  std::vector<sim::ServerSim*> raw;
+  for (const auto& srv : cluster.servers()) {
+    servers.push_back(
+        std::make_unique<sim::ServerSim>(engine, srv.size(), srv.speed(), mode, collector));
+    raw.push_back(servers.back().get());
+  }
+
+  // Special streams: each arrival feeds the controller's lambda''_i
+  // estimator and then enters its server (RNG stream ids match the
+  // static simulator's convention).
+  std::vector<std::unique_ptr<sim::PoissonSource>> sources;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& srv = cluster.server(i);
+    if (srv.special_rate() > 0.0) {
+      sim::ServerSim* dest = raw[i];
+      sources.push_back(std::make_unique<sim::PoissonSource>(
+          engine, srv.special_rate(),
+          sim::ServiceDistribution::from_scv(cluster.rbar(), service_scv),
+          sim::TaskClass::Special, sim::RngStream(trace.seed, 2 * i + 1),
+          [dest, i, &engine, &controller](sim::Task t) {
+            controller.on_special_arrival(engine.now(), i);
+            dest->arrive(t);
+          }));
+    }
+  }
+
+  GenericDriver driver{engine,
+                       controller,
+                       raw,
+                       sim::ServiceDistribution::from_scv(cluster.rbar(), service_scv),
+                       sim::RngStream(trace.seed, 1000003),
+                       sim::RngStream(trace.seed, 1000033),
+                       sim::RngStream(trace.seed, 1000019)};
+
+  // Failure/recovery events mutate the simulated blades first, then tell
+  // the controller, which re-solves and republishes at the same instant.
+  sim::FailureSchedule failures;
+  for (const auto& e : trace.events) {
+    if (e.kind == ReplayEvent::Kind::Rate) {
+      engine.schedule_at(e.time, [&driver, rate = e.rate] { driver.set_rate(rate); });
+    } else {
+      failures.events.push_back({e.time,
+                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
+                                                                   : sim::FailureKind::Recovery,
+                                 e.server, e.blades});
+    }
+  }
+  sim::schedule_failures(engine, failures, raw, [&](const sim::FailureEvent& ev) {
+    if (ev.kind == sim::FailureKind::Failure) {
+      controller.on_failure(engine.now(), ev.server, ev.blades);
+    } else {
+      controller.on_recovery(engine.now(), ev.server, ev.blades);
+    }
+  });
+
+  for (auto& src : sources) src->start();
+  engine.run_until(trace.horizon);
+
+  ReplayResult result;
+  result.stats = controller.stats();
+  result.shed_fraction = result.stats.shed_fraction();
+  result.final_shed_probability = controller.shed_probability();
+  result.final_fractions = controller.routing_fractions();
+  result.sim.generic_mean_response = collector.generic().mean();
+  result.sim.generic_samples = collector.generic().count();
+  result.sim.special_mean_response = collector.special().mean();
+  result.sim.special_samples = collector.special().count();
+  result.sim.events = engine.events_processed();
+  for (const auto& s : servers) {
+    sim::ServerObservation obs;
+    obs.utilization = s->mean_utilization(0.0, trace.horizon);
+    obs.time_avg_tasks = s->time_avg_tasks(0.0, trace.horizon);
+    obs.completions = s->completions();
+    obs.preemptions = s->preemptions();
+    result.sim.servers.push_back(obs);
+  }
+  return result;
+}
+
+}  // namespace blade::runtime

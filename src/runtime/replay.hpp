@@ -1,0 +1,80 @@
+// Trace replay: drives a Controller and the discrete-event simulator from
+// one event script — generic-rate changes, blade failures, recoveries —
+// so the whole control loop (estimate, re-solve, publish, shed) can be
+// exercised end to end on a reproducible timeline.
+//
+// The text format is line-oriented; '#' starts a comment. Server indices
+// are 0-based.
+//
+//   horizon <T>              total simulated time (required, > 0)
+//   seed <n>                 replication seed (default 1)
+//   rate <t> <lambda>        generic arrival rate becomes lambda at time t
+//   fail <t> <server> [k]    k blades of <server> fail at t (default: all)
+//   recover <t> <server> [k] k blades come back at t (default: all missing)
+//
+// `reference_failure_trace` builds the paper-cluster acceptance scenario:
+// a diurnal generic load riding on the example cluster, the biggest
+// server lost at T/3 and recovered at 2T/3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "runtime/controller.hpp"
+#include "sim/simulation.hpp"
+
+namespace blade::runtime {
+
+struct ReplayEvent {
+  enum class Kind : std::uint8_t { Rate, Fail, Recover };
+
+  double time = 0.0;
+  Kind kind = Kind::Rate;
+  double rate = 0.0;       ///< Rate events: the new generic lambda'
+  std::size_t server = 0;  ///< Fail/Recover events: 0-based server index
+  unsigned blades = 0;     ///< Fail/Recover events: blade count, 0 = all
+};
+
+struct ReplayTrace {
+  double horizon = 0.0;
+  std::uint64_t seed = 1;
+  std::vector<ReplayEvent> events;  ///< need not be sorted; replay sorts
+
+  /// Throws std::invalid_argument on a bad horizon, negative/non-finite
+  /// event times or rates, or a server index >= n.
+  void validate(std::size_t n) const;
+};
+
+/// Parses the text format above. Throws std::invalid_argument with the
+/// offending line number on malformed input.
+[[nodiscard]] ReplayTrace parse_replay_trace(const std::string& text);
+
+/// Serializes a trace back to the text format (round-trips with
+/// parse_replay_trace).
+[[nodiscard]] std::string to_text(const ReplayTrace& trace);
+
+/// The reference acceptance scenario for `cluster`: six diurnal rate
+/// epochs between 35% and 80% of lambda'_max, the highest-capacity server
+/// fully lost at horizon/3 and recovered at 2*horizon/3.
+[[nodiscard]] ReplayTrace reference_failure_trace(const model::Cluster& cluster, double horizon);
+
+struct ReplayResult {
+  ControllerStats stats;                ///< controller counters at the end
+  double shed_fraction = 0.0;           ///< stats.shed_fraction() shortcut
+  double final_shed_probability = 0.0;  ///< published shed prob at horizon
+  std::vector<double> final_fractions;  ///< published routing fractions
+  sim::SimResult sim;                   ///< measured response times etc.
+};
+
+/// Replays `trace` against a fresh Controller wired to simulated servers:
+/// special streams feed both their server and the controller's lambda''
+/// estimators; generic arrivals ask the controller for admission, then
+/// route through the currently published alias table. Failures drain the
+/// simulated blades and notify the controller at the same instant.
+[[nodiscard]] ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
+                                  const ReplayTrace& trace, double warmup = 0.0,
+                                  double service_scv = 1.0);
+
+}  // namespace blade::runtime

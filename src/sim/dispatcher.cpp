@@ -1,5 +1,6 @@
 #include "sim/dispatcher.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -33,10 +34,26 @@ std::size_t ProbabilisticDispatcher::route(const std::vector<ServerSim*>& server
     throw std::invalid_argument("ProbabilisticDispatcher: server count mismatch");
   }
   const double u = rng_.uniform();
-  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
-    if (u <= cumulative_[i]) return i;
+  // First i with cumulative_[i] >= u — the same index the old linear scan
+  // (`u <= cumulative_[i]`) returned, so seeded routing sequences are
+  // unchanged, in O(log n) instead of O(n).
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto i = static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+  return i < cumulative_.size() ? i : cumulative_.size() - 1;
+}
+
+DynamicWeightDispatcher::DynamicWeightDispatcher(TableProvider provider, RngStream rng)
+    : provider_(std::move(provider)), rng_(std::move(rng)) {
+  if (!provider_) throw std::invalid_argument("DynamicWeightDispatcher: null provider");
+}
+
+std::size_t DynamicWeightDispatcher::route(const std::vector<ServerSim*>& servers) {
+  if (servers.empty()) throw std::invalid_argument("DynamicWeightDispatcher: no servers");
+  const auto table = provider_();
+  if (!table || table->size() != servers.size()) {
+    return static_cast<std::size_t>(rng_.below(servers.size()));
   }
-  return cumulative_.size() - 1;
+  return table->sample(rng_.uniform(), rng_.uniform());
 }
 
 std::size_t RoundRobinDispatcher::route(const std::vector<ServerSim*>& servers) {

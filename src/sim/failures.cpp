@@ -1,0 +1,58 @@
+#include "sim/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace blade::sim {
+
+void FailureSchedule::validate(std::size_t n) const {
+  for (const auto& e : events) {
+    if (!std::isfinite(e.time) || e.time < 0.0) {
+      throw std::invalid_argument("FailureSchedule: event times must be finite and >= 0");
+    }
+    if (e.server >= n) {
+      throw std::invalid_argument("FailureSchedule: server index out of range");
+    }
+  }
+}
+
+FailureSchedule single_outage(std::size_t server, double fail_time, double recover_time) {
+  if (!(recover_time > fail_time)) {
+    throw std::invalid_argument("single_outage: recovery must follow the failure");
+  }
+  FailureSchedule s;
+  s.events.push_back({fail_time, FailureKind::Failure, server, 0});
+  s.events.push_back({recover_time, FailureKind::Recovery, server, 0});
+  return s;
+}
+
+void apply_failure_event(ServerSim& server, const FailureEvent& event) {
+  const unsigned avail = server.available_blades();
+  if (event.kind == FailureKind::Failure) {
+    const unsigned lost = event.blades == 0 ? avail : std::min(avail, event.blades);
+    server.set_available_blades(avail - lost);
+  } else {
+    const unsigned full = server.blades();
+    const unsigned gained = event.blades == 0 ? full - avail : std::min(full - avail, event.blades);
+    server.set_available_blades(avail + gained);
+  }
+}
+
+void schedule_failures(Engine& engine, const FailureSchedule& schedule,
+                       const std::vector<ServerSim*>& servers,
+                       std::function<void(const FailureEvent&)> observer) {
+  schedule.validate(servers.size());
+  auto shared_observer = std::make_shared<std::function<void(const FailureEvent&)>>(
+      std::move(observer));
+  for (const auto& event : schedule.events) {
+    ServerSim* target = servers[event.server];
+    engine.schedule_at(event.time, [target, event, shared_observer] {
+      apply_failure_event(*target, event);
+      if (*shared_observer) (*shared_observer)(event);
+    });
+  }
+}
+
+}  // namespace blade::sim

@@ -1,0 +1,54 @@
+// Failure injection for the simulated blade center: a time-ordered
+// schedule of blade failures and recoveries applied to ServerSims through
+// the event engine. Each event optionally notifies an observer (the
+// runtime Controller, a test harness) at its simulated instant, after the
+// server's available-blade count has been mutated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/server_sim.hpp"
+
+namespace blade::sim {
+
+enum class FailureKind : std::uint8_t { Failure, Recovery };
+
+struct FailureEvent {
+  double time = 0.0;
+  FailureKind kind = FailureKind::Failure;
+  std::size_t server = 0;
+  /// Blades affected; 0 means "all" (every remaining blade on a failure,
+  /// every missing blade on a recovery).
+  unsigned blades = 0;
+};
+
+struct FailureSchedule {
+  std::vector<FailureEvent> events;
+
+  /// Throws std::invalid_argument when an event references a server
+  /// index >= n or has a negative/non-finite time.
+  void validate(std::size_t n) const;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+/// A server loses all blades at `fail_time` and gets them back at
+/// `recover_time` — the canonical single-outage schedule.
+[[nodiscard]] FailureSchedule single_outage(std::size_t server, double fail_time,
+                                            double recover_time);
+
+/// Applies `event` to the server's available-blade count (graceful
+/// drain / immediate restart semantics, see ServerSim::set_available_blades).
+void apply_failure_event(ServerSim& server, const FailureEvent& event);
+
+/// Schedules every event on the engine: at event.time the matching
+/// ServerSim is mutated, then `observer` (if any) is invoked. The servers
+/// vector and observer must outlive the engine run.
+void schedule_failures(Engine& engine, const FailureSchedule& schedule,
+                       const std::vector<ServerSim*>& servers,
+                       std::function<void(const FailureEvent&)> observer = nullptr);
+
+}  // namespace blade::sim

@@ -7,7 +7,7 @@ namespace blade::sim {
 ServerSim::ServerSim(Engine& engine, unsigned blades, double speed, SchedulingMode mode,
                      ResponseTimeCollector& collector)
     : engine_(engine), blades_(blades), speed_(speed), mode_(mode), collector_(collector),
-      slots_(blades) {
+      slots_(blades), available_(blades) {
   if (blades == 0) throw std::invalid_argument("ServerSim: blades must be >= 1");
   if (!(speed > 0.0)) throw std::invalid_argument("ServerSim: speed must be > 0");
   last_change_ = engine.now();
@@ -95,8 +95,29 @@ void ServerSim::complete_slot(std::size_t slot) {
   account_system_change(-1);
   ++completions_;
   collector_.record(done.cls, engine_.now() - done.arrival_time, engine_.now());
-  if (auto next = dequeue()) {
-    start_on_slot(slot, *next);
+  if (busy_ < available_) {
+    if (auto next = dequeue()) {
+      start_on_slot(slot, *next);
+    }
+  }
+}
+
+void ServerSim::set_available_blades(unsigned k) {
+  if (k > blades_) {
+    throw std::invalid_argument("ServerSim::set_available_blades: more blades than installed");
+  }
+  available_ = k;
+  // Recovered blades pick up waiting work right away; a drain just stops
+  // feeding slots (running tasks finish where they are).
+  while (busy_ < available_) {
+    auto next = dequeue();
+    if (!next) break;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].busy) {
+        start_on_slot(i, *next);
+        break;
+      }
+    }
   }
 }
 
@@ -104,10 +125,12 @@ void ServerSim::arrive(Task task) {
   task.arrival_time = engine_.now();
   account_system_change(+1);
   // Free blade?
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].busy) {
-      start_on_slot(i, task);
-      return;
+  if (busy_ < available_) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].busy) {
+        start_on_slot(i, task);
+        return;
+      }
     }
   }
   // Preemptive extension: a special arrival may evict a running generic

@@ -38,7 +38,16 @@ class ServerSim {
   /// A task arrives at the current simulated time.
   void arrive(Task task);
 
+  /// Changes the number of usable blades (failure injection). Lowering is
+  /// a graceful drain: running tasks finish on their blade, but no new
+  /// task starts while busy blades >= the new count. Raising immediately
+  /// starts queued tasks on the freed blades. `k` must be <= blades().
+  /// With k == 0 the server accepts arrivals but runs nothing (they wait
+  /// for a recovery).
+  void set_available_blades(unsigned k);
+
   [[nodiscard]] unsigned blades() const noexcept { return blades_; }
+  [[nodiscard]] unsigned available_blades() const noexcept { return available_; }
   [[nodiscard]] double speed() const noexcept { return speed_; }
   [[nodiscard]] unsigned busy_blades() const noexcept { return busy_; }
   [[nodiscard]] std::size_t queued_tasks() const noexcept {
@@ -86,6 +95,7 @@ class ServerSim {
   std::deque<Task> generic_queue_;
   std::deque<Task> special_queue_;  // used in priority modes
   unsigned busy_ = 0;
+  unsigned available_;  ///< usable blades (== blades_ unless failed)
 
   double busy_integral_ = 0.0;
   double last_change_ = 0.0;

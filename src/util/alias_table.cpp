@@ -1,0 +1,75 @@
+#include "util/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::util {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: no weights");
+  if (n > static_cast<std::size_t>(UINT32_MAX)) {
+    throw std::invalid_argument("AliasTable: too many weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("AliasTable: all weights are zero");
+
+  fractions_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) fractions_[i] = weights[i] / total;
+
+  // Vose's stack construction over the weights scaled to mean 1. A zero
+  // weight scales to exactly 0, lands on the small stack, and keeps
+  // acceptance probability 0 — it can only redirect to its alias.
+  std::vector<double> scaled(n);
+  std::size_t heaviest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = fractions_[i] * static_cast<double>(n);
+    if (fractions_[i] > fractions_[heaviest]) heaviest = i;
+  }
+  prob_.assign(n, 0.0);
+  alias_.assign(n, static_cast<std::uint32_t>(heaviest));
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    large.pop_back();
+  }
+  // Floating-point leftovers on the small stack: a positive weight is a
+  // full bucket (its mass already matched within rounding); an exact
+  // zero keeps prob 0 so sample() always takes its (positive) alias.
+  while (!small.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    prob_[s] = fractions_[s] > 0.0 ? 1.0 : 0.0;
+  }
+}
+
+std::size_t AliasTable::sample(double u1, double u2) const noexcept {
+  const std::size_t n = prob_.size();
+  std::size_t i = static_cast<std::size_t>(u1 * static_cast<double>(n));
+  if (i >= n) i = n - 1;  // guards u1 == 1.0 and rounding at the edge
+  return u2 < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace blade::util

@@ -1,0 +1,40 @@
+// Walker/Vose alias method: O(n) construction, O(1) sampling from a
+// fixed discrete distribution. The runtime controller publishes one of
+// these per reconvergence epoch and the dispatcher draws from it per
+// task, so sampling must not scan — two uniforms, one comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace blade::util {
+
+class AliasTable {
+ public:
+  /// @param weights  unnormalized sampling weights; every entry must be
+  ///                 finite and >= 0, at least one must be > 0. Zero
+  ///                 entries are legal (a removed server) and are never
+  ///                 returned by sample().
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Index i with probability fractions()[i], from two independent
+  /// uniforms in [0, 1): u1 picks the bucket, u2 the bucket-vs-alias
+  /// coin. Deterministic in (u1, u2), so a seeded RNG stream pins the
+  /// whole routing sequence.
+  [[nodiscard]] std::size_t sample(double u1, double u2) const noexcept;
+
+  /// The normalized weights (sums to 1): the routing fractions this
+  /// table realizes.
+  [[nodiscard]] const std::vector<double>& fractions() const noexcept { return fractions_; }
+
+ private:
+  std::vector<double> prob_;           ///< bucket acceptance probability
+  std::vector<std::uint32_t> alias_;   ///< bucket alias target
+  std::vector<double> fractions_;
+};
+
+}  // namespace blade::util

@@ -1,0 +1,167 @@
+// Randomized controller battery: hundreds of seeded failure / recovery /
+// load-swing sequences against small random clusters, with structural
+// invariants checked after every event and a reconvergence check at the
+// end of each sequence. Runs in every sanitizer tier (label: fast).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "runtime/controller.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace blade;
+
+struct Harness {
+  model::Cluster cluster;
+  runtime::Controller ctrl;
+  std::vector<unsigned> avail;  // mirror of the expected blade counts
+  double t = 0.0;
+  double lambda;  // current offered-rate regime
+
+  Harness(model::Cluster c, runtime::ControllerConfig cfg, double lam)
+      : cluster(c), ctrl(std::move(c), cfg), avail(cluster.size()), lambda(lam) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) avail[i] = cluster.server(i).size();
+  }
+};
+
+/// Every invariant that must hold whatever the event history was.
+void check_invariants(const Harness& h, std::uint64_t seed, int step) {
+  const double shed = h.ctrl.shed_probability();
+  ASSERT_TRUE(std::isfinite(shed)) << "seed " << seed << " step " << step;
+  ASSERT_GE(shed, 0.0) << "seed " << seed << " step " << step;
+  ASSERT_LE(shed, 1.0) << "seed " << seed << " step " << step;
+
+  const double sf = h.ctrl.stats().shed_fraction();
+  ASSERT_GE(sf, 0.0) << "seed " << seed << " step " << step;
+  ASSERT_LE(sf, 1.0) << "seed " << seed << " step " << step;
+
+  bool any_alive = false;
+  for (std::size_t i = 0; i < h.avail.size(); ++i) {
+    ASSERT_EQ(h.ctrl.available_blades(i), h.avail[i]) << "seed " << seed << " step " << step;
+    if (h.avail[i] > 0) any_alive = true;
+  }
+
+  const auto f = h.ctrl.routing_fractions();
+  if (!any_alive) {
+    ASSERT_TRUE(f.empty()) << "seed " << seed << " step " << step;
+    ASSERT_EQ(shed, 1.0) << "seed " << seed << " step " << step;
+    return;
+  }
+  ASSERT_EQ(f.size(), h.avail.size()) << "seed " << seed << " step " << step;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(f[i])) << "seed " << seed << " step " << step << " i " << i;
+    ASSERT_GE(f[i], 0.0) << "seed " << seed << " step " << step << " i " << i;
+    if (h.avail[i] == 0) {
+      ASSERT_EQ(f[i], 0.0) << "seed " << seed << " step " << step << " dead i " << i;
+    }
+    sum += f[i];
+  }
+  ASSERT_NEAR(sum, 1.0, 1e-9) << "seed " << seed << " step " << step;
+}
+
+/// Feeds `count` evenly spaced arrivals at the harness's current rate.
+void feed_arrivals(Harness& h, sim::RngStream& rng, int count) {
+  const double gap = 1.0 / h.lambda;
+  for (int k = 0; k < count; ++k) h.ctrl.on_generic_arrival(h.t += gap, rng.uniform());
+}
+
+void run_sequence(std::uint64_t seed) {
+  sim::RngStream rng(seed, 7);
+
+  // A small random heterogeneous cluster: 2-4 servers, 1-4 blades each.
+  const std::size_t n = 2 + rng.below(3);
+  std::vector<unsigned> sizes(n);
+  std::vector<double> speeds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes[i] = 1 + static_cast<unsigned>(rng.below(4));
+    speeds[i] = 0.5 + 1.5 * rng.uniform();
+  }
+  const double preload = 0.1 + 0.3 * rng.uniform();
+  const auto cluster = model::make_cluster(sizes, speeds, 1.0, preload);
+  const double lam_max = cluster.max_generic_rate();
+
+  runtime::ControllerConfig cfg;
+  cfg.half_life = 32.0 / lam_max;  // ~32 arrivals of memory at full load
+  cfg.check_interval = 4;
+  cfg.min_arrivals = 8;
+  cfg.initial_lambda = 0.5 * lam_max;
+  Harness h(cluster, cfg, (0.3 + 0.5 * rng.uniform()) * 0.95 * lam_max);
+  check_invariants(h, seed, -1);
+
+  const int events = 20;
+  for (int step = 0; step < events; ++step) {
+    const std::uint64_t kind = rng.below(4);
+    if (kind == 0) {
+      // Load swing, possibly beyond the ceiling (admission territory).
+      h.lambda = (0.2 + 0.9 * rng.uniform()) * lam_max;
+    } else if (kind == 1) {
+      const std::size_t i = rng.below(n);
+      const unsigned blades = static_cast<unsigned>(rng.below(sizes[i] + 1));  // 0 = all
+      h.ctrl.on_failure(h.t += 1e-3, i, blades);
+      const unsigned lost = blades == 0 ? h.avail[i] : std::min(h.avail[i], blades);
+      h.avail[i] -= lost;
+    } else if (kind == 2) {
+      const std::size_t i = rng.below(n);
+      const unsigned blades = static_cast<unsigned>(rng.below(sizes[i] + 1));
+      h.ctrl.on_recovery(h.t += 1e-3, i, blades);
+      const unsigned missing = sizes[i] - h.avail[i];
+      h.avail[i] += blades == 0 ? missing : std::min(missing, blades);
+    } else {
+      h.ctrl.on_special_arrival(h.t += 1e-3, rng.below(n));
+    }
+    feed_arrivals(h, rng, 64);
+    check_invariants(h, seed, step);
+  }
+
+  // Reconverge: restore the full topology, settle on a feasible rate, and
+  // run the estimators for ~8 half-lives of stationary traffic.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h.avail[i] < sizes[i]) {
+      h.ctrl.on_recovery(h.t += 1e-3, i);
+      h.avail[i] = sizes[i];
+    }
+  }
+  h.lambda = 0.5 * lam_max;
+  const int settle = static_cast<int>(std::ceil(8.0 * cfg.half_life * h.lambda)) + 64;
+  feed_arrivals(h, rng, settle);
+  h.ctrl.resolve_now(h.t);
+  check_invariants(h, seed, events);
+
+  // Nothing sheds at half load, and the estimate has re-locked.
+  ASSERT_EQ(h.ctrl.shed_probability(), 0.0) << "seed " << seed;
+  ASSERT_NEAR(h.ctrl.last_solved_lambda(), h.lambda, 0.05 * h.lambda) << "seed " << seed;
+
+  // The published split must be the static optimum for exactly the
+  // inputs the last solve consumed: its lambda-hat and its (possibly
+  // estimator-fed, ceiling-clamped) special rates. Rebuild that instance
+  // and solve it independently.
+  std::vector<model::BladeServer> eff;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cap = sizes[i] * speeds[i] / cluster.rbar();
+    const double special = std::min(h.ctrl.estimated_special_rate(i, h.t),
+                                    cfg.utilization_ceiling * cap);
+    eff.emplace_back(sizes[i], speeds[i], special);
+  }
+  const auto sol = opt::LoadDistributionOptimizer(model::Cluster(std::move(eff), cluster.rbar()),
+                                                  queue::Discipline::Fcfs)
+                       .optimize(h.ctrl.last_solved_lambda());
+  const auto f = h.ctrl.routing_fractions();
+  ASSERT_EQ(f.size(), cluster.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    ASSERT_NEAR(f[i], sol.rates[i] / h.ctrl.last_solved_lambda(), 1e-3) << "seed " << seed;
+  }
+}
+
+TEST(RuntimeFuzz, RandomFailureRecoveryLoadSwingSequences) {
+  // >= 200 sequences per the acceptance bar; each is ~20 events plus a
+  // reconvergence tail, so the whole battery stays sanitizer-friendly.
+  for (std::uint64_t seed = 1; seed <= 220; ++seed) run_sequence(seed);
+}
+
+}  // namespace

@@ -89,6 +89,83 @@ TEST(Trace, StaticSplitFromLightDesignOverloadsAtPeak) {
   EXPECT_EQ(adaptive.overloaded_epochs, 0u);
 }
 
+TEST(Trace, StaticOverloadedEpochsAreCountedAndExcludedFromMean) {
+  const auto c = model::paper_example_cluster();
+  cloud::LoadProfile p;
+  p.epoch_rates = {4.0, 44.0};
+  const auto fixed = run_static(c, Discipline::Fcfs, p, 4.0);
+
+  // The saturating epoch is reported as infinite and counted...
+  ASSERT_EQ(fixed.epochs.size(), 2u);
+  EXPECT_TRUE(std::isfinite(fixed.epochs[0].response_time));
+  EXPECT_TRUE(std::isinf(fixed.epochs[1].response_time));
+  EXPECT_EQ(fixed.overloaded_epochs, 1u);
+
+  // ...and excluded from the task-weighted mean: with one finite epoch
+  // the mean must equal that epoch's T' exactly, not be dragged to inf.
+  EXPECT_TRUE(std::isfinite(fixed.mean_response_time));
+  EXPECT_DOUBLE_EQ(fixed.mean_response_time, fixed.epochs[0].response_time);
+}
+
+TEST(Trace, ControllerTracksAdaptiveOnFeasibleProfile) {
+  // The controller only sees the arrival stream, yet on a feasible
+  // profile with epochs much longer than its half-life it must land
+  // within a couple percent of the oracle re-solver — and never shed.
+  const auto c = model::paper_example_cluster();
+  auto p = diurnal_profile(10.0, 30.0, 6);
+  p.epoch_duration = 300.0;
+
+  runtime::ControllerConfig cfg;
+  cfg.half_life = 20.0;
+  const auto ctl = cloud::run_controller(c, Discipline::Fcfs, p, cfg);
+  const auto adaptive = run_adaptive(c, Discipline::Fcfs, p);
+
+  EXPECT_EQ(ctl.overloaded_epochs, 0u);
+  ASSERT_EQ(ctl.epochs.size(), adaptive.epochs.size());
+  // Per-epoch: the estimated-rate split can only lose to the oracle, and
+  // only slightly.
+  for (std::size_t e = 0; e < ctl.epochs.size(); ++e) {
+    EXPECT_GE(ctl.epochs[e].response_time, adaptive.epochs[e].response_time - 1e-9) << e;
+    EXPECT_LE(ctl.epochs[e].response_time, 1.05 * adaptive.epochs[e].response_time) << e;
+  }
+  EXPECT_LE(ctl.mean_response_time, 1.02 * adaptive.mean_response_time);
+}
+
+TEST(Trace, ControllerAvoidsOverloadWhereStaticOverloads) {
+  // Same profile that saturates the light-design static split: the
+  // controller re-estimates and re-solves, so no epoch is overloaded
+  // (44.0 is still below its admission ceiling 0.95 * 47.04).
+  const auto c = model::paper_example_cluster();
+  cloud::LoadProfile p;
+  p.epoch_rates = {4.0, 44.0};
+  p.epoch_duration = 400.0;
+
+  const auto fixed = run_static(c, Discipline::Fcfs, p, 4.0);
+  EXPECT_GE(fixed.overloaded_epochs, 1u);
+
+  runtime::ControllerConfig cfg;
+  cfg.half_life = 20.0;
+  const auto ctl = cloud::run_controller(c, Discipline::Fcfs, p, cfg);
+  EXPECT_EQ(ctl.overloaded_epochs, 0u);
+  EXPECT_TRUE(std::isfinite(ctl.epochs[1].response_time));
+}
+
+TEST(Trace, ControllerShedsAboveItsCeiling) {
+  // A feasible-but-extreme epoch (46.8 < lambda'_max = 47.04, yet above
+  // the 0.95 utilization ceiling) engages admission control: the epoch is
+  // flagged overloaded while its evaluated T' stays finite.
+  const auto c = model::paper_example_cluster();
+  cloud::LoadProfile p;
+  p.epoch_rates = {20.0, 46.8};
+  p.epoch_duration = 400.0;
+
+  runtime::ControllerConfig cfg;
+  cfg.half_life = 20.0;
+  const auto ctl = cloud::run_controller(c, Discipline::Fcfs, p, cfg);
+  EXPECT_EQ(ctl.overloaded_epochs, 1u);
+  for (const auto& e : ctl.epochs) EXPECT_TRUE(std::isfinite(e.response_time));
+}
+
 TEST(Trace, Validation) {
   const auto c = model::paper_example_cluster();
   cloud::LoadProfile empty;
