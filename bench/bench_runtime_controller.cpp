@@ -79,6 +79,29 @@ void BM_ControllerFailover(benchmark::State& state) {
 }
 BENCHMARK(BM_ControllerFailover);
 
+// Containment path: every iteration arms an injected solver fault, so
+// resolve_now lands in contain() and serves the last-known-good split.
+// The instrumented export carries runtime.fallback_publish_seconds /
+// runtime.fallback_publications, which CI ratios against the baseline --
+// the degraded path must stay about as cheap as a publication, since it
+// runs exactly when the cluster is already in trouble.
+void BM_ControllerFallbackPublish(benchmark::State& state) {
+  const auto cluster = model::paper_example_cluster();
+  runtime::ControllerConfig cfg;
+  cfg.half_life = 2.0;
+  cfg.initial_lambda = model::paper_example_lambda();
+  cfg.lkg_max_age = 1e9;  // keep the LKG servable for the whole run
+  runtime::Controller ctrl(cluster, cfg);
+  double t = 0.0;
+  for (auto _ : state) {
+    ctrl.arm_solver_fault();
+    ctrl.resolve_now(t += 1.0);
+    benchmark::DoNotOptimize(ctrl.mode());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControllerFallbackPublish);
+
 // End to end: the acceptance scenario (diurnal load, biggest server out
 // for the middle third) through the simulator and the controller.
 // items/s is simulated generic arrivals per second of wall time.

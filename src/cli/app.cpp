@@ -18,6 +18,7 @@
 #include "core/sensitivity.hpp"
 #include "parallel/sweep.hpp"
 #include "queueing/waiting_distribution.hpp"
+#include "runtime/chaos.hpp"
 #include "runtime/replay.hpp"
 #include "sim/simulation.hpp"
 #include "util/strings.hpp"
@@ -222,7 +223,23 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
   cfg.half_life = serve.half_life > 0.0 ? serve.half_life : trace.horizon / 100.0;
   cfg.utilization_ceiling = serve.utilization_ceiling;
   cfg.drift_threshold = serve.drift_threshold;
-  const auto res = runtime::replay(cluster, cfg, trace);
+
+  runtime::ReplayResult res;
+  std::string chaos_line;
+  auto profile = runtime::chaos_profile(serve.chaos_profile);
+  if (!profile) throw std::invalid_argument(profile.error().context);
+  if (serve.chaos_seed > 0) {
+    runtime::FaultInjector chaos(serve.chaos_seed, profile.value());
+    res = runtime::replay_chaotic(cluster, cfg, trace, chaos);
+    std::ostringstream cs;
+    cs << "chaos             profile " << serve.chaos_profile << " (seed " << serve.chaos_seed
+       << "): " << chaos.dropped() << " dropped, " << chaos.phantoms() << " phantom, "
+       << chaos.timewarps() << " timewarped observations, " << chaos.solver_faults()
+       << " solver faults\n";
+    chaos_line = cs.str();
+  } else {
+    res = runtime::replay(cluster, cfg, trace);
+  }
 
   std::ostringstream os;
   os << cluster.describe() << '\n'
@@ -238,6 +255,11 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
      << " weight publications\n"
      << "events            " << res.stats.failures << " failures, " << res.stats.recoveries
      << " recoveries\n"
+     << chaos_line
+     << "resilience        " << res.stats.solver_failures << " contained solver failures ("
+     << res.stats.lkg_publications << " served from LKG, " << res.stats.fallback_publications
+     << " proportional), " << res.stats.rejected_observations
+     << " rejected observations, final mode " << runtime::to_string(res.final_mode) << '\n'
      << "measured T'       " << util::fixed(res.sim.generic_mean_response, 4) << " generic ("
      << res.sim.generic_samples << " tasks), " << util::fixed(res.sim.special_mean_response, 4)
      << " special (" << res.sim.special_samples << " tasks)\n"
@@ -299,6 +321,8 @@ std::string usage() {
          "  --half-life <t>   serve-replay: estimator half-life (default horizon/100)\n"
          "  --ceiling <u>     serve-replay: admission utilization ceiling (default 0.95)\n"
          "  --drift <x>       serve-replay: hysteresis re-solve threshold (default 0.02)\n"
+         "  --chaos-seed <n>  serve-replay: enable deterministic fault injection\n"
+         "  --chaos-profile <p>         none, light, moderate (default), or heavy\n"
          "  --verbose         solver convergence summaries on stderr\n"
          "  --threads <n>     sweep: worker threads (default 0 = shared pool)\n"
          "  --metrics-out <path>        export run metrics after the command\n"
@@ -403,6 +427,10 @@ std::string run_cli(const std::vector<std::string>& args) {
       serve.utilization_ceiling = std::stod(next("--ceiling"));
     } else if (a == "--drift") {
       serve.drift_threshold = std::stod(next("--drift"));
+    } else if (a == "--chaos-seed") {
+      serve.chaos_seed = static_cast<std::uint64_t>(std::stoull(next("--chaos-seed")));
+    } else if (a == "--chaos-profile") {
+      serve.chaos_profile = next("--chaos-profile");
     } else if (a == "--verbose") {
       opts.verbosity = 1;
     } else if (a == "--threads") {

@@ -66,6 +66,8 @@ struct ServeOptions {
   double utilization_ceiling = 0.95;  ///< --ceiling: admission-control cap
   double drift_threshold = 0.02;    ///< --drift: hysteresis threshold
   std::uint64_t seed = 0;           ///< --seed: overrides the trace's seed
+  std::uint64_t chaos_seed = 0;     ///< --chaos-seed: fault-injection seed (0 = off)
+  std::string chaos_profile = "moderate";  ///< --chaos-profile: none/light/moderate/heavy
 };
 
 /// `serve-replay`: replay an event trace (rate swings, blade failures,

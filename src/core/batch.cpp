@@ -1,6 +1,8 @@
 #include "core/batch.hpp"
 
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/obs.hpp"
 #include "parallel/sweep.hpp"
@@ -11,28 +13,63 @@ void BatchOptions::validate() const {
   if (chunk == 0) throw std::invalid_argument("BatchOptions: chunk must be >= 1");
 }
 
-std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
-                                            std::span<const double> lambdas,
-                                            par::ThreadPool& pool, const BatchOptions& opts) {
+namespace {
+
+/// Placeholder every checked slot starts from; any slot still holding it
+/// after the pool drains would be a sharding bug.
+SolveOutcome unset_outcome() {
+  return Error{ErrorCode::Internal, "optimize_many: item never executed"};
+}
+
+/// Unwraps a checked batch for the throwing API: all values, or one
+/// exception for the lowest failing index that also reports how many
+/// items failed in total.
+std::vector<LoadDistribution> unwrap(std::vector<SolveOutcome>&& results) {
+  std::size_t failed = 0;
+  std::size_t first = results.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i]) {
+      ++failed;
+      if (first == results.size()) first = i;
+    }
+  }
+  if (failed > 0) {
+    const Error& e = results[first].error();
+    std::ostringstream os;
+    os << "optimize_many: " << failed << " of " << results.size()
+       << " solves failed; item " << first << ": " << e.context;
+    throw_solver_error(Error{e.code, os.str()});
+  }
+  std::vector<LoadDistribution> out;
+  out.reserve(results.size());
+  for (auto& r : results) out.push_back(std::move(r).value());
+  return out;
+}
+
+}  // namespace
+
+std::vector<SolveOutcome> optimize_many_checked(const LoadDistributionOptimizer& solver,
+                                                std::span<const double> lambdas,
+                                                par::ThreadPool& pool, const BatchOptions& opts) {
   opts.validate();
   BLADE_OBS_TIMER("optimizer.batch_seconds");
   BLADE_OBS_COUNT_N("optimizer.batch_solves", static_cast<long>(lambdas.size()));
-  std::vector<LoadDistribution> out(lambdas.size());
+  std::vector<SolveOutcome> out(lambdas.size(), unset_outcome());
   par::for_each_chunk(pool, lambdas.size(), opts.chunk, [&](std::size_t lo, std::size_t hi) {
     SolverWorkspace ws;  // per-chunk, so results never depend on thread count
-    for (std::size_t i = lo; i < hi; ++i) out[i] = solver.optimize(lambdas[i], ws);
+    for (std::size_t i = lo; i < hi; ++i) out[i] = solver.try_optimize(lambdas[i], ws);
   });
   return out;
 }
 
-std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
-                                            std::span<const double> lambdas,
-                                            const BatchOptions& opts) {
-  return optimize_many(solver, lambdas, par::global_pool(), opts);
+std::vector<SolveOutcome> optimize_many_checked(const LoadDistributionOptimizer& solver,
+                                                std::span<const double> lambdas,
+                                                const BatchOptions& opts) {
+  return optimize_many_checked(solver, lambdas, par::global_pool(), opts);
 }
 
-std::vector<LoadDistribution> optimize_many(std::span<const SolveRequest> requests,
-                                            par::ThreadPool& pool, const BatchOptions& opts) {
+std::vector<SolveOutcome> optimize_many_checked(std::span<const SolveRequest> requests,
+                                                par::ThreadPool& pool, const BatchOptions& opts) {
   opts.validate();
   for (const SolveRequest& r : requests) {
     if (r.solver == nullptr) {
@@ -41,7 +78,7 @@ std::vector<LoadDistribution> optimize_many(std::span<const SolveRequest> reques
   }
   BLADE_OBS_TIMER("optimizer.batch_seconds");
   BLADE_OBS_COUNT_N("optimizer.batch_solves", static_cast<long>(requests.size()));
-  std::vector<LoadDistribution> out(requests.size());
+  std::vector<SolveOutcome> out(requests.size(), unset_outcome());
   par::for_each_chunk(pool, requests.size(), opts.chunk, [&](std::size_t lo, std::size_t hi) {
     SolverWorkspace ws;
     const LoadDistributionOptimizer* current = nullptr;
@@ -53,10 +90,27 @@ std::vector<LoadDistribution> optimize_many(std::span<const SolveRequest> reques
         ws.clear();
         current = r.solver;
       }
-      out[i] = current->optimize(r.lambda_total, ws);
+      out[i] = current->try_optimize(r.lambda_total, ws);
     }
   });
   return out;
+}
+
+std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
+                                            std::span<const double> lambdas,
+                                            par::ThreadPool& pool, const BatchOptions& opts) {
+  return unwrap(optimize_many_checked(solver, lambdas, pool, opts));
+}
+
+std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
+                                            std::span<const double> lambdas,
+                                            const BatchOptions& opts) {
+  return optimize_many(solver, lambdas, par::global_pool(), opts);
+}
+
+std::vector<LoadDistribution> optimize_many(std::span<const SolveRequest> requests,
+                                            par::ThreadPool& pool, const BatchOptions& opts) {
+  return unwrap(optimize_many_checked(requests, pool, opts));
 }
 
 std::vector<LoadDistribution> optimize_chain(const LoadDistributionOptimizer& solver,

@@ -16,8 +16,13 @@
 
 #include "core/optimizer.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/status.hpp"
 
 namespace blade::opt {
+
+/// Outcome of one batch item: the solution, or the typed diagnostic of
+/// its failure (see util/status.hpp for the codes).
+using SolveOutcome = Expected<LoadDistribution>;
 
 struct BatchOptions {
   /// Solves per warm-start chain. Larger chunks amortize more warm
@@ -37,12 +42,33 @@ struct SolveRequest {
 };
 
 /// Solves the same cluster at each rate in `lambdas`, sharded across
-/// `pool`. Results are in input order. Any solve throwing (e.g. an
-/// infeasible lambda') rethrows the first exception on the caller after
-/// the batch drains. Safe to call from multiple threads at once (the
+/// `pool`. Results are in input order; every item runs to completion and
+/// carries its own status, so one poisoned instance cannot hide the
+/// others' outcomes. Safe to call from multiple threads at once (the
 /// solver is const and each chunk owns its workspace) but NOT from a
 /// task already running on `pool` -- that can deadlock a busy pool; use
 /// optimize_chain inside pool tasks instead.
+[[nodiscard]] std::vector<SolveOutcome> optimize_many_checked(
+    const LoadDistributionOptimizer& solver, std::span<const double> lambdas,
+    par::ThreadPool& pool, const BatchOptions& opts = {});
+
+/// optimize_many_checked on the global pool.
+[[nodiscard]] std::vector<SolveOutcome> optimize_many_checked(
+    const LoadDistributionOptimizer& solver, std::span<const double> lambdas,
+    const BatchOptions& opts = {});
+
+/// Heterogeneous checked batch (see the SolveRequest overload below for
+/// the chunking/warm-start contract).
+[[nodiscard]] std::vector<SolveOutcome> optimize_many_checked(
+    std::span<const SolveRequest> requests, par::ThreadPool& pool, const BatchOptions& opts = {});
+
+/// Throwing convenience over optimize_many_checked: returns the plain
+/// solutions when every item succeeded. When any item failed, throws for
+/// the LOWEST failing index (deterministic, unlike the historical
+/// "first exception to land" behavior) with a message carrying that
+/// item's diagnostic plus the total failure count; the exception type
+/// follows throw_solver_error (std::invalid_argument for
+/// infeasible/invalid items, num::RootFindingError otherwise).
 [[nodiscard]] std::vector<LoadDistribution> optimize_many(const LoadDistributionOptimizer& solver,
                                                           std::span<const double> lambdas,
                                                           par::ThreadPool& pool,

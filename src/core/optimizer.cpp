@@ -1,10 +1,12 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,6 +31,12 @@ void OptimizerOptions::validate() const {
   }
   if (!(service_scv >= 0.0)) {
     throw std::invalid_argument("OptimizerOptions: service_scv must be >= 0");
+  }
+  if (max_marginal_evaluations < 0) {
+    throw std::invalid_argument("OptimizerOptions: max_marginal_evaluations must be >= 0");
+  }
+  if (!(max_solve_seconds >= 0.0) || !std::isfinite(max_solve_seconds)) {
+    throw std::invalid_argument("OptimizerOptions: max_solve_seconds must be finite and >= 0");
   }
 }
 
@@ -90,17 +98,95 @@ void SolverWorkspace::prepare(std::size_t n) {
   scratch_.assign(n, 0.0);
 }
 
-double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, std::size_t i,
-                                            double phi, long* evals) const {
-  return find_rate_bracketed(obj, i, phi, 0.0, -1.0, evals);
+namespace {
+
+/// Builds the typed error AND bumps the matching observability counter,
+/// so every failure — thrown or returned — is visible in --metrics-out.
+Error solver_error(ErrorCode code, std::string context) {
+  switch (code) {
+    case ErrorCode::InvalidArgument:
+      BLADE_OBS_COUNT("solver.failures.invalid_argument");
+      break;
+    case ErrorCode::Infeasible:
+      BLADE_OBS_COUNT("solver.failures.infeasible");
+      break;
+    case ErrorCode::BracketNotFound:
+      BLADE_OBS_COUNT("solver.failures.bracket_not_found");
+      break;
+    case ErrorCode::NonConvergence:
+      BLADE_OBS_COUNT("solver.failures.non_convergence");
+      break;
+    case ErrorCode::NonFinite:
+      BLADE_OBS_COUNT("solver.failures.non_finite");
+      break;
+    case ErrorCode::BudgetExceeded:
+      BLADE_OBS_COUNT("solver.budget_exceeded");
+      break;
+    default:
+      BLADE_OBS_COUNT("solver.failures.internal");
+      break;
+  }
+  return Error{code, std::move(context)};
 }
 
-double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjective& obj,
-                                                      std::size_t i, double phi, double lo,
-                                                      double hi, long* evals) const {
+/// Per-solve watchdog state shared by every inner solve of one optimize
+/// call: a marginal-evaluation counter and (when armed) a wall-clock
+/// deadline. The clock is only read every 16th evaluation, so an armed
+/// time budget costs a fraction of one Erlang kernel per check.
+struct SolveBudget {
+  long max_evals = 0;
+  bool timed = false;
+  double max_seconds = 0.0;
+  std::chrono::steady_clock::time_point deadline{};
+  long used = 0;
+
+  static SolveBudget from(const OptimizerOptions& opts) {
+    SolveBudget b;
+    b.max_evals = opts.max_marginal_evaluations;
+    if (opts.max_solve_seconds > 0.0) {
+      b.timed = true;
+      b.max_seconds = opts.max_solve_seconds;
+      b.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(opts.max_solve_seconds));
+    }
+    return b;
+  }
+
+  /// Accounts one marginal evaluation; the BudgetExceeded error when a
+  /// watchdog trips, nullopt otherwise.
+  std::optional<Error> charge() {
+    ++used;
+    if (max_evals > 0 && used > max_evals) {
+      std::ostringstream os;
+      os << "optimize: marginal-evaluation budget exceeded (max_marginal_evaluations="
+         << max_evals << ")";
+      return solver_error(ErrorCode::BudgetExceeded, os.str());
+    }
+    if (timed && (used & 15) == 0 && std::chrono::steady_clock::now() > deadline) {
+      std::ostringstream os;
+      os << "optimize: wall-time budget exceeded (max_solve_seconds=" << max_seconds << ")";
+      return solver_error(ErrorCode::BudgetExceeded, os.str());
+    }
+    return std::nullopt;
+  }
+};
+
+/// The non-throwing inner solve (Fig. 2 with the rtsafe Newton loop).
+/// Identical numerics to the pre-resilience implementation; the failure
+/// exits (bracket exhaustion, NaN marginals, budget, strict
+/// non-convergence) return typed errors instead of throwing.
+Expected<double> find_rate_core(const OptimizerOptions& opts, const ResponseTimeObjective& obj,
+                                std::size_t i, double phi, double lo, double hi, long* evals,
+                                SolveBudget& budget) {
   const double sup = obj.rate_bound(i);
-  const double hard_ub = (1.0 - opts_.saturation_margin) * sup;
-  const double tol = opts_.rate_tolerance;
+  if (!std::isfinite(sup)) {
+    std::ostringstream os;
+    os << std::setprecision(10) << "find_rate: non-finite rate bound for server " << i;
+    return solver_error(ErrorCode::NonFinite, os.str());
+  }
+  const double hard_ub = (1.0 - opts.saturation_margin) * sup;
+  const double tol = opts.rate_tolerance;
   lo = std::clamp(lo, 0.0, hard_ub);
   const bool have_hi = hi >= 0.0;
   if (have_hi) hi = std::clamp(hi, lo, hard_ub);
@@ -112,20 +198,35 @@ double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjectiv
     return 0.5 * (lo + hi);
   }
 
-  auto g_at = [&](double lam) {
+  std::optional<Error> err;
+  auto g_at = [&](double lam) -> double {
+    if (auto e = budget.charge()) {
+      err = std::move(e);
+      return std::numeric_limits<double>::quiet_NaN();
+    }
     if (evals) ++*evals;
-    return obj.marginal(i, lam);
+    const double g = obj.marginal(i, lam);
+    if (!std::isfinite(g)) {
+      std::ostringstream os;
+      os << std::setprecision(10) << "find_rate: non-finite marginal g_" << i << "(" << lam
+         << ") = " << g;
+      err = solver_error(ErrorCode::NonFinite, os.str());
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return g;
   };
 
   // Inactive server: even the first infinitesimal unit of load costs more
   // than phi (paper: the bisection bracket collapses onto lb = 0). From a
   // warm bracket this is the root sitting at/below the cached lower end.
   double glo = g_at(lo);
+  if (err) return std::move(*err);
   if (glo >= phi) return lo;
 
   double ghi;
   if (have_hi) {
     ghi = g_at(hi);
+    if (err) return std::move(*err);
     if (ghi < phi) {
       if (hi >= hard_ub) {
         BLADE_OBS_COUNT("optimizer.saturation_clamps");
@@ -146,6 +247,7 @@ double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjectiv
     double ub = std::min(hard_ub, std::max(1e-3 * sup, 2.0 * lo));
     int guard = 0;
     double gub = g_at(ub);
+    if (err) return std::move(*err);
     while (gub < phi) {
       if (ub >= hard_ub) {
         BLADE_OBS_COUNT("optimizer.saturation_clamps");
@@ -159,9 +261,10 @@ double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjectiv
         os << std::setprecision(10) << "find_rate: failed to bracket lambda'_" << i
            << " (phi=" << phi << ", sup=" << sup << ", ub=" << ub << " after " << guard
            << " doublings)";
-        throw num::RootFindingError(os.str());
+        return solver_error(ErrorCode::BracketNotFound, os.str());
       }
       gub = g_at(ub);
+      if (err) return std::move(*err);
     }
     hi = ub;
     ghi = gub;
@@ -176,13 +279,22 @@ double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjectiv
   double dx_old = hi - lo;
   double dx = dx_old;
   double result = x;
+  bool converged = false;
   int it = 0;
-  for (; it < opts_.max_iterations; ++it) {
+  for (; it < opts.max_iterations; ++it) {
+    if (auto e = budget.charge()) return std::move(*e);
     if (evals) ++*evals;
     const auto [gx, dgx] = obj.marginal_with_derivative(i, x);
+    if (!std::isfinite(gx)) {
+      std::ostringstream os;
+      os << std::setprecision(10) << "find_rate: non-finite marginal g_" << i << "(" << x
+         << ") = " << gx;
+      return solver_error(ErrorCode::NonFinite, os.str());
+    }
     const double fx = gx - phi;
     if (fx == 0.0) {
       result = x;
+      converged = true;
       break;
     }
     if (fx < 0.0) {
@@ -192,6 +304,7 @@ double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjectiv
     }
     if (hi - lo <= tol) {
       result = 0.5 * (lo + hi);
+      converged = true;
       break;
     }
     double next;
@@ -208,13 +321,61 @@ double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjectiv
     result = next;
     if (dx <= 0.5 * tol) {
       ++it;
+      converged = true;
       break;
     }
     x = next;
   }
   BLADE_OBS_COUNT("optimizer.find_rate_calls");
   BLADE_OBS_OBSERVE("optimizer.inner_iterations", it);
+  if (!converged && opts.strict_convergence && hi - lo > tol) {
+    std::ostringstream os;
+    os << std::setprecision(10) << "find_rate: lambda'_" << i << " bracket still " << (hi - lo)
+       << " wide after max_iterations=" << opts.max_iterations;
+    return solver_error(ErrorCode::NonConvergence, os.str());
+  }
   return result;
+}
+
+}  // namespace
+
+void throw_solver_error(const Error& error) {
+  if (error.code == ErrorCode::InvalidArgument || error.code == ErrorCode::Infeasible) {
+    throw std::invalid_argument(error.context);
+  }
+  throw num::RootFindingError(error.context);
+}
+
+double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, std::size_t i,
+                                            double phi, long* evals) const {
+  return find_rate_bracketed(obj, i, phi, 0.0, -1.0, evals);
+}
+
+double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjective& obj,
+                                                      std::size_t i, double phi, double lo,
+                                                      double hi, long* evals) const {
+  SolveBudget budget = SolveBudget::from(opts_);
+  auto res = find_rate_core(opts_, obj, i, phi, lo, hi, evals, budget);
+  if (!res) throw_solver_error(res.error());
+  return res.value();
+}
+
+Expected<double> LoadDistributionOptimizer::try_find_rate(const ResponseTimeObjective& obj,
+                                                          std::size_t i, double phi,
+                                                          long* evals) const {
+  return try_find_rate_bracketed(obj, i, phi, 0.0, -1.0, evals);
+}
+
+Expected<double> LoadDistributionOptimizer::try_find_rate_bracketed(
+    const ResponseTimeObjective& obj, std::size_t i, double phi, double lo, double hi,
+    long* evals) const {
+  SolveBudget budget = SolveBudget::from(opts_);
+  try {
+    return find_rate_core(opts_, obj, i, phi, lo, hi, evals, budget);
+  } catch (const std::exception& e) {
+    return solver_error(ErrorCode::Internal,
+                        std::string("find_rate: unexpected exception: ") + e.what());
+  }
 }
 
 LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const {
@@ -227,15 +388,41 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total) const 
 
 LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
                                                      SolverWorkspace& ws) const {
+  auto res = optimize_core(lambda_total, ws);
+  if (!res) throw_solver_error(res.error());
+  return std::move(res).value();
+}
+
+Expected<LoadDistribution> LoadDistributionOptimizer::try_optimize(double lambda_total) const {
+  SolverWorkspace ws;
+  return try_optimize(lambda_total, ws);
+}
+
+Expected<LoadDistribution> LoadDistributionOptimizer::try_optimize(double lambda_total,
+                                                                   SolverWorkspace& ws) const {
+  try {
+    return optimize_core(lambda_total, ws);
+  } catch (const std::exception& e) {
+    // The numeric core returns its own failures as typed errors; anything
+    // thrown past it (queueing-layer domain checks on a corrupted
+    // instance, for example) is converted here so the no-throw contract
+    // of the try_ path holds.
+    return solver_error(ErrorCode::Internal,
+                        std::string("optimize: unexpected exception: ") + e.what());
+  }
+}
+
+Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambda_total,
+                                                                    SolverWorkspace& ws) const {
   const double lambda_max = cluster_.max_generic_rate();
   if (!(lambda_total > 0.0)) {
-    throw std::invalid_argument("optimize: lambda' must be > 0");
+    return solver_error(ErrorCode::InvalidArgument, "optimize: lambda' must be > 0");
   }
   if (lambda_total >= lambda_max) {
     std::ostringstream os;
     os << std::setprecision(10) << "optimize: lambda'=" << lambda_total
        << " >= lambda'_max=" << lambda_max << " (infeasible)";
-    throw std::invalid_argument(os.str());
+    return solver_error(ErrorCode::Infeasible, os.str());
   }
 
   BLADE_OBS_SPAN("optimize");
@@ -246,23 +433,31 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
   const std::size_t n = obj.size();
   long inner_evals = 0;
   const double tol = opts_.rate_tolerance;
+  SolveBudget budget = SolveBudget::from(opts_);
   ws.prepare(n);
 
   // F(phi) = sum_i lambda'_i(phi), evaluated into ws.scratch_. Each inner
   // solve warm-starts from the monotone bracket the workspace has
   // accumulated: F_i is increasing in phi, so for any phi inside
   // [phi_lo, phi_hi] server i's rate lies in [rate_lo_i, rate_hi_i]
-  // (widened by the inner tolerance to absorb endpoint fuzz).
-  auto total_at = [&](double phi) {
+  // (widened by the inner tolerance to absorb endpoint fuzz). A failed
+  // inner solve parks its error in `err`; every call site checks before
+  // using the total.
+  std::optional<Error> err;
+  auto total_at = [&](double phi) -> double {
     const bool use_lo = phi >= ws.phi_lo_;
     const bool use_hi = ws.phi_hi_ >= 0.0 && phi <= ws.phi_hi_;
     num::KahanSum f;
     for (std::size_t i = 0; i < n; ++i) {
       const double lo = use_lo ? ws.rates_lo_[i] - tol : 0.0;
       const double hi = use_hi ? ws.rates_hi_[i] + tol : -1.0;
-      const double r = find_rate_bracketed(obj, i, phi, lo, hi, &inner_evals);
-      ws.scratch_[i] = r;
-      f.add(r);
+      auto r = find_rate_core(opts_, obj, i, phi, lo, hi, &inner_evals, budget);
+      if (!r) {
+        err = r.error();
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      ws.scratch_[i] = r.value();
+      f.add(r.value());
     }
     return f.value();
   };
@@ -293,6 +488,7 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
   int expansions = 0;
   while (true) {
     const double total = total_at(phi_probe);
+    if (err) return std::move(*err);
     const bool covered = total >= lambda_total;
     absorb(phi_probe, total);
     if (covered) break;
@@ -302,7 +498,7 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
       os << std::setprecision(10) << "optimize: failed to bracket phi (lambda'=" << lambda_total
          << ", lambda'_max=" << lambda_max << ", phi_ub=" << phi_probe << " after " << expansions
          << " doublings)";
-      throw num::RootFindingError(os.str());
+      return solver_error(ErrorCode::BracketNotFound, os.str());
     }
   }
   BLADE_OBS_COUNT_N("optimizer.phi_expansions", expansions);
@@ -377,6 +573,7 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
       fa = fb;
       b += (std::abs(d) > brent_tol) ? d : (m > 0.0 ? brent_tol : -brent_tol);
       const double total = total_at(b);
+      if (err) return std::move(*err);
       fb = total - lambda_total;
       absorb(b, total);
       ++outer_it;
@@ -392,9 +589,20 @@ LoadDistribution LoadDistributionOptimizer::optimize(double lambda_total,
   while (ws.phi_hi_ - ws.phi_lo_ > opts_.phi_tolerance && outer_it < opts_.max_iterations) {
     const double mid = 0.5 * (ws.phi_lo_ + ws.phi_hi_);
     if (!(mid > ws.phi_lo_ && mid < ws.phi_hi_)) break;  // bracket at fp resolution
-    absorb(mid, total_at(mid));
+    const double total = total_at(mid);
+    if (err) return std::move(*err);
+    absorb(mid, total);
     ++outer_it;
     BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it, ws.phi_hi_ - ws.phi_lo_);
+  }
+  if (opts_.strict_convergence && ws.phi_hi_ - ws.phi_lo_ > opts_.phi_tolerance) {
+    const double mid = 0.5 * (ws.phi_lo_ + ws.phi_hi_);
+    if (mid > ws.phi_lo_ && mid < ws.phi_hi_) {  // width above fp resolution
+      std::ostringstream os;
+      os << std::setprecision(10) << "optimize: phi bracket still " << (ws.phi_hi_ - ws.phi_lo_)
+         << " wide after max_iterations=" << opts_.max_iterations;
+      return solver_error(ErrorCode::NonConvergence, os.str());
+    }
   }
 
   LoadDistribution out;

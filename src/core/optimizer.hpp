@@ -19,6 +19,7 @@
 #include "core/objective.hpp"
 #include "model/cluster.hpp"
 #include "queueing/blade_queue.hpp"
+#include "util/status.hpp"
 
 namespace blade::opt {
 
@@ -42,9 +43,29 @@ struct OptimizerOptions {
   /// thrown exception message instead.
   std::function<void(const std::string&)> diagnostic_sink;
 
+  // --- watchdogs (resilience layer) ---
+
+  /// Per-solve budget of marginal-cost evaluations across ALL inner
+  /// solves; exceeding it fails the solve with ErrorCode::BudgetExceeded
+  /// instead of burning unbounded CPU on a pathological instance.
+  /// 0 (default) = unlimited.
+  long max_marginal_evaluations = 0;
+  /// Per-solve wall-clock budget in seconds, checked every few marginal
+  /// evaluations (ErrorCode::BudgetExceeded when tripped). 0 (default)
+  /// = unlimited, and the solver never reads the clock.
+  double max_solve_seconds = 0.0;
+  /// When true, a solve whose phi bracket (outer) or rate bracket
+  /// (inner) is still wider than its tolerance after max_iterations
+  /// fails with ErrorCode::NonConvergence. When false (default, the
+  /// paper's behavior) the solver returns the bracket midpoint as a
+  /// best-effort answer.
+  bool strict_convergence = false;
+
   /// Throws std::invalid_argument when any field is out of domain:
   /// tolerances must be > 0, max_iterations >= 1, saturation_margin in
-  /// (0, 1), service_scv >= 0. NaNs are rejected by the same checks.
+  /// (0, 1), service_scv >= 0, max_marginal_evaluations >= 0,
+  /// max_solve_seconds finite and >= 0. NaNs are rejected by the same
+  /// checks.
   void validate() const;
 };
 
@@ -137,6 +158,18 @@ class LoadDistributionOptimizer {
   /// workspace changes results only below the solver tolerances.
   LoadDistribution optimize(double lambda_total, SolverWorkspace& ws) const;
 
+  /// Non-throwing solve: the solution, or a typed diagnostic
+  /// (Infeasible, InvalidArgument, BracketNotFound, NonConvergence,
+  /// NonFinite, BudgetExceeded). Solver failures NEVER propagate as
+  /// exceptions from this entry point — any exception escaping the
+  /// numeric core is converted to ErrorCode::Internal — which is what
+  /// lets the runtime controller contain a failed re-solve instead of
+  /// unwinding the control thread. The throwing optimize() is a thin
+  /// wrapper over the same core. Every failure increments the matching
+  /// solver.failures.* / solver.budget_exceeded obs counter.
+  [[nodiscard]] Expected<LoadDistribution> try_optimize(double lambda_total) const;
+  Expected<LoadDistribution> try_optimize(double lambda_total, SolverWorkspace& ws) const;
+
   /// The inner algorithm (Fig. 2): lambda'_i achieving marginal cost phi.
   /// Exposed for tests; `evals` (optional) accumulates marginal evaluations.
   [[nodiscard]] double find_rate(const ResponseTimeObjective& obj, std::size_t i, double phi,
@@ -152,10 +185,28 @@ class LoadDistributionOptimizer {
                                            double phi, double lo, double hi,
                                            long* evals = nullptr) const;
 
+  /// Non-throwing counterparts of find_rate / find_rate_bracketed: the
+  /// rate, or a typed diagnostic (BracketNotFound, NonConvergence under
+  /// strict_convergence, NonFinite, BudgetExceeded). Budgets reset per
+  /// call here; inside try_optimize one budget spans the whole solve.
+  [[nodiscard]] Expected<double> try_find_rate(const ResponseTimeObjective& obj, std::size_t i,
+                                               double phi, long* evals = nullptr) const;
+  [[nodiscard]] Expected<double> try_find_rate_bracketed(const ResponseTimeObjective& obj,
+                                                         std::size_t i, double phi, double lo,
+                                                         double hi, long* evals = nullptr) const;
+
  private:
+  Expected<LoadDistribution> optimize_core(double lambda_total, SolverWorkspace& ws) const;
+
   model::Cluster cluster_;
   std::vector<queue::Discipline> discs_;  // one per server
   OptimizerOptions opts_;
 };
+
+/// Maps a solver Error back onto the throwing API's exception types:
+/// InvalidArgument / Infeasible become std::invalid_argument, everything
+/// else num::RootFindingError (declared in numerics/roots.hpp). The
+/// exception message is the error's context verbatim.
+[[noreturn]] void throw_solver_error(const Error& error);
 
 }  // namespace blade::opt

@@ -15,6 +15,13 @@ void check_m(unsigned m) {
 }
 
 void check_rho(double rho) {
+  if (!std::isfinite(rho)) {
+    // Distinguish corrupted inputs (NaN/Inf from upstream arithmetic)
+    // from plain out-of-domain utilizations: the former is a numerics
+    // failure worth its own counter and message.
+    BLADE_OBS_COUNT("numerics.non_finite");
+    throw std::invalid_argument("erlang: rho must be finite (NaN/Inf rejected)");
+  }
   if (!(rho >= 0.0) || rho >= 1.0) {
     throw std::invalid_argument("erlang: rho must be in [0, 1)");
   }
@@ -24,6 +31,10 @@ void check_rho(double rho) {
 
 double erlang_b(unsigned m, double a) {
   check_m(m);
+  if (!std::isfinite(a)) {
+    BLADE_OBS_COUNT("numerics.non_finite");
+    throw std::invalid_argument("erlang_b: a must be finite (NaN/Inf rejected)");
+  }
   if (!(a >= 0.0)) throw std::invalid_argument("erlang_b: a must be >= 0");
   BLADE_OBS_COUNT("numerics.erlang_b_evals");
   double b = 1.0;

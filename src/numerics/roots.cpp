@@ -1,8 +1,11 @@
 #include "numerics/roots.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -10,8 +13,47 @@
 namespace blade::num {
 
 namespace {
+
 constexpr double kSupMargin = 1e-9;  // (1 - eps) clamp factor against the supremum
+
+/// Wall-clock watchdog for RootOptions::max_seconds; unarmed (and free
+/// of clock reads) when the budget is 0.
+class Deadline {
+ public:
+  explicit Deadline(double max_seconds) {
+    if (max_seconds > 0.0) {
+      armed_ = true;
+      at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(max_seconds));
+    }
+  }
+
+  void check(const char* who) const {
+    if (armed_ && std::chrono::steady_clock::now() > at_) {
+      BLADE_OBS_COUNT("roots.budget_exceeded");
+      throw RootFindingError(std::string(who) + ": time budget exceeded");
+    }
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// NaN/Inf guard on every evaluation: iterating on garbage turns one bad
+/// kernel value into a silently wrong root, so fail loudly at the source.
+double checked(const char* who, double x, double fx) {
+  if (!std::isfinite(fx)) {
+    BLADE_OBS_COUNT("roots.non_finite");
+    std::ostringstream os;
+    os << who << ": non-finite f(" << x << ") = " << fx;
+    throw RootFindingError(os.str());
+  }
+  return fx;
 }
+
+}  // namespace
 
 RootResult solve_increasing(const std::function<double(double)>& f, double target, double lower,
                             std::optional<double> sup, std::optional<double> initial_ub,
@@ -20,7 +62,8 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
   if (sup && *sup <= lower) {
     throw RootFindingError("solve_increasing: empty domain (sup <= lower)");
   }
-  const double f_lower = f(lower);
+  const Deadline deadline(opts.max_seconds);
+  const double f_lower = checked("solve_increasing", lower, f(lower));
   if (f_lower >= target) {
     res.x = lower;
     res.f = f_lower;
@@ -34,8 +77,9 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
   ub = std::min(ub, hard_ub);
 
   int expansions = 0;
-  double fub = f(ub);
+  double fub = checked("solve_increasing", ub, f(ub));
   while (fub < target) {
+    deadline.check("solve_increasing");
     if (ub >= hard_ub) {
       // Saturated: f never reaches the target inside the domain. The best
       // feasible answer is the clamped upper bound (paper line (7)).
@@ -49,14 +93,15 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
     if (++expansions > opts.max_expansions) {
       throw RootFindingError("solve_increasing: bracketing failed (function may be bounded below target)");
     }
-    fub = f(ub);
+    fub = checked("solve_increasing", ub, f(ub));
   }
 
   double lb = lower;
   int it = 0;
   while (ub - lb > opts.tolerance && it < opts.max_iterations) {
+    deadline.check("solve_increasing");
     const double mid = 0.5 * (lb + ub);
-    if (f(mid) < target) {
+    if (checked("solve_increasing", mid, f(mid)) < target) {
       lb = mid;
     } else {
       ub = mid;
@@ -74,8 +119,9 @@ RootResult solve_increasing(const std::function<double(double)>& f, double targe
 
 RootResult bisect(const std::function<double(double)>& f, double a, double b,
                   const RootOptions& opts) {
-  double fa = f(a);
-  double fb = f(b);
+  const Deadline deadline(opts.max_seconds);
+  double fa = checked("bisect", a, f(a));
+  double fb = checked("bisect", b, f(b));
   if (fa == 0.0) return {a, 0.0, 0, 0, false};
   if (fb == 0.0) return {b, 0.0, 0, 0, false};
   if ((fa > 0.0) == (fb > 0.0)) {
@@ -83,8 +129,9 @@ RootResult bisect(const std::function<double(double)>& f, double a, double b,
   }
   int it = 0;
   while (b - a > opts.tolerance && it < opts.max_iterations) {
+    deadline.check("bisect");
     const double mid = 0.5 * (a + b);
-    const double fm = f(mid);
+    const double fm = checked("bisect", mid, f(mid));
     if ((fm > 0.0) == (fa > 0.0)) {
       a = mid;
       fa = fm;
@@ -101,8 +148,9 @@ RootResult bisect(const std::function<double(double)>& f, double a, double b,
 
 RootResult brent(const std::function<double(double)>& f, double a, double b,
                  const RootOptions& opts) {
-  double fa = f(a);
-  double fb = f(b);
+  const Deadline deadline(opts.max_seconds);
+  double fa = checked("brent", a, f(a));
+  double fb = checked("brent", b, f(b));
   if (fa == 0.0) return {a, 0.0, 0, 0, false};
   if (fb == 0.0) return {b, 0.0, 0, 0, false};
   if ((fa > 0.0) == (fb > 0.0)) {
@@ -118,6 +166,7 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
   double e = d;
   int it = 0;
   for (; it < opts.max_iterations; ++it) {
+    deadline.check("brent");
     if ((fb > 0.0) == (fc > 0.0)) {
       c = a;
       fc = fa;
@@ -159,7 +208,7 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
     a = b;
     fa = fb;
     b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
-    fb = f(b);
+    fb = checked("brent", b, f(b));
   }
   BLADE_OBS_COUNT("roots.brent_calls");
   BLADE_OBS_OBSERVE("roots.brent_iterations", it);
@@ -168,10 +217,13 @@ RootResult brent(const std::function<double(double)>& f, double a, double b,
 
 RootResult newton_safeguarded(const std::function<std::pair<double, double>(double)>& fdf,
                               double a, double b, const RootOptions& opts) {
+  const Deadline deadline(opts.max_seconds);
   auto [fa, dfa] = fdf(a);
   auto [fb, dfb] = fdf(b);
   (void)dfa;
   (void)dfb;
+  checked("newton_safeguarded", a, fa);
+  checked("newton_safeguarded", b, fb);
   if (fa == 0.0) return {a, 0.0, 0, 0, false};
   if (fb == 0.0) return {b, 0.0, 0, 0, false};
   if ((fa > 0.0) == (fb > 0.0)) {
@@ -181,7 +233,9 @@ RootResult newton_safeguarded(const std::function<std::pair<double, double>(doub
   double fx_last = fa;
   int it = 0;
   for (; it < opts.max_iterations; ++it) {
+    deadline.check("newton_safeguarded");
     auto [fx, dfx] = fdf(x);
+    checked("newton_safeguarded", x, fx);
     fx_last = fx;
     if (fx == 0.0) break;
     // Shrink the bracket around the root.

@@ -22,6 +22,11 @@ struct RootOptions {
   double tolerance = 1e-12;   ///< absolute width of the final bracket
   int max_iterations = 200;   ///< bisection/Brent iteration cap
   int max_expansions = 200;   ///< doubling steps allowed when bracketing
+  /// Wall-clock watchdog: a solve exceeding this many seconds throws
+  /// RootFindingError ("time budget exceeded"). 0 disables the check
+  /// (and its per-iteration clock read) — the default, since these
+  /// solvers are usually budgeted by max_iterations alone.
+  double max_seconds = 0.0;
 };
 
 /// Result of a solve, including diagnostics used by the perf benches.
@@ -40,6 +45,10 @@ struct RootResult {
 /// clamping to (1-eps)*sup when a finite supremum is given (the server
 /// saturation point); then the bracket is bisected. If f(lower) >= target
 /// the root is reported at `lower` (the "inactive server" case).
+///
+/// All four solvers reject a non-finite f(x) (NaN/Inf) with a
+/// RootFindingError naming the evaluation point instead of iterating on
+/// garbage, and honor RootOptions::max_seconds when set.
 [[nodiscard]] RootResult solve_increasing(const std::function<double(double)>& f, double target,
                                           double lower, std::optional<double> sup,
                                           std::optional<double> initial_ub = std::nullopt,

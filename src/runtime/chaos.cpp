@@ -1,0 +1,133 @@
+#include "runtime/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace blade::runtime {
+
+namespace {
+
+// Stream ids disjoint from the replay driver's (1000003/1000019/1000033)
+// and the special sources' (2i+1), so adding chaos never perturbs the
+// healthy part of the event sequence.
+constexpr std::uint64_t kObsStream = 2000003;
+constexpr std::uint64_t kSolverStream = 2000017;
+constexpr std::uint64_t kFlapStream = 2000039;
+
+void check_prob(double p, const char* name) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument(std::string("ChaosProfile: ") + name + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void ChaosProfile::validate() const {
+  check_prob(dropout_prob, "dropout_prob");
+  check_prob(spike_prob, "spike_prob");
+  check_prob(timewarp_prob, "timewarp_prob");
+  check_prob(solver_fault_prob, "solver_fault_prob");
+  if (!(flap_rate >= 0.0) || !std::isfinite(flap_rate)) {
+    throw std::invalid_argument("ChaosProfile: flap_rate must be >= 0");
+  }
+}
+
+Expected<ChaosProfile> chaos_profile(const std::string& name) {
+  if (name == "none") return ChaosProfile{};
+  if (name == "light") {
+    return ChaosProfile{.dropout_prob = 0.01,
+                        .spike_prob = 0.005,
+                        .timewarp_prob = 0.005,
+                        .solver_fault_prob = 0.002,
+                        .flap_rate = 1.0};
+  }
+  if (name == "moderate") {
+    return ChaosProfile{.dropout_prob = 0.05,
+                        .spike_prob = 0.02,
+                        .timewarp_prob = 0.02,
+                        .solver_fault_prob = 0.01,
+                        .flap_rate = 3.0};
+  }
+  if (name == "heavy") {
+    return ChaosProfile{.dropout_prob = 0.15,
+                        .spike_prob = 0.08,
+                        .timewarp_prob = 0.08,
+                        .solver_fault_prob = 0.05,
+                        .flap_rate = 8.0};
+  }
+  return make_error(ErrorCode::InvalidArgument,
+                    "chaos_profile: unknown profile '" + name +
+                        "' (expected none, light, moderate, or heavy)");
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, ChaosProfile profile)
+    : profile_(profile),
+      obs_rng_(seed, kObsStream),
+      solver_rng_(seed, kSolverStream),
+      flap_rng_(seed, kFlapStream) {
+  profile_.validate();
+}
+
+ObservationFault FaultInjector::corrupt_observation(double t) {
+  ObservationFault f;
+  f.time = t;
+  if (obs_rng_.uniform() < profile_.dropout_prob) {
+    f.drop = true;
+    ++dropped_;
+    return f;  // a dropped observation can't also spike or warp
+  }
+  if (obs_rng_.uniform() < profile_.spike_prob) {
+    f.phantoms = 1 + static_cast<unsigned>(obs_rng_.below(8));
+    phantoms_ += f.phantoms;
+  }
+  if (obs_rng_.uniform() < profile_.timewarp_prob) {
+    ++timewarps_;
+    const double u = obs_rng_.uniform();
+    if (u < 1.0 / 3.0) {
+      f.time = std::numeric_limits<double>::quiet_NaN();
+    } else if (u < 2.0 / 3.0) {
+      f.time = -t;  // sign flip
+    } else {
+      f.time = t * obs_rng_.uniform();  // backwards warp into the past
+    }
+  }
+  return f;
+}
+
+bool FaultInjector::should_fault_solver() {
+  if (!(profile_.solver_fault_prob > 0.0)) return false;
+  if (solver_rng_.uniform() < profile_.solver_fault_prob) {
+    ++solver_faults_;
+    return true;
+  }
+  return false;
+}
+
+std::vector<ReplayEvent> FaultInjector::flap_events(double horizon, std::size_t n_servers) {
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument("FaultInjector: horizon must be > 0");
+  }
+  std::vector<ReplayEvent> out;
+  if (!(profile_.flap_rate > 0.0)) return out;
+  // Per-server alternating fail/recover walk: outages occupy roughly a
+  // tenth of each cycle, and strict alternation guarantees no duplicate
+  // failure of an already-failed server.
+  const double cycle = horizon / profile_.flap_rate;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    double t = flap_rng_.exponential(cycle);
+    while (t < horizon) {
+      out.push_back({.time = t, .kind = ReplayEvent::Kind::Fail, .server = s, .blades = 0});
+      t += flap_rng_.exponential(0.1 * cycle);
+      if (t >= horizon) break;  // down at the horizon; that's chaos
+      out.push_back({.time = t, .kind = ReplayEvent::Kind::Recover, .server = s, .blades = 0});
+      t += flap_rng_.exponential(cycle);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ReplayEvent& a, const ReplayEvent& b) { return a.time < b.time; });
+  return out;
+}
+
+}  // namespace blade::runtime

@@ -1,0 +1,87 @@
+// Deterministic fault injection for the control plane. A FaultInjector
+// is a seeded source of the failure modes the resilience layer must
+// contain:
+//
+//   observation faults   dropouts (the controller never hears an
+//                        arrival), phantom spikes (it hears arrivals
+//                        that never happened), and timewarps (NaN,
+//                        sign-flipped, or backwards timestamps);
+//   solver faults        armed non-convergence on the controller's next
+//                        re-solve (Controller::arm_solver_fault);
+//   blade flaps          fail/recover pairs sprinkled over the horizon.
+//
+// Everything is driven by sim::RngStream, so a (seed, profile) pair
+// replays the identical fault sequence on every run — the chaos test
+// battery and `bladecli serve-replay --chaos-seed` both rely on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/replay.hpp"
+#include "sim/rng.hpp"
+#include "util/status.hpp"
+
+namespace blade::runtime {
+
+/// Per-event fault probabilities. All in [0, 1] except flap_rate, the
+/// expected number of fail/recover cycles per server per horizon.
+struct ChaosProfile {
+  double dropout_prob = 0.0;
+  double spike_prob = 0.0;
+  double timewarp_prob = 0.0;
+  double solver_fault_prob = 0.0;
+  double flap_rate = 0.0;
+
+  /// Throws std::invalid_argument on out-of-domain fields.
+  void validate() const;
+};
+
+/// Named presets for the CLI and tests: "none", "light", "moderate",
+/// "heavy". Unknown names return ErrorCode::InvalidArgument.
+[[nodiscard]] Expected<ChaosProfile> chaos_profile(const std::string& name);
+
+/// What happened to one observation: dropped entirely, duplicated as
+/// phantom arrivals, and/or its timestamp corrupted.
+struct ObservationFault {
+  bool drop = false;
+  unsigned phantoms = 0;  ///< extra phantom arrivals reported at `time`
+  double time = 0.0;      ///< possibly corrupted timestamp to report
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, ChaosProfile profile);
+
+  /// Decides the fate of an observation made at true time t.
+  [[nodiscard]] ObservationFault corrupt_observation(double t);
+
+  /// True when the controller's next re-solve should be forced to fail.
+  [[nodiscard]] bool should_fault_solver();
+
+  /// Seeded fail/recover pairs over [0, horizon) for n servers; already
+  /// sorted by time, full-server flaps (blades = 0), never a duplicate
+  /// failure of an already-failed server.
+  [[nodiscard]] std::vector<ReplayEvent> flap_events(double horizon, std::size_t n_servers);
+
+  // Injection tallies (what the chaos battery asserts against).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t phantoms() const noexcept { return phantoms_; }
+  [[nodiscard]] std::uint64_t timewarps() const noexcept { return timewarps_; }
+  [[nodiscard]] std::uint64_t solver_faults() const noexcept { return solver_faults_; }
+
+  [[nodiscard]] const ChaosProfile& profile() const noexcept { return profile_; }
+
+ private:
+  ChaosProfile profile_;
+  sim::RngStream obs_rng_;
+  sim::RngStream solver_rng_;
+  sim::RngStream flap_rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t phantoms_ = 0;
+  std::uint64_t timewarps_ = 0;
+  std::uint64_t solver_faults_ = 0;
+};
+
+}  // namespace blade::runtime

@@ -27,7 +27,20 @@ void ControllerConfig::validate() const {
   if (!(initial_lambda >= 0.0) || !std::isfinite(initial_lambda)) {
     throw std::invalid_argument("ControllerConfig: initial_lambda must be >= 0");
   }
+  if (!(lkg_max_age >= 0.0) || !std::isfinite(lkg_max_age)) {
+    throw std::invalid_argument("ControllerConfig: lkg_max_age must be >= 0");
+  }
   solver.validate();
+}
+
+const char* to_string(Mode m) noexcept {
+  switch (m) {
+    case Mode::Optimal: return "optimal";
+    case Mode::LastKnownGood: return "last_known_good";
+    case Mode::Fallback: return "fallback";
+    case Mode::Blackout: return "blackout";
+  }
+  return "unknown";
 }
 
 double ControllerStats::shed_fraction() const noexcept {
@@ -108,18 +121,34 @@ double Controller::shed_probability() const noexcept {
   return shed_prob_.load(std::memory_order_relaxed);
 }
 
+double Controller::sanitize_time(double t) {
+  if (std::isfinite(t) && t >= last_event_time_) {
+    last_event_time_ = t;
+    return t;
+  }
+  // Non-finite or backwards clock: the event is real, the timestamp is
+  // not. Repair to the last credible instant so one poisoned time cannot
+  // wedge the estimators, the drift check, or the LKG staleness bound.
+  ++stats_.rejected_observations;
+  BLADE_OBS_COUNT("runtime.rejected_observations");
+  return last_event_time_;
+}
+
 bool Controller::on_generic_arrival(double t, double u) {
+  t = sanitize_time(t);
   ++stats_.generic_arrivals;
   BLADE_OBS_COUNT("runtime.generic_arrivals");
   if (cfg_.estimator == EstimatorKind::Ewma) {
-    ewma_[0].observe(t);
+    ewma_[0].try_observe(t);
   } else {
-    window_[0].observe(t);
+    window_[0].try_observe(t);
   }
   if (++arrivals_since_check_ >= cfg_.check_interval) {
     arrivals_since_check_ = 0;
     check_drift(t);
   }
+  // A NaN draw fails the comparison and admits -- the caller's RNG lied,
+  // not the task; shedding stays driven by healthy draws.
   const bool admit = !(u < shed_prob_.load(std::memory_order_relaxed));
   if (admit) {
     ++stats_.admitted;
@@ -133,17 +162,19 @@ bool Controller::on_generic_arrival(double t, double u) {
 
 void Controller::on_special_arrival(double t, std::size_t i) {
   if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  t = sanitize_time(t);
   ++stats_.special_arrivals;
   BLADE_OBS_COUNT("runtime.special_arrivals");
   if (cfg_.estimator == EstimatorKind::Ewma) {
-    ewma_[i + 1].observe(t);
+    ewma_[i + 1].try_observe(t);
   } else {
-    window_[i + 1].observe(t);
+    window_[i + 1].try_observe(t);
   }
 }
 
 void Controller::on_failure(double t, std::size_t i, unsigned blades) {
   if (i >= avail_.size()) throw std::invalid_argument("Controller: server index out of range");
+  t = sanitize_time(t);
   ++stats_.failures;
   BLADE_OBS_COUNT("runtime.failures");
   avail_[i] = blades == 0 ? 0u : avail_[i] - std::min(avail_[i], blades);
@@ -155,6 +186,7 @@ void Controller::on_failure(double t, std::size_t i, unsigned blades) {
 
 void Controller::on_recovery(double t, std::size_t i, unsigned blades) {
   if (i >= avail_.size()) throw std::invalid_argument("Controller: server index out of range");
+  t = sanitize_time(t);
   ++stats_.recoveries;
   BLADE_OBS_COUNT("runtime.recoveries");
   const unsigned full = cluster_.server(i).size();
@@ -163,13 +195,20 @@ void Controller::on_recovery(double t, std::size_t i, unsigned blades) {
   resolve(t);
 }
 
-void Controller::resolve_now(double t) { resolve(t); }
+void Controller::resolve_now(double t) { resolve(sanitize_time(t)); }
 
 void Controller::check_drift(double t) {
   const std::uint64_t seen =
       cfg_.estimator == EstimatorKind::Ewma ? ewma_[0].count() : window_[0].count();
   if (seen < cfg_.min_arrivals) return;  // estimator still warming up
   if (solved_lambda_ < 0.0) {
+    resolve(t);
+    return;
+  }
+  if (mode_ != Mode::Optimal) {
+    // Degraded: keep retrying every check until a solve lands, bypassing
+    // hysteresis -- serving a stale or proportional split is a condition
+    // to exit, not a steady state to settle into.
     resolve(t);
     return;
   }
@@ -190,12 +229,53 @@ void Controller::check_drift(double t) {
   }
 }
 
-void Controller::publish(const std::vector<double>& weights, double shed_prob) {
+void Controller::set_mode(Mode m) noexcept {
+  mode_ = m;
+  BLADE_OBS_GAUGE_SET("runtime.degraded_mode", static_cast<double>(m));
+}
+
+double Controller::lkg_max_age() const noexcept {
+  return cfg_.lkg_max_age > 0.0 ? cfg_.lkg_max_age : 8.0 * cfg_.half_life;
+}
+
+bool Controller::lkg_servable(double t) const noexcept {
+  if (!lkg_.valid) return false;
+  if (!(t - lkg_.time <= lkg_max_age())) return false;
+  for (std::size_t i = 0; i < lkg_.weights.size(); ++i) {
+    // A server the LKG routes to must keep every blade it was solved
+    // with: fewer blades means the stale split could overload it.
+    if (lkg_.weights[i] > 0.0 && avail_[i] < lkg_.avail[i]) return false;
+  }
+  return true;
+}
+
+void Controller::remember_lkg(double t, double lambda, const std::vector<double>& weights) {
+  lkg_.valid = true;
+  lkg_.time = t;
+  lkg_.lambda = lambda;
+  lkg_.weights = weights;
+  lkg_.avail = avail_;
+}
+
+bool Controller::publish(const std::vector<double>& weights, double shed_prob) {
+  auto table = util::AliasTable::try_make(weights);
+  if (!table) return false;  // never publish NaN/negative/empty weights
   shed_prob_.store(shed_prob, std::memory_order_relaxed);
-  table_.store(std::make_shared<const util::AliasTable>(weights));
+  table_.store(std::make_shared<const util::AliasTable>(std::move(table).value()));
   ++stats_.publications;
   BLADE_OBS_COUNT("runtime.publications");
   BLADE_OBS_GAUGE_SET("runtime.shed_probability", shed_prob);
+  return true;
+}
+
+void Controller::publish_blackout() {
+  if (mode_ == Mode::Blackout) return;  // already serving nothing
+  shed_prob_.store(1.0, std::memory_order_relaxed);
+  table_.store(nullptr);
+  ++stats_.publications;
+  BLADE_OBS_COUNT("runtime.publications");
+  BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
+  set_mode(Mode::Blackout);
 }
 
 void Controller::publish_fallback(double shed_prob) {
@@ -212,15 +292,28 @@ void Controller::publish_fallback(double shed_prob) {
     w[i] = std::max(gc, 0.0);
     total += w[i];
   }
-  if (total > 0.0) {
-    publish(w, shed_prob);
+  if (total > 0.0 && publish(w, shed_prob)) {
+    set_mode(Mode::Fallback);
   } else {
-    shed_prob_.store(1.0, std::memory_order_relaxed);
-    table_.store(nullptr);
-    ++stats_.publications;
-    BLADE_OBS_COUNT("runtime.publications");
-    BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
+    publish_blackout();
   }
+}
+
+void Controller::contain(double t, double shed_prob, Error err) {
+  BLADE_OBS_TIMER("runtime.fallback_publish_seconds");
+  ++stats_.solver_failures;
+  BLADE_OBS_COUNT("runtime.solver_failures");
+  BLADE_OBS_COUNT("runtime.fallback_publications");
+  last_error_ = std::move(err);
+  if (lkg_servable(t) && publish(lkg_.weights, shed_prob)) {
+    ++stats_.lkg_publications;
+    BLADE_OBS_COUNT("runtime.fallback_lkg");
+    set_mode(Mode::LastKnownGood);
+    return;
+  }
+  ++stats_.fallback_publications;
+  BLADE_OBS_COUNT("runtime.fallback_proportional");
+  publish_fallback(shed_prob);
 }
 
 void Controller::resolve(double t) {
@@ -251,11 +344,7 @@ void Controller::resolve(double t) {
     solved_special_ = special;
     ++stats_.infeasible_resolves;
     BLADE_OBS_COUNT("runtime.infeasible_resolves");
-    shed_prob_.store(1.0, std::memory_order_relaxed);
-    table_.store(nullptr);
-    ++stats_.publications;
-    BLADE_OBS_COUNT("runtime.publications");
-    BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
+    publish_blackout();
     return;
   }
 
@@ -282,11 +371,30 @@ void Controller::resolve(double t) {
   }
   const opt::LoadDistributionOptimizer solver(model::Cluster(std::move(servers), cluster_.rbar()),
                                               cfg_.discipline, cfg_.solver);
-  const auto sol = solver.optimize(target, ws_);
+  const auto sol = [&]() -> Expected<opt::LoadDistribution> {
+    if (armed_faults_ > 0) {
+      --armed_faults_;
+      ++stats_.injected_faults;
+      BLADE_OBS_COUNT("runtime.injected_solver_faults");
+      return Error{ErrorCode::NonConvergence, "injected solver fault"};
+    }
+    return solver.try_optimize(target, ws_);
+  }();
+  if (!sol) {
+    contain(t, shed_prob, sol.error());
+    return;
+  }
 
   std::vector<double> w(cluster_.size(), 0.0);
-  for (std::size_t k = 0; k < alive.size(); ++k) w[alive[k]] = sol.rates[k];
-  publish(w, shed_prob);
+  for (std::size_t k = 0; k < alive.size(); ++k) w[alive[k]] = sol.value().rates[k];
+  if (publish(w, shed_prob)) {
+    set_mode(Mode::Optimal);
+    last_error_ = Error{ErrorCode::Ok, {}};
+    remember_lkg(t, target, w);
+  } else {
+    contain(t, shed_prob,
+            Error{ErrorCode::NonFinite, "resolve: solver returned an unpublishable weight vector"});
+  }
 }
 
 }  // namespace blade::runtime

@@ -36,6 +36,7 @@
 #include "queueing/blade_queue.hpp"
 #include "runtime/estimator.hpp"
 #include "util/alias_table.hpp"
+#include "util/status.hpp"
 
 namespace blade::runtime {
 
@@ -108,6 +109,11 @@ struct ControllerConfig {
   /// weights start optimal for the expected load instead of
   /// capacity-proportional.
   double initial_lambda = 0.0;
+  /// Bounded staleness for the last-known-good table: after a failed
+  /// re-solve the LKG split is only served while it is at most this old
+  /// (in event time); past that the controller degrades further to the
+  /// capacity-proportional fallback. 0 (default) derives 8 half-lives.
+  double lkg_max_age = 0.0;
   opt::OptimizerOptions solver;
 
   /// Throws std::invalid_argument on out-of-domain fields.
@@ -125,10 +131,33 @@ struct ControllerStats {
   std::uint64_t failures = 0;           ///< blade-failure events ingested
   std::uint64_t recoveries = 0;
   std::uint64_t publications = 0;       ///< reconvergence epochs (weight swaps)
+  std::uint64_t solver_failures = 0;    ///< contained re-solve failures
+  std::uint64_t lkg_publications = 0;   ///< failures served from last-known-good
+  std::uint64_t fallback_publications = 0;  ///< failures degraded to proportional
+  std::uint64_t rejected_observations = 0;  ///< corrupt event times dropped/repaired
+  std::uint64_t injected_faults = 0;    ///< solver faults forced by arm_solver_fault
+  std::uint64_t restores = 0;           ///< checkpoint restores applied
 
   /// Fraction of offered generic tasks shed so far (0 when none offered).
   [[nodiscard]] double shed_fraction() const noexcept;
 };
+
+/// What the published routing table currently is (the degraded-mode state
+/// machine; see docs/resilience.md for the full transition diagram):
+///
+///   Optimal        the last re-solve succeeded; serving its split.
+///   LastKnownGood  the last re-solve failed; serving the most recent
+///                  successful split, bounded by lkg_max_age and only
+///                  while every server it routes to keeps the blades it
+///                  had when it was solved.
+///   Fallback       serving the capacity-proportional split (boot state
+///                  before the first estimate-driven solve, no measurable
+///                  load, or a failure with no servable LKG).
+///   Blackout       nothing publishable: every blade is down; the table
+///                  is null and shed_probability() is 1.
+enum class Mode : std::uint8_t { Optimal = 0, LastKnownGood = 1, Fallback = 2, Blackout = 3 };
+
+[[nodiscard]] const char* to_string(Mode m) noexcept;
 
 class Controller {
  public:
@@ -189,14 +218,70 @@ class Controller {
   [[nodiscard]] const model::Cluster& cluster() const noexcept { return cluster_; }
   [[nodiscard]] std::size_t size() const noexcept { return cluster_.size(); }
 
+  // --- resilience (control thread only) ---
+
+  /// Which state machine state the published table came from.
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// The diagnostic of the most recent contained solver failure
+  /// (ErrorCode::Ok when the last re-solve succeeded).
+  [[nodiscard]] const Error& last_solver_error() const noexcept { return last_error_; }
+
+  /// True when the last-known-good split could be served at time t:
+  /// it exists, is younger than lkg_max_age, and every server it routes
+  /// to still has at least the blades it had when solved.
+  [[nodiscard]] bool lkg_servable(double t) const noexcept;
+
+  /// Fault injection: the next `n` re-solves fail with a typed
+  /// NonConvergence error instead of calling the optimizer, exercising
+  /// the containment path deterministically (chaos harness hook).
+  void arm_solver_fault(std::uint64_t n = 1) noexcept { armed_faults_ += n; }
+  [[nodiscard]] std::uint64_t armed_faults() const noexcept { return armed_faults_; }
+
+  /// Serializes the full control-plane state (topology view, estimator
+  /// states, last solve, LKG, mode) as a version-1 JSON document; see
+  /// docs/resilience.md for the schema.
+  [[nodiscard]] std::string checkpoint_json() const;
+
+  /// Restores state from checkpoint_json() output. Validates everything
+  /// before mutating: a malformed document returns ParseError, a
+  /// checkpoint for a different topology or estimator kind returns
+  /// StaleState, inconsistent estimator snapshots return
+  /// InvalidArgument — in all three cases *this is untouched. On success
+  /// the checkpointed table is re-published and Ok is returned.
+  [[nodiscard]] blade::Status restore_checkpoint(const std::string& json);
+
  private:
   /// Generic capacity of server i under the surviving blade count.
   [[nodiscard]] double capacity(std::size_t i) const;
   [[nodiscard]] double special_rate_for_solve(std::size_t i, double t) const;
   void check_drift(double t);
   void resolve(double t);
-  void publish(const std::vector<double>& weights, double shed_prob);
+  /// Validated publication: rejects any weight vector AliasTable would
+  /// not accept (NaN/negative/all-zero) instead of publishing it.
+  /// Returns false and leaves the previous table in place on rejection.
+  bool publish(const std::vector<double>& weights, double shed_prob);
   void publish_fallback(double shed_prob);
+  void publish_blackout();
+  /// Failure containment: serve the LKG split while servable, otherwise
+  /// the capacity-proportional fallback; never leaves the slot invalid.
+  void contain(double t, double shed_prob, Error err);
+  void remember_lkg(double t, double lambda, const std::vector<double>& weights);
+  void set_mode(Mode m) noexcept;
+  [[nodiscard]] double lkg_max_age() const noexcept;
+  /// Repairs corrupt event times (non-finite or backwards → the last
+  /// credible instant) so one poisoned timestamp cannot wedge the
+  /// estimators or the drift check; counts repairs.
+  [[nodiscard]] double sanitize_time(double t);
+
+  /// Last successful solve, kept for degraded-mode serving.
+  struct Lkg {
+    bool valid = false;
+    double time = 0.0;    ///< event time of the solve
+    double lambda = 0.0;  ///< admitted lambda' it was solved for
+    std::vector<double> weights;
+    std::vector<unsigned> avail;  ///< blade counts it assumed
+  };
 
   model::Cluster cluster_;
   ControllerConfig cfg_;
@@ -211,6 +296,12 @@ class Controller {
   std::vector<double> solved_special_;
   std::uint64_t arrivals_since_check_ = 0;
   ControllerStats stats_;
+
+  Mode mode_ = Mode::Fallback;
+  Error last_error_{ErrorCode::Ok, {}};
+  Lkg lkg_;
+  std::uint64_t armed_faults_ = 0;
+  double last_event_time_ = 0.0;
 
   std::atomic<double> shed_prob_{0.0};
   detail::TableSlot table_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace blade::runtime {
@@ -45,6 +46,40 @@ double EwmaRateEstimator::rate(double t) const {
   return alpha_ * w / denom;
 }
 
+bool EwmaRateEstimator::try_observe(double t) noexcept {
+  if (!std::isfinite(t)) return false;  // corrupted timestamp: drop
+  if (t < last_) {
+    // Backwards clock: the arrival is real, its timestamp is not. Count
+    // it at the last credible instant instead of poisoning the decay.
+    weight_ += 1.0;
+    ++count_;
+    return false;
+  }
+  weight_ = weight_ * std::exp(-alpha_ * (t - last_)) + 1.0;
+  last_ = t;
+  ++count_;
+  return true;
+}
+
+EwmaState EwmaRateEstimator::state() const {
+  return EwmaState{kLn2 / alpha_, start_, last_, weight_, count_};
+}
+
+blade::Status EwmaRateEstimator::restore(const EwmaState& s) {
+  if (!(s.half_life > 0.0) || !std::isfinite(s.half_life) || !std::isfinite(s.start) ||
+      !std::isfinite(s.last) || s.last < s.start || !(s.weight >= 0.0) ||
+      !std::isfinite(s.weight)) {
+    return blade::make_error(blade::ErrorCode::InvalidArgument,
+                             "EwmaRateEstimator: inconsistent snapshot");
+  }
+  alpha_ = kLn2 / s.half_life;
+  start_ = s.start;
+  last_ = s.last;
+  weight_ = s.weight;
+  count_ = s.count;
+  return {};
+}
+
 void EwmaRateEstimator::reset(double start_time) {
   if (!std::isfinite(start_time)) {
     throw std::invalid_argument("EwmaRateEstimator: start_time must be finite");
@@ -80,6 +115,45 @@ double WindowRateEstimator::rate(double t) const {
   const auto first = std::upper_bound(times_.begin(), times_.end(), t - window_);
   const auto in_window = static_cast<double>(std::distance(first, times_.end()));
   return in_window / span;
+}
+
+bool WindowRateEstimator::try_observe(double t) noexcept {
+  if (!std::isfinite(t)) return false;  // corrupted timestamp: drop
+  const bool repaired = t < last_;
+  const double at = repaired ? last_ : t;
+  try {
+    last_ = at;
+    times_.push_back(at);
+    ++count_;
+    while (!times_.empty() && times_.front() <= at - window_) times_.pop_front();
+  } catch (...) {
+    return false;  // allocation failure: the sample is lost, nothing corrupted
+  }
+  return !repaired;
+}
+
+WindowState WindowRateEstimator::state() const {
+  return WindowState{window_, start_, last_, {times_.begin(), times_.end()}, count_};
+}
+
+blade::Status WindowRateEstimator::restore(const WindowState& s) {
+  bool ok = (s.window > 0.0) && std::isfinite(s.window) && std::isfinite(s.start) &&
+            std::isfinite(s.last) && s.last >= s.start && s.count >= s.times.size();
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double t : s.times) {
+    ok = ok && std::isfinite(t) && t >= prev && t <= s.last;
+    prev = t;
+  }
+  if (!ok) {
+    return blade::make_error(blade::ErrorCode::InvalidArgument,
+                             "WindowRateEstimator: inconsistent snapshot");
+  }
+  window_ = s.window;
+  start_ = s.start;
+  last_ = s.last;
+  times_.assign(s.times.begin(), s.times.end());
+  count_ = s.count;
+  return {};
 }
 
 void WindowRateEstimator::reset(double start_time) {

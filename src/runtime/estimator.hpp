@@ -22,8 +22,29 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
+
+#include "util/status.hpp"
 
 namespace blade::runtime {
+
+/// Serializable EwmaRateEstimator state (controller checkpoints).
+struct EwmaState {
+  double half_life = 0.0;
+  double start = 0.0;
+  double last = 0.0;
+  double weight = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Serializable WindowRateEstimator state (controller checkpoints).
+struct WindowState {
+  double window = 0.0;
+  double start = 0.0;
+  double last = 0.0;
+  std::vector<double> times;  ///< retained timestamps, non-decreasing
+  std::uint64_t count = 0;
+};
 
 class EwmaRateEstimator {
  public:
@@ -33,6 +54,20 @@ class EwmaRateEstimator {
 
   /// One arrival at time t (>= the previous observation).
   void observe(double t);
+
+  /// Containment-grade ingestion for feeds that may be corrupted: a
+  /// non-finite t is dropped, a backwards t is clamped to the last
+  /// observation time (the arrival still counts — only its timestamp was
+  /// lying). Returns true when the sample was applied as given, false
+  /// when it was dropped or repaired. Never throws.
+  bool try_observe(double t) noexcept;
+
+  /// Snapshot / restore for checkpointing. restore() validates the
+  /// snapshot (finite fields, half_life > 0, last >= start, weight >= 0)
+  /// and returns ErrorCode::InvalidArgument without touching *this when
+  /// it is inconsistent.
+  [[nodiscard]] EwmaState state() const;
+  [[nodiscard]] blade::Status restore(const EwmaState& s);
 
   /// Bias-corrected rate estimate at time t (0 before any arrival).
   [[nodiscard]] double rate(double t) const;
@@ -58,6 +93,15 @@ class WindowRateEstimator {
   explicit WindowRateEstimator(double window, double start_time = 0.0);
 
   void observe(double t);
+
+  /// Same contract as EwmaRateEstimator::try_observe.
+  bool try_observe(double t) noexcept;
+
+  /// Snapshot / restore for checkpointing; restore() additionally
+  /// requires the retained timestamps to be finite, non-decreasing, and
+  /// <= last.
+  [[nodiscard]] WindowState state() const;
+  [[nodiscard]] blade::Status restore(const WindowState& s);
 
   /// Arrivals within (t - window, t] over the covered span
   /// min(window, t - start). 0 before time advances past start.

@@ -1,6 +1,9 @@
 #include "runtime/replay.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "runtime/chaos.hpp"
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -35,20 +38,24 @@ void ReplayTrace::validate(std::size_t n) const {
 
 namespace {
 
-[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
+Error parse_fail(std::size_t line_no, const std::string& what) {
   std::ostringstream msg;
   msg << "parse_replay_trace: line " << line_no << ": " << what;
-  throw std::invalid_argument(msg.str());
+  return make_error(ErrorCode::ParseError, msg.str());
 }
 
 }  // namespace
 
-ReplayTrace parse_replay_trace(const std::string& text) {
+Expected<ReplayTrace> try_parse_replay_trace(const std::string& text) {
   ReplayTrace trace;
   bool have_horizon = false;
   std::istringstream in(text);
   std::string line;
   std::size_t line_no = 0;
+  double last_time = 0.0;
+  // Which servers the trace has fully failed so far, to reject the
+  // contradictory "fail again what is already gone".
+  std::vector<bool> fully_failed;
   while (std::getline(in, line)) {
     ++line_no;
     if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
@@ -56,29 +63,60 @@ ReplayTrace parse_replay_trace(const std::string& text) {
     std::string keyword;
     if (!(fields >> keyword)) continue;  // blank / comment-only line
     if (keyword == "horizon") {
-      if (!(fields >> trace.horizon)) parse_fail(line_no, "horizon needs a number");
+      if (!(fields >> trace.horizon)) return parse_fail(line_no, "horizon needs a number");
       have_horizon = true;
     } else if (keyword == "seed") {
-      if (!(fields >> trace.seed)) parse_fail(line_no, "seed needs an integer");
+      if (!(fields >> trace.seed)) return parse_fail(line_no, "seed needs an integer");
     } else if (keyword == "rate") {
       ReplayEvent e;
       e.kind = ReplayEvent::Kind::Rate;
-      if (!(fields >> e.time >> e.rate)) parse_fail(line_no, "rate needs <t> <lambda>");
+      if (!(fields >> e.time >> e.rate)) return parse_fail(line_no, "rate needs <t> <lambda>");
+      if (!std::isfinite(e.rate) || e.rate < 0.0) {
+        return parse_fail(line_no, "rate must be finite and >= 0");
+      }
       trace.events.push_back(e);
     } else if (keyword == "fail" || keyword == "recover") {
       ReplayEvent e;
       e.kind = keyword == "fail" ? ReplayEvent::Kind::Fail : ReplayEvent::Kind::Recover;
-      if (!(fields >> e.time >> e.server)) parse_fail(line_no, keyword + " needs <t> <server>");
+      if (!(fields >> e.time >> e.server)) {
+        return parse_fail(line_no, keyword + " needs <t> <server>");
+      }
       fields >> e.blades;  // optional; stays 0 (= all) when absent
+      if (e.server >= fully_failed.size()) fully_failed.resize(e.server + 1, false);
+      if (e.kind == ReplayEvent::Kind::Fail && e.blades == 0) {
+        if (fully_failed[e.server]) {
+          return parse_fail(line_no, "server " + std::to_string(e.server) +
+                                         " is already fully failed");
+        }
+        fully_failed[e.server] = true;
+      } else if (e.kind == ReplayEvent::Kind::Recover) {
+        fully_failed[e.server] = false;
+      }
       trace.events.push_back(e);
     } else {
-      parse_fail(line_no, "unknown keyword '" + keyword + "'");
+      return parse_fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+    if (!trace.events.empty() && keyword != "horizon" && keyword != "seed") {
+      const double t = trace.events.back().time;
+      if (!std::isfinite(t) || t < 0.0) {
+        return parse_fail(line_no, "event time must be finite and >= 0");
+      }
+      if (t < last_time) return parse_fail(line_no, "event times must be non-decreasing");
+      last_time = t;
     }
     std::string extra;
-    if (fields.clear(), fields >> extra) parse_fail(line_no, "trailing tokens");
+    if (fields.clear(), fields >> extra) return parse_fail(line_no, "trailing tokens");
   }
-  if (!have_horizon) throw std::invalid_argument("parse_replay_trace: missing 'horizon' line");
+  if (!have_horizon) {
+    return make_error(ErrorCode::ParseError, "parse_replay_trace: missing 'horizon' line");
+  }
   return trace;
+}
+
+ReplayTrace parse_replay_trace(const std::string& text) {
+  auto trace = try_parse_replay_trace(text);
+  if (!trace) throw std::invalid_argument(trace.error().context);
+  return std::move(trace).value();
 }
 
 std::string to_text(const ReplayTrace& trace) {
@@ -131,6 +169,9 @@ ReplayTrace reference_failure_trace(const model::Cluster& cluster, double horizo
       {.time = horizon / 3.0, .kind = ReplayEvent::Kind::Fail, .server = biggest});
   trace.events.push_back(
       {.time = 2.0 * horizon / 3.0, .kind = ReplayEvent::Kind::Recover, .server = biggest});
+  // The text format requires time order; keep to_text() round-trippable.
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const ReplayEvent& a, const ReplayEvent& b) { return a.time < b.time; });
   return trace;
 }
 
@@ -148,6 +189,7 @@ struct GenericDriver {
   sim::RngStream arrivals;
   sim::RngStream routing;
   sim::RngStream admission;
+  FaultInjector* chaos = nullptr;
   double rate = 0.0;
   sim::EventId pending = 0;
   bool has_pending = false;
@@ -170,7 +212,24 @@ struct GenericDriver {
   void fire() {
     has_pending = false;
     const double t = engine.now();
-    if (controller.on_generic_arrival(t, admission.uniform())) {
+    bool heard = true;  // did the controller's telemetry see this arrival?
+    double report_t = t;
+    if (chaos != nullptr) {
+      const ObservationFault f = chaos->corrupt_observation(t);
+      heard = !f.drop;
+      report_t = f.time;
+      // Phantom spikes: telemetry reports arrivals that never happened.
+      // A draw of 2.0 can never be shed, so phantoms perturb only the
+      // estimators and counters, not the routed workload.
+      for (unsigned k = 0; heard && k < f.phantoms; ++k) {
+        (void)controller.on_generic_arrival(report_t, 2.0);
+      }
+      if (chaos->should_fault_solver()) controller.arm_solver_fault();
+    }
+    // A dropped observation still carries a real task: it routes through
+    // the published table, bypassing admission the controller never saw.
+    const bool admit = heard ? controller.on_generic_arrival(report_t, admission.uniform()) : true;
+    if (admit) {
       const auto table = controller.weights();
       if (table && table->size() == servers.size()) {
         sim::Task task;
@@ -183,10 +242,9 @@ struct GenericDriver {
   }
 };
 
-}  // namespace
-
-ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
-                    const ReplayTrace& trace, double warmup, double service_scv) {
+ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& cfg,
+                         const ReplayTrace& trace, FaultInjector* chaos, double warmup,
+                         double service_scv) {
   trace.validate(cluster.size());
   if (!(warmup >= 0.0) || warmup >= trace.horizon) {
     throw std::invalid_argument("replay: warmup must be in [0, horizon)");
@@ -230,7 +288,8 @@ ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
                        sim::ServiceDistribution::from_scv(cluster.rbar(), service_scv),
                        sim::RngStream(trace.seed, 1000003),
                        sim::RngStream(trace.seed, 1000033),
-                       sim::RngStream(trace.seed, 1000019)};
+                       sim::RngStream(trace.seed, 1000019),
+                       chaos};
 
   // Failure/recovery events mutate the simulated blades first, then tell
   // the controller, which re-solves and republishes at the same instant.
@@ -239,6 +298,14 @@ ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
     if (e.kind == ReplayEvent::Kind::Rate) {
       engine.schedule_at(e.time, [&driver, rate = e.rate] { driver.set_rate(rate); });
     } else {
+      failures.events.push_back({e.time,
+                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
+                                                                   : sim::FailureKind::Recovery,
+                                 e.server, e.blades});
+    }
+  }
+  if (chaos != nullptr) {
+    for (const ReplayEvent& e : chaos->flap_events(trace.horizon, cluster.size())) {
       failures.events.push_back({e.time,
                                  e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
                                                                    : sim::FailureKind::Recovery,
@@ -261,6 +328,7 @@ ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
   result.shed_fraction = result.stats.shed_fraction();
   result.final_shed_probability = controller.shed_probability();
   result.final_fractions = controller.routing_fractions();
+  result.final_mode = controller.mode();
   result.sim.generic_mean_response = collector.generic().mean();
   result.sim.generic_samples = collector.generic().count();
   result.sim.special_mean_response = collector.special().mean();
@@ -275,6 +343,19 @@ ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
     result.sim.servers.push_back(obs);
   }
   return result;
+}
+
+}  // namespace
+
+ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
+                    const ReplayTrace& trace, double warmup, double service_scv) {
+  return replay_impl(cluster, cfg, trace, nullptr, warmup, service_scv);
+}
+
+ReplayResult replay_chaotic(const model::Cluster& cluster, const ControllerConfig& cfg,
+                            const ReplayTrace& trace, FaultInjector& chaos, double warmup,
+                            double service_scv) {
+  return replay_impl(cluster, cfg, trace, &chaos, warmup, service_scv);
 }
 
 }  // namespace blade::runtime

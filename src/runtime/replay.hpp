@@ -12,6 +12,10 @@
 //   fail <t> <server> [k]    k blades of <server> fail at t (default: all)
 //   recover <t> <server> [k] k blades come back at t (default: all missing)
 //
+// The parser rejects — naming the offending line — NaN/negative rates,
+// non-finite or negative times, events out of time order, and a full
+// failure of a server that is already fully failed.
+//
 // `reference_failure_trace` builds the paper-cluster acceptance scenario:
 // a diurnal generic load riding on the example cluster, the biggest
 // server lost at T/3 and recovered at 2T/3.
@@ -24,8 +28,11 @@
 #include "model/cluster.hpp"
 #include "runtime/controller.hpp"
 #include "sim/simulation.hpp"
+#include "util/status.hpp"
 
 namespace blade::runtime {
+
+class FaultInjector;
 
 struct ReplayEvent {
   enum class Kind : std::uint8_t { Rate, Fail, Recover };
@@ -47,8 +54,12 @@ struct ReplayTrace {
   void validate(std::size_t n) const;
 };
 
-/// Parses the text format above. Throws std::invalid_argument with the
-/// offending line number on malformed input.
+/// Parses the text format above. Malformed input returns
+/// ErrorCode::ParseError whose context names the offending line.
+[[nodiscard]] Expected<ReplayTrace> try_parse_replay_trace(const std::string& text);
+
+/// Throwing convenience over try_parse_replay_trace
+/// (std::invalid_argument carrying the same line-numbered message).
 [[nodiscard]] ReplayTrace parse_replay_trace(const std::string& text);
 
 /// Serializes a trace back to the text format (round-trips with
@@ -65,6 +76,7 @@ struct ReplayResult {
   double shed_fraction = 0.0;           ///< stats.shed_fraction() shortcut
   double final_shed_probability = 0.0;  ///< published shed prob at horizon
   std::vector<double> final_fractions;  ///< published routing fractions
+  Mode final_mode = Mode::Fallback;     ///< degraded-mode state at horizon
   sim::SimResult sim;                   ///< measured response times etc.
 };
 
@@ -76,5 +88,15 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
                                   const ReplayTrace& trace, double warmup = 0.0,
                                   double service_scv = 1.0);
+
+/// replay() with a FaultInjector in the loop: observations pass through
+/// chaos.corrupt_observation before reaching the controller (drops,
+/// phantom spikes, timewarped stamps), solver faults are armed per
+/// chaos.should_fault_solver, and chaos.flap_events are merged into the
+/// trace's failure schedule. Deterministic per (trace.seed, chaos).
+[[nodiscard]] ReplayResult replay_chaotic(const model::Cluster& cluster,
+                                          const ControllerConfig& cfg, const ReplayTrace& trace,
+                                          FaultInjector& chaos, double warmup = 0.0,
+                                          double service_scv = 1.0);
 
 }  // namespace blade::runtime

@@ -1,24 +1,51 @@
 #include "util/alias_table.hpp"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace blade::util {
 
-AliasTable::AliasTable(std::span<const double> weights) {
+Status AliasTable::validate_weights(std::span<const double> weights) {
   const std::size_t n = weights.size();
-  if (n == 0) throw std::invalid_argument("AliasTable: no weights");
+  if (n == 0) return make_error(ErrorCode::InvalidArgument, "AliasTable: no weights");
   if (n > static_cast<std::size_t>(UINT32_MAX)) {
-    throw std::invalid_argument("AliasTable: too many weights");
+    return make_error(ErrorCode::InvalidArgument, "AliasTable: too many weights");
   }
   double total = 0.0;
-  for (double w : weights) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
     if (!std::isfinite(w) || w < 0.0) {
-      throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+      std::ostringstream os;
+      os << "AliasTable: weights must be finite and >= 0 (weight[" << i << "] = " << w << ")";
+      return make_error(ErrorCode::InvalidArgument, os.str());
     }
     total += w;
   }
-  if (!(total > 0.0)) throw std::invalid_argument("AliasTable: all weights are zero");
+  if (!(total > 0.0)) {
+    return make_error(ErrorCode::InvalidArgument, "AliasTable: all weights are zero");
+  }
+  return {};
+}
+
+Expected<AliasTable> AliasTable::try_make(std::span<const double> weights) {
+  if (Status s = validate_weights(weights); !s.ok()) return s.error();
+  AliasTable table;
+  table.build(weights);
+  return table;
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (Status s = validate_weights(weights); !s.ok()) {
+    throw std::invalid_argument(s.error().context);
+  }
+  build(weights);
+}
+
+void AliasTable::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) total += w;
 
   fractions_.resize(n);
   for (std::size_t i = 0; i < n; ++i) fractions_[i] = weights[i] / total;

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace blade::util {
 
 class AliasTable {
@@ -18,6 +20,16 @@ class AliasTable {
   ///                 entries are legal (a removed server) and are never
   ///                 returned by sample().
   explicit AliasTable(std::span<const double> weights);
+
+  /// Why `weights` cannot back a table, or ok: rejects empty input,
+  /// NaN/Inf/negative entries (with the offending index), an all-zero
+  /// vector, and more than 2^32 entries. The constructor and try_make
+  /// enforce exactly this predicate, so callers that must not throw
+  /// (the runtime publish path) can pre-validate.
+  [[nodiscard]] static Status validate_weights(std::span<const double> weights);
+
+  /// Non-throwing construction: the table, or validate_weights' error.
+  [[nodiscard]] static Expected<AliasTable> try_make(std::span<const double> weights);
 
   [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
 
@@ -32,6 +44,9 @@ class AliasTable {
   [[nodiscard]] const std::vector<double>& fractions() const noexcept { return fractions_; }
 
  private:
+  AliasTable() = default;  // used by try_make after validation
+  void build(std::span<const double> weights);
+
   std::vector<double> prob_;           ///< bucket acceptance probability
   std::vector<std::uint32_t> alias_;   ///< bucket alias target
   std::vector<double> fractions_;

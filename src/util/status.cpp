@@ -1,0 +1,44 @@
+#include "util/status.hpp"
+
+namespace blade {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Ok:
+      return "ok";
+    case ErrorCode::InvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::Infeasible:
+      return "infeasible";
+    case ErrorCode::BracketNotFound:
+      return "bracket_not_found";
+    case ErrorCode::NonConvergence:
+      return "non_convergence";
+    case ErrorCode::NonFinite:
+      return "non_finite";
+    case ErrorCode::BudgetExceeded:
+      return "budget_exceeded";
+    case ErrorCode::ParseError:
+      return "parse_error";
+    case ErrorCode::StaleState:
+      return "stale_state";
+    case ErrorCode::Internal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = blade::to_string(code);
+  if (!context.empty()) {
+    out += ": ";
+    out += context;
+  }
+  return out;
+}
+
+std::string Status::to_string() const {
+  return ok() ? std::string("ok") : error().to_string();
+}
+
+}  // namespace blade

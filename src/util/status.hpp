@@ -1,0 +1,106 @@
+// Typed error taxonomy for the non-throwing solver and runtime paths.
+// Every failure the stack can produce is one ErrorCode plus a context
+// string; fallible operations return Expected<T> (value or Error) or
+// Status (Error or nothing). The throwing APIs stay available as thin
+// wrappers that map an Error back onto the exception hierarchy, so
+// callers choose per call site: exceptions at the edges, typed statuses
+// on the hot path where a failed solve must be contained, not unwound.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blade {
+
+/// Every failure class the solver/runtime stack distinguishes. Codes are
+/// coarse on purpose: the context string carries the instance-specific
+/// detail, the code is what containment logic branches on.
+enum class ErrorCode : unsigned char {
+  Ok = 0,
+  InvalidArgument,  ///< caller-supplied value out of domain
+  Infeasible,       ///< lambda' outside (0, lambda'_max) for the topology
+  BracketNotFound,  ///< doubling expansion exhausted without a sign change
+  NonConvergence,   ///< iteration cap reached with the bracket still wide
+  NonFinite,        ///< NaN/Inf detected in an evaluation
+  BudgetExceeded,   ///< evaluation or wall-time watchdog tripped
+  ParseError,       ///< malformed textual input (traces, checkpoints)
+  StaleState,       ///< restored/cached state no longer matches the world
+  Internal,         ///< invariant violation; always a bug
+};
+
+/// Stable lowercase name for an ErrorCode ("non_convergence", ...).
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+
+/// One failure: what class it is plus where/why it happened.
+struct Error {
+  ErrorCode code = ErrorCode::Internal;
+  std::string context;
+
+  /// "<code>: <context>" (just the code name when context is empty).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Either a T or an Error. Deliberately tiny — no monadic combinators,
+/// just the checks containment code needs. value() on an error state
+/// throws std::logic_error: reaching it means a caller skipped the
+/// check, which is a bug, not a recoverable failure.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Expected(Error error) : v_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & { return std::get<0>(checked()); }
+  [[nodiscard]] const T& value() const& { return std::get<0>(const_cast<Expected*>(this)->checked()); }
+  [[nodiscard]] T&& value() && { return std::get<0>(std::move(checked())); }
+
+  /// The held value, or `fallback` on error.
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+  /// Only valid when !has_value().
+  [[nodiscard]] const Error& error() const noexcept { return std::get<1>(v_); }
+
+ private:
+  std::variant<T, Error>& checked() {
+    if (!has_value()) {
+      throw std::logic_error("Expected::value() on error: " + std::get<1>(v_).to_string());
+    }
+    return v_;
+  }
+
+  std::variant<T, Error> v_;
+};
+
+/// Success, or an Error. Default-constructed Status is success.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Only valid when !ok().
+  [[nodiscard]] const Error& error() const noexcept { return *error_; }
+
+  /// "ok" or the error's to_string().
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Shorthand for the common construction pattern.
+[[nodiscard]] inline Error make_error(ErrorCode code, std::string context) {
+  return Error{code, std::move(context)};
+}
+
+}  // namespace blade

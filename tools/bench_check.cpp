@@ -7,6 +7,12 @@
 //
 //   bench_check <baseline.json> <current.json> <numerator> <denominator> <max_factor>
 //
+// A metric is addressed as `name` or `name:field`, where `field` is a
+// numeric key of that metric's JSON record ("count" when omitted). That
+// reaches timer/histogram aggregates too, e.g.
+// `runtime.fallback_publish_seconds:sum` over a publication counter
+// gates the per-publication fallback latency.
+//
 // example:
 //   bench_check bench/baselines/BENCH_bench_solver_scaling.json \
 //               BENCH_bench_solver_scaling.json \
@@ -43,14 +49,19 @@ bool load_json(const std::string& path, JsonValue& doc) {
   return true;
 }
 
-/// Total of a counter metric by name; -1 when absent.
-double counter_total(const JsonValue& doc, const std::string& name) {
+/// Value of a `name[:field]` metric spec; -1 when absent. `field`
+/// defaults to "count", and may be any numeric key of the metric record
+/// (timers export "count", "sum", "mean", quantiles, ...).
+double counter_total(const JsonValue& doc, const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string field = colon == std::string::npos ? "count" : spec.substr(colon + 1);
   const JsonValue* metrics = doc.find("metrics");
   if (metrics == nullptr) return -1.0;
   for (const JsonValue& m : metrics->array) {
     const JsonValue* n = m.find("name");
     if (n == nullptr || n->string != name) continue;
-    if (const JsonValue* count = m.find("count")) return count->number;
+    if (const JsonValue* v = m.find(field)) return v->number;
     return -1.0;
   }
   return -1.0;
