@@ -1,0 +1,116 @@
+// Fleet-scale benchmarks for the sharded hierarchical solver: the
+// headline claim is that a cold sharded solve of a 100,000-blade SKU
+// fleet runs well under the flat paper solver's time on 1,000 distinct
+// servers. Runs through bench_obs_main, so each run writes
+// BENCH_bench_shard_scaling.json; CI ratios the two dedicated wall
+// timers below (solver.shard.bench.n100k_seconds over
+// solver.shard.bench.flat1000_seconds) and the per-solve inner
+// evaluation count against the checked-in bench/baselines/ record.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/sharded.hpp"
+#include "model/cluster.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace blade;
+
+/// 1,000 pairwise-distinct servers: the flat solver's reference point.
+/// Every speed differs, so there is nothing to coalesce — this is the
+/// honest per-server cost the sharded path is measured against.
+model::Cluster distinct_cluster(std::size_t n) {
+  std::vector<unsigned> sizes(n);
+  std::vector<double> speeds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes[i] = 1 + static_cast<unsigned>(i % 5);
+    speeds[i] = 0.6 + 1.8 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  return model::make_cluster(sizes, speeds, 1.0, 0.2);
+}
+
+/// A realistic fleet: n blades drawn from a ~48-SKU hardware catalog in
+/// contiguous blocks, the shape class coalescing is built for.
+model::Cluster catalog_fleet(std::size_t n, std::size_t skus) {
+  std::vector<unsigned> sizes(n);
+  std::vector<double> speeds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = i * skus / n;
+    sizes[i] = 1 + static_cast<unsigned>(s % 6);
+    speeds[i] = 0.5 + 0.05 * static_cast<double>(s);
+  }
+  return model::make_cluster(sizes, speeds, 1.0, 0.2);
+}
+
+opt::ShardOptions shard_opts(std::size_t cells, std::size_t top_k = 0) {
+  opt::ShardOptions shard;
+  shard.cells = cells;
+  shard.prune.top_k = top_k;
+  return shard;
+}
+
+// Flat paper solver, cold, n = 1,000 distinct servers: the denominator
+// of the CI wall-time gate.
+void BM_FlatCold1000(benchmark::State& state) {
+  const auto cluster = distinct_cluster(1000);
+  const opt::LoadDistributionOptimizer solver(cluster, queue::Discipline::Fcfs);
+  const double lambda = 0.6 * cluster.max_generic_rate();
+  for (auto _ : state) {
+    BLADE_OBS_TIMER("solver.shard.bench.flat1000_seconds");
+    benchmark::DoNotOptimize(solver.optimize(lambda));
+  }
+}
+BENCHMARK(BM_FlatCold1000)->Unit(benchmark::kMillisecond);
+
+// Sharded solver, cold (fresh workspace per solve), n = 100,000 blades
+// in 64 cells: the numerator of the CI wall-time gate.
+void BM_ShardedCold100k(benchmark::State& state) {
+  const auto cluster = catalog_fleet(100000, 48);
+  const opt::ShardedOptimizer solver(cluster, queue::Discipline::Fcfs, {}, shard_opts(64));
+  const double lambda = 0.6 * cluster.max_generic_rate();
+  for (auto _ : state) {
+    opt::ShardedWorkspace ws;  // fresh per solve: no warm-start credit
+    BLADE_OBS_TIMER("solver.shard.bench.n100k_seconds");
+    benchmark::DoNotOptimize(solver.optimize(lambda, par::global_pool(), ws));
+  }
+}
+BENCHMARK(BM_ShardedCold100k)->Unit(benchmark::kMillisecond);
+
+// Warm re-solves: one workspace threaded through small multiplier
+// drifts, the controller's steady-state pattern at fleet scale.
+void BM_ShardedWarm100k(benchmark::State& state) {
+  const auto cluster = catalog_fleet(100000, 48);
+  const opt::ShardedOptimizer solver(cluster, queue::Discipline::Fcfs, {}, shard_opts(64));
+  const double base = 0.6 * cluster.max_generic_rate();
+  opt::ShardedWorkspace ws;
+  benchmark::DoNotOptimize(solver.optimize(base, par::global_pool(), ws));
+  int tick = 0;
+  for (auto _ : state) {
+    const double lambda = base * (1.0 + 0.01 * ((tick++ % 3) - 1));
+    BLADE_OBS_TIMER("solver.shard.bench.n100k_warm_seconds");
+    benchmark::DoNotOptimize(solver.optimize(lambda, par::global_pool(), ws));
+  }
+}
+BENCHMARK(BM_ShardedWarm100k)->Unit(benchmark::kMillisecond);
+
+// Pruned variant: keep the ~1200 most attractive servers of each
+// ~1560-server cell (enough capacity headroom for the solve to stay
+// feasible), carrying the duality certificate on every solve.
+void BM_ShardedPruned100k(benchmark::State& state) {
+  const auto cluster = catalog_fleet(100000, 48);
+  const opt::ShardedOptimizer solver(cluster, queue::Discipline::Fcfs, {}, shard_opts(64, 1200));
+  const double lambda = 0.5 * cluster.max_generic_rate();
+  for (auto _ : state) {
+    opt::ShardedWorkspace ws;
+    BLADE_OBS_TIMER("solver.shard.bench.n100k_pruned_seconds");
+    benchmark::DoNotOptimize(solver.optimize(lambda, par::global_pool(), ws));
+  }
+}
+BENCHMARK(BM_ShardedPruned100k)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -16,7 +16,9 @@
 #include "core/batch.hpp"
 #include "core/optimizer.hpp"
 #include "core/sensitivity.hpp"
+#include "core/sharded.hpp"
 #include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
 #include "queueing/waiting_distribution.hpp"
 #include "runtime/chaos.hpp"
 #include "runtime/replay.hpp"
@@ -48,7 +50,38 @@ void check_lambda(const model::Cluster& cluster, double lambda) {
 std::string run_optimize(const model::Cluster& cluster, double lambda,
                          const CommonOptions& opts) {
   check_lambda(cluster, lambda);
-  const auto sol = make_solver(cluster, opts).optimize(lambda);
+  opt::LoadDistribution sol;
+  std::string shard_line;
+  if (opts.shards > 0) {
+    opt::OptimizerOptions oo;
+    oo.service_scv = opts.service_scv;
+    oo.verbosity = opts.verbosity;
+    opt::ShardOptions shard;
+    shard.cells = opts.shards;
+    shard.prune.top_k = opts.prune_k;
+    opt::ShardedOptimizer solver(cluster, opts.discipline, oo, shard);
+    opt::ShardedWorkspace ws;
+    opt::ShardedLoadDistribution sharded;
+    if (opts.threads > 0) {
+      par::ThreadPool pool(static_cast<std::size_t>(opts.threads));
+      sharded = solver.optimize(lambda, pool, ws);
+    } else {
+      sharded = solver.optimize(lambda, par::global_pool(), ws);
+    }
+    std::ostringstream sl;
+    sl << "sharded solve: " << sharded.cells << " cells, " << sharded.server_classes
+       << " server classes (" << sharded.coalesced_servers << " coalesced";
+    if (opts.prune_k > 0) {
+      sl << ", " << sharded.pruned_servers
+         << " pruned, optimality loss <= " << util::fixed(sharded.prune_loss_bound, 9);
+    }
+    sl << ")\n";
+    shard_line = sl.str();
+    sol = std::move(sharded.dist);
+  } else {
+    if (opts.prune_k > 0) throw std::invalid_argument("--prune-k requires --shards");
+    sol = make_solver(cluster, opts).optimize(lambda);
+  }
   util::Table t({"i", "m_i", "s_i", "lambda'_i", "lambda''_i", "rho_i", "T'_i"});
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     const auto& s = cluster.server(i);
@@ -60,8 +93,8 @@ std::string run_optimize(const model::Cluster& cluster, double lambda,
   os << cluster.describe() << '\n'
      << "discipline = " << queue::to_string(opts.discipline) << ", scv = " << opts.service_scv
      << ", lambda' = " << lambda << "\n\n"
-     << t.render() << "minimized T' = " << util::fixed(sol.response_time) << "  (phi = "
-     << util::fixed(sol.phi) << ")\n";
+     << t.render() << shard_line << "minimized T' = " << util::fixed(sol.response_time)
+     << "  (phi = " << util::fixed(sol.phi) << ")\n";
   return os.str();
 }
 
@@ -223,6 +256,8 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
   cfg.half_life = serve.half_life > 0.0 ? serve.half_life : trace.horizon / 100.0;
   cfg.utilization_ceiling = serve.utilization_ceiling;
   cfg.drift_threshold = serve.drift_threshold;
+  cfg.shard_cells = opts.shards;
+  cfg.prune_top_k = opts.prune_k;
 
   runtime::ReplayResult res;
   std::string chaos_line;
@@ -325,6 +360,9 @@ std::string usage() {
          "  --chaos-profile <p>         none, light, moderate (default), or heavy\n"
          "  --verbose         solver convergence summaries on stderr\n"
          "  --threads <n>     sweep: worker threads (default 0 = shared pool)\n"
+         "  --shards <n>      optimize / serve-replay: sharded hierarchical solver\n"
+         "                    with n cells (default 0 = flat paper solver)\n"
+         "  --prune-k <k>     sharded solver: keep top-k server classes per cell\n"
          "  --metrics-out <path>        export run metrics after the command\n"
          "  --metrics-format <f>        json (default), prom, or csv\n"
          "  --version         build attribution (git hash, compiler, BLADE_OBS)\n";
@@ -436,6 +474,10 @@ std::string run_cli(const std::vector<std::string>& args) {
     } else if (a == "--threads") {
       opts.threads = std::stoi(next("--threads"));
       if (opts.threads < 0) throw std::invalid_argument("--threads must be >= 0");
+    } else if (a == "--shards") {
+      opts.shards = static_cast<std::size_t>(std::stoul(next("--shards")));
+    } else if (a == "--prune-k") {
+      opts.prune_k = static_cast<std::size_t>(std::stoul(next("--prune-k")));
     } else if (a == "--metrics-out") {
       metrics_out = next("--metrics-out");
     } else if (a == "--metrics-format") {

@@ -17,6 +17,11 @@ struct CommonOptions {
   double service_scv = 1.0;  ///< task-size variability (1 = exponential)
   int verbosity = 0;         ///< --verbose: solver convergence summaries on stderr
   int threads = 0;           ///< --threads: sweep worker count (0 = shared default pool)
+  /// --shards: optimize / serve-replay through the sharded hierarchical
+  /// solver with this many cells (0 = flat paper solver).
+  std::size_t shards = 0;
+  /// --prune-k: per-cell top-k rate-matrix pruning (requires --shards).
+  std::size_t prune_k = 0;
 };
 
 /// `optimize`: solve one instance and print the paper-style table.

@@ -1,5 +1,6 @@
 #include "core/batch.hpp"
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -46,6 +47,16 @@ std::vector<LoadDistribution> unwrap(std::vector<SolveOutcome>&& results) {
   return out;
 }
 
+/// Chunked dispatch honoring the optional cost hints; hint-free batches
+/// take the fixed-size path unchanged.
+void run_chunked(par::ThreadPool& pool, std::size_t n, const BatchOptions& opts,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (!opts.cost_hints.empty() && opts.cost_hints.size() != n) {
+    throw std::invalid_argument("BatchOptions: cost_hints must be empty or match the batch size");
+  }
+  par::for_each_weighted_chunk(pool, n, opts.chunk, opts.cost_hints, body);
+}
+
 }  // namespace
 
 std::vector<SolveOutcome> optimize_many_checked(const LoadDistributionOptimizer& solver,
@@ -55,7 +66,7 @@ std::vector<SolveOutcome> optimize_many_checked(const LoadDistributionOptimizer&
   BLADE_OBS_TIMER("optimizer.batch_seconds");
   BLADE_OBS_COUNT_N("optimizer.batch_solves", static_cast<long>(lambdas.size()));
   std::vector<SolveOutcome> out(lambdas.size(), unset_outcome());
-  par::for_each_chunk(pool, lambdas.size(), opts.chunk, [&](std::size_t lo, std::size_t hi) {
+  run_chunked(pool, lambdas.size(), opts, [&](std::size_t lo, std::size_t hi) {
     SolverWorkspace ws;  // per-chunk, so results never depend on thread count
     for (std::size_t i = lo; i < hi; ++i) out[i] = solver.try_optimize(lambdas[i], ws);
   });
@@ -79,7 +90,7 @@ std::vector<SolveOutcome> optimize_many_checked(std::span<const SolveRequest> re
   BLADE_OBS_TIMER("optimizer.batch_seconds");
   BLADE_OBS_COUNT_N("optimizer.batch_solves", static_cast<long>(requests.size()));
   std::vector<SolveOutcome> out(requests.size(), unset_outcome());
-  par::for_each_chunk(pool, requests.size(), opts.chunk, [&](std::size_t lo, std::size_t hi) {
+  run_chunked(pool, requests.size(), opts, [&](std::size_t lo, std::size_t hi) {
     SolverWorkspace ws;
     const LoadDistributionOptimizer* current = nullptr;
     for (std::size_t i = lo; i < hi; ++i) {

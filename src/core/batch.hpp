@@ -30,6 +30,15 @@ struct BatchOptions {
   /// 8-thread pool saturated from ~128 instances up.
   std::size_t chunk = 16;
 
+  /// Optional per-item cost hints (relative weights, finite and >= 0).
+  /// When set, chunk boundaries are cut by accumulated cost instead of
+  /// item count (par::for_each_weighted_chunk), so a batch mixing cheap
+  /// and expensive instances no longer straggles one pool thread behind
+  /// a fixed-size chunk of expensive ones. Must be empty or exactly the
+  /// batch size. Boundaries stay a pure function of (size, chunk,
+  /// hints): the thread-count determinism contract is unchanged.
+  std::vector<double> cost_hints;
+
   /// Throws std::invalid_argument when chunk == 0.
   void validate() const;
 };

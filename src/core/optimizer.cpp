@@ -1,7 +1,5 @@
 #include "core/optimizer.hpp"
 
-#include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <iomanip>
 #include <iostream>
@@ -10,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/solver_core.hpp"
 #include "numerics/roots.hpp"
 #include "numerics/special.hpp"
 #include "obs/obs.hpp"
@@ -89,255 +88,11 @@ void SolverWorkspace::clear() {
 void SolverWorkspace::prepare(std::size_t n) {
   // Rates at phi = 0 are identically zero (every g_i(0) > 0), so the lower
   // end of the outer bracket starts valid without any evaluation.
-  phi_lo_ = 0.0;
-  phi_hi_ = -1.0;
-  total_lo_ = 0.0;
-  total_hi_ = 0.0;
+  br_ = detail::PhiBracket{};
   rates_lo_.assign(n, 0.0);
   rates_hi_.assign(n, 0.0);
   scratch_.assign(n, 0.0);
 }
-
-namespace {
-
-/// Builds the typed error AND bumps the matching observability counter,
-/// so every failure — thrown or returned — is visible in --metrics-out.
-Error solver_error(ErrorCode code, std::string context) {
-  switch (code) {
-    case ErrorCode::InvalidArgument:
-      BLADE_OBS_COUNT("solver.failures.invalid_argument");
-      break;
-    case ErrorCode::Infeasible:
-      BLADE_OBS_COUNT("solver.failures.infeasible");
-      break;
-    case ErrorCode::BracketNotFound:
-      BLADE_OBS_COUNT("solver.failures.bracket_not_found");
-      break;
-    case ErrorCode::NonConvergence:
-      BLADE_OBS_COUNT("solver.failures.non_convergence");
-      break;
-    case ErrorCode::NonFinite:
-      BLADE_OBS_COUNT("solver.failures.non_finite");
-      break;
-    case ErrorCode::BudgetExceeded:
-      BLADE_OBS_COUNT("solver.budget_exceeded");
-      break;
-    default:
-      BLADE_OBS_COUNT("solver.failures.internal");
-      break;
-  }
-  return Error{code, std::move(context)};
-}
-
-/// Per-solve watchdog state shared by every inner solve of one optimize
-/// call: a marginal-evaluation counter and (when armed) a wall-clock
-/// deadline. The clock is only read every 16th evaluation, so an armed
-/// time budget costs a fraction of one Erlang kernel per check.
-struct SolveBudget {
-  long max_evals = 0;
-  bool timed = false;
-  double max_seconds = 0.0;
-  std::chrono::steady_clock::time_point deadline{};
-  long used = 0;
-
-  static SolveBudget from(const OptimizerOptions& opts) {
-    SolveBudget b;
-    b.max_evals = opts.max_marginal_evaluations;
-    if (opts.max_solve_seconds > 0.0) {
-      b.timed = true;
-      b.max_seconds = opts.max_solve_seconds;
-      b.deadline = std::chrono::steady_clock::now() +
-                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(opts.max_solve_seconds));
-    }
-    return b;
-  }
-
-  /// Accounts one marginal evaluation; the BudgetExceeded error when a
-  /// watchdog trips, nullopt otherwise.
-  std::optional<Error> charge() {
-    ++used;
-    if (max_evals > 0 && used > max_evals) {
-      std::ostringstream os;
-      os << "optimize: marginal-evaluation budget exceeded (max_marginal_evaluations="
-         << max_evals << ")";
-      return solver_error(ErrorCode::BudgetExceeded, os.str());
-    }
-    if (timed && (used & 15) == 0 && std::chrono::steady_clock::now() > deadline) {
-      std::ostringstream os;
-      os << "optimize: wall-time budget exceeded (max_solve_seconds=" << max_seconds << ")";
-      return solver_error(ErrorCode::BudgetExceeded, os.str());
-    }
-    return std::nullopt;
-  }
-};
-
-/// The non-throwing inner solve (Fig. 2 with the rtsafe Newton loop).
-/// Identical numerics to the pre-resilience implementation; the failure
-/// exits (bracket exhaustion, NaN marginals, budget, strict
-/// non-convergence) return typed errors instead of throwing.
-Expected<double> find_rate_core(const OptimizerOptions& opts, const ResponseTimeObjective& obj,
-                                std::size_t i, double phi, double lo, double hi, long* evals,
-                                SolveBudget& budget) {
-  const double sup = obj.rate_bound(i);
-  if (!std::isfinite(sup)) {
-    std::ostringstream os;
-    os << std::setprecision(10) << "find_rate: non-finite rate bound for server " << i;
-    return solver_error(ErrorCode::NonFinite, os.str());
-  }
-  const double hard_ub = (1.0 - opts.saturation_margin) * sup;
-  const double tol = opts.rate_tolerance;
-  lo = std::clamp(lo, 0.0, hard_ub);
-  const bool have_hi = hi >= 0.0;
-  if (have_hi) hi = std::clamp(hi, lo, hard_ub);
-
-  // Collapsed warm bracket: the outer bracket already pins this server's
-  // rate to within the solver tolerance — no evaluation needed at all.
-  if (have_hi && hi - lo <= tol) {
-    BLADE_OBS_COUNT("optimizer.warm_bracket_hits");
-    return 0.5 * (lo + hi);
-  }
-
-  std::optional<Error> err;
-  auto g_at = [&](double lam) -> double {
-    if (auto e = budget.charge()) {
-      err = std::move(e);
-      return std::numeric_limits<double>::quiet_NaN();
-    }
-    if (evals) ++*evals;
-    const double g = obj.marginal(i, lam);
-    if (!std::isfinite(g)) {
-      std::ostringstream os;
-      os << std::setprecision(10) << "find_rate: non-finite marginal g_" << i << "(" << lam
-         << ") = " << g;
-      err = solver_error(ErrorCode::NonFinite, os.str());
-      return std::numeric_limits<double>::quiet_NaN();
-    }
-    return g;
-  };
-
-  // Inactive server: even the first infinitesimal unit of load costs more
-  // than phi (paper: the bisection bracket collapses onto lb = 0). From a
-  // warm bracket this is the root sitting at/below the cached lower end.
-  double glo = g_at(lo);
-  if (err) return std::move(*err);
-  if (glo >= phi) return lo;
-
-  double ghi;
-  if (have_hi) {
-    ghi = g_at(hi);
-    if (err) return std::move(*err);
-    if (ghi < phi) {
-      if (hi >= hard_ub) {
-        BLADE_OBS_COUNT("optimizer.saturation_clamps");
-        return hard_ub;  // saturated at this phi
-      }
-      // The warm upper end undershot (only possible by the tolerance fuzz
-      // of the cached endpoint); resume the Fig. 2 doubling from there.
-      lo = hi;
-      glo = ghi;
-      hi = -1.0;
-    }
-  }
-  if (hi < 0.0) {
-    // Cold upper bound: expand by doubling until g(ub) >= phi, clamping
-    // at the saturation guard exactly as lines (4)-(8) of Fig. 2. The
-    // last undershooting probe becomes the Newton lower end, so no
-    // evaluation is repeated.
-    double ub = std::min(hard_ub, std::max(1e-3 * sup, 2.0 * lo));
-    int guard = 0;
-    double gub = g_at(ub);
-    if (err) return std::move(*err);
-    while (gub < phi) {
-      if (ub >= hard_ub) {
-        BLADE_OBS_COUNT("optimizer.saturation_clamps");
-        return hard_ub;  // saturated at this phi
-      }
-      lo = ub;
-      glo = gub;
-      ub = std::min(2.0 * ub, hard_ub);
-      if (++guard > 200) {
-        std::ostringstream os;
-        os << std::setprecision(10) << "find_rate: failed to bracket lambda'_" << i
-           << " (phi=" << phi << ", sup=" << sup << ", ub=" << ub << " after " << guard
-           << " doublings)";
-        return solver_error(ErrorCode::BracketNotFound, os.str());
-      }
-      gub = g_at(ub);
-      if (err) return std::move(*err);
-    }
-    hi = ub;
-    ghi = gub;
-  }
-
-  // Safeguarded Newton on g(x) = phi over [lo, hi] (rtsafe-style): take
-  // the Newton step when it stays inside the bracket and at least halves
-  // the previous step, otherwise bisect — superlinear near the root,
-  // never slower than bisection. One derivative-returning marginal
-  // evaluation (a single Erlang kernel) per iteration.
-  double x = 0.5 * (lo + hi);
-  double dx_old = hi - lo;
-  double dx = dx_old;
-  double result = x;
-  bool converged = false;
-  int it = 0;
-  for (; it < opts.max_iterations; ++it) {
-    if (auto e = budget.charge()) return std::move(*e);
-    if (evals) ++*evals;
-    const auto [gx, dgx] = obj.marginal_with_derivative(i, x);
-    if (!std::isfinite(gx)) {
-      std::ostringstream os;
-      os << std::setprecision(10) << "find_rate: non-finite marginal g_" << i << "(" << x
-         << ") = " << gx;
-      return solver_error(ErrorCode::NonFinite, os.str());
-    }
-    const double fx = gx - phi;
-    if (fx == 0.0) {
-      result = x;
-      converged = true;
-      break;
-    }
-    if (fx < 0.0) {
-      lo = x;
-    } else {
-      hi = x;
-    }
-    if (hi - lo <= tol) {
-      result = 0.5 * (lo + hi);
-      converged = true;
-      break;
-    }
-    double next;
-    const bool newton_ok = dgx > 0.0 && std::isfinite(dgx);
-    if (!newton_ok || 2.0 * std::abs(fx) > std::abs(dx_old * dgx) ||
-        !((next = x - fx / dgx) > lo && next < hi)) {
-      dx_old = dx;
-      dx = 0.5 * (hi - lo);
-      next = 0.5 * (lo + hi);
-    } else {
-      dx_old = dx;
-      dx = std::abs(next - x);
-    }
-    result = next;
-    if (dx <= 0.5 * tol) {
-      ++it;
-      converged = true;
-      break;
-    }
-    x = next;
-  }
-  BLADE_OBS_COUNT("optimizer.find_rate_calls");
-  BLADE_OBS_OBSERVE("optimizer.inner_iterations", it);
-  if (!converged && opts.strict_convergence && hi - lo > tol) {
-    std::ostringstream os;
-    os << std::setprecision(10) << "find_rate: lambda'_" << i << " bracket still " << (hi - lo)
-       << " wide after max_iterations=" << opts.max_iterations;
-    return solver_error(ErrorCode::NonConvergence, os.str());
-  }
-  return result;
-}
-
-}  // namespace
 
 void throw_solver_error(const Error& error) {
   if (error.code == ErrorCode::InvalidArgument || error.code == ErrorCode::Infeasible) {
@@ -354,8 +109,8 @@ double LoadDistributionOptimizer::find_rate(const ResponseTimeObjective& obj, st
 double LoadDistributionOptimizer::find_rate_bracketed(const ResponseTimeObjective& obj,
                                                       std::size_t i, double phi, double lo,
                                                       double hi, long* evals) const {
-  SolveBudget budget = SolveBudget::from(opts_);
-  auto res = find_rate_core(opts_, obj, i, phi, lo, hi, evals, budget);
+  detail::SolveBudget budget = detail::SolveBudget::from(opts_);
+  auto res = detail::find_rate_core(opts_, obj, i, phi, lo, hi, evals, budget);
   if (!res) throw_solver_error(res.error());
   return res.value();
 }
@@ -369,12 +124,12 @@ Expected<double> LoadDistributionOptimizer::try_find_rate(const ResponseTimeObje
 Expected<double> LoadDistributionOptimizer::try_find_rate_bracketed(
     const ResponseTimeObjective& obj, std::size_t i, double phi, double lo, double hi,
     long* evals) const {
-  SolveBudget budget = SolveBudget::from(opts_);
+  detail::SolveBudget budget = detail::SolveBudget::from(opts_);
   try {
-    return find_rate_core(opts_, obj, i, phi, lo, hi, evals, budget);
+    return detail::find_rate_core(opts_, obj, i, phi, lo, hi, evals, budget);
   } catch (const std::exception& e) {
-    return solver_error(ErrorCode::Internal,
-                        std::string("find_rate: unexpected exception: ") + e.what());
+    return detail::make_solver_error(ErrorCode::Internal,
+                                     std::string("find_rate: unexpected exception: ") + e.what());
   }
 }
 
@@ -407,8 +162,8 @@ Expected<LoadDistribution> LoadDistributionOptimizer::try_optimize(double lambda
     // thrown past it (queueing-layer domain checks on a corrupted
     // instance, for example) is converted here so the no-throw contract
     // of the try_ path holds.
-    return solver_error(ErrorCode::Internal,
-                        std::string("optimize: unexpected exception: ") + e.what());
+    return detail::make_solver_error(ErrorCode::Internal,
+                                     std::string("optimize: unexpected exception: ") + e.what());
   }
 }
 
@@ -416,13 +171,13 @@ Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambd
                                                                     SolverWorkspace& ws) const {
   const double lambda_max = cluster_.max_generic_rate();
   if (!(lambda_total > 0.0)) {
-    return solver_error(ErrorCode::InvalidArgument, "optimize: lambda' must be > 0");
+    return detail::make_solver_error(ErrorCode::InvalidArgument, "optimize: lambda' must be > 0");
   }
   if (lambda_total >= lambda_max) {
     std::ostringstream os;
     os << std::setprecision(10) << "optimize: lambda'=" << lambda_total
        << " >= lambda'_max=" << lambda_max << " (infeasible)";
-    return solver_error(ErrorCode::Infeasible, os.str());
+    return detail::make_solver_error(ErrorCode::Infeasible, os.str());
   }
 
   BLADE_OBS_SPAN("optimize");
@@ -433,7 +188,7 @@ Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambd
   const std::size_t n = obj.size();
   long inner_evals = 0;
   const double tol = opts_.rate_tolerance;
-  SolveBudget budget = SolveBudget::from(opts_);
+  detail::SolveBudget budget = detail::SolveBudget::from(opts_);
   ws.prepare(n);
 
   // F(phi) = sum_i lambda'_i(phi), evaluated into ws.scratch_. Each inner
@@ -445,13 +200,13 @@ Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambd
   // using the total.
   std::optional<Error> err;
   auto total_at = [&](double phi) -> double {
-    const bool use_lo = phi >= ws.phi_lo_;
-    const bool use_hi = ws.phi_hi_ >= 0.0 && phi <= ws.phi_hi_;
+    const bool use_lo = phi >= ws.br_.phi_lo;
+    const bool use_hi = ws.br_.phi_hi >= 0.0 && phi <= ws.br_.phi_hi;
     num::KahanSum f;
     for (std::size_t i = 0; i < n; ++i) {
       const double lo = use_lo ? ws.rates_lo_[i] - tol : 0.0;
       const double hi = use_hi ? ws.rates_hi_[i] + tol : -1.0;
-      auto r = find_rate_core(opts_, obj, i, phi, lo, hi, &inner_evals, budget);
+      auto r = detail::find_rate_core(opts_, obj, i, phi, lo, hi, &inner_evals, budget);
       if (!r) {
         err = r.error();
         return std::numeric_limits<double>::quiet_NaN();
@@ -466,187 +221,36 @@ Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambd
   // down), so out-of-order evaluations cannot loosen an established end.
   auto absorb = [&](double phi, double total) {
     if (total < lambda_total) {
-      if (phi >= ws.phi_lo_) {
-        ws.phi_lo_ = phi;
-        ws.total_lo_ = total;
+      if (phi >= ws.br_.phi_lo) {
+        ws.br_.phi_lo = phi;
+        ws.br_.total_lo = total;
         ws.rates_lo_.swap(ws.scratch_);
       }
-    } else if (ws.phi_hi_ < 0.0 || phi <= ws.phi_hi_) {
-      ws.phi_hi_ = phi;
-      ws.total_hi_ = total;
+    } else if (ws.br_.phi_hi < 0.0 || phi <= ws.br_.phi_hi) {
+      ws.br_.phi_hi = phi;
+      ws.br_.total_hi = total;
       ws.rates_hi_.swap(ws.scratch_);
     }
   };
 
-  // Outer bracket (Fig. 3 lines (1)-(10)): start phi at the previous
-  // solve's converged multiplier when the workspace has one (cross-solve
-  // warm start -- for a sweep of nearby lambda' values the very first
-  // probe usually covers or nearly covers), otherwise small, and double
-  // until the induced total meets lambda'.
-  double phi_probe =
-      (ws.seed_phi_ > 0.0 && std::isfinite(ws.seed_phi_)) ? ws.seed_phi_ : 1e-6;
-  int expansions = 0;
-  while (true) {
-    const double total = total_at(phi_probe);
-    if (err) return std::move(*err);
-    const bool covered = total >= lambda_total;
-    absorb(phi_probe, total);
-    if (covered) break;
-    phi_probe *= 2.0;
-    if (++expansions > 200) {
-      std::ostringstream os;
-      os << std::setprecision(10) << "optimize: failed to bracket phi (lambda'=" << lambda_total
-         << ", lambda'_max=" << lambda_max << ", phi_ub=" << phi_probe << " after " << expansions
-         << " doublings)";
-      return solver_error(ErrorCode::BracketNotFound, os.str());
-    }
-  }
-  BLADE_OBS_COUNT_N("optimizer.phi_expansions", expansions);
-
-  // Outer refinement (replacing the bisection of lines (11)-(27)): Brent
-  // on F(phi) - lambda' over the established bracket. The endpoint
-  // values are already known from the expansion, so nothing is
-  // re-evaluated; every new evaluation is absorbed into the workspace, so
-  // the inner warm brackets tighten as the outer iteration converges.
-  // The bracket-width trace is the solver's convergence signature.
-  int outer_it = 0;
-  if (ws.total_hi_ - lambda_total != 0.0) {
-    double a = ws.phi_lo_, fa = ws.total_lo_ - lambda_total;
-    double b = ws.phi_hi_, fb = ws.total_hi_ - lambda_total;
-    if (std::abs(fa) < std::abs(fb)) {
-      std::swap(a, b);
-      std::swap(fa, fb);
-    }
-    double c = a, fc = fa;
-    double d = b - a, e = d;
-    // Brent worst-case iteration count is quadratic in log(width/tol);
-    // cap it well under max_iterations so the bisection polish below
-    // always has budget left even on pathologically step-like F.
-    const int brent_cap = std::min(60, opts_.max_iterations);
-    while (fb != 0.0 && outer_it < brent_cap) {
-      if ((fb > 0.0) == (fc > 0.0)) {
-        c = a;
-        fc = fa;
-        d = e = b - a;
-      }
-      if (std::abs(fc) < std::abs(fb)) {
-        a = b;
-        b = c;
-        c = a;
-        fa = fb;
-        fb = fc;
-        fc = fa;
-      }
-      const double brent_tol =
-          2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) + 0.5 * opts_.phi_tolerance;
-      const double m = 0.5 * (c - b);
-      if (std::abs(m) <= brent_tol) break;
-      if (std::abs(e) >= brent_tol && std::abs(fa) > std::abs(fb)) {
-        const double s = fb / fa;
-        double p, q;
-        if (a == c) {
-          p = 2.0 * m * s;
-          q = 1.0 - s;
-        } else {
-          const double qq = fa / fc;
-          const double r = fb / fc;
-          p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
-          q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
-        }
-        if (p > 0.0) {
-          q = -q;
-        } else {
-          p = -p;
-        }
-        if (2.0 * p < std::min(3.0 * m * q - std::abs(brent_tol * q), std::abs(e * q))) {
-          e = d;
-          d = p / q;
-        } else {
-          d = m;
-          e = m;
-        }
-      } else {
-        d = m;
-        e = m;
-      }
-      a = b;
-      fa = fb;
-      b += (std::abs(d) > brent_tol) ? d : (m > 0.0 ? brent_tol : -brent_tol);
-      const double total = total_at(b);
-      if (err) return std::move(*err);
-      fb = total - lambda_total;
-      absorb(b, total);
-      ++outer_it;
-      BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it,
-                              ws.phi_hi_ >= 0.0 ? ws.phi_hi_ - ws.phi_lo_ : 0.0);
-    }
-  }
-  // Bisection polish: Brent converges on the root of F - lambda' but can
-  // stop with one side of the sign bracket still wide (F is step-like
-  // around flat-marginal servers). The extraction below interpolates
-  // between the bracket ends, so tighten the bracket itself to the same
-  // phi_tolerance the seed bisection guaranteed.
-  while (ws.phi_hi_ - ws.phi_lo_ > opts_.phi_tolerance && outer_it < opts_.max_iterations) {
-    const double mid = 0.5 * (ws.phi_lo_ + ws.phi_hi_);
-    if (!(mid > ws.phi_lo_ && mid < ws.phi_hi_)) break;  // bracket at fp resolution
-    const double total = total_at(mid);
-    if (err) return std::move(*err);
-    absorb(mid, total);
-    ++outer_it;
-    BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", outer_it, ws.phi_hi_ - ws.phi_lo_);
-  }
-  if (opts_.strict_convergence && ws.phi_hi_ - ws.phi_lo_ > opts_.phi_tolerance) {
-    const double mid = 0.5 * (ws.phi_lo_ + ws.phi_hi_);
-    if (mid > ws.phi_lo_ && mid < ws.phi_hi_) {  // width above fp resolution
-      std::ostringstream os;
-      os << std::setprecision(10) << "optimize: phi bracket still " << (ws.phi_hi_ - ws.phi_lo_)
-         << " wide after max_iterations=" << opts_.max_iterations;
-      return solver_error(ErrorCode::NonConvergence, os.str());
-    }
-  }
+  auto search = detail::run_phi_search(opts_, lambda_total, lambda_max, ws.seed_phi_, ws.br_,
+                                       err, total_at, absorb);
+  if (!search) return search.error();
+  const int outer_it = search.value();
 
   LoadDistribution out;
-  out.phi = ws.phi_hi_;
+  out.phi = ws.br_.phi_hi;
   out.outer_iterations = outer_it;
 
-  // Extract the final rates from BOTH bracket ends -- the rate vectors
-  // cached in the workspace from the last accepted outer iterates, so no
-  // re-solve is needed. Evaluating only at the midpoint is unsafe: wide
-  // servers (large m_i) have nearly flat marginal-cost curves, so F(phi)
-  // is step-like and the midpoint can land below the step, assigning
-  // zero load everywhere. phi_hi is guaranteed by the bracketing
-  // invariant to cover lambda' (F(phi_hi) >= lambda' > F(phi_lo)), so
-  // interpolating between the two rate vectors yields a feasible point
-  // whose marginals stay inside the [phi_lo, phi_hi] band: the flat
-  // servers -- exactly the ones whose load the band cannot pin down --
-  // absorb the residual, where the objective is insensitive by that same
-  // flatness.
-  auto total_of = [](const std::vector<double>& rates) {
-    num::KahanSum s;
-    for (double r : rates) s.add(r);
-    return s.value();
-  };
+  // Final rates from BOTH bracket ends -- the rate vectors cached in the
+  // workspace from the last accepted outer iterates, so no re-solve is
+  // needed (see extract_rates for why midpoint-only extraction is
+  // unsafe on step-like F).
   out.rates = ws.rates_hi_;
-  double assigned = ws.total_hi_;
-  if (assigned > lambda_total && assigned - ws.total_lo_ > opts_.rate_tolerance) {
-    const double t =
-        std::clamp((lambda_total - ws.total_lo_) / (assigned - ws.total_lo_), 0.0, 1.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      out.rates[i] = ws.rates_lo_[i] + t * (out.rates[i] - ws.rates_lo_[i]);
-    }
-    assigned = total_of(out.rates);
-  }
-
-  // The interpolated rates can still miss lambda' by floating-point
-  // residue; rescale the assigned mass onto the constraint so downstream
-  // consumers see an exactly feasible point.
-  if (assigned > 0.0) {
-    const double scale = lambda_total / assigned;
-    for (double& r : out.rates) r *= scale;
-  }
+  detail::extract_rates(ws.br_, ws.rates_lo_, out.rates, lambda_total, opts_.rate_tolerance);
 
   // Seed the next solve on this workspace from the converged multiplier.
-  ws.seed_phi_ = ws.phi_hi_;
+  ws.seed_phi_ = ws.br_.phi_hi;
 
   out.inner_evaluations = inner_evals;
   out.utilizations = obj.utilizations(out.rates);

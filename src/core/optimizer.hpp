@@ -89,6 +89,22 @@ struct LoadDistribution {
   [[nodiscard]] std::string summary() const;
 };
 
+namespace detail {
+
+/// The outer search's monotone bracket on the Lagrange multiplier:
+/// F(phi_lo) < lambda' <= F(phi_hi), plus the totals at both ends.
+/// Shared state shape of the flat SolverWorkspace and the sharded
+/// solver's workspace; core/solver_core.hpp holds the search that
+/// drives it.
+struct PhiBracket {
+  double phi_lo = 0.0;
+  double phi_hi = -1.0;  ///< < 0: no covering phi found yet
+  double total_lo = 0.0;  ///< F(phi_lo)
+  double total_hi = 0.0;  ///< F(phi_hi)
+};
+
+}  // namespace detail
+
 /// Mutable per-solve scratch reused across outer iterations — and, when
 /// the caller keeps one alive, across successive solves (optimize_many,
 /// sweeps). It caches the solver's monotone state:
@@ -122,13 +138,10 @@ class SolverWorkspace {
   /// Re-arms the per-solve bracket state (keeps the cross-solve seed).
   void prepare(std::size_t n);
 
-  double phi_lo_ = 0.0;
-  double phi_hi_ = -1.0;  ///< < 0: no covering phi found yet
-  std::vector<double> rates_lo_;
-  std::vector<double> rates_hi_;
+  detail::PhiBracket br_;
+  std::vector<double> rates_lo_;  ///< rates at phi_lo
+  std::vector<double> rates_hi_;  ///< rates at phi_hi
   std::vector<double> scratch_;   ///< rates at the phi being evaluated
-  double total_lo_ = 0.0;         ///< F(phi_lo)
-  double total_hi_ = 0.0;         ///< F(phi_hi)
   double seed_phi_ = -1.0;
 };
 

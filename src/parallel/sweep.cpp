@@ -1,5 +1,6 @@
 #include "parallel/sweep.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace blade::par {
@@ -36,6 +37,58 @@ void for_each_chunk(ThreadPool& pool, std::size_t n, std::size_t chunk,
   for (std::size_t lo = 0; lo < n; lo += chunk) {
     const std::size_t hi = std::min(n, lo + chunk);
     futures.push_back(pool.submit([lo, hi, &body] { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void for_each_weighted_chunk(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                             std::span<const double> cost,
+                             const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunk == 0) throw std::invalid_argument("for_each_weighted_chunk: chunk must be >= 1");
+  if (cost.empty()) {
+    for_each_chunk(pool, n, chunk, body);
+    return;
+  }
+  if (cost.size() != n) {
+    throw std::invalid_argument("for_each_weighted_chunk: cost hints must be empty or size n");
+  }
+  double total = 0.0;
+  for (double c : cost) {
+    if (!std::isfinite(c) || c < 0.0) {
+      throw std::invalid_argument("for_each_weighted_chunk: cost hints must be finite and >= 0");
+    }
+    total += c;
+  }
+  if (!(total > 0.0)) {
+    for_each_chunk(pool, n, chunk, body);
+    return;
+  }
+
+  // Greedy cut: close a chunk once it has accumulated the cost of
+  // `chunk` average items. The scan is sequential over (n, cost) only,
+  // so boundaries are reproducible on any pool.
+  const double target = total * static_cast<double>(chunk) / static_cast<double>(n);
+  std::vector<std::future<void>> futures;
+  std::size_t lo = 0;
+  while (lo < n) {
+    double acc = 0.0;
+    std::size_t hi = lo;
+    while (hi < n) {
+      acc += cost[hi];
+      ++hi;
+      if (acc >= target) break;
+    }
+    futures.push_back(pool.submit([lo, hi, &body] { body(lo, hi); }));
+    lo = hi;
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

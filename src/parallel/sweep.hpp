@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -31,5 +32,22 @@ namespace blade::par {
 /// chunk are rethrown on the calling thread (first one wins).
 void for_each_chunk(ThreadPool& pool, std::size_t n, std::size_t chunk,
                     const std::function<void(std::size_t, std::size_t)>& body);
+
+/// for_each_chunk with per-item cost hints: chunk boundaries are cut so
+/// each chunk carries roughly the cost of `chunk` AVERAGE items, rather
+/// than exactly `chunk` items. With heterogeneous items (cells whose
+/// class counts differ by orders of magnitude, batch entries of wildly
+/// different instance sizes) fixed-count chunks straggle one pool thread
+/// behind a single expensive chunk; cost-weighted cuts keep chunk work
+/// balanced. cost[i] is item i's relative weight and must be finite and
+/// >= 0; cost must be empty (plain for_each_chunk) or exactly n long.
+/// All-zero hints carry no information and fall back to fixed-size
+/// chunks. Every chunk holds at least one item, so one huge item gets a
+/// chunk of its own instead of dragging neighbors with it. Boundaries
+/// depend only on (n, chunk, cost) -- never on the pool's thread count --
+/// so the determinism contract of for_each_chunk is preserved.
+void for_each_weighted_chunk(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                             std::span<const double> cost,
+                             const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace blade::par

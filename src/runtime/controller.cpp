@@ -30,6 +30,9 @@ void ControllerConfig::validate() const {
   if (!(lkg_max_age >= 0.0) || !std::isfinite(lkg_max_age)) {
     throw std::invalid_argument("ControllerConfig: lkg_max_age must be >= 0");
   }
+  if (prune_top_k > 0 && shard_cells == 0) {
+    throw std::invalid_argument("ControllerConfig: prune_top_k requires shard_cells > 0");
+  }
   solver.validate();
 }
 
@@ -181,6 +184,7 @@ void Controller::on_failure(double t, std::size_t i, unsigned blades) {
   // The cached phi bracket belongs to the old topology; only the seed
   // would survive prepare(), and even that is stale now.
   ws_.clear();
+  sws_.clear();
   resolve(t);
 }
 
@@ -192,6 +196,7 @@ void Controller::on_recovery(double t, std::size_t i, unsigned blades) {
   const unsigned full = cluster_.server(i).size();
   avail_[i] = blades == 0 ? full : std::min(full, avail_[i] + blades);
   ws_.clear();
+  sws_.clear();
   resolve(t);
 }
 
@@ -369,8 +374,7 @@ void Controller::resolve(double t) {
   for (std::size_t i : alive) {
     servers.emplace_back(avail_[i], cluster_.server(i).speed(), special[i]);
   }
-  const opt::LoadDistributionOptimizer solver(model::Cluster(std::move(servers), cluster_.rbar()),
-                                              cfg_.discipline, cfg_.solver);
+  model::Cluster surviving(std::move(servers), cluster_.rbar());
   const auto sol = [&]() -> Expected<opt::LoadDistribution> {
     if (armed_faults_ > 0) {
       --armed_faults_;
@@ -378,6 +382,22 @@ void Controller::resolve(double t) {
       BLADE_OBS_COUNT("runtime.injected_solver_faults");
       return Error{ErrorCode::NonConvergence, "injected solver fault"};
     }
+    if (cfg_.shard_cells > 0) {
+      // Fleet-scale path: class-coalesced cells keep the re-solve
+      // O(classes) per probe; the controller only needs rates, so the
+      // per-server metric expansion is skipped.
+      opt::ShardOptions shard;
+      shard.cells = std::min(cfg_.shard_cells, alive.size());
+      shard.prune.top_k = cfg_.prune_top_k;
+      shard.finalize_metrics = false;
+      const opt::ShardedOptimizer solver(std::move(surviving), cfg_.discipline, cfg_.solver,
+                                         shard);
+      auto res = solver.try_optimize(target, par::global_pool(), sws_);
+      if (!res) return res.error();
+      return std::move(res).value().dist;
+    }
+    const opt::LoadDistributionOptimizer solver(std::move(surviving), cfg_.discipline,
+                                                cfg_.solver);
     return solver.try_optimize(target, ws_);
   }();
   if (!sol) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/optimizer.hpp"
+#include "core/sharded.hpp"
 #include "model/cluster.hpp"
 #include "queueing/blade_queue.hpp"
 #include "runtime/estimator.hpp"
@@ -114,6 +115,14 @@ struct ControllerConfig {
   /// (in event time); past that the controller degrades further to the
   /// capacity-proportional fallback. 0 (default) derives 8 half-lives.
   double lkg_max_age = 0.0;
+  /// When > 0, re-solves run through the sharded hierarchical solver
+  /// (core/sharded.hpp) with this many cells (clamped to the surviving
+  /// server count) — the fleet-scale path that keeps serve-replay
+  /// responsive at n = 50,000. 0 (default) keeps the flat solver.
+  std::size_t shard_cells = 0;
+  /// Per-cell top-k rate-matrix pruning for the sharded re-solve path;
+  /// requires shard_cells > 0. 0 (default) keeps every server.
+  std::size_t prune_top_k = 0;
   opt::OptimizerOptions solver;
 
   /// Throws std::invalid_argument on out-of-domain fields.
@@ -292,6 +301,7 @@ class Controller {
   std::vector<WindowRateEstimator> window_;  ///< same layout
 
   opt::SolverWorkspace ws_;
+  opt::ShardedWorkspace sws_;  ///< warm state for the sharded re-solve path
   double solved_lambda_ = -1.0;
   std::vector<double> solved_special_;
   std::uint64_t arrivals_since_check_ = 0;

@@ -4,8 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/sweep.hpp"
@@ -118,6 +122,105 @@ TEST(GlobalPool, IsUsable) {
   std::atomic<int> n{0};
   parallel_for(0, 32, [&](std::size_t) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 32);
+}
+
+/// Chunk boundaries actually produced by a run, for the determinism checks.
+std::set<std::pair<std::size_t, std::size_t>> chunks_of(ThreadPool& pool, std::size_t n,
+                                                        std::size_t chunk,
+                                                        const std::vector<double>& cost) {
+  std::mutex mu;
+  std::set<std::pair<std::size_t, std::size_t>> out;
+  for_each_weighted_chunk(pool, n, chunk, cost, [&](std::size_t lo, std::size_t hi) {
+    const std::lock_guard<std::mutex> lock(mu);
+    out.emplace(lo, hi);
+  });
+  return out;
+}
+
+TEST(WeightedChunk, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<double> cost(97);
+  for (std::size_t i = 0; i < cost.size(); ++i) cost[i] = static_cast<double>(i % 7) + 0.5;
+  std::vector<std::atomic<int>> seen(97);
+  for_each_weighted_chunk(pool, 97, 8, cost, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) seen[i].fetch_add(1);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// The fix's regression pin: boundaries are a pure function of
+// (n, chunk, cost) — a 1-thread and an 8-thread pool must cut the batch
+// at the same places, so stateful per-chunk work (warm-started solver
+// chains) is reproducible across machines.
+TEST(WeightedChunk, BoundariesAreThreadCountInvariant) {
+  std::vector<double> cost(64);
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    cost[i] = (i % 16 == 0) ? 100.0 : 1.0;  // a few huge items between cheap ones
+  }
+  ThreadPool one(1);
+  ThreadPool eight(8);
+  EXPECT_EQ(chunks_of(one, 64, 4, cost), chunks_of(eight, 64, 4, cost));
+}
+
+// A single item whose cost dwarfs the rest must land in a chunk of its
+// own instead of dragging its neighbors onto one straggling thread.
+TEST(WeightedChunk, ExpensiveItemGetsOwnChunk) {
+  ThreadPool pool(4);
+  std::vector<double> cost(32, 1.0);
+  cost[10] = 1000.0;
+  const auto chunks = chunks_of(pool, 32, 8, cost);
+  bool found = false;
+  for (const auto& [lo, hi] : chunks) {
+    if (lo <= 10 && 10 < hi) {
+      found = true;
+      // The hot item closes its chunk immediately after being taken.
+      EXPECT_EQ(hi, 11u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Empty or all-zero hints carry no information: identical to the
+// fixed-size for_each_chunk cut.
+TEST(WeightedChunk, DegenerateHintsFallBackToFixedChunks) {
+  ThreadPool pool(4);
+  const std::set<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 8}, {8, 16}, {16, 24}, {24, 30}};
+  EXPECT_EQ(chunks_of(pool, 30, 8, {}), expected);
+  EXPECT_EQ(chunks_of(pool, 30, 8, std::vector<double>(30, 0.0)), expected);
+}
+
+// Uniform hints reproduce the fixed-size cut exactly (target = chunk
+// items' worth of cost, accumulated one item at a time).
+TEST(WeightedChunk, UniformHintsMatchFixedChunks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(chunks_of(pool, 30, 8, std::vector<double>(30, 3.5)),
+            chunks_of(pool, 30, 8, {}));
+}
+
+TEST(WeightedChunk, RejectsBadArguments) {
+  ThreadPool pool(2);
+  const auto noop = [](std::size_t, std::size_t) {};
+  EXPECT_THROW(for_each_weighted_chunk(pool, 8, 0, {}, noop), std::invalid_argument);
+  const std::vector<double> short_cost(3, 1.0);
+  EXPECT_THROW(for_each_weighted_chunk(pool, 8, 2, short_cost, noop), std::invalid_argument);
+  const std::vector<double> negative(8, -1.0);
+  EXPECT_THROW(for_each_weighted_chunk(pool, 8, 2, negative, noop), std::invalid_argument);
+  const std::vector<double> nan_cost(8, std::nan(""));
+  EXPECT_THROW(for_each_weighted_chunk(pool, 8, 2, nan_cost, noop), std::invalid_argument);
+  // n == 0 is a no-op, never an error.
+  for_each_weighted_chunk(pool, 0, 4, {}, noop);
+}
+
+TEST(WeightedChunk, RethrowsBodyException) {
+  ThreadPool pool(4);
+  const std::vector<double> cost(16, 1.0);
+  EXPECT_THROW(for_each_weighted_chunk(pool, 16, 2, cost,
+                                       [](std::size_t lo, std::size_t) {
+                                         if (lo >= 8) throw std::runtime_error("boom");
+                                       }),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/optimizer.hpp"
+#include "core/sharded.hpp"
 #include "model/cluster.hpp"
+#include "parallel/thread_pool.hpp"
 #include "runtime/controller.hpp"
 #include "sim/rng.hpp"
 
@@ -162,6 +164,127 @@ TEST(RuntimeFuzz, RandomFailureRecoveryLoadSwingSequences) {
   // >= 200 sequences per the acceptance bar; each is ~20 events plus a
   // reconvergence tail, so the whole battery stays sanitizer-friendly.
   for (std::uint64_t seed = 1; seed <= 220; ++seed) run_sequence(seed);
+}
+
+/// The sharded variant of run_sequence: a fleet-scale cluster (n = 5000
+/// blades in a dozen SKU blocks, so coalescing keeps the per-cell solves
+/// cheap) driven through the controller with shard_cells = 8. Same
+/// structural invariants per event, plus a closure check: the published
+/// split must equal an independent sharded solve of the exact instance
+/// the controller last consumed — and, every tenth seed, the flat paper
+/// solver on the same instance (the nesting argument end to end).
+void run_sharded_sequence(std::uint64_t seed) {
+  sim::RngStream rng(seed, 11);
+
+  const std::size_t n = 5000;
+  const std::size_t skus = 12;
+  std::vector<unsigned> sku_size(skus);
+  std::vector<double> sku_speed(skus);
+  for (std::size_t s = 0; s < skus; ++s) {
+    sku_size[s] = 1 + static_cast<unsigned>(rng.below(6));
+    sku_speed[s] = 0.5 + 2.0 * rng.uniform();
+  }
+  std::vector<unsigned> sizes(n);
+  std::vector<double> speeds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = i * skus / n;  // contiguous SKU blocks
+    sizes[i] = sku_size[s];
+    speeds[i] = sku_speed[s];
+  }
+  const double preload = 0.1 + 0.2 * rng.uniform();
+  const auto cluster = model::make_cluster(sizes, speeds, 1.0, preload);
+  const double lam_max = cluster.max_generic_rate();
+
+  runtime::ControllerConfig cfg;
+  cfg.shard_cells = 8;
+  cfg.half_life = 32.0 / lam_max;
+  cfg.check_interval = 8;
+  cfg.min_arrivals = 8;
+  cfg.initial_lambda = 0.5 * lam_max;
+  Harness h(cluster, cfg, (0.3 + 0.5 * rng.uniform()) * 0.95 * lam_max);
+  check_invariants(h, seed, -1);
+
+  const int events = 10;
+  for (int step = 0; step < events; ++step) {
+    const std::uint64_t kind = rng.below(4);
+    if (kind == 0) {
+      h.lambda = (0.2 + 0.9 * rng.uniform()) * lam_max;
+    } else if (kind == 1) {
+      const std::size_t i = rng.below(n);
+      const unsigned blades = static_cast<unsigned>(rng.below(sizes[i] + 1));  // 0 = all
+      h.ctrl.on_failure(h.t += 1e-3, i, blades);
+      const unsigned lost = blades == 0 ? h.avail[i] : std::min(h.avail[i], blades);
+      h.avail[i] -= lost;
+    } else if (kind == 2) {
+      const std::size_t i = rng.below(n);
+      const unsigned blades = static_cast<unsigned>(rng.below(sizes[i] + 1));
+      h.ctrl.on_recovery(h.t += 1e-3, i, blades);
+      const unsigned missing = sizes[i] - h.avail[i];
+      h.avail[i] += blades == 0 ? missing : std::min(missing, blades);
+    } else {
+      h.ctrl.on_special_arrival(h.t += 1e-3, rng.below(n));
+    }
+    feed_arrivals(h, rng, 32);
+    check_invariants(h, seed, step);
+  }
+
+  // Reconverge on the full topology at half load.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h.avail[i] < sizes[i]) {
+      h.ctrl.on_recovery(h.t += 1e-3, i);
+      h.avail[i] = sizes[i];
+    }
+  }
+  h.lambda = 0.5 * lam_max;
+  const int settle = static_cast<int>(std::ceil(8.0 * cfg.half_life * h.lambda)) + 64;
+  feed_arrivals(h, rng, settle);
+  h.ctrl.resolve_now(h.t);
+  check_invariants(h, seed, events);
+
+  ASSERT_EQ(h.ctrl.shed_probability(), 0.0) << "seed " << seed;
+  ASSERT_NEAR(h.ctrl.last_solved_lambda(), h.lambda, 0.05 * h.lambda) << "seed " << seed;
+
+  // Closure: rebuild the instance the last solve consumed and solve it
+  // independently through the sharded optimizer.
+  std::vector<model::BladeServer> eff;
+  eff.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cap = sizes[i] * speeds[i] / cluster.rbar();
+    const double special = std::min(h.ctrl.estimated_special_rate(i, h.t),
+                                    cfg.utilization_ceiling * cap);
+    eff.emplace_back(sizes[i], speeds[i], special);
+  }
+  const model::Cluster eff_cluster(std::move(eff), cluster.rbar());
+  const double lam_hat = h.ctrl.last_solved_lambda();
+  opt::ShardOptions shard;
+  shard.cells = cfg.shard_cells;
+  const auto sharded =
+      opt::ShardedOptimizer(eff_cluster, queue::Discipline::Fcfs, {}, shard).optimize(lam_hat);
+  const auto f = h.ctrl.routing_fractions();
+  ASSERT_EQ(f.size(), n) << "seed " << seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(f[i], sharded.dist.rates[i] / lam_hat, 1e-3) << "seed " << seed << " i " << i;
+  }
+
+  // Every tenth seed, close the loop against the flat paper solver too:
+  // the published fleet-scale split is the same optimum the seed solver
+  // would have produced, to the differential battery's tolerance.
+  if (seed % 10 == 0) {
+    const auto flat =
+        opt::LoadDistributionOptimizer(eff_cluster, queue::Discipline::Fcfs).optimize(lam_hat);
+    ASSERT_NEAR(sharded.dist.response_time, flat.response_time,
+                1e-8 * std::max(1.0, std::abs(flat.response_time)))
+        << "seed " << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(f[i], flat.rates[i] / lam_hat, 1e-3) << "seed " << seed << " i " << i;
+    }
+  }
+}
+
+TEST(RuntimeFuzz, ShardedControllerSequencesAtFleetScale) {
+  // ~60 sequences: enough to cover every event-kind interleaving at this
+  // length while staying inside the sanitizer-tier time budget.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) run_sharded_sequence(seed);
 }
 
 }  // namespace

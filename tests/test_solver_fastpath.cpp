@@ -281,6 +281,39 @@ TEST(OptimizeMany, RejectsBadInput) {
   EXPECT_THROW((void)opt::optimize_many(solver, grid, pool, bad), std::invalid_argument);
   const std::vector<opt::SolveRequest> null_req{{nullptr, 4.0}};
   EXPECT_THROW((void)opt::optimize_many(null_req, pool), std::invalid_argument);
+  opt::BatchOptions short_hints;
+  short_hints.cost_hints = {1.0, 2.0};  // batch has 1 item
+  EXPECT_THROW((void)opt::optimize_many(solver, grid, pool, short_hints),
+               std::invalid_argument);
+}
+
+// Cost hints regroup the warm-start chains but solve the same problems:
+// per-item results match the hint-free batch to solver tolerance, and
+// with hints fixed the batch stays bitwise thread-count invariant (the
+// cut is a pure function of (size, chunk, hints)).
+TEST(OptimizeMany, CostHintsPreserveResultsAndDeterminism) {
+  const Instance inst = make_instance(Regime::Random, 7, Discipline::Fcfs);
+  const opt::LoadDistributionOptimizer solver(inst.cluster, inst.discipline);
+  const auto grid =
+      par::linspace(0.1 * inst.lambda, 0.9 * inst.cluster.max_generic_rate(), 40);
+  opt::BatchOptions opts;
+  opts.chunk = 8;
+  opts.cost_hints.resize(grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    opts.cost_hints[k] = (k % 10 == 0) ? 20.0 : 1.0;
+  }
+  par::ThreadPool one(1);
+  par::ThreadPool four(4);
+  const auto a = opt::optimize_many(solver, grid, one, opts);
+  const auto b = opt::optimize_many(solver, grid, four, opts);
+  const auto plain = opt::optimize_many(solver, grid, four);
+  ASSERT_EQ(a.size(), grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    EXPECT_EQ(a[k].response_time, b[k].response_time) << "k=" << k;  // bitwise
+    EXPECT_NEAR(a[k].response_time, plain[k].response_time,
+                1e-9 * (1.0 + plain[k].response_time))
+        << "k=" << k;
+  }
 }
 
 TEST(OptimizeMany, PropagatesSolveErrors) {
