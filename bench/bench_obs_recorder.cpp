@@ -1,0 +1,86 @@
+// Flight-recorder microbenchmarks. The hot-path claim is that one
+// Recorder::record() costs tens of nanoseconds — one clock read plus a
+// handful of relaxed atomic stores into the calling thread's ring — so
+// instrumenting the controller never perturbs what it measures.
+//
+// BM_RecordEvent also self-records a batch-calibrated per-event cost
+// into the obs registry (obs.recorder.record_seconds), which CI gates
+// against the checked-in baseline via bench_check, with the constant
+// gauge obs.recorder.bench.norm as the ratio denominator.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+
+namespace {
+
+using blade::obs::EventType;
+
+void BM_RecordEvent(benchmark::State& state) {
+  auto& rec = blade::obs::recorder();
+  if (state.thread_index() == 0) rec.reset();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    rec.record(EventType::Dispatch, 7, 1.25, static_cast<double>(n), 3.0);
+    ++n;
+  }
+  benchmark::DoNotOptimize(n);
+
+  if (state.thread_index() != 0) return;
+  // Batch-calibrated per-event cost, recorded through the registry so
+  // the obs CI preset can gate it (mean <= 2x baseline). 64 batches of
+  // 4096 events amortize the two clock reads to ~0.01 ns/event.
+  auto& reg = blade::obs::registry();
+  const auto cost = reg.intern("obs.recorder.record_seconds", blade::obs::Kind::Timer);
+  constexpr int kBatch = 4096;
+  for (int rep = 0; rep < 64; ++rep) {
+    const std::uint64_t t0 = blade::obs::monotonic_ns();
+    for (int i = 0; i < kBatch; ++i) {
+      rec.record(EventType::Dispatch, 7, 1.25, static_cast<double>(i), 3.0);
+    }
+    const std::uint64_t t1 = blade::obs::monotonic_ns();
+    reg.observe(cost, static_cast<double>(t1 - t0) / 1e9 / kBatch);
+  }
+  reg.set(reg.intern("obs.recorder.bench.norm", blade::obs::Kind::Gauge), 1.0);
+}
+BENCHMARK(BM_RecordEvent)->Threads(1)->Threads(4);
+
+void BM_EventMacroOverhead(benchmark::State& state) {
+  // Guard for the zero-cost claim: with BLADE_OBS=OFF the macro expands
+  // to an unevaluated sizeof and this measures an empty loop; with ON it
+  // prices one record() into the thread's ring.
+  double x = 1.0;
+  for (auto _ : state) {
+    BLADE_OBS_EVENT(Dispatch, 3, x, 0.0, 0.0);
+    benchmark::DoNotOptimize(x);
+    x += 1.0;
+  }
+}
+BENCHMARK(BM_EventMacroOverhead);
+
+void BM_DumpWhileRecording(benchmark::State& state) {
+  // The audit-trail read path: snapshot every ring while one writer
+  // keeps pushing. Prices what an auto-dump costs the triggering thread.
+  auto& rec = blade::obs::recorder();
+  if (state.thread_index() == 0) rec.reset();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      rec.record(EventType::Dispatch, 1, static_cast<double>(i++), 0.0, 0.0);
+    }
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.dump("bench"));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+BENCHMARK(BM_DumpWhileRecording);
+
+}  // namespace

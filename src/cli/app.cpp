@@ -9,6 +9,7 @@
 #include "cloud/consolidation.hpp"
 #include "obs/build_info.hpp"
 #include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "cloud/experiments.hpp"
 #include "cloud/series.hpp"
 #include "cloud/trace.hpp"
@@ -259,13 +260,25 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
   cfg.shard_cells = opts.shards;
   cfg.prune_top_k = opts.prune_k;
 
+  runtime::ReplayOptions ropts;
+  if (serve.slo_target > 0.0) {
+    ropts.slo.response_time = serve.slo_target;
+    ropts.slo.max_shed_fraction = serve.slo_max_shed;
+    ropts.slo_epochs = serve.slo_epochs;
+  }
+  if (!serve.recorder_out.empty()) {
+    if (serve.recorder_capacity > 0) obs::recorder().set_capacity(serve.recorder_capacity);
+    obs::recorder().reset();
+  }
+
   runtime::ReplayResult res;
   std::string chaos_line;
   auto profile = runtime::chaos_profile(serve.chaos_profile);
   if (!profile) throw std::invalid_argument(profile.error().context);
   if (serve.chaos_seed > 0) {
     runtime::FaultInjector chaos(serve.chaos_seed, profile.value());
-    res = runtime::replay_chaotic(cluster, cfg, trace, chaos);
+    ropts.chaos = &chaos;
+    res = runtime::replay(cluster, cfg, trace, ropts);
     std::ostringstream cs;
     cs << "chaos             profile " << serve.chaos_profile << " (seed " << serve.chaos_seed
        << "): " << chaos.dropped() << " dropped, " << chaos.phantoms() << " phantom, "
@@ -273,7 +286,17 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
        << " solver faults\n";
     chaos_line = cs.str();
   } else {
-    res = runtime::replay(cluster, cfg, trace);
+    res = runtime::replay(cluster, cfg, trace, ropts);
+  }
+
+  std::string recorder_line;
+  if (!serve.recorder_out.empty()) {
+    const obs::Dump dump = obs::recorder().dump("serve-replay");
+    obs::write_dump_file(dump, serve.recorder_out);
+    std::ostringstream rs;
+    rs << "flight recorder   " << dump.total_events() << " events ("
+       << dump.total_dropped() << " dropped) -> " << serve.recorder_out << '\n';
+    recorder_line = rs.str();
   }
 
   std::ostringstream os;
@@ -299,7 +322,14 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
      << res.sim.generic_samples << " tasks), " << util::fixed(res.sim.special_mean_response, 4)
      << " special (" << res.sim.special_samples << " tasks)\n"
      << "final split       " << util::to_string(res.final_fractions, 4) << " (shed prob "
-     << util::fixed(res.final_shed_probability, 4) << ")\n";
+     << util::fixed(res.final_shed_probability, 4) << ")\n"
+     << recorder_line;
+  if (!res.slo.empty()) {
+    os << '\n';
+    for (const auto& s : res.slo) os << s.line << '\n';
+    os << "slo               " << res.slo_breaches << " objective breach"
+       << (res.slo_breaches == 1 ? "" : "es") << " across " << res.slo.size() << " epochs\n";
+  }
   return os.str();
 }
 
@@ -358,12 +388,20 @@ std::string usage() {
          "  --drift <x>       serve-replay: hysteresis re-solve threshold (default 0.02)\n"
          "  --chaos-seed <n>  serve-replay: enable deterministic fault injection\n"
          "  --chaos-profile <p>         none, light, moderate (default), or heavy\n"
+         "  --slo-target <t>  serve-replay: per-epoch mean-T' objective; prints\n"
+         "                    burn-rate SLO lines per epoch\n"
+         "  --slo-max-shed <f>          shed-fraction objective (default 0.05)\n"
+         "  --slo-epochs <n>  serve-replay: SLO windows across the horizon (default 12)\n"
+         "  --recorder-out <path>       serve-replay: dump the flight recorder\n"
+         "                    (.json = Chrome trace for Perfetto, else JSONL)\n"
+         "  --recorder-capacity <n>     per-thread ring slots for the dump\n"
          "  --verbose         solver convergence summaries on stderr\n"
          "  --threads <n>     sweep: worker threads (default 0 = shared pool)\n"
          "  --shards <n>      optimize / serve-replay: sharded hierarchical solver\n"
          "                    with n cells (default 0 = flat paper solver)\n"
          "  --prune-k <k>     sharded solver: keep top-k server classes per cell\n"
          "  --metrics-out <path>        export run metrics after the command\n"
+         "                    ('-' appends the rendering to the report itself)\n"
          "  --metrics-format <f>        json (default), prom, or csv\n"
          "  --version         build attribution (git hash, compiler, BLADE_OBS)\n";
 }
@@ -469,6 +507,18 @@ std::string run_cli(const std::vector<std::string>& args) {
       serve.chaos_seed = static_cast<std::uint64_t>(std::stoull(next("--chaos-seed")));
     } else if (a == "--chaos-profile") {
       serve.chaos_profile = next("--chaos-profile");
+    } else if (a == "--slo-target") {
+      serve.slo_target = std::stod(next("--slo-target"));
+      if (!(serve.slo_target > 0.0)) throw std::invalid_argument("--slo-target must be > 0");
+    } else if (a == "--slo-max-shed") {
+      serve.slo_max_shed = std::stod(next("--slo-max-shed"));
+    } else if (a == "--slo-epochs") {
+      serve.slo_epochs = std::stoi(next("--slo-epochs"));
+      if (serve.slo_epochs < 1) throw std::invalid_argument("--slo-epochs must be >= 1");
+    } else if (a == "--recorder-out") {
+      serve.recorder_out = next("--recorder-out");
+    } else if (a == "--recorder-capacity") {
+      serve.recorder_capacity = static_cast<std::size_t>(std::stoul(next("--recorder-capacity")));
     } else if (a == "--verbose") {
       opts.verbosity = 1;
     } else if (a == "--threads") {
@@ -496,7 +546,11 @@ std::string run_cli(const std::vector<std::string>& args) {
   // are idle here (every command drains its sweeps before returning), so
   // the snapshot is an exact cut.
   if (!metrics_out.empty()) {
-    obs::write_metrics_file(metrics_out, metrics_format);
+    if (metrics_out == "-") {
+      out += obs::render(obs::registry().snapshot(), metrics_format);
+    } else {
+      obs::write_metrics_file(metrics_out, metrics_format);
+    }
   }
   return out;
 }

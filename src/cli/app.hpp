@@ -73,6 +73,16 @@ struct ServeOptions {
   std::uint64_t seed = 0;           ///< --seed: overrides the trace's seed
   std::uint64_t chaos_seed = 0;     ///< --chaos-seed: fault-injection seed (0 = off)
   std::string chaos_profile = "moderate";  ///< --chaos-profile: none/light/moderate/heavy
+  /// --slo-target: mean-T' objective per epoch (0 = SLO evaluation off).
+  double slo_target = 0.0;
+  /// --slo-max-shed: shed-fraction objective per epoch (with --slo-target).
+  double slo_max_shed = 0.05;
+  int slo_epochs = 12;              ///< --slo-epochs: windows across the horizon
+  /// --recorder-out: dump the flight recorder after the replay. A `.json`
+  /// suffix writes Chrome trace-event format (load in Perfetto), anything
+  /// else (e.g. `.jsonl`) the line-oriented JSONL schema.
+  std::string recorder_out;
+  std::size_t recorder_capacity = 0;  ///< --recorder-capacity: per-thread ring slots
 };
 
 /// `serve-replay`: replay an event trace (rate swings, blade failures,

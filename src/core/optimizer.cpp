@@ -170,13 +170,16 @@ Expected<LoadDistribution> LoadDistributionOptimizer::try_optimize(double lambda
 Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambda_total,
                                                                     SolverWorkspace& ws) const {
   const double lambda_max = cluster_.max_generic_rate();
+  BLADE_OBS_EVENT(SolveStart, 0, lambda_total, lambda_max, 0.0);
   if (!(lambda_total > 0.0)) {
+    BLADE_OBS_EVENT(SolveEnd, ErrorCode::InvalidArgument, 0.0, 0.0, 0.0);
     return detail::make_solver_error(ErrorCode::InvalidArgument, "optimize: lambda' must be > 0");
   }
   if (lambda_total >= lambda_max) {
     std::ostringstream os;
     os << std::setprecision(10) << "optimize: lambda'=" << lambda_total
        << " >= lambda'_max=" << lambda_max << " (infeasible)";
+    BLADE_OBS_EVENT(SolveEnd, ErrorCode::Infeasible, 0.0, 0.0, 0.0);
     return detail::make_solver_error(ErrorCode::Infeasible, os.str());
   }
 
@@ -235,7 +238,10 @@ Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambd
 
   auto search = detail::run_phi_search(opts_, lambda_total, lambda_max, ws.seed_phi_, ws.br_,
                                        err, total_at, absorb);
-  if (!search) return search.error();
+  if (!search) {
+    BLADE_OBS_EVENT(SolveEnd, search.error().code, 0.0, 0.0, inner_evals);
+    return search.error();
+  }
   const int outer_it = search.value();
 
   LoadDistribution out;
@@ -262,6 +268,7 @@ Expected<LoadDistribution> LoadDistributionOptimizer::optimize_core(double lambd
 
   BLADE_OBS_COUNT_N("optimizer.outer_iterations", outer_it);
   BLADE_OBS_COUNT_N("optimizer.inner_evaluations", inner_evals);
+  BLADE_OBS_EVENT(SolveEnd, ErrorCode::Ok, out.phi, outer_it, inner_evals);
 
   if (opts_.verbosity >= 1) {
     const std::string line = out.summary();

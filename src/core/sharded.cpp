@@ -258,6 +258,7 @@ Expected<ShardedLoadDistribution> ShardedOptimizer::optimize_core(double lambda_
   BLADE_OBS_TIMER("solver.shard.solve_seconds");
   BLADE_OBS_COUNT("solver.shard.solves");
   BLADE_OBS_COUNT_N("solver.shard.cells", static_cast<long>(cells_.size()));
+  BLADE_OBS_EVENT(SolveStart, cells_.size(), lambda_total, lambda_max, 0.0);
 
   prepare_workspace(ws);
   detail::PhiBracket br;
@@ -357,7 +358,10 @@ Expected<ShardedLoadDistribution> ShardedOptimizer::optimize_core(double lambda_
 
   auto search = detail::run_phi_search(opts_, lambda_total, lambda_max, ws.seed_phi_, br, err,
                                        total_at, absorb);
-  if (!search) return search.error();
+  if (!search) {
+    BLADE_OBS_EVENT(SolveEnd, search.error().code, 0.0, 0.0, inner_evals);
+    return search.error();
+  }
 
   // Expand the class-level bracket-end rates back to full length (pruned
   // servers stay at zero) and extract exactly as the flat path does.
@@ -395,6 +399,7 @@ Expected<ShardedLoadDistribution> ShardedOptimizer::optimize_core(double lambda_
 
   BLADE_OBS_COUNT_N("solver.shard.outer_iterations", search.value());
   BLADE_OBS_COUNT_N("solver.shard.inner_evaluations", inner_evals);
+  BLADE_OBS_EVENT(SolveEnd, ErrorCode::Ok, out.dist.phi, search.value(), inner_evals);
   if (coalesced_servers_ > 0) {
     BLADE_OBS_COUNT_N("solver.shard.coalesced_servers", static_cast<long>(coalesced_servers_));
   }

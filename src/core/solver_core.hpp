@@ -50,6 +50,11 @@ inline Error make_solver_error(ErrorCode code, std::string context) {
       break;
     case ErrorCode::BudgetExceeded:
       BLADE_OBS_COUNT("solver.budget_exceeded");
+      // A tripped watchdog is a flight-recorder moment: record it and
+      // snapshot every ring so the dump's tail explains what the solver
+      // was doing when the budget ran out.
+      BLADE_OBS_EVENT(WatchdogTrip, ErrorCode::BudgetExceeded, 0.0, 0.0, 0.0);
+      BLADE_OBS_DUMP("watchdog");
       break;
     default:
       BLADE_OBS_COUNT("solver.failures.internal");

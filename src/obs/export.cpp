@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/build_info.hpp"
 #include "util/json.hpp"
@@ -22,12 +24,32 @@ bool has_distribution(const MetricValue& m) {
   return (m.kind == Kind::Histogram || m.kind == Kind::Timer) && m.hist.count() > 0;
 }
 
-/// Prometheus metric names: [a-zA-Z0-9_] with a library prefix.
+/// Prometheus metric names: [a-zA-Z0-9_] with a library prefix. Every
+/// other character ('.', '/', '-') maps to '_'.
 std::string prom_name(const std::string& name) {
   std::string out = "blade_";
   for (const char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
     out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Sanitization is lossy ("a.b" and "a/b" both map to blade_a_b), so
+/// family names are deduplicated in snapshot order: the first keeps the
+/// base name, later collisions get a _2/_3/... suffix. Deterministic
+/// because snapshots list metrics in a stable order.
+std::vector<std::string> prom_family_names(const Snapshot& snap) {
+  std::vector<std::string> out;
+  out.reserve(snap.metrics.size());
+  std::set<std::string> taken;
+  for (const MetricValue& m : snap.metrics) {
+    const std::string base = prom_name(m.name);
+    std::string candidate = base;
+    for (int k = 2; !taken.insert(candidate).second; ++k) {
+      candidate = base + "_" + std::to_string(k);
+    }
+    out.push_back(std::move(candidate));
   }
   return out;
 }
@@ -121,19 +143,26 @@ std::string to_prometheus(const Snapshot& snap) {
   const BuildInfo& b = build_info();
   os << "# bladecloud " << b.git_hash << " (" << b.build_type << ", BLADE_OBS "
      << (b.obs_enabled ? "ON" : "OFF") << ")\n";
-  for (const MetricValue& m : snap.metrics) {
-    const std::string name = prom_name(m.name);
+  const std::vector<std::string> families = prom_family_names(snap);
+  for (std::size_t mi = 0; mi < snap.metrics.size(); ++mi) {
+    const MetricValue& m = snap.metrics[mi];
+    const std::string& name = families[mi];
     switch (m.kind) {
       case Kind::Counter:
-        os << "# TYPE " << name << "_total counter\n"
+        os << "# HELP " << name << "_total " << m.name << " (counter)\n"
+           << "# TYPE " << name << "_total counter\n"
            << name << "_total " << m.count << '\n';
         break;
       case Kind::Gauge:
-        os << "# TYPE " << name << " gauge\n" << name << ' ' << format_double(m.value) << '\n';
+        os << "# HELP " << name << ' ' << m.name << " (gauge)\n"
+           << "# TYPE " << name << " gauge\n"
+           << name << ' ' << format_double(m.value) << '\n';
         break;
       case Kind::Histogram:
       case Kind::Timer: {
-        os << "# TYPE " << name << " histogram\n";
+        os << "# HELP " << name << ' ' << m.name << " ("
+           << to_string(m.kind) << ")\n"
+           << "# TYPE " << name << " histogram\n";
         std::uint64_t cum = 0;
         for (std::size_t b = 0; b < util::kLogBucketCount; ++b) {
           const std::uint64_t n = m.hist.bucket_count(b);

@@ -13,6 +13,8 @@
 //   BLADE_OBS_TIMER("optimizer.solve_seconds");      // scoped wall timer
 //   BLADE_OBS_SPAN("optimize");                      // scoped nested span
 //   BLADE_OBS_SERIES_APPEND("optimizer.phi_bracket", x, y);  // trace point
+//   BLADE_OBS_EVENT(ModeTransition, cause, from, to, 0);  // flight-recorder event
+//   BLADE_OBS_DUMP("watchdog");                      // auto-dump every ring
 //
 // The registry API itself (obs/metrics.hpp) is always compiled and
 // linkable regardless of the toggle — the macros are the only layer that
@@ -20,6 +22,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 #if defined(BLADE_OBS) && BLADE_OBS
@@ -74,6 +77,19 @@
                                     static_cast<double>(y));                         \
   } while (0)
 
+/// Records one typed flight-recorder event (obs/recorder.hpp): `type` is
+/// a bare EventType enumerator name; id/a/b/c follow that type's payload
+/// contract. Lock-free per-thread ring write, O(tens of ns).
+#define BLADE_OBS_EVENT(type, id, a, b, c)                                           \
+  ::blade::obs::recorder().record(::blade::obs::EventType::type,                     \
+                                  static_cast<std::uint32_t>(id),                    \
+                                  static_cast<double>(a), static_cast<double>(b),    \
+                                  static_cast<double>(c))
+
+/// Snapshots every recorder ring (degraded-mode transitions, watchdog
+/// trips): remembers the dump and forwards it to the installed sink.
+#define BLADE_OBS_DUMP(reason) ::blade::obs::recorder().auto_dump((reason))
+
 /// Publishes the calling thread's accumulated deltas (cheap no-op when
 /// the thread touched nothing since its last flush).
 #define BLADE_OBS_FLUSH_THREAD() ::blade::obs::registry().flush_this_thread()
@@ -87,6 +103,11 @@
 #define BLADE_OBS_TIMER(name) ((void)0)
 #define BLADE_OBS_SPAN(name) ((void)0)
 #define BLADE_OBS_SERIES_APPEND(name, x, y) ((void)0)
+// sizeof's operand is never evaluated: zero code, but the argument
+// expressions still count as used (no -Wunused on OFF-only locals).
+#define BLADE_OBS_EVENT(type, id, a, b, c) \
+  ((void)sizeof(((void)(id), (void)(a), (void)(b), (void)(c), 0)))
+#define BLADE_OBS_DUMP(reason) ((void)0)
 #define BLADE_OBS_FLUSH_THREAD() ((void)0)
 
 #endif  // BLADE_OBS_ENABLED

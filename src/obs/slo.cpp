@@ -1,0 +1,152 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace blade::obs {
+
+void SloTargets::validate() const {
+  const double t[] = {response_time, max_shed_fraction, resolve_latency, max_staleness};
+  for (const double v : t) {
+    if (!(v >= 0.0) || !std::isfinite(v)) {
+      throw std::invalid_argument("SloTargets: targets must be finite and >= 0");
+    }
+  }
+  if (!(objective > 0.0) || !(objective < 1.0)) {
+    throw std::invalid_argument("SloTargets: objective must be in (0, 1)");
+  }
+  if (!(window >= 0.0) || !std::isfinite(window)) {
+    throw std::invalid_argument("SloTargets: window must be finite and >= 0");
+  }
+}
+
+bool SloTargets::any_enabled() const noexcept {
+  return response_time > 0.0 || max_shed_fraction > 0.0 || resolve_latency > 0.0 ||
+         max_staleness > 0.0;
+}
+
+BurnRateMonitor::BurnRateMonitor(std::string name, double objective, double window)
+    : name_(std::move(name)), objective_(objective), window_(window) {
+  if (!(objective > 0.0) || !(objective < 1.0)) {
+    throw std::invalid_argument("BurnRateMonitor: objective must be in (0, 1)");
+  }
+  if (!(window > 0.0) || !std::isfinite(window)) {
+    throw std::invalid_argument("BurnRateMonitor: window must be > 0");
+  }
+}
+
+void BurnRateMonitor::observe(double t, bool good) {
+  if (!(t >= last_t_)) t = last_t_;  // event time never runs backwards
+  last_t_ = t;
+  ++samples_;
+  if (!good) ++breaches_;
+  recent_.emplace_back(t, good);
+  while (!recent_.empty() && recent_.front().first < t - window_) recent_.pop_front();
+}
+
+double BurnRateMonitor::burn_rate() const noexcept {
+  if (recent_.empty()) return 0.0;
+  std::size_t bad = 0;
+  for (const auto& [t, good] : recent_) {
+    if (!good) ++bad;
+  }
+  const double bad_fraction = static_cast<double>(bad) / static_cast<double>(recent_.size());
+  return bad_fraction / (1.0 - objective_);
+}
+
+void BurnRateMonitor::export_metrics() const {
+  Registry& reg = registry();
+  reg.set(reg.intern("slo." + name_ + ".burn_rate", Kind::Gauge), burn_rate());
+  reg.set(reg.intern("slo." + name_ + ".breaches", Kind::Gauge), static_cast<double>(breaches_));
+  reg.set(reg.intern("slo." + name_ + ".samples", Kind::Gauge), static_cast<double>(samples_));
+}
+
+namespace {
+
+// Monitor slots inside SloSet::monitors_ (always all four, so tests can
+// index by name without searching).
+enum Slot : std::size_t { kResponse = 0, kShed, kResolve, kStaleness, kSlotCount };
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+SloSet::SloSet(const SloTargets& targets) : targets_(targets) {
+  targets_.validate();
+  if (!(targets_.window > 0.0)) {
+    throw std::invalid_argument("SloSet: window must be > 0 (derive it before construction)");
+  }
+  monitors_.reserve(kSlotCount);
+  monitors_.emplace_back("response_time", targets_.objective, targets_.window);
+  monitors_.emplace_back("shed_fraction", targets_.objective, targets_.window);
+  monitors_.emplace_back("resolve_latency", targets_.objective, targets_.window);
+  monitors_.emplace_back("staleness", targets_.objective, targets_.window);
+}
+
+SloEpochStatus SloSet::observe(const SloEpoch& epoch) {
+  SloEpochStatus st;
+  st.epoch = epoch;
+
+  struct Check {
+    Slot slot;
+    bool enabled;
+    bool good;
+  };
+  const Check checks[] = {
+      // An epoch with no completed generic tasks has no response-time
+      // evidence either way; count it as good rather than inventing a
+      // breach out of silence.
+      {kResponse, targets_.response_time > 0.0,
+       epoch.response_samples == 0 || epoch.mean_response <= targets_.response_time},
+      {kShed, targets_.max_shed_fraction > 0.0,
+       epoch.shed_fraction <= targets_.max_shed_fraction},
+      {kResolve, targets_.resolve_latency > 0.0,
+       epoch.resolves == 0 || epoch.resolve_seconds_mean <= targets_.resolve_latency},
+      {kStaleness, targets_.max_staleness > 0.0, epoch.staleness <= targets_.max_staleness},
+  };
+  for (const Check& ck : checks) {
+    if (!ck.enabled) continue;
+    monitors_[ck.slot].observe(epoch.t1, ck.good);
+    monitors_[ck.slot].export_metrics();
+    st.ok = st.ok && ck.good;
+    st.worst_burn = std::max(st.worst_burn, monitors_[ck.slot].burn_rate());
+  }
+
+  std::string line = "slo epoch " + std::to_string(epoch.index) + "/" +
+                     std::to_string(epoch.total) + " [" + fmt(epoch.t0) + "," + fmt(epoch.t1) +
+                     ")";
+  if (targets_.response_time > 0.0) {
+    line += " T' " + fmt(epoch.mean_response) + "/" + fmt(targets_.response_time);
+  }
+  if (targets_.max_shed_fraction > 0.0) {
+    line += " shed " + fmt(epoch.shed_fraction) + "/" + fmt(targets_.max_shed_fraction);
+  }
+  if (targets_.resolve_latency > 0.0) {
+    line += " resolve " + fmt(epoch.resolve_seconds_mean) + "s/" + fmt(targets_.resolve_latency) +
+            "s";
+  }
+  if (targets_.max_staleness > 0.0) {
+    line += " stale " + fmt(epoch.staleness) + "/" + fmt(targets_.max_staleness);
+  }
+  line += " burn " + fmt(st.worst_burn);
+  line += st.ok ? " OK" : " BREACH";
+  st.line = std::move(line);
+  return st;
+}
+
+std::uint64_t SloSet::total_breaches() const noexcept {
+  std::uint64_t total = 0;
+  for (const BurnRateMonitor& m : monitors_) total += m.breaches();
+  return total;
+}
+
+}  // namespace blade::obs

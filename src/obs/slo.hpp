@@ -1,0 +1,126 @@
+// SLO burn-rate monitors for the control plane. A BurnRateMonitor is a
+// windowed evaluator over good/bad observations in *event time*: each
+// epoch the caller reports whether the objective held, and the monitor
+// answers "at what multiple of the error budget are we burning?" —
+// burn rate 1.0 spends exactly the budget the objective allows
+// (1 - objective bad epochs), >1 is on course to violate the SLO.
+//
+// SloSet bundles the four control-plane objectives (mean T' vs. target,
+// shed fraction, re-solve latency, staleness of last-known-good), feeds
+// them from per-epoch aggregates, exports slo.* gauges through the
+// ordinary metrics registry (JSON / Prometheus / CSV), and formats the
+// per-epoch report line `bladecli serve-replay --slo-target` prints.
+//
+// Everything here is explicit-feed and always compiled: no macros, no
+// dependency on the BLADE_OBS toggle — replay computes the aggregates
+// from controller stats and simulator collectors it owns anyway.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace blade::obs {
+
+/// Objectives for one serve-replay (or any epoch-driven caller). A
+/// target of 0 disables its monitor. Times are in model time units
+/// (multiples of rbar), matching T' everywhere else in the stack.
+struct SloTargets {
+  double response_time = 0.0;      ///< epoch mean generic T' must stay <= this
+  double max_shed_fraction = 0.0;  ///< epoch shed fraction must stay <= this
+  double resolve_latency = 0.0;    ///< epoch mean re-solve wall seconds <= this
+  double max_staleness = 0.0;      ///< age of the last good solve (event time) <= this
+  double objective = 0.99;         ///< fraction of epochs that must be good, in (0, 1)
+  double window = 0.0;             ///< burn-rate window (event time); 0 = caller derives
+
+  /// Throws std::invalid_argument on an out-of-domain objective/window
+  /// or a negative target.
+  void validate() const;
+
+  /// True when at least one monitor has a target.
+  [[nodiscard]] bool any_enabled() const noexcept;
+};
+
+/// One objective's windowed burn-rate evaluator.
+class BurnRateMonitor {
+ public:
+  /// @param objective fraction of observations that must be good, in (0, 1)
+  /// @param window    trailing event-time span the burn rate is computed over
+  BurnRateMonitor(std::string name, double objective, double window);
+
+  /// Reports one observation at event time t. Out-of-order times are
+  /// clamped forward (event time is non-decreasing by construction).
+  void observe(double t, bool good);
+
+  /// Bad fraction over the trailing window divided by the error budget
+  /// (1 - objective); 0 when nothing observed yet.
+  [[nodiscard]] double burn_rate() const noexcept;
+
+  [[nodiscard]] std::uint64_t breaches() const noexcept { return breaches_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double objective() const noexcept { return objective_; }
+  [[nodiscard]] double window() const noexcept { return window_; }
+
+  /// Publishes slo.<name>.burn_rate / .breaches / .samples gauges into
+  /// the global metrics registry (idempotent: gauges, not counters).
+  void export_metrics() const;
+
+ private:
+  std::string name_;
+  double objective_;
+  double window_;
+  double last_t_ = 0.0;
+  std::deque<std::pair<double, bool>> recent_;  ///< (t, good) within window
+  std::uint64_t breaches_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Per-epoch aggregates the caller computes (replay diffs controller
+/// stats and the response collector across the epoch boundary).
+struct SloEpoch {
+  int index = 0;     ///< 1-based epoch number
+  int total = 0;     ///< epochs in the run
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double mean_response = 0.0;          ///< generic T' over the epoch
+  std::uint64_t response_samples = 0;
+  double shed_fraction = 0.0;          ///< shed / offered over the epoch
+  double resolve_seconds_mean = 0.0;   ///< wall seconds per re-solve
+  std::uint64_t resolves = 0;
+  double staleness = 0.0;              ///< t1 - time of last good solve
+};
+
+/// One epoch's evaluation: which objectives held plus the report line.
+struct SloEpochStatus {
+  SloEpoch epoch;
+  bool ok = true;          ///< every enabled objective held this epoch
+  double worst_burn = 0.0; ///< max burn rate across enabled monitors
+  std::string line;        ///< "slo epoch k/N [...] ..." report line
+};
+
+class SloSet {
+ public:
+  /// Monitors are created for every objective; disabled ones (target 0)
+  /// never observe. `targets.window` must be > 0 by the time the set is
+  /// constructed (replay derives 4 epoch lengths when the user left 0).
+  explicit SloSet(const SloTargets& targets);
+
+  /// Feeds every enabled monitor, exports slo.* gauges, and formats the
+  /// report line.
+  SloEpochStatus observe(const SloEpoch& epoch);
+
+  [[nodiscard]] const SloTargets& targets() const noexcept { return targets_; }
+  [[nodiscard]] const std::vector<BurnRateMonitor>& monitors() const noexcept {
+    return monitors_;
+  }
+  /// Total objective breaches across all monitors so far.
+  [[nodiscard]] std::uint64_t total_breaches() const noexcept;
+
+ private:
+  SloTargets targets_;
+  std::vector<BurnRateMonitor> monitors_;  ///< response, shed, resolve, staleness
+};
+
+}  // namespace blade::obs

@@ -3,6 +3,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
+
 namespace blade::obs {
 
 namespace {
@@ -12,15 +14,21 @@ std::string& thread_path() {
   return t_path;
 }
 
-// Path -> metric id, cached per thread so steady-state span entry never
-// touches the registry mutex.
-MetricId intern_span(const std::string& path) {
-  thread_local std::unordered_map<std::string, MetricId> t_cache;
+struct SpanIds {
+  MetricId metric;
+  std::uint32_t label;  ///< recorder label (SpanEnd events reference it)
+};
+
+// Path -> ids, cached per thread so steady-state span entry never
+// touches the registry or recorder mutex.
+SpanIds intern_span(const std::string& path) {
+  thread_local std::unordered_map<std::string, SpanIds> t_cache;
   const auto it = t_cache.find(path);
   if (it != t_cache.end()) return it->second;
-  const MetricId id = registry().intern("span." + path, Kind::Timer);
-  t_cache.emplace(path, id);
-  return id;
+  const SpanIds ids{registry().intern("span." + path, Kind::Timer),
+                    recorder().intern_label(path)};
+  t_cache.emplace(path, ids);
+  return ids;
 }
 
 }  // namespace
@@ -30,12 +38,18 @@ ScopedSpan::ScopedSpan(std::string_view name) {
   parent_len_ = path.size();
   if (!path.empty()) path += '/';
   path += name;
-  id_ = intern_span(path);
+  const SpanIds ids = intern_span(path);
+  id_ = ids.metric;
+  label_ = ids.label;
   start_ns_ = monotonic_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
-  registry().observe(id_, static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+  const double elapsed = static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
+  registry().observe(id_, elapsed);
+  // Also drop a SpanEnd into the flight recorder so Chrome-trace dumps
+  // show span instances, not just the aggregated timer.
+  recorder().record(EventType::SpanEnd, label_, elapsed);
   thread_path().resize(parent_len_);
 }
 

@@ -29,6 +29,7 @@ class ScopedSpan {
  private:
   std::size_t parent_len_;  ///< thread path length to restore on exit
   MetricId id_;
+  std::uint32_t label_;  ///< recorder label id for the SpanEnd event
   std::uint64_t start_ns_;
 };
 

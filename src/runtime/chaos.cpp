@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace blade::runtime {
 
 namespace {
@@ -76,14 +78,17 @@ ObservationFault FaultInjector::corrupt_observation(double t) {
   if (obs_rng_.uniform() < profile_.dropout_prob) {
     f.drop = true;
     ++dropped_;
+    BLADE_OBS_EVENT(ChaosInject, obs::Cause::ChaosDrop, t, 0.0, 0.0);
     return f;  // a dropped observation can't also spike or warp
   }
   if (obs_rng_.uniform() < profile_.spike_prob) {
     f.phantoms = 1 + static_cast<unsigned>(obs_rng_.below(8));
     phantoms_ += f.phantoms;
+    BLADE_OBS_EVENT(ChaosInject, obs::Cause::ChaosPhantom, t, f.phantoms, 0.0);
   }
   if (obs_rng_.uniform() < profile_.timewarp_prob) {
     ++timewarps_;
+    BLADE_OBS_EVENT(ChaosInject, obs::Cause::ChaosTimewarp, t, 0.0, 0.0);
     const double u = obs_rng_.uniform();
     if (u < 1.0 / 3.0) {
       f.time = std::numeric_limits<double>::quiet_NaN();

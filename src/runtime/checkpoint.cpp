@@ -272,10 +272,10 @@ blade::Status Controller::restore_checkpoint(const std::string& json) {
     ++stats_.publications;
     BLADE_OBS_COUNT("runtime.publications");
     BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
-    set_mode(Mode::Blackout);
+    set_mode(Mode::Blackout, obs::Cause::Restore);
   } else {
     publish(fractions, shed);  // validated above; cannot fail
-    set_mode(mode);
+    set_mode(mode, obs::Cause::Restore);
   }
   ++stats_.restores;
   BLADE_OBS_COUNT("runtime.checkpoint_restores");

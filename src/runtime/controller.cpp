@@ -180,11 +180,14 @@ void Controller::on_failure(double t, std::size_t i, unsigned blades) {
   t = sanitize_time(t);
   ++stats_.failures;
   BLADE_OBS_COUNT("runtime.failures");
+  const unsigned before = avail_[i];
   avail_[i] = blades == 0 ? 0u : avail_[i] - std::min(avail_[i], blades);
+  BLADE_OBS_EVENT(BladeFail, i, avail_[i], before - avail_[i], t);
   // The cached phi bracket belongs to the old topology; only the seed
   // would survive prepare(), and even that is stale now.
   ws_.clear();
   sws_.clear();
+  BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Failure, 0.0, cfg_.drift_threshold, t);
   resolve(t);
 }
 
@@ -193,20 +196,28 @@ void Controller::on_recovery(double t, std::size_t i, unsigned blades) {
   t = sanitize_time(t);
   ++stats_.recoveries;
   BLADE_OBS_COUNT("runtime.recoveries");
+  const unsigned before = avail_[i];
   const unsigned full = cluster_.server(i).size();
   avail_[i] = blades == 0 ? full : std::min(full, avail_[i] + blades);
+  BLADE_OBS_EVENT(BladeRecover, i, avail_[i], avail_[i] - before, t);
   ws_.clear();
   sws_.clear();
+  BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Recovery, 0.0, cfg_.drift_threshold, t);
   resolve(t);
 }
 
-void Controller::resolve_now(double t) { resolve(sanitize_time(t)); }
+void Controller::resolve_now(double t) {
+  t = sanitize_time(t);
+  BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Forced, 0.0, cfg_.drift_threshold, t);
+  resolve(t);
+}
 
 void Controller::check_drift(double t) {
   const std::uint64_t seen =
       cfg_.estimator == EstimatorKind::Ewma ? ewma_[0].count() : window_[0].count();
   if (seen < cfg_.min_arrivals) return;  // estimator still warming up
   if (solved_lambda_ < 0.0) {
+    BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Warmup, 0.0, cfg_.drift_threshold, t);
     resolve(t);
     return;
   }
@@ -214,6 +225,7 @@ void Controller::check_drift(double t) {
     // Degraded: keep retrying every check until a solve lands, bypassing
     // hysteresis -- serving a stale or proportional split is a condition
     // to exit, not a steady state to settle into.
+    BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::DegradedRetry, 0.0, cfg_.drift_threshold, t);
     resolve(t);
     return;
   }
@@ -227,6 +239,7 @@ void Controller::check_drift(double t) {
                                 std::max(capacity(i), 1e-12));
   }
   if (drift > cfg_.drift_threshold) {
+    BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Drift, drift, cfg_.drift_threshold, t);
     resolve(t);
   } else {
     ++stats_.skipped_by_hysteresis;
@@ -234,9 +247,18 @@ void Controller::check_drift(double t) {
   }
 }
 
-void Controller::set_mode(Mode m) noexcept {
+void Controller::set_mode(Mode m, obs::Cause cause) {
+  const Mode from = mode_;
   mode_ = m;
   BLADE_OBS_GAUGE_SET("runtime.degraded_mode", static_cast<double>(m));
+  if (from == m) return;
+  ++stats_.mode_transitions;
+  BLADE_OBS_COUNT("runtime.mode_transitions");
+  BLADE_OBS_EVENT(ModeTransition, cause, static_cast<double>(from), static_cast<double>(m),
+                  last_event_time_);
+  // Every degraded-mode transition snapshots the flight recorder: the
+  // dump's tail is the causal prefix explaining why the mode changed.
+  BLADE_OBS_DUMP(std::string("mode:") + to_string(m));
 }
 
 double Controller::lkg_max_age() const noexcept {
@@ -252,6 +274,10 @@ bool Controller::lkg_servable(double t) const noexcept {
     if (lkg_.weights[i] > 0.0 && avail_[i] < lkg_.avail[i]) return false;
   }
   return true;
+}
+
+double Controller::lkg_age(double t) const noexcept {
+  return lkg_.valid ? std::max(0.0, t - lkg_.time) : std::max(0.0, t);
 }
 
 void Controller::remember_lkg(double t, double lambda, const std::vector<double>& weights) {
@@ -270,20 +296,22 @@ bool Controller::publish(const std::vector<double>& weights, double shed_prob) {
   ++stats_.publications;
   BLADE_OBS_COUNT("runtime.publications");
   BLADE_OBS_GAUGE_SET("runtime.shed_probability", shed_prob);
+  BLADE_OBS_EVENT(AliasPublish, stats_.publications, shed_prob, 0.0, last_event_time_);
   return true;
 }
 
-void Controller::publish_blackout() {
+void Controller::publish_blackout(obs::Cause cause) {
   if (mode_ == Mode::Blackout) return;  // already serving nothing
   shed_prob_.store(1.0, std::memory_order_relaxed);
   table_.store(nullptr);
   ++stats_.publications;
   BLADE_OBS_COUNT("runtime.publications");
   BLADE_OBS_GAUGE_SET("runtime.shed_probability", 1.0);
-  set_mode(Mode::Blackout);
+  BLADE_OBS_EVENT(AliasPublish, stats_.publications, 1.0, 0.0, last_event_time_);
+  set_mode(Mode::Blackout, cause);
 }
 
-void Controller::publish_fallback(double shed_prob) {
+void Controller::publish_fallback(double shed_prob, obs::Cause cause) {
   // Generic-capacity-proportional split over the surviving servers: any
   // feasible admitted total split this way keeps every server below its
   // own bound, so the fallback is safe whatever the (unknown) load is.
@@ -298,9 +326,9 @@ void Controller::publish_fallback(double shed_prob) {
     total += w[i];
   }
   if (total > 0.0 && publish(w, shed_prob)) {
-    set_mode(Mode::Fallback);
+    set_mode(Mode::Fallback, cause);
   } else {
-    publish_blackout();
+    publish_blackout(cause);
   }
 }
 
@@ -313,18 +341,29 @@ void Controller::contain(double t, double shed_prob, Error err) {
   if (lkg_servable(t) && publish(lkg_.weights, shed_prob)) {
     ++stats_.lkg_publications;
     BLADE_OBS_COUNT("runtime.fallback_lkg");
-    set_mode(Mode::LastKnownGood);
+    set_mode(Mode::LastKnownGood, obs::Cause::SolverError);
     return;
   }
   ++stats_.fallback_publications;
   BLADE_OBS_COUNT("runtime.fallback_proportional");
-  publish_fallback(shed_prob);
+  publish_fallback(shed_prob, obs::Cause::SolverError);
 }
 
 void Controller::resolve(double t) {
   ++stats_.resolves;
   BLADE_OBS_COUNT("runtime.resolves");
   BLADE_OBS_TIMER("runtime.resolve_seconds");
+  // Unconditional wall timing (two clock reads per re-solve): the SLO
+  // resolve-latency monitor needs it even in BLADE_OBS=OFF builds.
+  struct ResolveTimer {
+    ControllerStats& stats;
+    std::uint64_t t0 = obs::monotonic_ns();
+    ~ResolveTimer() {
+      const double elapsed = static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+      stats.last_resolve_seconds = elapsed;
+      stats.resolve_seconds_total += elapsed;
+    }
+  } resolve_timer{stats_};
 
   const std::uint64_t seen =
       cfg_.estimator == EstimatorKind::Ewma ? ewma_[0].count() : window_[0].count();
@@ -349,7 +388,7 @@ void Controller::resolve(double t) {
     solved_special_ = special;
     ++stats_.infeasible_resolves;
     BLADE_OBS_COUNT("runtime.infeasible_resolves");
-    publish_blackout();
+    publish_blackout(obs::Cause::Infeasible);
     return;
   }
 
@@ -360,12 +399,13 @@ void Controller::resolve(double t) {
   if (shed_prob > 0.0) {
     ++stats_.infeasible_resolves;
     BLADE_OBS_COUNT("runtime.infeasible_resolves");
+    BLADE_OBS_EVENT(ShedDecision, 0, lam_hat, cfg_.utilization_ceiling * lambda_max, shed_prob);
   }
 
   if (!(target > 0.0)) {
     // Nothing measurable to place yet: publish the safe proportional
     // split and wait for load.
-    publish_fallback(shed_prob);
+    publish_fallback(shed_prob, obs::Cause::NoLoad);
     return;
   }
 
@@ -380,6 +420,7 @@ void Controller::resolve(double t) {
       --armed_faults_;
       ++stats_.injected_faults;
       BLADE_OBS_COUNT("runtime.injected_solver_faults");
+      BLADE_OBS_EVENT(ChaosInject, obs::Cause::InjectedFault, t, 0.0, 0.0);
       return Error{ErrorCode::NonConvergence, "injected solver fault"};
     }
     if (cfg_.shard_cells > 0) {
@@ -408,10 +449,11 @@ void Controller::resolve(double t) {
   std::vector<double> w(cluster_.size(), 0.0);
   for (std::size_t k = 0; k < alive.size(); ++k) w[alive[k]] = sol.value().rates[k];
   if (publish(w, shed_prob)) {
-    set_mode(Mode::Optimal);
+    set_mode(Mode::Optimal, obs::Cause::None);
     last_error_ = Error{ErrorCode::Ok, {}};
     remember_lkg(t, target, w);
   } else {
+    BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Unpublishable, 0.0, 0.0, t);
     contain(t, shed_prob,
             Error{ErrorCode::NonFinite, "resolve: solver returned an unpublishable weight vector"});
   }

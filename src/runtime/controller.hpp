@@ -34,6 +34,7 @@
 #include "core/optimizer.hpp"
 #include "core/sharded.hpp"
 #include "model/cluster.hpp"
+#include "obs/recorder.hpp"
 #include "queueing/blade_queue.hpp"
 #include "runtime/estimator.hpp"
 #include "util/alias_table.hpp"
@@ -146,6 +147,13 @@ struct ControllerStats {
   std::uint64_t rejected_observations = 0;  ///< corrupt event times dropped/repaired
   std::uint64_t injected_faults = 0;    ///< solver faults forced by arm_solver_fault
   std::uint64_t restores = 0;           ///< checkpoint restores applied
+  std::uint64_t mode_transitions = 0;   ///< degraded-mode state changes
+
+  /// Wall-clock cost of re-solves (control-loop latency, fed to the SLO
+  /// resolve_latency monitor): total seconds across all resolves and the
+  /// most recent one.
+  double resolve_seconds_total = 0.0;
+  double last_resolve_seconds = 0.0;
 
   /// Fraction of offered generic tasks shed so far (0 when none offered).
   [[nodiscard]] double shed_fraction() const noexcept;
@@ -241,6 +249,10 @@ class Controller {
   /// to still has at least the blades it had when solved.
   [[nodiscard]] bool lkg_servable(double t) const noexcept;
 
+  /// Age (event time) of the last successful solve at time t; t itself
+  /// when no solve has succeeded yet. The SLO staleness objective.
+  [[nodiscard]] double lkg_age(double t) const noexcept;
+
   /// Fault injection: the next `n` re-solves fail with a typed
   /// NonConvergence error instead of calling the optimizer, exercising
   /// the containment path deterministically (chaos harness hook).
@@ -270,13 +282,16 @@ class Controller {
   /// not accept (NaN/negative/all-zero) instead of publishing it.
   /// Returns false and leaves the previous table in place on rejection.
   bool publish(const std::vector<double>& weights, double shed_prob);
-  void publish_fallback(double shed_prob);
-  void publish_blackout();
+  void publish_fallback(double shed_prob, obs::Cause cause = obs::Cause::None);
+  void publish_blackout(obs::Cause cause = obs::Cause::Infeasible);
   /// Failure containment: serve the LKG split while servable, otherwise
   /// the capacity-proportional fallback; never leaves the slot invalid.
   void contain(double t, double shed_prob, Error err);
   void remember_lkg(double t, double lambda, const std::vector<double>& weights);
-  void set_mode(Mode m) noexcept;
+  /// Mode change bookkeeping: on an actual transition records the
+  /// ModeTransition event (with `cause`) and triggers a recorder
+  /// auto-dump, so every degraded-mode change leaves an audit trail.
+  void set_mode(Mode m, obs::Cause cause = obs::Cause::None);
   [[nodiscard]] double lkg_max_age() const noexcept;
   /// Repairs corrupt event times (non-finite or backwards → the last
   /// credible instant) so one poisoned timestamp cannot wedge the

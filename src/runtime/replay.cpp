@@ -1,13 +1,15 @@
 #include "runtime/replay.hpp"
 
 #include <algorithm>
-#include <utility>
-
-#include "runtime/chaos.hpp"
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "obs/obs.hpp"
+#include "runtime/chaos.hpp"
 
 #include "sim/arrivals.hpp"
 #include "sim/engine.hpp"
@@ -193,6 +195,9 @@ struct GenericDriver {
   double rate = 0.0;
   sim::EventId pending = 0;
   bool has_pending = false;
+  std::uint64_t dispatch_sample = 0;  ///< record every Nth dispatch (0 = off)
+  std::uint64_t dispatches = 0;
+  std::uint64_t rate_epoch = 0;
 
   void set_rate(double r) {
     if (has_pending) {
@@ -200,6 +205,7 @@ struct GenericDriver {
       has_pending = false;
     }
     rate = r;
+    BLADE_OBS_EVENT(EpochMark, rate_epoch++, engine.now(), r, 0.0);
     schedule_next();
   }
 
@@ -235,7 +241,12 @@ struct GenericDriver {
         sim::Task task;
         task.cls = sim::TaskClass::Generic;
         task.work = work.sample(arrivals);
-        servers[table->sample(routing.uniform(), routing.uniform())]->arrive(task);
+        const std::size_t dest = table->sample(routing.uniform(), routing.uniform());
+        ++dispatches;
+        if (dispatch_sample > 0 && dispatches % dispatch_sample == 0) {
+          BLADE_OBS_EVENT(Dispatch, dest, t, dispatches, 0.0);
+        }
+        servers[dest]->arrive(task);
       }
     }
     schedule_next();
@@ -243,11 +254,17 @@ struct GenericDriver {
 };
 
 ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& cfg,
-                         const ReplayTrace& trace, FaultInjector* chaos, double warmup,
-                         double service_scv) {
+                         const ReplayTrace& trace, const ReplayOptions& options) {
   trace.validate(cluster.size());
+  FaultInjector* chaos = options.chaos;
+  const double warmup = options.warmup;
+  const double service_scv = options.service_scv;
   if (!(warmup >= 0.0) || warmup >= trace.horizon) {
     throw std::invalid_argument("replay: warmup must be in [0, horizon)");
+  }
+  const bool slo_enabled = options.slo.any_enabled();
+  if (slo_enabled && options.slo_epochs < 1) {
+    throw std::invalid_argument("replay: slo_epochs must be >= 1");
   }
 
   sim::Engine engine;
@@ -290,6 +307,7 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
                        sim::RngStream(trace.seed, 1000033),
                        sim::RngStream(trace.seed, 1000019),
                        chaos};
+  driver.dispatch_sample = options.dispatch_sample;
 
   // Failure/recovery events mutate the simulated blades first, then tell
   // the controller, which re-solves and republishes at the same instant.
@@ -320,10 +338,70 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
     }
   });
 
+  ReplayResult result;
+
+  // SLO epoch evaluation: split the horizon into slo_epochs windows and
+  // feed each to the burn-rate monitors. Cumulative collector/controller
+  // counters are differenced at the boundaries, so per-epoch means cost
+  // O(1) regardless of sample volume.
+  std::optional<obs::SloSet> slo_set;
+  struct SloCursor {
+    double response_sum = 0.0;
+    std::uint64_t response_count = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t resolves = 0;
+    double resolve_seconds = 0.0;
+  };
+  SloCursor cursor;
+  if (slo_enabled) {
+    obs::SloTargets targets = options.slo;
+    const double epoch_len = trace.horizon / static_cast<double>(options.slo_epochs);
+    if (!(targets.window > 0.0)) targets.window = 4.0 * epoch_len;
+    targets.validate();
+    slo_set.emplace(targets);
+    for (int k = 1; k <= options.slo_epochs; ++k) {
+      const double t1 = (k == options.slo_epochs) ? trace.horizon
+                                                  : epoch_len * static_cast<double>(k);
+      engine.schedule_at(t1, [&, k, t1, epoch_len] {
+        const auto& gen = collector.generic();
+        const ControllerStats now = controller.stats();
+        obs::SloEpoch epoch;
+        epoch.index = k;
+        epoch.total = options.slo_epochs;
+        epoch.t0 = t1 - epoch_len;
+        epoch.t1 = t1;
+        epoch.response_samples = gen.count() - cursor.response_count;
+        epoch.mean_response =
+            epoch.response_samples > 0
+                ? (gen.sum() - cursor.response_sum) / static_cast<double>(epoch.response_samples)
+                : 0.0;
+        const std::uint64_t offered =
+            (now.admitted - cursor.admitted) + (now.shed - cursor.shed);
+        epoch.shed_fraction =
+            offered > 0 ? static_cast<double>(now.shed - cursor.shed) /
+                              static_cast<double>(offered)
+                        : 0.0;
+        epoch.resolves = now.resolves - cursor.resolves;
+        epoch.resolve_seconds_mean =
+            epoch.resolves > 0 ? (now.resolve_seconds_total - cursor.resolve_seconds) /
+                                     static_cast<double>(epoch.resolves)
+                               : 0.0;
+        epoch.staleness = controller.lkg_age(t1);
+        cursor.response_sum = gen.sum();
+        cursor.response_count = gen.count();
+        cursor.admitted = now.admitted;
+        cursor.shed = now.shed;
+        cursor.resolves = now.resolves;
+        cursor.resolve_seconds = now.resolve_seconds_total;
+        result.slo.push_back(slo_set->observe(epoch));
+      });
+    }
+  }
+
   for (auto& src : sources) src->start();
   engine.run_until(trace.horizon);
 
-  ReplayResult result;
   result.stats = controller.stats();
   result.shed_fraction = result.stats.shed_fraction();
   result.final_shed_probability = controller.shed_probability();
@@ -342,6 +420,7 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
     obs.preemptions = s->preemptions();
     result.sim.servers.push_back(obs);
   }
+  if (slo_set) result.slo_breaches = slo_set->total_breaches();
   return result;
 }
 
@@ -349,13 +428,25 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
 
 ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
                     const ReplayTrace& trace, double warmup, double service_scv) {
-  return replay_impl(cluster, cfg, trace, nullptr, warmup, service_scv);
+  ReplayOptions options;
+  options.warmup = warmup;
+  options.service_scv = service_scv;
+  return replay_impl(cluster, cfg, trace, options);
+}
+
+ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
+                    const ReplayTrace& trace, const ReplayOptions& options) {
+  return replay_impl(cluster, cfg, trace, options);
 }
 
 ReplayResult replay_chaotic(const model::Cluster& cluster, const ControllerConfig& cfg,
                             const ReplayTrace& trace, FaultInjector& chaos, double warmup,
                             double service_scv) {
-  return replay_impl(cluster, cfg, trace, &chaos, warmup, service_scv);
+  ReplayOptions options;
+  options.warmup = warmup;
+  options.service_scv = service_scv;
+  options.chaos = &chaos;
+  return replay_impl(cluster, cfg, trace, options);
 }
 
 }  // namespace blade::runtime

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "model/cluster.hpp"
+#include "obs/slo.hpp"
 #include "runtime/controller.hpp"
 #include "sim/simulation.hpp"
 #include "util/status.hpp"
@@ -71,6 +72,23 @@ struct ReplayTrace {
 /// fully lost at horizon/3 and recovered at 2*horizon/3.
 [[nodiscard]] ReplayTrace reference_failure_trace(const model::Cluster& cluster, double horizon);
 
+/// Optional knobs for replay() beyond the trace itself.
+struct ReplayOptions {
+  double warmup = 0.0;
+  double service_scv = 1.0;
+  /// Fault injection in the loop (see replay_chaotic); nullptr = none.
+  FaultInjector* chaos = nullptr;
+  /// SLO objectives; when any target is enabled the horizon is split
+  /// into `slo_epochs` windows, each evaluated through an obs::SloSet
+  /// (targets.window left 0 derives 4 epoch lengths).
+  obs::SloTargets slo;
+  int slo_epochs = 12;
+  /// Record every Nth generic dispatch as a flight-recorder Dispatch
+  /// event (0 disables). Sampled so control-plane events are not buried
+  /// by data-plane volume in a wrapped ring.
+  std::uint64_t dispatch_sample = 256;
+};
+
 struct ReplayResult {
   ControllerStats stats;                ///< controller counters at the end
   double shed_fraction = 0.0;           ///< stats.shed_fraction() shortcut
@@ -78,6 +96,9 @@ struct ReplayResult {
   std::vector<double> final_fractions;  ///< published routing fractions
   Mode final_mode = Mode::Fallback;     ///< degraded-mode state at horizon
   sim::SimResult sim;                   ///< measured response times etc.
+  /// Per-epoch SLO evaluations (empty when no SLO target was enabled).
+  std::vector<obs::SloEpochStatus> slo;
+  std::uint64_t slo_breaches = 0;       ///< total objective breaches
 };
 
 /// Replays `trace` against a fresh Controller wired to simulated servers:
@@ -88,6 +109,10 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
                                   const ReplayTrace& trace, double warmup = 0.0,
                                   double service_scv = 1.0);
+
+/// Full-options replay: chaos, SLO epoch evaluation, dispatch sampling.
+[[nodiscard]] ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
+                                  const ReplayTrace& trace, const ReplayOptions& options);
 
 /// replay() with a FaultInjector in the loop: observations pass through
 /// chaos.corrupt_observation before reaching the controller (drops,

@@ -265,4 +265,92 @@ TEST_F(CliDriver, VerboseFlagStillReturnsTheReport) {
   EXPECT_EQ(quiet, loud);
 }
 
+TEST_F(CliDriver, MetricsOutDashAppendsToReport) {
+  const auto out = cli::run_cli({"optimize", path_, "8.0", "--metrics-out", "-"});
+  EXPECT_NE(out.find("minimized T'"), std::string::npos);
+  // The JSON rendering rides the report itself instead of a file.
+  const std::size_t json_at = out.find("{\"build\":");
+  ASSERT_NE(json_at, std::string::npos);
+  const auto doc = util::parse_json(out.substr(json_at));
+  EXPECT_EQ(doc.at("build").at("obs").boolean, obs::build_info().obs_enabled);
+}
+
+class CliServeReplay : public CliDriver {
+ protected:
+  void SetUp() override {
+    CliDriver::SetUp();
+    trace_path_ = ::testing::TempDir() + "cli_serve.trace";
+    std::ofstream(trace_path_) << "horizon 300\nseed 7\nrate 0 4.0\nrate 100 7.0\n"
+                                  "fail 150 2\nrecover 200 2\n";
+  }
+  void TearDown() override {
+    std::remove(trace_path_.c_str());
+    CliDriver::TearDown();
+  }
+  std::string trace_path_;
+};
+
+TEST_F(CliServeReplay, SloTargetPrintsEpochLinesAndSummary) {
+  const auto out = cli::run_cli({"serve-replay", path_, trace_path_, "--chaos-profile", "none",
+                                 "--slo-target", "5.0", "--slo-epochs", "4"});
+  std::size_t epoch_lines = 0;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("slo epoch ", 0) == 0) ++epoch_lines;
+  }
+  EXPECT_EQ(epoch_lines, 4u);
+  EXPECT_NE(out.find("slo epoch 1/4"), std::string::npos);
+  EXPECT_NE(out.find("objective breach"), std::string::npos);
+}
+
+TEST_F(CliServeReplay, RecorderOutWritesJsonlDump) {
+  const std::string dump_path = ::testing::TempDir() + "cli_serve.jsonl";
+  const auto out = cli::run_cli({"serve-replay", path_, trace_path_, "--chaos-profile", "none",
+                                 "--recorder-out", dump_path, "--recorder-capacity", "2048"});
+  EXPECT_NE(out.find("flight recorder"), std::string::npos);
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto doc = util::parse_json(header);
+  EXPECT_EQ(doc.at("schema").string, "blade.recorder.v1");
+  std::size_t events = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    (void)util::parse_json(line);  // every event line is valid JSON
+    ++events;
+  }
+  if (obs::build_info().obs_enabled) {
+    // The controller publishes at least once per rate epoch, so an
+    // instrumented build always captures events.
+    EXPECT_GT(events, 0u);
+  }
+  std::remove(dump_path.c_str());
+}
+
+TEST_F(CliServeReplay, RecorderOutJsonWritesChromeTrace) {
+  const std::string dump_path = ::testing::TempDir() + "cli_serve_trace.json";
+  (void)cli::run_cli({"serve-replay", path_, trace_path_, "--chaos-profile", "none",
+                      "--recorder-out", dump_path});
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = util::parse_json(buf.str());
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  // Track metadata is always present; in instrumented builds the solves
+  // and mode transitions ride the same array.
+  EXPECT_FALSE(doc.at("traceEvents").array.empty());
+  std::remove(dump_path.c_str());
+}
+
+TEST_F(CliServeReplay, SloFlagValidation) {
+  EXPECT_THROW((void)cli::run_cli({"serve-replay", path_, trace_path_, "--slo-target", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cli::run_cli({"serve-replay", path_, trace_path_, "--slo-epochs", "0"}),
+               std::invalid_argument);
+}
+
 }  // namespace

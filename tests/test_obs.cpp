@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -216,6 +218,61 @@ TEST_F(ObsTest, PrometheusExportExposesAllKinds) {
   EXPECT_NE(text.find("blade_obs_test_prom_hist_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("blade_obs_test_prom_hist_sum 8.25"), std::string::npos);
   EXPECT_NE(text.find("blade_obs_test_prom_hist_count 2"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusRoundTripIsWellFormed) {
+  // Exercise the lossy-sanitization corner deliberately: "a.b" and
+  // "a/b" both map to blade_..._a_b, so the exporter must dedupe.
+  obs::Registry& r = obs::registry();
+  r.add(r.intern("obs_test.rt.a.b", obs::Kind::Counter), 3);
+  r.add(r.intern("obs_test.rt.a/b", obs::Kind::Counter), 5);
+  r.set(r.intern("obs_test.rt/slash-gauge", obs::Kind::Gauge), 2.5);
+  const std::string text = obs::to_prometheus(r.snapshot());
+
+  // Every family gets # HELP (carrying the original dotted name) and
+  // # TYPE; every sample line uses only [a-zA-Z0-9_] names.
+  EXPECT_NE(text.find("# HELP blade_obs_test_rt_slash_gauge obs_test.rt/slash-gauge (gauge)"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE blade_obs_test_rt_slash_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("blade_obs_test_rt_slash_gauge 2.5"), std::string::npos);
+
+  std::set<std::string> families;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t help_lines = 0;
+  std::size_t type_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      ++help_lines;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_lines;
+      const std::string family = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(families.insert(family).second) << "duplicate family " << family;
+      continue;
+    }
+    if (line[0] == '#') continue;  // attribution comment
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    EXPECT_FALSE(name.empty());
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      EXPECT_TRUE(ok) << "invalid char '" << c << "' in metric name " << name;
+    }
+  }
+  EXPECT_EQ(help_lines, type_lines);
+
+  // The colliding counters survived as distinct families with both
+  // readings present.
+  EXPECT_NE(text.find("blade_obs_test_rt_a_b_total "), std::string::npos);
+  EXPECT_NE(text.find("blade_obs_test_rt_a_b_2_total "), std::string::npos);
+  const bool both = text.find("_a_b_total 3") != std::string::npos
+                        ? text.find("_a_b_2_total 5") != std::string::npos
+                        : text.find("_a_b_total 5") != std::string::npos &&
+                              text.find("_a_b_2_total 3") != std::string::npos;
+  EXPECT_TRUE(both);
 }
 
 TEST_F(ObsTest, CsvExportParsesBack) {

@@ -16,6 +16,7 @@
 #include "model/cluster.hpp"
 #include "numerics/roots.hpp"
 #include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/chaos.hpp"
 #include "runtime/controller.hpp"
 #include "runtime/estimator.hpp"
@@ -628,7 +629,7 @@ void check_chaos_invariants(const ChaosHarness& h, std::uint64_t seed, int step)
   }
 }
 
-void run_chaos_sequence(std::uint64_t seed) {
+void run_chaos_sequence(std::uint64_t seed, std::uint64_t* mode_transitions_out = nullptr) {
   sim::RngStream rng(seed, 13);
   static const char* kProfiles[] = {"light", "moderate", "heavy"};
   runtime::FaultInjector chaos(seed,
@@ -731,6 +732,8 @@ void run_chaos_sequence(std::uint64_t seed) {
   for (std::size_t i = 0; i < f.size(); ++i) {
     ASSERT_NEAR(f[i], sol.rates[i] / h.ctrl.last_solved_lambda(), 1e-2) << "seed " << seed;
   }
+
+  if (mode_transitions_out != nullptr) *mode_transitions_out += h.ctrl.stats().mode_transitions;
 }
 
 TEST(ChaosBattery, SeededFaultSequences) {
@@ -787,6 +790,99 @@ TEST(ChaosBattery, ContainmentCountersAreObservable) {
   obs::registry().flush_this_thread();
   EXPECT_EQ(counter("runtime.solver_failures"), failures_before + 1);
   EXPECT_EQ(counter("runtime.fallback_lkg"), lkg_before + 1);
+}
+
+// Acceptance bar: every degraded-mode transition across the 300-seed
+// corpus must auto-dump the flight recorder, and the dump's timeline has
+// to explain the transition — a trigger event (resolve trigger, failed
+// solve, blade failure, watchdog trip, or chaos injection) recorded
+// BEFORE the mode-transition event it caused.
+TEST(ChaosBattery, EveryDegradedTransitionAutoDumpsWithCausalPrefix) {
+  auto& rec = obs::recorder();
+  rec.set_capacity(512);
+  rec.reset();
+
+  struct SinkTally {
+    std::uint64_t mode_dumps = 0;      ///< auto-dumps with a "mode:" reason
+    std::uint64_t other_dumps = 0;     ///< watchdog or other auto-dump reasons
+    std::uint64_t degraded_dumps = 0;  ///< mode:fallback / mode:blackout
+    std::uint64_t missing_transition = 0;
+    std::uint64_t empty_prefix = 0;
+    std::uint64_t missing_trigger = 0;
+  } tally;
+  std::string first_bad_reason;
+  rec.set_dump_sink([&](const obs::Dump& d) {
+    if (d.reason.rfind("mode:", 0) != 0) {
+      ++tally.other_dumps;
+      return;
+    }
+    ++tally.mode_dumps;
+    if (d.reason != "mode:fallback" && d.reason != "mode:blackout") return;
+    ++tally.degraded_dumps;
+
+    // The transition that fired this dump is the newest ModeTransition in
+    // the merged timeline; everything before it is the causal prefix.
+    const auto events = d.merged();
+    std::size_t ti = events.size();
+    for (std::size_t i = events.size(); i-- > 0;) {
+      if (events[i].type == obs::EventType::ModeTransition) {
+        ti = i;
+        break;
+      }
+    }
+    if (ti == events.size()) {
+      ++tally.missing_transition;
+      if (first_bad_reason.empty()) first_bad_reason = d.reason + " (no transition)";
+      return;
+    }
+    if (ti == 0) {
+      ++tally.empty_prefix;
+      if (first_bad_reason.empty()) first_bad_reason = d.reason + " (empty prefix)";
+      return;
+    }
+    bool trigger = false;
+    for (std::size_t i = 0; i < ti && !trigger; ++i) {
+      switch (events[i].type) {
+        case obs::EventType::ResolveTrigger:
+        case obs::EventType::SolveEnd:
+        case obs::EventType::BladeFail:
+        case obs::EventType::BladeRecover:
+        case obs::EventType::WatchdogTrip:
+        case obs::EventType::ChaosInject:
+          trigger = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!trigger) {
+      ++tally.missing_trigger;
+      if (first_bad_reason.empty()) first_bad_reason = d.reason + " (no trigger event)";
+    }
+  });
+
+  const std::uint64_t dumps_before = rec.auto_dumps();
+  std::uint64_t transitions = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) run_chaos_sequence(seed, &transitions);
+  rec.set_dump_sink(nullptr);
+
+  // One auto-dump per mode transition — no transition escapes the
+  // recorder, and nothing dumps twice.
+  EXPECT_EQ(rec.auto_dumps() - dumps_before, tally.mode_dumps + tally.other_dumps);
+  EXPECT_EQ(tally.mode_dumps, transitions);
+  EXPECT_GT(transitions, 0u);
+  // The corpus genuinely exercises degradation, and every degraded dump
+  // carries an explanatory causal prefix.
+  EXPECT_GT(tally.degraded_dumps, 0u);
+  EXPECT_EQ(tally.missing_transition, 0u) << first_bad_reason;
+  EXPECT_EQ(tally.empty_prefix, 0u) << first_bad_reason;
+  EXPECT_EQ(tally.missing_trigger, 0u) << first_bad_reason;
+
+  // Persist the corpus tail for the CI artifact upload (chaos jobs attach
+  // RECORDER_*.jsonl from the build tree).
+  obs::write_dump_file(rec.dump("chaos_battery"), "RECORDER_chaos_battery.jsonl");
+  rec.set_capacity(4096);
+  rec.reset();
 }
 #endif
 

@@ -4,9 +4,17 @@
 // the derived readings, and a one-line summary per series.
 //
 //   obs_report BENCH_bench_optimizer_perf.json [more.json ...]
+//   obs_report --diff A.json B.json
+//
+// --diff prints the two exports side by side with a B/A ratio column,
+// for before/after comparisons of the same workload.
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -107,12 +115,93 @@ int report(const std::string& path) {
   return 0;
 }
 
+/// One metric's headline reading for the diff table: counters compare
+/// counts, gauges values, histograms/timers means.
+struct DiffCell {
+  std::string kind;
+  std::optional<double> value;
+};
+
+std::optional<std::map<std::string, DiffCell>> load_cells(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "obs_report: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc;
+  try {
+    doc = blade::util::parse_json(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "obs_report: " << path << ": " << e.what() << '\n';
+    return std::nullopt;
+  }
+  std::map<std::string, DiffCell> cells;
+  if (const JsonValue* ms = doc.find("metrics")) {
+    for (const JsonValue& m : ms->array) {
+      const JsonValue* name = m.find("name");
+      const JsonValue* kind = m.find("kind");
+      if (name == nullptr || kind == nullptr) continue;
+      DiffCell cell;
+      cell.kind = kind->string;
+      const char* key = cell.kind == "gauge" ? "value"
+                        : cell.kind == "counter" ? "count"
+                                                 : "mean";
+      if (const JsonValue* v = m.find(key); v != nullptr && v->type == JsonValue::Type::Number) {
+        cell.value = v->number;
+      }
+      cells.emplace(name->string, std::move(cell));
+    }
+  }
+  return cells;
+}
+
+int diff(const std::string& path_a, const std::string& path_b) {
+  const auto a = load_cells(path_a);
+  const auto b = load_cells(path_b);
+  if (!a || !b) return 1;
+
+  std::map<std::string, std::pair<const DiffCell*, const DiffCell*>> rows;
+  for (const auto& [name, cell] : *a) rows[name].first = &cell;
+  for (const auto& [name, cell] : *b) rows[name].second = &cell;
+
+  std::cout << "A = " << path_a << "\nB = " << path_b << "\n\n";
+  blade::util::Table t({"metric", "kind", "A", "B", "B/A"});
+  t.set_align(0, blade::util::Align::Left);
+  t.set_align(1, blade::util::Align::Left);
+  for (const auto& [name, cells] : rows) {
+    const DiffCell* ca = cells.first;
+    const DiffCell* cb = cells.second;
+    const std::string kind = ca != nullptr ? ca->kind : cb->kind;
+    std::string va = "--";
+    std::string vb = "--";
+    std::string ratio = "--";
+    if (ca != nullptr && ca->value) va = sig(*ca->value);
+    if (cb != nullptr && cb->value) vb = sig(*cb->value);
+    if (ca != nullptr && cb != nullptr && ca->value && cb->value && *ca->value != 0.0) {
+      ratio = sig(*cb->value / *ca->value);
+    }
+    t.add_row({name, kind, va, vb, ratio});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
+    if (argc != 4) {
+      std::cerr << "usage: obs_report --diff A.json B.json\n";
+      return 2;
+    }
+    return diff(argv[2], argv[3]);
+  }
   if (argc < 2) {
     std::cerr << "usage: obs_report <metrics.json> [more.json ...]\n"
-                 "pretty-prints a --metrics-out or BENCH_*.json export\n";
+                 "       obs_report --diff A.json B.json\n"
+                 "pretty-prints (or compares) --metrics-out / BENCH_*.json exports\n";
     return 2;
   }
   int rc = 0;
