@@ -1,0 +1,132 @@
+// Data-plane throughput bench: DispatchShard routing against a LIVE
+// controller — a real control thread keeps re-solving and republishing
+// the alias table for the whole measurement, so every snapshot refresh
+// the shards pay is contended the way production dispatch is. Variants:
+//
+//   BM_DispatchShardRoute/threads:1   single shard, per-task route()
+//   BM_DispatchShardRoute/threads:4   K shards, one per bench thread
+//   BM_DispatchShardSampleN           batched sample_n() amortization
+//
+// Runs through bench_obs_main, so an instrumented build exports
+// BENCH_bench_dispatch_throughput.json carrying runtime.shard.routed and
+// the per-thread wall-clock timer runtime.shard.bench.route_seconds. CI
+// gates the floor
+//   runtime.shard.routed / runtime.shard.bench.route_seconds:sum >= 0.4x baseline
+// (the baseline ratio is tens of millions of routed tasks per
+// core-second — the >= 1M/s/core acceptance line with a wide margin for
+// shared runners) and the ceiling runtime.shard.refreshes per
+// runtime.shard.routed, which catches a broken refresh amortization.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/paper_configs.hpp"
+#include "obs/obs.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/dispatch_shard.hpp"
+
+namespace {
+
+using namespace blade;
+
+// A controller with its control thread re-solving and republishing every
+// few hundred microseconds. Refcounted singleton: the first bench thread
+// in, across all registered benchmarks, starts the publisher; the last
+// one out joins it. Controller ingestion is single-threaded by contract,
+// so the publisher thread is the ONLY caller of resolve_now; bench
+// threads touch the controller exclusively through DispatchShard's
+// weights() reads.
+class LiveEnv {
+ public:
+  static std::shared_ptr<LiveEnv> acquire() {
+    static std::mutex mu;
+    static std::weak_ptr<LiveEnv> live;
+    const std::lock_guard<std::mutex> lock(mu);
+    std::shared_ptr<LiveEnv> env = live.lock();
+    if (!env) {
+      env = std::shared_ptr<LiveEnv>(new LiveEnv());
+      live = env;
+    }
+    return env;
+  }
+
+  ~LiveEnv() {
+    stop_.store(true, std::memory_order_relaxed);
+    publisher_.join();
+  }
+
+  [[nodiscard]] const runtime::Controller& controller() const noexcept { return *ctrl_; }
+
+ private:
+  LiveEnv()
+      : cluster_(model::paper_example_cluster()) {
+    runtime::ControllerConfig cfg;
+    cfg.half_life = 2.0;
+    cfg.initial_lambda = model::paper_example_lambda();
+    ctrl_ = std::make_unique<runtime::Controller>(cluster_, cfg);
+    publisher_ = std::thread([this] {
+      double t = 0.0;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        ctrl_->resolve_now(t += 1.0);  // full solve + table publication
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  model::Cluster cluster_;
+  std::unique_ptr<runtime::Controller> ctrl_;
+  std::atomic<bool> stop_{false};
+  std::thread publisher_;
+};
+
+// Per-task route() with a live publisher. Each bench thread owns one
+// shard seeded on its thread index; the per-thread scoped timer sums
+// thread wall-seconds into runtime.shard.bench.route_seconds, making
+// routed/sum a per-core throughput no matter the thread count.
+void BM_DispatchShardRoute(benchmark::State& state) {
+  const std::shared_ptr<LiveEnv> env = LiveEnv::acquire();
+  runtime::DispatchShardConfig cfg;
+  cfg.seed = 42;
+  cfg.stream = static_cast<std::uint64_t>(state.thread_index());
+  runtime::DispatchShard shard(env->controller(), cfg);
+  {
+    BLADE_OBS_TIMER("runtime.shard.bench.route_seconds");
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(shard.route());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DispatchShardRoute)->Threads(1)->Threads(4);
+
+// Batched routing: sample_n hoists snapshot acquisition and refresh
+// bookkeeping out of the per-task path. Same draws as route(), so the
+// delta over BM_DispatchShardRoute/threads:1 is pure batching.
+void BM_DispatchShardSampleN(benchmark::State& state) {
+  const std::shared_ptr<LiveEnv> env = LiveEnv::acquire();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  runtime::DispatchShardConfig cfg;
+  cfg.seed = 42;
+  runtime::DispatchShard shard(env->controller(), cfg);
+  std::vector<std::size_t> out(batch);
+  {
+    BLADE_OBS_TIMER("runtime.shard.bench.route_seconds");
+    for (auto _ : state) {
+      shard.sample_n(out);
+      benchmark::DoNotOptimize(out.data());
+      benchmark::ClobberMemory();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_DispatchShardSampleN)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "cli/bench_gate.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace blade::cli {
+
+namespace {
+
+using blade::util::JsonValue;
+
+bool load_json(const std::string& path, JsonValue& doc, std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "bench_check: cannot open '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    doc = blade::util::parse_json(buf.str());
+  } catch (const std::exception& e) {
+    err << "bench_check: " << path << ": " << e.what() << '\n';
+    return false;
+  }
+  return true;
+}
+
+/// Value of a `name[:field]` metric spec; -1 when absent. `field`
+/// defaults to "count", and may be any numeric key of the metric record
+/// (timers export "count", "sum", "mean", quantiles, ...).
+double counter_total(const JsonValue& doc, const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string field = colon == std::string::npos ? "count" : spec.substr(colon + 1);
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr) return -1.0;
+  for (const JsonValue& m : metrics->array) {
+    const JsonValue* n = m.find("name");
+    if (n == nullptr || n->string != name) continue;
+    if (const JsonValue* v = m.find(field)) return v->number;
+    return -1.0;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int run_bench_check(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  std::size_t arg0 = 0;
+  bool min_ratio = false;
+  if (!args.empty() && args[0] == "--min-ratio") {
+    min_ratio = true;
+    arg0 = 1;
+  }
+  if (args.size() - arg0 != 5) {
+    err << "usage: bench_check [--min-ratio] <baseline.json> <current.json> "
+           "<numerator-counter> <denominator-counter> <factor>\n";
+    return 2;
+  }
+  JsonValue baseline;
+  JsonValue current;
+  if (!load_json(args[arg0], baseline, err) || !load_json(args[arg0 + 1], current, err)) return 2;
+  const std::string num_name = args[arg0 + 2];
+  const std::string den_name = args[arg0 + 3];
+  double factor = 0.0;
+  try {
+    factor = std::stod(args[arg0 + 4]);
+  } catch (const std::exception&) {
+    err << "bench_check: factor '" << args[arg0 + 4] << "' is not a number\n";
+    return 2;
+  }
+  if (!(factor > 0.0)) {
+    err << "bench_check: factor must be > 0\n";
+    return 2;
+  }
+
+  struct Ratio {
+    double num, den, value;
+  };
+  auto ratio_of = [&](const JsonValue& doc, const char* label, Ratio& r) {
+    r.num = counter_total(doc, num_name);
+    r.den = counter_total(doc, den_name);
+    if (r.num < 0.0 || r.den <= 0.0) {
+      err << "bench_check: " << label << " is missing counter '"
+          << (r.num < 0.0 ? num_name : den_name) << "' (was the bench built with "
+          << "BLADE_OBS=ON and run to completion?)\n";
+      return false;
+    }
+    r.value = r.num / r.den;
+    return true;
+  };
+  Ratio base{};
+  Ratio cur{};
+  if (!ratio_of(baseline, "baseline", base)) return 2;
+  if (!ratio_of(current, "current", cur)) return 1;
+
+  const double limit = factor * base.value;
+  out << num_name << " / " << den_name << ": baseline " << base.value << " (" << base.num << "/"
+      << base.den << "), current " << cur.value << " (" << cur.num << "/" << cur.den << "), "
+      << (min_ratio ? "floor " : "limit ") << limit << " (x" << factor << ")\n";
+  if (min_ratio ? cur.value < limit : cur.value > limit) {
+    err << "bench_check: FAIL: per-" << den_name << " " << num_name << " "
+        << (min_ratio ? "fell below" : "regressed beyond") << " x" << factor << " of baseline\n";
+    return 1;
+  }
+  out << "bench_check: OK\n";
+  return 0;
+}
+
+}  // namespace blade::cli

@@ -1,0 +1,157 @@
+#include "core/marginal_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace blade::opt {
+
+namespace {
+
+/// Chebyshev-extrema abscissae mapped to [0, hi]: x_k = hi sin^2(pi k /
+/// (2 N)). Knots cluster at both ends — the interesting ends: lambda1
+/// near 0 (where zero-rate servers are probed) and near saturation
+/// (where G and its derivatives blow up and equispaced Hermite fits
+/// shed accuracy fastest).
+std::vector<double> knots(double hi, std::size_t segments) {
+  std::vector<double> x(segments + 1);
+  for (std::size_t k = 0; k <= segments; ++k) {
+    const double s =
+        std::sin(std::numbers::pi * static_cast<double>(k) / (2.0 * static_cast<double>(segments)));
+    x[k] = hi * s * s;
+  }
+  x.front() = 0.0;
+  x.back() = hi;
+  return x;
+}
+
+}  // namespace
+
+MarginalSurrogate::MarginalSurrogate(const queue::BladeQueue& q, const Options& opt) {
+  if (opt.segments < 2) throw std::invalid_argument("MarginalSurrogate: segments must be >= 2");
+  if (opt.certify_samples < 1) {
+    throw std::invalid_argument("MarginalSurrogate: certify_samples must be >= 1");
+  }
+  if (!(opt.safety_factor >= 1.0)) {
+    throw std::invalid_argument("MarginalSurrogate: safety_factor must be >= 1");
+  }
+  if (!(opt.domain_margin > 0.0) || !(opt.domain_margin < 1.0)) {
+    throw std::invalid_argument("MarginalSurrogate: domain_margin must be in (0, 1)");
+  }
+  const double hi = (1.0 - opt.domain_margin) * q.max_generic_rate();
+  if (!(hi > 0.0)) throw std::invalid_argument("MarginalSurrogate: empty domain");
+
+  x_ = knots(hi, opt.segments);
+  g_.resize(x_.size());
+  dg_.resize(x_.size());
+  queue::batch_lagrange_marginal_with_derivative(q, x_, g_, dg_);
+
+  // Certification: probe every segment interior against the exact
+  // batched kernel; the published bound is the worst probe error times
+  // the safety factor (the honesty test sweeps a far denser grid).
+  const std::size_t probes_per_seg = opt.certify_samples;
+  std::vector<double> px;
+  px.reserve(opt.segments * probes_per_seg);
+  for (std::size_t seg = 0; seg < opt.segments; ++seg) {
+    const double a = x_[seg];
+    const double b = x_[seg + 1];
+    for (std::size_t s = 1; s <= probes_per_seg; ++s) {
+      const double t = static_cast<double>(s) / (static_cast<double>(probes_per_seg) + 1.0);
+      px.push_back(a + t * (b - a));
+    }
+  }
+  std::vector<double> exact(px.size());
+  queue::batch_lagrange_marginal(q, px, exact);
+  // The bound is certified PER SEGMENT: the fit error grows orders of
+  // magnitude toward saturation, and a single global bound would let the
+  // steep tail poison every evaluation at moderate load (where the
+  // surrogate is nearly exact). Floor per segment: even a probe-exact
+  // fit publishes a nonzero bound, so |spread - band| <= bound
+  // comparisons never work with a zero margin.
+  seg_bound_.assign(opt.segments, 0.0);
+  for (std::size_t seg = 0; seg < opt.segments; ++seg) {
+    double seg_err = 0.0;
+    for (std::size_t s = 0; s < probes_per_seg; ++s) {
+      const std::size_t i = seg * probes_per_seg + s;
+      seg_err = std::max(seg_err, std::abs(eval(px[i]) - exact[i]));
+    }
+    const double floor = 1e-12 * std::max(std::abs(g_[seg]), std::abs(g_[seg + 1]));
+    seg_bound_[seg] = std::max(opt.safety_factor * seg_err, floor);
+    bound_ = std::max(bound_, seg_bound_[seg]);
+  }
+  BLADE_OBS_COUNT("runtime.mcache.surrogate_builds");
+  BLADE_OBS_OBSERVE("runtime.mcache.certified_bound", bound_);
+}
+
+std::size_t MarginalSurrogate::segment_of(double lambda1) const {
+  // Binary search for the containing segment.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), lambda1);
+  std::size_t seg = static_cast<std::size_t>(it - x_.begin());
+  seg = seg == 0 ? 0 : seg - 1;
+  if (seg >= x_.size() - 1) seg = x_.size() - 2;
+  return seg;
+}
+
+double MarginalSurrogate::eval(double lambda1) const {
+  if (!in_domain(lambda1)) {
+    throw std::domain_error("MarginalSurrogate: lambda1 outside certified domain");
+  }
+  // Cubic Hermite basis on the containing segment.
+  const std::size_t seg = segment_of(lambda1);
+  const double h = x_[seg + 1] - x_[seg];
+  const double t = (lambda1 - x_[seg]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * g_[seg] + h10 * h * dg_[seg] + h01 * g_[seg + 1] + h11 * h * dg_[seg + 1];
+}
+
+MarginalSurrogate::Value MarginalSurrogate::eval_with_bound(double lambda1) const {
+  return Value{eval(lambda1), seg_bound_[segment_of(lambda1)]};
+}
+
+void MarginalCache::configure(std::vector<queue::BladeQueue> queues) {
+  invalidate();
+  queues_ = std::move(queues);
+  surrogates_.assign(queues_.size(), std::nullopt);
+  configured_ = true;
+}
+
+void MarginalCache::invalidate() noexcept {
+  if (!configured_) return;
+  configured_ = false;
+  queues_.clear();
+  surrogates_.clear();
+  ++stats_.invalidations;
+  BLADE_OBS_COUNT("runtime.mcache.invalidations");
+}
+
+std::optional<MarginalCache::Eval> MarginalCache::eval(std::size_t j, double lambda1) {
+  if (!configured_ || j >= queues_.size()) return std::nullopt;
+  if (!surrogates_[j].has_value()) {
+    surrogates_[j].emplace(queues_[j], opt_);
+    ++stats_.builds;
+  }
+  const MarginalSurrogate& s = *surrogates_[j];
+  if (!s.in_domain(lambda1)) {
+    ++stats_.out_of_domain;
+    BLADE_OBS_COUNT("runtime.mcache.out_of_domain");
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  const MarginalSurrogate::Value v = s.eval_with_bound(lambda1);
+  return Eval{v.g, v.bound};
+}
+
+void MarginalCache::exact(std::span<const double> lambda1s, std::span<double> g) const {
+  if (!configured_) throw std::logic_error("MarginalCache::exact: cache not configured");
+  queue::batch_lagrange_marginal(queues_, lambda1s, g);
+}
+
+}  // namespace blade::opt

@@ -1,0 +1,140 @@
+// Certified surrogate of the per-server Lagrange marginal curves
+//   G_i(lambda1) = T'_i + lambda1 dT'_i/dlambda1.
+//
+// The controller's drift check wants G_i at the currently-published
+// split on every check (every check_interval arrivals); evaluating the
+// exact kernel there costs an O(m) Erlang-B recurrence per server per
+// check. This cache fits, once per solve epoch, a C1 piecewise-cubic
+// Hermite spline through exact (G, dG) knots — Chebyshev-extrema spaced
+// so knots cluster where the curve stiffens toward saturation — and then
+// *certifies* the fit: the builder probes every segment against the
+// exact batched kernel and publishes
+//     bound(segment) = safety_factor * max_probe_error(segment)
+// per segment (plus the global max as error_bound()), honored on sweeps
+// far denser than the certification grid (test-enforced). The bound is
+// segment-local because the fit error grows orders of magnitude toward
+// saturation — a global bound would poison every evaluation at moderate
+// load where the surrogate is nearly exact. Drift checks evaluate the spline
+// and compare against the hysteresis band; only when the certified error
+// straddles the band does the check fall through to the exact batched
+// kernel (num::erlang_c_derivs_batch), and rates outside the certified
+// domain force a re-solve outright. Topology or parameter changes
+// invalidate the cache wholesale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "queueing/blade_queue.hpp"
+
+namespace blade::opt {
+
+/// One server's certified marginal-curve surrogate.
+class MarginalSurrogate {
+ public:
+  struct Options {
+    /// Spline segments over [0, hi]; knots are Chebyshev-extrema spaced.
+    std::size_t segments = 48;
+    /// Exact-kernel probes per segment used to certify the bound.
+    std::size_t certify_samples = 8;
+    /// Published bound = safety_factor * max certification error.
+    double safety_factor = 2.0;
+    /// Domain cap: hi = (1 - domain_margin) * max_generic_rate, keeping
+    /// the last knot clear of the rho -> 1 blowup (the exact kernel
+    /// throws past saturation anyway).
+    double domain_margin = 2e-2;
+  };
+
+  /// Builds and certifies the surrogate for `q` (two batched kernel
+  /// sweeps: knots with derivatives, then certification probes).
+  MarginalSurrogate(const queue::BladeQueue& q, const Options& opt);
+  explicit MarginalSurrogate(const queue::BladeQueue& q) : MarginalSurrogate(q, Options{}) {}
+
+  [[nodiscard]] double lo() const noexcept { return x_.front(); }
+  [[nodiscard]] double hi() const noexcept { return x_.back(); }
+  [[nodiscard]] bool in_domain(double lambda1) const noexcept {
+    return lambda1 >= lo() && lambda1 <= hi();
+  }
+
+  /// Certified bound on |eval(x) - G(x)| for every x in [lo, hi] (the
+  /// max of the per-segment bounds; evaluations report the local one).
+  [[nodiscard]] double error_bound() const noexcept { return bound_; }
+
+  /// Spline evaluation; precondition in_domain(lambda1) (throws
+  /// std::domain_error otherwise).
+  [[nodiscard]] double eval(double lambda1) const;
+
+  struct Value {
+    double g = 0.0;      ///< spline value
+    double bound = 0.0;  ///< certified error bound of the segment used
+  };
+
+  /// eval() plus the certified bound of the containing segment — the
+  /// tight, local error the drift check compares its band against.
+  [[nodiscard]] Value eval_with_bound(double lambda1) const;
+
+ private:
+  [[nodiscard]] std::size_t segment_of(double lambda1) const;
+
+  std::vector<double> x_;   ///< knots (ascending)
+  std::vector<double> g_;   ///< exact G at knots
+  std::vector<double> dg_;  ///< exact dG at knots
+  std::vector<double> seg_bound_;  ///< certified error per segment
+  double bound_ = 0.0;             ///< max over seg_bound_
+};
+
+/// Per-cluster cache of MarginalSurrogates keyed to one solve epoch.
+/// configure() pins the queue set (surviving topology + special
+/// preloads); surrogates build lazily per server on first eval, so only
+/// servers the drift check actually touches pay the build. invalidate()
+/// drops everything (topology/parameter change, new solve).
+class MarginalCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;           ///< spline evals served
+    std::uint64_t builds = 0;         ///< per-server surrogate builds
+    std::uint64_t invalidations = 0;  ///< whole-cache drops
+    std::uint64_t out_of_domain = 0;  ///< evals past the certified domain
+  };
+
+  explicit MarginalCache(MarginalSurrogate::Options opt = {}) : opt_(opt) {}
+
+  /// Pins the queue set for this epoch; drops any previous surrogates.
+  void configure(std::vector<queue::BladeQueue> queues);
+
+  /// Drops surrogates and the queue set; eval() refuses until the next
+  /// configure(). No-op (not counted) when already invalid.
+  void invalidate() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return configured_; }
+  [[nodiscard]] std::size_t size() const noexcept { return queues_.size(); }
+
+  struct Eval {
+    double g = 0.0;      ///< surrogate marginal value
+    double bound = 0.0;  ///< certified |g - exact| bound
+  };
+
+  /// Surrogate G_j(lambda1) with its certified bound; std::nullopt when
+  /// the cache is unconfigured or lambda1 leaves the certified domain
+  /// (callers must fall back to the exact kernel or force a re-solve).
+  [[nodiscard]] std::optional<Eval> eval(std::size_t j, double lambda1);
+
+  /// Exact marginals for the pinned queues at the given rates through
+  /// the batched kernel — the fallthrough path when the certified error
+  /// straddles the decision band. Requires valid().
+  void exact(std::span<const double> lambda1s, std::span<double> g) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  MarginalSurrogate::Options opt_;
+  bool configured_ = false;
+  std::vector<queue::BladeQueue> queues_;
+  std::vector<std::optional<MarginalSurrogate>> surrogates_;
+  Stats stats_;
+};
+
+}  // namespace blade::opt

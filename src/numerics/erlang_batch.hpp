@@ -1,0 +1,46 @@
+// SoA-batched Erlang kernels: one Erlang-B recurrence advanced across
+// many servers at once. The scalar kernels in erlang.hpp run the O(m)
+// recurrence once per (m, rho) pair; the solver's per-server marginal
+// sweeps, the surrogate-cache builds, and the controller's exact drift
+// fallthrough all evaluate the *same* recurrence over n independent
+// servers, so the loop is restructured as structure-of-arrays lanes:
+//
+//   for k = 1 .. max_i(m_i):
+//     for each lane i (vectorized):
+//       b_i = k <= m_i ? a_i b_i / (k + a_i b_i) : b_i
+//
+// Every lane performs exactly the scalar sequence of IEEE operations
+// (the select only freezes finished lanes), so each batched output is
+// bitwise identical to its scalar counterpart — the differential tests
+// pin this. Inputs are validated with the same predicates and messages
+// as the scalar kernels, and the obs counters advance by the batch size
+// so per-solve eval accounting stays comparable across paths.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "numerics/erlang.hpp"
+
+namespace blade::num {
+
+/// Lane block width of the batched recurrence (a full AVX-512 register
+/// of doubles; narrower ISAs just unroll). Tail batches are padded with
+/// inert (m = 0) lanes, so any n is legal.
+inline constexpr std::size_t kErlangBatchLanes = 8;
+
+/// Batched erlang_b: b[i] = erlang_b(m[i], a[i]) for every i, bitwise
+/// identical to the scalar calls. All spans must have equal length;
+/// validation (m >= 1, a finite and >= 0) matches the scalar kernel.
+void erlang_b_batch(std::span<const unsigned> m, std::span<const double> a,
+                    std::span<double> b);
+
+/// Batched erlang_c_derivs: {c,dc,d2c}[i] = erlang_c_derivs(m[i], rho[i])
+/// for every i from one lane-blocked recurrence sweep, bitwise identical
+/// to the scalar kernel (including the rho == 0 limits). All spans must
+/// have equal length; validation matches the scalar kernel.
+void erlang_c_derivs_batch(std::span<const unsigned> m, std::span<const double> rho,
+                           std::span<double> c, std::span<double> dc,
+                           std::span<double> d2c);
+
+}  // namespace blade::num

@@ -265,6 +265,7 @@ blade::Status Controller::restore_checkpoint(const std::string& json) {
   ewma_ = std::move(ewma);
   window_ = std::move(window);
   ws_.clear();  // cached brackets describe the pre-restore problem
+  mcache_.invalidate();  // fitted to the pre-restore epoch's queues
   last_error_ = Error{ErrorCode::Ok, {}};
   if (fractions.empty()) {
     shed_prob_.store(1.0, std::memory_order_relaxed);

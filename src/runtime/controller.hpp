@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/marginal_cache.hpp"
 #include "core/optimizer.hpp"
 #include "core/sharded.hpp"
 #include "model/cluster.hpp"
@@ -124,6 +125,18 @@ struct ControllerConfig {
   /// Per-cell top-k rate-matrix pruning for the sharded re-solve path;
   /// requires shard_cells > 0. 0 (default) keeps every server.
   std::size_t prune_top_k = 0;
+  /// Marginal-drift mode: the hysteresis check evaluates the per-server
+  /// Lagrange-marginal spread of the *published* split through the
+  /// certified surrogate cache (core/marginal_cache.hpp) instead of the
+  /// raw rate-estimate deltas — the re-solve trigger then fires on lost
+  /// optimality (unequal marginals) rather than on any estimator
+  /// movement. Falls through to the exact batched kernel only when the
+  /// certified error straddles drift_threshold; rates outside the
+  /// certified domain force a re-solve. OFF by default: the drift
+  /// *criterion* changes, so opting in is a policy decision.
+  bool marginal_drift = false;
+  /// Surrogate fit/certification knobs for marginal_drift mode.
+  opt::MarginalSurrogate::Options marginal_cache;
   opt::OptimizerOptions solver;
 
   /// Throws std::invalid_argument on out-of-domain fields.
@@ -148,6 +161,11 @@ struct ControllerStats {
   std::uint64_t injected_faults = 0;    ///< solver faults forced by arm_solver_fault
   std::uint64_t restores = 0;           ///< checkpoint restores applied
   std::uint64_t mode_transitions = 0;   ///< degraded-mode state changes
+
+  // Marginal-drift mode only (zero when marginal_drift is off):
+  std::uint64_t mcache_hits = 0;          ///< drift checks settled by the surrogate
+  std::uint64_t mcache_fallthroughs = 0;  ///< checks that needed the exact kernel
+  std::uint64_t mcache_out_of_domain = 0; ///< checks escalated: rate left the domain
 
   /// Wall-clock cost of re-solves (control-loop latency, fed to the SLO
   /// resolve_latency monitor): total seconds across all resolves and the
@@ -232,6 +250,11 @@ class Controller {
   /// the first estimate-driven solve).
   [[nodiscard]] double last_solved_lambda() const noexcept { return solved_lambda_; }
   [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+  /// Surrogate-cache internals (builds, invalidations, hits) for the
+  /// marginal_drift mode; all-zero when the mode is off.
+  [[nodiscard]] const opt::MarginalCache::Stats& marginal_cache_stats() const noexcept {
+    return mcache_.stats();
+  }
   [[nodiscard]] const model::Cluster& cluster() const noexcept { return cluster_; }
   [[nodiscard]] std::size_t size() const noexcept { return cluster_.size(); }
 
@@ -277,6 +300,13 @@ class Controller {
   [[nodiscard]] double capacity(std::size_t i) const;
   [[nodiscard]] double special_rate_for_solve(std::size_t i, double t) const;
   void check_drift(double t);
+  /// Marginal-drift criterion (cfg_.marginal_drift): surrogate-evaluated
+  /// marginal spread of the published split vs drift_threshold, exact
+  /// batched fallthrough inside the certified-error band. Returns true
+  /// when it decided the check (resolve or skip); false to fall back to
+  /// the estimate-based criterion (cache unusable, e.g. right after a
+  /// checkpoint restore with no solved special rates).
+  bool marginal_drift_check(double t, double lam);
   void resolve(double t);
   /// Validated publication: rejects any weight vector AliasTable would
   /// not accept (NaN/negative/all-zero) instead of publishing it.
@@ -317,6 +347,7 @@ class Controller {
 
   opt::SolverWorkspace ws_;
   opt::ShardedWorkspace sws_;  ///< warm state for the sharded re-solve path
+  opt::MarginalCache mcache_;  ///< certified marginal surrogates (marginal_drift)
   double solved_lambda_ = -1.0;
   std::vector<double> solved_special_;
   std::uint64_t arrivals_since_check_ = 0;

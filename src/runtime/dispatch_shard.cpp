@@ -1,0 +1,79 @@
+#include "runtime/dispatch_shard.hpp"
+
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "sim/rng.hpp"
+
+namespace blade::runtime {
+
+FastRng::FastRng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Same (seed, stream) decorrelation as sim::RngStream: fold the stream
+  // id into the seed through SplitMix64, then iterate it to fill the
+  // 256-bit state. SplitMix64 output is equidistributed, so an all-zero
+  // state (the one state xoshiro cannot leave) is unreachable in
+  // practice; guard anyway since it is cheap and the failure is silent.
+  std::uint64_t z = sim::splitmix64(seed ^ sim::splitmix64(stream));
+  for (std::uint64_t& s : s_) {
+    z = sim::splitmix64(z);
+    s = z;
+  }
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+void DispatchShardConfig::validate() const {
+  if (refresh_interval == 0) {
+    throw std::invalid_argument("dispatch_shard: refresh_interval must be >= 1");
+  }
+}
+
+DispatchShard::DispatchShard(const Controller& ctrl, DispatchShardConfig cfg)
+    : ctrl_(&ctrl), cfg_(cfg), rng_(cfg.seed, cfg.stream) {
+  cfg_.validate();
+}
+
+void DispatchShard::refresh() {
+  table_ = ctrl_->weights();
+  until_refresh_ = cfg_.refresh_interval;
+  ++refreshes_;
+  BLADE_OBS_COUNT("runtime.shard.refreshes");
+}
+
+std::size_t DispatchShard::route() {
+  if (until_refresh_ == 0) refresh();
+  --until_refresh_;
+  ++routed_;
+  BLADE_OBS_COUNT("runtime.shard.routed");
+  const util::AliasTable* t = table_.get();
+  if (t == nullptr) return npos;
+  const double u1 = rng_.uniform();
+  const double u2 = rng_.uniform();
+  return t->sample(u1, u2);
+}
+
+void DispatchShard::sample_n(std::span<std::size_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    if (until_refresh_ == 0) refresh();
+    // One snapshot covers the next `chunk` tasks; the per-task loop
+    // below touches only the raw table pointer and the RNG state.
+    std::size_t chunk = out.size() - done;
+    if (chunk > until_refresh_) chunk = static_cast<std::size_t>(until_refresh_);
+    until_refresh_ -= chunk;
+    const util::AliasTable* t = table_.get();
+    if (t == nullptr) {
+      for (std::size_t i = 0; i < chunk; ++i) out[done + i] = npos;
+    } else {
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const double u1 = rng_.uniform();
+        const double u2 = rng_.uniform();
+        out[done + i] = t->sample(u1, u2);
+      }
+    }
+    done += chunk;
+  }
+  routed_ += out.size();
+  BLADE_OBS_COUNT_N("runtime.shard.routed", out.size());
+}
+
+}  // namespace blade::runtime

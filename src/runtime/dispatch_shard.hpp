@@ -1,0 +1,127 @@
+// Per-thread dispatch sharding: the data-plane half of the controller's
+// atomic weight publication. The control plane publishes an AliasTable
+// snapshot through Controller::weights() (a refcount bump under a
+// micro-spinlock); paying that acquisition per routed task caps
+// throughput long before the O(1) alias draw does. A DispatchShard is
+// the per-thread routing state — an owned table snapshot, a counter
+// until the next refresh, and a dedicated xoshiro256++ stream — so the
+// steady-state route() is: two RNG draws, one fused 16-byte bucket
+// probe, no shared-memory traffic. K dispatcher threads hold K
+// independent shards over one controller and scale linearly (the same
+// per-thread-cell idiom as src/obs's metric cells).
+//
+// Determinism contract: the routed sequence of a shard is a pure
+// function of (seed, stream, refresh_interval, and the sequence of
+// tables its refresh points observe). With a quiescent control plane the
+// sequence is exactly reproducible across runs and layouts — the pinned
+// regression tests fix it bitwise — and sample_n(B) draws are identical
+// to B successive route() calls.
+//
+// Threading contract: a shard belongs to ONE dispatch thread; none of
+// its members are synchronized. All cross-thread traffic goes through
+// Controller::weights()/shed at refresh points, which are any-thread
+// safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "runtime/controller.hpp"
+#include "util/alias_table.hpp"
+
+namespace blade::runtime {
+
+/// xoshiro256++ with SplitMix64 stream seeding: ~1 ns per draw, one
+/// 256-bit state per shard, no heap. Decorrelated streams come from
+/// seeding SplitMix64 with (seed, stream) exactly like sim::RngStream
+/// derives its engines, so per-thread sequences are independent.
+class FastRng {
+ public:
+  explicit FastRng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): the high 53 bits of one draw.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+struct DispatchShardConfig {
+  std::uint64_t seed = 0;
+  /// Stream id, typically the dispatch thread index: distinct streams
+  /// over one seed are decorrelated.
+  std::uint64_t stream = 0;
+  /// route() calls served from one snapshot before re-reading
+  /// Controller::weights(). Bounds staleness in *tasks* (a republished
+  /// table steers this shard within refresh_interval draws) and
+  /// amortizes the slot acquisition to 1/refresh_interval per task.
+  std::uint64_t refresh_interval = 64;
+
+  void validate() const;
+};
+
+class DispatchShard {
+ public:
+  /// Returned by route() when nothing is publishable (blackout): every
+  /// blade down, the controller's table is null.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The controller must outlive the shard.
+  DispatchShard(const Controller& ctrl, DispatchShardConfig cfg);
+
+  /// Destination server index for one task (npos during blackout).
+  [[nodiscard]] std::size_t route();
+
+  /// Batched routing: fills `out` with one destination per task,
+  /// identical to out.size() successive route() calls (same RNG draw
+  /// order, same refresh points), but hoists the snapshot pointer and
+  /// refresh bookkeeping out of the per-task path.
+  void sample_n(std::span<std::size_t> out);
+
+  /// Forces the next route() to observe the current published table.
+  void invalidate_snapshot() noexcept { until_refresh_ = 0; }
+
+  /// The snapshot currently being routed from (null during blackout or
+  /// before the first route()).
+  [[nodiscard]] const std::shared_ptr<const util::AliasTable>& snapshot() const noexcept {
+    return table_;
+  }
+
+  [[nodiscard]] const DispatchShardConfig& config() const noexcept { return cfg_; }
+  /// Tasks routed (including npos blackout answers) since construction.
+  [[nodiscard]] std::uint64_t routed() const noexcept { return routed_; }
+  /// Snapshot refreshes performed since construction.
+  [[nodiscard]] std::uint64_t refreshes() const noexcept { return refreshes_; }
+
+ private:
+  void refresh();
+
+  const Controller* ctrl_;
+  DispatchShardConfig cfg_;
+  std::shared_ptr<const util::AliasTable> table_;
+  std::uint64_t until_refresh_ = 0;
+  std::uint64_t routed_ = 0;
+  std::uint64_t refreshes_ = 0;
+  FastRng rng_;
+};
+
+}  // namespace blade::runtime

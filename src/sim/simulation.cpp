@@ -4,6 +4,7 @@
 
 #include "parallel/parallel_for.hpp"
 #include "sim/arrivals.hpp"
+#include "sim/dispatcher.hpp"
 #include "sim/engine.hpp"
 
 namespace blade::sim {
@@ -99,11 +100,22 @@ SimResult simulate_dispatched(const model::Cluster& cluster, double lambda_total
   raw.reserve(w->servers.size());
   for (auto& s : w->servers) raw.push_back(s.get());
 
+  // The arrival callback is the simulator's hottest edge: one route() per
+  // generic task. Dispatcher is a virtual interface, but the two
+  // steady-state policies are final classes — recover the concrete type
+  // once so the per-task call is direct (inlinable) instead of virtual.
+  std::function<void(Task)> arrive;
+  if (auto* prob = dynamic_cast<ProbabilisticDispatcher*>(&dispatcher)) {
+    arrive = [prob, raw](Task t) { raw[prob->route(raw)]->arrive(t); };
+  } else if (auto* dyn = dynamic_cast<DynamicWeightDispatcher*>(&dispatcher)) {
+    arrive = [dyn, raw](Task t) { raw[dyn->route(raw)]->arrive(t); };
+  } else {
+    arrive = [&dispatcher, raw](Task t) { raw[dispatcher.route(raw)]->arrive(t); };
+  }
   w->sources.push_back(std::make_unique<PoissonSource>(
       w->engine, lambda_total,
       ServiceDistribution::from_scv(cluster.rbar(), config.service_scv), TaskClass::Generic,
-      RngStream(config.seed, 1000003),
-      [&dispatcher, raw](Task t) { raw[dispatcher.route(raw)]->arrive(t); }));
+      RngStream(config.seed, 1000003), std::move(arrive)));
   for (auto& src : w->sources) src->start();
   w->engine.run_until(config.horizon);
   return harvest(*w, config);

@@ -59,8 +59,7 @@ void AliasTable::build(std::span<const double> weights) {
     scaled[i] = fractions_[i] * static_cast<double>(n);
     if (fractions_[i] > fractions_[heaviest]) heaviest = i;
   }
-  prob_.assign(n, 0.0);
-  alias_.assign(n, static_cast<std::uint32_t>(heaviest));
+  buckets_.assign(n, Bucket{0.0, static_cast<std::uint32_t>(heaviest), 0});
   std::vector<std::uint32_t> small;
   std::vector<std::uint32_t> large;
   small.reserve(n);
@@ -73,13 +72,13 @@ void AliasTable::build(std::span<const double> weights) {
     small.pop_back();
     const std::uint32_t l = large.back();
     large.pop_back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
+    buckets_[s].prob = scaled[s];
+    buckets_[s].alias = l;
     scaled[l] -= 1.0 - scaled[s];
     (scaled[l] < 1.0 ? small : large).push_back(l);
   }
   while (!large.empty()) {
-    prob_[large.back()] = 1.0;
+    buckets_[large.back()].prob = 1.0;
     large.pop_back();
   }
   // Floating-point leftovers on the small stack: a positive weight is a
@@ -88,15 +87,8 @@ void AliasTable::build(std::span<const double> weights) {
   while (!small.empty()) {
     const std::uint32_t s = small.back();
     small.pop_back();
-    prob_[s] = fractions_[s] > 0.0 ? 1.0 : 0.0;
+    buckets_[s].prob = fractions_[s] > 0.0 ? 1.0 : 0.0;
   }
-}
-
-std::size_t AliasTable::sample(double u1, double u2) const noexcept {
-  const std::size_t n = prob_.size();
-  std::size_t i = static_cast<std::size_t>(u1 * static_cast<double>(n));
-  if (i >= n) i = n - 1;  // guards u1 == 1.0 and rounding at the edge
-  return u2 < prob_[i] ? i : alias_[i];
 }
 
 }  // namespace blade::util

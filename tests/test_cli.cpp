@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "cli/app.hpp"
+#include "cli/bench_gate.hpp"
 #include "cli/spec.hpp"
 #include "obs/build_info.hpp"
 #include "util/json.hpp"
@@ -351,6 +352,97 @@ TEST_F(CliServeReplay, SloFlagValidation) {
                std::invalid_argument);
   EXPECT_THROW((void)cli::run_cli({"serve-replay", path_, trace_path_, "--slo-epochs", "0"}),
                std::invalid_argument);
+}
+
+// --- the bench_check gate (cli/bench_gate.hpp) ----------------------------
+
+class BenchGate : public ::testing::Test {
+ protected:
+  /// Writes a minimal BENCH_*.json export with one counter and one timer.
+  std::string write_export(const char* name, double routed, double seconds) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << R"({"metrics":[{"name":"runtime.shard.routed","count":)" << routed
+        << R"(},{"name":"runtime.shard.bench.route_seconds","count":3,"sum":)" << seconds
+        << "}]}";
+    return path;
+  }
+
+  int run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return cli::run_bench_check(args, out_, err_);
+  }
+
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(BenchGate, MaxRatioModePassesAndFails) {
+  const std::string base = write_export("gate_base.json", 100.0, 1.0);
+  const std::string good = write_export("gate_good.json", 150.0, 1.0);  // 1.5x <= 2x
+  const std::string bad = write_export("gate_bad.json", 300.0, 1.0);    // 3x > 2x
+  EXPECT_EQ(run({base, good, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "2.0"}),
+            0);
+  EXPECT_NE(out_.str().find("limit"), std::string::npos);
+  EXPECT_NE(out_.str().find("bench_check: OK"), std::string::npos);
+  EXPECT_EQ(run({base, bad, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "2.0"}),
+            1);
+  EXPECT_NE(err_.str().find("regressed beyond"), std::string::npos);
+  std::remove(base.c_str());
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST_F(BenchGate, MinRatioModeIsAThroughputFloor) {
+  const std::string base = write_export("gate_floor_base.json", 1000.0, 1.0);
+  const std::string fast = write_export("gate_floor_fast.json", 900.0, 1.0);  // 0.9x >= 0.4x
+  const std::string slow = write_export("gate_floor_slow.json", 100.0, 1.0);  // 0.1x < 0.4x
+  EXPECT_EQ(run({"--min-ratio", base, fast, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "0.4"}),
+            0);
+  EXPECT_NE(out_.str().find("floor"), std::string::npos);
+  EXPECT_EQ(run({"--min-ratio", base, slow, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "0.4"}),
+            1);
+  EXPECT_NE(err_.str().find("fell below"), std::string::npos);
+  // The same inputs pass the default (cost-ceiling) direction: the modes
+  // really gate opposite tails.
+  EXPECT_EQ(run({base, slow, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "2.0"}),
+            0);
+  std::remove(base.c_str());
+  std::remove(fast.c_str());
+  std::remove(slow.c_str());
+}
+
+TEST_F(BenchGate, UsageAndMissingCounterContracts) {
+  const std::string base = write_export("gate_u_base.json", 10.0, 1.0);
+  EXPECT_EQ(run({}), 2);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"--min-ratio", base}), 2);
+  EXPECT_EQ(run({base, base, "a", "b", "not-a-number"}), 2);
+  EXPECT_EQ(run({base, base, "a", "b", "0"}), 2);
+  EXPECT_EQ(run({"/nonexistent.json", base, "a", "b", "1.0"}), 2);
+  // A counter missing from the CURRENT export is a regression (1), not a
+  // usage error: the bench silently stopped recording it. Missing from
+  // the BASELINE means the gate itself is misconfigured (2).
+  const std::string cur = ::testing::TempDir() + "gate_u_cur.json";
+  {
+    std::ofstream o(cur);
+    o << R"({"metrics":[{"name":"runtime.shard.routed","count":10}]})";
+  }
+  EXPECT_EQ(run({base, cur, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "1.0"}),
+            1);
+  EXPECT_NE(err_.str().find("missing counter"), std::string::npos);
+  EXPECT_EQ(run({cur, base, "runtime.shard.routed",
+                 "runtime.shard.bench.route_seconds:sum", "1.0"}),
+            2);
+  std::remove(base.c_str());
+  std::remove(cur.c_str());
 }
 
 }  // namespace

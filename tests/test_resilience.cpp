@@ -629,7 +629,16 @@ void check_chaos_invariants(const ChaosHarness& h, std::uint64_t seed, int step)
   }
 }
 
-void run_chaos_sequence(std::uint64_t seed, std::uint64_t* mode_transitions_out = nullptr) {
+/// Surrogate-cache activity of a chaos run with cfg.marginal_drift on.
+struct McacheActivity {
+  std::uint64_t decided = 0;        ///< drift checks settled by the cache path
+  std::uint64_t invalidations = 0;  ///< epoch drops (resolves, topology churn)
+};
+
+void run_chaos_sequence(std::uint64_t seed, std::uint64_t* mode_transitions_out = nullptr,
+                        bool marginal_drift = false,
+                        std::vector<double>* final_fractions_out = nullptr,
+                        McacheActivity* mcache_out = nullptr) {
   sim::RngStream rng(seed, 13);
   static const char* kProfiles[] = {"light", "moderate", "heavy"};
   runtime::FaultInjector chaos(seed,
@@ -650,6 +659,7 @@ void run_chaos_sequence(std::uint64_t seed, std::uint64_t* mode_transitions_out 
   cfg.check_interval = 4;
   cfg.min_arrivals = 8;
   cfg.initial_lambda = 0.5 * lam_max;
+  cfg.marginal_drift = marginal_drift;
   ChaosHarness h(cluster, cfg, (0.3 + 0.5 * rng.uniform()) * 0.95 * lam_max);
   check_chaos_invariants(h, seed, -1);
 
@@ -734,11 +744,41 @@ void run_chaos_sequence(std::uint64_t seed, std::uint64_t* mode_transitions_out 
   }
 
   if (mode_transitions_out != nullptr) *mode_transitions_out += h.ctrl.stats().mode_transitions;
+  if (final_fractions_out != nullptr) *final_fractions_out = f;
+  if (mcache_out != nullptr) {
+    mcache_out->decided += h.ctrl.stats().mcache_hits + h.ctrl.stats().mcache_fallthroughs +
+                           h.ctrl.stats().mcache_out_of_domain;
+    mcache_out->invalidations += h.ctrl.marginal_cache_stats().invalidations;
+  }
 }
 
 TEST(ChaosBattery, SeededFaultSequences) {
   // >= 300 sequences per the acceptance bar; profiles rotate per seed.
   for (std::uint64_t seed = 1; seed <= 300; ++seed) run_chaos_sequence(seed);
+}
+
+// The certified marginal-cache drift criterion under the same 300-seed
+// battery: every sequence must satisfy the same invariants (asserted
+// inside run_chaos_sequence), the cache must actually be exercised —
+// including invalidations from the topology churn — and the controller
+// must reconverge to the same split the estimate-based criterion reaches
+// once faults cease. The drift criterion only decides WHEN to re-solve;
+// the estimators and the solver see identical inputs at the final
+// forced resolve, so the destinations must agree to solver tolerance.
+TEST(ChaosBattery, MarginalDriftCacheReconvergesIdentically) {
+  McacheActivity activity;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    std::vector<double> plain;
+    std::vector<double> cached;
+    run_chaos_sequence(seed, nullptr, /*marginal_drift=*/false, &plain);
+    run_chaos_sequence(seed, nullptr, /*marginal_drift=*/true, &cached, &activity);
+    ASSERT_EQ(plain.size(), cached.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      ASSERT_NEAR(plain[i], cached[i], 1e-6) << "seed " << seed << " server " << i;
+    }
+  }
+  EXPECT_GT(activity.decided, 0u) << "the battery never exercised the surrogate path";
+  EXPECT_GT(activity.invalidations, 0u) << "topology churn never invalidated the cache";
 }
 
 TEST(ChaosBattery, ReplayChaoticIsDeterministicAndContained) {

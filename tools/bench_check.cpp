@@ -1,120 +1,29 @@
 // Perf-smoke gate over BENCH_*.json self-records: compares a
 // counter-per-counter ratio between a checked-in baseline export and a
-// fresh one, and fails when the current ratio regresses past an allowed
-// factor. Counter ratios (e.g. Erlang-C evaluations per solve) are
-// machine-load independent, unlike wall-clock, so this is safe to run on
-// shared CI runners.
+// fresh one, and fails when the current ratio crosses an allowed factor.
 //
-//   bench_check <baseline.json> <current.json> <numerator> <denominator> <max_factor>
+//   bench_check [--min-ratio] <baseline.json> <current.json>
+//               <numerator> <denominator> <factor>
 //
-// A metric is addressed as `name` or `name:field`, where `field` is a
-// numeric key of that metric's JSON record ("count" when omitted). That
-// reaches timer/histogram aggregates too, e.g.
-// `runtime.fallback_publish_seconds:sum` over a publication counter
-// gates the per-publication fallback latency.
+// Default mode treats the ratio as a cost (fail when current exceeds
+// factor * baseline); --min-ratio treats it as a throughput (fail when
+// current falls below factor * baseline). Full semantics, metric
+// addressing (`name[:field]`), and exit codes in src/cli/bench_gate.hpp.
 //
-// example:
-//   bench_check bench/baselines/BENCH_bench_solver_scaling.json \
-//               BENCH_bench_solver_scaling.json \
+// examples:
+//   bench_check bench/baselines/BENCH_bench_solver_scaling.json
+//               BENCH_bench_solver_scaling.json
 //               numerics.erlang_c_evals optimizer.solves 2.0
-//
-// exit 0: current per-denominator ratio <= max_factor * baseline ratio
-// exit 1: regression (or a counter missing from the current export)
-// exit 2: usage / unreadable input
-#include <fstream>
+//   bench_check --min-ratio bench/baselines/BENCH_bench_dispatch_throughput.json
+//               BENCH_bench_dispatch_throughput.json
+//               runtime.shard.routed runtime.shard.bench.route_seconds:sum 0.4
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
-#include "util/json.hpp"
-
-namespace {
-
-using blade::util::JsonValue;
-
-bool load_json(const std::string& path, JsonValue& doc) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "bench_check: cannot open '" << path << "'\n";
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  try {
-    doc = blade::util::parse_json(buf.str());
-  } catch (const std::exception& e) {
-    std::cerr << "bench_check: " << path << ": " << e.what() << '\n';
-    return false;
-  }
-  return true;
-}
-
-/// Value of a `name[:field]` metric spec; -1 when absent. `field`
-/// defaults to "count", and may be any numeric key of the metric record
-/// (timers export "count", "sum", "mean", quantiles, ...).
-double counter_total(const JsonValue& doc, const std::string& spec) {
-  const auto colon = spec.find(':');
-  const std::string name = spec.substr(0, colon);
-  const std::string field = colon == std::string::npos ? "count" : spec.substr(colon + 1);
-  const JsonValue* metrics = doc.find("metrics");
-  if (metrics == nullptr) return -1.0;
-  for (const JsonValue& m : metrics->array) {
-    const JsonValue* n = m.find("name");
-    if (n == nullptr || n->string != name) continue;
-    if (const JsonValue* v = m.find(field)) return v->number;
-    return -1.0;
-  }
-  return -1.0;
-}
-
-}  // namespace
+#include "cli/bench_gate.hpp"
 
 int main(int argc, char** argv) {
-  if (argc != 6) {
-    std::cerr << "usage: bench_check <baseline.json> <current.json> <numerator-counter> "
-                 "<denominator-counter> <max_factor>\n";
-    return 2;
-  }
-  JsonValue baseline;
-  JsonValue current;
-  if (!load_json(argv[1], baseline) || !load_json(argv[2], current)) return 2;
-  const std::string num_name = argv[3];
-  const std::string den_name = argv[4];
-  const double max_factor = std::stod(argv[5]);
-  if (!(max_factor > 0.0)) {
-    std::cerr << "bench_check: max_factor must be > 0\n";
-    return 2;
-  }
-
-  struct Ratio {
-    double num, den, value;
-  };
-  auto ratio_of = [&](const JsonValue& doc, const char* label, Ratio& out) {
-    out.num = counter_total(doc, num_name);
-    out.den = counter_total(doc, den_name);
-    if (out.num < 0.0 || out.den <= 0.0) {
-      std::cerr << "bench_check: " << label << " is missing counter '"
-                << (out.num < 0.0 ? num_name : den_name) << "' (was the bench built with "
-                << "BLADE_OBS=ON and run to completion?)\n";
-      return false;
-    }
-    out.value = out.num / out.den;
-    return true;
-  };
-  Ratio base{};
-  Ratio cur{};
-  if (!ratio_of(baseline, "baseline", base)) return 2;
-  if (!ratio_of(current, "current", cur)) return 1;
-
-  const double limit = max_factor * base.value;
-  std::cout << num_name << " / " << den_name << ": baseline " << base.value << " ("
-            << base.num << "/" << base.den << "), current " << cur.value << " (" << cur.num
-            << "/" << cur.den << "), limit " << limit << " (x" << max_factor << ")\n";
-  if (cur.value > limit) {
-    std::cerr << "bench_check: FAIL: per-" << den_name << " " << num_name
-              << " regressed beyond x" << max_factor << " of baseline\n";
-    return 1;
-  }
-  std::cout << "bench_check: OK\n";
-  return 0;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return blade::cli::run_bench_check(args, std::cout, std::cerr);
 }
