@@ -1,0 +1,260 @@
+// Head-to-head dispatch-policy ablation: the paper's optimal split
+// against the scalable d-choices family (JSQ(d), speed-biased,
+// heterogeneity-aware, weighted) and the stateless baselines, across a
+// regime matrix of traffic level x speed heterogeneity x failure churn
+// x chaos. Every policy replays the SAME timeline (same arrival/service
+// RNG streams, same failure schedule), so row-to-row differences are
+// routing-only; an adaptive-controller row (full replay(): estimation,
+// re-solving, admission control) anchors the comparison.
+//
+// The headline question the matrix answers, per regime: does naive
+// uniform-probe JSQ(d) beat the paper's optimal split? Gardner et al.
+// predict it loses under strong speed heterogeneity (uniform probing
+// over-commits slow servers) and classical results predict it wins on
+// homogeneous fleets under heavy load (queue feedback beats any static
+// split). The verdict column prints T'_jsq(2) / T'_opt so the claim is
+// checkable from the table; the subsumed static-heuristic ablation
+// (formerly bench_policy_ablation) closes the report.
+//
+// Also emits POLICY_FAMILY_table.csv (CI artifact) and, like every
+// bench, self-records the obs registry to BENCH_bench_policy_family.json
+// — CI gates policy.probes / policy.routed against the checked-in
+// baseline so probing-cost regressions fail the build.
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/experiments.hpp"
+#include "cloud/report.hpp"
+#include "core/optimizer.hpp"
+#include "model/cluster.hpp"
+#include "model/paper_configs.hpp"
+#include "obs/export.hpp"
+#include "runtime/chaos.hpp"
+#include "runtime/replay.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using blade::model::BladeServer;
+using blade::model::Cluster;
+
+struct Regime {
+  std::string name;
+  Cluster cluster;
+  double load_fraction;  ///< generic rate as a fraction of lambda'_max
+  bool churn;            ///< biggest server lost / recovered mid-run
+  std::string chaos;     ///< chaos profile name, "" = none
+};
+
+Cluster homogeneous() {
+  return Cluster({{4, 1.0, 0.6}, {4, 1.0, 0.6}, {4, 1.0, 0.6}, {4, 1.0, 0.6}}, 1.0);
+}
+
+Cluster mild_hetero() {
+  return Cluster({{4, 2.0, 1.2}, {4, 1.5, 0.9}, {4, 1.0, 0.6}, {4, 1.0, 0.6}}, 1.0);
+}
+
+/// Two big fast chassis next to six small slow ones: the regime where
+/// uniform probing is most wrong (a uniform probe pair usually sees only
+/// slow servers, so naive JSQ(d) starves the fast capacity).
+Cluster extreme_hetero() {
+  std::vector<BladeServer> servers;
+  servers.push_back({4, 8.0, 3.0});
+  servers.push_back({4, 8.0, 3.0});
+  for (int i = 0; i < 6; ++i) servers.push_back({2, 1.0, 0.2});
+  return Cluster(std::move(servers), 1.0);
+}
+
+blade::runtime::ReplayTrace make_trace(const Cluster& cluster, double load_fraction,
+                                       bool churn) {
+  blade::runtime::ReplayTrace trace;
+  trace.horizon = 8000.0;
+  trace.seed = 7;
+  const double rate = load_fraction * cluster.max_generic_rate();
+  trace.events.push_back(
+      {.time = 0.0, .kind = blade::runtime::ReplayEvent::Kind::Rate, .rate = rate});
+  if (churn) {
+    // Lose the highest-capacity server for the middle third.
+    std::size_t biggest = 0;
+    for (std::size_t i = 1; i < cluster.size(); ++i) {
+      if (cluster.server(i).capacity(cluster.rbar()) >
+          cluster.server(biggest).capacity(cluster.rbar())) {
+        biggest = i;
+      }
+    }
+    trace.events.push_back({.time = trace.horizon / 3.0,
+                            .kind = blade::runtime::ReplayEvent::Kind::Fail,
+                            .server = biggest});
+    trace.events.push_back({.time = 2.0 * trace.horizon / 3.0,
+                            .kind = blade::runtime::ReplayEvent::Kind::Recover,
+                            .server = biggest});
+  }
+  return trace;
+}
+
+struct PolicyRow {
+  std::string name;
+  double response = 0.0;
+  double probes_per_task = 0.0;
+  std::uint64_t herds = 0;
+  std::uint64_t fallbacks = 0;
+  double shed_fraction = 0.0;  ///< adaptive row only; policies never shed
+};
+
+blade::policy::PolicyConfig family_config(blade::policy::PolicyKind kind, unsigned d,
+                                          const Cluster& cluster,
+                                          const std::vector<double>& opt_rates) {
+  blade::policy::PolicyConfig cfg;
+  cfg.kind = kind;
+  cfg.probe_d = d;
+  cfg.seed = 7;
+  cfg.stream = 77;
+  if (blade::policy::needs_weights(kind)) cfg.weights = opt_rates;
+  if (kind == blade::policy::PolicyKind::SpeedBiasedD) {
+    for (const auto& s : cluster.servers()) cfg.speeds.push_back(s.speed());
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using blade::policy::PolicyKind;
+  std::vector<Regime> regimes;
+  regimes.push_back({"homog/light", homogeneous(), 0.30, false, ""});
+  regimes.push_back({"homog/heavy", homogeneous(), 0.90, false, ""});
+  regimes.push_back({"mild-hetero/light", mild_hetero(), 0.30, false, ""});
+  regimes.push_back({"mild-hetero/heavy", mild_hetero(), 0.90, false, ""});
+  regimes.push_back({"extreme-hetero/light", extreme_hetero(), 0.30, false, ""});
+  regimes.push_back({"extreme-hetero/heavy", extreme_hetero(), 0.90, false, ""});
+  regimes.push_back({"extreme-hetero/churn", extreme_hetero(), 0.60, true, ""});
+  regimes.push_back({"extreme-hetero/chaos", extreme_hetero(), 0.60, true, "moderate"});
+
+  std::ostringstream csv;
+  csv << "regime,policy,T,probes_per_task,herd_events,fallback_scans,shed_fraction\n";
+
+  for (const auto& regime : regimes) {
+    const auto trace = make_trace(regime.cluster, regime.load_fraction, regime.churn);
+    const double rate = regime.load_fraction * regime.cluster.max_generic_rate();
+
+    // Weighted kinds and the opt-split row use the paper solver's rates
+    // at the regime's offered load (full-fleet topology; during churn
+    // this is the static split a planner provisioned before the outage).
+    blade::opt::LoadDistributionOptimizer solver(regime.cluster,
+                                                 blade::queue::Discipline::Fcfs, {});
+    const auto opt = solver.optimize(rate);
+
+    const std::vector<std::pair<std::string, blade::policy::PolicyConfig>> entries = {
+        {"random", family_config(PolicyKind::Random, 2, regime.cluster, opt.rates)},
+        {"round-robin", family_config(PolicyKind::RoundRobin, 2, regime.cluster, opt.rates)},
+        {"jsq-2", family_config(PolicyKind::JsqD, 2, regime.cluster, opt.rates)},
+        {"jsq-3", family_config(PolicyKind::JsqD, 3, regime.cluster, opt.rates)},
+        {"sb-2", family_config(PolicyKind::SpeedBiasedD, 2, regime.cluster, opt.rates)},
+        {"ha-jsq-2", family_config(PolicyKind::HeteroJsqD, 2, regime.cluster, opt.rates)},
+        {"wjsq-2", family_config(PolicyKind::WeightedJsqD, 2, regime.cluster, opt.rates)},
+        {"opt-split", family_config(PolicyKind::OptSplit, 2, regime.cluster, opt.rates)},
+    };
+
+    blade::runtime::ReplayOptions ropts;
+    ropts.warmup = 800.0;
+    std::optional<blade::runtime::FaultInjector> chaos;
+    if (!regime.chaos.empty()) {
+      chaos.emplace(7, blade::runtime::chaos_profile(regime.chaos).value());
+    }
+
+    std::vector<PolicyRow> rows;
+    double jsq2_T = 0.0;
+    double opt_T = 0.0;
+    for (const auto& [label, cfg] : entries) {
+      if (chaos) {
+        chaos.emplace(7, blade::runtime::chaos_profile(regime.chaos).value());
+        ropts.chaos = &*chaos;
+      }
+      const auto res = blade::runtime::replay_policy(regime.cluster, cfg, trace, ropts);
+      PolicyRow row;
+      row.name = label;
+      row.response = res.sim.generic_mean_response;
+      row.probes_per_task =
+          res.counters.routed > 0
+              ? static_cast<double>(res.counters.probes) /
+                    static_cast<double>(res.counters.routed)
+              : 0.0;
+      row.herds = res.counters.herd_events;
+      row.fallbacks = res.counters.fallback_scans;
+      rows.push_back(row);
+      if (label == "jsq-2") jsq2_T = row.response;
+      if (label == "opt-split") opt_T = row.response;
+    }
+
+    // Adaptive controller over the same timeline: estimates the rate,
+    // re-solves on failures, sheds above the ceiling. Not bitwise the
+    // same arrival draws (admission consumes its own stream) but the
+    // same trace and seed.
+    {
+      blade::runtime::ControllerConfig ccfg;
+      ccfg.half_life = trace.horizon / 100.0;
+      blade::runtime::ReplayOptions copts;
+      copts.warmup = 800.0;
+      std::optional<blade::runtime::FaultInjector> cchaos;
+      if (!regime.chaos.empty()) {
+        cchaos.emplace(7, blade::runtime::chaos_profile(regime.chaos).value());
+        copts.chaos = &*cchaos;
+      }
+      const auto res = blade::runtime::replay(regime.cluster, ccfg, trace, copts);
+      PolicyRow row;
+      row.name = "adaptive";
+      row.response = res.sim.generic_mean_response;
+      row.shed_fraction = res.shed_fraction;
+      rows.push_back(row);
+    }
+
+    blade::util::Table t({"policy", "T'", "probes/task", "herd", "fallback", "shed"});
+    for (const auto& r : rows) {
+      std::ostringstream shed;
+      shed << std::fixed << std::setprecision(3) << r.shed_fraction;
+      t.add_row({r.name, blade::util::fixed(r.response, 4),
+                 blade::util::fixed(r.probes_per_task, 3), std::to_string(r.herds),
+                 std::to_string(r.fallbacks), shed.str()});
+      csv << regime.name << ',' << r.name << ',' << r.response << ',' << r.probes_per_task
+          << ',' << r.herds << ',' << r.fallbacks << ',' << r.shed_fraction << '\n';
+    }
+    const double ratio = opt_T > 0.0 ? jsq2_T / opt_T : 0.0;
+    std::cout << "=== regime " << regime.name << " (lambda' = " << rate << ", "
+              << (regime.churn ? "churn" : "steady")
+              << (regime.chaos.empty() ? "" : ", chaos=" + regime.chaos) << ") ===\n"
+              << t.render() << "verdict: T'_jsq(2) / T'_opt-split = "
+              << blade::util::fixed(ratio, 3) << " -> naive JSQ(2) "
+              << (ratio > 1.0 ? "LOSES to" : "beats") << " the optimal split\n\n";
+  }
+
+  // Subsumed static-heuristic ablation (formerly bench_policy_ablation):
+  // proportional-to-speed and equal-split penalties on the paper cluster.
+  const auto paper = blade::model::paper_example_cluster();
+  const std::vector<double> fractions{0.25, 0.5, 0.75, 0.9};
+  for (auto d : {blade::queue::Discipline::Fcfs, blade::queue::Discipline::SpecialPriority}) {
+    std::cout << "=== Static-heuristic ablation on the Example cluster, discipline = "
+              << blade::queue::to_string(d) << " ===\n";
+    const auto rows = blade::cloud::policy_ablation(paper, d, fractions);
+    std::cout << blade::cloud::render_ablation(rows) << '\n';
+  }
+  std::cout << "penalty = policy T' / optimal T' - 1 (0% would match the optimum)\n";
+
+  {
+    std::FILE* f = std::fopen("POLICY_FAMILY_table.csv", "w");
+    if (f != nullptr) {
+      const std::string body = csv.str();
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::cout << "wrote POLICY_FAMILY_table.csv\n";
+    }
+  }
+  const std::string file = blade::obs::export_bench_json("bench_policy_family");
+  std::fprintf(stderr, "metrics: wrote %s\n", file.c_str());
+  return 0;
+}

@@ -20,9 +20,11 @@
 #include "core/sharded.hpp"
 #include "parallel/sweep.hpp"
 #include "parallel/thread_pool.hpp"
+#include "policy/policy.hpp"
 #include "queueing/waiting_distribution.hpp"
 #include "runtime/chaos.hpp"
 #include "runtime/replay.hpp"
+#include "sim/dispatcher.hpp"
 #include "sim/simulation.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -44,6 +46,30 @@ void check_lambda(const model::Cluster& cluster, double lambda) {
     throw std::invalid_argument("lambda must be in (0, " +
                                 std::to_string(cluster.max_generic_rate()) + ")");
   }
+}
+
+/// Builds the policy config the `sim` / `serve-replay --policy` paths
+/// share: weights for the weighted kinds come from the paper solver at
+/// `lambda`, speeds for sb-d from the cluster.
+policy::PolicyConfig make_policy_config(const model::Cluster& cluster, double lambda,
+                                        const std::string& name, std::uint64_t seed,
+                                        const CommonOptions& opts) {
+  auto kind = policy::parse_policy_kind(name);
+  if (!kind) throw std::invalid_argument(kind.error().context);
+  policy::PolicyConfig cfg;
+  cfg.kind = kind.value();
+  cfg.probe_d = opts.probe_d;
+  cfg.seed = seed;
+  // Dedicated routing stream id, decorrelated from the arrival streams
+  // (which use the sim layer's 1000003/2i+1 convention over the seed).
+  cfg.stream = 77;
+  if (policy::needs_weights(cfg.kind)) {
+    cfg.weights = make_solver(cluster, opts).optimize(lambda).rates;
+  }
+  if (cfg.kind == policy::PolicyKind::SpeedBiasedD) {
+    for (const auto& s : cluster.servers()) cfg.speeds.push_back(s.speed());
+  }
+  return cfg;
 }
 
 }  // namespace
@@ -225,6 +251,114 @@ std::string run_allocate(const model::Cluster& cluster, double lambda,
   return os.str();
 }
 
+std::string run_sim(const model::Cluster& cluster, double lambda, std::uint64_t seed,
+                    const CommonOptions& opts) {
+  check_lambda(cluster, lambda);
+  const std::string name = opts.policy.empty() ? "opt-split" : opts.policy;
+  const auto cfg = make_policy_config(cluster, lambda, name, seed, opts);
+  sim::PolicyDispatcher dispatcher(cfg, cluster.size());
+
+  sim::SimConfig scfg;
+  scfg.horizon = 40000.0;
+  scfg.warmup = 4000.0;
+  scfg.seed = seed;
+  scfg.service_scv = opts.service_scv;
+  const auto res = sim::simulate_dispatched(cluster, lambda, dispatcher,
+                                            sim::to_mode(opts.discipline), scfg);
+
+  const auto optimum = make_solver(cluster, opts).optimize(lambda);
+  const auto& c = dispatcher.counters();
+  std::vector<double> fractions(cluster.size(), 0.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t k : dispatcher.routed_by_server()) total += k;
+  for (std::size_t i = 0; i < cluster.size() && total > 0; ++i) {
+    fractions[i] = static_cast<double>(dispatcher.routed_by_server()[i]) /
+                   static_cast<double>(total);
+  }
+
+  std::ostringstream os;
+  os << cluster.describe() << '\n'
+     << "policy " << dispatcher.name();
+  if (policy::probes_queue_state(cfg.kind) && cfg.kind != policy::PolicyKind::Jsq) {
+    os << " (d = " << cfg.probe_d << ")";
+  }
+  os << ", lambda' = " << lambda << ", seed " << seed << "\n\n"
+     << "measured T'       " << util::fixed(res.generic_mean_response, 4) << " generic ("
+     << res.generic_samples << " tasks), " << util::fixed(res.special_mean_response, 4)
+     << " special (" << res.special_samples << " tasks)\n"
+     << "optimal-split T'  " << util::fixed(optimum.response_time, 4) << " (analytic)\n"
+     << "measured split    " << util::to_string(fractions, 4) << '\n'
+     << "probe cost        " << c.probes << " probes / " << c.routed << " routed = "
+     << util::fixed(c.routed > 0 ? static_cast<double>(c.probes) /
+                                       static_cast<double>(c.routed)
+                                 : 0.0,
+                    3)
+     << " per task (" << c.redraws << " redraws, " << c.ties << " ties, " << c.herd_events
+     << " herd events, " << c.fallback_scans << " fallback scans)\n";
+  return os.str();
+}
+
+/// serve-replay with --policy: the trace's timeline through one fixed
+/// dispatch policy (no controller) — the CLI face of replay_policy.
+std::string run_serve_replay_policy(const model::Cluster& cluster, const std::string& trace_text,
+                                    const ServeOptions& serve, const CommonOptions& opts) {
+  auto trace = runtime::parse_replay_trace(trace_text);
+  if (serve.seed > 0) trace.seed = serve.seed;
+  // Weighted kinds solve at the trace's first announced rate: the static
+  // split a planner would have provisioned before the timeline starts.
+  double design_rate = 0.0;
+  for (const auto& e : trace.events) {
+    if (e.kind == runtime::ReplayEvent::Kind::Rate && e.rate > 0.0) {
+      design_rate = e.rate;
+      break;
+    }
+  }
+  if (design_rate == 0.0) design_rate = 0.5 * cluster.max_generic_rate();
+  const auto cfg = make_policy_config(cluster, design_rate, opts.policy, trace.seed, opts);
+
+  runtime::ReplayOptions ropts;
+  ropts.service_scv = opts.service_scv;
+  runtime::PolicyReplayResult res;
+  std::string chaos_line;
+  auto profile = runtime::chaos_profile(serve.chaos_profile);
+  if (!profile) throw std::invalid_argument(profile.error().context);
+  if (serve.chaos_seed > 0) {
+    runtime::FaultInjector chaos(serve.chaos_seed, profile.value());
+    ropts.chaos = &chaos;
+    res = runtime::replay_policy(cluster, cfg, trace, ropts);
+    std::ostringstream cs;
+    cs << "chaos             profile " << serve.chaos_profile << " (seed " << serve.chaos_seed
+       << "): blade flaps merged into the failure schedule\n";
+    chaos_line = cs.str();
+  } else {
+    res = runtime::replay_policy(cluster, cfg, trace, ropts);
+  }
+
+  const auto& c = res.counters;
+  std::ostringstream os;
+  os << cluster.describe() << '\n'
+     << "replayed horizon " << trace.horizon << " (seed " << trace.seed << ") through policy "
+     << policy::to_string(cfg.kind);
+  if (policy::probes_queue_state(cfg.kind) && cfg.kind != policy::PolicyKind::Jsq) {
+    os << " (d = " << cfg.probe_d << ")";
+  }
+  os << "\n\n"
+     << "generic arrivals  " << c.routed << " routed (no admission control)\n"
+     << chaos_line
+     << "measured T'       " << util::fixed(res.sim.generic_mean_response, 4) << " generic ("
+     << res.sim.generic_samples << " tasks), " << util::fixed(res.sim.special_mean_response, 4)
+     << " special (" << res.sim.special_samples << " tasks)\n"
+     << "measured split    " << util::to_string(res.measured_fractions, 4) << '\n'
+     << "probe cost        " << c.probes << " probes / " << c.routed << " routed = "
+     << util::fixed(c.routed > 0 ? static_cast<double>(c.probes) /
+                                       static_cast<double>(c.routed)
+                                 : 0.0,
+                    3)
+     << " per task (" << c.redraws << " redraws, " << c.ties << " ties, " << c.herd_events
+     << " herd events, " << c.fallback_scans << " fallback scans)\n";
+  return os.str();
+}
+
 std::string run_trace(const model::Cluster& cluster, double trough, double peak,
                       const CommonOptions& opts) {
   if (opts.service_scv != 1.0) {
@@ -373,8 +507,11 @@ std::string usage() {
          "  percentiles <spec> <lambda>             per-server response percentiles\n"
          "  allocate <spec> <lambda>                repack blades across chassis\n"
          "  trace <spec> <trough> <peak>            diurnal-profile study\n"
+         "  sim <spec> <lambda>                     simulate one dispatch policy\n"
+         "                                          (see --policy / --probe-d)\n"
          "  serve-replay <spec> <trace|reference>   replay an event trace through the\n"
          "                                          online controller + simulator\n"
+         "                                          (or one policy, with --policy)\n"
          "  figures <number> <csv|json|ascii>       regenerate a paper figure (4..15)\n"
          "  consolidate <spec> <trough> <peak> <slo> blade power-down plan\n"
          "\n"
@@ -382,6 +519,10 @@ std::string usage() {
          "  --priority        special tasks get non-preemptive priority\n"
          "  --scv <x>         task-size SCV (default 1 = exponential)\n"
          "  --reps <n>        validate: replications (default 6)\n"
+         "  --policy <name>   sim / serve-replay: dispatch policy (random,\n"
+         "                    round-robin, jsq, jsq-d, sb-d, ha-jsq-d, wjsq-d,\n"
+         "                    opt-split); sim defaults to opt-split\n"
+         "  --probe-d <k>     probes per arrival for d-choices policies (default 2)\n"
          "  --seed <n>        validate / serve-replay: base seed (default 1)\n"
          "  --half-life <t>   serve-replay: estimator half-life (default horizon/100)\n"
          "  --ceiling <u>     serve-replay: admission utilization ceiling (default 0.95)\n"
@@ -445,6 +586,10 @@ std::string dispatch(const std::vector<std::string>& pos, const CommonOptions& o
     need(4, "trace <spec> <trough> <peak>");
     return run_trace(load_cluster_spec(pos[1]), std::stod(pos[2]), std::stod(pos[3]), opts);
   }
+  if (cmd == "sim") {
+    need(3, "sim <spec> <lambda> [--policy <name>] [--probe-d <k>]");
+    return run_sim(load_cluster_spec(pos[1]), std::stod(pos[2]), seed, opts);
+  }
   if (cmd == "serve-replay") {
     need(3, "serve-replay <spec> <trace-file|reference>");
     const auto cluster = load_cluster_spec(pos[1]);
@@ -458,6 +603,7 @@ std::string dispatch(const std::vector<std::string>& pos, const CommonOptions& o
       buf << in.rdbuf();
       text = buf.str();
     }
+    if (!opts.policy.empty()) return run_serve_replay_policy(cluster, text, serve, opts);
     return run_serve_replay(cluster, text, serve, opts);
   }
   if (cmd == "figures") {
@@ -526,6 +672,12 @@ std::string run_cli(const std::vector<std::string>& args) {
       if (opts.threads < 0) throw std::invalid_argument("--threads must be >= 0");
     } else if (a == "--shards") {
       opts.shards = static_cast<std::size_t>(std::stoul(next("--shards")));
+    } else if (a == "--policy") {
+      opts.policy = next("--policy");
+    } else if (a == "--probe-d") {
+      const int d = std::stoi(next("--probe-d"));
+      if (d < 1) throw std::invalid_argument("--probe-d must be >= 1");
+      opts.probe_d = static_cast<unsigned>(d);
     } else if (a == "--prune-k") {
       opts.prune_k = static_cast<std::size_t>(std::stoul(next("--prune-k")));
     } else if (a == "--metrics-out") {

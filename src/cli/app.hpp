@@ -22,6 +22,13 @@ struct CommonOptions {
   std::size_t shards = 0;
   /// --prune-k: per-cell top-k rate-matrix pruning (requires --shards).
   std::size_t prune_k = 0;
+  /// --policy: dispatch policy name for `sim` / `serve-replay`
+  /// (random, round-robin, jsq, jsq-d, sb-d, ha-jsq-d, wjsq-d,
+  /// opt-split). Empty = opt-split for `sim`, the adaptive controller
+  /// for `serve-replay`.
+  std::string policy;
+  /// --probe-d: probes per arrival for the d-choices policies.
+  unsigned probe_d = 2;
 };
 
 /// `optimize`: solve one instance and print the paper-style table.
@@ -50,6 +57,12 @@ struct CommonOptions {
 /// speeds with the same total blade count.
 [[nodiscard]] std::string run_allocate(const model::Cluster& cluster, double lambda,
                                        const CommonOptions& opts);
+
+/// `sim`: simulate one dispatch policy routing the generic stream at
+/// rate lambda and report measured T', per-server assignment fractions,
+/// and the policy's probe-cost counters next to the analytic optimum.
+[[nodiscard]] std::string run_sim(const model::Cluster& cluster, double lambda,
+                                  std::uint64_t seed, const CommonOptions& opts);
 
 /// `trace`: diurnal-profile study (adaptive vs static split).
 [[nodiscard]] std::string run_trace(const model::Cluster& cluster, double trough, double peak,

@@ -1,0 +1,500 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace blade::policy {
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Redraw budget per probe set before falling back to a deterministic
+/// scan fill. 16 attempts per wanted probe keeps the expected rejection
+/// tail negligible even when one server holds almost all probe mass.
+constexpr std::size_t kRedrawFactor = 16;
+
+/// Normalized-expected-work key: the time a new task expects to wait
+/// out at server i if every in-system task needed one mean service,
+/// (q_i + 1) / (a_i * s_i). Empty servers rank by raw capacity, so
+/// queue-length ties break toward the faster / less-drained server.
+[[nodiscard]] double hetero_key(const ServerState& s) noexcept {
+  const double capacity = static_cast<double>(s.available) * s.speed;
+  return (static_cast<double>(s.in_system) + 1.0) / capacity;
+}
+
+[[nodiscard]] std::vector<double> uniform_weights(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+}  // namespace
+
+const char* to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::Random: return "random";
+    case PolicyKind::RoundRobin: return "round-robin";
+    case PolicyKind::Jsq: return "jsq";
+    case PolicyKind::JsqD: return "jsq-d";
+    case PolicyKind::SpeedBiasedD: return "sb-d";
+    case PolicyKind::HeteroJsqD: return "ha-jsq-d";
+    case PolicyKind::WeightedJsqD: return "wjsq-d";
+    case PolicyKind::OptSplit: return "opt-split";
+  }
+  return "unknown";
+}
+
+Expected<PolicyKind> parse_policy_kind(std::string_view name) {
+  for (const PolicyKind kind : all_policy_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  std::string known;
+  for (const PolicyKind kind : all_policy_kinds()) {
+    if (!known.empty()) known += ", ";
+    known += to_string(kind);
+  }
+  return make_error(ErrorCode::InvalidArgument,
+                    "unknown policy '" + std::string(name) + "' (known: " + known + ")");
+}
+
+std::vector<PolicyKind> all_policy_kinds() {
+  return {PolicyKind::Random,       PolicyKind::RoundRobin,   PolicyKind::Jsq,
+          PolicyKind::JsqD,         PolicyKind::SpeedBiasedD, PolicyKind::HeteroJsqD,
+          PolicyKind::WeightedJsqD, PolicyKind::OptSplit};
+}
+
+bool probes_queue_state(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::Jsq:
+    case PolicyKind::JsqD:
+    case PolicyKind::SpeedBiasedD:
+    case PolicyKind::HeteroJsqD:
+    case PolicyKind::WeightedJsqD:
+      return true;
+    case PolicyKind::Random:
+    case PolicyKind::RoundRobin:
+    case PolicyKind::OptSplit:
+      return false;
+  }
+  return false;
+}
+
+bool needs_weights(PolicyKind kind) noexcept {
+  return kind == PolicyKind::WeightedJsqD || kind == PolicyKind::OptSplit;
+}
+
+Status PolicyConfig::validate(std::size_t n) const {
+  if (n == 0) {
+    return make_error(ErrorCode::InvalidArgument, "policy: fleet must have >= 1 server");
+  }
+  const bool d_choices = kind == PolicyKind::JsqD || kind == PolicyKind::SpeedBiasedD ||
+                         kind == PolicyKind::HeteroJsqD || kind == PolicyKind::WeightedJsqD;
+  if (d_choices && probe_d == 0) {
+    return make_error(ErrorCode::InvalidArgument,
+                      std::string("policy ") + to_string(kind) + ": probe_d must be >= 1");
+  }
+  if (needs_weights(kind)) {
+    if (weights.size() != n) {
+      return make_error(ErrorCode::InvalidArgument,
+                        std::string("policy ") + to_string(kind) + ": weights size " +
+                            std::to_string(weights.size()) + " != fleet size " +
+                            std::to_string(n));
+    }
+    if (Status s = util::AliasTable::validate_weights(weights); !s.ok()) return s;
+  }
+  if (kind == PolicyKind::SpeedBiasedD) {
+    if (speeds.size() != n) {
+      return make_error(ErrorCode::InvalidArgument,
+                        "policy sb-d: speeds size " + std::to_string(speeds.size()) +
+                            " != fleet size " + std::to_string(n));
+    }
+    if (Status s = util::AliasTable::validate_weights(speeds); !s.ok()) return s;
+  }
+  return {};
+}
+
+DispatchPolicy::DispatchPolicy(PolicyConfig cfg, std::size_t n)
+    : cfg_(std::move(cfg)), n_(n), rng_(cfg_.seed, cfg_.stream) {
+  if (Status s = cfg_.validate(n_); !s.ok()) {
+    throw std::invalid_argument("DispatchPolicy: " + s.error().to_string());
+  }
+  hetero_key_ = cfg_.kind == PolicyKind::HeteroJsqD || cfg_.kind == PolicyKind::WeightedJsqD;
+  // Every sampled policy draws through one alias table; uniform kinds
+  // get an equal-weight table so a degenerate weighted policy consumes
+  // the identical RNG stream as its uniform counterpart (the bitwise
+  // metamorphic collapses in tests/test_policy.cpp rely on this).
+  switch (cfg_.kind) {
+    case PolicyKind::Random:
+    case PolicyKind::JsqD:
+    case PolicyKind::HeteroJsqD:
+      probe_table_.emplace(std::span<const double>(uniform_weights(n_)));
+      break;
+    case PolicyKind::SpeedBiasedD:
+      probe_table_.emplace(std::span<const double>(cfg_.speeds));
+      break;
+    case PolicyKind::WeightedJsqD:
+    case PolicyKind::OptSplit:
+      probe_table_.emplace(std::span<const double>(cfg_.weights));
+      break;
+    case PolicyKind::Jsq:
+    case PolicyKind::RoundRobin:
+      break;
+  }
+  if (probes_queue_state(cfg_.kind) && cfg_.kind != PolicyKind::Jsq) {
+    const std::size_t d = std::min<std::size_t>(cfg_.probe_d, n_);
+    probes_.reserve(d);
+    seen_epoch_.assign(n_, 0);
+  }
+}
+
+std::size_t DispatchPolicy::route(const StateView& view) {
+  if (view.n != n_) {
+    throw std::invalid_argument("DispatchPolicy::route: view size " + std::to_string(view.n) +
+                                " != fleet size " + std::to_string(n_));
+  }
+  ++counters_.routed;
+  BLADE_OBS_COUNT("policy.routed");
+  switch (cfg_.kind) {
+    case PolicyKind::Random:
+    case PolicyKind::OptSplit:
+      return route_sampled(view);
+    case PolicyKind::RoundRobin:
+      return route_round_robin(view);
+    case PolicyKind::Jsq:
+      return route_scan(view);
+    case PolicyKind::JsqD:
+    case PolicyKind::SpeedBiasedD:
+    case PolicyKind::HeteroJsqD:
+    case PolicyKind::WeightedJsqD:
+      return route_probed(view);
+  }
+  throw std::logic_error("DispatchPolicy::route: unreachable kind");
+}
+
+std::size_t DispatchPolicy::route_sampled(const StateView& view) {
+  const util::AliasTable& table = *probe_table_;
+  const double u1 = rng_.uniform();
+  const double u2 = rng_.uniform();
+  const std::size_t first = table.sample(u1, u2);
+  ++counters_.probes;
+  BLADE_OBS_COUNT("policy.probes");
+  if (view(first).available > 0) return first;
+  // The drawn server is dark: resample a bounded number of times (each
+  // rejection keeps the conditional distribution proportional to the
+  // weights of the still-unseen servers), then scan.
+  for (std::size_t attempt = 0; attempt < kRedrawFactor; ++attempt) {
+    ++counters_.redraws;
+    BLADE_OBS_COUNT("policy.redraws");
+    const std::size_t idx = table.sample(rng_.uniform(), rng_.uniform());
+    ++counters_.probes;
+    BLADE_OBS_COUNT("policy.probes");
+    if (view(idx).available > 0) return idx;
+  }
+  ++counters_.fallback_scans;
+  BLADE_OBS_COUNT("policy.fallback_scans");
+  std::size_t best = kNpos;
+  std::size_t best_q = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const ServerState s = view(i);
+    if (s.available == 0) continue;
+    if (best == kNpos || s.in_system < best_q) {
+      best = i;
+      best_q = s.in_system;
+    }
+  }
+  // Whole fleet dark: hand the task to the original draw; its queue
+  // holds it until a recovery.
+  return best != kNpos ? best : first;
+}
+
+std::size_t DispatchPolicy::route_round_robin(const StateView& view) {
+  // Walk the cycle from the cursor to the first available server; a
+  // fully dark fleet falls back to the cursor itself. The cursor always
+  // lands one past the pick, so recovered servers rejoin the cycle in
+  // order.
+  const std::size_t start = rr_next_;
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t idx = (start + step) % n_;
+    ++counters_.probes;
+    BLADE_OBS_COUNT("policy.probes");
+    if (view(idx).available > 0) {
+      if (step != 0) {
+        ++counters_.fallback_scans;
+        BLADE_OBS_COUNT("policy.fallback_scans");
+      }
+      rr_next_ = (idx + 1) % n_;
+      return idx;
+    }
+  }
+  ++counters_.fallback_scans;
+  BLADE_OBS_COUNT("policy.fallback_scans");
+  rr_next_ = (start + 1) % n_;
+  return start;
+}
+
+std::size_t DispatchPolicy::route_scan(const StateView& view) {
+  // Full-information JSQ: lexicographic min of (tasks in system, index)
+  // over the available servers. The probed route_probed() with d = n
+  // lands on the same destination (a lexicographic min is probe-order
+  // free), which the d=n-equals-true-JSQ test pins.
+  counters_.probes += n_;
+  BLADE_OBS_COUNT_N("policy.probes", n_);
+  std::size_t best = kNpos;
+  std::size_t best_q = 0;
+  std::size_t dark_best = 0;
+  std::size_t dark_q = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const ServerState s = view(i);
+    if (s.available == 0) {
+      if (s.in_system < dark_q) {
+        dark_q = s.in_system;
+        dark_best = i;
+      }
+      continue;
+    }
+    if (best == kNpos) {
+      best = i;
+      best_q = s.in_system;
+    } else if (s.in_system < best_q) {
+      best = i;
+      best_q = s.in_system;
+    } else if (s.in_system == best_q) {
+      ++counters_.ties;
+      BLADE_OBS_COUNT("policy.ties");
+    }
+  }
+  if (best == kNpos) {
+    ++counters_.fallback_scans;
+    BLADE_OBS_COUNT("policy.fallback_scans");
+    return dark_best;
+  }
+  if (best_q > 0) {
+    ++counters_.herd_events;
+    BLADE_OBS_COUNT("policy.herd_events");
+  }
+  return best;
+}
+
+void DispatchPolicy::sample_probes() {
+  const util::AliasTable& table = *probe_table_;
+  const std::size_t d = std::min<std::size_t>(cfg_.probe_d, n_);
+  probes_.clear();
+  ++epoch_;
+  // Rejection sampling from the fixed table conditioned on "not already
+  // drawn" IS successive weighted sampling without replacement:
+  // P(first = i) = w_i, P(second = j | first = i) = w_j / (1 - w_i).
+  // The light-traffic oracle's closed forms integrate exactly this law.
+  const std::size_t max_attempts = kRedrawFactor * d;
+  std::size_t attempts = 0;
+  while (probes_.size() < d && attempts < max_attempts) {
+    ++attempts;
+    const double u1 = rng_.uniform();
+    const double u2 = rng_.uniform();
+    const std::size_t idx = table.sample(u1, u2);
+    if (seen_epoch_[idx] == epoch_) {
+      ++counters_.redraws;
+      BLADE_OBS_COUNT("policy.redraws");
+      continue;
+    }
+    seen_epoch_[idx] = epoch_;
+    probes_.push_back(static_cast<std::uint32_t>(idx));
+  }
+  // Pathological rejection tail (one server carries ~all probe mass, or
+  // zero-weight servers make d distinct draws impossible): top up
+  // deterministically with the lowest unseen indices so the probe set
+  // always has d distinct members and d = n covers the whole fleet.
+  for (std::size_t i = 0; probes_.size() < d && i < n_; ++i) {
+    if (seen_epoch_[i] == epoch_) continue;
+    seen_epoch_[i] = epoch_;
+    probes_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::size_t DispatchPolicy::select(const StateView& view, std::size_t count,
+                                   bool respect_availability) {
+  std::size_t best = kNpos;
+  std::size_t best_q_key = 0;
+  double best_h_key = 0.0;
+  std::size_t best_q_seen = 0;  // raw queue of the winner, for herd detection
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t idx = probes_[k];
+    const ServerState s = view(idx);
+    if (respect_availability && s.available == 0) continue;
+    if (hetero_key_ && respect_availability) {
+      const double key = hetero_key(s);
+      if (best == kNpos || key < best_h_key ||
+          (key == best_h_key && idx < best)) {
+        if (best != kNpos && key == best_h_key) {
+          ++counters_.ties;
+          BLADE_OBS_COUNT("policy.ties");
+        }
+        best = idx;
+        best_h_key = key;
+        best_q_seen = s.in_system;
+      } else if (key == best_h_key) {
+        ++counters_.ties;
+        BLADE_OBS_COUNT("policy.ties");
+      }
+    } else {
+      // Naive key (also the dark-fleet fallback for the hetero kinds,
+      // where available = 0 makes the normalized key degenerate):
+      // lexicographic (tasks in system, index).
+      const std::size_t key = s.in_system;
+      if (best == kNpos || key < best_q_key || (key == best_q_key && idx < best)) {
+        if (best != kNpos && key == best_q_key) {
+          ++counters_.ties;
+          BLADE_OBS_COUNT("policy.ties");
+        }
+        best = idx;
+        best_q_key = key;
+        best_q_seen = s.in_system;
+      } else if (key == best_q_key) {
+        ++counters_.ties;
+        BLADE_OBS_COUNT("policy.ties");
+      }
+    }
+  }
+  if (respect_availability && best != kNpos && best_q_seen > 0) {
+    // Every available probe already holds work: the d-choices herd is
+    // queueing behind busy servers this arrival.
+    ++counters_.herd_events;
+    BLADE_OBS_COUNT("policy.herd_events");
+  }
+  return best;
+}
+
+std::size_t DispatchPolicy::route_probed(const StateView& view) {
+  sample_probes();
+  counters_.probes += probes_.size();
+  BLADE_OBS_COUNT_N("policy.probes", probes_.size());
+  const std::size_t probed = select(view, probes_.size(), /*respect_availability=*/true);
+  if (probed != kNpos) return probed;
+  // Every probed server is dark. Scan the fleet for the best available
+  // server under the policy's own key before giving up on availability.
+  ++counters_.fallback_scans;
+  BLADE_OBS_COUNT("policy.fallback_scans");
+  std::size_t best = kNpos;
+  std::size_t best_q = 0;
+  double best_h = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const ServerState s = view(i);
+    if (s.available == 0) continue;
+    if (hetero_key_) {
+      const double key = hetero_key(s);
+      if (best == kNpos || key < best_h) {
+        best = i;
+        best_h = key;
+      }
+    } else if (best == kNpos || s.in_system < best_q) {
+      best = i;
+      best_q = s.in_system;
+    }
+  }
+  if (best != kNpos) return best;
+  // Whole fleet dark: park the task on the least-loaded probed server.
+  return select(view, probes_.size(), /*respect_availability=*/false);
+}
+
+std::vector<double> light_traffic_fractions(const PolicyConfig& cfg,
+                                            const std::vector<ServerState>& fleet) {
+  const std::size_t n = fleet.size();
+  if (Status s = cfg.validate(n); !s.ok()) {
+    throw std::invalid_argument("light_traffic_fractions: " + s.error().to_string());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fleet[i].available == 0) {
+      throw std::invalid_argument(
+          "light_traffic_fractions: server " + std::to_string(i) +
+          " has no available blades (the limit assumes a fully up fleet)");
+    }
+  }
+  std::vector<double> f(n, 0.0);
+  switch (cfg.kind) {
+    case PolicyKind::RoundRobin: {
+      std::fill(f.begin(), f.end(), 1.0 / static_cast<double>(n));
+      return f;
+    }
+    case PolicyKind::Jsq: {
+      // Every arrival sees an empty fleet; the lexicographic tie-break
+      // sends everything to index 0.
+      f[0] = 1.0;
+      return f;
+    }
+    case PolicyKind::Random: {
+      std::fill(f.begin(), f.end(), 1.0 / static_cast<double>(n));
+      return f;
+    }
+    case PolicyKind::OptSplit: {
+      double total = 0.0;
+      for (const double w : cfg.weights) total += w;
+      for (std::size_t i = 0; i < n; ++i) f[i] = cfg.weights[i] / total;
+      return f;
+    }
+    case PolicyKind::JsqD:
+    case PolicyKind::SpeedBiasedD:
+    case PolicyKind::HeteroJsqD:
+    case PolicyKind::WeightedJsqD:
+      break;
+  }
+  const std::size_t d = std::min<std::size_t>(cfg.probe_d, n);
+  if (d == 1 || n == 1) {
+    // One probe: the fraction is just the probe distribution.
+    std::vector<double> w;
+    if (cfg.kind == PolicyKind::SpeedBiasedD) {
+      w = cfg.speeds;
+    } else if (cfg.kind == PolicyKind::WeightedJsqD) {
+      w = cfg.weights;
+    } else {
+      w = uniform_weights(n);
+    }
+    double total = 0.0;
+    for (const double x : w) total += x;
+    for (std::size_t i = 0; i < n; ++i) f[i] = w[i] / total;
+    return f;
+  }
+  if (d != 2) {
+    throw std::invalid_argument(
+        "light_traffic_fractions: closed form implemented for d <= 2 only (got d = " +
+        std::to_string(d) + ")");
+  }
+  // d = 2 over an empty fleet: enumerate ordered probe pairs under
+  // sampling-without-replacement, P{(i, j)} = p_i * p_j / (1 - p_i),
+  // and award the pair to the comparison key's winner. With every
+  // in_system = 0 the naive key always ties (min index wins) and the
+  // hetero key reduces to 1 / (a_i * s_i) — Izagirre–Makowski's
+  // light-traffic power-of-two structure.
+  std::vector<double> p;
+  if (cfg.kind == PolicyKind::SpeedBiasedD) {
+    p = cfg.speeds;
+  } else if (cfg.kind == PolicyKind::WeightedJsqD) {
+    p = cfg.weights;
+  } else {
+    p = uniform_weights(n);
+  }
+  double total = 0.0;
+  for (const double x : p) total += x;
+  for (double& x : p) x /= total;
+  const bool hetero = cfg.kind == PolicyKind::HeteroJsqD || cfg.kind == PolicyKind::WeightedJsqD;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || p[j] == 0.0) continue;
+      const double pair = p[i] * p[j] / (1.0 - p[i]);
+      std::size_t winner;
+      if (hetero) {
+        // Float-exact: the same division the live policy computes.
+        const double ki = 1.0 / (static_cast<double>(fleet[i].available) * fleet[i].speed);
+        const double kj = 1.0 / (static_cast<double>(fleet[j].available) * fleet[j].speed);
+        winner = ki < kj ? i : (kj < ki ? j : std::min(i, j));
+      } else {
+        winner = std::min(i, j);
+      }
+      f[winner] += pair;
+    }
+  }
+  return f;
+}
+
+}  // namespace blade::policy

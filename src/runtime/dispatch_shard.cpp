@@ -3,23 +3,8 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
-#include "sim/rng.hpp"
 
 namespace blade::runtime {
-
-FastRng::FastRng(std::uint64_t seed, std::uint64_t stream) noexcept {
-  // Same (seed, stream) decorrelation as sim::RngStream: fold the stream
-  // id into the seed through SplitMix64, then iterate it to fill the
-  // 256-bit state. SplitMix64 output is equidistributed, so an all-zero
-  // state (the one state xoshiro cannot leave) is unreachable in
-  // practice; guard anyway since it is cheap and the failure is silent.
-  std::uint64_t z = sim::splitmix64(seed ^ sim::splitmix64(stream));
-  for (std::uint64_t& s : s_) {
-    z = sim::splitmix64(z);
-    s = z;
-  }
-  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
 
 void DispatchShardConfig::validate() const {
   if (refresh_interval == 0) {

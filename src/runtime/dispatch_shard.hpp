@@ -30,40 +30,14 @@
 
 #include "runtime/controller.hpp"
 #include "util/alias_table.hpp"
+#include "util/fast_rng.hpp"
 
 namespace blade::runtime {
 
-/// xoshiro256++ with SplitMix64 stream seeding: ~1 ns per draw, one
-/// 256-bit state per shard, no heap. Decorrelated streams come from
-/// seeding SplitMix64 with (seed, stream) exactly like sim::RngStream
-/// derives its engines, so per-thread sequences are independent.
-class FastRng {
- public:
-  explicit FastRng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
-
-  [[nodiscard]] std::uint64_t next() noexcept {
-    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-  }
-
-  /// Uniform double in [0, 1): the high 53 bits of one draw.
-  [[nodiscard]] double uniform() noexcept {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-  }
-
- private:
-  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-  }
-  std::uint64_t s_[4];
-};
+/// The shard RNG (xoshiro256++ with SplitMix64 stream seeding) now lives
+/// in util/fast_rng.hpp so the dispatch-policy family can share it; the
+/// alias keeps every existing runtime::FastRng use source-compatible.
+using FastRng = util::FastRng;
 
 struct DispatchShardConfig {
   std::uint64_t seed = 0;

@@ -424,7 +424,155 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
   return result;
 }
 
+/// The policy-harness counterpart of GenericDriver: same variable-rate
+/// arrival process (same RNG stream), but every admitted-by-default task
+/// routes through a DispatchPolicy over the live server state.
+struct PolicyDriver {
+  sim::Engine& engine;
+  policy::DispatchPolicy& policy;
+  const std::vector<sim::ServerSim*>& servers;
+  std::vector<std::uint64_t>& routed;
+  sim::ServiceDistribution work;
+  sim::RngStream arrivals;
+  double rate = 0.0;
+  sim::EventId pending = 0;
+  bool has_pending = false;
+
+  void set_rate(double r) {
+    if (has_pending) {
+      engine.cancel(pending);
+      has_pending = false;
+    }
+    rate = r;
+    schedule_next();
+  }
+
+  void schedule_next() {
+    if (!(rate > 0.0)) return;
+    pending = engine.schedule(arrivals.exponential(1.0 / rate), [this] { fire(); });
+    has_pending = true;
+  }
+
+  static policy::ServerState read_state(const void* ctx, std::size_t i) {
+    const auto& raw = *static_cast<const std::vector<sim::ServerSim*>*>(ctx);
+    const sim::ServerSim& s = *raw[i];
+    return policy::ServerState{
+        .speed = s.speed(),
+        .blades = s.blades(),
+        .available = s.available_blades(),
+        .in_system = s.tasks_in_system(),
+    };
+  }
+
+  void fire() {
+    has_pending = false;
+    sim::Task task;
+    task.cls = sim::TaskClass::Generic;
+    task.work = work.sample(arrivals);
+    const policy::StateView view{&servers, &read_state, servers.size()};
+    const std::size_t dest = policy.route(view);
+    ++routed[dest];
+    servers[dest]->arrive(task);
+    schedule_next();
+  }
+};
+
 }  // namespace
+
+PolicyReplayResult replay_policy(const model::Cluster& cluster,
+                                 const policy::PolicyConfig& policy_cfg,
+                                 const ReplayTrace& trace, const ReplayOptions& options) {
+  trace.validate(cluster.size());
+  if (!(options.warmup >= 0.0) || options.warmup >= trace.horizon) {
+    throw std::invalid_argument("replay_policy: warmup must be in [0, horizon)");
+  }
+  policy::DispatchPolicy policy(policy_cfg, cluster.size());
+
+  sim::Engine engine;
+  sim::ResponseTimeCollector collector(options.warmup, false);
+  const sim::SchedulingMode mode = sim::SchedulingMode::Fcfs;
+  std::vector<std::unique_ptr<sim::ServerSim>> servers;
+  std::vector<sim::ServerSim*> raw;
+  for (const auto& srv : cluster.servers()) {
+    servers.push_back(
+        std::make_unique<sim::ServerSim>(engine, srv.size(), srv.speed(), mode, collector));
+    raw.push_back(servers.back().get());
+  }
+
+  // Special streams keep their servers partially busy exactly as in
+  // replay() — same RNG stream ids, so the background load a policy sees
+  // is identical to what the controller harness sees.
+  std::vector<std::unique_ptr<sim::PoissonSource>> sources;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const auto& srv = cluster.server(i);
+    if (srv.special_rate() > 0.0) {
+      sim::ServerSim* dest = raw[i];
+      sources.push_back(std::make_unique<sim::PoissonSource>(
+          engine, srv.special_rate(),
+          sim::ServiceDistribution::from_scv(cluster.rbar(), options.service_scv),
+          sim::TaskClass::Special, sim::RngStream(trace.seed, 2 * i + 1),
+          [dest](sim::Task t) { dest->arrive(t); }));
+    }
+  }
+
+  PolicyReplayResult result;
+  result.routed_by_server.assign(cluster.size(), 0);
+  PolicyDriver driver{engine,
+                      policy,
+                      raw,
+                      result.routed_by_server,
+                      sim::ServiceDistribution::from_scv(cluster.rbar(), options.service_scv),
+                      sim::RngStream(trace.seed, 1000003)};
+
+  sim::FailureSchedule failures;
+  for (const auto& e : trace.events) {
+    if (e.kind == ReplayEvent::Kind::Rate) {
+      engine.schedule_at(e.time, [&driver, rate = e.rate] { driver.set_rate(rate); });
+    } else {
+      failures.events.push_back({e.time,
+                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
+                                                                   : sim::FailureKind::Recovery,
+                                 e.server, e.blades});
+    }
+  }
+  if (options.chaos != nullptr) {
+    for (const ReplayEvent& e : options.chaos->flap_events(trace.horizon, cluster.size())) {
+      failures.events.push_back({e.time,
+                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
+                                                                   : sim::FailureKind::Recovery,
+                                 e.server, e.blades});
+    }
+  }
+  sim::schedule_failures(engine, failures, raw, [](const sim::FailureEvent&) {});
+
+  for (auto& src : sources) src->start();
+  engine.run_until(trace.horizon);
+
+  result.counters = policy.counters();
+  result.sim.generic_mean_response = collector.generic().mean();
+  result.sim.generic_samples = collector.generic().count();
+  result.sim.special_mean_response = collector.special().mean();
+  result.sim.special_samples = collector.special().count();
+  result.sim.events = engine.events_processed();
+  for (const auto& s : servers) {
+    sim::ServerObservation obs;
+    obs.utilization = s->mean_utilization(0.0, trace.horizon);
+    obs.time_avg_tasks = s->time_avg_tasks(0.0, trace.horizon);
+    obs.completions = s->completions();
+    obs.preemptions = s->preemptions();
+    result.sim.servers.push_back(obs);
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : result.routed_by_server) total += c;
+  result.measured_fractions.assign(cluster.size(), 0.0);
+  if (total > 0) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      result.measured_fractions[i] =
+          static_cast<double>(result.routed_by_server[i]) / static_cast<double>(total);
+    }
+  }
+  return result;
+}
 
 ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
                     const ReplayTrace& trace, double warmup, double service_scv) {

@@ -27,6 +27,7 @@
 
 #include "model/cluster.hpp"
 #include "obs/slo.hpp"
+#include "policy/policy.hpp"
 #include "runtime/controller.hpp"
 #include "sim/simulation.hpp"
 #include "util/status.hpp"
@@ -113,6 +114,29 @@ struct ReplayResult {
 /// Full-options replay: chaos, SLO epoch evaluation, dispatch sampling.
 [[nodiscard]] ReplayResult replay(const model::Cluster& cluster, const ControllerConfig& cfg,
                                   const ReplayTrace& trace, const ReplayOptions& options);
+
+/// What one dispatch policy did over a replayed timeline.
+struct PolicyReplayResult {
+  sim::SimResult sim;                          ///< measured response times etc.
+  policy::PolicyCounters counters;             ///< probes/ties/herds/fallbacks
+  std::vector<std::uint64_t> routed_by_server; ///< tasks sent to each server
+  std::vector<double> measured_fractions;      ///< routed_by_server, normalized
+};
+
+/// Replays `trace`'s timeline through a policy::DispatchPolicy instead of
+/// the controller: generic arrivals follow the trace's rate epochs, the
+/// failure/recovery schedule drains and restores simulated blades (plus
+/// `options.chaos` flap events when set), and every generic task routes
+/// by `policy_cfg` over the LIVE server state. No admission control, no
+/// re-solving — this is the head-to-head harness the policy bench matrix
+/// and the ablation tests drive, sharing arrival/service RNG streams
+/// with replay() so per-policy differences are routing-only. Of the
+/// options only warmup, service_scv, and chaos apply (SLO epochs and
+/// dispatch sampling are controller-plane concerns).
+[[nodiscard]] PolicyReplayResult replay_policy(const model::Cluster& cluster,
+                                               const policy::PolicyConfig& policy_cfg,
+                                               const ReplayTrace& trace,
+                                               const ReplayOptions& options = {});
 
 /// replay() with a FaultInjector in the loop: observations pass through
 /// chaos.corrupt_observation before reaching the controller (drops,

@@ -65,17 +65,61 @@ std::size_t RoundRobinDispatcher::route(const std::vector<ServerSim*>& servers) 
 
 std::size_t JoinShortestQueueDispatcher::route(const std::vector<ServerSim*>& servers) {
   if (servers.empty()) throw std::invalid_argument("JSQ: no servers");
-  std::size_t best = 0;
+  // Load must be measured against the blades that can actually serve
+  // right now: a failed/drained server's installed blade count is stale
+  // capacity. Skip fully dark servers entirely while any alternative
+  // exists (tasks routed there would queue unservable until recovery);
+  // when the whole fleet is dark, fall back to the fewest-tasks server.
+  std::size_t best = static_cast<std::size_t>(-1);
   double best_load = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < servers.size(); ++i) {
-    const double load = static_cast<double>(servers[i]->tasks_in_system()) /
-                        static_cast<double>(servers[i]->blades());
+    const unsigned avail = servers[i]->available_blades();
+    if (avail == 0) continue;
+    const double load =
+        static_cast<double>(servers[i]->tasks_in_system()) / static_cast<double>(avail);
     if (load < best_load) {
       best_load = load;
       best = i;
     }
   }
-  return best;
+  if (best != static_cast<std::size_t>(-1)) return best;
+  std::size_t dark_best = 0;
+  std::size_t dark_q = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i]->tasks_in_system() < dark_q) {
+      dark_q = servers[i]->tasks_in_system();
+      dark_best = i;
+    }
+  }
+  return dark_best;
+}
+
+namespace {
+
+policy::ServerState read_server_state(const void* ctx, std::size_t i) {
+  const auto& servers = *static_cast<const std::vector<ServerSim*>*>(ctx);
+  const ServerSim& s = *servers[i];
+  return policy::ServerState{
+      .speed = s.speed(),
+      .blades = s.blades(),
+      .available = s.available_blades(),
+      .in_system = s.tasks_in_system(),
+  };
+}
+
+}  // namespace
+
+PolicyDispatcher::PolicyDispatcher(policy::PolicyConfig cfg, std::size_t n)
+    : policy_(std::move(cfg), n), routed_(n, 0) {}
+
+std::size_t PolicyDispatcher::route(const std::vector<ServerSim*>& servers) {
+  if (servers.size() != policy_.fleet_size()) {
+    throw std::invalid_argument("PolicyDispatcher: server count mismatch");
+  }
+  const policy::StateView view{&servers, &read_server_state, servers.size()};
+  const std::size_t dest = policy_.route(view);
+  ++routed_[dest];
+  return dest;
 }
 
 }  // namespace blade::sim

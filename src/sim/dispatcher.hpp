@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "policy/policy.hpp"
 #include "sim/rng.hpp"
 #include "sim/server_sim.hpp"
 #include "util/alias_table.hpp"
@@ -64,12 +65,47 @@ class RoundRobinDispatcher final : public Dispatcher {
   std::size_t next_ = 0;
 };
 
-/// Joins the server with the fewest tasks in system, normalized by blade
-/// count (ties broken by lowest index).
+/// Joins the server with the fewest tasks in system, normalized by
+/// AVAILABLE blade count (ties broken by lowest index). Fully dark
+/// servers are skipped while any alternative exists — comparing against
+/// installed blades() routed arrivals into failed servers, where they
+/// queued unservable until recovery (the stale-capacity regression in
+/// tests/test_policy.cpp).
 class JoinShortestQueueDispatcher final : public Dispatcher {
  public:
   [[nodiscard]] std::size_t route(const std::vector<ServerSim*>& servers) override;
   [[nodiscard]] const char* name() const noexcept override { return "join-shortest-queue"; }
+};
+
+/// Adapts a policy::DispatchPolicy to the simulator's Dispatcher seam.
+/// The policy reads LIVE ServerSim state through a StateView built per
+/// route() call — tasks_in_system()/available_blades() are evaluated at
+/// the arrival instant, never cached across events, which is what keeps
+/// the probe immune to the read-during-departure staleness bug class.
+class PolicyDispatcher final : public Dispatcher {
+ public:
+  /// @param cfg  validated against `n` on construction (throws
+  ///             std::invalid_argument like DispatchPolicy).
+  PolicyDispatcher(policy::PolicyConfig cfg, std::size_t n);
+
+  [[nodiscard]] std::size_t route(const std::vector<ServerSim*>& servers) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return policy_.name();
+  }
+
+  [[nodiscard]] const policy::DispatchPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const policy::PolicyCounters& counters() const noexcept {
+    return policy_.counters();
+  }
+  /// Tasks routed to each server so far — the measured assignment
+  /// fractions the light-traffic oracle tests integrate against.
+  [[nodiscard]] const std::vector<std::uint64_t>& routed_by_server() const noexcept {
+    return routed_;
+  }
+
+ private:
+  policy::DispatchPolicy policy_;
+  std::vector<std::uint64_t> routed_;
 };
 
 }  // namespace blade::sim

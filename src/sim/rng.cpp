@@ -3,14 +3,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fast_rng.hpp"
+
 namespace blade::sim {
 
-std::uint64_t splitmix64(std::uint64_t x) noexcept {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
+std::uint64_t splitmix64(std::uint64_t x) noexcept { return util::splitmix64(x); }
 
 RngStream::RngStream(std::uint64_t seed, std::uint64_t stream_id)
     : engine_(splitmix64(splitmix64(seed) ^ splitmix64(stream_id * 0xA24BAED4963EE407ULL + 1))) {}

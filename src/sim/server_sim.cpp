@@ -91,6 +91,11 @@ void ServerSim::complete_slot(std::size_t slot) {
   Slot& s = slots_[slot];
   const Task done = s.task;
   s.busy = false;
+  // Scrub the departed task's residue: a slot that keeps its stale task
+  // class / completion time can be misread by a later arrival's victim
+  // scan (the read-during-departure staleness class fixed below).
+  s.task = Task{};
+  s.completion_time = 0.0;
   account_busy_change(-1);
   account_system_change(-1);
   ++completions_;
@@ -139,7 +144,13 @@ void ServerSim::arrive(Task task) {
     std::size_t victim = slots_.size();
     double latest = -1.0;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].task.cls == TaskClass::Generic && slots_[i].completion_time > latest) {
+      // The slot must be BUSY: after a drain (available_ < blades_) an
+      // idle slot still holds the departed generic task it last ran, and
+      // picking it as victim cancels an already-fired event, computes
+      // negative remaining work from the stale completion time, and
+      // underflows the busy count.
+      if (slots_[i].busy && slots_[i].task.cls == TaskClass::Generic &&
+          slots_[i].completion_time > latest) {
         latest = slots_[i].completion_time;
         victim = i;
       }

@@ -109,6 +109,8 @@ SimResult simulate_dispatched(const model::Cluster& cluster, double lambda_total
     arrive = [prob, raw](Task t) { raw[prob->route(raw)]->arrive(t); };
   } else if (auto* dyn = dynamic_cast<DynamicWeightDispatcher*>(&dispatcher)) {
     arrive = [dyn, raw](Task t) { raw[dyn->route(raw)]->arrive(t); };
+  } else if (auto* pol = dynamic_cast<PolicyDispatcher*>(&dispatcher)) {
+    arrive = [pol, raw](Task t) { raw[pol->route(raw)]->arrive(t); };
   } else {
     arrive = [&dispatcher, raw](Task t) { raw[dispatcher.route(raw)]->arrive(t); };
   }
