@@ -1,0 +1,177 @@
+// Gray-failure detection ablation: the same degraded timeline replayed
+// through the adaptive controller with health scoring OFF (the seed
+// behavior: the optimizer keeps trusting nominal speeds, so a silently
+// slowed server keeps receiving its optimal-for-healthy split and T'
+// inflates) and ON (the quarantine state machine fences the blade, a
+// cheap redistribution moves its traffic, and probation re-solves with
+// the degraded effective speed).
+//
+// Three gray regimes stress the three fault shapes the simulator can
+// inject (see runtime/replay.hpp's trace grammar):
+//
+//   slowdown  the fleet's fastest server silently drops to 25% effective
+//             speed for the middle half of the horizon (`slow` events)
+//   stall     the same server freezes for 35-unit windows every 90 units
+//             (`stall`/`unstall` pairs) -- intermittent, self-clearing
+//   flap      rapid alternation: 45 units at 15% speed, 45 units clean,
+//             all through the middle half -- the dwell-time filter's
+//             worst case
+//
+// Every regime replays the identical trace, seed, and arrival streams
+// for both rows, so the T' delta is attributable to detection alone.
+// The table prints T'_off / T'_on per regime; CI gates the sustained-
+// slowdown ratio against the checked-in baseline with bench_check
+// --min-ratio, so a regression that stops detection from paying for
+// itself fails the build. Also emits GRAY_FAILURE_table.csv and the
+// standard BENCH_bench_gray_failure.json obs export.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/cluster.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/replay.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using blade::model::Cluster;
+using blade::runtime::ReplayEvent;
+using blade::runtime::ReplayTrace;
+
+constexpr double kHorizon = 8000.0;
+constexpr double kWarmup = 600.0;
+
+/// One fast chassis next to three slower ones; the gray fault always
+/// lands on server 0, the server carrying the largest optimal split --
+/// the regime where trusting nominal speeds hurts the most.
+Cluster fleet() {
+  return Cluster({{4, 2.0, 0.8}, {4, 1.0, 0.5}, {4, 1.0, 0.5}, {4, 0.8, 0.4}}, 1.0);
+}
+
+ReplayTrace base_trace(const Cluster& cluster) {
+  ReplayTrace trace;
+  trace.horizon = kHorizon;
+  trace.seed = 11;
+  trace.events.push_back({.time = 0.0,
+                          .kind = ReplayEvent::Kind::Rate,
+                          .rate = 0.65 * cluster.max_generic_rate()});
+  return trace;
+}
+
+ReplayTrace slowdown_trace(const Cluster& cluster) {
+  ReplayTrace trace = base_trace(cluster);
+  trace.events.push_back(
+      {.time = kHorizon / 4.0, .kind = ReplayEvent::Kind::Slow, .server = 0, .factor = 0.25});
+  trace.events.push_back(
+      {.time = 3.0 * kHorizon / 4.0, .kind = ReplayEvent::Kind::Slow, .server = 0, .factor = 1.0});
+  return trace;
+}
+
+ReplayTrace stall_trace(const Cluster& cluster) {
+  ReplayTrace trace = base_trace(cluster);
+  for (double t = kHorizon / 4.0; t < 3.0 * kHorizon / 4.0; t += 90.0) {
+    trace.events.push_back({.time = t, .kind = ReplayEvent::Kind::Stall, .server = 0});
+    trace.events.push_back({.time = t + 35.0, .kind = ReplayEvent::Kind::Unstall, .server = 0});
+  }
+  return trace;
+}
+
+ReplayTrace flap_trace(const Cluster& cluster) {
+  ReplayTrace trace = base_trace(cluster);
+  for (double t = kHorizon / 4.0; t < 3.0 * kHorizon / 4.0; t += 90.0) {
+    trace.events.push_back(
+        {.time = t, .kind = ReplayEvent::Kind::Slow, .server = 0, .factor = 0.15});
+    trace.events.push_back(
+        {.time = t + 45.0, .kind = ReplayEvent::Kind::Slow, .server = 0, .factor = 1.0});
+  }
+  return trace;
+}
+
+struct Row {
+  double t_off = 0.0;
+  double t_on = 0.0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t routes_to_quarantined = 0;
+};
+
+Row run_regime(const Cluster& cluster, const ReplayTrace& trace) {
+  Row row;
+  for (const bool detect : {false, true}) {
+    blade::runtime::ControllerConfig cfg;
+    cfg.half_life = kHorizon / 100.0;
+    cfg.health.enabled = detect;
+    blade::runtime::ReplayOptions ropts;
+    ropts.warmup = kWarmup;
+    const auto res = blade::runtime::replay(cluster, cfg, trace, ropts);
+    if (detect) {
+      row.t_on = res.sim.generic_mean_response;
+      row.quarantines = res.stats.quarantines;
+      row.recoveries = res.stats.health_recoveries;
+      row.routes_to_quarantined = res.routes_to_quarantined;
+    } else {
+      row.t_off = res.sim.generic_mean_response;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const Cluster cluster = fleet();
+  struct Regime {
+    std::string name;
+    ReplayTrace trace;
+  };
+  const std::vector<Regime> regimes = {
+      {"slowdown", slowdown_trace(cluster)},
+      {"stall", stall_trace(cluster)},
+      {"flap", flap_trace(cluster)},
+  };
+
+  std::ostringstream csv;
+  csv << "regime,T_off,T_on,ratio,quarantines,recoveries,routes_to_quarantined\n";
+  blade::util::Table t(
+      {"regime", "T' off", "T' on", "off/on", "quarantines", "recoveries", "q-routes"});
+
+  for (const auto& regime : regimes) {
+    const Row row = run_regime(cluster, regime.trace);
+    const double ratio = row.t_on > 0.0 ? row.t_off / row.t_on : 0.0;
+    t.add_row({regime.name, blade::util::fixed(row.t_off, 4), blade::util::fixed(row.t_on, 4),
+               blade::util::fixed(ratio, 3), std::to_string(row.quarantines),
+               std::to_string(row.recoveries), std::to_string(row.routes_to_quarantined)});
+    csv << regime.name << ',' << row.t_off << ',' << row.t_on << ',' << ratio << ','
+        << row.quarantines << ',' << row.recoveries << ',' << row.routes_to_quarantined << '\n';
+    // CI gates the slowdown ratio via these gauges (bench_check
+    // --min-ratio t_off:value / t_on:value against the baseline). The
+    // BLADE_OBS_GAUGE_SET macro interns its name once per call site, so
+    // a loop-varying name needs the registry directly.
+    auto& reg = blade::obs::registry();
+    reg.set(reg.intern("bench.gray." + regime.name + ".t_off", blade::obs::Kind::Gauge),
+            row.t_off);
+    reg.set(reg.intern("bench.gray." + regime.name + ".t_on", blade::obs::Kind::Gauge),
+            row.t_on);
+  }
+
+  std::cout << "=== gray-failure detection ablation (identical trace per row pair) ===\n"
+            << t.render()
+            << "off/on > 1 means detection strictly improved mean generic T'\n";
+
+  {
+    std::FILE* f = std::fopen("GRAY_FAILURE_table.csv", "w");
+    if (f != nullptr) {
+      const std::string body = csv.str();
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::cout << "wrote GRAY_FAILURE_table.csv\n";
+    }
+  }
+  const std::string file = blade::obs::export_bench_json("bench_gray_failure");
+  std::fprintf(stderr, "metrics: wrote %s\n", file.c_str());
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "runtime/replay.hpp"
 #include "sim/dispatcher.hpp"
 #include "sim/simulation.hpp"
+#include "util/fileio.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -393,8 +394,28 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
   cfg.drift_threshold = serve.drift_threshold;
   cfg.shard_cells = opts.shards;
   cfg.prune_top_k = opts.prune_k;
+  if (serve.health) {
+    cfg.health.enabled = true;
+    cfg.health.half_life = serve.health_half_life;
+    cfg.health.suspect_threshold = serve.health_suspect;
+    cfg.health.quarantine_threshold = serve.health_quarantine;
+    cfg.health.recover_threshold = serve.health_recover;
+    cfg.health.suspect_dwell = serve.health_suspect_dwell;
+    cfg.health.quarantine_dwell = serve.health_quarantine_dwell;
+    cfg.health.probation_dwell = serve.health_probation_dwell;
+  }
 
   runtime::ReplayOptions ropts;
+  ropts.checkpoint_out = serve.checkpoint_out;
+  ropts.checkpoint_every = serve.checkpoint_every;
+  if (!serve.checkpoint_in.empty()) {
+    auto doc = util::read_file(serve.checkpoint_in);
+    if (!doc) {
+      throw std::invalid_argument("cannot read checkpoint '" + serve.checkpoint_in +
+                                  "': " + doc.error().context);
+    }
+    ropts.checkpoint_in = std::move(doc.value());
+  }
   if (serve.slo_target > 0.0) {
     ropts.slo.response_time = serve.slo_target;
     ropts.slo.max_shed_fraction = serve.slo_max_shed;
@@ -421,6 +442,28 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
     chaos_line = cs.str();
   } else {
     res = runtime::replay(cluster, cfg, trace, ropts);
+  }
+
+  std::string health_line;
+  if (serve.health) {
+    std::ostringstream hs;
+    hs << "health            " << res.stats.health_transitions << " transitions ("
+       << res.stats.quarantines << " quarantines, " << res.stats.probations << " probations, "
+       << res.stats.health_recoveries << " recoveries), " << res.stats.quarantine_publications
+       << " quarantine redistributions, " << res.routes_to_quarantined
+       << " routes to quarantined\n";
+    health_line = hs.str();
+  }
+
+  std::string checkpoint_line;
+  if (!serve.checkpoint_out.empty() || !serve.checkpoint_in.empty()) {
+    std::ostringstream ks;
+    ks << "checkpoints       ";
+    if (!serve.checkpoint_in.empty()) ks << "restored from " << serve.checkpoint_in << "; ";
+    ks << res.checkpoints_written << " written";
+    if (!serve.checkpoint_out.empty()) ks << " -> " << serve.checkpoint_out;
+    ks << '\n';
+    checkpoint_line = ks.str();
   }
 
   std::string recorder_line;
@@ -457,7 +500,7 @@ std::string run_serve_replay(const model::Cluster& cluster, const std::string& t
      << " special (" << res.sim.special_samples << " tasks)\n"
      << "final split       " << util::to_string(res.final_fractions, 4) << " (shed prob "
      << util::fixed(res.final_shed_probability, 4) << ")\n"
-     << recorder_line;
+     << health_line << checkpoint_line << recorder_line;
   if (!res.slo.empty()) {
     os << '\n';
     for (const auto& s : res.slo) os << s.line << '\n';
@@ -536,6 +579,18 @@ std::string usage() {
          "  --recorder-out <path>       serve-replay: dump the flight recorder\n"
          "                    (.json = Chrome trace for Perfetto, else JSONL)\n"
          "  --recorder-capacity <n>     per-thread ring slots for the dump\n"
+         "  --health          serve-replay: gray-failure detection (per-blade\n"
+         "                    health scoring + the quarantine state machine)\n"
+         "  --health-suspect / --health-quarantine / --health-recover <score>\n"
+         "                    state-machine thresholds (default 0.7 / 0.45 / 0.9)\n"
+         "  --health-suspect-dwell / --health-quarantine-dwell /\n"
+         "  --health-probation-dwell <t> dwell times (default 8 / 30 / 20)\n"
+         "  --health-half-life <t>      score EWMA memory (default 20)\n"
+         "  --checkpoint-out <path>     serve-replay: crash-safe controller\n"
+         "                    checkpoints (atomic temp-file + rename)\n"
+         "  --checkpoint-every <t>      periodic checkpoint interval in sim time\n"
+         "                    (default 0 = final checkpoint only)\n"
+         "  --checkpoint-in <path>      restore controller state before the replay\n"
          "  --verbose         solver convergence summaries on stderr\n"
          "  --threads <n>     sweep: worker threads (default 0 = shared pool)\n"
          "  --shards <n>      optimize / serve-replay: sharded hierarchical solver\n"
@@ -665,6 +720,31 @@ std::string run_cli(const std::vector<std::string>& args) {
       serve.recorder_out = next("--recorder-out");
     } else if (a == "--recorder-capacity") {
       serve.recorder_capacity = static_cast<std::size_t>(std::stoul(next("--recorder-capacity")));
+    } else if (a == "--health") {
+      serve.health = true;
+    } else if (a == "--health-suspect") {
+      serve.health_suspect = std::stod(next("--health-suspect"));
+    } else if (a == "--health-quarantine") {
+      serve.health_quarantine = std::stod(next("--health-quarantine"));
+    } else if (a == "--health-recover") {
+      serve.health_recover = std::stod(next("--health-recover"));
+    } else if (a == "--health-suspect-dwell") {
+      serve.health_suspect_dwell = std::stod(next("--health-suspect-dwell"));
+    } else if (a == "--health-quarantine-dwell") {
+      serve.health_quarantine_dwell = std::stod(next("--health-quarantine-dwell"));
+    } else if (a == "--health-probation-dwell") {
+      serve.health_probation_dwell = std::stod(next("--health-probation-dwell"));
+    } else if (a == "--health-half-life") {
+      serve.health_half_life = std::stod(next("--health-half-life"));
+    } else if (a == "--checkpoint-out") {
+      serve.checkpoint_out = next("--checkpoint-out");
+    } else if (a == "--checkpoint-every") {
+      serve.checkpoint_every = std::stod(next("--checkpoint-every"));
+      if (serve.checkpoint_every < 0.0) {
+        throw std::invalid_argument("--checkpoint-every must be >= 0");
+      }
+    } else if (a == "--checkpoint-in") {
+      serve.checkpoint_in = next("--checkpoint-in");
     } else if (a == "--verbose") {
       opts.verbosity = 1;
     } else if (a == "--threads") {

@@ -96,6 +96,26 @@ struct ServeOptions {
   /// else (e.g. `.jsonl`) the line-oriented JSONL schema.
   std::string recorder_out;
   std::size_t recorder_capacity = 0;  ///< --recorder-capacity: per-thread ring slots
+  /// --health: per-blade gray-failure scoring + the quarantine state
+  /// machine (runtime/health.hpp). The sub-knobs below override the
+  /// HealthConfig defaults only when --health is given.
+  bool health = false;
+  double health_suspect = 0.7;          ///< --health-suspect: Healthy -> Suspect score
+  double health_quarantine = 0.45;      ///< --health-quarantine: fast-path / relapse score
+  double health_recover = 0.9;          ///< --health-recover: recovery score (hysteresis)
+  double health_suspect_dwell = 8.0;    ///< --health-suspect-dwell: Suspect dwell time
+  double health_quarantine_dwell = 30.0;  ///< --health-quarantine-dwell: min quarantine time
+  double health_probation_dwell = 20.0;   ///< --health-probation-dwell: probation clear time
+  double health_half_life = 20.0;       ///< --health-half-life: score EWMA memory
+  /// --checkpoint-out: atomically persist controller checkpoints here
+  /// (temp file + rename; a crash never leaves a torn file).
+  std::string checkpoint_out;
+  /// --checkpoint-every: sim-time interval between periodic checkpoint
+  /// writes (0 with --checkpoint-out = final checkpoint only).
+  double checkpoint_every = 0.0;
+  /// --checkpoint-in: restore controller state from this checkpoint file
+  /// before the replay starts.
+  std::string checkpoint_in;
 };
 
 /// `serve-replay`: replay an event trace (rate swings, blade failures,

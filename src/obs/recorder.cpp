@@ -30,6 +30,7 @@ const char* to_string(EventType t) noexcept {
     case EventType::SpanEnd: return "span";
     case EventType::Dispatch: return "dispatch";
     case EventType::EpochMark: return "epoch_mark";
+    case EventType::HealthTransition: return "health_transition";
   }
   return "unknown";
 }
@@ -52,6 +53,9 @@ const char* to_string(Cause c) noexcept {
     case Cause::ChaosPhantom: return "chaos_phantom";
     case Cause::ChaosTimewarp: return "chaos_timewarp";
     case Cause::Restore: return "restore";
+    case Cause::Quarantine: return "quarantine";
+    case Cause::Probation: return "probation";
+    case Cause::HealthRecovered: return "health_recovered";
   }
   return "unknown";
 }
@@ -279,6 +283,19 @@ void Recorder::reset() {
 
 namespace {
 
+// Stable names of the runtime's HealthState enumerators (obs sits below
+// runtime in the library graph, so the enum itself is out of reach here;
+// the wire values are part of the dump schema).
+const char* health_state_name(double v) {
+  switch (static_cast<int>(v)) {
+    case 0: return "healthy";
+    case 1: return "suspect";
+    case 2: return "quarantined";
+    case 3: return "probation";
+  }
+  return "unknown";
+}
+
 void append_event_fields(util::JsonWriter& w, const Event& e, const std::vector<std::string>& labels) {
   w.key("tid").value(static_cast<long long>(e.tid));
   w.key("seq").value(static_cast<long long>(e.seq));
@@ -295,6 +312,10 @@ void append_event_fields(util::JsonWriter& w, const Event& e, const std::vector<
       break;
     case EventType::SpanEnd:
       if (e.id < labels.size()) w.key("label").value(labels[e.id]);
+      break;
+    case EventType::HealthTransition:
+      w.key("from").value(std::string(health_state_name(e.a)));
+      w.key("to").value(std::string(health_state_name(e.b)));
       break;
     default:
       break;
@@ -362,6 +383,10 @@ void chrome_args(util::JsonWriter& w, const Event& e) {
     case EventType::ModeTransition:
     case EventType::ChaosInject:
       w.key("cause").value(std::string(to_string(static_cast<Cause>(e.id))));
+      break;
+    case EventType::HealthTransition:
+      w.key("from").value(std::string(health_state_name(e.a)));
+      w.key("to").value(std::string(health_state_name(e.b)));
       break;
     default:
       break;

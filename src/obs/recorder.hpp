@@ -52,9 +52,11 @@ enum class EventType : std::uint16_t {
   SpanEnd,         ///< id = interned label; a = duration in seconds
   Dispatch,        ///< id = server routed to; a = sim time, b = dispatch ordinal
   EpochMark,       ///< id = epoch index; a = sim time, b = generic rate / lambda'
+  HealthTransition,  ///< id = server; a = from HealthState, b = to HealthState, c = score
 };
 
-inline constexpr std::size_t kEventTypeCount = static_cast<std::size_t>(EventType::EpochMark) + 1;
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::HealthTransition) + 1;
 
 [[nodiscard]] const char* to_string(EventType t) noexcept;
 
@@ -78,6 +80,9 @@ enum class Cause : std::uint32_t {
   ChaosPhantom,   ///< phantom arrivals reported to telemetry
   ChaosTimewarp,  ///< corrupted observation timestamp
   Restore,        ///< checkpoint restore republished a table
+  Quarantine,     ///< health scoring quarantined a blade; weights redistributed
+  Probation,      ///< quarantine dwell elapsed; degraded re-solve probes the blade
+  HealthRecovered,  ///< probation cleared; nominal re-solve restored the blade
 };
 
 [[nodiscard]] const char* to_string(Cause c) noexcept;

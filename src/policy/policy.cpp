@@ -30,6 +30,13 @@ constexpr std::size_t kRedrawFactor = 16;
   return std::vector<double>(n, 1.0);
 }
 
+/// The availability contract's notion of "routable": blades up AND not
+/// health-quarantined. Quarantined-but-up servers form the middle tier
+/// between routable and dark (see the header contract).
+[[nodiscard]] bool routable(const ServerState& s) noexcept {
+  return s.available > 0 && !s.quarantined;
+}
+
 }  // namespace
 
 const char* to_string(PolicyKind kind) noexcept {
@@ -180,37 +187,60 @@ std::size_t DispatchPolicy::route_sampled(const StateView& view) {
   const std::size_t first = table.sample(u1, u2);
   ++counters_.probes;
   BLADE_OBS_COUNT("policy.probes");
-  if (view(first).available > 0) return first;
-  // The drawn server is dark: resample a bounded number of times (each
-  // rejection keeps the conditional distribution proportional to the
-  // weights of the still-unseen servers), then scan.
+  {
+    const ServerState s = view(first);
+    if (routable(s)) return first;
+    if (s.available > 0) {
+      ++counters_.quarantine_skips;
+      BLADE_OBS_COUNT("policy.quarantine_skips");
+    }
+  }
+  // The drawn server is dark or quarantined: resample a bounded number
+  // of times (each rejection keeps the conditional distribution
+  // proportional to the weights of the still-unseen servers), then scan.
   for (std::size_t attempt = 0; attempt < kRedrawFactor; ++attempt) {
     ++counters_.redraws;
     BLADE_OBS_COUNT("policy.redraws");
     const std::size_t idx = table.sample(rng_.uniform(), rng_.uniform());
     ++counters_.probes;
     BLADE_OBS_COUNT("policy.probes");
-    if (view(idx).available > 0) return idx;
+    const ServerState s = view(idx);
+    if (routable(s)) return idx;
+    if (s.available > 0) {
+      ++counters_.quarantine_skips;
+      BLADE_OBS_COUNT("policy.quarantine_skips");
+    }
   }
   ++counters_.fallback_scans;
   BLADE_OBS_COUNT("policy.fallback_scans");
   std::size_t best = kNpos;
   std::size_t best_q = 0;
+  std::size_t qbest = kNpos;  // quarantined-but-up tier
+  std::size_t qbest_q = 0;
   for (std::size_t i = 0; i < n_; ++i) {
     const ServerState s = view(i);
     if (s.available == 0) continue;
+    if (s.quarantined) {
+      if (qbest == kNpos || s.in_system < qbest_q) {
+        qbest = i;
+        qbest_q = s.in_system;
+      }
+      continue;
+    }
     if (best == kNpos || s.in_system < best_q) {
       best = i;
       best_q = s.in_system;
     }
   }
-  // Whole fleet dark: hand the task to the original draw; its queue
-  // holds it until a recovery.
-  return best != kNpos ? best : first;
+  if (best != kNpos) return best;
+  // Fleet otherwise dark: a quarantined-but-up server still serves,
+  // degraded; only when nothing is up at all does the task park on the
+  // original draw until a recovery.
+  return qbest != kNpos ? qbest : first;
 }
 
 std::size_t DispatchPolicy::route_round_robin(const StateView& view) {
-  // Walk the cycle from the cursor to the first available server; a
+  // Walk the cycle from the cursor to the first routable server; a
   // fully dark fleet falls back to the cursor itself. The cursor always
   // lands one past the pick, so recovered servers rejoin the cycle in
   // order.
@@ -219,7 +249,8 @@ std::size_t DispatchPolicy::route_round_robin(const StateView& view) {
     const std::size_t idx = (start + step) % n_;
     ++counters_.probes;
     BLADE_OBS_COUNT("policy.probes");
-    if (view(idx).available > 0) {
+    const ServerState s = view(idx);
+    if (routable(s)) {
       if (step != 0) {
         ++counters_.fallback_scans;
         BLADE_OBS_COUNT("policy.fallback_scans");
@@ -227,9 +258,22 @@ std::size_t DispatchPolicy::route_round_robin(const StateView& view) {
       rr_next_ = (idx + 1) % n_;
       return idx;
     }
+    if (s.available > 0) {
+      ++counters_.quarantine_skips;
+      BLADE_OBS_COUNT("policy.quarantine_skips");
+    }
   }
   ++counters_.fallback_scans;
   BLADE_OBS_COUNT("policy.fallback_scans");
+  // No routable server. Prefer a quarantined-but-up server in cycle
+  // order over parking on a dark queue.
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t idx = (start + step) % n_;
+    if (view(idx).available > 0) {
+      rr_next_ = (idx + 1) % n_;
+      return idx;
+    }
+  }
   rr_next_ = (start + 1) % n_;
   return start;
 }
@@ -243,6 +287,8 @@ std::size_t DispatchPolicy::route_scan(const StateView& view) {
   BLADE_OBS_COUNT_N("policy.probes", n_);
   std::size_t best = kNpos;
   std::size_t best_q = 0;
+  std::size_t qbest = kNpos;  // quarantined-but-up middle tier
+  std::size_t qbest_q = 0;
   std::size_t dark_best = 0;
   std::size_t dark_q = static_cast<std::size_t>(-1);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -251,6 +297,15 @@ std::size_t DispatchPolicy::route_scan(const StateView& view) {
       if (s.in_system < dark_q) {
         dark_q = s.in_system;
         dark_best = i;
+      }
+      continue;
+    }
+    if (s.quarantined) {
+      ++counters_.quarantine_skips;
+      BLADE_OBS_COUNT("policy.quarantine_skips");
+      if (qbest == kNpos || s.in_system < qbest_q) {
+        qbest = i;
+        qbest_q = s.in_system;
       }
       continue;
     }
@@ -268,7 +323,7 @@ std::size_t DispatchPolicy::route_scan(const StateView& view) {
   if (best == kNpos) {
     ++counters_.fallback_scans;
     BLADE_OBS_COUNT("policy.fallback_scans");
-    return dark_best;
+    return qbest != kNpos ? qbest : dark_best;
   }
   if (best_q > 0) {
     ++counters_.herd_events;
@@ -321,7 +376,13 @@ std::size_t DispatchPolicy::select(const StateView& view, std::size_t count,
   for (std::size_t k = 0; k < count; ++k) {
     const std::size_t idx = probes_[k];
     const ServerState s = view(idx);
-    if (respect_availability && s.available == 0) continue;
+    if (respect_availability && !routable(s)) {
+      if (s.available > 0) {
+        ++counters_.quarantine_skips;
+        BLADE_OBS_COUNT("policy.quarantine_skips");
+      }
+      continue;
+    }
     if (hetero_key_ && respect_availability) {
       const double key = hetero_key(s);
       if (best == kNpos || key < best_h_key ||
@@ -371,16 +432,33 @@ std::size_t DispatchPolicy::route_probed(const StateView& view) {
   BLADE_OBS_COUNT_N("policy.probes", probes_.size());
   const std::size_t probed = select(view, probes_.size(), /*respect_availability=*/true);
   if (probed != kNpos) return probed;
-  // Every probed server is dark. Scan the fleet for the best available
-  // server under the policy's own key before giving up on availability.
+  // Every probed server is dark or quarantined. Scan the fleet for the
+  // best routable server under the policy's own key, then the best
+  // quarantined-but-up server, before giving up on availability.
   ++counters_.fallback_scans;
   BLADE_OBS_COUNT("policy.fallback_scans");
   std::size_t best = kNpos;
   std::size_t best_q = 0;
   double best_h = 0.0;
+  std::size_t qbest = kNpos;
+  std::size_t qbest_q = 0;
+  double qbest_h = 0.0;
   for (std::size_t i = 0; i < n_; ++i) {
     const ServerState s = view(i);
     if (s.available == 0) continue;
+    if (s.quarantined) {
+      if (hetero_key_) {
+        const double key = hetero_key(s);
+        if (qbest == kNpos || key < qbest_h) {
+          qbest = i;
+          qbest_h = key;
+        }
+      } else if (qbest == kNpos || s.in_system < qbest_q) {
+        qbest = i;
+        qbest_q = s.in_system;
+      }
+      continue;
+    }
     if (hetero_key_) {
       const double key = hetero_key(s);
       if (best == kNpos || key < best_h) {
@@ -393,6 +471,7 @@ std::size_t DispatchPolicy::route_probed(const StateView& view) {
     }
   }
   if (best != kNpos) return best;
+  if (qbest != kNpos) return qbest;
   // Whole fleet dark: park the task on the least-loaded probed server.
   return select(view, probes_.size(), /*respect_availability=*/false);
 }
@@ -408,6 +487,11 @@ std::vector<double> light_traffic_fractions(const PolicyConfig& cfg,
       throw std::invalid_argument(
           "light_traffic_fractions: server " + std::to_string(i) +
           " has no available blades (the limit assumes a fully up fleet)");
+    }
+    if (fleet[i].quarantined) {
+      throw std::invalid_argument(
+          "light_traffic_fractions: server " + std::to_string(i) +
+          " is quarantined (the limit assumes a fully healthy fleet)");
     }
   }
   std::vector<double> f(n, 0.0);

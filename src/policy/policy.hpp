@@ -34,6 +34,12 @@
 // whole fleet is dark does route() hand back the best probed candidate
 // (its queue holds the task until a recovery).
 //
+// Quarantine extension (gray failures, runtime/health.hpp): a server
+// flagged quarantined in its ServerState is treated as unavailable by
+// every probe and scan — unless the fleet is otherwise dark, in which
+// case a quarantined-but-up server is preferred over a fully dark one
+// (degraded service beats parking the task on a dead queue).
+//
 // Consistency contract: the StateView handed to route() must read LIVE
 // server state at the arrival instant. Cached or snapshot-based views
 // reintroduce the read-during-departure staleness bug class the policy
@@ -86,6 +92,10 @@ struct ServerState {
   unsigned blades = 1;        ///< installed m_i
   unsigned available = 1;     ///< usable blades now (0 = failed/drained)
   std::size_t in_system = 0;  ///< tasks running + queued now
+  /// Health-quarantined (gray failure): blades are nominally up but the
+  /// control plane has fenced the server off. Routed around unless the
+  /// fleet is otherwise dark.
+  bool quarantined = false;
 };
 
 /// Non-owning fleet accessor handed to route(): a C-style closure, so
@@ -129,6 +139,7 @@ struct PolicyCounters {
   std::uint64_t ties = 0;            ///< equal-key comparisons during selection
   std::uint64_t herd_events = 0;     ///< every available probe was busy
   std::uint64_t fallback_scans = 0;  ///< O(n) scans after an all-dark probe set
+  std::uint64_t quarantine_skips = 0;  ///< up-but-quarantined candidates routed around
 };
 
 class DispatchPolicy {

@@ -17,6 +17,7 @@ namespace {
 constexpr std::uint64_t kObsStream = 2000003;
 constexpr std::uint64_t kSolverStream = 2000017;
 constexpr std::uint64_t kFlapStream = 2000039;
+constexpr std::uint64_t kGrayStream = 2000053;
 
 void check_prob(double p, const char* name) {
   if (!(p >= 0.0) || !(p <= 1.0)) {
@@ -33,6 +34,15 @@ void ChaosProfile::validate() const {
   check_prob(solver_fault_prob, "solver_fault_prob");
   if (!(flap_rate >= 0.0) || !std::isfinite(flap_rate)) {
     throw std::invalid_argument("ChaosProfile: flap_rate must be >= 0");
+  }
+  if (!(slowdown_rate >= 0.0) || !std::isfinite(slowdown_rate)) {
+    throw std::invalid_argument("ChaosProfile: slowdown_rate must be >= 0");
+  }
+  if (!(slowdown_factor > 0.0) || !(slowdown_factor <= 1.0)) {
+    throw std::invalid_argument("ChaosProfile: slowdown_factor must be in (0, 1]");
+  }
+  if (!(stall_rate >= 0.0) || !std::isfinite(stall_rate)) {
+    throw std::invalid_argument("ChaosProfile: stall_rate must be >= 0");
   }
 }
 
@@ -59,16 +69,33 @@ Expected<ChaosProfile> chaos_profile(const std::string& name) {
                         .solver_fault_prob = 0.05,
                         .flap_rate = 8.0};
   }
+  // Gray presets leave the hard-fault knobs at 0 so the gray battery
+  // isolates detection: everything that goes wrong is invisible to the
+  // topology view.
+  if (name == "gray-light") {
+    return ChaosProfile{.slowdown_rate = 1.0, .slowdown_factor = 0.4, .stall_rate = 0.5};
+  }
+  if (name == "gray-moderate") {
+    return ChaosProfile{.slowdown_rate = 2.0, .slowdown_factor = 0.3, .stall_rate = 1.0};
+  }
+  if (name == "gray-heavy") {
+    return ChaosProfile{.flap_rate = 1.0,
+                        .slowdown_rate = 3.0,
+                        .slowdown_factor = 0.2,
+                        .stall_rate = 2.0};
+  }
   return make_error(ErrorCode::InvalidArgument,
                     "chaos_profile: unknown profile '" + name +
-                        "' (expected none, light, moderate, or heavy)");
+                        "' (expected none, light, moderate, heavy, gray-light, gray-moderate, or "
+                        "gray-heavy)");
 }
 
 FaultInjector::FaultInjector(std::uint64_t seed, ChaosProfile profile)
     : profile_(profile),
       obs_rng_(seed, kObsStream),
       solver_rng_(seed, kSolverStream),
-      flap_rng_(seed, kFlapStream) {
+      flap_rng_(seed, kFlapStream),
+      gray_rng_(seed, kGrayStream) {
   profile_.validate();
 }
 
@@ -128,6 +155,51 @@ std::vector<ReplayEvent> FaultInjector::flap_events(double horizon, std::size_t 
       if (t >= horizon) break;  // down at the horizon; that's chaos
       out.push_back({.time = t, .kind = ReplayEvent::Kind::Recover, .server = s, .blades = 0});
       t += flap_rng_.exponential(cycle);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ReplayEvent& a, const ReplayEvent& b) { return a.time < b.time; });
+  return out;
+}
+
+std::vector<ReplayEvent> FaultInjector::gray_events(double horizon, std::size_t n_servers) {
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument("FaultInjector: horizon must be > 0");
+  }
+  std::vector<ReplayEvent> out;
+  const double total_rate = profile_.slowdown_rate + profile_.stall_rate;
+  if (!(total_rate > 0.0)) return out;
+  // Per-server alternating episode walk (same shape as flap_events):
+  // episodes occupy roughly a fifth of each cycle for slowdowns and a
+  // twentieth for stalls, strict alternation keeps episodes disjoint per
+  // server, and each episode's kind is drawn by rate share so a mixed
+  // profile interleaves both.
+  const double cycle = horizon / total_rate;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    double t = gray_rng_.exponential(cycle);
+    while (t < horizon) {
+      const bool slowdown = gray_rng_.uniform() * total_rate < profile_.slowdown_rate;
+      if (slowdown) {
+        // Jittered degradation around the profile factor, clamped into
+        // (0, 1) so the episode is always a real slowdown.
+        const double jitter = 0.7 + 0.6 * gray_rng_.uniform();
+        const double factor = std::min(std::max(profile_.slowdown_factor * jitter, 0.05), 0.95);
+        out.push_back({.time = t,
+                       .kind = ReplayEvent::Kind::Slow,
+                       .server = s,
+                       .blades = 0,
+                       .factor = factor});
+        t += gray_rng_.exponential(0.2 * cycle);
+        if (t >= horizon) break;  // degraded at the horizon; that's chaos
+        out.push_back(
+            {.time = t, .kind = ReplayEvent::Kind::Slow, .server = s, .blades = 0, .factor = 1.0});
+      } else {
+        out.push_back({.time = t, .kind = ReplayEvent::Kind::Stall, .server = s, .blades = 0});
+        t += gray_rng_.exponential(0.05 * cycle);
+        if (t >= horizon) break;  // stalled at the horizon
+        out.push_back({.time = t, .kind = ReplayEvent::Kind::Unstall, .server = s, .blades = 0});
+      }
+      t += gray_rng_.exponential(cycle);
     }
   }
   std::stable_sort(out.begin(), out.end(),

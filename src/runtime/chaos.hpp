@@ -8,7 +8,12 @@
 //                        sign-flipped, or backwards timestamps);
 //   solver faults        armed non-convergence on the controller's next
 //                        re-solve (Controller::arm_solver_fault);
-//   blade flaps          fail/recover pairs sprinkled over the horizon.
+//   blade flaps          fail/recover pairs sprinkled over the horizon;
+//   gray failures        sustained slowdowns (effective speed scaled by
+//                        a degradation factor) and intermittent stalls
+//                        (service paused outright) that the topology
+//                        view never reports — only the health tracker's
+//                        completion-rate scoring can catch them.
 //
 // Everything is driven by sim::RngStream, so a (seed, profile) pair
 // replays the identical fault sequence on every run — the chaos test
@@ -33,13 +38,23 @@ struct ChaosProfile {
   double timewarp_prob = 0.0;
   double solver_fault_prob = 0.0;
   double flap_rate = 0.0;
+  /// Expected sustained-slowdown episodes per server per horizon.
+  double slowdown_rate = 0.0;
+  /// Effective-speed multiplier during a slowdown episode, in (0, 1];
+  /// per-episode jitter is applied around this value.
+  double slowdown_factor = 0.35;
+  /// Expected intermittent-stall episodes per server per horizon.
+  double stall_rate = 0.0;
 
   /// Throws std::invalid_argument on out-of-domain fields.
   void validate() const;
 };
 
 /// Named presets for the CLI and tests: "none", "light", "moderate",
-/// "heavy". Unknown names return ErrorCode::InvalidArgument.
+/// "heavy" (hard faults only — their event sequences are pinned by the
+/// chaos battery, so gray rates stay 0) plus "gray-light",
+/// "gray-moderate", "gray-heavy" (gray-failure mixes). Unknown names
+/// return ErrorCode::InvalidArgument.
 [[nodiscard]] Expected<ChaosProfile> chaos_profile(const std::string& name);
 
 /// What happened to one observation: dropped entirely, duplicated as
@@ -65,6 +80,13 @@ class FaultInjector {
   /// failure of an already-failed server.
   [[nodiscard]] std::vector<ReplayEvent> flap_events(double horizon, std::size_t n_servers);
 
+  /// Seeded gray-failure episodes over [0, horizon) for n servers:
+  /// slowdown episodes (Slow with a jittered factor, cleared by Slow
+  /// factor=1) and stall episodes (Stall/Unstall pairs), sorted by time,
+  /// never overlapping on one server. Drawn from a dedicated stream, so
+  /// enabling gray faults does not perturb the flap sequence.
+  [[nodiscard]] std::vector<ReplayEvent> gray_events(double horizon, std::size_t n_servers);
+
   // Injection tallies (what the chaos battery asserts against).
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::uint64_t phantoms() const noexcept { return phantoms_; }
@@ -78,6 +100,7 @@ class FaultInjector {
   sim::RngStream obs_rng_;
   sim::RngStream solver_rng_;
   sim::RngStream flap_rng_;
+  sim::RngStream gray_rng_;
   std::uint64_t dropped_ = 0;
   std::uint64_t phantoms_ = 0;
   std::uint64_t timewarps_ = 0;

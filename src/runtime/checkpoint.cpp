@@ -266,6 +266,11 @@ blade::Status Controller::restore_checkpoint(const std::string& json) {
   window_ = std::move(window);
   ws_.clear();  // cached brackets describe the pre-restore problem
   mcache_.invalidate();  // fitted to the pre-restore epoch's queues
+  // Health state is deliberately not serialized (the schema stays v1):
+  // gray scores are short-half-life observations of a live fleet, and a
+  // restored process has been dark for an unknown interval. Scoring
+  // re-learns from scratch after restore.
+  if (health_) health_->reset_all(time);
   last_error_ = Error{ErrorCode::Ok, {}};
   if (fractions.empty()) {
     shed_prob_.store(1.0, std::memory_order_relaxed);
@@ -280,6 +285,9 @@ blade::Status Controller::restore_checkpoint(const std::string& json) {
   }
   ++stats_.restores;
   BLADE_OBS_COUNT("runtime.checkpoint_restores");
+  // set_mode only bumps on an actual transition; a restore republishes
+  // the table either way, so shards must drop their snapshots now.
+  bump_publish_epoch();
   return {};
 }
 

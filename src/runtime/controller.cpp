@@ -49,6 +49,7 @@ void ControllerConfig::validate() const {
       throw std::invalid_argument("ControllerConfig: marginal_cache.domain_margin must be in (0, 1)");
     }
   }
+  health.validate();
   solver.validate();
 }
 
@@ -84,6 +85,11 @@ Controller::Controller(model::Cluster cluster, ControllerConfig cfg)
     for (std::size_t i = 0; i < n + 1; ++i) window_.emplace_back(win, 0.0);
   }
 
+  if (cfg_.health.enabled) {
+    health_ = std::make_unique<HealthTracker>(n, cfg_.health, 0.0);
+    health_scratch_.reserve(n);
+  }
+
   if (cfg_.initial_lambda > 0.0) {
     resolve(0.0);
   } else {
@@ -91,8 +97,20 @@ Controller::Controller(model::Cluster cluster, ControllerConfig cfg)
   }
 }
 
+double Controller::health_factor(std::size_t i) const {
+  return health_ ? health_->speed_factor(i) : 1.0;
+}
+
+bool Controller::any_routable_alive() const {
+  for (std::size_t i = 0; i < avail_.size(); ++i) {
+    if (avail_[i] > 0 && (!health_ || health_->routable(i))) return true;
+  }
+  return false;
+}
+
 double Controller::capacity(std::size_t i) const {
-  return static_cast<double>(avail_[i]) * cluster_.server(i).speed() / cluster_.rbar();
+  return static_cast<double>(avail_[i]) * cluster_.server(i).speed() * health_factor(i) /
+         cluster_.rbar();
 }
 
 double Controller::estimated_lambda(double t) const {
@@ -199,6 +217,10 @@ void Controller::on_failure(double t, std::size_t i, unsigned blades) {
   const unsigned before = avail_[i];
   avail_[i] = blades == 0 ? 0u : avail_[i] - std::min(avail_[i], blades);
   BLADE_OBS_EVENT(BladeFail, i, avail_[i], before - avail_[i], t);
+  // Hard failure supersedes gray scoring: the topology view already
+  // carries the outage, so stale health state must not double-penalize
+  // the blade when it returns.
+  if (health_) health_->reset_server(i, t);
   // The cached phi bracket belongs to the old topology; only the seed
   // would survive prepare(), and even that is stale now.
   ws_.clear();
@@ -216,6 +238,7 @@ void Controller::on_recovery(double t, std::size_t i, unsigned blades) {
   const unsigned full = cluster_.server(i).size();
   avail_[i] = blades == 0 ? full : std::min(full, avail_[i] + blades);
   BLADE_OBS_EVENT(BladeRecover, i, avail_[i], avail_[i] - before, t);
+  if (health_) health_->reset_server(i, t);
   ws_.clear();
   sws_.clear();
   BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Recovery, 0.0, cfg_.drift_threshold, t);
@@ -226,6 +249,134 @@ void Controller::resolve_now(double t) {
   t = sanitize_time(t);
   BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Forced, 0.0, cfg_.drift_threshold, t);
   resolve(t);
+}
+
+void Controller::on_dispatch(double t, std::size_t i) {
+  if (!health_) return;
+  if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  t = sanitize_time(t);
+  health_->on_dispatch(t, i);
+  maybe_evaluate_health(t);
+}
+
+void Controller::on_completion(double t, std::size_t i) {
+  if (!health_) return;
+  if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  t = sanitize_time(t);
+  health_->on_completion(t, i);
+  maybe_evaluate_health(t);
+}
+
+void Controller::maybe_evaluate_health(double t) {
+  // Same cadence knob as the drift check: scoring every dispatch +
+  // completion would double the per-task control cost for no detection
+  // benefit (the EWMAs integrate between evaluations anyway).
+  if (++health_events_since_eval_ < cfg_.check_interval) return;
+  health_events_since_eval_ = 0;
+  evaluate_health(t);
+}
+
+void Controller::evaluate_health(double t) {
+  health_scratch_.clear();
+  if (!health_->evaluate(t, health_scratch_)) return;
+  bool need_resolve = false;
+  bool need_redistribute = false;
+  obs::Cause cause = obs::Cause::None;
+  for (const auto& tr : health_scratch_) {
+    ++stats_.health_transitions;
+    BLADE_OBS_COUNT("runtime.health.transitions");
+    BLADE_OBS_EVENT(HealthTransition, tr.server,
+                    static_cast<double>(static_cast<std::uint8_t>(tr.from)),
+                    static_cast<double>(static_cast<std::uint8_t>(tr.to)), tr.score);
+    switch (tr.to) {
+      case HealthState::Quarantined:
+        ++stats_.quarantines;
+        BLADE_OBS_COUNT("runtime.health.quarantines");
+        // Containment is urgent and cheap: zero the blade's weight and
+        // renormalize, no optimizer call.
+        need_redistribute = true;
+        break;
+      case HealthState::Probation:
+        ++stats_.probations;
+        BLADE_OBS_COUNT("runtime.health.probations");
+        // Probing needs real (small) flow: re-solve with the degraded
+        // effective speed so the optimizer allocates probe traffic.
+        need_resolve = true;
+        if (cause == obs::Cause::None) cause = obs::Cause::Probation;
+        break;
+      case HealthState::Healthy:
+        if (tr.from == HealthState::Probation) {
+          ++stats_.health_recoveries;
+          BLADE_OBS_COUNT("runtime.health.recoveries");
+          need_resolve = true;
+          cause = obs::Cause::HealthRecovered;
+        }
+        break;
+      case HealthState::Suspect:
+        break;  // dwell filter only; no routing change yet
+    }
+  }
+  BLADE_OBS_GAUGE_SET("runtime.health.quarantined",
+                      static_cast<double>(health_->quarantined_count()));
+  if (need_resolve) {
+    // The effective topology changed (a blade's solver speed moved), so
+    // the cached bracket/seed are stale — same treatment as fail/recover.
+    ws_.clear();
+    sws_.clear();
+    BLADE_OBS_EVENT(ResolveTrigger, cause, 0.0, cfg_.drift_threshold, t);
+    resolve(t);
+  } else if (need_redistribute) {
+    publish_quarantine(t);
+  }
+}
+
+void Controller::publish_quarantine(double t) {
+  // Fleet otherwise dark: with no healthy alternative, degraded service
+  // beats no service — keep the current table and let the state machine
+  // probe its way out.
+  if (!any_routable_alive()) return;
+  std::vector<double> w = routing_fractions();
+  if (w.size() == cluster_.size()) {
+    bool changed = false;
+    double total = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (avail_[i] == 0 || !health_->routable(i)) {
+        if (w[i] > 0.0) {
+          w[i] = 0.0;
+          changed = true;
+        }
+      } else {
+        total += w[i];
+      }
+    }
+    if (!changed) return;  // the quarantined blade carried no weight
+    BLADE_OBS_EVENT(ResolveTrigger, obs::Cause::Quarantine, 0.0, 0.0, t);
+    if (total > 0.0 && publish(w, shed_probability())) {
+      // Mode intentionally unchanged: this is containment on top of
+      // whatever split was being served, not a degradation of it (and a
+      // degraded mode would trigger DegradedRetry full re-solves,
+      // defeating the cheap path).
+      ++stats_.quarantine_publications;
+      BLADE_OBS_COUNT("runtime.health.quarantine_publications");
+      bump_publish_epoch();
+      return;
+    }
+  }
+  // No redistributable table (blackout, or every weighted blade is now
+  // quarantined): the proportional fallback below also skips quarantined
+  // blades.
+  publish_fallback(shed_probability(), obs::Cause::Quarantine);
+  bump_publish_epoch();
+}
+
+HealthState Controller::health_state(std::size_t i) const {
+  if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  return health_ ? health_->state(i) : HealthState::Healthy;
+}
+
+double Controller::health_score(std::size_t i) const {
+  if (i >= cluster_.size()) throw std::invalid_argument("Controller: server index out of range");
+  return health_ ? health_->score(i) : 1.0;
 }
 
 void Controller::check_drift(double t) {
@@ -275,6 +426,10 @@ bool Controller::marginal_drift_check(double t, double lam) {
   alive.reserve(cluster_.size());
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     if (avail_[i] == 0) continue;
+    // Quarantined blades were excluded from the last solve (their solved
+    // preload is the -1 sentinel) and carry no published weight; they are
+    // outside the optimality question until probation re-solves.
+    if (health_ && !health_->routable(i)) continue;
     if (solved_special_[i] < 0.0) return false;  // no solved preloads: legacy criterion
     alive.push_back(i);
     lambda_max += capacity(i) - solved_special_[i];
@@ -386,6 +541,9 @@ void Controller::set_mode(Mode m, obs::Cause cause) {
   mode_ = m;
   BLADE_OBS_GAUGE_SET("runtime.degraded_mode", static_cast<double>(m));
   if (from == m) return;
+  // Urgent publication: per-thread dispatch shards must not serve the
+  // displaced table for up to refresh_interval more draws.
+  bump_publish_epoch();
   ++stats_.mode_transitions;
   BLADE_OBS_COUNT("runtime.mode_transitions");
   BLADE_OBS_EVENT(ModeTransition, cause, static_cast<double>(from), static_cast<double>(m),
@@ -404,8 +562,11 @@ bool Controller::lkg_servable(double t) const noexcept {
   if (!(t - lkg_.time <= lkg_max_age())) return false;
   for (std::size_t i = 0; i < lkg_.weights.size(); ++i) {
     // A server the LKG routes to must keep every blade it was solved
-    // with: fewer blades means the stale split could overload it.
+    // with: fewer blades means the stale split could overload it. A
+    // quarantined server disqualifies it the same way — serving the LKG
+    // would route real weight at a blade health just fenced off.
     if (lkg_.weights[i] > 0.0 && avail_[i] < lkg_.avail[i]) return false;
+    if (lkg_.weights[i] > 0.0 && health_ && !health_->routable(i)) return false;
   }
   return true;
 }
@@ -451,8 +612,12 @@ void Controller::publish_fallback(double shed_prob, obs::Cause cause) {
   // own bound, so the fallback is safe whatever the (unknown) load is.
   std::vector<double> w(cluster_.size(), 0.0);
   double total = 0.0;
+  const bool dark = health_ && !any_routable_alive();
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     if (avail_[i] == 0) continue;
+    // Quarantined blades get no fallback weight either — unless the
+    // fleet is otherwise dark, where degraded service beats blackout.
+    if (health_ && !dark && !health_->routable(i)) continue;
     const double gc =
         capacity(i) - std::min(cluster_.server(i).special_rate(),
                                cfg_.utilization_ceiling * capacity(i));
@@ -509,12 +674,17 @@ void Controller::resolve(double t) {
   BLADE_OBS_GAUGE_SET("runtime.estimated_lambda", lam_hat);
 
   // Surviving topology and the special preloads the solve will assume.
+  // Quarantined blades are excluded (their solved preload stays the -1
+  // sentinel, so the drift check skips them too) unless the fleet is
+  // otherwise dark — then degraded service beats blackout.
+  const bool dark = health_ && !any_routable_alive();
   std::vector<std::size_t> alive;
   alive.reserve(cluster_.size());
   std::vector<double> special(cluster_.size(), -1.0);
   double lambda_max = 0.0;
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     if (avail_[i] == 0) continue;
+    if (health_ && !dark && !health_->routable(i)) continue;
     alive.push_back(i);
     special[i] = special_rate_for_solve(i, t);
     lambda_max += capacity(i) - special[i];
@@ -549,7 +719,10 @@ void Controller::resolve(double t) {
   std::vector<model::BladeServer> servers;
   servers.reserve(alive.size());
   for (std::size_t i : alive) {
-    servers.emplace_back(avail_[i], cluster_.server(i).speed(), special[i]);
+    // The solver sees the health-degraded effective speed: a Probation
+    // blade gets its frozen quarantine-era estimate (floored), so the
+    // optimizer allocates probe-sized flow instead of the nominal share.
+    servers.emplace_back(avail_[i], cluster_.server(i).speed() * health_factor(i), special[i]);
   }
   model::Cluster surviving(std::move(servers), cluster_.rbar());
   const auto sol = [&]() -> Expected<opt::LoadDistribution> {

@@ -38,6 +38,7 @@
 #include "obs/recorder.hpp"
 #include "queueing/blade_queue.hpp"
 #include "runtime/estimator.hpp"
+#include "runtime/health.hpp"
 #include "util/alias_table.hpp"
 #include "util/status.hpp"
 
@@ -137,6 +138,10 @@ struct ControllerConfig {
   bool marginal_drift = false;
   /// Surrogate fit/certification knobs for marginal_drift mode.
   opt::MarginalSurrogate::Options marginal_cache;
+  /// Gray-failure detection: per-blade health scoring + the quarantine
+  /// state machine (runtime/health.hpp). Off by default; when enabled the
+  /// caller must feed on_dispatch()/on_completion().
+  HealthConfig health;
   opt::OptimizerOptions solver;
 
   /// Throws std::invalid_argument on out-of-domain fields.
@@ -161,6 +166,13 @@ struct ControllerStats {
   std::uint64_t injected_faults = 0;    ///< solver faults forced by arm_solver_fault
   std::uint64_t restores = 0;           ///< checkpoint restores applied
   std::uint64_t mode_transitions = 0;   ///< degraded-mode state changes
+
+  // Gray-failure detection (zero when cfg.health.enabled is off):
+  std::uint64_t health_transitions = 0;  ///< quarantine state-machine edges
+  std::uint64_t quarantines = 0;         ///< edges into Quarantined
+  std::uint64_t probations = 0;          ///< edges into Probation
+  std::uint64_t health_recoveries = 0;   ///< Probation -> Healthy clears
+  std::uint64_t quarantine_publications = 0;  ///< cheap redistributions (no re-solve)
 
   // Marginal-drift mode only (zero when marginal_drift is off):
   std::uint64_t mcache_hits = 0;          ///< drift checks settled by the surrogate
@@ -220,6 +232,15 @@ class Controller {
   /// `blades` blades of server i came back at time t (0 = all missing).
   void on_recovery(double t, std::size_t i, unsigned blades = 0);
 
+  /// An admitted generic task was routed to server i at time t. Feeds the
+  /// health tracker's expected-rate side; no-op when health is disabled.
+  void on_dispatch(double t, std::size_t i);
+
+  /// A task completed at server i at time t. Feeds the health tracker's
+  /// observed-rate side and runs the (throttled) quarantine state
+  /// machine; no-op when health is disabled.
+  void on_completion(double t, std::size_t i);
+
   /// Forces an immediate re-estimate + re-solve + publish (epoch
   /// boundaries, tests).
   void resolve_now(double t);
@@ -237,6 +258,15 @@ class Controller {
 
   /// Probability that admission control sheds an offered generic task.
   [[nodiscard]] double shed_probability() const noexcept;
+
+  /// Monotone counter bumped on every urgent publication (degraded-mode
+  /// transition, quarantine redistribution, checkpoint restore). Per-
+  /// thread DispatchShards compare it against their cached value each
+  /// route and refresh immediately on mismatch, instead of serving a
+  /// stale table for up to refresh_interval more draws.
+  [[nodiscard]] std::uint64_t publish_epoch() const noexcept {
+    return publish_epoch_.load(std::memory_order_acquire);
+  }
 
   // --- introspection (control thread only) ---
 
@@ -257,6 +287,11 @@ class Controller {
   }
   [[nodiscard]] const model::Cluster& cluster() const noexcept { return cluster_; }
   [[nodiscard]] std::size_t size() const noexcept { return cluster_.size(); }
+
+  /// Health introspection; Healthy / 1.0 when health is disabled.
+  [[nodiscard]] bool health_enabled() const noexcept { return health_ != nullptr; }
+  [[nodiscard]] HealthState health_state(std::size_t i) const;
+  [[nodiscard]] double health_score(std::size_t i) const;
 
   // --- resilience (control thread only) ---
 
@@ -296,8 +331,23 @@ class Controller {
   [[nodiscard]] blade::Status restore_checkpoint(const std::string& json);
 
  private:
-  /// Generic capacity of server i under the surviving blade count.
+  /// Generic capacity of server i under the surviving blade count and the
+  /// health tracker's effective-speed factor (1 when health is off).
   [[nodiscard]] double capacity(std::size_t i) const;
+  /// Health-adjusted effective-speed multiplier (1 when health is off).
+  [[nodiscard]] double health_factor(std::size_t i) const;
+  /// True when at least one alive server is not quarantined; when false
+  /// the fleet is "otherwise dark" and quarantined blades stay servable.
+  [[nodiscard]] bool any_routable_alive() const;
+  /// Runs the quarantine state machine every check_interval health events.
+  void maybe_evaluate_health(double t);
+  void evaluate_health(double t);
+  /// Cheap quarantine containment: zeroes quarantined blades' published
+  /// fractions and renormalizes — no optimizer call.
+  void publish_quarantine(double t);
+  void bump_publish_epoch() noexcept {
+    publish_epoch_.fetch_add(1, std::memory_order_release);
+  }
   [[nodiscard]] double special_rate_for_solve(std::size_t i, double t) const;
   void check_drift(double t);
   /// Marginal-drift criterion (cfg_.marginal_drift): surrogate-evaluated
@@ -359,7 +409,12 @@ class Controller {
   std::uint64_t armed_faults_ = 0;
   double last_event_time_ = 0.0;
 
+  std::unique_ptr<HealthTracker> health_;  ///< null when health is off
+  std::vector<HealthTransition> health_scratch_;
+  std::uint64_t health_events_since_eval_ = 0;
+
   std::atomic<double> shed_prob_{0.0};
+  std::atomic<std::uint64_t> publish_epoch_{0};
   detail::TableSlot table_;
 };
 

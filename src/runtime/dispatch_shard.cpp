@@ -18,6 +18,11 @@ DispatchShard::DispatchShard(const Controller& ctrl, DispatchShardConfig cfg)
 }
 
 void DispatchShard::refresh() {
+  // Epoch before table: if an urgent publish lands between the two
+  // loads, we hold the fresh table under the stale epoch and pay one
+  // redundant refresh next route — the reverse order could cache a
+  // stale table under the fresh epoch and serve it a full interval.
+  seen_epoch_ = ctrl_->publish_epoch();
   table_ = ctrl_->weights();
   until_refresh_ = cfg_.refresh_interval;
   ++refreshes_;
@@ -25,7 +30,7 @@ void DispatchShard::refresh() {
 }
 
 std::size_t DispatchShard::route() {
-  if (until_refresh_ == 0) refresh();
+  if (until_refresh_ == 0 || ctrl_->publish_epoch() != seen_epoch_) refresh();
   --until_refresh_;
   ++routed_;
   BLADE_OBS_COUNT("runtime.shard.routed");
@@ -39,7 +44,7 @@ std::size_t DispatchShard::route() {
 void DispatchShard::sample_n(std::span<std::size_t> out) {
   std::size_t done = 0;
   while (done < out.size()) {
-    if (until_refresh_ == 0) refresh();
+    if (until_refresh_ == 0 || ctrl_->publish_epoch() != seen_epoch_) refresh();
     // One snapshot covers the next `chunk` tasks; the per-task loop
     // below touches only the raw table pointer and the RNG state.
     std::size_t chunk = out.size() - done;

@@ -92,6 +92,12 @@ class DispatchShard {
   const Controller* ctrl_;
   DispatchShardConfig cfg_;
   std::shared_ptr<const util::AliasTable> table_;
+  /// Controller::publish_epoch() observed at the last refresh. An urgent
+  /// publication (degraded-mode transition, quarantine redistribution,
+  /// checkpoint restore) bumps the controller's counter; the mismatch
+  /// forces a refresh on the very next route instead of serving the
+  /// displaced table for up to refresh_interval more draws.
+  std::uint64_t seen_epoch_ = 0;
   std::uint64_t until_refresh_ = 0;
   std::uint64_t routed_ = 0;
   std::uint64_t refreshes_ = 0;

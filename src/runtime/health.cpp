@@ -1,0 +1,195 @@
+#include "runtime/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blade::runtime {
+
+const char* to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Suspect: return "suspect";
+    case HealthState::Quarantined: return "quarantined";
+    case HealthState::Probation: return "probation";
+  }
+  return "unknown";
+}
+
+void HealthConfig::validate() const {
+  if (!(half_life > 0.0) || !std::isfinite(half_life)) {
+    throw std::invalid_argument("HealthConfig: half_life must be > 0");
+  }
+  if (!(suspect_threshold > 0.0) || !(suspect_threshold < 1.0)) {
+    throw std::invalid_argument("HealthConfig: suspect_threshold must be in (0, 1)");
+  }
+  if (!(quarantine_threshold > 0.0) || !(quarantine_threshold <= suspect_threshold)) {
+    throw std::invalid_argument(
+        "HealthConfig: quarantine_threshold must be in (0, suspect_threshold]");
+  }
+  if (!(recover_threshold > suspect_threshold) || !(recover_threshold <= 1.5)) {
+    throw std::invalid_argument(
+        "HealthConfig: recover_threshold must be in (suspect_threshold, 1.5]");
+  }
+  if (!(suspect_dwell >= 0.0) || !std::isfinite(suspect_dwell)) {
+    throw std::invalid_argument("HealthConfig: suspect_dwell must be >= 0");
+  }
+  if (!(quarantine_dwell >= 0.0) || !std::isfinite(quarantine_dwell)) {
+    throw std::invalid_argument("HealthConfig: quarantine_dwell must be >= 0");
+  }
+  if (!(probation_dwell >= 0.0) || !std::isfinite(probation_dwell)) {
+    throw std::invalid_argument("HealthConfig: probation_dwell must be >= 0");
+  }
+  if (!(min_dispatch_rate >= 0.0) || !std::isfinite(min_dispatch_rate)) {
+    throw std::invalid_argument("HealthConfig: min_dispatch_rate must be >= 0");
+  }
+  if (!(probe_speed_floor > 0.0) || !(probe_speed_floor <= 1.0)) {
+    throw std::invalid_argument("HealthConfig: probe_speed_floor must be in (0, 1]");
+  }
+}
+
+HealthTracker::HealthTracker(std::size_t n, HealthConfig cfg, double start_time) : cfg_(cfg) {
+  cfg_.validate();
+  blades_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) blades_.emplace_back(cfg_.half_life, start_time);
+}
+
+void HealthTracker::on_dispatch(double t, std::size_t i) {
+  if (i >= blades_.size()) throw std::invalid_argument("HealthTracker: server index out of range");
+  Blade& b = blades_[i];
+  b.dispatch.try_observe(t);
+  ++b.dispatches;
+}
+
+void HealthTracker::on_completion(double t, std::size_t i) {
+  if (i >= blades_.size()) throw std::invalid_argument("HealthTracker: server index out of range");
+  Blade& b = blades_[i];
+  b.completion.try_observe(t);
+  ++b.completions;
+}
+
+double HealthTracker::compute_score(const Blade& b, double t) const {
+  if (b.dispatches < cfg_.min_dispatches) return b.score;
+  const double expected = b.dispatch.rate(t);
+  if (!(expected > cfg_.min_dispatch_rate)) return b.score;  // no flow, no evidence
+  const double observed = b.completion.rate(t);
+  // Cap at the recover threshold's ceiling: a draining backlog can push
+  // completions past dispatches, which is evidence of health, not of a
+  // super-powered blade.
+  return std::min(observed / expected, 1.5);
+}
+
+void HealthTracker::enter(Blade& b, std::size_t i, HealthState to, double t,
+                          std::vector<HealthTransition>& out) {
+  const HealthState from = b.state;
+  if (from == to) return;
+  if (from == HealthState::Quarantined) --quarantined_;
+  if (to == HealthState::Quarantined) ++quarantined_;
+  if (to == HealthState::Quarantined) {
+    // Freeze the degraded-capacity estimate for the eventual probation
+    // re-solve; the score itself goes unmeasurable once traffic stops.
+    b.factor = std::clamp(b.score, cfg_.probe_speed_floor, 1.0);
+  }
+  if (to == HealthState::Probation) {
+    // Probation scores only probation-era flow: stale quarantine-decayed
+    // rates would read as a relapse the moment probes start.
+    b.dispatch.reset(t);
+    b.completion.reset(t);
+    b.dispatches = 0;
+    b.completions = 0;
+    b.score = 1.0;
+  }
+  if (to == HealthState::Healthy) b.factor = 1.0;
+  b.state = to;
+  b.since = t;
+  out.push_back({i, from, to, b.score, t});
+}
+
+bool HealthTracker::evaluate(double t, std::vector<HealthTransition>& out) {
+  if (!cfg_.enabled) return false;
+  const std::size_t before = out.size();
+  for (std::size_t i = 0; i < blades_.size(); ++i) {
+    Blade& b = blades_[i];
+    switch (b.state) {
+      case HealthState::Healthy: {
+        b.score = compute_score(b, t);
+        if (b.score < cfg_.suspect_threshold) enter(b, i, HealthState::Suspect, t, out);
+        break;
+      }
+      case HealthState::Suspect: {
+        b.score = compute_score(b, t);
+        if (b.score >= cfg_.recover_threshold) {
+          enter(b, i, HealthState::Healthy, t, out);
+        } else if (b.score < cfg_.quarantine_threshold ||
+                   (t - b.since >= cfg_.suspect_dwell && b.score < cfg_.suspect_threshold)) {
+          enter(b, i, HealthState::Quarantined, t, out);
+        }
+        break;
+      }
+      case HealthState::Quarantined: {
+        // No traffic, no score: exit is purely dwell-based. Probation
+        // hands the solver a degraded speed so probe flow resumes.
+        if (t - b.since >= cfg_.quarantine_dwell) enter(b, i, HealthState::Probation, t, out);
+        break;
+      }
+      case HealthState::Probation: {
+        b.score = compute_score(b, t);
+        if (b.score < cfg_.quarantine_threshold) {
+          enter(b, i, HealthState::Quarantined, t, out);
+        } else if (t - b.since >= cfg_.probation_dwell && b.score >= cfg_.recover_threshold) {
+          enter(b, i, HealthState::Healthy, t, out);
+        }
+        break;
+      }
+    }
+  }
+  return out.size() > before;
+}
+
+HealthState HealthTracker::state(std::size_t i) const {
+  if (i >= blades_.size()) throw std::invalid_argument("HealthTracker: server index out of range");
+  return blades_[i].state;
+}
+
+double HealthTracker::score(std::size_t i) const {
+  if (i >= blades_.size()) throw std::invalid_argument("HealthTracker: server index out of range");
+  return blades_[i].score;
+}
+
+bool HealthTracker::routable(std::size_t i) const {
+  return state(i) != HealthState::Quarantined;
+}
+
+double HealthTracker::speed_factor(std::size_t i) const {
+  if (i >= blades_.size()) throw std::invalid_argument("HealthTracker: server index out of range");
+  const Blade& b = blades_[i];
+  switch (b.state) {
+    case HealthState::Healthy:
+    case HealthState::Suspect:
+      return 1.0;
+    case HealthState::Quarantined:
+    case HealthState::Probation:
+      return std::clamp(b.factor, cfg_.probe_speed_floor, 1.0);
+  }
+  return 1.0;
+}
+
+void HealthTracker::reset_server(std::size_t i, double t) {
+  if (i >= blades_.size()) throw std::invalid_argument("HealthTracker: server index out of range");
+  Blade& b = blades_[i];
+  if (b.state == HealthState::Quarantined) --quarantined_;
+  b.state = HealthState::Healthy;
+  b.since = t;
+  b.score = 1.0;
+  b.factor = 1.0;
+  b.dispatch.reset(t);
+  b.completion.reset(t);
+  b.dispatches = 0;
+  b.completions = 0;
+}
+
+void HealthTracker::reset_all(double t) {
+  for (std::size_t i = 0; i < blades_.size(); ++i) reset_server(i, t);
+}
+
+}  // namespace blade::runtime

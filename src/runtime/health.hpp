@@ -1,0 +1,155 @@
+// Gray-failure detection for the control plane: per-blade health scoring
+// and the quarantine state machine.
+//
+// A gray-failed blade (thermal slowdown, intermittent stall, flapping
+// firmware) keeps answering the topology view — available_blades() stays
+// positive — while its *effective* service rate silently collapses. The
+// optimizer, solving against nominal speeds, keeps routing the
+// optimal-for-healthy fraction at it and T' inflates. The HealthTracker
+// closes that gap observationally: every server carries a dispatch-rate
+// and a completion-rate EWMA (the same bias-corrected estimator the
+// controller uses for lambda'), and the health *score* is their ratio
+//
+//     score_i(t) = completion_rate_i(t) / dispatch_rate_i(t)
+//
+// i.e. the observed completion rate against the model's expected rate —
+// a stable healthy server completes what it is sent (score ~ 1), a
+// degraded-but-overloaded server completes at its collapsed capacity
+// (score ~ eff/nominal < 1), a stalled server decays toward 0.
+//
+// The score feeds a four-state machine with hysteresis thresholds and
+// dwell times (see docs/resilience.md for the diagram and tuning guide):
+//
+//   Healthy ──score<suspect──▶ Suspect ──dwell/deep──▶ Quarantined
+//      ▲                          │                        │
+//      │◀──score>=recover─────────┘                  quarantine_dwell
+//      │                                                   ▼
+//      └──probation_dwell @ score>=recover────────── Probation
+//                                 (score<quarantine ──▶ back to Quarantined)
+//
+// Suspect is a pure dwell filter (no routing change). Entering
+// Quarantined tells the Controller to zero the blade's routing weight via
+// a cheap redistribution (no re-solve). After quarantine_dwell the blade
+// enters Probation: the Controller re-solves with the degraded effective
+// speed (speed_factor()), which routes real probe traffic so the score
+// becomes measurable again — sustained health through probation_dwell
+// restores Healthy (and nominal speed), relapse re-quarantines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/estimator.hpp"
+
+namespace blade::runtime {
+
+enum class HealthState : std::uint8_t { Healthy = 0, Suspect = 1, Quarantined = 2, Probation = 3 };
+
+[[nodiscard]] const char* to_string(HealthState s) noexcept;
+
+struct HealthConfig {
+  /// Master switch; a disabled tracker scores nothing and every blade
+  /// reads Healthy.
+  bool enabled = false;
+  /// EWMA half-life of the dispatch/completion rate estimators (event
+  /// time). Shorter reacts faster, noisier.
+  double half_life = 20.0;
+  /// Healthy -> Suspect when the score drops below this.
+  double suspect_threshold = 0.7;
+  /// Deep-degradation fast path: a Suspect blade whose score falls below
+  /// this quarantines immediately (a hard stall should not wait out the
+  /// dwell); also the relapse threshold in Probation.
+  double quarantine_threshold = 0.45;
+  /// Suspect/Probation -> Healthy requires the score back above this
+  /// (hysteresis: recover_threshold > suspect_threshold).
+  double recover_threshold = 0.9;
+  /// Time a blade must stay Suspect (score still below suspect_threshold)
+  /// before it quarantines.
+  double suspect_dwell = 8.0;
+  /// Minimum time in Quarantined before probation probes begin.
+  double quarantine_dwell = 30.0;
+  /// Sustained healthy time in Probation before the full clear.
+  double probation_dwell = 20.0;
+  /// No scoring before this many dispatches were observed on the blade
+  /// (cold estimators divide noise by noise).
+  std::uint64_t min_dispatches = 16;
+  /// No scoring while the dispatch-rate estimate is below this floor
+  /// (a drained blade has no expected rate to miss).
+  double min_dispatch_rate = 1e-3;
+  /// Floor on the probation effective-speed factor handed to the solver,
+  /// so a near-zero score still buys enough probe traffic to measure.
+  double probe_speed_floor = 0.05;
+
+  /// Throws std::invalid_argument on out-of-domain fields.
+  void validate() const;
+};
+
+/// One state-machine edge, reported by HealthTracker::evaluate.
+struct HealthTransition {
+  std::size_t server = 0;
+  HealthState from = HealthState::Healthy;
+  HealthState to = HealthState::Healthy;
+  double score = 1.0;
+  double time = 0.0;
+};
+
+class HealthTracker {
+ public:
+  HealthTracker(std::size_t n, HealthConfig cfg, double start_time = 0.0);
+
+  /// A generic task was routed to server i at time t (the expected-rate
+  /// side of the score).
+  void on_dispatch(double t, std::size_t i);
+
+  /// A task completed at server i at time t (the observed-rate side).
+  void on_completion(double t, std::size_t i);
+
+  /// Runs every blade's score and state machine at time t, appending any
+  /// transitions to `out`. Returns true when at least one edge fired.
+  bool evaluate(double t, std::vector<HealthTransition>& out);
+
+  [[nodiscard]] HealthState state(std::size_t i) const;
+  [[nodiscard]] double score(std::size_t i) const;
+  /// False only for Quarantined blades — the routing exclusion set.
+  [[nodiscard]] bool routable(std::size_t i) const;
+  /// Effective-speed multiplier the solver should assume for server i:
+  /// 1 for Healthy/Suspect, the degraded estimate (floored at
+  /// probe_speed_floor) for Probation and Quarantined.
+  [[nodiscard]] double speed_factor(std::size_t i) const;
+  [[nodiscard]] std::size_t quarantined_count() const noexcept { return quarantined_; }
+
+  /// Forgets server i's gray history (state back to Healthy, estimators
+  /// re-baselined at t). Hard failure/recovery supersedes gray scoring.
+  void reset_server(std::size_t i, double t);
+
+  /// reset_server for the whole fleet (checkpoint restore).
+  void reset_all(double t);
+
+  [[nodiscard]] const HealthConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t size() const noexcept { return blades_.size(); }
+
+ private:
+  struct Blade {
+    HealthState state = HealthState::Healthy;
+    double since = 0.0;   ///< time of the last state change
+    double score = 1.0;   ///< last computed (or carried) score
+    double factor = 1.0;  ///< solver speed factor (set on quarantine entry)
+    EwmaRateEstimator dispatch;
+    EwmaRateEstimator completion;
+    std::uint64_t dispatches = 0;
+    std::uint64_t completions = 0;
+
+    Blade(double half_life, double t) : dispatch(half_life, t), completion(half_life, t) {}
+  };
+
+  /// Score with evidence gating: returns the fresh ratio when the blade
+  /// has enough observed dispatch flow, otherwise carries b.score.
+  [[nodiscard]] double compute_score(const Blade& b, double t) const;
+  void enter(Blade& b, std::size_t i, HealthState to, double t, std::vector<HealthTransition>& out);
+
+  HealthConfig cfg_;
+  std::vector<Blade> blades_;
+  std::size_t quarantined_ = 0;
+};
+
+}  // namespace blade::runtime

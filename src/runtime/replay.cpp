@@ -17,6 +17,7 @@
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/service.hpp"
+#include "util/fileio.hpp"
 
 namespace blade::runtime {
 
@@ -34,6 +35,10 @@ void ReplayTrace::validate(std::size_t n) const {
       }
     } else if (e.server >= n) {
       throw std::invalid_argument("ReplayTrace: server index out of range");
+    }
+    if (e.kind == ReplayEvent::Kind::Slow &&
+        (!std::isfinite(e.factor) || e.factor <= 0.0 || e.factor > 1.0)) {
+      throw std::invalid_argument("ReplayTrace: slowdown factor must be in (0, 1]");
     }
   }
 }
@@ -95,6 +100,23 @@ Expected<ReplayTrace> try_parse_replay_trace(const std::string& text) {
         fully_failed[e.server] = false;
       }
       trace.events.push_back(e);
+    } else if (keyword == "slow") {
+      ReplayEvent e;
+      e.kind = ReplayEvent::Kind::Slow;
+      if (!(fields >> e.time >> e.server >> e.factor)) {
+        return parse_fail(line_no, "slow needs <t> <server> <factor>");
+      }
+      if (!std::isfinite(e.factor) || e.factor <= 0.0 || e.factor > 1.0) {
+        return parse_fail(line_no, "slowdown factor must be in (0, 1]");
+      }
+      trace.events.push_back(e);
+    } else if (keyword == "stall" || keyword == "unstall") {
+      ReplayEvent e;
+      e.kind = keyword == "stall" ? ReplayEvent::Kind::Stall : ReplayEvent::Kind::Unstall;
+      if (!(fields >> e.time >> e.server)) {
+        return parse_fail(line_no, keyword + " needs <t> <server>");
+      }
+      trace.events.push_back(e);
     } else {
       return parse_fail(line_no, "unknown keyword '" + keyword + "'");
     }
@@ -136,6 +158,15 @@ std::string to_text(const ReplayTrace& trace) {
         break;
       case ReplayEvent::Kind::Recover:
         out << "recover " << e.time << " " << e.server << " " << e.blades << "\n";
+        break;
+      case ReplayEvent::Kind::Slow:
+        out << "slow " << e.time << " " << e.server << " " << e.factor << "\n";
+        break;
+      case ReplayEvent::Kind::Stall:
+        out << "stall " << e.time << " " << e.server << "\n";
+        break;
+      case ReplayEvent::Kind::Unstall:
+        out << "unstall " << e.time << " " << e.server << "\n";
         break;
     }
   }
@@ -179,6 +210,31 @@ ReplayTrace reference_failure_trace(const model::Cluster& cluster, double horizo
 
 namespace {
 
+/// Maps one trace event onto the simulator's failure schedule (Rate
+/// events are driver concerns and are skipped). Fail/recover keep their
+/// semantics; gray events carry the slowdown factor / stall toggles.
+void append_sim_event(sim::FailureSchedule& sched, const ReplayEvent& e) {
+  switch (e.kind) {
+    case ReplayEvent::Kind::Rate:
+      return;
+    case ReplayEvent::Kind::Fail:
+      sched.events.push_back({e.time, sim::FailureKind::Failure, e.server, e.blades});
+      return;
+    case ReplayEvent::Kind::Recover:
+      sched.events.push_back({e.time, sim::FailureKind::Recovery, e.server, e.blades});
+      return;
+    case ReplayEvent::Kind::Slow:
+      sched.events.push_back({e.time, sim::FailureKind::Slowdown, e.server, 0, e.factor});
+      return;
+    case ReplayEvent::Kind::Stall:
+      sched.events.push_back({e.time, sim::FailureKind::StallStart, e.server, 0});
+      return;
+    case ReplayEvent::Kind::Unstall:
+      sched.events.push_back({e.time, sim::FailureKind::StallEnd, e.server, 0});
+      return;
+  }
+}
+
 /// Variable-rate generic Poisson source feeding the controller for
 /// admission and the published alias table for routing. Rate changes
 /// cancel and re-draw the pending interarrival — valid because the
@@ -198,6 +254,7 @@ struct GenericDriver {
   std::uint64_t dispatch_sample = 0;  ///< record every Nth dispatch (0 = off)
   std::uint64_t dispatches = 0;
   std::uint64_t rate_epoch = 0;
+  std::uint64_t routes_to_quarantined = 0;  ///< see ReplayResult
 
   void set_rate(double r) {
     if (has_pending) {
@@ -247,6 +304,23 @@ struct GenericDriver {
           BLADE_OBS_EVENT(Dispatch, dest, t, dispatches, 0.0);
         }
         servers[dest]->arrive(task);
+        if (controller.health_enabled()) {
+          // Contract violation tally, judged on the state the routing
+          // decision was made under (on_dispatch below may quarantine
+          // dest itself): a quarantined destination only counts while a
+          // healthy alternative was available — serving a degraded blade
+          // beats blackout when the fleet is dark.
+          if (controller.health_state(dest) == HealthState::Quarantined) {
+            for (std::size_t i = 0; i < servers.size(); ++i) {
+              if (i != dest && controller.available_blades(i) > 0 &&
+                  controller.health_state(i) != HealthState::Quarantined) {
+                ++routes_to_quarantined;
+                break;
+              }
+            }
+          }
+          controller.on_dispatch(t, dest);
+        }
       }
     }
     schedule_next();
@@ -270,6 +344,13 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
   sim::Engine engine;
   sim::ResponseTimeCollector collector(warmup, false);
   Controller controller(cluster, cfg);
+  if (!options.checkpoint_in.empty()) {
+    const blade::Status restored = controller.restore_checkpoint(options.checkpoint_in);
+    if (!restored.ok()) {
+      throw std::invalid_argument("replay: checkpoint restore failed: " +
+                                  restored.error().context);
+    }
+  }
 
   const sim::SchedulingMode mode = sim::to_mode(cfg.discipline);
   std::vector<std::unique_ptr<sim::ServerSim>> servers;
@@ -311,32 +392,66 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
 
   // Failure/recovery events mutate the simulated blades first, then tell
   // the controller, which re-solves and republishes at the same instant.
+  // Gray events (slowdowns, stalls) mutate only the blades: the
+  // controller hears nothing — detecting them is the health tracker's
+  // job, fed by the dispatch/completion stream below.
   sim::FailureSchedule failures;
   for (const auto& e : trace.events) {
     if (e.kind == ReplayEvent::Kind::Rate) {
       engine.schedule_at(e.time, [&driver, rate = e.rate] { driver.set_rate(rate); });
     } else {
-      failures.events.push_back({e.time,
-                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
-                                                                   : sim::FailureKind::Recovery,
-                                 e.server, e.blades});
+      append_sim_event(failures, e);
     }
   }
   if (chaos != nullptr) {
     for (const ReplayEvent& e : chaos->flap_events(trace.horizon, cluster.size())) {
-      failures.events.push_back({e.time,
-                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
-                                                                   : sim::FailureKind::Recovery,
-                                 e.server, e.blades});
+      append_sim_event(failures, e);
+    }
+    for (const ReplayEvent& e : chaos->gray_events(trace.horizon, cluster.size())) {
+      append_sim_event(failures, e);
     }
   }
   sim::schedule_failures(engine, failures, raw, [&](const sim::FailureEvent& ev) {
     if (ev.kind == sim::FailureKind::Failure) {
       controller.on_failure(engine.now(), ev.server, ev.blades);
-    } else {
+    } else if (ev.kind == sim::FailureKind::Recovery) {
       controller.on_recovery(engine.now(), ev.server, ev.blades);
     }
   });
+
+  // Health scoring's observed-rate side: every generic completion at a
+  // server reports to the controller at the instant it happens.
+  if (controller.health_enabled()) {
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      raw[i]->set_completion_observer([&controller, &engine, i](const sim::Task& task, double) {
+        if (task.cls == sim::TaskClass::Generic) controller.on_completion(engine.now(), i);
+      });
+    }
+  }
+
+  // Crash-safe checkpoint persistence: periodic atomic writes plus one
+  // final write after the horizon, so a restarted process can resume
+  // from the newest complete snapshot.
+  std::uint64_t checkpoints_written = 0;
+  const auto write_checkpoint = [&] {
+    const blade::Status s =
+        util::write_file_atomic(options.checkpoint_out, controller.checkpoint_json());
+    if (!s.ok()) {
+      throw std::runtime_error("replay: checkpoint write failed: " + s.error().context);
+    }
+    ++checkpoints_written;
+    BLADE_OBS_COUNT("runtime.checkpoint_writes");
+  };
+  if (!options.checkpoint_out.empty()) {
+    if (!(options.checkpoint_every >= 0.0) || !std::isfinite(options.checkpoint_every)) {
+      throw std::invalid_argument("replay: checkpoint_every must be >= 0");
+    }
+    if (options.checkpoint_every > 0.0) {
+      for (double t = options.checkpoint_every; t < trace.horizon; t += options.checkpoint_every) {
+        engine.schedule_at(t, write_checkpoint);
+      }
+    }
+  }
 
   ReplayResult result;
 
@@ -401,8 +516,11 @@ ReplayResult replay_impl(const model::Cluster& cluster, const ControllerConfig& 
 
   for (auto& src : sources) src->start();
   engine.run_until(trace.horizon);
+  if (!options.checkpoint_out.empty()) write_checkpoint();
 
   result.stats = controller.stats();
+  result.routes_to_quarantined = driver.routes_to_quarantined;
+  result.checkpoints_written = checkpoints_written;
   result.shed_fraction = result.stats.shed_fraction();
   result.final_shed_probability = controller.shed_probability();
   result.final_fractions = controller.routing_fractions();
@@ -529,18 +647,15 @@ PolicyReplayResult replay_policy(const model::Cluster& cluster,
     if (e.kind == ReplayEvent::Kind::Rate) {
       engine.schedule_at(e.time, [&driver, rate = e.rate] { driver.set_rate(rate); });
     } else {
-      failures.events.push_back({e.time,
-                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
-                                                                   : sim::FailureKind::Recovery,
-                                 e.server, e.blades});
+      append_sim_event(failures, e);
     }
   }
   if (options.chaos != nullptr) {
     for (const ReplayEvent& e : options.chaos->flap_events(trace.horizon, cluster.size())) {
-      failures.events.push_back({e.time,
-                                 e.kind == ReplayEvent::Kind::Fail ? sim::FailureKind::Failure
-                                                                   : sim::FailureKind::Recovery,
-                                 e.server, e.blades});
+      append_sim_event(failures, e);
+    }
+    for (const ReplayEvent& e : options.chaos->gray_events(trace.horizon, cluster.size())) {
+      append_sim_event(failures, e);
     }
   }
   sim::schedule_failures(engine, failures, raw, [](const sim::FailureEvent&) {});

@@ -11,10 +11,19 @@
 //   rate <t> <lambda>        generic arrival rate becomes lambda at time t
 //   fail <t> <server> [k]    k blades of <server> fail at t (default: all)
 //   recover <t> <server> [k] k blades come back at t (default: all missing)
+//   slow <t> <server> <f>    gray slowdown: effective speed scaled by f
+//                            in (0, 1]; f = 1 clears the slowdown
+//   stall <t> <server>       gray stall: service pauses outright
+//   unstall <t> <server>     the stall ends; paused work resumes
+//
+// Gray events mutate only the simulated servers — the controller is NOT
+// notified (unlike fail/recover): detecting them is the health tracker's
+// job (runtime/health.hpp).
 //
 // The parser rejects — naming the offending line — NaN/negative rates,
-// non-finite or negative times, events out of time order, and a full
-// failure of a server that is already fully failed.
+// non-finite or negative times, slowdown factors outside (0, 1], events
+// out of time order, and a full failure of a server that is already
+// fully failed.
 //
 // `reference_failure_trace` builds the paper-cluster acceptance scenario:
 // a diurnal generic load riding on the example cluster, the biggest
@@ -37,13 +46,14 @@ namespace blade::runtime {
 class FaultInjector;
 
 struct ReplayEvent {
-  enum class Kind : std::uint8_t { Rate, Fail, Recover };
+  enum class Kind : std::uint8_t { Rate, Fail, Recover, Slow, Stall, Unstall };
 
   double time = 0.0;
   Kind kind = Kind::Rate;
   double rate = 0.0;       ///< Rate events: the new generic lambda'
-  std::size_t server = 0;  ///< Fail/Recover events: 0-based server index
+  std::size_t server = 0;  ///< Fail/Recover/gray events: 0-based server index
   unsigned blades = 0;     ///< Fail/Recover events: blade count, 0 = all
+  double factor = 1.0;     ///< Slow events: speed multiplier in (0, 1], 1 clears
 };
 
 struct ReplayTrace {
@@ -88,6 +98,18 @@ struct ReplayOptions {
   /// event (0 disables). Sampled so control-plane events are not buried
   /// by data-plane volume in a wrapped ring.
   std::uint64_t dispatch_sample = 256;
+  /// Checkpoint JSON (the document itself, not a path) restored into the
+  /// controller before the replay starts; empty = cold start. A restore
+  /// failure throws std::invalid_argument with the typed error context.
+  std::string checkpoint_in;
+  /// When non-empty, Controller::checkpoint_json() is persisted to this
+  /// path (temp-file + atomic rename, so a crash mid-write never leaves
+  /// a torn checkpoint) every `checkpoint_every` time units and once
+  /// more at the horizon.
+  std::string checkpoint_out;
+  /// Simulated-time interval between periodic checkpoint writes; 0 with
+  /// a checkpoint_out path writes only the final checkpoint.
+  double checkpoint_every = 0.0;
 };
 
 struct ReplayResult {
@@ -100,6 +122,11 @@ struct ReplayResult {
   /// Per-epoch SLO evaluations (empty when no SLO target was enabled).
   std::vector<obs::SloEpochStatus> slo;
   std::uint64_t slo_breaches = 0;       ///< total objective breaches
+  /// Generic tasks routed to a Quarantined server while at least one
+  /// alive non-quarantined server existed (0 when health is off). The
+  /// gray battery asserts this stays 0 — quarantine must actually fence.
+  std::uint64_t routes_to_quarantined = 0;
+  std::uint64_t checkpoints_written = 0;  ///< periodic + final checkpoint writes
 };
 
 /// Replays `trace` against a fresh Controller wired to simulated servers:

@@ -15,6 +15,10 @@ void FailureSchedule::validate(std::size_t n) const {
     if (e.server >= n) {
       throw std::invalid_argument("FailureSchedule: server index out of range");
     }
+    if (e.kind == FailureKind::Slowdown &&
+        (!std::isfinite(e.factor) || e.factor <= 0.0 || e.factor > 1.0)) {
+      throw std::invalid_argument("FailureSchedule: slowdown factor must be in (0, 1]");
+    }
   }
 }
 
@@ -28,15 +32,52 @@ FailureSchedule single_outage(std::size_t server, double fail_time, double recov
   return s;
 }
 
+FailureSchedule single_slowdown(std::size_t server, double slow_time, double clear_time,
+                                double factor) {
+  if (!(clear_time > slow_time)) {
+    throw std::invalid_argument("single_slowdown: clearance must follow the slowdown");
+  }
+  FailureSchedule s;
+  s.events.push_back({slow_time, FailureKind::Slowdown, server, 0, factor});
+  s.events.push_back({clear_time, FailureKind::Slowdown, server, 0, 1.0});
+  return s;
+}
+
+FailureSchedule single_stall(std::size_t server, double stall_time, double resume_time) {
+  if (!(resume_time > stall_time)) {
+    throw std::invalid_argument("single_stall: resumption must follow the stall");
+  }
+  FailureSchedule s;
+  s.events.push_back({stall_time, FailureKind::StallStart, server, 0});
+  s.events.push_back({resume_time, FailureKind::StallEnd, server, 0});
+  return s;
+}
+
 void apply_failure_event(ServerSim& server, const FailureEvent& event) {
-  const unsigned avail = server.available_blades();
-  if (event.kind == FailureKind::Failure) {
-    const unsigned lost = event.blades == 0 ? avail : std::min(avail, event.blades);
-    server.set_available_blades(avail - lost);
-  } else {
-    const unsigned full = server.blades();
-    const unsigned gained = event.blades == 0 ? full - avail : std::min(full - avail, event.blades);
-    server.set_available_blades(avail + gained);
+  switch (event.kind) {
+    case FailureKind::Failure: {
+      const unsigned avail = server.available_blades();
+      const unsigned lost = event.blades == 0 ? avail : std::min(avail, event.blades);
+      server.set_available_blades(avail - lost);
+      break;
+    }
+    case FailureKind::Recovery: {
+      const unsigned avail = server.available_blades();
+      const unsigned full = server.blades();
+      const unsigned gained =
+          event.blades == 0 ? full - avail : std::min(full - avail, event.blades);
+      server.set_available_blades(avail + gained);
+      break;
+    }
+    case FailureKind::Slowdown:
+      server.set_speed_factor(event.factor);
+      break;
+    case FailureKind::StallStart:
+      server.set_stalled(true);
+      break;
+    case FailureKind::StallEnd:
+      server.set_stalled(false);
+      break;
   }
 }
 

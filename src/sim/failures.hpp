@@ -3,6 +3,13 @@
 // the event engine. Each event optionally notifies an observer (the
 // runtime Controller, a test harness) at its simulated instant, after the
 // server's available-blade count has been mutated.
+//
+// Beyond the binary up/down model the schedule also carries *gray* fault
+// kinds: a sustained Slowdown scales the server's effective service speed
+// by a degradation factor (factor == 1 restores nominal), and
+// StallStart / StallEnd pause and resume service entirely while blades
+// stay nominally available. Fail/recover flapping is expressed as an
+// alternating Failure/Recovery sequence (see FaultInjector::flap_events).
 #pragma once
 
 #include <cstdint>
@@ -14,15 +21,18 @@
 
 namespace blade::sim {
 
-enum class FailureKind : std::uint8_t { Failure, Recovery };
+enum class FailureKind : std::uint8_t { Failure, Recovery, Slowdown, StallStart, StallEnd };
 
 struct FailureEvent {
   double time = 0.0;
   FailureKind kind = FailureKind::Failure;
   std::size_t server = 0;
   /// Blades affected; 0 means "all" (every remaining blade on a failure,
-  /// every missing blade on a recovery).
+  /// every missing blade on a recovery). Ignored by gray kinds.
   unsigned blades = 0;
+  /// Slowdown only: effective-speed multiplier in (0, 1]; 1.0 clears the
+  /// degradation. Ignored by every other kind.
+  double factor = 1.0;
 };
 
 struct FailureSchedule {
@@ -39,6 +49,16 @@ struct FailureSchedule {
 /// `recover_time` — the canonical single-outage schedule.
 [[nodiscard]] FailureSchedule single_outage(std::size_t server, double fail_time,
                                             double recover_time);
+
+/// A server runs at `factor` times its nominal speed over
+/// [slow_time, clear_time) — the canonical sustained-slowdown schedule.
+[[nodiscard]] FailureSchedule single_slowdown(std::size_t server, double slow_time,
+                                              double clear_time, double factor);
+
+/// A server pauses service (blades stay up, queue keeps filling) over
+/// [stall_time, resume_time) — the canonical intermittent-stall schedule.
+[[nodiscard]] FailureSchedule single_stall(std::size_t server, double stall_time,
+                                           double resume_time);
 
 /// Applies `event` to the server's available-blade count (graceful
 /// drain / immediate restart semantics, see ServerSim::set_available_blades).

@@ -1,5 +1,7 @@
 #include "sim/server_sim.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace blade::sim {
@@ -81,10 +83,66 @@ void ServerSim::start_on_slot(std::size_t slot, Task task) {
   Slot& s = slots_[slot];
   s.busy = true;
   s.task = task;
-  const double service = task.work / speed_;
-  s.completion_time = engine_.now() + service;
-  s.completion = engine_.schedule(service, [this, slot] { complete_slot(slot); });
+  const double eff = effective_speed();
+  if (eff > 0.0) {
+    const double service = task.work / eff;
+    s.completion_time = engine_.now() + service;
+    s.completion = engine_.schedule(service, [this, slot] { complete_slot(slot); });
+  } else {
+    // Stalled: the task occupies the blade with its work frozen in
+    // s.task.work; set_stalled(false) issues the completion later.
+    s.completion = 0;
+    s.completion_time = std::numeric_limits<double>::infinity();
+  }
   account_busy_change(+1);
+}
+
+double ServerSim::remaining_work(const Slot& s) const {
+  const double eff = effective_speed();
+  // While stalled (or parked mid-stall) the slot's task.work *is* the
+  // frozen remaining work; while running it is implied by the completion
+  // time at the current effective rate.
+  if (eff <= 0.0) return s.task.work;
+  return (s.completion_time - engine_.now()) * eff;
+}
+
+void ServerSim::reschedule_running(double old_eff) {
+  const double eff = effective_speed();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.busy) continue;
+    const double remaining =
+        old_eff > 0.0 ? (s.completion_time - engine_.now()) * old_eff : s.task.work;
+    if (s.completion != 0) {
+      engine_.cancel(s.completion);
+      s.completion = 0;
+    }
+    s.task.work = remaining;
+    if (eff > 0.0) {
+      const double service = remaining / eff;
+      s.completion_time = engine_.now() + service;
+      s.completion = engine_.schedule(service, [this, i] { complete_slot(i); });
+    } else {
+      s.completion_time = std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+void ServerSim::set_speed_factor(double factor) {
+  if (!std::isfinite(factor) || factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument("ServerSim::set_speed_factor: factor must be in (0, 1]");
+  }
+  if (factor == speed_factor_) return;
+  const double old_eff = effective_speed();
+  speed_factor_ = factor;
+  reschedule_running(old_eff);
+}
+
+void ServerSim::set_stalled(bool on) {
+  if (on == stalled_) return;
+  const double old_eff = effective_speed();
+  stalled_ = on;
+  reschedule_running(old_eff);
 }
 
 void ServerSim::complete_slot(std::size_t slot) {
@@ -100,6 +158,7 @@ void ServerSim::complete_slot(std::size_t slot) {
   account_system_change(-1);
   ++completions_;
   collector_.record(done.cls, engine_.now() - done.arrival_time, engine_.now());
+  if (completion_observer_) completion_observer_(done, engine_.now());
   if (busy_ < available_) {
     if (auto next = dequeue()) {
       start_on_slot(slot, *next);
@@ -157,9 +216,9 @@ void ServerSim::arrive(Task task) {
     }
     if (victim != slots_.size()) {
       Slot& v = slots_[victim];
-      engine_.cancel(v.completion);
+      if (v.completion != 0) engine_.cancel(v.completion);
       Task resumed = v.task;
-      resumed.work = (v.completion_time - engine_.now()) * speed_;  // remaining work
+      resumed.work = remaining_work(v);
       v.busy = false;
       account_busy_change(-1);
       ++preemptions_;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -46,9 +47,36 @@ class ServerSim {
   /// for a recovery).
   void set_available_blades(unsigned k);
 
+  /// Gray-failure injection: scales the effective service speed of every
+  /// blade to `factor * speed()` (factor in (0, 1]; 1.0 restores
+  /// nominal). In-flight tasks are rescheduled to finish their remaining
+  /// work at the new rate.
+  void set_speed_factor(double factor);
+
+  /// Gray-failure injection: pauses (true) / resumes (false) all service.
+  /// A stalled server keeps its blades nominally available and keeps
+  /// accepting arrivals — running tasks freeze with their remaining work
+  /// intact, queued tasks wait — so the backlog builds exactly as a real
+  /// intermittent stall would. Resuming restarts every frozen task.
+  void set_stalled(bool on);
+
+  /// Invoked at every task completion (after metrics are recorded) with
+  /// the departing task and the completion instant. The runtime health
+  /// feed observes per-server completion rates through this hook.
+  void set_completion_observer(std::function<void(const Task&, double)> cb) {
+    completion_observer_ = std::move(cb);
+  }
+
   [[nodiscard]] unsigned blades() const noexcept { return blades_; }
   [[nodiscard]] unsigned available_blades() const noexcept { return available_; }
   [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] double speed_factor() const noexcept { return speed_factor_; }
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+  /// Current service rate of one blade: 0 while stalled, otherwise
+  /// speed() * speed_factor().
+  [[nodiscard]] double effective_speed() const noexcept {
+    return stalled_ ? 0.0 : speed_ * speed_factor_;
+  }
   [[nodiscard]] unsigned busy_blades() const noexcept { return busy_; }
   [[nodiscard]] std::size_t queued_tasks() const noexcept {
     return generic_queue_.size() + special_queue_.size();
@@ -84,6 +112,12 @@ class ServerSim {
   void complete_slot(std::size_t slot);
   void account_busy_change(int delta);
   void account_system_change(int delta);
+  /// Remaining work of a busy slot at the current instant (valid whether
+  /// the slot is running or frozen by a stall).
+  [[nodiscard]] double remaining_work(const Slot& s) const;
+  /// Cancels and re-issues every busy slot's completion after the
+  /// effective speed changed from `old_eff` to effective_speed().
+  void reschedule_running(double old_eff);
 
   Engine& engine_;
   unsigned blades_;
@@ -95,7 +129,10 @@ class ServerSim {
   std::deque<Task> generic_queue_;
   std::deque<Task> special_queue_;  // used in priority modes
   unsigned busy_ = 0;
-  unsigned available_;  ///< usable blades (== blades_ unless failed)
+  unsigned available_;          ///< usable blades (== blades_ unless failed)
+  double speed_factor_ = 1.0;   ///< gray slowdown multiplier in (0, 1]
+  bool stalled_ = false;        ///< gray stall: service frozen, queue open
+  std::function<void(const Task&, double)> completion_observer_;
 
   double busy_integral_ = 0.0;
   double last_change_ = 0.0;

@@ -1,0 +1,59 @@
+#include "util/fileio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace blade::util {
+
+namespace {
+
+std::string errno_context(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+blade::Status write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return make_error(ErrorCode::Internal, errno_context("write_file_atomic: cannot open", tmp));
+  }
+  const std::size_t written = content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  // fflush before fclose so a write error surfaces here, while the temp
+  // file can still be discarded without touching `path`.
+  if (written != content.size() || std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return make_error(ErrorCode::Internal, errno_context("write_file_atomic: cannot write", tmp));
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return make_error(ErrorCode::Internal, errno_context("write_file_atomic: cannot close", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return make_error(ErrorCode::Internal, errno_context("write_file_atomic: cannot rename", path));
+  }
+  return {};
+}
+
+Expected<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return make_error(ErrorCode::Internal, errno_context("read_file: cannot open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return make_error(ErrorCode::Internal, errno_context("read_file: cannot read", path));
+  }
+  return out;
+}
+
+}  // namespace blade::util

@@ -1,0 +1,26 @@
+// Small file I/O helpers with typed errors.
+//
+// write_file_atomic is the crash-safe persistence primitive for
+// checkpoints: the content lands in "<path>.tmp" first (written,
+// flushed, closed), then moves into place with std::rename — atomic on
+// POSIX within a filesystem — so a crash at any instant leaves either
+// the previous complete file or the new complete file, never a torn
+// prefix. Readers of `path` therefore always see a whole document.
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace blade::util {
+
+/// Atomically replaces `path` with `content` via a temp file + rename.
+/// Returns ErrorCode::Internal (with errno context) when any step fails;
+/// the temp file is removed on failure.
+[[nodiscard]] blade::Status write_file_atomic(const std::string& path, const std::string& content);
+
+/// Reads the whole file into a string. Returns ErrorCode::Internal when
+/// the file cannot be opened or read.
+[[nodiscard]] Expected<std::string> read_file(const std::string& path);
+
+}  // namespace blade::util

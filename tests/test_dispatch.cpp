@@ -574,6 +574,32 @@ TEST(DispatchShard, BlackoutRoutesNposThenRecovers) {
   for (int k = 0; k < 20; ++k) EXPECT_EQ(shard.route(), 1u);  // only survivor
 }
 
+// Degraded-MODE transitions must not wait out the refresh interval: the
+// controller bumps its publish epoch on every mode change, and route()
+// re-checks the epoch even mid-interval. With a practically-infinite
+// refresh interval, a shard that kept serving its pre-blackout snapshot
+// would route to dead servers for ~a million draws — the bounded
+// staleness contract (staleness <= refresh_interval) only covers
+// same-mode republications, never mode flips.
+TEST(DispatchShard, ModeTransitionInvalidatesSnapshotImmediately) {
+  const auto cluster = model::paper_example_cluster();
+  runtime::Controller ctrl(cluster, quiet_config());
+  runtime::DispatchShardConfig cfg;
+  cfg.refresh_interval = 1u << 20;
+  runtime::DispatchShard shard(ctrl, cfg);
+  ASSERT_NE(shard.route(), runtime::DispatchShard::npos);  // healthy table cached
+
+  double t = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) ctrl.on_failure(t += 1e-3, i);
+  ASSERT_EQ(ctrl.mode(), runtime::Mode::Blackout);
+  // No invalidate_snapshot(), no refresh budget spent: the epoch bump
+  // alone must retire the stale table on the very next draw.
+  EXPECT_EQ(shard.route(), runtime::DispatchShard::npos);
+
+  ctrl.on_recovery(t += 1e-3, 2);  // Blackout -> Fallback mode transition
+  for (int k = 0; k < 20; ++k) EXPECT_EQ(shard.route(), 2u);
+}
+
 // A republished table reaches the shard within refresh_interval draws.
 TEST(DispatchShard, PicksUpRepublishedTable) {
   const auto cluster = model::paper_example_cluster();

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
 #include "core/batch.hpp"
 #include "core/optimizer.hpp"
 #include "model/cluster.hpp"
@@ -23,6 +25,7 @@
 #include "runtime/replay.hpp"
 #include "sim/rng.hpp"
 #include "util/alias_table.hpp"
+#include "util/fileio.hpp"
 #include "util/status.hpp"
 
 namespace {
@@ -490,6 +493,148 @@ TEST(Checkpoint, RestoreRejectsGarbageWithoutMutating) {
 
   // And the original document still restores fine.
   EXPECT_TRUE(ctrl.restore_checkpoint(good).ok());
+}
+
+// Corruption battery over the on-disk shapes a crashed or bit-rotted
+// checkpoint actually takes: every payload must be rejected with a typed
+// error and must never be partially applied (the controller keeps
+// serving its pre-restore table).
+TEST(Checkpoint, CorruptionBatteryRejectsWithoutPartialApply) {
+  const auto cluster = small_cluster();
+  runtime::Controller ctrl(cluster, contained_cfg(cluster));
+  const auto fractions_before = ctrl.routing_fractions();
+  const std::string good = ctrl.checkpoint_json();
+
+  // Torn write: a truncated prefix (the exact artifact write_file_atomic
+  // exists to prevent) is not a parseable document.
+  Status s = ctrl.restore_checkpoint(good.substr(0, good.size() / 2));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::ParseError);
+
+  // Bit flip inside a key: "fractions" -> "Fractions" parses as JSON but
+  // the required field is gone.
+  std::string flipped = good;
+  auto pos = flipped.find("\"fractions\"");
+  ASSERT_NE(pos, std::string::npos);
+  flipped[pos + 1] = static_cast<char>(flipped[pos + 1] ^ 0x20);
+  s = ctrl.restore_checkpoint(flipped);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::ParseError);
+
+  // NaN smuggled into the fractions array: JSON has no NaN literal, so
+  // the document stops being JSON at all.
+  std::string nan_doc = good;
+  pos = nan_doc.find("\"fractions\"");
+  pos = nan_doc.find_first_of("0123456789", pos);
+  ASSERT_NE(pos, std::string::npos);
+  auto end = nan_doc.find_first_of(",]", pos);
+  ASSERT_NE(end, std::string::npos);
+  nan_doc.replace(pos, end - pos, "NaN");
+  s = ctrl.restore_checkpoint(nan_doc);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::ParseError);
+
+  // Negative routing weight: valid JSON, but not a publishable table.
+  std::string negative = good;
+  pos = negative.find("\"fractions\"");
+  pos = negative.find_first_of("0123456789", pos);
+  ASSERT_NE(pos, std::string::npos);
+  negative.insert(pos, "-");
+  s = ctrl.restore_checkpoint(negative);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::ParseError);
+  EXPECT_NE(s.error().context.find("not publishable"), std::string::npos);
+
+  // Impossible topology claim: avail[0] above the server's blade count is
+  // a stale snapshot, not a parse problem.
+  std::string inflated = good;
+  pos = inflated.find("\"avail\"");
+  pos = inflated.find_first_of("0123456789", pos);
+  ASSERT_NE(pos, std::string::npos);
+  inflated.replace(pos, 1, "9");
+  s = ctrl.restore_checkpoint(inflated);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::StaleState);
+
+  // Nothing was partially applied by any rejection.
+  const auto fractions_after = ctrl.routing_fractions();
+  ASSERT_EQ(fractions_after.size(), fractions_before.size());
+  for (std::size_t i = 0; i < fractions_after.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fractions_after[i], fractions_before[i]);
+  }
+  EXPECT_EQ(ctrl.stats().restores, 0u);
+  EXPECT_TRUE(ctrl.restore_checkpoint(good).ok());
+}
+
+// --- crash-safe persistence (satellite) -----------------------------------
+
+TEST(AtomicFile, WriteReadOverwriteRoundTrip) {
+  const std::string path = "ATOMIC_roundtrip_test.json";
+  ASSERT_TRUE(util::write_file_atomic(path, "first\n").ok());
+  auto body = util::read_file(path);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body.value(), "first\n");
+
+  // Overwrite replaces the whole content (rename over the old inode).
+  ASSERT_TRUE(util::write_file_atomic(path, "second, longer body\n").ok());
+  body = util::read_file(path);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body.value(), "second, longer body\n");
+
+  // The temp file never outlives a successful write.
+  EXPECT_FALSE(util::read_file(path + ".tmp").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailureIsTypedAndLeavesNoDebris) {
+  const std::string path = "no_such_dir_for_atomic_test/ckpt.json";
+  const Status s = util::write_file_atomic(path, "body");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::Internal);
+  EXPECT_FALSE(util::read_file(path).has_value());
+  EXPECT_FALSE(util::read_file(path + ".tmp").has_value());
+
+  auto missing = util::read_file("definitely_missing_file.json");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, ErrorCode::Internal);
+}
+
+// Replay-level persistence: periodic checkpoints land on schedule, the
+// final document restores into a fresh replay, and a corrupted document
+// refuses the whole run up front.
+TEST(Checkpoint, ReplayPersistsPeriodicallyAndRestores) {
+  const auto cluster = small_cluster();
+  runtime::ControllerConfig cfg;
+  cfg.half_life = 2.0;
+  cfg.initial_lambda = 0.4 * cluster.max_generic_rate();
+
+  runtime::ReplayTrace trace;
+  trace.horizon = 80.0;
+  trace.seed = 7;
+  trace.events.push_back({.time = 0.0,
+                          .kind = runtime::ReplayEvent::Kind::Rate,
+                          .rate = 0.4 * cluster.max_generic_rate()});
+
+  const std::string path = "CKPT_replay_test.json";
+  runtime::ReplayOptions opts;
+  opts.checkpoint_out = path;
+  opts.checkpoint_every = 20.0;
+  const auto first = runtime::replay(cluster, cfg, trace, opts);
+  // Periodic writes at 20/40/60(/80) plus the final horizon snapshot.
+  EXPECT_GE(first.checkpoints_written, 4u);
+
+  const auto doc = util::read_file(path);
+  ASSERT_TRUE(doc.has_value());
+
+  runtime::ReplayOptions restore;
+  restore.checkpoint_in = doc.value();
+  const auto resumed = runtime::replay(cluster, cfg, trace, restore);
+  EXPECT_EQ(resumed.stats.restores, 1u);
+  EXPECT_EQ(resumed.final_fractions.size(), cluster.size());
+
+  restore.checkpoint_in = doc.value().substr(0, doc.value().size() / 3);
+  EXPECT_THROW((void)runtime::replay(cluster, cfg, trace, restore), std::invalid_argument);
+  std::remove(path.c_str());
 }
 
 // --- replay trace parser (satellite) --------------------------------------
